@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the resulting rows, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full evaluation section.  The ``settings`` fixture controls
+the experiment scale; raise ``num_queries`` for smoother tail-latency
+estimates at the cost of runtime.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings
+
+
+def pytest_configure(config):
+    # The benchmarks print their result tables; -s is convenient but not
+    # required (captured output still ends up in the report on failure).
+    config.addinivalue_line("markers", "figure: paper figure/table reproduction")
+
+
+@pytest.fixture(scope="session")
+def settings():
+    """Experiment scale used by every figure benchmark."""
+    return ExperimentSettings(num_queries=600, search_iterations=7, seed=0)

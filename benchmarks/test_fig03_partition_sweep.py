@@ -1,0 +1,35 @@
+"""Figure 3: GPU utilization and latency versus partition size (batch 8)."""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+
+
+def test_figure3_partition_size_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.figure3(models=("mobilenet", "resnet", "bert"), batch=8),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 3 — utilization / latency vs partition size (batch 8)")
+    print(
+        format_table(
+            ["model", "GPU(k)", "utilization", "latency (ms)", "latency vs GPU(7)"],
+            [
+                [r["model"], r["gpcs"], round(r["utilization"], 3),
+                 round(r["latency_ms"], 3), round(r["normalized_latency"], 2)]
+                for r in rows
+            ],
+        )
+    )
+
+    # Paper shape checks: utilization falls and latency rises as partitions grow.
+    for model in ("mobilenet", "resnet", "bert"):
+        model_rows = {r["gpcs"]: r for r in rows if r["model"] == model}
+        assert model_rows[1]["utilization"] > model_rows[7]["utilization"]
+        assert model_rows[1]["normalized_latency"] >= 1.0
+    # Compute-heavy models pay the largest latency penalty on small partitions.
+    penalty = {
+        model: max(r["normalized_latency"] for r in rows if r["model"] == model)
+        for model in ("mobilenet", "resnet", "bert")
+    }
+    assert penalty["bert"] > penalty["resnet"] > penalty["mobilenet"]

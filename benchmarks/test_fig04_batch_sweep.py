@@ -1,0 +1,40 @@
+"""Figure 4: utilization (a) and latency (b) versus batch size per partition size."""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+
+
+def test_figure4_batch_size_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.figure4(
+            models=("mobilenet", "resnet", "bert"),
+            batch_sizes=(1, 2, 4, 8, 16, 32, 64),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 4 — utilization / latency vs batch size (knee batches marked *)")
+    print(
+        format_table(
+            ["model", "GPU(k)", "batch", "utilization", "latency (ms)", "knee"],
+            [
+                [r["model"], r["gpcs"], r["batch"], round(r["utilization"], 3),
+                 round(r["latency_ms"], 3), "*" if r["is_knee"] else ""]
+                for r in rows
+            ],
+        )
+    )
+
+    # Shape checks: monotone curves, knees grow with partition size, and the
+    # compute-heavy BERT saturates small partitions at smaller batches.
+    for model in ("mobilenet", "resnet", "bert"):
+        knees = {
+            r["gpcs"]: r["batch"]
+            for r in rows
+            if r["model"] == model and r["is_knee"]
+        }
+        knee_list = [knees[g] for g in sorted(knees)]
+        assert knee_list == sorted(knee_list)
+    mobilenet_knee = [r for r in rows if r["model"] == "mobilenet" and r["gpcs"] == 1 and r["is_knee"]][0]
+    bert_knee = [r for r in rows if r["model"] == "bert" and r["gpcs"] == 1 and r["is_knee"]][0]
+    assert bert_knee["batch"] <= mobilenet_knee["batch"]

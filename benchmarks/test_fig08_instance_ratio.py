@@ -1,0 +1,19 @@
+"""Figure 8: PARIS's instance-ratio derivation on the paper's worked example."""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+def test_figure8_instance_ratio_example(benchmark):
+    result = benchmark.pedantic(experiments.figure8_example, rounds=1, iterations=1)
+    print("\nFigure 8 — worked instance-ratio example")
+    print(f"  knees                 : {result['knees']}")
+    print(f"  R_small (ours/paper)  : {result['ratio_small']:.4f} / {result['paper_ratio_small']:.4f}")
+    print(f"  R_large (ours/paper)  : {result['ratio_large']:.4f} / {result['paper_ratio_large']:.4f}")
+    print(f"  resulting plan        : {result['plan']['description']}")
+
+    assert result["ratio_small"] == pytest.approx(result["paper_ratio_small"])
+    assert result["ratio_large"] == pytest.approx(result["paper_ratio_large"])
+    # paper ratio 1.5 : 2.33
+    assert result["ratio_large"] / result["ratio_small"] == pytest.approx(2.333 / 1.5, rel=0.02)

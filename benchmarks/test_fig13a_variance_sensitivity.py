@@ -1,0 +1,32 @@
+"""Figure 13(a): sensitivity to the log-normal batch-size distribution variance."""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+
+
+def test_figure13a_variance_sensitivity(benchmark, settings):
+    rows = benchmark.pedantic(
+        lambda: experiments.figure13a(
+            model="resnet", sigmas=(0.3, 0.9, 1.8), settings=settings
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 13(a) — sensitivity to batch-size distribution variance (ResNet)")
+    print(
+        format_table(
+            ["sigma", "design", "qps @ SLA", "normalised to GPU(7)"],
+            [
+                [r["sigma"], r["design"], round(r["throughput_qps"], 1),
+                 round(r["normalized_throughput"], 2)]
+                for r in rows
+            ],
+        )
+    )
+
+    by_sigma = {}
+    for row in rows:
+        by_sigma.setdefault(row["sigma"], {})[row["design"]] = row["normalized_throughput"]
+
+    for sigma, designs in by_sigma.items():
+        assert designs["paris+elsa"] >= 0.9  # never worse than GPU(7)+FIFS

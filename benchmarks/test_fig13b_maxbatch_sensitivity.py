@@ -1,0 +1,33 @@
+"""Figure 13(b): sensitivity to the maximum batch size of the distribution."""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+from repro.models.registry import PAPER_MODELS
+
+
+def test_figure13b_max_batch_sensitivity(benchmark, settings):
+    rows = benchmark.pedantic(
+        lambda: experiments.figure13b(
+            models=PAPER_MODELS, max_batches=(16, 32, 64), settings=settings
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 13(b) — sensitivity to the maximum batch size")
+    print(
+        format_table(
+            ["model", "max batch", "design", "qps @ SLA", "normalised to GPU(max)"],
+            [
+                [r["model"], r["max_batch"], r["design"], round(r["throughput_qps"], 1),
+                 round(r["normalized_throughput"], 2)]
+                for r in rows
+            ],
+        )
+    )
+
+    # Robustness claim: PARIS+ELSA stays close to (or above) the best
+    # homogeneous design across all max batch sizes and models, even though
+    # GPU(max) is chosen with oracle knowledge per (model, max batch) pair.
+    for row in rows:
+        if row["design"] == "paris+elsa":
+            assert row["normalized_throughput"] >= 0.75

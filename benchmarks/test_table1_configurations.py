@@ -1,0 +1,35 @@
+"""Table I: homogeneous and PARIS server configurations per model."""
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+
+
+def test_table1_server_configurations(benchmark, settings):
+    rows = benchmark.pedantic(
+        lambda: experiments.table1(settings=settings), rounds=1, iterations=1
+    )
+    print("\nTable I — server configurations")
+    print(
+        format_table(
+            ["model", "design", "#instances", "#GPCs", "#A100", "configuration"],
+            [
+                [r["model"], r["design"], r["instances"], r["gpcs"], r["num_gpus"],
+                 r["description"]]
+                for r in rows
+            ],
+        )
+    )
+
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row["model"], {})[row["design"]] = row
+
+    # Homogeneous instance counts follow budget // size (Table I).
+    assert by_model["bert"]["GPU(1)"]["instances"] == 42
+    assert by_model["bert"]["GPU(7)"]["instances"] == 6
+    assert by_model["resnet"]["GPU(3)"]["instances"] == 16
+    assert by_model["mobilenet"]["GPU(7)"]["instances"] == 4
+    # PARIS plans are heterogeneous for every model and respect the budget.
+    for model, designs in by_model.items():
+        paris = designs["PARIS"]
+        assert paris["gpcs"] <= experiments.PAPER_GPC_BUDGETS[model]

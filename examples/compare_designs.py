@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare server design points for one model (a miniature Figure 12).
+
+Evaluates the latency-bounded throughput (max sustainable load with p95 tail
+latency under the SLA) of:
+
+* homogeneous partitionings GPU(1), GPU(2), GPU(3), GPU(7) with FIFS,
+* a random heterogeneous partitioning with ELSA,
+* PARIS with FIFS and with ELSA,
+
+for a model given on the command line (default: mobilenet).
+
+Run with::
+
+    python examples/compare_designs.py [model]
+"""
+
+import sys
+
+from repro.analysis.experiments import ExperimentSettings, _named_designs
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "mobilenet"
+    settings = ExperimentSettings(num_queries=600, search_iterations=7)
+
+    designs = [
+        "gpu(1)+fifs",
+        "gpu(2)+fifs",
+        "gpu(3)+fifs",
+        "gpu(7)+fifs",
+        "random+elsa",
+        "paris+fifs",
+        "paris+elsa",
+    ]
+    deployments = _named_designs(model, settings, designs)
+
+    rows = []
+    baseline = None
+    for name, deployment in deployments.items():
+        result = settings.measure(deployment)
+        if name == "gpu(7)+fifs":
+            baseline = result.throughput_qps
+        rows.append(
+            [
+                name,
+                deployment.plan.describe(),
+                round(result.throughput_qps, 1),
+                round(result.p95_latency * 1e3, 2),
+                round(result.mean_utilization, 2),
+            ]
+        )
+    baseline = baseline or 1.0
+    for row in rows:
+        row.append(round(row[2] / baseline, 2))
+
+    print(f"Model: {model} (SLA = 1.5x GPU(7) latency at batch 32)\n")
+    print(
+        format_table(
+            ["design", "partitioning", "qps @ SLA", "p95 (ms)", "util", "vs GPU(7)"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: serve ResNet-50 on a PARIS-partitioned, ELSA-scheduled server.
+
+This is the smallest end-to-end use of the library:
+
+1. describe the server design point (``ServerConfig``),
+2. describe the workload (``WorkloadConfig``: Poisson arrivals, log-normal
+   batch sizes),
+3. let :class:`repro.InferenceService` profile the model, run PARIS, carve
+   the MIG partitions, and replay the workload under ELSA,
+4. print the chosen partitioning and the serving metrics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import InferenceService, ServerConfig, WorkloadConfig
+
+
+def main() -> None:
+    config = ServerConfig(
+        model="resnet",       # one of: shufflenet, mobilenet, resnet, bert, conformer
+        gpc_budget=48,        # 48 of the 8x7=56 GPCs, as in the paper's Table I
+        num_gpus=8,
+    )
+    service = InferenceService(config)
+
+    workload = WorkloadConfig(
+        model="resnet",
+        rate_qps=2000.0,      # offered load
+        num_queries=2000,
+        max_batch=32,
+        sigma=0.9,            # log-normal batch-size distribution
+        seed=0,
+    )
+    result = service.serve(workload)
+
+    deployment = service.deployment
+    print("PARIS partitioning plan")
+    print(f"  model        : {deployment.config.model}")
+    print(f"  GPC budget   : {deployment.plan.total_gpcs}")
+    print(f"  plan         : {deployment.plan.describe()}")
+    print(f"  knees        : {deployment.plan.knees}")
+    print(f"  SLA target   : {deployment.sla_target * 1e3:.2f} ms")
+    print()
+    print("Serving results (ELSA scheduler)")
+    for key, value in result.summary().items():
+        print(f"  {key:20s}: {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — reproduction of "PARIS and ELSA" (DAC 2022).
+
+A simulation-based, production-quality reimplementation of the paper
+*PARIS and ELSA: An Elastic Scheduling Algorithm for Reconfigurable
+Multi-GPU Inference Servers* (Kim, Choi, Rhu — DAC 2022, arXiv:2202.13481).
+
+The package is organised bottom-up:
+
+* :mod:`repro.gpu` — reconfigurable (MIG) GPU architecture, partitions and
+  the multi-GPU server.
+* :mod:`repro.models` — analytical DNN model zoo (ShuffleNet, MobileNet,
+  ResNet, BERT, Conformer).
+* :mod:`repro.perf` — roofline latency/utilization model and the one-time
+  profiler producing (partition size, batch) lookup tables.
+* :mod:`repro.workload` — Poisson arrivals and log-normal batch sizes.
+* :mod:`repro.sim` — discrete-event simulator of the inference server.
+* :mod:`repro.core` — **PARIS** (Algorithm 1) and **ELSA** (Algorithm 2),
+  plus the FIFS / random / homogeneous baselines.
+* :mod:`repro.serving` — end-to-end deployment and the
+  :class:`~repro.serving.service.InferenceService` facade.
+* :mod:`repro.analysis` — experiment harnesses regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import InferenceService, ServerConfig, WorkloadConfig
+
+    config = ServerConfig(model="resnet")        # PARIS + ELSA by default
+    service = InferenceService(config)
+    workload = WorkloadConfig(model="resnet", rate_qps=200.0, num_queries=2000)
+    result = service.serve(workload)
+    print(service.deployment.plan.describe())
+    print(result.summary())
+"""
+
+from repro.core.elsa import ElsaScheduler
+from repro.core.paris import Paris, ParisConfig, run_paris
+from repro.core.plan import PartitionPlan
+from repro.core.schedulers import FifsScheduler
+from repro.gpu.architecture import A100, GPUArchitecture
+from repro.gpu.partition import GPUPartition
+from repro.gpu.server import MultiGPUServer
+from repro.models.registry import PAPER_MODELS, get_model, list_models
+from repro.perf.lookup import ProfileTable
+from repro.perf.profiler import Profiler, profile_model
+from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
+from repro.serving.deployment import Deployment, build_deployment
+from repro.serving.service import InferenceService, ServiceResult
+from repro.sim.cluster import InferenceServerSimulator, SimulationResult
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.query import Query
+from repro.workload.trace import QueryTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "Deployment",
+    "ElsaScheduler",
+    "FifsScheduler",
+    "GPUArchitecture",
+    "GPUPartition",
+    "InferenceServerSimulator",
+    "InferenceService",
+    "MultiGPUServer",
+    "PAPER_MODELS",
+    "Paris",
+    "ParisConfig",
+    "PartitionPlan",
+    "PartitioningStrategy",
+    "ProfileTable",
+    "Profiler",
+    "Query",
+    "QueryGenerator",
+    "QueryTrace",
+    "SchedulingPolicy",
+    "ServerConfig",
+    "ServiceResult",
+    "SimulationResult",
+    "WorkloadConfig",
+    "build_deployment",
+    "get_model",
+    "list_models",
+    "profile_model",
+    "run_paris",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Experiment harnesses and reporting.
+
+* :mod:`repro.analysis.sweep` — latency-bounded throughput measurement: the
+  arrival-rate sweep / binary search behind Figures 11–13.
+* :mod:`repro.analysis.experiments` — one runner per paper table/figure,
+  returning plain data rows that the benchmarks print and EXPERIMENTS.md
+  records.
+* :mod:`repro.analysis.reporting` — ASCII table / CSV helpers.
+"""
+
+from repro.analysis.sweep import (
+    DesignPointResult,
+    ThroughputLatencyPoint,
+    measure_design,
+    sweep_rates,
+    latency_bounded_throughput,
+)
+from repro.analysis.reporting import format_table, rows_to_csv
+from repro.analysis import experiments
+
+__all__ = [
+    "DesignPointResult",
+    "ThroughputLatencyPoint",
+    "measure_design",
+    "sweep_rates",
+    "latency_bounded_throughput",
+    "format_table",
+    "rows_to_csv",
+    "experiments",
+]

@@ -1,0 +1,63 @@
+"""Plain-text reporting helpers (ASCII tables, CSV)."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Args:
+        headers: column headers.
+        rows: iterable of rows; each row must have ``len(headers)`` cells.
+
+    Returns:
+        The rendered table as a multi-line string.
+    """
+    materialised: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells))
+
+    lines = [render_row(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as CSV text (no external dependencies, RFC-4180 quoting)."""
+
+    def quote(cell) -> str:
+        text = _stringify(cell)
+        if any(ch in text for ch in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    buffer = io.StringIO()
+    buffer.write(",".join(quote(h) for h in headers) + "\n")
+    for row in rows:
+        buffer.write(",".join(quote(c) for c in row) + "\n")
+    return buffer.getvalue()

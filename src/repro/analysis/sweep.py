@@ -1,0 +1,161 @@
+"""Latency-bounded throughput measurement.
+
+The paper's headline metric (Figures 11–13) is *latency-bounded throughput*:
+the highest query arrival rate a design can sustain while its p95 tail
+latency stays below a target (the SLA).  This module provides:
+
+* :func:`measure_design` — replay one workload at one arrival rate and
+  report throughput / p95 / SLA violations;
+* :func:`sweep_rates` — the full throughput-vs-tail-latency curve of
+  Figure 11;
+* :func:`latency_bounded_throughput` — binary search for the largest
+  sustainable rate (the single number per design used in Figures 12/13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.serving.deployment import Deployment
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class DesignPointResult:
+    """Measurement of one design at one offered load."""
+
+    rate_qps: float
+    throughput_qps: float
+    p95_latency: float
+    mean_latency: float
+    sla_violation_rate: float
+    mean_utilization: float
+
+
+@dataclass(frozen=True)
+class ThroughputLatencyPoint:
+    """One point of a Figure-11-style curve."""
+
+    rate_qps: float
+    throughput_qps: float
+    p95_latency: float
+
+
+def measure_design(
+    deployment: Deployment,
+    workload: WorkloadConfig,
+    rate_qps: float,
+    seed: int = 0,
+) -> DesignPointResult:
+    """Replay ``workload`` at ``rate_qps`` on ``deployment`` and summarise.
+
+    The workload's SLA is set to the deployment's derived SLA target so that
+    violation statistics always refer to the evaluated design's own SLA.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    configured = replace(
+        workload, rate_qps=rate_qps, sla_target=deployment.sla_target
+    )
+    trace = QueryGenerator(configured).generate()
+    simulator = deployment.simulator(seed=seed)
+    result = simulator.run(trace)
+    stats = result.statistics
+    return DesignPointResult(
+        rate_qps=rate_qps,
+        throughput_qps=stats.throughput_qps,
+        p95_latency=stats.latency.p95,
+        mean_latency=stats.latency.mean,
+        sla_violation_rate=stats.latency.sla_violation_rate,
+        mean_utilization=stats.utilization.mean,
+    )
+
+
+def capacity_estimate(deployment: Deployment, workload: WorkloadConfig) -> float:
+    """Rough upper bound on the sustainable arrival rate (queries/second).
+
+    Sums each instance's steady-state throughput at the workload's mean batch
+    size; used to bracket the binary search and to choose sweep ranges.
+    """
+    generator = QueryGenerator(workload)
+    pdf = generator.batch_pdf()
+    mean_batch = max(1, round(sum(b * p for b, p in pdf.items())))
+    total = 0.0
+    for instance in deployment.instances:
+        total += deployment.profile.throughput(instance.gpcs, mean_batch)
+    return total
+
+
+def sweep_rates(
+    deployment: Deployment,
+    workload: WorkloadConfig,
+    rates: Sequence[float],
+    seed: int = 0,
+) -> List[ThroughputLatencyPoint]:
+    """Measure the design at each offered rate (the Figure 11 curves)."""
+    points = []
+    for rate in rates:
+        result = measure_design(deployment, workload, rate, seed=seed)
+        points.append(
+            ThroughputLatencyPoint(
+                rate_qps=rate,
+                throughput_qps=result.throughput_qps,
+                p95_latency=result.p95_latency,
+            )
+        )
+    return points
+
+
+def latency_bounded_throughput(
+    deployment: Deployment,
+    workload: WorkloadConfig,
+    latency_bound: Optional[float] = None,
+    max_rate: Optional[float] = None,
+    iterations: int = 9,
+    relative_tolerance: float = 0.02,
+    seed: int = 0,
+) -> DesignPointResult:
+    """Find the highest arrival rate whose p95 latency stays under the bound.
+
+    Args:
+        deployment: the design point to evaluate.
+        workload: workload template (its ``rate_qps`` field is overridden).
+        latency_bound: p95 latency bound in seconds; defaults to the
+            deployment's SLA target (the paper's vertical lines).
+        max_rate: upper bracket of the search; defaults to twice the
+            capacity estimate.
+        iterations: number of bisection steps.
+        relative_tolerance: stop early once the bracket is this tight.
+        seed: trace generation / simulation seed.
+
+    Returns:
+        The measurement at the highest sustainable rate found.  If even a
+        tiny offered load violates the bound, the lowest probed rate's
+        measurement is returned (its ``p95_latency`` will exceed the bound,
+        signalling an infeasible design).
+    """
+    bound = latency_bound if latency_bound is not None else deployment.sla_target
+    if bound <= 0:
+        raise ValueError("latency bound must be positive")
+    high = max_rate if max_rate is not None else 2.0 * capacity_estimate(deployment, workload)
+    if high <= 0:
+        raise ValueError("max_rate must be positive")
+    low = high / 256.0
+
+    low_result = measure_design(deployment, workload, low, seed=seed)
+    if low_result.p95_latency > bound:
+        return low_result
+
+    best = low_result
+    for _ in range(iterations):
+        if (high - low) <= relative_tolerance * high:
+            break
+        mid = 0.5 * (low + high)
+        result = measure_design(deployment, workload, mid, seed=seed)
+        if result.p95_latency <= bound:
+            best = result
+            low = mid
+        else:
+            high = mid
+    return best

@@ -1,0 +1,47 @@
+"""The paper's primary contributions: PARIS and ELSA.
+
+* :mod:`repro.core.knee` — derivation of ``MaxBatch_knee`` from profiled
+  utilization curves (Step A of Algorithm 1).
+* :mod:`repro.core.plan` — the :class:`PartitionPlan` result type.
+* :mod:`repro.core.paris` — PARIS, the Partitioning Algorithm for
+  Reconfigurable multi-GPU Inference Servers (Algorithm 1).
+* :mod:`repro.core.slack` — ELSA's profiling-based SLA slack predictor
+  (Equations 1 and 2).
+* :mod:`repro.core.elsa` — ELSA, the ELastic Scheduling Algorithm
+  (Algorithm 2).
+* :mod:`repro.core.schedulers` — baseline scheduling policies (FIFS and
+  variants).
+* :mod:`repro.core.baselines` — baseline partitioning strategies
+  (homogeneous GPU(N), random heterogeneous).
+"""
+
+from repro.core.knee import MaxBatchKnee, find_knee, derive_knees
+from repro.core.plan import PartitionPlan, BatchSegment
+from repro.core.paris import Paris, ParisConfig, run_paris
+from repro.core.slack import SlackEstimator, SlackPrediction
+from repro.core.elsa import ElsaScheduler
+from repro.core.schedulers import (
+    FifsScheduler,
+    LeastLoadedScheduler,
+    RandomDispatchScheduler,
+)
+from repro.core.baselines import homogeneous_partition, random_partition
+
+__all__ = [
+    "MaxBatchKnee",
+    "find_knee",
+    "derive_knees",
+    "PartitionPlan",
+    "BatchSegment",
+    "Paris",
+    "ParisConfig",
+    "run_paris",
+    "SlackEstimator",
+    "SlackPrediction",
+    "ElsaScheduler",
+    "FifsScheduler",
+    "LeastLoadedScheduler",
+    "RandomDispatchScheduler",
+    "homogeneous_partition",
+    "random_partition",
+]

@@ -1,0 +1,104 @@
+"""Baseline partitioning strategies.
+
+The paper compares PARIS against two families of partitionings:
+
+* **Homogeneous GPU(N)** — every instance has the same size ``N`` GPCs
+  (N in {1, 2, 3, 7}); the best of these in hindsight is called
+  ``GPU(max)``.
+* **Random heterogeneous** — a random mix of partition sizes filling the
+  same GPC budget, demonstrating that heterogeneity alone (without PARIS's
+  model/batch-distribution awareness) is not sufficient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.plan import PartitionPlan
+from repro.gpu.architecture import A100, GPUArchitecture
+
+
+def homogeneous_partition(
+    gpcs_per_partition: int,
+    total_gpcs: int,
+    model: str = "",
+    architecture: GPUArchitecture = A100,
+) -> PartitionPlan:
+    """Partition the budget into identical GPU(``gpcs_per_partition``) instances.
+
+    Args:
+        gpcs_per_partition: size of every instance (must be a valid partition
+            size of the architecture).
+        total_gpcs: GPC budget.
+        model: model name recorded in the plan (informational).
+        architecture: physical GPU architecture (for size validation).
+
+    Returns:
+        A homogeneous :class:`~repro.core.plan.PartitionPlan`; GPCs that do
+        not divide evenly are left idle, mirroring the paper's observation
+        that e.g. GPU(4) on a 7-GPC device strands 3 GPCs.
+    """
+    if gpcs_per_partition not in architecture.valid_partition_sizes:
+        raise ValueError(
+            f"GPU({gpcs_per_partition}) is not a valid partition size for "
+            f"{architecture.name}"
+        )
+    if total_gpcs < gpcs_per_partition:
+        raise ValueError(
+            f"budget of {total_gpcs} GPCs cannot host a single "
+            f"GPU({gpcs_per_partition}) instance"
+        )
+    count = total_gpcs // gpcs_per_partition
+    return PartitionPlan(
+        model=model,
+        counts={gpcs_per_partition: count},
+        total_gpcs=total_gpcs,
+        strategy=f"homogeneous-gpu({gpcs_per_partition})",
+    )
+
+
+def random_partition(
+    total_gpcs: int,
+    model: str = "",
+    architecture: GPUArchitecture = A100,
+    partition_sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> PartitionPlan:
+    """Randomly partition the budget into a heterogeneous set of instances.
+
+    Sizes are drawn uniformly from the valid partition sizes that still fit
+    the remaining budget, until no size fits.
+
+    Args:
+        total_gpcs: GPC budget.
+        model: model name recorded in the plan.
+        architecture: physical GPU architecture.
+        partition_sizes: candidate sizes (defaults to the architecture's
+            valid sizes).
+        seed: RNG seed; the same seed always yields the same plan.
+    """
+    if total_gpcs <= 0:
+        raise ValueError("total_gpcs must be positive")
+    sizes = sorted(set(partition_sizes or architecture.valid_partition_sizes))
+    invalid = set(sizes) - set(architecture.valid_partition_sizes)
+    if invalid:
+        raise ValueError(f"invalid partition sizes {sorted(invalid)}")
+
+    rng = np.random.default_rng(seed)
+    counts: Dict[int, int] = {}
+    remaining = total_gpcs
+    while True:
+        feasible = [s for s in sizes if s <= remaining]
+        if not feasible:
+            break
+        choice = int(rng.choice(feasible))
+        counts[choice] = counts.get(choice, 0) + 1
+        remaining -= choice
+    return PartitionPlan(
+        model=model,
+        counts=counts,
+        total_gpcs=total_gpcs,
+        strategy="random",
+    )

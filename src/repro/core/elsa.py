@@ -1,0 +1,114 @@
+"""ELSA: the ELastic Scheduling Algorithm (Algorithm 2 of the paper).
+
+ELSA is heterogeneity-aware: it knows, from the profiled lookup table, how
+long a query would take on each partition size, and it tracks how much work
+is already queued on every partition.  Scheduling a new query proceeds in two
+steps:
+
+* **Step A** — iterate the partitions from *smallest to largest*; the first
+  partition whose predicted SLA slack is positive receives the query.
+  Preferring the smallest feasible partition maximises GPU utilization
+  (running a small batch on a big partition wastes its compute).
+* **Step B** — if no partition can meet the SLA, send the query to the
+  partition that will finish it soonest (minimum ``T_wait +
+  T_estimated,new``), minimising the lingering damage the late query causes
+  to subsequent ones.
+
+Queries without an SLA target are treated as "SLA never violated"; they are
+still placed with Step A's smallest-feasible-partition preference using the
+slack of an infinite SLA, which degenerates to the smallest partition.  To
+avoid pathological pile-up on the smallest instance, such queries instead use
+Step B (fastest completion), which is also what a latency-optimising operator
+would want when no SLA is defined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.slack import SlackEstimator, SlackPrediction
+from repro.perf.lookup import ProfileTable
+from repro.sim.scheduler_api import Scheduler, SchedulingContext
+from repro.sim.worker import PartitionWorker
+from repro.workload.query import Query
+
+
+class ElsaScheduler(Scheduler):
+    """Heterogeneity-aware elastic scheduler (Algorithm 2).
+
+    Args:
+        profile: profiled lookup table of the served model (the
+            ``T_estimated`` source).
+        alpha: slack-predictor safety coefficient (Equation 2).
+        beta: slack-predictor weight on the new query's execution time.
+        prefer_smallest: iterate candidate partitions smallest-first in
+            Step A (the paper's design).  Setting this to ``False`` iterates
+            largest-first — exposed for the ablation study.
+    """
+
+    name = "elsa"
+
+    def __init__(
+        self,
+        profile: ProfileTable,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        prefer_smallest: bool = True,
+    ) -> None:
+        self.estimator = SlackEstimator(profile, alpha=alpha, beta=beta)
+        self.prefer_smallest = prefer_smallest
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2
+    # ------------------------------------------------------------------ #
+    def on_arrival(
+        self, query: Query, context: SchedulingContext
+    ) -> Optional[PartitionWorker]:
+        predictions = self.predictions(query, context)
+
+        if query.sla_target is not None:
+            # Step A: smallest partition that still satisfies the SLA.
+            for prediction, worker in predictions:
+                if prediction.satisfies_sla:
+                    return worker
+
+        # Step B: no partition satisfies the SLA (or the query carries no
+        # SLA): pick the partition that completes the query the fastest.
+        best = min(predictions, key=lambda pw: (pw[0].completion_time, pw[0].gpcs))
+        return best[1]
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def predictions(
+        self, query: Query, context: SchedulingContext
+    ) -> List[tuple]:
+        """Slack predictions for ``query`` on every partition, in Step-A order.
+
+        Partitions are visited from the smallest size upwards (Algorithm 2,
+        line 3); among instances of the same size, the least-loaded instance
+        (smallest ``T_wait``) is considered first so that equal-sized
+        partitions share load instead of piling queries onto one queue.
+        """
+        scored = [
+            (
+                self.estimator.predict(
+                    worker, query.batch, query.sla_target, context.now
+                ),
+                worker,
+            )
+            for worker in context.workers
+        ]
+        scored.sort(
+            key=lambda pw: (
+                -pw[1].gpcs if not self.prefer_smallest else pw[1].gpcs,
+                pw[0].wait_time,
+                pw[1].instance_id,
+            )
+        )
+        return scored
+
+    @property
+    def profile(self) -> ProfileTable:
+        """The profiled lookup table backing the slack estimator."""
+        return self.estimator.profile

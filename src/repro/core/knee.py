@@ -1,0 +1,118 @@
+"""MaxBatch_knee derivation (Step A of PARIS, Algorithm 1).
+
+Section III-B of the paper defines the *max batch size at the knee of the
+latency curve* as the point where a partition's utilization plateaus
+(80–90%) and further batching buys little utilization while latency keeps
+growing linearly.  Algorithm 1 operationalises it as the smallest batch size
+at which the profiled GPU utilization reaches a threshold (0.8):
+
+    Find B_k such that Util_k[B_k] >= 0.8
+
+When a partition never reaches the threshold within the profiled batch range
+(very small models on very large partitions), the knee is clamped to the
+largest profiled batch size — batching beyond the profile is never assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.perf.lookup import ProfileTable
+
+#: The utilization threshold of Algorithm 1, line 8.
+DEFAULT_KNEE_THRESHOLD = 0.8
+
+
+@dataclass(frozen=True)
+class MaxBatchKnee:
+    """The knee point of one partition size.
+
+    Attributes:
+        gpcs: partition size in GPCs.
+        batch: the MaxBatch_knee batch size.
+        utilization: profiled utilization at the knee batch.
+        saturated: True when the threshold was actually reached; False when
+            the knee was clamped to the largest profiled batch.
+    """
+
+    gpcs: int
+    batch: int
+    utilization: float
+    saturated: bool
+
+
+def find_knee(
+    profile: ProfileTable,
+    gpcs: int,
+    threshold: float = DEFAULT_KNEE_THRESHOLD,
+) -> MaxBatchKnee:
+    """Find the MaxBatch_knee of ``GPU(gpcs)`` from its profiled utilization curve.
+
+    Args:
+        profile: the model's profiled lookup table.
+        gpcs: partition size to analyse.
+        threshold: utilization threshold defining the knee (0.8 per the paper).
+
+    Returns:
+        The :class:`MaxBatchKnee` for this partition size.
+
+    Raises:
+        ValueError: if ``threshold`` is not in (0, 1].
+        KeyError: if ``gpcs`` was not profiled.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    batches = profile.batch_sizes(gpcs)
+    for batch in batches:
+        utilization = profile.utilization(gpcs, batch)
+        if utilization >= threshold:
+            return MaxBatchKnee(
+                gpcs=gpcs, batch=batch, utilization=utilization, saturated=True
+            )
+    last = batches[-1]
+    return MaxBatchKnee(
+        gpcs=gpcs,
+        batch=last,
+        utilization=profile.utilization(gpcs, last),
+        saturated=False,
+    )
+
+
+def derive_knees(
+    profile: ProfileTable,
+    partition_sizes: Optional[Sequence[int]] = None,
+    threshold: float = DEFAULT_KNEE_THRESHOLD,
+) -> Dict[int, MaxBatchKnee]:
+    """Derive knees for every partition size, enforcing monotonicity.
+
+    Because the utilization curves of larger partitions lie below those of
+    smaller partitions (Figure 4a), the knees should be non-decreasing in
+    partition size.  Profiling noise can occasionally produce a local
+    inversion; this helper enforces monotonicity by taking a running maximum,
+    which keeps the batch-range segmentation of Step B well formed.
+
+    Args:
+        profile: the model's profiled lookup table.
+        partition_sizes: partition sizes to analyse (defaults to every
+            profiled size, ascending).
+        threshold: utilization threshold defining the knee.
+
+    Returns:
+        Mapping partition size -> :class:`MaxBatchKnee`, ascending sizes.
+    """
+    sizes = sorted(partition_sizes or profile.partition_sizes)
+    knees: Dict[int, MaxBatchKnee] = {}
+    running_max = 0
+    for gpcs in sizes:
+        knee = find_knee(profile, gpcs, threshold)
+        if knee.batch < running_max:
+            knee = MaxBatchKnee(
+                gpcs=gpcs,
+                batch=running_max,
+                utilization=profile.utilization(gpcs, running_max),
+                saturated=knee.saturated,
+            )
+        running_max = knee.batch
+        knees[gpcs] = knee
+    return knees

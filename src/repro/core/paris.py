@@ -1,0 +1,282 @@
+"""PARIS: Partitioning Algorithm for Reconfigurable multi-GPU Inference Servers.
+
+Implements Algorithm 1 of the paper.  Inputs (Section IV-B):
+
+1. ``Dist[]`` — the batch-size probability density function (the log-normal
+   web-service distribution, or an empirical histogram collected online);
+2. ``Util_k[]`` — the profiled GPU utilization of each partition size ``k``
+   at each batch size (inside the :class:`~repro.perf.lookup.ProfileTable`);
+3. ``Throughput_{k,b}`` — the profiled effective throughput (queries/second)
+   of partition size ``k`` executing batch size ``b``.
+
+Steps:
+
+* **Step A** — derive ``MaxBatch_knee`` per partition size (utilization
+  threshold 0.8), handled by :mod:`repro.core.knee`.
+* **Step B** — split the batch-size range into non-overlapping segments at
+  the knees and compute the relative instance requirement
+  ``R_k = sum_{b in segment_k} Dist(b) / Throughput_{k,b}``.
+* **Step C** — normalise ``R_k`` by the GPC budget to obtain the absolute
+  instance counts ``N_k`` (with integer rounding that never exceeds the
+  budget and greedily fills leftover GPCs by largest remaining demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.knee import DEFAULT_KNEE_THRESHOLD, derive_knees
+from repro.core.plan import BatchSegment, PartitionPlan
+from repro.perf.lookup import ProfileTable
+
+
+@dataclass(frozen=True)
+class ParisConfig:
+    """Tunables of the PARIS algorithm.
+
+    Attributes:
+        knee_threshold: utilization threshold defining MaxBatch_knee (0.8).
+        partition_sizes: candidate partition sizes ``GPC[k]``; defaults to
+            every size present in the profile table.
+        min_instances_per_active_segment: lower bound on the instance count
+            of any partition size whose batch segment carries probability
+            mass, provided the budget allows it.  The paper's formulation
+            (and the default of 0) lets a low-demand segment round down to
+            zero instances, in which case its batch range is served by the
+            next-smaller partition; set to 1 to force coverage of every
+            active segment.
+    """
+
+    knee_threshold: float = DEFAULT_KNEE_THRESHOLD
+    partition_sizes: Optional[Sequence[int]] = None
+    min_instances_per_active_segment: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.knee_threshold <= 1.0:
+            raise ValueError("knee_threshold must be in (0, 1]")
+        if self.min_instances_per_active_segment < 0:
+            raise ValueError("min_instances_per_active_segment must be >= 0")
+
+
+@dataclass
+class Paris:
+    """The PARIS partitioning algorithm.
+
+    Args:
+        profile: profiled lookup table of the target model.
+        config: algorithm tunables.
+    """
+
+    profile: ProfileTable
+    config: ParisConfig = field(default_factory=ParisConfig)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def plan(self, batch_pdf: Dict[int, float], total_gpcs: int) -> PartitionPlan:
+        """Run Algorithm 1 and return the partitioning plan.
+
+        Args:
+            batch_pdf: mapping batch size -> probability (``Dist[]``).  Must
+                have non-negative values and positive total mass; it is
+                normalised internally.
+            total_gpcs: the server's GPC budget to divide up.
+
+        Returns:
+            The heterogeneous :class:`~repro.core.plan.PartitionPlan`.
+        """
+        pdf = self._normalise_pdf(batch_pdf)
+        sizes = self._candidate_sizes()
+        if total_gpcs < min(sizes):
+            raise ValueError(
+                f"total_gpcs={total_gpcs} is smaller than the smallest "
+                f"partition size {min(sizes)}"
+            )
+
+        # Step A: MaxBatch_knee per partition size.
+        knees = derive_knees(self.profile, sizes, self.config.knee_threshold)
+
+        # Step B: segment the batch range at the knees and accumulate R_k.
+        segments = self._segment(pdf, sizes, {k: knees[k].batch for k in sizes})
+
+        # Step C: convert relative ratios into absolute instance counts.
+        counts = self._instance_counts(segments, total_gpcs)
+
+        return PartitionPlan(
+            model=self.profile.model_name,
+            counts=counts,
+            total_gpcs=total_gpcs,
+            strategy="paris",
+            knees={k: knees[k].batch for k in sizes},
+            segments=segments,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Step B: batch-range segmentation and relative ratios
+    # ------------------------------------------------------------------ #
+    def _segment(
+        self,
+        pdf: Dict[int, float],
+        sizes: Sequence[int],
+        knees: Dict[int, int],
+    ) -> List[BatchSegment]:
+        max_batch = max(pdf)
+        segments: List[BatchSegment] = []
+        previous_high = 0
+        for index, gpcs in enumerate(sizes):
+            low = previous_high + 1
+            high = knees[gpcs]
+            if index == len(sizes) - 1:
+                # The largest partition also covers everything beyond its knee:
+                # there is no bigger partition to delegate large batches to.
+                high = max(high, max_batch)
+            high = max(high, low)  # keep segments well-formed even if knees tie
+            probability = sum(p for b, p in pdf.items() if low <= b <= high)
+            ratio = 0.0
+            for batch, prob in pdf.items():
+                if low <= batch <= high and prob > 0:
+                    throughput = self.profile.throughput(gpcs, batch)
+                    if throughput <= 0:
+                        raise ValueError(
+                            f"profiled throughput for GPU({gpcs}) batch {batch} "
+                            "must be positive"
+                        )
+                    ratio += prob / throughput
+            segments.append(
+                BatchSegment(
+                    gpcs=gpcs,
+                    low=low,
+                    high=high,
+                    probability=probability,
+                    instance_ratio=ratio,
+                )
+            )
+            previous_high = high
+        return segments
+
+    # ------------------------------------------------------------------ #
+    # Step C: absolute instance counts
+    # ------------------------------------------------------------------ #
+    def _instance_counts(
+        self, segments: List[BatchSegment], total_gpcs: int
+    ) -> Dict[int, int]:
+        ratios = {seg.gpcs: seg.instance_ratio for seg in segments}
+        sum_r = sum(gpcs * ratio for gpcs, ratio in ratios.items())
+        if sum_r <= 0:
+            raise ValueError(
+                "batch size distribution assigns no probability mass to any "
+                "profiled batch size"
+            )
+        scale = total_gpcs / sum_r
+        ideal = {gpcs: scale * ratio for gpcs, ratio in ratios.items()}
+
+        # Floor the ideal counts, then greedily spend leftover GPCs on the
+        # partition sizes with the largest un-met (fractional) demand.
+        counts = {gpcs: int(ideal[gpcs]) for gpcs in ideal}
+
+        # Guarantee coverage of active segments when the budget allows it.
+        floor = self.config.min_instances_per_active_segment
+        if floor > 0:
+            for segment in segments:
+                if segment.probability > 0 and counts[segment.gpcs] < floor:
+                    counts[segment.gpcs] = floor
+
+        used = sum(gpcs * count for gpcs, count in counts.items())
+        if used > total_gpcs:
+            counts = self._shrink_to_budget(counts, ideal, total_gpcs)
+            used = sum(gpcs * count for gpcs, count in counts.items())
+
+        remaining = total_gpcs - used
+        counts = self._spend_leftover(counts, ideal, ratios, remaining)
+        return {gpcs: count for gpcs, count in counts.items() if count > 0}
+
+    @staticmethod
+    def _shrink_to_budget(
+        counts: Dict[int, int], ideal: Dict[float, float], total_gpcs: int
+    ) -> Dict[int, int]:
+        """Remove instances (least-demanded first) until the plan fits the budget."""
+        counts = dict(counts)
+        while sum(g * c for g, c in counts.items()) > total_gpcs:
+            # drop an instance from the size with the largest surplus vs ideal
+            candidates = [g for g, c in counts.items() if c > 0]
+            surplus = {g: counts[g] - ideal[g] for g in candidates}
+            victim = max(candidates, key=lambda g: (surplus[g], g))
+            counts[victim] -= 1
+        return counts
+
+    @staticmethod
+    def _spend_leftover(
+        counts: Dict[int, int],
+        ideal: Dict[int, float],
+        ratios: Dict[int, float],
+        remaining: int,
+    ) -> Dict[int, int]:
+        """Spend leftover GPCs on the sizes with the largest unmet demand.
+
+        Preference order: largest fractional shortfall vs the ideal count,
+        restricted to sizes that fit in the remaining budget and (when
+        possible) have non-zero demand.
+        """
+        counts = dict(counts)
+        while remaining > 0:
+            fitting = [g for g in counts if g <= remaining]
+            if not fitting:
+                break
+            demanded = [g for g in fitting if ratios.get(g, 0.0) > 0]
+            pool = demanded or fitting
+            shortfall = {g: ideal[g] - counts[g] for g in pool}
+            best = max(pool, key=lambda g: (shortfall[g], g))
+            counts[best] += 1
+            remaining -= best
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _candidate_sizes(self) -> List[int]:
+        sizes = self.config.partition_sizes or self.profile.partition_sizes
+        sizes = sorted(set(sizes))
+        missing = [s for s in sizes if s not in self.profile.partition_sizes]
+        if missing:
+            raise ValueError(
+                f"partition sizes {missing} were not profiled for "
+                f"{self.profile.model_name}"
+            )
+        return sizes
+
+    @staticmethod
+    def _normalise_pdf(batch_pdf: Dict[int, float]) -> Dict[int, float]:
+        if not batch_pdf:
+            raise ValueError("batch_pdf must be non-empty")
+        cleaned = {}
+        for batch, prob in batch_pdf.items():
+            if batch < 1:
+                raise ValueError(f"batch sizes must be >= 1, got {batch}")
+            if prob < 0:
+                raise ValueError(f"probabilities must be non-negative, got {prob}")
+            cleaned[int(batch)] = float(prob)
+        total = sum(cleaned.values())
+        if total <= 0:
+            raise ValueError("batch_pdf must have positive total mass")
+        return {batch: prob / total for batch, prob in sorted(cleaned.items())}
+
+
+def run_paris(
+    profile: ProfileTable,
+    batch_pdf: Dict[int, float],
+    total_gpcs: int,
+    config: Optional[ParisConfig] = None,
+) -> PartitionPlan:
+    """Convenience wrapper: run PARIS in one call.
+
+    Args:
+        profile: profiled lookup table of the target model.
+        batch_pdf: batch-size probability density function (``Dist[]``).
+        total_gpcs: GPC budget to partition.
+        config: optional algorithm tunables.
+
+    Returns:
+        The :class:`~repro.core.plan.PartitionPlan` chosen by PARIS.
+    """
+    return Paris(profile, config or ParisConfig()).plan(batch_pdf, total_gpcs)

@@ -1,0 +1,119 @@
+"""Partitioning plan produced by PARIS (and the baseline partitioners).
+
+A :class:`PartitionPlan` records, for one DNN model and one GPC budget, how
+many instances of each GPU partition size to deploy, plus the intermediate
+quantities of Algorithm 1 (knees, batch-range segments, instance ratios) so
+experiments and reports can explain *why* the plan looks the way it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class BatchSegment:
+    """The batch-size range assigned to one partition size (Step B).
+
+    Attributes:
+        gpcs: partition size owning this segment.
+        low: smallest batch size in the segment (inclusive).
+        high: largest batch size in the segment (inclusive).
+        probability: total probability mass of the segment under the batch
+            size distribution.
+        instance_ratio: the un-normalised instance requirement ``R_k``.
+    """
+
+    gpcs: int
+    low: int
+    high: int
+    probability: float
+    instance_ratio: float
+
+    def contains(self, batch: int) -> bool:
+        """Whether ``batch`` falls inside this segment."""
+        return self.low <= batch <= self.high
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A heterogeneous (or homogeneous) partitioning of the server's GPCs.
+
+    Attributes:
+        model: DNN model the plan targets.
+        counts: mapping partition size (GPCs) -> number of instances.
+        total_gpcs: GPC budget the plan was derived for.
+        strategy: name of the producing strategy ("paris", "homogeneous",
+            "random").
+        knees: MaxBatch_knee per partition size (PARIS only).
+        segments: batch-range segments per partition size (PARIS only).
+    """
+
+    model: str
+    counts: Dict[int, int]
+    total_gpcs: int
+    strategy: str = "paris"
+    knees: Dict[int, int] = field(default_factory=dict)
+    segments: List[BatchSegment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_gpcs <= 0:
+            raise ValueError("total_gpcs must be positive")
+        for size, count in self.counts.items():
+            if size <= 0:
+                raise ValueError(f"invalid partition size {size}")
+            if count < 0:
+                raise ValueError(f"negative instance count for GPU({size})")
+        if self.used_gpcs > self.total_gpcs:
+            raise ValueError(
+                f"plan uses {self.used_gpcs} GPCs, exceeding the budget of "
+                f"{self.total_gpcs}"
+            )
+
+    @property
+    def used_gpcs(self) -> int:
+        """GPCs consumed by the planned instances."""
+        return sum(size * count for size, count in self.counts.items())
+
+    @property
+    def total_instances(self) -> int:
+        """Total number of partition instances."""
+        return sum(self.counts.values())
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when more than one partition size is instantiated."""
+        return len([size for size, count in self.counts.items() if count > 0]) > 1
+
+    def instances_of(self, gpcs: int) -> int:
+        """Number of instances of ``GPU(gpcs)`` in the plan."""
+        return self.counts.get(gpcs, 0)
+
+    def segment_for_batch(self, batch: int) -> Optional[BatchSegment]:
+        """The batch segment covering ``batch``, if segmentation was recorded."""
+        for segment in self.segments:
+            if segment.contains(batch):
+                return segment
+        return None
+
+    def describe(self) -> str:
+        """Compact human-readable description, e.g. ``6xGPU(1)+4xGPU(2)``."""
+        parts = [
+            f"{count}xGPU({size})"
+            for size, count in sorted(self.counts.items())
+            if count > 0
+        ]
+        return "+".join(parts) if parts else "(empty)"
+
+    def to_dict(self) -> dict:
+        """Serialise the plan (e.g. for experiment reports)."""
+        return {
+            "model": self.model,
+            "strategy": self.strategy,
+            "total_gpcs": self.total_gpcs,
+            "used_gpcs": self.used_gpcs,
+            "counts": {int(k): int(v) for k, v in sorted(self.counts.items())},
+            "knees": {int(k): int(v) for k, v in sorted(self.knees.items())},
+            "description": self.describe(),
+        }

@@ -1,0 +1,112 @@
+"""ELSA's SLA slack predictor (Equations 1 and 2 of the paper).
+
+For a newly arrived query considered for a target GPU partition::
+
+    T_wait    = sum(T_estimated,queued) + T_remaining,current          (Eq. 1)
+    SLA_slack = SLA_target - alpha * (T_wait + beta * T_estimated,new) (Eq. 2)
+
+``T_estimated`` values come from the profiled lookup table (the one-time
+profiling of Section IV-C); ``T_remaining,current`` is derived from the
+timestamp of the query currently executing on the partition.  ``alpha`` and
+``beta`` are configurable coefficients used to tune the predictor to a
+deployment (conservative alpha > 1 guards against estimation error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perf.lookup import ProfileTable
+from repro.sim.worker import PartitionWorker
+
+
+@dataclass(frozen=True)
+class SlackPrediction:
+    """The slack estimate for one (query, partition) pairing.
+
+    Attributes:
+        gpcs: candidate partition size.
+        instance_id: candidate partition instance.
+        wait_time: predicted queueing delay on that instance (``T_wait``).
+        execution_time: estimated execution time of the new query there
+            (``T_estimated,new``).
+        slack: remaining SLA slack in seconds (Eq. 2); negative means a
+            predicted SLA violation.
+        completion_time: ``T_wait + T_estimated,new`` — the predicted service
+            completion delay used by ELSA's Step B fallback.
+    """
+
+    gpcs: int
+    instance_id: int
+    wait_time: float
+    execution_time: float
+    slack: float
+    completion_time: float
+
+    @property
+    def satisfies_sla(self) -> bool:
+        """True when the predictor expects the SLA to be met on this instance."""
+        return self.slack > 0.0
+
+
+class SlackEstimator:
+    """Profiling-based SLA slack estimator.
+
+    Args:
+        profile: profiled lookup table of the target model (used for
+            ``T_estimated`` of the new query and of queued queries).
+        alpha: multiplicative safety coefficient applied to the whole
+            predicted delay (Equation 2).
+        beta: weight on the new query's own execution time (Equation 2).
+    """
+
+    def __init__(
+        self, profile: ProfileTable, alpha: float = 1.0, beta: float = 1.0
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.profile = profile
+        self.alpha = alpha
+        self.beta = beta
+
+    def estimated_execution_time(self, batch: int, gpcs: int) -> float:
+        """``T_estimated`` of a query of ``batch`` samples on ``GPU(gpcs)``."""
+        return self.profile.latency(gpcs, batch)
+
+    def wait_time(self, worker: PartitionWorker, now: float) -> float:
+        """``T_wait`` on ``worker`` at time ``now`` (Equation 1)."""
+        return worker.estimated_wait(
+            now, lambda model, batch, gpcs: self.profile.latency(gpcs, batch)
+        )
+
+    def predict(
+        self,
+        worker: PartitionWorker,
+        batch: int,
+        sla_target: Optional[float],
+        now: float,
+    ) -> SlackPrediction:
+        """Predict the SLA slack of scheduling a new query onto ``worker``.
+
+        Args:
+            worker: candidate partition worker.
+            batch: batch size of the new query.
+            sla_target: the query's SLA in seconds; ``None`` yields a slack
+                of ``+inf`` (no SLA to violate).
+            now: current time (for the remaining-execution-time term).
+        """
+        wait = self.wait_time(worker, now)
+        execution = self.estimated_execution_time(batch, worker.gpcs)
+        weighted = self.alpha * (wait + self.beta * execution)
+        slack = float("inf") if sla_target is None else sla_target - weighted
+        return SlackPrediction(
+            gpcs=worker.gpcs,
+            instance_id=worker.instance_id,
+            wait_time=wait,
+            execution_time=execution,
+            slack=slack,
+            completion_time=wait + execution,
+        )

@@ -1,0 +1,45 @@
+"""GPU and MIG (Multi-Instance GPU) architecture substrate.
+
+This package models the reconfigurable GPU hardware the paper builds on:
+
+* :mod:`repro.gpu.architecture` — the physical A100-class GPU (GPCs, SMs,
+  compute throughput, memory bandwidth) and the specification of a single
+  GPC building block.
+* :mod:`repro.gpu.partition` — a *GPU partition*: a slice of ``g`` GPCs that
+  behaves as a standalone GPU device with proportionally scaled resources.
+* :mod:`repro.gpu.mig` — MIG configuration rules: which combinations of
+  partition sizes may coexist on one physical GPU, and reconfiguration of a
+  GPU into a requested set of partitions.
+* :mod:`repro.gpu.server` — a multi-GPU server (the paper's 8×A100 box) that
+  owns a pool of physical GPUs and exposes the flattened list of partition
+  instances produced by a partitioning plan.
+"""
+
+from repro.gpu.architecture import GPCSpec, GPUArchitecture, A100, a100_spec
+from repro.gpu.partition import GPUPartition, PartitionInstance
+from repro.gpu.mig import (
+    MIGConfiguration,
+    MIGError,
+    valid_partition_sizes,
+    is_valid_configuration,
+    enumerate_configurations,
+    pack_partitions,
+)
+from repro.gpu.server import MultiGPUServer, ServerCapacityError
+
+__all__ = [
+    "GPCSpec",
+    "GPUArchitecture",
+    "A100",
+    "a100_spec",
+    "GPUPartition",
+    "PartitionInstance",
+    "MIGConfiguration",
+    "MIGError",
+    "valid_partition_sizes",
+    "is_valid_configuration",
+    "enumerate_configurations",
+    "pack_partitions",
+    "MultiGPUServer",
+    "ServerCapacityError",
+]

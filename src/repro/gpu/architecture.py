@@ -1,0 +1,137 @@
+"""Physical GPU architecture model.
+
+The paper uses NVIDIA's A100 as the vehicle for a *reconfigurable* GPU: the
+seven GPCs (Graphics Processing Clusters) and the L2/DRAM slices are the
+building blocks out of which MIG partitions are carved.  For the reproduction
+we only need the architectural quantities that drive the analytical
+performance model in :mod:`repro.perf`:
+
+* per-GPC compute throughput (FLOP/s),
+* per-GPC share of memory bandwidth (byte/s),
+* SM count per GPC (drives the occupancy/efficiency model),
+* fixed per-kernel launch overhead (independent of partition size).
+
+All values default to public A100 datasheet figures but every field is a
+plain dataclass member so alternative (future, hypothetical) reconfigurable
+GPUs can be modelled by constructing a different :class:`GPUArchitecture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPCSpec:
+    """Specification of a single GPC (Graphics Processing Cluster).
+
+    A GPC is the smallest unit of compute out of which a MIG partition is
+    built.  The paper's GPU(k) notation means "a partition made of ``k``
+    GPCs".
+
+    Attributes:
+        sm_count: number of streaming multiprocessors in the GPC.
+        fp16_tflops: peak dense FP16/TF32 tensor throughput of the GPC in
+            TFLOP/s.  The A100 delivers ~312 TFLOPS over 108 SMs, i.e. about
+            44.6 TFLOPS per 7-GPC share.
+        memory_bandwidth_gbps: share of HBM bandwidth attributable to one
+            GPC-sized memory slice, in GB/s.
+        l2_slice_mb: share of the L2 cache, in MiB (informational; the
+            roofline model folds cache effects into layer byte counts).
+    """
+
+    sm_count: int = 16
+    fp16_tflops: float = 44.6
+    memory_bandwidth_gbps: float = 222.0
+    l2_slice_mb: float = 5.7
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of this GPC."""
+        return self.fp16_tflops * 1e12
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Memory bandwidth of this GPC's memory slice in byte/s."""
+        return self.memory_bandwidth_gbps * 1e9
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """A reconfigurable (MIG-capable) physical GPU.
+
+    Attributes:
+        name: human readable device name.
+        gpc_count: number of GPCs on the die that MIG can hand out
+            (7 on A100).
+        gpc: per-GPC specification.
+        valid_partition_sizes: partition granularities (in GPCs) that the
+            hardware supports.  A100 MIG exposes 1, 2, 3, 4 and 7 GPC
+            instances.
+        kernel_launch_overhead_us: fixed host+driver overhead charged per
+            kernel launch, in microseconds.  Independent of partition size;
+            this is what makes tiny models on huge partitions launch-bound.
+        memory_gb: total device memory in GB (informational).
+    """
+
+    name: str = "A100-SXM4-40GB"
+    gpc_count: int = 7
+    gpc: GPCSpec = field(default_factory=GPCSpec)
+    valid_partition_sizes: tuple = (1, 2, 3, 4, 7)
+    kernel_launch_overhead_us: float = 5.0
+    memory_gb: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.gpc_count <= 0:
+            raise ValueError("gpc_count must be positive")
+        for size in self.valid_partition_sizes:
+            if size <= 0 or size > self.gpc_count:
+                raise ValueError(
+                    f"invalid partition size {size} for {self.gpc_count} GPCs"
+                )
+
+    @property
+    def sm_count(self) -> int:
+        """Total SMs across the whole device."""
+        return self.gpc_count * self.gpc.sm_count
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of the whole (unpartitioned) device."""
+        return self.gpc_count * self.gpc.peak_flops
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Total memory bandwidth of the device in byte/s."""
+        return self.gpc_count * self.gpc.memory_bandwidth
+
+    def partition_peak_flops(self, gpcs: int) -> float:
+        """Peak FLOP/s available to a partition of ``gpcs`` GPCs."""
+        self._check_size(gpcs)
+        return gpcs * self.gpc.peak_flops
+
+    def partition_bandwidth(self, gpcs: int) -> float:
+        """Memory bandwidth (byte/s) available to a partition of ``gpcs`` GPCs."""
+        self._check_size(gpcs)
+        return gpcs * self.gpc.memory_bandwidth
+
+    def partition_sm_count(self, gpcs: int) -> int:
+        """SM count of a partition of ``gpcs`` GPCs."""
+        self._check_size(gpcs)
+        return gpcs * self.gpc.sm_count
+
+    def _check_size(self, gpcs: int) -> None:
+        if gpcs <= 0 or gpcs > self.gpc_count:
+            raise ValueError(
+                f"partition size {gpcs} out of range for {self.name} "
+                f"({self.gpc_count} GPCs)"
+            )
+
+
+def a100_spec() -> GPUArchitecture:
+    """Return a fresh :class:`GPUArchitecture` describing an A100."""
+    return GPUArchitecture()
+
+
+#: Module-level singleton used as the default architecture everywhere.
+A100 = a100_spec()

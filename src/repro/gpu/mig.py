@@ -1,0 +1,219 @@
+"""MIG (Multi-Instance GPU) configuration rules and packing.
+
+A physical A100 exposes 7 GPCs that can be carved into partitions of
+1, 2, 3, 4 or 7 GPCs (Figure 2 of the paper).  This module answers three
+questions the rest of the system needs:
+
+* *Is a given multiset of partition sizes a valid configuration of one GPU?*
+  (:func:`is_valid_configuration`)
+* *What are all valid configurations of one GPU?*
+  (:func:`enumerate_configurations`)
+* *Given a desired multiset of partition instances for the whole server, how
+  do we place them onto physical GPUs?* (:func:`pack_partitions`)
+
+The real MIG profile table has a few placement quirks (e.g. the 4-GPC
+profile must start at slice 0).  For the purposes of PARIS/ELSA only the
+*capacity* constraint matters — a configuration is valid when the partition
+sizes are individually supported and their sum does not exceed the GPC count
+of the device.  This matches the paper's usage (e.g. a GPU(4) instance
+leaving 3 GPCs idle is explicitly discussed in Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.gpu.architecture import A100, GPUArchitecture
+from repro.gpu.partition import GPUPartition, PartitionInstance
+
+
+class MIGError(ValueError):
+    """Raised when a requested MIG configuration or packing is infeasible."""
+
+
+def valid_partition_sizes(architecture: GPUArchitecture = A100) -> Tuple[int, ...]:
+    """Return the partition granularities supported by ``architecture``."""
+    return tuple(sorted(architecture.valid_partition_sizes))
+
+
+def is_valid_configuration(
+    sizes: Sequence[int], architecture: GPUArchitecture = A100
+) -> bool:
+    """Check whether ``sizes`` can coexist on a single physical GPU.
+
+    Args:
+        sizes: multiset of partition sizes (in GPCs), e.g. ``[4, 2, 1]``.
+        architecture: the physical GPU the partitions are carved from.
+
+    Returns:
+        True when every size is individually supported and the total GPC
+        demand fits on the device.
+    """
+    if not sizes:
+        return True
+    supported = set(architecture.valid_partition_sizes)
+    if any(size not in supported for size in sizes):
+        return False
+    return sum(sizes) <= architecture.gpc_count
+
+
+def enumerate_configurations(
+    architecture: GPUArchitecture = A100,
+) -> List[Tuple[int, ...]]:
+    """Enumerate every valid (non-empty) configuration of one physical GPU.
+
+    Configurations are returned as size-sorted tuples in descending order of
+    total GPC usage, then lexicographically, so the fully-used configurations
+    come first.  The empty configuration is excluded.
+    """
+    sizes = sorted(architecture.valid_partition_sizes, reverse=True)
+    budget = architecture.gpc_count
+    results: List[Tuple[int, ...]] = []
+
+    def extend(prefix: List[int], remaining: int, start: int) -> None:
+        if prefix:
+            results.append(tuple(prefix))
+        for idx in range(start, len(sizes)):
+            size = sizes[idx]
+            if size <= remaining:
+                prefix.append(size)
+                extend(prefix, remaining - size, idx)
+                prefix.pop()
+
+    extend([], budget, 0)
+    unique = sorted(set(results), key=lambda cfg: (-sum(cfg), cfg))
+    return unique
+
+
+@dataclass
+class MIGConfiguration:
+    """The MIG configuration of a single physical GPU.
+
+    Attributes:
+        gpu_index: index of the physical GPU within the server.
+        architecture: physical GPU architecture.
+        partitions: partition sizes currently instantiated, largest first.
+    """
+
+    gpu_index: int
+    architecture: GPUArchitecture = field(default_factory=lambda: A100)
+    partitions: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not is_valid_configuration(self.partitions, self.architecture):
+            raise MIGError(
+                f"invalid MIG configuration {self.partitions} for "
+                f"{self.architecture.name}"
+            )
+        self.partitions.sort(reverse=True)
+
+    @property
+    def used_gpcs(self) -> int:
+        """GPCs consumed by the instantiated partitions."""
+        return sum(self.partitions)
+
+    @property
+    def free_gpcs(self) -> int:
+        """GPCs left unpartitioned (idle) on this GPU."""
+        return self.architecture.gpc_count - self.used_gpcs
+
+    def can_add(self, size: int) -> bool:
+        """Whether a partition of ``size`` GPCs can still be added."""
+        return is_valid_configuration(self.partitions + [size], self.architecture)
+
+    def add(self, size: int) -> None:
+        """Add a partition of ``size`` GPCs, raising :class:`MIGError` if full."""
+        if not self.can_add(size):
+            raise MIGError(
+                f"cannot add GPU({size}) to GPU #{self.gpu_index}: "
+                f"{self.free_gpcs} GPCs free"
+            )
+        self.partitions.append(size)
+        self.partitions.sort(reverse=True)
+
+    def reset(self) -> None:
+        """Destroy all partitions (reconfigure the GPU back to one big device)."""
+        self.partitions.clear()
+
+
+def pack_partitions(
+    counts: Dict[int, int],
+    num_gpus: int,
+    architecture: GPUArchitecture = A100,
+) -> List[MIGConfiguration]:
+    """Place the requested partition instances onto physical GPUs.
+
+    Uses a first-fit-decreasing bin packing over the per-GPU GPC budget,
+    which is how a system operator would lay out MIG instances by hand: the
+    biggest partitions are pinned first, small ones fill the gaps.
+
+    Args:
+        counts: mapping ``partition size (GPCs) -> number of instances``.
+        num_gpus: number of physical GPUs available in the server.
+        architecture: the physical GPU architecture.
+
+    Returns:
+        One :class:`MIGConfiguration` per physical GPU (GPUs left completely
+        unused still appear, with an empty partition list).
+
+    Raises:
+        MIGError: when the instances cannot be packed into ``num_gpus`` GPUs.
+    """
+    supported = set(architecture.valid_partition_sizes)
+    for size, count in counts.items():
+        if size not in supported:
+            raise MIGError(f"unsupported partition size GPU({size})")
+        if count < 0:
+            raise MIGError(f"negative instance count for GPU({size})")
+
+    configs = [
+        MIGConfiguration(gpu_index=i, architecture=architecture) for i in range(num_gpus)
+    ]
+    items: List[int] = []
+    for size in sorted(counts, reverse=True):
+        items.extend([size] * counts[size])
+
+    for size in items:
+        placed = False
+        # First-fit: prefer the GPU with the least free space that still fits
+        # (best-fit decreasing keeps large contiguous room available).
+        candidates = sorted(
+            (cfg for cfg in configs if cfg.can_add(size)),
+            key=lambda cfg: cfg.free_gpcs,
+        )
+        if candidates:
+            candidates[0].add(size)
+            placed = True
+        if not placed:
+            raise MIGError(
+                f"unable to pack partition GPU({size}): requested instances "
+                f"{counts} exceed capacity of {num_gpus}x{architecture.gpc_count} GPCs"
+            )
+    return configs
+
+
+def instantiate(
+    configs: Iterable[MIGConfiguration],
+    architecture: GPUArchitecture = A100,
+) -> List[PartitionInstance]:
+    """Flatten per-GPU configurations into addressable partition instances.
+
+    Instances are numbered in ascending partition-size order (then by GPU
+    index) which gives schedulers a stable, deterministic iteration order.
+    """
+    triples: List[Tuple[int, int]] = []  # (size, gpu_index)
+    for cfg in configs:
+        for size in cfg.partitions:
+            triples.append((size, cfg.gpu_index))
+    triples.sort()
+    instances = []
+    for instance_id, (size, gpu_index) in enumerate(triples):
+        instances.append(
+            PartitionInstance(
+                instance_id=instance_id,
+                partition=GPUPartition(size, architecture),
+                physical_gpu=gpu_index,
+            )
+        )
+    return instances

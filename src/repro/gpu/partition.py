@@ -1,0 +1,102 @@
+"""GPU partition abstractions.
+
+A *GPU partition* (the paper's ``GPU(k)``) is a slice of ``k`` GPCs of a
+physical GPU that behaves as a standalone device with performance isolation.
+Two classes live here:
+
+* :class:`GPUPartition` — the *type* of a partition: its size in GPCs and the
+  derived compute/memory capability, independent of any physical placement.
+* :class:`PartitionInstance` — a concrete, instantiated partition living on a
+  specific physical GPU of a server, carrying an instance id that the
+  simulator and the schedulers use as the scheduling target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.architecture import A100, GPUArchitecture
+
+
+@dataclass(frozen=True, order=True)
+class GPUPartition:
+    """A GPU partition type of a given GPC granularity.
+
+    Ordering is by ``gpcs`` so that sorted containers naturally iterate
+    partitions from smallest to largest — exactly the order ELSA's Step A
+    requires.
+
+    Attributes:
+        gpcs: number of GPCs in the partition (1, 2, 3, 4 or 7 on A100).
+        architecture: the physical GPU architecture this partition is carved
+            from.  Excluded from ordering/comparison keys other than gpcs.
+    """
+
+    gpcs: int
+    architecture: GPUArchitecture = field(default=A100, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.gpcs not in self.architecture.valid_partition_sizes:
+            raise ValueError(
+                f"GPU({self.gpcs}) is not a valid partition size for "
+                f"{self.architecture.name}; valid sizes are "
+                f"{self.architecture.valid_partition_sizes}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``GPU(3)``."""
+        return f"GPU({self.gpcs})"
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s available to this partition."""
+        return self.architecture.partition_peak_flops(self.gpcs)
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Memory bandwidth (byte/s) available to this partition."""
+        return self.architecture.partition_bandwidth(self.gpcs)
+
+    @property
+    def sm_count(self) -> int:
+        """Number of SMs in this partition."""
+        return self.architecture.partition_sm_count(self.gpcs)
+
+    @property
+    def compute_fraction(self) -> float:
+        """Fraction of the full GPU's compute this partition owns."""
+        return self.gpcs / self.architecture.gpc_count
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class PartitionInstance:
+    """A concrete partition instance placed on a physical GPU.
+
+    Attributes:
+        instance_id: unique id within the server; used by schedulers and the
+            simulator to address the instance.
+        partition: the partition type (size + architecture).
+        physical_gpu: index of the physical GPU this instance lives on, or
+            ``-1`` when placement is abstract (e.g. unit tests).
+    """
+
+    instance_id: int
+    partition: GPUPartition
+    physical_gpu: int = -1
+
+    @property
+    def gpcs(self) -> int:
+        """GPC count of the underlying partition."""
+        return self.partition.gpcs
+
+    @property
+    def name(self) -> str:
+        """Readable name such as ``gpu0/GPU(3)#2``."""
+        return f"gpu{self.physical_gpu}/{self.partition.name}#{self.instance_id}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,122 @@
+"""Multi-GPU inference server hardware model.
+
+The paper evaluates on an AWS ``p4d.24xlarge`` instance: 8 A100 GPUs, i.e.
+8×7 = 56 GPCs available to PARIS.  :class:`MultiGPUServer` owns the pool of
+physical GPUs, applies a partitioning (a mapping *partition size → instance
+count*), validates that it packs onto the physical devices and exposes the
+flattened list of :class:`~repro.gpu.partition.PartitionInstance` objects
+that the simulator schedules work onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.architecture import A100, GPUArchitecture
+from repro.gpu.mig import MIGConfiguration, MIGError, instantiate, pack_partitions
+from repro.gpu.partition import PartitionInstance
+
+
+class ServerCapacityError(MIGError):
+    """Raised when a partitioning does not fit the server's GPC budget."""
+
+
+@dataclass
+class MultiGPUServer:
+    """A server with ``num_gpus`` reconfigurable GPUs.
+
+    Attributes:
+        num_gpus: number of physical GPUs (8 in the paper's testbed).
+        architecture: physical GPU architecture of every device.
+        gpc_budget: optional cap on how many GPCs a partitioning may use.
+            The paper frequently restricts PARIS to 24/42/48 GPCs so that
+            homogeneous and heterogeneous designs compare on equal resources;
+            ``None`` means the full ``num_gpus * gpc_count``.
+    """
+
+    num_gpus: int = 8
+    architecture: GPUArchitecture = field(default_factory=lambda: A100)
+    gpc_budget: Optional[int] = None
+
+    _configs: List[MIGConfiguration] = field(default_factory=list, init=False, repr=False)
+    _instances: List[PartitionInstance] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if self.gpc_budget is not None and self.gpc_budget <= 0:
+            raise ValueError("gpc_budget must be positive when set")
+        if self.gpc_budget is not None and self.gpc_budget > self.total_gpcs_physical:
+            raise ValueError(
+                f"gpc_budget {self.gpc_budget} exceeds physical capacity "
+                f"{self.total_gpcs_physical}"
+            )
+
+    @property
+    def total_gpcs_physical(self) -> int:
+        """Total GPCs physically present in the server."""
+        return self.num_gpus * self.architecture.gpc_count
+
+    @property
+    def total_gpcs(self) -> int:
+        """GPCs usable by a partitioning (the budget, if one was set)."""
+        if self.gpc_budget is not None:
+            return self.gpc_budget
+        return self.total_gpcs_physical
+
+    @property
+    def instances(self) -> List[PartitionInstance]:
+        """Partition instances created by the last :meth:`configure` call."""
+        return list(self._instances)
+
+    @property
+    def configurations(self) -> List[MIGConfiguration]:
+        """Per-GPU MIG configurations from the last :meth:`configure` call."""
+        return list(self._configs)
+
+    def configure(self, counts: Dict[int, int]) -> List[PartitionInstance]:
+        """Reconfigure the server's GPUs into the requested partitions.
+
+        Args:
+            counts: mapping ``partition size (GPCs) -> number of instances``,
+                e.g. ``{1: 6, 2: 4, 3: 2, 4: 1}`` for the paper's MobileNet
+                PARIS configuration.
+
+        Returns:
+            The flattened list of partition instances, sorted by partition
+            size then GPU index.
+
+        Raises:
+            ServerCapacityError: if the total GPC demand exceeds the budget
+                or the instances cannot be packed onto the physical GPUs.
+        """
+        demand = sum(size * count for size, count in counts.items())
+        if demand > self.total_gpcs:
+            raise ServerCapacityError(
+                f"partitioning requires {demand} GPCs but only "
+                f"{self.total_gpcs} are available"
+            )
+        try:
+            configs = pack_partitions(counts, self.num_gpus, self.architecture)
+        except MIGError as exc:
+            raise ServerCapacityError(str(exc)) from exc
+        self._configs = configs
+        self._instances = instantiate(configs, self.architecture)
+        return self.instances
+
+    def reset(self) -> None:
+        """Destroy all partitions, returning every GPU to its monolithic form."""
+        self._configs = []
+        self._instances = []
+
+    def used_gpcs(self) -> int:
+        """GPCs consumed by the current configuration."""
+        return sum(cfg.used_gpcs for cfg in self._configs)
+
+    def summary(self) -> Dict[int, int]:
+        """Return the current configuration as ``{partition size: count}``."""
+        counts: Dict[int, int] = {}
+        for inst in self._instances:
+            counts[inst.gpcs] = counts.get(inst.gpcs, 0) + 1
+        return counts

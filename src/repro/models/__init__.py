@@ -1,0 +1,59 @@
+"""DNN model zoo.
+
+The paper evaluates five DNN models spanning three compute-intensity classes:
+
+* low — ShuffleNet-v2, MobileNet-v1 (computer vision, depthwise convolutions)
+* medium — ResNet-50 (computer vision), Conformer (speech recognition)
+* high — BERT-base (natural language processing)
+
+The reproduction does not execute the networks; it only needs, per layer, the
+floating-point operation count, the bytes moved to/from device memory and the
+amount of exploitable parallelism (thread blocks).  Those quantities feed the
+analytical roofline latency model in :mod:`repro.perf`, which replaces the
+paper's one-time profiling on physical A100 GPUs.
+"""
+
+from repro.models.layers import (
+    Layer,
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+    MultiHeadAttention,
+    Elementwise,
+    Pooling,
+    Embedding,
+)
+from repro.models.base import ModelSpec, ComputeIntensity
+from repro.models.registry import (
+    get_model,
+    list_models,
+    register_model,
+    PAPER_MODELS,
+)
+from repro.models.shufflenet import build_shufflenet_v2
+from repro.models.mobilenet import build_mobilenet_v1
+from repro.models.resnet import build_resnet50
+from repro.models.bert import build_bert_base
+from repro.models.conformer import build_conformer
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "MultiHeadAttention",
+    "Elementwise",
+    "Pooling",
+    "Embedding",
+    "ModelSpec",
+    "ComputeIntensity",
+    "get_model",
+    "list_models",
+    "register_model",
+    "PAPER_MODELS",
+    "build_shufflenet_v2",
+    "build_mobilenet_v1",
+    "build_resnet50",
+    "build_bert_base",
+    "build_conformer",
+]

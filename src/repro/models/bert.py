@@ -1,0 +1,119 @@
+"""BERT-base analytical model.
+
+BERT-base (Devlin et al., 2018) is the paper's *high* compute-intensity NLP
+benchmark: 12 transformer encoder layers of hidden size 768 over a 128-token
+sequence come to roughly 22 GFLOPs per query sample — 40x MobileNet.  The
+large, dense GEMMs mean BERT saturates even a 1-GPC partition at tiny batch
+sizes, which is why the paper's PARIS allocates mostly large partitions to it
+and why its latency rises steeply on small partitions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import ComputeIntensity, ModelSpec, validate_layers
+from repro.models.layers import Elementwise, Embedding, Layer, Linear, MultiHeadAttention
+
+
+def _encoder_layer(
+    prefix: str, hidden_size: int, num_heads: int, seq_len: int, ffn_size: int
+) -> List[Layer]:
+    """One transformer encoder layer: QKV, attention, output proj, FFN."""
+    return [
+        Linear(
+            name=f"{prefix}.qkv",
+            in_features=hidden_size,
+            out_features=3 * hidden_size,
+            tokens=seq_len,
+        ),
+        MultiHeadAttention(
+            name=f"{prefix}.attention",
+            hidden_size=hidden_size,
+            num_heads=num_heads,
+            seq_len=seq_len,
+        ),
+        Linear(
+            name=f"{prefix}.attn_out",
+            in_features=hidden_size,
+            out_features=hidden_size,
+            tokens=seq_len,
+        ),
+        Elementwise(
+            name=f"{prefix}.ln1",
+            elements_per_sample=seq_len * hidden_size,
+            flops_per_element=8.0,
+        ),
+        Linear(
+            name=f"{prefix}.ffn1",
+            in_features=hidden_size,
+            out_features=ffn_size,
+            tokens=seq_len,
+        ),
+        Linear(
+            name=f"{prefix}.ffn2",
+            in_features=ffn_size,
+            out_features=hidden_size,
+            tokens=seq_len,
+        ),
+        Elementwise(
+            name=f"{prefix}.ln2",
+            elements_per_sample=seq_len * hidden_size,
+            flops_per_element=8.0,
+        ),
+    ]
+
+
+def build_bert_base(
+    seq_len: int = 128,
+    hidden_size: int = 768,
+    num_layers: int = 12,
+    num_heads: int = 12,
+    vocab_size: int = 30_522,
+) -> ModelSpec:
+    """Build the BERT-base analytical model.
+
+    Args:
+        seq_len: input sequence length (128 tokens is the paper-era serving
+            default for classification-style queries).
+        hidden_size: transformer hidden dimension.
+        num_layers: number of encoder layers.
+        num_heads: attention heads per layer.
+        vocab_size: WordPiece vocabulary size (affects only the embedding).
+    """
+    if seq_len <= 0 or hidden_size <= 0 or num_layers <= 0:
+        raise ValueError("seq_len, hidden_size and num_layers must be positive")
+    if hidden_size % num_heads:
+        raise ValueError("hidden_size must be divisible by num_heads")
+
+    ffn_size = 4 * hidden_size
+    layers: List[Layer] = [
+        Embedding(
+            name="embeddings",
+            vocab_size=vocab_size,
+            hidden_size=hidden_size,
+            seq_len=seq_len,
+        )
+    ]
+    for idx in range(num_layers):
+        layers.extend(
+            _encoder_layer(f"encoder{idx}", hidden_size, num_heads, seq_len, ffn_size)
+        )
+    layers.append(
+        Linear(
+            name="pooler",
+            in_features=hidden_size,
+            out_features=hidden_size,
+            tokens=1,
+        )
+    )
+
+    return ModelSpec(
+        name="bert",
+        layers=tuple(validate_layers(layers)),
+        intensity=ComputeIntensity.HIGH,
+        description=(
+            f"BERT-base encoder ({num_layers} layers, hidden {hidden_size}, "
+            f"sequence length {seq_len})."
+        ),
+    )

@@ -1,0 +1,168 @@
+"""Conformer analytical model.
+
+Conformer (Gulati et al., 2020) is the paper's automatic speech recognition
+benchmark, classified as *medium* compute intensity.  Each block combines a
+macaron pair of feed-forward modules, multi-head self-attention and a
+depthwise-convolution module over a fairly long acoustic frame sequence, so
+the model mixes dense GEMMs (transformer-like) with memory-bound depthwise
+kernels (MobileNet-like).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import ComputeIntensity, ModelSpec, validate_layers
+from repro.models.layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    Layer,
+    Linear,
+    MultiHeadAttention,
+)
+
+
+def _conformer_block(
+    prefix: str, hidden_size: int, num_heads: int, seq_len: int, conv_kernel: int
+) -> List[Layer]:
+    """One Conformer block: FFN, MHSA, convolution module, FFN."""
+    ffn_size = 4 * hidden_size
+    layers: List[Layer] = []
+    for ffn_idx in (0, 1):
+        layers.extend(
+            [
+                Linear(
+                    name=f"{prefix}.ffn{ffn_idx}.1",
+                    in_features=hidden_size,
+                    out_features=ffn_size,
+                    tokens=seq_len,
+                ),
+                Linear(
+                    name=f"{prefix}.ffn{ffn_idx}.2",
+                    in_features=ffn_size,
+                    out_features=hidden_size,
+                    tokens=seq_len,
+                ),
+            ]
+        )
+    layers.extend(
+        [
+            Linear(
+                name=f"{prefix}.qkv",
+                in_features=hidden_size,
+                out_features=3 * hidden_size,
+                tokens=seq_len,
+            ),
+            MultiHeadAttention(
+                name=f"{prefix}.attention",
+                hidden_size=hidden_size,
+                num_heads=num_heads,
+                seq_len=seq_len,
+            ),
+            Linear(
+                name=f"{prefix}.attn_out",
+                in_features=hidden_size,
+                out_features=hidden_size,
+                tokens=seq_len,
+            ),
+            # Convolution module: pointwise (2x expansion GLU), depthwise, pointwise.
+            Linear(
+                name=f"{prefix}.conv.pw1",
+                in_features=hidden_size,
+                out_features=2 * hidden_size,
+                tokens=seq_len,
+            ),
+            DepthwiseConv2d(
+                name=f"{prefix}.conv.dw",
+                channels=hidden_size,
+                kernel_size=conv_kernel,
+                # model a 1-D depthwise conv over seq_len frames as HxW = seq x 1
+                input_hw=int(seq_len**0.5) + 1,
+            ),
+            Linear(
+                name=f"{prefix}.conv.pw2",
+                in_features=hidden_size,
+                out_features=hidden_size,
+                tokens=seq_len,
+            ),
+            Elementwise(
+                name=f"{prefix}.norms",
+                elements_per_sample=seq_len * hidden_size,
+                flops_per_element=8.0,
+            ),
+        ]
+    )
+    return layers
+
+
+def build_conformer(
+    seq_len: int = 256,
+    hidden_size: int = 512,
+    num_layers: int = 16,
+    num_heads: int = 8,
+    conv_kernel: int = 31,
+    feature_dim: int = 80,
+) -> ModelSpec:
+    """Build the Conformer analytical model (Conformer-M-like configuration).
+
+    Args:
+        seq_len: number of acoustic frames after subsampling.
+        hidden_size: encoder dimension.
+        num_layers: number of Conformer blocks.
+        num_heads: attention heads.
+        conv_kernel: depthwise convolution kernel size.
+        feature_dim: input filterbank feature dimension.
+    """
+    if seq_len <= 0 or hidden_size <= 0 or num_layers <= 0:
+        raise ValueError("seq_len, hidden_size and num_layers must be positive")
+    if hidden_size % num_heads:
+        raise ValueError("hidden_size must be divisible by num_heads")
+
+    layers: List[Layer] = [
+        # Convolutional subsampling frontend (2x stride-2 convs on the spectrogram).
+        Conv2d(
+            name="subsample.conv1",
+            in_channels=1,
+            out_channels=hidden_size // 4,
+            kernel_size=3,
+            input_hw=feature_dim,
+            stride=2,
+        ),
+        Conv2d(
+            name="subsample.conv2",
+            in_channels=hidden_size // 4,
+            out_channels=hidden_size // 4,
+            kernel_size=3,
+            input_hw=feature_dim // 2,
+            stride=2,
+        ),
+        Linear(
+            name="subsample.proj",
+            in_features=hidden_size * 5,
+            out_features=hidden_size,
+            tokens=seq_len,
+        ),
+    ]
+    for idx in range(num_layers):
+        layers.extend(
+            _conformer_block(f"block{idx}", hidden_size, num_heads, seq_len, conv_kernel)
+        )
+    layers.append(
+        Linear(
+            name="decoder.ctc",
+            in_features=hidden_size,
+            out_features=1024,
+            tokens=seq_len,
+        )
+    )
+
+    return ModelSpec(
+        name="conformer",
+        layers=tuple(validate_layers(layers)),
+        intensity=ComputeIntensity.MEDIUM,
+        description=(
+            f"Conformer ASR encoder ({num_layers} blocks, dim {hidden_size}, "
+            f"{seq_len} frames)."
+        ),
+    )

@@ -1,0 +1,338 @@
+"""Layer-level building blocks with analytical cost functions.
+
+Every layer answers three questions for a given batch size ``b``:
+
+* :meth:`Layer.flops` — floating point operations executed,
+* :meth:`Layer.bytes_moved` — bytes transferred to/from device memory
+  (weights once per query, activations per sample),
+* :meth:`Layer.thread_blocks` — the number of independent thread blocks
+  (CTAs) the layer's kernel launches, which determines how well the layer
+  can fill the SMs of a small or large GPU partition.
+
+These are the only quantities the roofline performance model in
+:mod:`repro.perf.roofline` consumes.  Costs are analytical (shape-based), in
+line with established inference latency estimators; they intentionally ignore
+framework-level fusions, which affect constants but not the utilization /
+latency trade-off shapes the paper characterises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Bytes per element.  The paper's serving stack runs FP16/TF32 inference on
+#: A100 tensor cores; we charge 2 bytes per activation/weight element.
+DTYPE_BYTES = 2
+
+#: Output elements computed by one thread block (CTA).  128x64 output tiles
+#: are typical of cuDNN/cuBLAS tensor-core GEMM and implicit-GEMM kernels.
+ELEMENTS_PER_CTA = 128 * 64
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for analytical layers.
+
+    Attributes:
+        name: human readable layer name (unique within a model is helpful
+            but not required).
+        efficiency: fraction of a partition's peak FLOP/s this layer's kernel
+            can reach when fully occupied.  Dense GEMM-like kernels approach
+            ~0.75 of tensor-core peak; depthwise and elementwise kernels are
+            memory-bound and much lower.
+    """
+
+    name: str
+    efficiency: float = 0.75
+
+    def flops(self, batch: int) -> float:
+        """Floating point operations for a query of ``batch`` samples."""
+        raise NotImplementedError
+
+    def bytes_moved(self, batch: int) -> float:
+        """Bytes read/written from device memory for a query of ``batch`` samples."""
+        raise NotImplementedError
+
+    def thread_blocks(self, batch: int) -> float:
+        """Independent thread blocks launched for a query of ``batch`` samples."""
+        raise NotImplementedError
+
+    def weight_bytes(self) -> float:
+        """Bytes of parameters (read once per query regardless of batch)."""
+        return 0.0
+
+    def _check_batch(self, batch: int) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+
+
+@dataclass(frozen=True)
+class Conv2d(Layer):
+    """A standard 2D convolution (implicit GEMM on tensor cores).
+
+    Attributes:
+        in_channels / out_channels: channel counts.
+        kernel_size: square kernel side.
+        input_hw: spatial size of the *input* feature map (assumed square).
+        stride: convolution stride.
+        groups: channel groups (grouped convolutions, e.g. ShuffleNet).
+    """
+
+    in_channels: int = 3
+    out_channels: int = 64
+    kernel_size: int = 3
+    input_hw: int = 224
+    stride: int = 1
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError("channels must be divisible by groups")
+
+    @property
+    def output_hw(self) -> int:
+        """Output spatial size (same padding assumed)."""
+        return max(1, math.ceil(self.input_hw / self.stride))
+
+    def output_elements(self, batch: int) -> float:
+        return batch * self.output_hw * self.output_hw * self.out_channels
+
+    def flops(self, batch: int) -> float:
+        self._check_batch(batch)
+        macs_per_output = (
+            self.kernel_size * self.kernel_size * self.in_channels / self.groups
+        )
+        return 2.0 * macs_per_output * self.output_elements(batch)
+
+    def weight_bytes(self) -> float:
+        return (
+            self.kernel_size
+            * self.kernel_size
+            * self.in_channels
+            * self.out_channels
+            / self.groups
+            * DTYPE_BYTES
+        )
+
+    def bytes_moved(self, batch: int) -> float:
+        self._check_batch(batch)
+        input_bytes = batch * self.input_hw**2 * self.in_channels * DTYPE_BYTES
+        output_bytes = self.output_elements(batch) * DTYPE_BYTES
+        return self.weight_bytes() + input_bytes + output_bytes
+
+    def thread_blocks(self, batch: int) -> float:
+        self._check_batch(batch)
+        return max(1.0, self.output_elements(batch) / ELEMENTS_PER_CTA)
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2d(Layer):
+    """A depthwise convolution: one filter per channel, memory-bound."""
+
+    channels: int = 64
+    kernel_size: int = 3
+    input_hw: int = 112
+    stride: int = 1
+    efficiency: float = 0.15
+
+    @property
+    def output_hw(self) -> int:
+        return max(1, math.ceil(self.input_hw / self.stride))
+
+    def output_elements(self, batch: int) -> float:
+        return batch * self.output_hw * self.output_hw * self.channels
+
+    def flops(self, batch: int) -> float:
+        self._check_batch(batch)
+        return 2.0 * self.kernel_size**2 * self.output_elements(batch)
+
+    def weight_bytes(self) -> float:
+        return self.kernel_size**2 * self.channels * DTYPE_BYTES
+
+    def bytes_moved(self, batch: int) -> float:
+        self._check_batch(batch)
+        input_bytes = batch * self.input_hw**2 * self.channels * DTYPE_BYTES
+        output_bytes = self.output_elements(batch) * DTYPE_BYTES
+        return self.weight_bytes() + input_bytes + output_bytes
+
+    def thread_blocks(self, batch: int) -> float:
+        self._check_batch(batch)
+        return max(1.0, self.output_elements(batch) / ELEMENTS_PER_CTA)
+
+
+@dataclass(frozen=True)
+class Linear(Layer):
+    """A fully-connected layer (GEMM), optionally applied per token.
+
+    Attributes:
+        in_features / out_features: GEMM dimensions.
+        tokens: number of rows per sample (sequence length for transformers,
+            1 for classifier heads).
+    """
+
+    in_features: int = 1024
+    out_features: int = 1024
+    tokens: int = 1
+
+    def output_elements(self, batch: int) -> float:
+        return batch * self.tokens * self.out_features
+
+    def flops(self, batch: int) -> float:
+        self._check_batch(batch)
+        return 2.0 * self.in_features * self.output_elements(batch)
+
+    def weight_bytes(self) -> float:
+        return self.in_features * self.out_features * DTYPE_BYTES
+
+    def bytes_moved(self, batch: int) -> float:
+        self._check_batch(batch)
+        input_bytes = batch * self.tokens * self.in_features * DTYPE_BYTES
+        output_bytes = self.output_elements(batch) * DTYPE_BYTES
+        return self.weight_bytes() + input_bytes + output_bytes
+
+    def thread_blocks(self, batch: int) -> float:
+        self._check_batch(batch)
+        return max(1.0, self.output_elements(batch) / ELEMENTS_PER_CTA)
+
+
+@dataclass(frozen=True)
+class MultiHeadAttention(Layer):
+    """Scaled dot-product multi-head self-attention (QK^T and PV matmuls).
+
+    The Q/K/V and output projections are *not* included here — model builders
+    add them as explicit :class:`Linear` layers, mirroring how frameworks
+    launch them as separate GEMMs.
+    """
+
+    hidden_size: int = 768
+    num_heads: int = 12
+    seq_len: int = 128
+    efficiency: float = 0.45
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    def flops(self, batch: int) -> float:
+        self._check_batch(batch)
+        # QK^T: (seq x d) x (d x seq) per head; PV: (seq x seq) x (seq x d).
+        per_head = 2.0 * self.seq_len * self.seq_len * self.head_dim * 2
+        return batch * self.num_heads * per_head
+
+    def weight_bytes(self) -> float:
+        return 0.0
+
+    def bytes_moved(self, batch: int) -> float:
+        self._check_batch(batch)
+        qkv = 3 * batch * self.seq_len * self.hidden_size * DTYPE_BYTES
+        scores = batch * self.num_heads * self.seq_len * self.seq_len * DTYPE_BYTES
+        out = batch * self.seq_len * self.hidden_size * DTYPE_BYTES
+        return qkv + 2 * scores + out
+
+    def thread_blocks(self, batch: int) -> float:
+        self._check_batch(batch)
+        elements = batch * self.num_heads * self.seq_len * self.seq_len
+        return max(1.0, elements / ELEMENTS_PER_CTA)
+
+
+@dataclass(frozen=True)
+class Elementwise(Layer):
+    """Activation / normalisation / residual-add style memory-bound op."""
+
+    elements_per_sample: int = 100_352
+    flops_per_element: float = 4.0
+    efficiency: float = 0.05
+
+    def flops(self, batch: int) -> float:
+        self._check_batch(batch)
+        return batch * self.elements_per_sample * self.flops_per_element
+
+    def bytes_moved(self, batch: int) -> float:
+        self._check_batch(batch)
+        # read + write each element once
+        return 2.0 * batch * self.elements_per_sample * DTYPE_BYTES
+
+    def thread_blocks(self, batch: int) -> float:
+        self._check_batch(batch)
+        return max(1.0, batch * self.elements_per_sample / (4 * ELEMENTS_PER_CTA))
+
+
+@dataclass(frozen=True)
+class Pooling(Layer):
+    """Average / max pooling over a feature map."""
+
+    channels: int = 1024
+    input_hw: int = 7
+    window: int = 7
+    efficiency: float = 0.05
+
+    def output_elements(self, batch: int) -> float:
+        out_hw = max(1, self.input_hw // self.window)
+        return batch * out_hw * out_hw * self.channels
+
+    def flops(self, batch: int) -> float:
+        self._check_batch(batch)
+        return self.window**2 * self.output_elements(batch)
+
+    def bytes_moved(self, batch: int) -> float:
+        self._check_batch(batch)
+        input_bytes = batch * self.input_hw**2 * self.channels * DTYPE_BYTES
+        return input_bytes + self.output_elements(batch) * DTYPE_BYTES
+
+    def thread_blocks(self, batch: int) -> float:
+        self._check_batch(batch)
+        return max(1.0, batch * self.input_hw**2 * self.channels / (4 * ELEMENTS_PER_CTA))
+
+
+@dataclass(frozen=True)
+class Embedding(Layer):
+    """Embedding table lookup (token + position embeddings)."""
+
+    vocab_size: int = 30_522
+    hidden_size: int = 768
+    seq_len: int = 128
+    efficiency: float = 0.02
+
+    def flops(self, batch: int) -> float:
+        self._check_batch(batch)
+        return batch * self.seq_len * self.hidden_size  # gather + add
+
+    def weight_bytes(self) -> float:
+        # only the gathered rows are touched, not the whole table
+        return 0.0
+
+    def bytes_moved(self, batch: int) -> float:
+        self._check_batch(batch)
+        return 2.0 * batch * self.seq_len * self.hidden_size * DTYPE_BYTES
+
+    def thread_blocks(self, batch: int) -> float:
+        self._check_batch(batch)
+        return max(1.0, batch * self.seq_len * self.hidden_size / (4 * ELEMENTS_PER_CTA))
+
+
+def conv_bn_relu(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    input_hw: int,
+    stride: int = 1,
+    groups: int = 1,
+) -> Tuple[Layer, Layer]:
+    """Convenience: a convolution followed by its fused BN+ReLU elementwise op."""
+    conv = Conv2d(
+        name=name,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_size=kernel_size,
+        input_hw=input_hw,
+        stride=stride,
+        groups=groups,
+    )
+    post = Elementwise(
+        name=f"{name}.bn_relu",
+        elements_per_sample=conv.output_hw**2 * out_channels,
+    )
+    return conv, post

@@ -1,0 +1,146 @@
+"""MobileNet-v1 analytical model.
+
+MobileNet-v1 (Howard et al., 2017) is the paper's canonical *low*
+compute-intensity vision model: it replaces standard convolutions with
+depthwise-separable convolutions (a depthwise 3x3 followed by a pointwise
+1x1), which slashes FLOPs (~0.57 GFLOPs at 224x224) at the cost of launching
+many small, memory-bound kernels — exactly why the paper finds that MobileNet
+prefers small GPU partitions and suffers badly on GPU(7).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import ComputeIntensity, ModelSpec, validate_layers
+from repro.models.layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    Layer,
+    Linear,
+    Pooling,
+)
+
+#: (input_hw, in_channels, out_channels, stride) per depthwise-separable block.
+_MOBILENET_V1_BLOCKS = [
+    (112, 32, 64, 1),
+    (112, 64, 128, 2),
+    (56, 128, 128, 1),
+    (56, 128, 256, 2),
+    (28, 256, 256, 1),
+    (28, 256, 512, 2),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 1024, 2),
+    (7, 1024, 1024, 1),
+]
+
+
+def build_mobilenet_v1(
+    image_size: int = 224, num_classes: int = 1000, width_multiplier: float = 1.0
+) -> ModelSpec:
+    """Build the MobileNet-v1 analytical model.
+
+    Args:
+        image_size: input image side length.
+        num_classes: classifier output classes.
+        width_multiplier: channel-width multiplier (the MobileNet alpha).
+
+    Returns:
+        The :class:`~repro.models.base.ModelSpec` for MobileNet-v1.
+    """
+    if image_size <= 0:
+        raise ValueError("image_size must be positive")
+
+    def width(channels: int) -> int:
+        return max(8, int(round(channels * width_multiplier)))
+
+    scale = image_size / 224.0
+    layers: List[Layer] = []
+
+    # Stem: standard 3x3 conv, stride 2.
+    layers.append(
+        Conv2d(
+            name="stem.conv",
+            in_channels=3,
+            out_channels=width(32),
+            kernel_size=3,
+            input_hw=image_size,
+            stride=2,
+        )
+    )
+    layers.append(
+        Elementwise(
+            name="stem.bn_relu",
+            elements_per_sample=int((image_size / 2) ** 2 * width(32)),
+        )
+    )
+
+    for idx, (hw, cin, cout, stride) in enumerate(_MOBILENET_V1_BLOCKS):
+        hw = max(1, int(round(hw * scale)))
+        cin, cout = width(cin), width(cout)
+        layers.append(
+            DepthwiseConv2d(
+                name=f"block{idx}.dw",
+                channels=cin,
+                kernel_size=3,
+                input_hw=hw,
+                stride=stride,
+            )
+        )
+        out_hw = max(1, -(-hw // stride))
+        layers.append(
+            Elementwise(
+                name=f"block{idx}.dw.bn_relu",
+                elements_per_sample=out_hw * out_hw * cin,
+            )
+        )
+        layers.append(
+            Conv2d(
+                name=f"block{idx}.pw",
+                in_channels=cin,
+                out_channels=cout,
+                kernel_size=1,
+                input_hw=out_hw,
+                stride=1,
+            )
+        )
+        layers.append(
+            Elementwise(
+                name=f"block{idx}.pw.bn_relu",
+                elements_per_sample=out_hw * out_hw * cout,
+            )
+        )
+
+    final_hw = max(1, int(round(7 * scale)))
+    layers.append(
+        Pooling(
+            name="head.avgpool",
+            channels=width(1024),
+            input_hw=final_hw,
+            window=final_hw,
+        )
+    )
+    layers.append(
+        Linear(
+            name="head.fc",
+            in_features=width(1024),
+            out_features=num_classes,
+            tokens=1,
+        )
+    )
+
+    return ModelSpec(
+        name="mobilenet",
+        layers=tuple(validate_layers(layers)),
+        intensity=ComputeIntensity.LOW,
+        description=(
+            "MobileNet-v1, depthwise-separable CNN for image classification "
+            f"({image_size}x{image_size} input, width multiplier "
+            f"{width_multiplier})."
+        ),
+    )

@@ -1,0 +1,79 @@
+"""Model registry.
+
+Provides name-based access to the five paper benchmarks plus any
+user-registered model.  Model specs are built lazily and cached: building a
+spec is cheap but the profiler and several tests request the same model many
+times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import ModelSpec
+
+#: The five DNN models evaluated in the paper, in presentation order.
+PAPER_MODELS = ("shufflenet", "mobilenet", "resnet", "bert", "conformer")
+
+_BUILDERS: Dict[str, Callable[[], ModelSpec]] = {}
+_CACHE: Dict[str, ModelSpec] = {}
+
+
+def register_model(name: str, builder: Callable[[], ModelSpec]) -> None:
+    """Register a model builder under ``name`` (case-insensitive).
+
+    Args:
+        name: registry key.
+        builder: zero-argument callable returning a :class:`ModelSpec`.
+
+    Raises:
+        ValueError: if the name is already registered.
+    """
+    key = name.lower()
+    if key in _BUILDERS:
+        raise ValueError(f"model {name!r} is already registered")
+    _BUILDERS[key] = builder
+
+
+def get_model(name: str) -> ModelSpec:
+    """Return the (cached) :class:`ModelSpec` registered under ``name``.
+
+    Raises:
+        KeyError: if no model of that name is registered.
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; known models: {sorted(_BUILDERS)}"
+        )
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[key]()
+    return _CACHE[key]
+
+
+def list_models() -> List[str]:
+    """Names of all registered models, sorted."""
+    return sorted(_BUILDERS)
+
+
+def clear_cache() -> None:
+    """Drop cached specs (mainly useful in tests that register models)."""
+    _CACHE.clear()
+
+
+def _register_paper_models() -> None:
+    # Imported lazily to avoid import cycles at package import time.
+    from repro.models.bert import build_bert_base
+    from repro.models.conformer import build_conformer
+    from repro.models.mobilenet import build_mobilenet_v1
+    from repro.models.resnet import build_resnet50
+    from repro.models.shufflenet import build_shufflenet_v2
+
+    register_model("shufflenet", build_shufflenet_v2)
+    register_model("mobilenet", build_mobilenet_v1)
+    register_model("resnet", build_resnet50)
+    register_model("bert", build_bert_base)
+    register_model("conformer", build_conformer)
+
+
+_register_paper_models()

@@ -1,0 +1,156 @@
+"""ResNet-50 analytical model.
+
+ResNet-50 (He et al., 2016) is the paper's *medium* compute-intensity vision
+benchmark (~4.1 GFLOPs per 224x224 image).  Its bottleneck blocks are dense
+1x1/3x3/1x1 convolutions, which map onto tensor-core GEMMs far better than
+MobileNet's depthwise kernels — hence the paper's observation that ResNet's
+latency grows more steeply as the partition size shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import ComputeIntensity, ModelSpec, validate_layers
+from repro.models.layers import Conv2d, Elementwise, Layer, Linear, Pooling
+
+#: (input hw, in channels, bottleneck channels, out channels, blocks, stride)
+_RESNET50_STAGES = [
+    (56, 64, 64, 256, 3, 1),
+    (56, 256, 128, 512, 4, 2),
+    (28, 512, 256, 1024, 6, 2),
+    (14, 1024, 512, 2048, 3, 2),
+]
+
+
+def _bottleneck(
+    prefix: str,
+    hw: int,
+    in_channels: int,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+) -> List[Layer]:
+    """One ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand (+ shortcut)."""
+    out_hw = max(1, -(-hw // stride))
+    layers: List[Layer] = [
+        Conv2d(
+            name=f"{prefix}.conv1",
+            in_channels=in_channels,
+            out_channels=mid_channels,
+            kernel_size=1,
+            input_hw=hw,
+        ),
+        Conv2d(
+            name=f"{prefix}.conv2",
+            in_channels=mid_channels,
+            out_channels=mid_channels,
+            kernel_size=3,
+            input_hw=hw,
+            stride=stride,
+        ),
+        Conv2d(
+            name=f"{prefix}.conv3",
+            in_channels=mid_channels,
+            out_channels=out_channels,
+            kernel_size=1,
+            input_hw=out_hw,
+        ),
+        Elementwise(
+            name=f"{prefix}.residual",
+            elements_per_sample=out_hw * out_hw * out_channels,
+        ),
+    ]
+    if project:
+        layers.insert(
+            3,
+            Conv2d(
+                name=f"{prefix}.downsample",
+                in_channels=in_channels,
+                out_channels=out_channels,
+                kernel_size=1,
+                input_hw=hw,
+                stride=stride,
+            ),
+        )
+    return layers
+
+
+def build_resnet50(image_size: int = 224, num_classes: int = 1000) -> ModelSpec:
+    """Build the ResNet-50 analytical model."""
+    if image_size <= 0:
+        raise ValueError("image_size must be positive")
+
+    scale = image_size / 224.0
+    layers: List[Layer] = [
+        Conv2d(
+            name="stem.conv",
+            in_channels=3,
+            out_channels=64,
+            kernel_size=7,
+            input_hw=image_size,
+            stride=2,
+        ),
+        Pooling(
+            name="stem.maxpool",
+            channels=64,
+            input_hw=max(1, int(round(112 * scale))),
+            window=2,
+        ),
+    ]
+
+    for stage_idx, (hw, cin, cmid, cout, blocks, stride) in enumerate(_RESNET50_STAGES):
+        hw = max(1, int(round(hw * scale)))
+        layers.extend(
+            _bottleneck(
+                f"stage{stage_idx}.block0",
+                hw,
+                cin,
+                cmid,
+                cout,
+                stride=stride,
+                project=True,
+            )
+        )
+        out_hw = max(1, -(-hw // stride))
+        for block in range(1, blocks):
+            layers.extend(
+                _bottleneck(
+                    f"stage{stage_idx}.block{block}",
+                    out_hw,
+                    cout,
+                    cmid,
+                    cout,
+                    stride=1,
+                    project=False,
+                )
+            )
+
+    final_hw = max(1, int(round(7 * scale)))
+    layers.extend(
+        [
+            Pooling(
+                name="head.avgpool",
+                channels=2048,
+                input_hw=final_hw,
+                window=final_hw,
+            ),
+            Linear(
+                name="head.fc",
+                in_features=2048,
+                out_features=num_classes,
+                tokens=1,
+            ),
+        ]
+    )
+
+    return ModelSpec(
+        name="resnet",
+        layers=tuple(validate_layers(layers)),
+        intensity=ComputeIntensity.MEDIUM,
+        description=(
+            "ResNet-50, a dense bottleneck CNN for image classification "
+            f"({image_size}x{image_size} input)."
+        ),
+    )

@@ -1,0 +1,136 @@
+"""ShuffleNet-v2 analytical model.
+
+ShuffleNet-v2 (Ma et al., 2018) is the lightest of the paper's five
+benchmarks (~0.15 GFLOPs per 224x224 image for the 1.0x variant): like
+MobileNet it is built from depthwise-separable blocks, but splits channels
+and shuffles them, producing many tiny memory-bound kernels.  In the paper's
+taxonomy it sits in the *low* compute-intensity class.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import ComputeIntensity, ModelSpec, validate_layers
+from repro.models.layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    Layer,
+    Linear,
+    Pooling,
+)
+
+#: (stage input hw, in channels, out channels, repeats) for ShuffleNet-v2 1.0x.
+_SHUFFLENET_V2_STAGES = [
+    (56, 24, 116, 4),
+    (28, 116, 232, 8),
+    (14, 232, 464, 4),
+]
+
+
+def _shuffle_block(
+    prefix: str, hw: int, channels: int, stride: int
+) -> List[Layer]:
+    """One ShuffleNet-v2 unit: 1x1 conv, 3x3 depthwise, 1x1 conv, shuffle."""
+    branch = max(8, channels // 2)
+    out_hw = max(1, -(-hw // stride))
+    layers: List[Layer] = [
+        Conv2d(
+            name=f"{prefix}.pw1",
+            in_channels=branch,
+            out_channels=branch,
+            kernel_size=1,
+            input_hw=hw,
+        ),
+        DepthwiseConv2d(
+            name=f"{prefix}.dw",
+            channels=branch,
+            kernel_size=3,
+            input_hw=hw,
+            stride=stride,
+        ),
+        Conv2d(
+            name=f"{prefix}.pw2",
+            in_channels=branch,
+            out_channels=branch,
+            kernel_size=1,
+            input_hw=out_hw,
+        ),
+        Elementwise(
+            name=f"{prefix}.shuffle",
+            elements_per_sample=out_hw * out_hw * channels,
+        ),
+    ]
+    return layers
+
+
+def build_shufflenet_v2(image_size: int = 224, num_classes: int = 1000) -> ModelSpec:
+    """Build the ShuffleNet-v2 1.0x analytical model."""
+    if image_size <= 0:
+        raise ValueError("image_size must be positive")
+
+    scale = image_size / 224.0
+    layers: List[Layer] = [
+        Conv2d(
+            name="stem.conv",
+            in_channels=3,
+            out_channels=24,
+            kernel_size=3,
+            input_hw=image_size,
+            stride=2,
+        ),
+        Pooling(
+            name="stem.maxpool",
+            channels=24,
+            input_hw=max(1, int(round(112 * scale))),
+            window=2,
+        ),
+    ]
+
+    for stage_idx, (hw, cin, cout, repeats) in enumerate(_SHUFFLENET_V2_STAGES):
+        hw = max(1, int(round(hw * scale)))
+        # First unit of the stage downsamples and doubles channels.
+        layers.extend(
+            _shuffle_block(f"stage{stage_idx}.unit0", hw, cout, stride=2)
+        )
+        out_hw = max(1, hw // 2)
+        for unit in range(1, repeats):
+            layers.extend(
+                _shuffle_block(f"stage{stage_idx}.unit{unit}", out_hw, cout, stride=1)
+            )
+
+    final_hw = max(1, int(round(7 * scale)))
+    layers.extend(
+        [
+            Conv2d(
+                name="head.conv5",
+                in_channels=464,
+                out_channels=1024,
+                kernel_size=1,
+                input_hw=final_hw,
+            ),
+            Pooling(
+                name="head.avgpool",
+                channels=1024,
+                input_hw=final_hw,
+                window=final_hw,
+            ),
+            Linear(
+                name="head.fc",
+                in_features=1024,
+                out_features=num_classes,
+                tokens=1,
+            ),
+        ]
+    )
+
+    return ModelSpec(
+        name="shufflenet",
+        layers=tuple(validate_layers(layers)),
+        intensity=ComputeIntensity.LOW,
+        description=(
+            "ShuffleNet-v2 1.0x, an extremely lightweight CNN for image "
+            f"classification ({image_size}x{image_size} input)."
+        ),
+    )

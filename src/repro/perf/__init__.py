@@ -1,0 +1,40 @@
+"""Analytical performance model and profiler.
+
+The paper performs a one-time, exhaustive profiling of every (DNN model, GPU
+partition size, batch size) triple on physical A100 hardware and stores the
+results in a lookup table that both PARIS and ELSA consume.  Physical MIG
+hardware is not available to this reproduction, so this package supplies the
+substitute:
+
+* :mod:`repro.perf.roofline` — a per-layer roofline latency model with an
+  occupancy term that captures how well a kernel fills a partition of ``g``
+  GPCs.
+* :mod:`repro.perf.latency_model` — per-query latency, utilization and
+  throughput derived by composing the per-layer costs.
+* :mod:`repro.perf.profiler` — the "one-time profiling" pass that sweeps
+  partition sizes and batch sizes and emits a :class:`ProfileTable`.
+* :mod:`repro.perf.lookup` — the two-dimensional lookup table indexed by
+  (partition size, batch size), exactly the structure ELSA's latency
+  estimator uses (Section IV-C of the paper).
+
+Everything downstream of the :class:`ProfileTable` is agnostic to whether the
+numbers came from this model or from real hardware, which is what makes the
+substitution faithful: PARIS and ELSA only ever see the table.
+"""
+
+from repro.perf.roofline import RooflineParameters, LayerCost, layer_cost
+from repro.perf.latency_model import LatencyModel, QueryCost
+from repro.perf.lookup import ProfileEntry, ProfileTable
+from repro.perf.profiler import Profiler, profile_model
+
+__all__ = [
+    "RooflineParameters",
+    "LayerCost",
+    "layer_cost",
+    "LatencyModel",
+    "QueryCost",
+    "ProfileEntry",
+    "ProfileTable",
+    "Profiler",
+    "profile_model",
+]

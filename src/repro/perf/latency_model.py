@@ -1,0 +1,143 @@
+"""Per-query latency, utilization and throughput model.
+
+Composes the per-layer roofline costs of :mod:`repro.perf.roofline` into the
+three quantities the paper profiles per (model, partition size, batch size):
+
+* **latency** — end-to-end execution time of one query (one batch),
+* **GPU utilization** — the time-weighted SM busy fraction over the query's
+  execution, the quantity plotted on the left axes of Figures 3/4 and used by
+  PARIS's MaxBatch_knee derivation (``Util_k[b]`` in Algorithm 1),
+* **throughput** — queries serviced per second when the partition runs this
+  batch size back to back (``Throughput_{k,b}`` in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.architecture import A100, GPUArchitecture
+from repro.gpu.partition import GPUPartition
+from repro.models.base import ModelSpec
+from repro.perf.roofline import RooflineParameters, layer_cost
+
+
+@dataclass(frozen=True)
+class QueryCost:
+    """Aggregate cost of one inference query on one partition.
+
+    Attributes:
+        model: model name.
+        gpcs: partition size in GPCs.
+        batch: query batch size.
+        latency_s: end-to-end query latency in seconds.
+        utilization: time-weighted SM busy fraction in [0, 1].
+        throughput_qps: queries per second at steady state (1 / latency).
+        compute_s: summed compute-roof time.
+        memory_s: summed memory-roof time.
+        overhead_s: summed kernel-launch overhead.
+        flops: total floating point operations.
+    """
+
+    model: str
+    gpcs: int
+    batch: int
+    latency_s: float
+    utilization: float
+    throughput_qps: float
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    flops: float
+
+    @property
+    def latency_ms(self) -> float:
+        """Latency in milliseconds (the unit the paper plots)."""
+        return self.latency_s * 1e3
+
+
+class LatencyModel:
+    """Analytical latency/utilization model for a DNN on GPU partitions.
+
+    This object plays the role of the physical testbed in the paper's
+    methodology: the profiler queries it for every (partition size, batch)
+    pair and stores the answers in a lookup table.
+
+    Args:
+        architecture: physical GPU architecture the partitions are carved from.
+        params: roofline model constants.
+    """
+
+    def __init__(
+        self,
+        architecture: GPUArchitecture = A100,
+        params: Optional[RooflineParameters] = None,
+    ) -> None:
+        self.architecture = architecture
+        self.params = params or RooflineParameters()
+
+    def partition(self, gpcs: int) -> GPUPartition:
+        """Construct a partition of ``gpcs`` GPCs on this architecture."""
+        return GPUPartition(gpcs, self.architecture)
+
+    def query_cost(self, model: ModelSpec, batch: int, gpcs: int) -> QueryCost:
+        """Evaluate the cost of one query of ``batch`` samples on ``GPU(gpcs)``.
+
+        Args:
+            model: the analytical model spec.
+            batch: batch size (>= 1).
+            gpcs: partition size in GPCs (must be valid for the architecture).
+
+        Returns:
+            The :class:`QueryCost` breakdown.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        partition = self.partition(gpcs)
+
+        total_latency = 0.0
+        total_busy = 0.0
+        busy_weighted_occ = 0.0
+        compute_s = 0.0
+        memory_s = 0.0
+        overhead_s = 0.0
+        flops = 0.0
+        for layer in model.layers:
+            cost = layer_cost(layer, batch, partition, self.params)
+            total_latency += cost.latency_s
+            total_busy += cost.busy_s
+            busy_weighted_occ += cost.busy_s * cost.occupancy
+            compute_s += cost.compute_s
+            memory_s += cost.memory_s
+            overhead_s += self.params.launch_overhead_s
+            flops += cost.flops
+
+        # GPU utilization as a device-level monitor reports it: the SM busy
+        # fraction while kernels are resident.  Microsecond launch gaps are
+        # invisible to such monitors, so they are excluded from the average.
+        utilization = busy_weighted_occ / total_busy if total_busy > 0 else 0.0
+        throughput = 1.0 / total_latency if total_latency > 0 else 0.0
+        return QueryCost(
+            model=model.name,
+            gpcs=gpcs,
+            batch=batch,
+            latency_s=total_latency,
+            utilization=utilization,
+            throughput_qps=throughput,
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=overhead_s,
+            flops=flops,
+        )
+
+    def latency(self, model: ModelSpec, batch: int, gpcs: int) -> float:
+        """End-to-end latency in seconds of one query."""
+        return self.query_cost(model, batch, gpcs).latency_s
+
+    def utilization(self, model: ModelSpec, batch: int, gpcs: int) -> float:
+        """Time-weighted SM busy fraction in [0, 1] of one query."""
+        return self.query_cost(model, batch, gpcs).utilization
+
+    def throughput(self, model: ModelSpec, batch: int, gpcs: int) -> float:
+        """Steady-state queries/second of one partition running this batch size."""
+        return self.query_cost(model, batch, gpcs).throughput_qps

@@ -1,0 +1,184 @@
+"""Profiled lookup table: (partition size, batch size) -> latency/util/throughput.
+
+Section IV-C of the paper: *"The resulting profiled data is stored as a
+two-dimensional lookup table that is indexed using (GPU partition size, batch
+size) which returns the (profiled) DNN execution time."*  ELSA's latency
+estimator, PARIS's knee/instance derivation and the simulator's execution
+model all read from this table and never from the analytical model directly,
+mirroring the paper's software structure.
+
+Batch sizes that were not profiled are answered by linear interpolation
+between the two nearest profiled batch sizes (and by extrapolation of the
+last segment above the largest profiled batch), which is how serving systems
+with per-batch profiles handle odd batch sizes in practice.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, asdict
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One profiled measurement.
+
+    Attributes:
+        gpcs: partition size in GPCs.
+        batch: batch size.
+        latency_s: profiled query latency in seconds.
+        utilization: profiled GPU (SM busy) utilization in [0, 1].
+        throughput_qps: profiled steady-state queries per second.
+    """
+
+    gpcs: int
+    batch: int
+    latency_s: float
+    utilization: float
+    throughput_qps: float
+
+
+class ProfileTable:
+    """Two-dimensional profiled lookup table for a single DNN model.
+
+    Args:
+        model_name: name of the profiled model.
+        entries: profiled measurements; must cover at least one
+            (partition, batch) pair per partition size used.
+    """
+
+    def __init__(self, model_name: str, entries: Iterable[ProfileEntry]) -> None:
+        self.model_name = model_name
+        self._data: Dict[int, Dict[int, ProfileEntry]] = {}
+        for entry in entries:
+            self._data.setdefault(entry.gpcs, {})[entry.batch] = entry
+        if not self._data:
+            raise ValueError("ProfileTable requires at least one entry")
+        self._batches: Dict[int, List[int]] = {
+            gpcs: sorted(row) for gpcs, row in self._data.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def partition_sizes(self) -> List[int]:
+        """Profiled partition sizes, ascending."""
+        return sorted(self._data)
+
+    def batch_sizes(self, gpcs: int) -> List[int]:
+        """Profiled batch sizes for ``GPU(gpcs)``, ascending."""
+        self._check_gpcs(gpcs)
+        return list(self._batches[gpcs])
+
+    @property
+    def max_batch(self) -> int:
+        """Largest profiled batch size across all partition sizes."""
+        return max(max(b) for b in self._batches.values())
+
+    def entry(self, gpcs: int, batch: int) -> ProfileEntry:
+        """Exact profiled entry; raises ``KeyError`` if not profiled."""
+        self._check_gpcs(gpcs)
+        row = self._data[gpcs]
+        if batch not in row:
+            raise KeyError(
+                f"batch {batch} not profiled for GPU({gpcs}) of {self.model_name}"
+            )
+        return row[batch]
+
+    # ------------------------------------------------------------------ #
+    # interpolating accessors (the public query API)
+    # ------------------------------------------------------------------ #
+    def latency(self, gpcs: int, batch: int) -> float:
+        """Estimated query latency in seconds (interpolated if needed)."""
+        return self._interp(gpcs, batch, "latency_s")
+
+    def utilization(self, gpcs: int, batch: int) -> float:
+        """Estimated GPU utilization in [0, 1] (interpolated if needed)."""
+        return min(1.0, self._interp(gpcs, batch, "utilization"))
+
+    def throughput(self, gpcs: int, batch: int) -> float:
+        """Estimated steady-state queries/sec (derived from latency)."""
+        latency = self.latency(gpcs, batch)
+        return 1.0 / latency if latency > 0 else 0.0
+
+    def _interp(self, gpcs: int, batch: int, field: str) -> float:
+        self._check_gpcs(gpcs)
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        batches = self._batches[gpcs]
+        row = self._data[gpcs]
+        if batch in row:
+            return getattr(row[batch], field)
+        idx = bisect_left(batches, batch)
+        if idx == 0:
+            return getattr(row[batches[0]], field)
+        if idx == len(batches):
+            # extrapolate using the slope of the last profiled segment
+            if len(batches) == 1:
+                return getattr(row[batches[0]], field)
+            b0, b1 = batches[-2], batches[-1]
+        else:
+            b0, b1 = batches[idx - 1], batches[idx]
+        v0, v1 = getattr(row[b0], field), getattr(row[b1], field)
+        slope = (v1 - v0) / (b1 - b0)
+        value = v0 + slope * (batch - b0)
+        return max(0.0, value)
+
+    def _check_gpcs(self, gpcs: int) -> None:
+        if gpcs not in self._data:
+            raise KeyError(
+                f"GPU({gpcs}) not profiled for {self.model_name}; profiled "
+                f"sizes: {self.partition_sizes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Serialise the table to a plain dictionary."""
+        return {
+            "model": self.model_name,
+            "entries": [
+                asdict(self._data[gpcs][batch])
+                for gpcs in self.partition_sizes
+                for batch in self._batches[gpcs]
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProfileTable":
+        """Reconstruct a table from :meth:`to_dict` output."""
+        entries = [ProfileEntry(**entry) for entry in payload["entries"]]
+        return cls(payload["model"], entries)
+
+    def to_json(self) -> str:
+        """Serialise the table to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ProfileTable":
+        """Reconstruct a table from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def rows(self) -> List[Tuple[int, int, float, float, float]]:
+        """All entries as (gpcs, batch, latency_s, utilization, qps) tuples."""
+        out = []
+        for gpcs in self.partition_sizes:
+            for batch in self._batches[gpcs]:
+                entry = self._data[gpcs][batch]
+                out.append(
+                    (gpcs, batch, entry.latency_s, entry.utilization, entry.throughput_qps)
+                )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProfileTable(model={self.model_name!r}, partitions="
+            f"{self.partition_sizes}, max_batch={self.max_batch})"
+        )

@@ -1,0 +1,154 @@
+"""Per-layer roofline latency model with an SM-occupancy term.
+
+For a layer ``L`` executed with batch ``b`` on a partition of ``g`` GPCs the
+model charges::
+
+    occupancy   = ctas / (ctas + occupancy_knee * n_sm)
+    compute_t   = flops / (peak_flops(g) * layer.efficiency * occupancy)
+    memory_t    = bytes / bandwidth(g)
+    latency     = max(compute_t, memory_t) + launch_overhead
+
+The occupancy term is what reproduces the paper's central characterisation
+(Figures 3 and 4): a small batch of a small model launches too few thread
+blocks to fill a 7-GPC partition, so the large partition's extra peak FLOP/s
+buy little latency and its utilization collapses; the same batch fills a
+1-GPC partition nicely.  Compute-heavy models (BERT) launch enough blocks per
+sample to fill even large partitions at batch 1.
+
+The model is deliberately simple — PARIS and ELSA only consume the resulting
+lookup tables, so fidelity of *shape* (who saturates when) is what matters,
+not absolute microsecond accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.partition import GPUPartition
+from repro.models.layers import Layer
+
+
+@dataclass(frozen=True)
+class RooflineParameters:
+    """Tunable constants of the analytical latency model.
+
+    Attributes:
+        occupancy_knee: the number of resident thread blocks *per SM* needed
+            to reach 50% occupancy.  Larger values make big partitions harder
+            to fill (more latency-hiding waves required).
+        max_utilization: asymptotic SM busy fraction; real kernels never hold
+            SMs busy 100% of the time because of tails and synchronisation.
+        launch_overhead_s: fixed per-kernel launch overhead in seconds
+            (host + driver + framework dispatch + MIG front-end), charged
+            once per layer.  The default of 15 microseconds reflects an
+            eager-mode PyTorch 1.x serving stack (the paper's software
+            environment), which is heavily dispatch-bound at inference batch
+            sizes; it is the main reason small models see little latency
+            benefit from large partitions.
+        min_kernel_time_s: floor on a single kernel's duration; even a
+            trivially small kernel occupies the device for a few
+            microseconds.
+        activation_dram_fraction: fraction of activation traffic that
+            actually reaches DRAM.  The A100's 40 MB L2 keeps most
+            intermediate activations on chip; only weights (streamed once per
+            query) and this fraction of activations pay for HBM bandwidth.
+    """
+
+    occupancy_knee: float = 0.5
+    max_utilization: float = 0.95
+    launch_overhead_s: float = 15.0e-6
+    min_kernel_time_s: float = 3.0e-6
+    activation_dram_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.occupancy_knee <= 0:
+            raise ValueError("occupancy_knee must be positive")
+        if not 0.0 < self.max_utilization <= 1.0:
+            raise ValueError("max_utilization must be in (0, 1]")
+        if self.launch_overhead_s < 0 or self.min_kernel_time_s < 0:
+            raise ValueError("overheads must be non-negative")
+        if not 0.0 <= self.activation_dram_fraction <= 1.0:
+            raise ValueError("activation_dram_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """The cost breakdown of one layer execution.
+
+    Attributes:
+        latency_s: wall-clock time of the layer including launch overhead.
+        busy_s: time during which SMs are doing useful work (execution time,
+            excluding the launch gap).
+        occupancy: fraction of the partition's SMs kept busy while executing.
+        compute_s: compute-roof time component.
+        memory_s: memory-roof time component.
+        flops: floating point operations executed.
+    """
+
+    latency_s: float
+    busy_s: float
+    occupancy: float
+    compute_s: float
+    memory_s: float
+    flops: float
+
+
+def occupancy_for(
+    thread_blocks: float,
+    sm_count: int,
+    params: RooflineParameters,
+) -> float:
+    """SM occupancy achieved by a kernel with ``thread_blocks`` CTAs.
+
+    A saturating function of the ratio between available thread blocks and
+    the SM count: ``occ = max_util * ctas / (ctas + knee * n_sm)``.
+    """
+    if thread_blocks <= 0:
+        raise ValueError("thread_blocks must be positive")
+    if sm_count <= 0:
+        raise ValueError("sm_count must be positive")
+    knee = params.occupancy_knee * sm_count
+    return params.max_utilization * thread_blocks / (thread_blocks + knee)
+
+
+def layer_cost(
+    layer: Layer,
+    batch: int,
+    partition: GPUPartition,
+    params: RooflineParameters = RooflineParameters(),
+) -> LayerCost:
+    """Evaluate the roofline model for one layer on one partition.
+
+    Args:
+        layer: the analytical layer.
+        batch: query batch size (>= 1).
+        partition: the GPU partition executing the layer.
+        params: model constants.
+
+    Returns:
+        A :class:`LayerCost` with the latency and utilization breakdown.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+
+    flops = layer.flops(batch)
+    weight_bytes = layer.weight_bytes()
+    activation_bytes = max(0.0, layer.bytes_moved(batch) - weight_bytes)
+    dram_bytes = weight_bytes + params.activation_dram_fraction * activation_bytes
+    ctas = layer.thread_blocks(batch)
+
+    occ = occupancy_for(ctas, partition.sm_count, params)
+    effective_flops = partition.peak_flops * layer.efficiency * occ
+    compute_s = flops / effective_flops if effective_flops > 0 else float("inf")
+    memory_s = dram_bytes / partition.memory_bandwidth
+
+    busy_s = max(compute_s, memory_s, params.min_kernel_time_s)
+    latency_s = busy_s + params.launch_overhead_s
+    return LayerCost(
+        latency_s=latency_s,
+        busy_s=busy_s,
+        occupancy=occ,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        flops=flops,
+    )

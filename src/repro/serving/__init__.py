@@ -1,0 +1,29 @@
+"""End-to-end serving orchestration.
+
+Glues the substrates together into the inference server of Figure 6:
+
+* :mod:`repro.serving.config` — declarative server configuration
+  (partitioning strategy, scheduler, GPC budget, SLA policy).
+* :mod:`repro.serving.sla` — SLA target derivation (Section V: N x the
+  GPU(7) latency of the distribution's max batch size).
+* :mod:`repro.serving.deployment` — turns a configuration plus a profiled
+  model into a concrete deployment: partition plan, MIG layout, scheduler.
+* :mod:`repro.serving.service` — :class:`InferenceService`, the high-level
+  facade used by the examples and benchmark harnesses.
+"""
+
+from repro.serving.config import ServerConfig, PartitioningStrategy, SchedulingPolicy
+from repro.serving.sla import derive_sla_target
+from repro.serving.deployment import Deployment, build_deployment
+from repro.serving.service import InferenceService, ServiceResult
+
+__all__ = [
+    "ServerConfig",
+    "PartitioningStrategy",
+    "SchedulingPolicy",
+    "derive_sla_target",
+    "Deployment",
+    "build_deployment",
+    "InferenceService",
+    "ServiceResult",
+]

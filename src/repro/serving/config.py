@@ -1,0 +1,118 @@
+"""Declarative server configuration.
+
+A :class:`ServerConfig` captures one of the paper's "design points"
+(Section VI): which partitioning strategy carves the GPC budget, which
+scheduler routes queries, how the SLA target is derived, and how large the
+server is.  The six design points compared in the evaluation are expressible
+directly:
+
+=====================  =============================  ==========
+Paper design point     ``partitioning``               ``scheduler``
+=====================  =============================  ==========
+GPU(N) + FIFS          ``homogeneous`` (N GPCs)       ``fifs``
+GPU(max) + FIFS        best homogeneous (searched)    ``fifs``
+Random + FIFS          ``random``                     ``fifs``
+Random + ELSA          ``random``                     ``elsa``
+PARIS + FIFS           ``paris``                      ``fifs``
+PARIS + ELSA           ``paris``                      ``elsa``
+=====================  =============================  ==========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.architecture import A100, GPUArchitecture
+
+
+class PartitioningStrategy(str, enum.Enum):
+    """How the server's GPCs are carved into partitions."""
+
+    PARIS = "paris"
+    HOMOGENEOUS = "homogeneous"
+    RANDOM = "random"
+
+
+class SchedulingPolicy(str, enum.Enum):
+    """Which policy routes queries to partitions."""
+
+    ELSA = "elsa"
+    FIFS = "fifs"
+    LEAST_LOADED = "least-loaded"
+    RANDOM = "random-dispatch"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """One inference-server design point.
+
+    Attributes:
+        model: DNN model served (registry name).
+        partitioning: partitioning strategy.
+        scheduler: scheduling policy.
+        gpc_budget: GPCs available to the partitioning (e.g. 24/42/48 in
+            Table I).  ``None`` uses the full server.
+        num_gpus: physical GPUs in the server (8 in the paper).
+        homogeneous_gpcs: partition size for the homogeneous strategy.
+        sla_multiplier: SLA target = multiplier x GPU(7) latency at the max
+            batch size (1.5 default, 2.0 in the sensitivity study).
+        max_batch: maximum batch size of the workload distribution.
+        alpha / beta: ELSA slack-predictor coefficients.
+        knee_threshold: PARIS utilization knee threshold.
+        random_seed: seed for the random partitioning strategy.
+        architecture: physical GPU architecture.
+        frontend_capacity_qps: maximum dispatch rate of the server frontend
+            in queries/second; ``None`` means the frontend is never the
+            bottleneck.
+    """
+
+    model: str
+    partitioning: PartitioningStrategy = PartitioningStrategy.PARIS
+    scheduler: SchedulingPolicy = SchedulingPolicy.ELSA
+    gpc_budget: Optional[int] = None
+    num_gpus: int = 8
+    homogeneous_gpcs: int = 7
+    sla_multiplier: float = 1.5
+    max_batch: int = 32
+    alpha: float = 1.0
+    beta: float = 1.0
+    knee_threshold: float = 0.8
+    random_seed: int = 0
+    architecture: GPUArchitecture = A100
+    frontend_capacity_qps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ValueError("model must be non-empty")
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if self.gpc_budget is not None and self.gpc_budget <= 0:
+            raise ValueError("gpc_budget must be positive when set")
+        if self.homogeneous_gpcs not in self.architecture.valid_partition_sizes:
+            raise ValueError(
+                f"homogeneous_gpcs={self.homogeneous_gpcs} is not a valid "
+                f"partition size of {self.architecture.name}"
+            )
+        if self.sla_multiplier <= 0:
+            raise ValueError("sla_multiplier must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.frontend_capacity_qps is not None and self.frontend_capacity_qps <= 0:
+            raise ValueError("frontend_capacity_qps must be positive when set")
+
+    @property
+    def effective_gpc_budget(self) -> int:
+        """The GPC budget actually used (full server if none was set)."""
+        if self.gpc_budget is not None:
+            return self.gpc_budget
+        return self.num_gpus * self.architecture.gpc_count
+
+    def label(self) -> str:
+        """Readable design-point label, e.g. ``paris+elsa`` or ``gpu(3)+fifs``."""
+        if self.partitioning is PartitioningStrategy.HOMOGENEOUS:
+            left = f"gpu({self.homogeneous_gpcs})"
+        else:
+            left = self.partitioning.value
+        return f"{left}+{self.scheduler.value}"

@@ -1,0 +1,159 @@
+"""Deployment construction: configuration -> concrete server.
+
+:func:`build_deployment` takes a :class:`~repro.serving.config.ServerConfig`,
+profiles the model (or accepts a pre-built profile), runs the configured
+partitioning strategy, packs the resulting instances onto the physical GPUs
+and instantiates the configured scheduler — everything needed to hand a
+ready-to-run :class:`~repro.sim.cluster.InferenceServerSimulator` to the
+caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.baselines import homogeneous_partition, random_partition
+from repro.core.elsa import ElsaScheduler
+from repro.core.paris import Paris, ParisConfig
+from repro.core.plan import PartitionPlan
+from repro.core.schedulers import (
+    FifsScheduler,
+    LeastLoadedScheduler,
+    RandomDispatchScheduler,
+)
+from repro.gpu.partition import PartitionInstance
+from repro.gpu.server import MultiGPUServer
+from repro.perf.lookup import ProfileTable
+from repro.perf.profiler import Profiler
+from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
+from repro.serving.sla import derive_sla_target
+from repro.sim.cluster import InferenceServerSimulator
+from repro.sim.scheduler_api import Scheduler
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A fully materialised inference-server deployment.
+
+    Attributes:
+        config: the design point this deployment realises.
+        profile: the model's profiled lookup table.
+        plan: the partitioning plan (PARIS, homogeneous or random).
+        instances: partition instances placed on the physical GPUs.
+        scheduler: the instantiated scheduling policy.
+        sla_target: derived SLA target in seconds.
+    """
+
+    config: ServerConfig
+    profile: ProfileTable
+    plan: PartitionPlan
+    instances: Sequence[PartitionInstance]
+    scheduler: Scheduler
+    sla_target: float
+
+    def simulator(
+        self, execution_noise_std: float = 0.0, seed: int = 0
+    ) -> InferenceServerSimulator:
+        """Build a fresh simulator for this deployment."""
+        return InferenceServerSimulator(
+            instances=self.instances,
+            profiles={self.profile.model_name: self.profile},
+            scheduler=self.scheduler,
+            execution_noise_std=execution_noise_std,
+            seed=seed,
+            frontend_capacity_qps=self.config.frontend_capacity_qps,
+        )
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``mobilenet: paris+elsa = 6xGPU(1)+4xGPU(2)...``."""
+        return f"{self.config.model}: {self.config.label()} = {self.plan.describe()}"
+
+
+def _build_plan(
+    config: ServerConfig,
+    profile: ProfileTable,
+    batch_pdf: Dict[int, float],
+) -> PartitionPlan:
+    budget = config.effective_gpc_budget
+    if config.partitioning is PartitioningStrategy.PARIS:
+        paris = Paris(profile, ParisConfig(knee_threshold=config.knee_threshold))
+        return paris.plan(batch_pdf, budget)
+    if config.partitioning is PartitioningStrategy.HOMOGENEOUS:
+        return homogeneous_partition(
+            config.homogeneous_gpcs,
+            budget,
+            model=config.model,
+            architecture=config.architecture,
+        )
+    if config.partitioning is PartitioningStrategy.RANDOM:
+        return random_partition(
+            budget,
+            model=config.model,
+            architecture=config.architecture,
+            seed=config.random_seed,
+        )
+    raise ValueError(f"unknown partitioning strategy {config.partitioning}")
+
+
+def _build_scheduler(config: ServerConfig, profile: ProfileTable) -> Scheduler:
+    if config.scheduler is SchedulingPolicy.ELSA:
+        return ElsaScheduler(profile, alpha=config.alpha, beta=config.beta)
+    if config.scheduler is SchedulingPolicy.FIFS:
+        return FifsScheduler()
+    if config.scheduler is SchedulingPolicy.LEAST_LOADED:
+        return LeastLoadedScheduler()
+    if config.scheduler is SchedulingPolicy.RANDOM:
+        return RandomDispatchScheduler(seed=config.random_seed)
+    raise ValueError(f"unknown scheduling policy {config.scheduler}")
+
+
+def build_deployment(
+    config: ServerConfig,
+    batch_pdf: Dict[int, float],
+    profile: Optional[ProfileTable] = None,
+    profiler: Optional[Profiler] = None,
+) -> Deployment:
+    """Materialise a deployment for one design point.
+
+    Args:
+        config: the design point.
+        batch_pdf: batch-size PDF of the expected workload (PARIS input;
+            also used to pick the max batch for the SLA target).
+        profile: pre-built profile table (skips profiling when provided).
+        profiler: profiler to use when ``profile`` is not given; a default
+            :class:`~repro.perf.profiler.Profiler` over the configured
+            architecture is created otherwise.
+
+    Returns:
+        The materialised :class:`Deployment`.
+    """
+    if not batch_pdf:
+        raise ValueError("batch_pdf must be non-empty")
+    if profile is None:
+        from repro.models.registry import get_model
+
+        profiler = profiler or Profiler(architecture=config.architecture)
+        profile = profiler.profile(get_model(config.model))
+
+    plan = _build_plan(config, profile, batch_pdf)
+
+    server = MultiGPUServer(
+        num_gpus=config.num_gpus,
+        architecture=config.architecture,
+        gpc_budget=config.gpc_budget,
+    )
+    instances = server.configure(plan.counts)
+
+    scheduler = _build_scheduler(config, profile)
+    sla_target = derive_sla_target(
+        profile, max_batch=config.max_batch, multiplier=config.sla_multiplier
+    )
+    return Deployment(
+        config=config,
+        profile=profile,
+        plan=plan,
+        instances=tuple(instances),
+        scheduler=scheduler,
+        sla_target=sla_target,
+    )

@@ -1,0 +1,156 @@
+"""High-level inference service facade.
+
+:class:`InferenceService` is the one-stop public API used by the examples:
+give it a model name, a design point and a workload description and it
+profiles the model, runs PARIS (or a baseline partitioner), reconfigures the
+simulated multi-GPU server, generates the query trace and replays it under
+the chosen scheduler, returning the paper's evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.perf.profiler import Profiler
+from repro.serving.config import ServerConfig
+from repro.serving.deployment import Deployment, build_deployment
+from repro.sim.cluster import SimulationResult
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.trace import QueryTrace
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Result of serving one workload on one design point.
+
+    Attributes:
+        deployment: the materialised deployment that served the workload.
+        simulation: the raw simulation result.
+        sla_target: SLA target applied to the queries (seconds).
+    """
+
+    deployment: Deployment
+    simulation: SimulationResult
+    sla_target: float
+
+    @property
+    def p95_latency(self) -> float:
+        """p95 tail latency in seconds."""
+        return self.simulation.p95_latency
+
+    @property
+    def throughput_qps(self) -> float:
+        """Achieved throughput in queries/second."""
+        return self.simulation.throughput_qps
+
+    @property
+    def sla_violation_rate(self) -> float:
+        """Fraction of queries that violated the SLA."""
+        return self.simulation.sla_violation_rate
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean per-partition utilization."""
+        return self.simulation.statistics.utilization.mean
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary for reports."""
+        return {
+            "p95_latency_ms": self.p95_latency * 1e3,
+            "mean_latency_ms": self.simulation.statistics.latency.mean * 1e3,
+            "throughput_qps": self.throughput_qps,
+            "sla_violation_rate": self.sla_violation_rate,
+            "mean_utilization": self.mean_utilization,
+            "sla_target_ms": self.sla_target * 1e3,
+        }
+
+
+class InferenceService:
+    """End-to-end facade over profiling, PARIS, deployment and simulation.
+
+    Args:
+        config: the server design point to realise.
+        profiler: optional custom profiler (e.g. different batch sweep).
+        batch_pdf: optional explicit batch-size PDF for PARIS; when omitted,
+            the analytical PDF of the workload passed to :meth:`serve` is
+            used (the common case).
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        profiler: Optional[Profiler] = None,
+        batch_pdf: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self.config = config
+        self.profiler = profiler or Profiler(architecture=config.architecture)
+        self._explicit_pdf = batch_pdf
+        self._deployment: Optional[Deployment] = None
+
+    # ------------------------------------------------------------------ #
+    # deployment lifecycle
+    # ------------------------------------------------------------------ #
+    def deploy(self, batch_pdf: Optional[Dict[int, float]] = None) -> Deployment:
+        """Profile the model, run the partitioner and configure the server.
+
+        Args:
+            batch_pdf: batch-size PDF used by PARIS; falls back to the PDF
+                provided at construction.
+
+        Returns:
+            The materialised deployment (cached for subsequent calls).
+        """
+        pdf = batch_pdf or self._explicit_pdf
+        if pdf is None:
+            raise ValueError(
+                "a batch-size PDF is required to deploy; pass one here, at "
+                "construction, or call serve() with a workload"
+            )
+        self._deployment = build_deployment(
+            self.config, pdf, profiler=self.profiler
+        )
+        return self._deployment
+
+    @property
+    def deployment(self) -> Deployment:
+        """The current deployment (deploys lazily if needed)."""
+        if self._deployment is None:
+            return self.deploy()
+        return self._deployment
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def serve(self, workload: WorkloadConfig, seed: int = 0) -> ServiceResult:
+        """Generate a trace from ``workload`` and serve it.
+
+        The workload's analytical batch PDF is fed to PARIS (unless an
+        explicit PDF was supplied), and the derived SLA target is attached to
+        every query.
+        """
+        if workload.model != self.config.model:
+            raise ValueError(
+                f"workload targets model {workload.model!r} but the service "
+                f"is configured for {self.config.model!r}"
+            )
+        generator = QueryGenerator(workload)
+        if self._deployment is None:
+            self.deploy(batch_pdf=self._explicit_pdf or generator.batch_pdf())
+        trace = generator.generate()
+        return self.serve_trace(trace, seed=seed)
+
+    def serve_trace(self, trace: QueryTrace, seed: int = 0) -> ServiceResult:
+        """Serve an existing query trace on the deployed server.
+
+        Queries without an SLA target are given the deployment's derived SLA.
+        """
+        deployment = self.deployment
+        sla = deployment.sla_target
+        needs_sla = any(q.sla_target is None for q in trace)
+        replay = trace.with_sla(sla) if needs_sla else trace
+        simulator = deployment.simulator(seed=seed)
+        result = simulator.run(replay)
+        return ServiceResult(
+            deployment=deployment, simulation=result, sla_target=sla
+        )

@@ -1,0 +1,44 @@
+"""SLA target derivation.
+
+Section V of the paper: the per-model SLA target is set to ``N`` times the
+inference latency of the *largest* batch size in the query-size distribution
+measured on the largest partition, GPU(7) (``N = 1.5`` by default, ``2.0`` in
+the sensitivity study).  The rationale: the SLA must at least be achievable
+by some partition on the largest query the server will see.
+"""
+
+from __future__ import annotations
+
+from repro.perf.lookup import ProfileTable
+
+#: The paper's default SLA multiplier.
+DEFAULT_SLA_MULTIPLIER = 1.5
+
+
+def derive_sla_target(
+    profile: ProfileTable,
+    max_batch: int,
+    multiplier: float = DEFAULT_SLA_MULTIPLIER,
+    reference_gpcs: int = 7,
+) -> float:
+    """Derive the SLA target for a model from its profiled latencies.
+
+    Args:
+        profile: the model's profiled lookup table.
+        max_batch: largest batch size of the workload distribution.
+        multiplier: the ``N`` factor (1.5 default).
+        reference_gpcs: partition size used as the reference device (GPU(7)).
+
+    Returns:
+        The SLA target in seconds.
+
+    Raises:
+        ValueError: for non-positive multiplier or batch size.
+        KeyError: if the reference partition size was not profiled.
+    """
+    if multiplier <= 0:
+        raise ValueError("multiplier must be positive")
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    reference_latency = profile.latency(reference_gpcs, max_batch)
+    return multiplier * reference_latency

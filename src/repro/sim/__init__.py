@@ -1,0 +1,38 @@
+"""Discrete-event simulation of the multi-GPU inference server.
+
+This package is the reproduction's stand-in for the paper's at-scale serving
+runtime (a heavily modified DeepRecInfra on real A100s):
+
+* :mod:`repro.sim.events` / :mod:`repro.sim.engine` — a minimal, deterministic
+  discrete-event engine (priority queue over timestamped events).
+* :mod:`repro.sim.worker` — a GPU partition worker: local FIFO scheduling
+  queue, the currently executing query and the profiled execution model.
+* :mod:`repro.sim.scheduler_api` — the scheduler interface the simulator
+  drives; concrete policies (FIFS, ELSA, ...) live in :mod:`repro.core`.
+* :mod:`repro.sim.cluster` — the inference-server simulator that wires the
+  frontend, scheduler and workers together and replays a query trace.
+* :mod:`repro.sim.metrics` — latency/throughput/utilization statistics
+  (p95 tail latency, SLA violation rate, latency-bounded throughput inputs).
+"""
+
+from repro.sim.events import Event, EventKind
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.worker import PartitionWorker
+from repro.sim.scheduler_api import Scheduler, SchedulingContext
+from repro.sim.cluster import InferenceServerSimulator, SimulationResult
+from repro.sim.metrics import LatencyStatistics, UtilizationStatistics, compute_statistics
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "SimulationClock",
+    "PartitionWorker",
+    "Scheduler",
+    "SchedulingContext",
+    "InferenceServerSimulator",
+    "SimulationResult",
+    "LatencyStatistics",
+    "UtilizationStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,262 @@
+"""The inference-server simulator.
+
+:class:`InferenceServerSimulator` replays a query trace against a set of
+partition workers under a pluggable scheduling policy, using the
+discrete-event engine.  It implements the server structure of Figure 6/9 of
+the paper:
+
+* a *frontend* receives queries (arrival events) and immediately consults the
+  scheduler;
+* per-partition *local scheduling queues* hold dispatched queries until their
+  partition is free (ELSA-style policies);
+* a server-wide *central queue* holds queries the scheduler chose not to
+  dispatch yet (FIFS-style policies), drained whenever a partition goes idle.
+
+Execution latency comes from the profiled lookup tables, so the simulator,
+ELSA's estimator and PARIS all share one source of truth — exactly as in the
+paper, where all three consume the same one-time profiling results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.gpu.partition import PartitionInstance
+from repro.perf.lookup import ProfileTable
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.events import EventKind
+from repro.sim.metrics import ServerStatistics, compute_statistics
+from repro.sim.scheduler_api import Scheduler, SchedulingContext
+from repro.sim.worker import PartitionWorker
+from repro.workload.query import Query
+from repro.workload.trace import QueryTrace
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated trace replay.
+
+    Attributes:
+        statistics: aggregate latency/utilization/throughput statistics.
+        queries: the replayed queries with their execution timestamps filled.
+        per_instance_queries: number of queries each partition instance served.
+        scheduler_name: the policy that produced this result.
+    """
+
+    statistics: ServerStatistics
+    queries: Sequence[Query]
+    per_instance_queries: Dict[int, int]
+    scheduler_name: str
+
+    @property
+    def p95_latency(self) -> float:
+        """p95 tail latency in seconds."""
+        return self.statistics.latency.p95
+
+    @property
+    def throughput_qps(self) -> float:
+        """Achieved throughput in queries per second."""
+        return self.statistics.throughput_qps
+
+    @property
+    def sla_violation_rate(self) -> float:
+        """Fraction of SLA-carrying queries that missed their SLA."""
+        return self.statistics.latency.sla_violation_rate
+
+
+class InferenceServerSimulator:
+    """Replay query traces against a partitioned multi-GPU server.
+
+    Args:
+        instances: the partition instances of the server (from
+            :meth:`repro.gpu.server.MultiGPUServer.configure` or a
+            :class:`~repro.serving.deployment.Deployment`).
+        profiles: profiled lookup tables keyed by model name; every model
+            appearing in a trace must be present.
+        scheduler: the scheduling policy to drive.
+        execution_noise_std: relative log-normal noise on execution times
+            (0 = deterministic).
+        seed: RNG seed for execution noise.
+        frontend_capacity_qps: maximum rate at which the server frontend can
+            dispatch queries to the GPU workers, in queries/second.  The
+            paper's serving stack (DeepRecInfra) has such a frontend, and
+            Section V explicitly calls out configurations where the backend
+            GPU workers outpace it; ``None`` disables the limit.
+    """
+
+    def __init__(
+        self,
+        instances: Sequence[PartitionInstance],
+        profiles: Dict[str, ProfileTable],
+        scheduler: Scheduler,
+        execution_noise_std: float = 0.0,
+        seed: int = 0,
+        frontend_capacity_qps: Optional[float] = None,
+    ) -> None:
+        if not instances:
+            raise ValueError("simulator requires at least one partition instance")
+        if not profiles:
+            raise ValueError("simulator requires at least one profiled model")
+        if frontend_capacity_qps is not None and frontend_capacity_qps <= 0:
+            raise ValueError("frontend_capacity_qps must be positive when set")
+        self.profiles = dict(profiles)
+        self.scheduler = scheduler
+        self.frontend_capacity_qps = frontend_capacity_qps
+        self._instances = sorted(instances, key=lambda i: (i.gpcs, i.instance_id))
+        self._noise = execution_noise_std
+        self._seed = seed
+        self.workers: List[PartitionWorker] = []
+        self._build_workers()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_workers(self) -> None:
+        self.workers = [
+            PartitionWorker(
+                instance=instance,
+                latency_fn=self.estimate_latency,
+                noise_std=self._noise,
+                seed=self._seed + idx,
+            )
+            for idx, instance in enumerate(self._instances)
+        ]
+        self._workers_by_id = {w.instance_id: w for w in self.workers}
+
+    def estimate_latency(self, model: str, batch: int, gpcs: int) -> float:
+        """Profiled execution latency of (model, batch) on ``GPU(gpcs)``.
+
+        Raises:
+            KeyError: if the model was not profiled.
+        """
+        if model not in self.profiles:
+            raise KeyError(
+                f"model {model!r} has no profile table; profiled models: "
+                f"{sorted(self.profiles)}"
+            )
+        return self.profiles[model].latency(gpcs, batch)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self, trace: QueryTrace) -> SimulationResult:
+        """Replay ``trace`` and return the resulting statistics.
+
+        The input trace is copied (with runtime state cleared) before the
+        replay, so a single trace object can safely be reused across designs.
+        """
+        replay = trace.fresh_copy()
+        self.scheduler.reset()
+        self._build_workers()
+
+        clock = SimulationClock()
+        events = EventQueue()
+        central_queue: Deque[Query] = deque()
+        frontend_gap = (
+            1.0 / self.frontend_capacity_qps if self.frontend_capacity_qps else 0.0
+        )
+        frontend_available = 0.0
+
+        for query in replay:
+            events.push(query.arrival_time, EventKind.ARRIVAL, query)
+
+        while events:
+            event = events.pop()
+            clock.advance_to(event.time)
+            now = clock.now
+            if event.kind is EventKind.ARRIVAL and frontend_gap > 0:
+                # The frontend dispatches queries serially; an arrival that
+                # finds it busy is retried when it becomes free.
+                if frontend_available > now + 1e-15:
+                    events.push(frontend_available, EventKind.ARRIVAL, event.query)
+                    continue
+                frontend_available = now + frontend_gap
+            context = SchedulingContext(
+                now=now,
+                workers=self.workers,
+                central_queue=tuple(central_queue),
+                estimator=self.estimate_latency,
+            )
+            if event.kind is EventKind.ARRIVAL:
+                self._handle_arrival(event.query, context, central_queue, events, now)
+            else:
+                self._handle_completion(event, central_queue, events, now)
+
+        makespan = clock.now
+        offered = replay.arrival_rate()
+        statistics = compute_statistics(
+            list(replay), self.workers, makespan, offered_load_qps=offered
+        )
+        per_instance = {
+            worker.instance_id: len(worker.completed) for worker in self.workers
+        }
+        return SimulationResult(
+            statistics=statistics,
+            queries=list(replay),
+            per_instance_queries=per_instance,
+            scheduler_name=self.scheduler.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(
+        self,
+        query: Query,
+        context: SchedulingContext,
+        central_queue: Deque[Query],
+        events: EventQueue,
+        now: float,
+    ) -> None:
+        worker = self.scheduler.on_arrival(query, context)
+        if worker is None:
+            central_queue.append(query)
+            return
+        self._dispatch(worker, query, events, now)
+
+    def _handle_completion(
+        self,
+        event,
+        central_queue: Deque[Query],
+        events: EventQueue,
+        now: float,
+    ) -> None:
+        worker = self._workers_by_id[event.instance_id]
+        worker.complete_current(now)
+
+        # Start the next locally queued query, if any.
+        finish = worker.start_next(now)
+        if finish is not None:
+            events.push(
+                finish, EventKind.COMPLETION, worker.current_query, worker.instance_id
+            )
+            return
+
+        # Otherwise offer the idle worker a query from the central queue.
+        if central_queue:
+            context = SchedulingContext(
+                now=now,
+                workers=self.workers,
+                central_queue=tuple(central_queue),
+                estimator=self.estimate_latency,
+            )
+            query = self.scheduler.on_worker_idle(worker, context)
+            if query is not None:
+                central_queue.remove(query)
+                self._dispatch(worker, query, events, now)
+
+    def _dispatch(
+        self,
+        worker: PartitionWorker,
+        query: Query,
+        events: EventQueue,
+        now: float,
+    ) -> None:
+        worker.enqueue(query, now)
+        finish = worker.start_next(now)
+        if finish is not None:
+            events.push(
+                finish, EventKind.COMPLETION, worker.current_query, worker.instance_id
+            )

@@ -1,0 +1,92 @@
+"""Minimal deterministic discrete-event engine.
+
+The engine is intentionally tiny: a binary heap of :class:`Event` objects and
+a monotonically advancing clock.  The interesting behaviour (queueing,
+scheduling, execution) lives in :mod:`repro.sim.cluster`; keeping the engine
+separate makes it independently testable and reusable (the scheduling
+timeline examples drive it directly).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.sim.events import Event, EventKind
+from repro.workload.query import Query
+
+
+class SimulationClock:
+    """A monotonically non-decreasing simulation clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time``.
+
+        Raises:
+            ValueError: if ``time`` is in the past — the simulator never
+                rewinds, so a violation indicates an event-ordering bug.
+        """
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {time}"
+            )
+        self._now = max(self._now, time)
+
+
+class EventQueue:
+    """A deterministic priority queue of simulation events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        query: Query,
+        instance_id: Optional[int] = None,
+    ) -> Event:
+        """Create and enqueue an event, assigning it the next sequence number."""
+        event = Event(
+            time=time,
+            kind=kind,
+            sequence=self._sequence,
+            query=query,
+            instance_id=instance_id,
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise IndexError("peek into empty event queue")
+        return self._heap[0]

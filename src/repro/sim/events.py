@@ -1,0 +1,47 @@
+"""Event types for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.workload.query import Query
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of simulation events.
+
+    The integer values double as tie-break priorities when two events share a
+    timestamp: completions are processed before arrivals so that a partition
+    freed at time ``t`` is visible to a query arriving at the same ``t``.
+    """
+
+    COMPLETION = 0
+    ARRIVAL = 1
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A timestamped simulation event.
+
+    Events order by (time, kind, sequence), giving the simulator a total,
+    deterministic order even when timestamps collide.
+
+    Attributes:
+        time: simulation time in seconds.
+        kind: event kind (arrival or completion).
+        sequence: monotonically increasing tie-breaker assigned by the queue.
+        query: the query this event concerns.
+        instance_id: for completions, the partition instance that finished.
+    """
+
+    time: float
+    kind: EventKind
+    sequence: int
+    query: Query = field(compare=False)
+    instance_id: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")

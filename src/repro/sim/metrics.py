@@ -1,0 +1,138 @@
+"""Latency / throughput / utilization statistics.
+
+The paper's evaluation reports three headline metrics:
+
+* **p95 tail latency** (Figure 11, y-axis),
+* **latency-bounded throughput** — queries/second completed while the p95
+  tail latency stays under a target (Figures 11 vertical lines, 12, 13),
+* **GPU utilization** and **SLA violation rate** (discussed throughout).
+
+:func:`compute_statistics` digests a finished simulation into these numbers.
+The latency-bounded-throughput *search* (sweeping arrival rates) lives in
+:mod:`repro.analysis.sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.worker import PartitionWorker
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class LatencyStatistics:
+    """Latency distribution summary of completed queries (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    mean_queueing_delay: float
+    sla_violation_rate: float
+
+    @classmethod
+    def empty(cls) -> "LatencyStatistics":
+        """Statistics object for a run that completed no queries."""
+        return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class UtilizationStatistics:
+    """Server utilization summary."""
+
+    per_instance: Dict[int, float]
+    mean: float
+    gpc_weighted_mean: float
+
+
+@dataclass(frozen=True)
+class ServerStatistics:
+    """Combined result statistics of one simulation run."""
+
+    latency: LatencyStatistics
+    utilization: UtilizationStatistics
+    throughput_qps: float
+    offered_load_qps: float
+    makespan: float
+    completed_queries: int
+    total_queries: int
+
+
+def latency_statistics(
+    queries: Sequence[Query], percentile_method: str = "linear"
+) -> LatencyStatistics:
+    """Summarise the latency distribution of completed queries.
+
+    Args:
+        queries: completed queries (entries that never completed are ignored).
+        percentile_method: numpy percentile interpolation method.
+    """
+    completed = [q for q in queries if q.completed]
+    if not completed:
+        return LatencyStatistics.empty()
+    latencies = np.array([q.latency for q in completed])
+    delays = np.array([q.queueing_delay for q in completed])
+    with_sla = [q for q in completed if q.sla_target is not None]
+    violations = sum(1 for q in with_sla if q.sla_violated)
+    violation_rate = violations / len(with_sla) if with_sla else 0.0
+    return LatencyStatistics(
+        count=len(completed),
+        mean=float(latencies.mean()),
+        p50=float(np.percentile(latencies, 50, method=percentile_method)),
+        p95=float(np.percentile(latencies, 95, method=percentile_method)),
+        p99=float(np.percentile(latencies, 99, method=percentile_method)),
+        maximum=float(latencies.max()),
+        mean_queueing_delay=float(delays.mean()),
+        sla_violation_rate=violation_rate,
+    )
+
+
+def utilization_statistics(
+    workers: Sequence[PartitionWorker], makespan: float
+) -> UtilizationStatistics:
+    """Per-partition and aggregate utilization over ``[0, makespan]``."""
+    per_instance = {w.instance_id: w.utilization(makespan) for w in workers}
+    if not per_instance:
+        return UtilizationStatistics({}, 0.0, 0.0)
+    values = np.array(list(per_instance.values()))
+    gpcs = np.array([w.gpcs for w in workers], dtype=float)
+    weighted = float(np.average(values, weights=gpcs)) if gpcs.sum() > 0 else 0.0
+    return UtilizationStatistics(
+        per_instance=per_instance,
+        mean=float(values.mean()),
+        gpc_weighted_mean=weighted,
+    )
+
+
+def compute_statistics(
+    queries: Sequence[Query],
+    workers: Sequence[PartitionWorker],
+    makespan: float,
+    offered_load_qps: Optional[float] = None,
+) -> ServerStatistics:
+    """Digest one simulation run into a :class:`ServerStatistics` record.
+
+    Args:
+        queries: every query of the replayed trace.
+        workers: the partition workers after the run.
+        makespan: simulation end time (seconds).
+        offered_load_qps: the offered arrival rate, when known (reported
+            alongside the achieved throughput).
+    """
+    completed = [q for q in queries if q.completed]
+    throughput = len(completed) / makespan if makespan > 0 else 0.0
+    return ServerStatistics(
+        latency=latency_statistics(queries),
+        utilization=utilization_statistics(workers, makespan),
+        throughput_qps=throughput,
+        offered_load_qps=offered_load_qps if offered_load_qps is not None else 0.0,
+        makespan=makespan,
+        completed_queries=len(completed),
+        total_queries=len(queries),
+    )

@@ -1,0 +1,92 @@
+"""Scheduler interface driven by the inference-server simulator.
+
+A scheduler sees two kinds of moments:
+
+* a new query arrives at the server frontend (:meth:`Scheduler.on_arrival`);
+* a partition finishes its current query and has nothing queued locally
+  (:meth:`Scheduler.on_worker_idle`).
+
+Two queueing disciplines are expressible through this interface:
+
+* *central queue* policies (the baseline FIFS of Triton-style servers):
+  ``on_arrival`` returns ``None`` when no partition is idle, parking the
+  query in the server-wide FIFO; idle partitions later pull from that FIFO
+  via ``on_worker_idle``.
+* *per-partition queue* policies (ELSA): ``on_arrival`` always picks a
+  partition immediately, and ``on_worker_idle`` returns ``None`` because
+  every query already sits in some partition's local queue.
+
+Concrete policies live in :mod:`repro.core.schedulers` (FIFS and other
+baselines) and :mod:`repro.core.elsa`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.worker import LatencyFn, PartitionWorker
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Everything a scheduling decision may look at.
+
+    Attributes:
+        now: current simulation time in seconds.
+        workers: all partition workers, sorted by ascending partition size
+            then instance id (the iteration order ELSA's Step A expects).
+        central_queue: read-only view of the queries currently parked in the
+            server-wide FIFO (relevant to central-queue policies).
+        estimator: the profiled latency oracle (model, batch, gpcs) -> seconds,
+            i.e. the ``T_estimated`` lookup of Section IV-C.
+    """
+
+    now: float
+    workers: Sequence[PartitionWorker]
+    central_queue: Sequence[Query]
+    estimator: LatencyFn
+
+
+class Scheduler(abc.ABC):
+    """Abstract scheduling policy."""
+
+    #: Human-readable policy name used in reports and experiment tables.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def on_arrival(
+        self, query: Query, context: SchedulingContext
+    ) -> Optional[PartitionWorker]:
+        """Decide where a newly arrived query goes.
+
+        Returns:
+            The worker whose local queue should receive the query, or
+            ``None`` to park the query in the server-wide central queue.
+        """
+
+    def on_worker_idle(
+        self, worker: PartitionWorker, context: SchedulingContext
+    ) -> Optional[Query]:
+        """Pick a query from the central queue for a newly idle worker.
+
+        The returned query must be an element of ``context.central_queue``;
+        the simulator removes it from the central queue and enqueues it on
+        ``worker``.  The default implementation returns ``None`` (nothing to
+        pull), which suits per-partition-queue policies.
+        """
+        del worker, context
+        return None
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh simulation run."""
+
+    @staticmethod
+    def idle_workers(context: SchedulingContext) -> List[PartitionWorker]:
+        """Convenience: all completely idle workers, smallest partition first."""
+        return [worker for worker in context.workers if worker.is_idle]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

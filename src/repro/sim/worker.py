@@ -1,0 +1,184 @@
+"""GPU partition worker.
+
+A :class:`PartitionWorker` represents one MIG partition instance inside the
+inference server.  As in Figure 9 of the paper, every partition has its own
+local scheduling queue holding queries yet to be executed, plus (at most) one
+query currently executing.  The worker also tracks its cumulative busy time
+so the metrics module can report per-partition and server-wide utilization.
+
+Execution times come from the model's :class:`~repro.perf.lookup.ProfileTable`
+— the same table ELSA's estimator reads — with an optional multiplicative
+noise term to model run-to-run variance of real hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.gpu.partition import PartitionInstance
+from repro.workload.query import Query
+
+#: Signature of the execution-latency oracle: (model, batch, gpcs) -> seconds.
+LatencyFn = Callable[[str, int, int], float]
+
+
+class PartitionWorker:
+    """One schedulable GPU partition instance inside the server.
+
+    Args:
+        instance: the partition instance (size + placement) this worker runs.
+        latency_fn: oracle returning the execution latency in seconds of a
+            query of a given model/batch on a partition of a given size.
+        noise_std: relative standard deviation of multiplicative log-normal
+            noise applied to execution times (0 = deterministic, the default;
+            DNN inference latency is close to deterministic, Section IV-C).
+        seed: RNG seed for the noise term.
+    """
+
+    def __init__(
+        self,
+        instance: PartitionInstance,
+        latency_fn: LatencyFn,
+        noise_std: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        self.instance = instance
+        self.latency_fn = latency_fn
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+        self.queue: Deque[Query] = deque()
+        self.current_query: Optional[Query] = None
+        self.current_finish_time: Optional[float] = None
+        self.busy_time = 0.0
+        self.completed: List[Query] = []
+
+    # ------------------------------------------------------------------ #
+    # identity / state
+    # ------------------------------------------------------------------ #
+    @property
+    def instance_id(self) -> int:
+        """Unique id of the underlying partition instance."""
+        return self.instance.instance_id
+
+    @property
+    def gpcs(self) -> int:
+        """Partition size in GPCs."""
+        return self.instance.gpcs
+
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing is executing and the local queue is empty."""
+        return self.current_query is None and not self.queue
+
+    @property
+    def is_executing(self) -> bool:
+        """True when a query is currently executing."""
+        return self.current_query is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of queries waiting in the local queue (excluding executing)."""
+        return len(self.queue)
+
+    # ------------------------------------------------------------------ #
+    # execution model
+    # ------------------------------------------------------------------ #
+    def service_time(self, query: Query) -> float:
+        """Execution latency of ``query`` on this partition (with noise, if any)."""
+        base = self.latency_fn(query.model, query.batch, self.gpcs)
+        if base <= 0:
+            raise ValueError(
+                f"latency oracle returned non-positive time {base} for "
+                f"{query.model} batch {query.batch} on GPU({self.gpcs})"
+            )
+        if self.noise_std == 0.0:
+            return base
+        factor = float(self._rng.lognormal(mean=0.0, sigma=self.noise_std))
+        return base * factor
+
+    # ------------------------------------------------------------------ #
+    # queue operations (driven by the cluster simulator)
+    # ------------------------------------------------------------------ #
+    def enqueue(self, query: Query, now: float) -> None:
+        """Append ``query`` to this worker's local scheduling queue."""
+        query.dispatch_time = now
+        query.instance_id = self.instance_id
+        self.queue.append(query)
+
+    def start_next(self, now: float) -> Optional[float]:
+        """Begin executing the head of the local queue, if idle and non-empty.
+
+        Returns:
+            The completion timestamp of the started query, or ``None`` when
+            nothing was started (already busy, or queue empty).
+        """
+        if self.current_query is not None or not self.queue:
+            return None
+        query = self.queue.popleft()
+        query.start_time = now
+        duration = self.service_time(query)
+        self.current_query = query
+        self.current_finish_time = now + duration
+        return self.current_finish_time
+
+    def complete_current(self, now: float) -> Query:
+        """Finish the currently executing query at time ``now``.
+
+        Raises:
+            RuntimeError: if no query is executing.
+        """
+        if self.current_query is None or self.current_finish_time is None:
+            raise RuntimeError(
+                f"worker {self.instance_id} has no executing query to complete"
+            )
+        query = self.current_query
+        query.finish_time = now
+        started = query.start_time if query.start_time is not None else now
+        self.busy_time += now - started
+        self.completed.append(query)
+        self.current_query = None
+        self.current_finish_time = None
+        return query
+
+    # ------------------------------------------------------------------ #
+    # introspection used by schedulers (ELSA's T_wait, Equation 1)
+    # ------------------------------------------------------------------ #
+    def remaining_execution_time(self, now: float) -> float:
+        """Remaining execution time of the in-flight query (0 when idle).
+
+        This mirrors the paper's timestamp mechanism: the scheduler knows the
+        estimated end-to-end time of the executing query and how long it has
+        been running, and derives the remainder.
+        """
+        if self.current_finish_time is None:
+            return 0.0
+        return max(0.0, self.current_finish_time - now)
+
+    def queued_work(self, estimator: LatencyFn) -> float:
+        """Summed estimated execution time of every queued (not started) query."""
+        return sum(
+            estimator(query.model, query.batch, self.gpcs) for query in self.queue
+        )
+
+    def estimated_wait(self, now: float, estimator: LatencyFn) -> float:
+        """ELSA's ``T_wait``: queued work plus remainder of the running query."""
+        return self.queued_work(estimator) + self.remaining_execution_time(now)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this partition spent executing queries."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "busy" if self.is_executing else "idle"
+        return (
+            f"PartitionWorker(id={self.instance_id}, GPU({self.gpcs}), {state}, "
+            f"queued={self.queue_depth})"
+        )

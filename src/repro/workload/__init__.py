@@ -1,0 +1,37 @@
+"""Inference workload generation.
+
+The paper models the datacenter serving environment after DeepRecInfra /
+MLPerf conventions:
+
+* query *arrival times* follow a Poisson process (exponential inter-arrival
+  times) at a configurable average rate (queries/second),
+* query *sizes* (batch sizes) follow a log-normal distribution, truncated and
+  discretised to ``[1, max_batch]`` (32 by default),
+
+This package implements both distributions, the :class:`Query` record that
+flows through the simulator, a reproducible trace generator, and helpers to
+build empirical batch-size PDFs (the ``Dist[]`` input of PARIS's
+Algorithm 1).
+"""
+
+from repro.workload.query import Query
+from repro.workload.distributions import (
+    LogNormalBatchDistribution,
+    PoissonArrivalProcess,
+    UniformBatchDistribution,
+    EmpiricalBatchDistribution,
+)
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.trace import QueryTrace, merge_traces
+
+__all__ = [
+    "Query",
+    "LogNormalBatchDistribution",
+    "PoissonArrivalProcess",
+    "UniformBatchDistribution",
+    "EmpiricalBatchDistribution",
+    "QueryGenerator",
+    "WorkloadConfig",
+    "QueryTrace",
+    "merge_traces",
+]

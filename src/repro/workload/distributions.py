@@ -1,0 +1,213 @@
+"""Batch-size and arrival-time distributions.
+
+Section II-A / V of the paper: query sizes follow a log-normal distribution
+(batch sizes 1–32 by default, variance swept in Figure 13(a)), and query
+arrivals follow the MLPerf-recommended Poisson process.
+
+Every distribution here is deterministic given its seed, so experiments are
+exactly reproducible; each carries its own ``numpy`` Generator rather than
+sharing global state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+class LogNormalBatchDistribution:
+    """Discretised, truncated log-normal batch-size distribution.
+
+    Batch sizes are drawn from ``LogNormal(mu, sigma)``, rounded to the
+    nearest integer and clamped to ``[min_batch, max_batch]`` — the standard
+    way serving studies discretise web-service query-size distributions.
+
+    Args:
+        sigma: log-space standard deviation (0.9 is the paper's default;
+            0.3 / 1.8 are the Figure 13(a) sensitivity points).
+        median: median batch size; ``mu`` is ``ln(median)``.
+        max_batch: largest batch size (32 default; 16/64 in Figure 13(b)).
+        min_batch: smallest batch size (1).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        sigma: float = 0.9,
+        median: float = 8.0,
+        max_batch: int = 32,
+        min_batch: int = 1,
+        seed: Optional[int] = None,
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if min_batch < 1 or max_batch < min_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        self.sigma = sigma
+        self.mu = math.log(median)
+        self.median = median
+        self.max_batch = max_batch
+        self.min_batch = min_batch
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, size: Optional[int] = None):
+        """Draw one batch size (int) or an array of ``size`` batch sizes."""
+        raw = self._rng.lognormal(mean=self.mu, sigma=self.sigma, size=size)
+        clipped = np.clip(np.rint(raw), self.min_batch, self.max_batch)
+        if size is None:
+            return int(clipped)
+        return clipped.astype(int)
+
+    def pdf(self) -> Dict[int, float]:
+        """Exact discretised probability mass function over [min_batch, max_batch].
+
+        Mass below ``min_batch`` (resp. above ``max_batch``) is folded into the
+        boundary bins, matching the clipping performed by :meth:`sample`.
+        Returns a dict mapping batch size to probability, summing to 1.
+        """
+        def log_cdf(x: float) -> float:
+            if x <= 0:
+                return 0.0
+            return 0.5 * (1.0 + math.erf((math.log(x) - self.mu) / (self.sigma * math.sqrt(2.0))))
+
+        pdf: Dict[int, float] = {}
+        for batch in range(self.min_batch, self.max_batch + 1):
+            lo, hi = batch - 0.5, batch + 0.5
+            if batch == self.min_batch:
+                lo = 0.0
+            mass = log_cdf(hi) - log_cdf(lo)
+            if batch == self.max_batch:
+                mass += 1.0 - log_cdf(hi)
+            pdf[batch] = max(0.0, mass)
+        total = sum(pdf.values())
+        if total <= 0:
+            raise RuntimeError("degenerate batch size distribution")
+        return {batch: mass / total for batch, mass in pdf.items()}
+
+    def mean(self) -> float:
+        """Mean of the discretised distribution."""
+        return sum(batch * prob for batch, prob in self.pdf().items())
+
+
+class UniformBatchDistribution:
+    """Uniform batch-size distribution over [min_batch, max_batch].
+
+    Not used by the paper's headline results but useful as a stress test of
+    PARIS's robustness to non-log-normal traffic.
+    """
+
+    def __init__(
+        self, max_batch: int = 32, min_batch: int = 1, seed: Optional[int] = None
+    ) -> None:
+        if min_batch < 1 or max_batch < min_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, size: Optional[int] = None):
+        """Draw one batch size (int) or an array of ``size`` batch sizes."""
+        draw = self._rng.integers(self.min_batch, self.max_batch + 1, size=size)
+        if size is None:
+            return int(draw)
+        return draw.astype(int)
+
+    def pdf(self) -> Dict[int, float]:
+        """Uniform probability mass function."""
+        count = self.max_batch - self.min_batch + 1
+        return {batch: 1.0 / count for batch in range(self.min_batch, self.max_batch + 1)}
+
+    def mean(self) -> float:
+        """Mean batch size."""
+        return (self.min_batch + self.max_batch) / 2.0
+
+
+class EmpiricalBatchDistribution:
+    """Batch-size distribution built from an observed histogram.
+
+    This is the production-mode input to PARIS: "[the PDF] can readily be
+    generated in the inference server by collecting the number of input batch
+    sizes serviced within a given period of time" (Section IV-B).
+
+    Args:
+        histogram: mapping batch size -> observed count (or probability).
+        seed: RNG seed for sampling.
+    """
+
+    def __init__(self, histogram: Dict[int, float], seed: Optional[int] = None) -> None:
+        if not histogram:
+            raise ValueError("histogram must be non-empty")
+        for batch, count in histogram.items():
+            if batch < 1:
+                raise ValueError(f"batch sizes must be >= 1, got {batch}")
+            if count < 0:
+                raise ValueError("counts must be non-negative")
+        total = float(sum(histogram.values()))
+        if total <= 0:
+            raise ValueError("histogram must have positive total mass")
+        self._pdf = {int(b): c / total for b, c in sorted(histogram.items())}
+        self.min_batch = min(self._pdf)
+        self.max_batch = max(self._pdf)
+        self._rng = np.random.default_rng(seed)
+        self._batches = np.array(list(self._pdf.keys()))
+        self._probs = np.array(list(self._pdf.values()))
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[int], seed: Optional[int] = None
+    ) -> "EmpiricalBatchDistribution":
+        """Build the distribution from raw observed batch sizes."""
+        histogram: Dict[int, float] = {}
+        for sample in samples:
+            histogram[int(sample)] = histogram.get(int(sample), 0) + 1
+        return cls(histogram, seed=seed)
+
+    def sample(self, size: Optional[int] = None):
+        """Draw one batch size (int) or an array of ``size`` batch sizes."""
+        draw = self._rng.choice(self._batches, size=size, p=self._probs)
+        if size is None:
+            return int(draw)
+        return draw.astype(int)
+
+    def pdf(self) -> Dict[int, float]:
+        """The (normalised) probability mass function."""
+        return dict(self._pdf)
+
+    def mean(self) -> float:
+        """Mean batch size."""
+        return float(np.dot(self._batches, self._probs))
+
+
+class PoissonArrivalProcess:
+    """Poisson arrival process: exponential inter-arrival times.
+
+    Args:
+        rate_qps: average arrival rate in queries per second.
+        seed: RNG seed.
+    """
+
+    def __init__(self, rate_qps: float, seed: Optional[int] = None) -> None:
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        self.rate_qps = rate_qps
+        self._rng = np.random.default_rng(seed)
+
+    def inter_arrival(self, size: Optional[int] = None):
+        """Draw one inter-arrival gap (seconds) or an array of ``size`` gaps."""
+        draw = self._rng.exponential(1.0 / self.rate_qps, size=size)
+        if size is None:
+            return float(draw)
+        return draw
+
+    def arrival_times(self, count: int, start: float = 0.0) -> np.ndarray:
+        """Cumulative arrival times of ``count`` queries starting at ``start``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.empty(0)
+        gaps = self.inter_arrival(size=count)
+        return start + np.cumsum(gaps)

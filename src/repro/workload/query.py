@@ -1,0 +1,91 @@
+"""The inference query record.
+
+A :class:`Query` is the unit of work the inference server schedules: one
+request carrying ``batch`` inputs for one DNN model, arriving at a given
+time.  The simulator fills in the scheduling/execution timestamps as the
+query flows through the system; the metrics module derives latency and SLA
+statistics from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Query:
+    """One inference request.
+
+    Attributes:
+        query_id: unique id within a trace.
+        model: name of the DNN model this query targets.
+        batch: number of inputs batched into the query (its "size").
+        arrival_time: wall-clock arrival time at the server frontend, seconds.
+        sla_target: latency SLA for this query in seconds (``None`` when the
+            experiment does not enforce one).
+        dispatch_time: when the scheduler assigned the query to a partition.
+        start_time: when execution began on the partition.
+        finish_time: when execution completed.
+        instance_id: partition instance that executed the query.
+    """
+
+    query_id: int
+    model: str
+    batch: int
+    arrival_time: float
+    sla_target: Optional[float] = None
+    dispatch_time: Optional[float] = field(default=None, compare=False)
+    start_time: Optional[float] = field(default=None, compare=False)
+    finish_time: Optional[float] = field(default=None, compare=False)
+    instance_id: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError(f"query batch must be >= 1, got {self.batch}")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+    @property
+    def completed(self) -> bool:
+        """Whether the query has finished execution."""
+        return self.finish_time is not None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (finish - arrival) in seconds.
+
+        Raises:
+            ValueError: if the query has not completed yet.
+        """
+        if self.finish_time is None:
+            raise ValueError(f"query {self.query_id} has not completed")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting before execution started, in seconds."""
+        if self.start_time is None:
+            raise ValueError(f"query {self.query_id} has not started")
+        return self.start_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Pure execution time on the partition, in seconds."""
+        if self.start_time is None or self.finish_time is None:
+            raise ValueError(f"query {self.query_id} has not completed")
+        return self.finish_time - self.start_time
+
+    @property
+    def sla_violated(self) -> bool:
+        """Whether the completed query missed its SLA (False if no SLA set)."""
+        if self.sla_target is None:
+            return False
+        return self.latency > self.sla_target
+
+    def reset_runtime_state(self) -> None:
+        """Clear scheduling/execution timestamps so the query can be re-simulated."""
+        self.dispatch_time = None
+        self.start_time = None
+        self.finish_time = None
+        self.instance_id = None

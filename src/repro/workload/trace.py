@@ -1,0 +1,111 @@
+"""Query traces.
+
+A :class:`QueryTrace` is an immutable, time-ordered list of queries plus
+convenience statistics.  Traces decouple workload generation from simulation:
+the same trace can be replayed against every server design being compared,
+eliminating workload noise from design comparisons (this mirrors how the
+paper replays identical query streams against each configuration).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """A time-ordered sequence of inference queries."""
+
+    queries: Sequence[Query]
+
+    def __post_init__(self) -> None:
+        arrivals = [q.arrival_time for q in self.queries]
+        if any(b > a for a, b in zip(arrivals[1:], arrivals[:-1])):
+            raise ValueError("queries must be sorted by arrival time")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __getitem__(self, idx: int) -> Query:
+        return self.queries[idx]
+
+    @property
+    def duration(self) -> float:
+        """Time span between the first and last arrival (seconds)."""
+        if not self.queries:
+            return 0.0
+        return self.queries[-1].arrival_time - self.queries[0].arrival_time
+
+    @property
+    def total_samples(self) -> int:
+        """Total number of inference samples across all queries."""
+        return sum(q.batch for q in self.queries)
+
+    def arrival_rate(self) -> float:
+        """Observed average arrival rate in queries/second."""
+        if len(self.queries) < 2 or self.duration == 0:
+            return 0.0
+        return (len(self.queries) - 1) / self.duration
+
+    def batch_histogram(self) -> Dict[int, int]:
+        """Observed batch-size histogram."""
+        hist: Dict[int, int] = {}
+        for query in self.queries:
+            hist[query.batch] = hist.get(query.batch, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def batch_pdf(self) -> Dict[int, float]:
+        """Observed batch-size probability mass function."""
+        hist = self.batch_histogram()
+        total = sum(hist.values())
+        return {batch: count / total for batch, count in hist.items()}
+
+    def fresh_copy(self) -> "QueryTrace":
+        """Deep-copy the trace with all runtime state cleared.
+
+        Use this when replaying one trace against multiple server designs so
+        each simulation starts from pristine queries.
+        """
+        queries = []
+        for query in self.queries:
+            clone = copy.copy(query)
+            clone.reset_runtime_state()
+            queries.append(clone)
+        return QueryTrace(tuple(queries))
+
+    def with_sla(self, sla_target: float) -> "QueryTrace":
+        """Return a copy of the trace with every query's SLA set to ``sla_target``."""
+        if sla_target <= 0:
+            raise ValueError("sla_target must be positive")
+        queries = []
+        for query in self.queries:
+            clone = copy.copy(query)
+            clone.reset_runtime_state()
+            clone.sla_target = sla_target
+            queries.append(clone)
+        return QueryTrace(tuple(queries))
+
+
+def merge_traces(traces: Iterable[QueryTrace]) -> QueryTrace:
+    """Merge several traces into one, re-sorted by arrival time.
+
+    Query ids are reassigned to stay unique in the merged trace.  Useful for
+    multi-tenant experiments where several models share one server.
+    """
+    merged: List[Query] = []
+    for trace in traces:
+        merged.extend(trace.fresh_copy().queries)
+    merged.sort(key=lambda q: q.arrival_time)
+    renumbered = []
+    for idx, query in enumerate(merged):
+        clone = copy.copy(query)
+        clone.query_id = idx
+        renumbered.append(clone)
+    return QueryTrace(tuple(renumbered))

@@ -1,0 +1,72 @@
+"""Tests for the per-figure experiment runners.
+
+The full paper-scale experiments run in the benchmark harness; here each
+runner is exercised at a reduced scale to validate structure and the headline
+qualitative claims.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.experiments import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(num_queries=200, search_iterations=4, seed=0)
+
+
+class TestFigure3:
+    def test_rows_cover_models_and_sizes(self):
+        rows = experiments.figure3(models=("mobilenet", "bert"), batch=8)
+        assert len(rows) == 2 * 5
+        assert {row["model"] for row in rows} == {"mobilenet", "bert"}
+
+    def test_utilization_decreases_with_partition_size(self):
+        rows = experiments.figure3(models=("resnet",), batch=8)
+        by_size = {row["gpcs"]: row for row in rows}
+        assert by_size[1]["utilization"] > by_size[7]["utilization"]
+        assert by_size[1]["normalized_latency"] >= by_size[7]["normalized_latency"]
+
+
+class TestFigure4:
+    def test_rows_marked_with_knee(self):
+        rows = experiments.figure4(models=("mobilenet",), batch_sizes=(1, 4, 16, 64))
+        knees = [row for row in rows if row["is_knee"]]
+        assert knees  # at least one knee per partition size
+        for row in rows:
+            assert 0 < row["utilization"] <= 1.0
+
+
+class TestFigure8:
+    def test_paper_ratios_reproduced(self):
+        result = experiments.figure8_example()
+        assert result["ratio_small"] == pytest.approx(result["paper_ratio_small"])
+        assert result["ratio_large"] == pytest.approx(result["paper_ratio_large"])
+
+
+class TestTable1:
+    def test_contains_homogeneous_and_paris_rows(self, settings):
+        rows = experiments.table1(models=("mobilenet",), settings=settings)
+        designs = {row["design"] for row in rows}
+        assert designs == {"GPU(1)", "GPU(2)", "GPU(3)", "GPU(7)", "PARIS"}
+        paris_row = [r for r in rows if r["design"] == "PARIS"][0]
+        assert paris_row["gpcs"] <= 24
+
+
+class TestHeadlineComparison:
+    def test_paris_elsa_beats_gpu7_fifs(self, settings):
+        """The core Figure 12 claim at reduced scale, for one heavy model."""
+        rows = experiments.figure12(models=("bert",), settings=settings,
+                                    include_random=False)
+        by_design = {row["design"]: row for row in rows}
+        assert by_design["paris+elsa"]["normalized_throughput"] >= 1.0
+        assert by_design["gpu(7)+fifs"]["normalized_throughput"] == pytest.approx(1.0)
+
+    def test_figure13b_structure(self, settings):
+        rows = experiments.figure13b(
+            models=("mobilenet",), max_batches=(16,), settings=settings
+        )
+        assert {row["max_batch"] for row in rows} == {16}
+        designs = {row["design"] for row in rows}
+        assert "paris+elsa" in designs

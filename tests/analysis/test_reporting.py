@@ -1,0 +1,40 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_table, rows_to_csv
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        text = format_table(["model", "qps"], [["resnet", 123.456], ["bert", 7.0]])
+        lines = text.splitlines()
+        assert "model" in lines[0] and "qps" in lines[0]
+        assert len(lines) == 4
+        assert "resnet" in lines[2]
+
+    def test_column_width_adapts(self):
+        text = format_table(["x"], [["a-very-long-cell-value"]])
+        assert "a-very-long-cell-value" in text
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [1234.5], [2.5]])
+        assert "0.1235" in text
+        assert "1,234" in text or "1234" in text
+        assert "2.50" in text
+
+
+class TestRowsToCsv:
+    def test_basic_csv(self):
+        csv = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_quoting_of_special_characters(self):
+        csv = rows_to_csv(["name"], [['has,"comma"']])
+        assert '"has,""comma"""' in csv

@@ -1,0 +1,110 @@
+"""Tests for the latency-bounded throughput sweep."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    capacity_estimate,
+    latency_bounded_throughput,
+    measure_design,
+    sweep_rates,
+)
+from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
+from repro.serving.deployment import build_deployment
+from repro.workload.distributions import LogNormalBatchDistribution
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def deployment(mobilenet_profile):
+    config = ServerConfig(
+        model="mobilenet",
+        partitioning=PartitioningStrategy.HOMOGENEOUS,
+        scheduler=SchedulingPolicy.FIFS,
+        homogeneous_gpcs=7,
+        gpc_budget=28,
+        num_gpus=4,
+    )
+    pdf = LogNormalBatchDistribution(sigma=0.9, median=8, max_batch=32).pdf()
+    return build_deployment(config, pdf, profile=mobilenet_profile)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadConfig(model="mobilenet", rate_qps=1.0, num_queries=300, seed=0)
+
+
+class TestMeasureDesign:
+    def test_returns_consistent_statistics(self, deployment, workload):
+        result = measure_design(deployment, workload, rate_qps=200.0)
+        assert result.rate_qps == 200.0
+        assert result.throughput_qps > 0
+        assert result.p95_latency > 0
+        assert 0 <= result.sla_violation_rate <= 1
+
+    def test_invalid_rate_rejected(self, deployment, workload):
+        with pytest.raises(ValueError):
+            measure_design(deployment, workload, rate_qps=0.0)
+
+    def test_higher_load_higher_tail_latency(self, deployment, workload):
+        light = measure_design(deployment, workload, rate_qps=100.0)
+        capacity = capacity_estimate(deployment, workload)
+        heavy = measure_design(deployment, workload, rate_qps=3.0 * capacity)
+        assert heavy.p95_latency > light.p95_latency
+
+
+class TestCapacityEstimate:
+    def test_scales_with_instance_count(self, mobilenet_profile, workload):
+        pdf = LogNormalBatchDistribution(max_batch=32).pdf()
+        small = build_deployment(
+            ServerConfig(
+                model="mobilenet",
+                partitioning=PartitioningStrategy.HOMOGENEOUS,
+                homogeneous_gpcs=7,
+                gpc_budget=14,
+                num_gpus=2,
+            ),
+            pdf,
+            profile=mobilenet_profile,
+        )
+        large = build_deployment(
+            ServerConfig(
+                model="mobilenet",
+                partitioning=PartitioningStrategy.HOMOGENEOUS,
+                homogeneous_gpcs=7,
+                gpc_budget=28,
+                num_gpus=4,
+            ),
+            pdf,
+            profile=mobilenet_profile,
+        )
+        assert capacity_estimate(large, workload) > capacity_estimate(small, workload)
+
+
+class TestSweepAndSearch:
+    def test_sweep_returns_one_point_per_rate(self, deployment, workload):
+        points = sweep_rates(deployment, workload, rates=[100.0, 500.0])
+        assert len(points) == 2
+        assert points[0].rate_qps == 100.0
+
+    def test_latency_bounded_throughput_respects_bound(self, deployment, workload):
+        result = latency_bounded_throughput(
+            deployment, workload, iterations=6
+        )
+        assert result.p95_latency <= deployment.sla_target * 1.05
+
+    def test_bound_none_uses_sla_target(self, deployment, workload):
+        explicit = latency_bounded_throughput(
+            deployment, workload, latency_bound=deployment.sla_target, iterations=5
+        )
+        implicit = latency_bounded_throughput(deployment, workload, iterations=5)
+        assert explicit.rate_qps == pytest.approx(implicit.rate_qps)
+
+    def test_infeasible_bound_returns_low_probe(self, deployment, workload):
+        result = latency_bounded_throughput(
+            deployment, workload, latency_bound=1e-6, iterations=4
+        )
+        assert result.p95_latency > 1e-6  # signals infeasibility
+
+    def test_invalid_bound_rejected(self, deployment, workload):
+        with pytest.raises(ValueError):
+            latency_bounded_throughput(deployment, workload, latency_bound=0.0)

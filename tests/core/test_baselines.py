@@ -1,0 +1,78 @@
+"""Tests for the baseline partitioning strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines import homogeneous_partition, random_partition
+
+
+class TestHomogeneousPartition:
+    def test_divides_budget_evenly(self):
+        plan = homogeneous_partition(3, 48, model="resnet")
+        assert plan.counts == {3: 16}
+        assert plan.used_gpcs == 48
+        assert not plan.is_heterogeneous
+
+    def test_remainder_gpcs_left_idle(self):
+        """The paper's GPU(7) MobileNet config: 28 GPCs -> 4 instances."""
+        plan = homogeneous_partition(7, 28)
+        assert plan.counts == {7: 4}
+        plan = homogeneous_partition(3, 28)
+        assert plan.counts == {3: 9}
+        assert plan.used_gpcs == 27  # 1 GPC stranded
+
+    def test_paper_table1_counts(self):
+        assert homogeneous_partition(1, 42).counts == {1: 42}
+        assert homogeneous_partition(2, 42).counts == {2: 21}
+        assert homogeneous_partition(3, 42).counts == {3: 14}
+        assert homogeneous_partition(7, 42).counts == {7: 6}
+
+    def test_invalid_partition_size_rejected(self):
+        with pytest.raises(ValueError):
+            homogeneous_partition(5, 48)
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            homogeneous_partition(7, 6)
+
+    def test_strategy_label(self):
+        assert homogeneous_partition(2, 24).strategy == "homogeneous-gpu(2)"
+
+
+class TestRandomPartition:
+    def test_fills_budget_within_smallest_size(self):
+        plan = random_partition(24, seed=0)
+        assert plan.used_gpcs <= 24
+        assert 24 - plan.used_gpcs < 1  # sizes include 1, so budget is filled
+
+    def test_reproducible_given_seed(self):
+        assert random_partition(42, seed=7).counts == random_partition(42, seed=7).counts
+
+    def test_different_seeds_usually_differ(self):
+        plans = {tuple(sorted(random_partition(42, seed=s).counts.items())) for s in range(6)}
+        assert len(plans) > 1
+
+    def test_respects_allowed_sizes(self):
+        plan = random_partition(24, partition_sizes=(2, 4), seed=1)
+        assert set(plan.counts) <= {2, 4}
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            random_partition(0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            random_partition(24, partition_sizes=(5,))
+
+    def test_strategy_label(self):
+        assert random_partition(24).strategy == "random"
+
+
+@settings(max_examples=40, deadline=None)
+@given(budget=st.integers(1, 56), seed=st.integers(0, 1000))
+def test_random_partition_never_exceeds_budget(budget, seed):
+    """Property: the random baseline always respects the GPC budget."""
+    plan = random_partition(budget, seed=seed)
+    assert plan.used_gpcs <= budget
+    leftover = budget - plan.used_gpcs
+    assert leftover < 1  # GPU(1) always fits, so leftover must be zero

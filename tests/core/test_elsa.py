@@ -1,0 +1,133 @@
+"""Unit tests for the ELSA scheduler (Algorithm 2)."""
+
+import pytest
+
+from repro.core.elsa import ElsaScheduler
+from repro.gpu.partition import GPUPartition, PartitionInstance
+from repro.sim.scheduler_api import SchedulingContext
+from repro.sim.worker import PartitionWorker
+from repro.workload.query import Query
+from tests.sim.helpers import constant_profile
+
+
+LATENCIES = {1: 3.0, 3: 2.0, 7: 1.0}
+
+
+def make_workers(sizes=(1, 3, 7)):
+    profile = constant_profile(LATENCIES)
+    workers = []
+    for idx, size in enumerate(sorted(sizes)):
+        instance = PartitionInstance(idx, GPUPartition(size))
+        workers.append(
+            PartitionWorker(
+                instance,
+                latency_fn=lambda model, batch, g: profile.latency(g, batch),
+            )
+        )
+    return workers
+
+
+def make_context(workers, now=0.0):
+    profile = constant_profile(LATENCIES)
+    return SchedulingContext(
+        now=now,
+        workers=workers,
+        central_queue=(),
+        estimator=lambda model, batch, gpcs: profile.latency(gpcs, batch),
+    )
+
+
+def make_query(qid=0, batch=4, sla=None):
+    return Query(query_id=qid, model="toy", batch=batch, arrival_time=0.0, sla_target=sla)
+
+
+def make_scheduler(**kwargs):
+    return ElsaScheduler(profile=constant_profile(LATENCIES), **kwargs)
+
+
+class TestStepA:
+    def test_prefers_smallest_partition_that_meets_sla(self):
+        workers = make_workers()
+        scheduler = make_scheduler()
+        chosen = scheduler.on_arrival(make_query(sla=10.0), make_context(workers))
+        assert chosen.gpcs == 1
+
+    def test_skips_partitions_that_would_violate(self):
+        workers = make_workers()
+        scheduler = make_scheduler()
+        # SLA of 2.5 s: GPU(1) (3 s) violates, GPU(3) (2 s) is the smallest fit.
+        chosen = scheduler.on_arrival(make_query(sla=2.5), make_context(workers))
+        assert chosen.gpcs == 3
+
+    def test_accounts_for_queued_work(self):
+        workers = make_workers()
+        # Load the GPU(3) instance so its wait pushes it over the SLA.
+        gpu3 = [w for w in workers if w.gpcs == 3][0]
+        gpu3.enqueue(make_query(99), 0.0)
+        gpu3.start_next(0.0)
+        scheduler = make_scheduler()
+        chosen = scheduler.on_arrival(make_query(sla=2.5), make_context(workers))
+        assert chosen.gpcs == 7
+
+    def test_balances_load_across_equal_partitions(self):
+        workers = make_workers(sizes=(1, 1))
+        workers[0].enqueue(make_query(99), 0.0)
+        workers[0].start_next(0.0)
+        scheduler = make_scheduler()
+        chosen = scheduler.on_arrival(make_query(sla=100.0), make_context(workers))
+        assert chosen is workers[1]
+
+    def test_largest_first_ablation_flag(self):
+        workers = make_workers()
+        scheduler = make_scheduler(prefer_smallest=False)
+        chosen = scheduler.on_arrival(make_query(sla=10.0), make_context(workers))
+        assert chosen.gpcs == 7
+
+    def test_alpha_tightens_admission(self):
+        workers = make_workers()
+        # With alpha=2 the effective cost on GPU(1) is 6 s > SLA 5 s.
+        scheduler = make_scheduler(alpha=2.0)
+        chosen = scheduler.on_arrival(make_query(sla=5.0), make_context(workers))
+        assert chosen.gpcs == 3
+
+
+class TestStepB:
+    def test_falls_back_to_fastest_completion(self):
+        workers = make_workers()
+        scheduler = make_scheduler()
+        chosen = scheduler.on_arrival(make_query(sla=0.1), make_context(workers))
+        assert chosen.gpcs == 7
+
+    def test_fastest_completion_considers_queued_work(self):
+        workers = make_workers()
+        gpu7 = [w for w in workers if w.gpcs == 7][0]
+        for i in range(5):
+            gpu7.enqueue(make_query(100 + i), 0.0)
+        gpu7.start_next(0.0)
+        scheduler = make_scheduler()
+        # GPU(7) now has ~6 s of work; GPU(3) (2 s) completes sooner.
+        chosen = scheduler.on_arrival(make_query(sla=0.1), make_context(workers))
+        assert chosen.gpcs == 3
+
+    def test_queries_without_sla_use_fastest_completion(self):
+        workers = make_workers()
+        scheduler = make_scheduler()
+        chosen = scheduler.on_arrival(make_query(sla=None), make_context(workers))
+        assert chosen.gpcs == 7
+
+
+class TestMisc:
+    def test_never_returns_none(self):
+        workers = make_workers()
+        for worker in workers:
+            worker.enqueue(make_query(50 + worker.instance_id), 0.0)
+            worker.start_next(0.0)
+        scheduler = make_scheduler()
+        assert scheduler.on_arrival(make_query(sla=1.0), make_context(workers)) is not None
+
+    def test_profile_property_exposed(self):
+        scheduler = make_scheduler()
+        assert scheduler.profile.latency(7, 4) == pytest.approx(1.0)
+
+    def test_name(self):
+        assert make_scheduler().name == "elsa"

@@ -1,0 +1,100 @@
+"""Tests for MaxBatch_knee derivation (Step A of PARIS)."""
+
+import pytest
+
+from repro.core.knee import derive_knees, find_knee
+from repro.perf.lookup import ProfileEntry, ProfileTable
+
+
+def synthetic_table(util_curves):
+    """Build a table from {gpcs: {batch: utilization}} (latency is 1ms/batch)."""
+    entries = []
+    for gpcs, curve in util_curves.items():
+        for batch, util in curve.items():
+            entries.append(
+                ProfileEntry(
+                    gpcs=gpcs,
+                    batch=batch,
+                    latency_s=0.001 * batch,
+                    utilization=util,
+                    throughput_qps=1000.0 / batch,
+                )
+            )
+    return ProfileTable("synthetic", entries)
+
+
+class TestFindKnee:
+    def test_knee_is_first_batch_reaching_threshold(self):
+        table = synthetic_table({1: {1: 0.3, 2: 0.6, 4: 0.85, 8: 0.95}})
+        knee = find_knee(table, 1)
+        assert knee.batch == 4
+        assert knee.saturated
+        assert knee.utilization == pytest.approx(0.85)
+
+    def test_unsaturated_partition_clamps_to_max_batch(self):
+        table = synthetic_table({7: {1: 0.1, 2: 0.2, 4: 0.3, 8: 0.5}})
+        knee = find_knee(table, 7)
+        assert knee.batch == 8
+        assert not knee.saturated
+
+    def test_custom_threshold(self):
+        table = synthetic_table({1: {1: 0.3, 2: 0.6, 4: 0.85}})
+        assert find_knee(table, 1, threshold=0.5).batch == 2
+
+    def test_invalid_threshold_rejected(self):
+        table = synthetic_table({1: {1: 0.9}})
+        with pytest.raises(ValueError):
+            find_knee(table, 1, threshold=0.0)
+        with pytest.raises(ValueError):
+            find_knee(table, 1, threshold=1.5)
+
+    def test_unprofiled_partition_raises(self):
+        table = synthetic_table({1: {1: 0.9}})
+        with pytest.raises(KeyError):
+            find_knee(table, 3)
+
+
+class TestDeriveKnees:
+    def test_knees_monotone_in_partition_size(self):
+        table = synthetic_table(
+            {
+                1: {1: 0.5, 2: 0.85, 4: 0.9, 8: 0.95},
+                2: {1: 0.3, 2: 0.6, 4: 0.85, 8: 0.9},
+                7: {1: 0.1, 2: 0.3, 4: 0.6, 8: 0.82},
+            }
+        )
+        knees = derive_knees(table)
+        batches = [knees[g].batch for g in (1, 2, 7)]
+        assert batches == sorted(batches)
+        assert batches == [2, 4, 8]
+
+    def test_monotonicity_enforced_on_inverted_curves(self):
+        # GPU(2)'s profiled knee (1) is below GPU(1)'s (4): the running max fixes it.
+        table = synthetic_table(
+            {
+                1: {1: 0.5, 2: 0.7, 4: 0.85},
+                2: {1: 0.85, 2: 0.9, 4: 0.95},
+            }
+        )
+        knees = derive_knees(table)
+        assert knees[1].batch == 4
+        assert knees[2].batch == 4
+
+    def test_subset_of_partition_sizes(self):
+        table = synthetic_table(
+            {1: {1: 0.9}, 2: {1: 0.9}, 7: {1: 0.9}}
+        )
+        knees = derive_knees(table, partition_sizes=(1, 7))
+        assert set(knees) == {1, 7}
+
+
+class TestKneesOnRealProfiles:
+    def test_paper_shapes(self, mobilenet_profile, bert_profile):
+        """Knee batch grows with partition size; BERT saturates earlier than MobileNet."""
+        mobile_knees = derive_knees(mobilenet_profile)
+        bert_knees = derive_knees(bert_profile)
+        for knees in (mobile_knees, bert_knees):
+            batches = [knees[g].batch for g in sorted(knees)]
+            assert batches == sorted(batches)
+        assert bert_knees[1].batch <= mobile_knees[1].batch
+        assert bert_knees[7].batch <= mobile_knees[7].batch

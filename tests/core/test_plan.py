@@ -1,0 +1,77 @@
+"""Tests for the PartitionPlan container."""
+
+import pytest
+
+from repro.core.plan import BatchSegment, PartitionPlan
+
+
+class TestBatchSegment:
+    def test_contains(self):
+        segment = BatchSegment(gpcs=2, low=3, high=8, probability=0.4, instance_ratio=0.1)
+        assert segment.contains(3) and segment.contains(8) and segment.contains(5)
+        assert not segment.contains(2) and not segment.contains(9)
+
+
+class TestPartitionPlan:
+    def test_basic_accounting(self):
+        plan = PartitionPlan(
+            model="mobilenet",
+            counts={1: 6, 2: 4, 3: 2, 4: 1},
+            total_gpcs=24,
+        )
+        assert plan.used_gpcs == 24
+        assert plan.total_instances == 13
+        assert plan.is_heterogeneous
+        assert plan.instances_of(2) == 4
+        assert plan.instances_of(7) == 0
+        assert plan.describe() == "6xGPU(1)+4xGPU(2)+2xGPU(3)+1xGPU(4)"
+
+    def test_homogeneous_plan_not_heterogeneous(self):
+        plan = PartitionPlan(model="bert", counts={7: 6}, total_gpcs=42)
+        assert not plan.is_heterogeneous
+
+    def test_budget_violation_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionPlan(model="m", counts={7: 4}, total_gpcs=21)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionPlan(model="m", counts={1: -1}, total_gpcs=7)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionPlan(model="m", counts={0: 1}, total_gpcs=7)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionPlan(model="m", counts={}, total_gpcs=0)
+
+    def test_segment_lookup(self):
+        segments = [
+            BatchSegment(gpcs=1, low=1, high=4, probability=0.6, instance_ratio=0.2),
+            BatchSegment(gpcs=7, low=5, high=32, probability=0.4, instance_ratio=0.3),
+        ]
+        plan = PartitionPlan(
+            model="m", counts={1: 2, 7: 1}, total_gpcs=16, segments=segments
+        )
+        assert plan.segment_for_batch(3).gpcs == 1
+        assert plan.segment_for_batch(20).gpcs == 7
+        assert plan.segment_for_batch(64) is None
+
+    def test_to_dict_round_trips_key_fields(self):
+        plan = PartitionPlan(
+            model="resnet",
+            counts={3: 2, 7: 1},
+            total_gpcs=16,
+            strategy="paris",
+            knees={3: 8, 7: 32},
+        )
+        payload = plan.to_dict()
+        assert payload["model"] == "resnet"
+        assert payload["counts"] == {3: 2, 7: 1}
+        assert payload["used_gpcs"] == 13
+        assert payload["description"] == plan.describe()
+
+    def test_empty_plan_describe(self):
+        plan = PartitionPlan(model="m", counts={}, total_gpcs=7)
+        assert plan.describe() == "(empty)"

@@ -1,0 +1,140 @@
+"""Tests for the baseline scheduling policies."""
+
+import pytest
+
+from repro.core.schedulers import (
+    FifsScheduler,
+    LeastLoadedScheduler,
+    RandomDispatchScheduler,
+)
+from repro.gpu.partition import GPUPartition, PartitionInstance
+from repro.sim.scheduler_api import SchedulingContext
+from repro.sim.worker import PartitionWorker
+from repro.workload.query import Query
+
+
+def make_workers(sizes, latency=1.0):
+    workers = []
+    for idx, size in enumerate(sorted(sizes)):
+        instance = PartitionInstance(idx, GPUPartition(size))
+        workers.append(PartitionWorker(instance, latency_fn=lambda *a: latency))
+    return workers
+
+
+def make_context(workers, central=(), now=0.0):
+    return SchedulingContext(
+        now=now,
+        workers=workers,
+        central_queue=tuple(central),
+        estimator=lambda model, batch, gpcs: 1.0,
+    )
+
+
+def make_query(qid=0, batch=2):
+    return Query(query_id=qid, model="toy", batch=batch, arrival_time=0.0)
+
+
+class TestFifsScheduler:
+    def test_parks_in_central_queue_when_all_busy(self):
+        workers = make_workers([1])
+        workers[0].enqueue(make_query(99), 0.0)
+        workers[0].start_next(0.0)
+        scheduler = FifsScheduler()
+        assert scheduler.on_arrival(make_query(), make_context(workers)) is None
+
+    def test_prefers_idle_worker(self):
+        workers = make_workers([1, 7])
+        scheduler = FifsScheduler()
+        chosen = scheduler.on_arrival(make_query(), make_context(workers))
+        assert chosen in workers
+
+    def test_smallest_and_largest_preferences(self):
+        workers = make_workers([1, 7])
+        assert FifsScheduler("smallest").on_arrival(
+            make_query(), make_context(workers)
+        ).gpcs == 1
+        assert FifsScheduler("largest").on_arrival(
+            make_query(), make_context(workers)
+        ).gpcs == 7
+
+    def test_round_robin_rotates(self):
+        workers = make_workers([1, 1, 1])
+        scheduler = FifsScheduler("round_robin")
+        picks = [
+            scheduler.on_arrival(make_query(i), make_context(workers)).instance_id
+            for i in range(3)
+        ]
+        assert sorted(picks) == [0, 1, 2]
+
+    def test_random_preference_is_seeded(self):
+        workers = make_workers([1, 1, 1, 1])
+        a = FifsScheduler("random", seed=3)
+        b = FifsScheduler("random", seed=3)
+        picks_a = [a.on_arrival(make_query(i), make_context(workers)).instance_id
+                   for i in range(5)]
+        picks_b = [b.on_arrival(make_query(i), make_context(workers)).instance_id
+                   for i in range(5)]
+        assert picks_a == picks_b
+
+    def test_worker_idle_drains_fifo_order(self):
+        workers = make_workers([1])
+        first, second = make_query(0), make_query(1)
+        scheduler = FifsScheduler()
+        chosen = scheduler.on_worker_idle(
+            workers[0], make_context(workers, central=[first, second])
+        )
+        assert chosen is first
+
+    def test_worker_idle_with_empty_queue(self):
+        workers = make_workers([1])
+        assert FifsScheduler().on_worker_idle(workers[0], make_context(workers)) is None
+
+    def test_invalid_preference_rejected(self):
+        with pytest.raises(ValueError):
+            FifsScheduler("alphabetical")
+
+    def test_reset_restores_round_robin_cursor(self):
+        workers = make_workers([1, 1])
+        scheduler = FifsScheduler("round_robin")
+        first = scheduler.on_arrival(make_query(), make_context(workers)).instance_id
+        scheduler.reset()
+        again = scheduler.on_arrival(make_query(), make_context(workers)).instance_id
+        assert first == again
+
+
+class TestLeastLoadedScheduler:
+    def test_picks_emptiest_queue(self):
+        workers = make_workers([1, 1])
+        workers[0].enqueue(make_query(5), 0.0)
+        scheduler = LeastLoadedScheduler()
+        chosen = scheduler.on_arrival(make_query(), make_context(workers))
+        assert chosen is workers[1]
+
+    def test_never_returns_none(self):
+        workers = make_workers([1])
+        workers[0].enqueue(make_query(5), 0.0)
+        workers[0].start_next(0.0)
+        assert LeastLoadedScheduler().on_arrival(
+            make_query(), make_context(workers)
+        ) is workers[0]
+
+
+class TestRandomDispatchScheduler:
+    def test_deterministic_given_seed(self):
+        workers = make_workers([1, 1, 7, 7])
+        a = RandomDispatchScheduler(seed=1)
+        b = RandomDispatchScheduler(seed=1)
+        picks_a = [a.on_arrival(make_query(i), make_context(workers)).instance_id
+                   for i in range(10)]
+        picks_b = [b.on_arrival(make_query(i), make_context(workers)).instance_id
+                   for i in range(10)]
+        assert picks_a == picks_b
+
+    def test_eventually_uses_all_workers(self):
+        workers = make_workers([1, 1, 7])
+        scheduler = RandomDispatchScheduler(seed=0)
+        picks = {
+            scheduler.on_arrival(make_query(i), make_context(workers)).instance_id
+            for i in range(60)
+        }
+        assert picks == {0, 1, 2}

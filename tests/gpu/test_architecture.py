@@ -1,0 +1,62 @@
+"""Tests for the physical GPU architecture model."""
+
+import pytest
+
+from repro.gpu.architecture import A100, GPCSpec, GPUArchitecture, a100_spec
+
+
+class TestGPCSpec:
+    def test_defaults_are_a100_like(self):
+        gpc = GPCSpec()
+        assert gpc.sm_count == 16
+        assert gpc.fp16_tflops == pytest.approx(44.6)
+
+    def test_peak_flops_unit_conversion(self):
+        gpc = GPCSpec(fp16_tflops=10.0)
+        assert gpc.peak_flops == pytest.approx(10.0e12)
+
+    def test_memory_bandwidth_unit_conversion(self):
+        gpc = GPCSpec(memory_bandwidth_gbps=100.0)
+        assert gpc.memory_bandwidth == pytest.approx(100.0e9)
+
+
+class TestGPUArchitecture:
+    def test_a100_has_seven_gpcs(self):
+        assert A100.gpc_count == 7
+        assert A100.valid_partition_sizes == (1, 2, 3, 4, 7)
+
+    def test_total_resources_scale_with_gpc_count(self):
+        arch = a100_spec()
+        assert arch.sm_count == 7 * arch.gpc.sm_count
+        assert arch.peak_flops == pytest.approx(7 * arch.gpc.peak_flops)
+        assert arch.memory_bandwidth == pytest.approx(7 * arch.gpc.memory_bandwidth)
+
+    def test_partition_resources_are_proportional(self):
+        arch = a100_spec()
+        for gpcs in arch.valid_partition_sizes:
+            assert arch.partition_peak_flops(gpcs) == pytest.approx(
+                gpcs * arch.gpc.peak_flops
+            )
+            assert arch.partition_sm_count(gpcs) == gpcs * arch.gpc.sm_count
+
+    @pytest.mark.parametrize("bad_size", [0, -1, 8, 100])
+    def test_partition_size_out_of_range_rejected(self, bad_size):
+        with pytest.raises(ValueError):
+            A100.partition_peak_flops(bad_size)
+
+    def test_invalid_partition_size_in_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GPUArchitecture(gpc_count=4, valid_partition_sizes=(1, 5))
+
+    def test_nonpositive_gpc_count_rejected(self):
+        with pytest.raises(ValueError):
+            GPUArchitecture(gpc_count=0)
+
+    def test_custom_architecture_is_supported(self):
+        arch = GPUArchitecture(
+            name="hypothetical", gpc_count=8, valid_partition_sizes=(1, 2, 4, 8)
+        )
+        assert arch.partition_sm_count(8) == 8 * arch.gpc.sm_count
+
+    def test_a100_singleton_matches_factory(self):
+        assert a100_spec() == A100

@@ -1,0 +1,141 @@
+"""Tests for MIG configuration rules and packing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.architecture import a100_spec
+from repro.gpu.mig import (
+    MIGConfiguration,
+    MIGError,
+    enumerate_configurations,
+    instantiate,
+    is_valid_configuration,
+    pack_partitions,
+    valid_partition_sizes,
+)
+
+
+class TestValidity:
+    def test_valid_sizes_sorted(self):
+        assert valid_partition_sizes() == (1, 2, 3, 4, 7)
+
+    @pytest.mark.parametrize(
+        "sizes",
+        [[7], [4, 3], [4, 2, 1], [3, 3, 1], [2, 2, 2, 1], [1] * 7, []],
+    )
+    def test_valid_configurations(self, sizes):
+        assert is_valid_configuration(sizes)
+
+    @pytest.mark.parametrize(
+        "sizes",
+        [[7, 1], [4, 4], [3, 3, 2], [5], [2, 6], [1] * 8],
+    )
+    def test_invalid_configurations(self, sizes):
+        assert not is_valid_configuration(sizes)
+
+    def test_enumeration_contains_paper_examples(self):
+        configs = set(enumerate_configurations())
+        # Figure 2 of the paper shows these heterogeneous layouts.
+        assert (7,) in configs
+        assert tuple(sorted((4, 2, 1), reverse=True)) in configs
+        assert tuple(sorted((3, 2, 1, 1), reverse=True)) in configs
+
+    def test_enumeration_all_valid_and_unique(self):
+        configs = enumerate_configurations()
+        assert len(configs) == len(set(configs))
+        for config in configs:
+            assert is_valid_configuration(list(config))
+            assert config  # empty configuration excluded
+
+
+class TestMIGConfiguration:
+    def test_add_and_free_gpcs(self):
+        config = MIGConfiguration(gpu_index=0, partitions=[3])
+        assert config.free_gpcs == 4
+        config.add(4)
+        assert config.free_gpcs == 0
+        assert config.partitions == [4, 3]
+
+    def test_add_beyond_capacity_raises(self):
+        config = MIGConfiguration(gpu_index=0, partitions=[4, 2])
+        assert not config.can_add(2)
+        with pytest.raises(MIGError):
+            config.add(2)
+
+    def test_invalid_initial_configuration_rejected(self):
+        with pytest.raises(MIGError):
+            MIGConfiguration(gpu_index=0, partitions=[4, 4])
+
+    def test_reset(self):
+        config = MIGConfiguration(gpu_index=0, partitions=[7])
+        config.reset()
+        assert config.partitions == []
+        assert config.free_gpcs == 7
+
+
+class TestPacking:
+    def test_packs_paper_mobilenet_config(self):
+        # 6xGPU(1) + 4xGPU(2) + 2xGPU(3) + 1xGPU(4) = 24 GPCs on 4 GPUs.
+        configs = pack_partitions({1: 6, 2: 4, 3: 2, 4: 1}, num_gpus=4)
+        placed = [size for cfg in configs for size in cfg.partitions]
+        assert sorted(placed) == [1] * 6 + [2] * 4 + [3] * 2 + [4]
+        for cfg in configs:
+            assert cfg.used_gpcs <= 7
+
+    def test_packs_paper_bert_config(self):
+        # 2xGPU(3) + 2xGPU(4) + 4xGPU(7) = 42 GPCs on 6 GPUs.
+        configs = pack_partitions({3: 2, 4: 2, 7: 4}, num_gpus=6)
+        assert sum(cfg.used_gpcs for cfg in configs) == 42
+
+    def test_packing_failure_raises(self):
+        with pytest.raises(MIGError):
+            pack_partitions({7: 9}, num_gpus=8)
+
+    def test_unsupported_size_rejected(self):
+        with pytest.raises(MIGError):
+            pack_partitions({5: 1}, num_gpus=1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MIGError):
+            pack_partitions({1: -1}, num_gpus=1)
+
+    def test_unused_gpus_reported_empty(self):
+        configs = pack_partitions({7: 1}, num_gpus=3)
+        assert len(configs) == 3
+        assert sum(1 for cfg in configs if not cfg.partitions) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.dictionaries(
+            st.sampled_from([1, 2, 3, 4, 7]), st.integers(0, 4), max_size=5
+        ),
+        num_gpus=st.integers(1, 8),
+    )
+    def test_packing_never_overfills_a_gpu(self, counts, num_gpus):
+        """Property: any successful packing respects each GPU's 7-GPC budget."""
+        try:
+            configs = pack_partitions(counts, num_gpus)
+        except MIGError:
+            return  # infeasible request: rejection is the correct behaviour
+        placed = sorted(s for cfg in configs for s in cfg.partitions)
+        requested = sorted(
+            size for size, count in counts.items() for _ in range(count)
+        )
+        assert placed == requested
+        for cfg in configs:
+            assert cfg.used_gpcs <= 7
+
+
+class TestInstantiate:
+    def test_instances_sorted_by_size_and_unique_ids(self):
+        configs = pack_partitions({1: 2, 7: 1, 3: 1}, num_gpus=3)
+        instances = instantiate(configs)
+        sizes = [inst.gpcs for inst in instances]
+        assert sizes == sorted(sizes)
+        ids = [inst.instance_id for inst in instances]
+        assert ids == list(range(len(instances)))
+
+    def test_instances_reference_their_gpu(self):
+        configs = pack_partitions({7: 2}, num_gpus=2, architecture=a100_spec())
+        instances = instantiate(configs)
+        assert {inst.physical_gpu for inst in instances} == {0, 1}

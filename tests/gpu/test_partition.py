@@ -1,0 +1,55 @@
+"""Tests for GPU partition abstractions."""
+
+import pytest
+
+from repro.gpu.architecture import A100, GPUArchitecture
+from repro.gpu.partition import GPUPartition, PartitionInstance
+
+
+class TestGPUPartition:
+    @pytest.mark.parametrize("gpcs", [1, 2, 3, 4, 7])
+    def test_valid_sizes_construct(self, gpcs):
+        partition = GPUPartition(gpcs)
+        assert partition.gpcs == gpcs
+        assert partition.name == f"GPU({gpcs})"
+
+    @pytest.mark.parametrize("gpcs", [0, 5, 6, 8, -1])
+    def test_invalid_sizes_rejected(self, gpcs):
+        with pytest.raises(ValueError):
+            GPUPartition(gpcs)
+
+    def test_resources_scale_with_size(self):
+        small, large = GPUPartition(1), GPUPartition(7)
+        assert large.peak_flops == pytest.approx(7 * small.peak_flops)
+        assert large.memory_bandwidth == pytest.approx(7 * small.memory_bandwidth)
+        assert large.sm_count == 7 * small.sm_count
+
+    def test_compute_fraction(self):
+        assert GPUPartition(7).compute_fraction == pytest.approx(1.0)
+        assert GPUPartition(1).compute_fraction == pytest.approx(1 / 7)
+
+    def test_ordering_by_size(self):
+        partitions = [GPUPartition(g) for g in (7, 1, 3, 2, 4)]
+        assert [p.gpcs for p in sorted(partitions)] == [1, 2, 3, 4, 7]
+
+    def test_equality_ignores_architecture_instance(self):
+        assert GPUPartition(3) == GPUPartition(3, A100)
+
+    def test_custom_architecture_validation(self):
+        arch = GPUArchitecture(gpc_count=4, valid_partition_sizes=(1, 2, 4))
+        assert GPUPartition(4, arch).gpcs == 4
+        with pytest.raises(ValueError):
+            GPUPartition(3, arch)
+
+
+class TestPartitionInstance:
+    def test_properties_delegate_to_partition(self):
+        instance = PartitionInstance(5, GPUPartition(3), physical_gpu=2)
+        assert instance.gpcs == 3
+        assert instance.instance_id == 5
+        assert "GPU(3)" in instance.name
+        assert "gpu2" in instance.name
+
+    def test_default_placement_is_abstract(self):
+        instance = PartitionInstance(0, GPUPartition(1))
+        assert instance.physical_gpu == -1

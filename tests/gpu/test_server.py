@@ -1,0 +1,54 @@
+"""Tests for the multi-GPU server model."""
+
+import pytest
+
+from repro.gpu.server import MultiGPUServer, ServerCapacityError
+
+
+class TestMultiGPUServer:
+    def test_default_is_paper_testbed(self):
+        server = MultiGPUServer()
+        assert server.num_gpus == 8
+        assert server.total_gpcs == 56
+        assert server.total_gpcs_physical == 56
+
+    def test_budget_restricts_usable_gpcs(self):
+        server = MultiGPUServer(num_gpus=8, gpc_budget=24)
+        assert server.total_gpcs == 24
+        with pytest.raises(ServerCapacityError):
+            server.configure({7: 4})  # 28 > 24 budget
+
+    def test_budget_larger_than_physical_rejected(self):
+        with pytest.raises(ValueError):
+            MultiGPUServer(num_gpus=1, gpc_budget=8)
+
+    def test_configure_returns_sorted_instances(self):
+        server = MultiGPUServer(num_gpus=4)
+        instances = server.configure({1: 6, 2: 4, 3: 2, 4: 1})
+        assert len(instances) == 13
+        assert [i.gpcs for i in instances] == sorted(i.gpcs for i in instances)
+        assert server.used_gpcs() == 24
+        assert server.summary() == {1: 6, 2: 4, 3: 2, 4: 1}
+
+    def test_reconfigure_replaces_previous_layout(self):
+        server = MultiGPUServer(num_gpus=2)
+        server.configure({7: 2})
+        instances = server.configure({1: 14})
+        assert len(instances) == 14
+        assert server.summary() == {1: 14}
+
+    def test_reset_clears_configuration(self):
+        server = MultiGPUServer(num_gpus=2)
+        server.configure({7: 1})
+        server.reset()
+        assert server.instances == []
+        assert server.used_gpcs() == 0
+
+    def test_over_capacity_rejected(self):
+        server = MultiGPUServer(num_gpus=1)
+        with pytest.raises(ServerCapacityError):
+            server.configure({7: 2})
+
+    def test_invalid_num_gpus(self):
+        with pytest.raises(ValueError):
+            MultiGPUServer(num_gpus=0)

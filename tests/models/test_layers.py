@@ -1,0 +1,128 @@
+"""Tests for the analytical layer cost functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    Embedding,
+    Linear,
+    MultiHeadAttention,
+    Pooling,
+    conv_bn_relu,
+)
+
+
+class TestConv2d:
+    def test_flops_formula(self):
+        conv = Conv2d(
+            name="c", in_channels=64, out_channels=128, kernel_size=3, input_hw=56
+        )
+        expected = 2 * 3 * 3 * 64 * 56 * 56 * 128
+        assert conv.flops(1) == pytest.approx(expected)
+
+    def test_flops_scale_linearly_with_batch(self):
+        conv = Conv2d(name="c", in_channels=32, out_channels=32, input_hw=28)
+        assert conv.flops(8) == pytest.approx(8 * conv.flops(1))
+
+    def test_stride_reduces_output_and_flops(self):
+        dense = Conv2d(name="c", input_hw=56, stride=1)
+        strided = Conv2d(name="c", input_hw=56, stride=2)
+        assert strided.output_hw == 28
+        assert strided.flops(1) < dense.flops(1)
+
+    def test_groups_divide_flops_and_weights(self):
+        full = Conv2d(name="c", in_channels=64, out_channels=64, input_hw=28)
+        grouped = Conv2d(name="c", in_channels=64, out_channels=64, input_hw=28, groups=4)
+        assert grouped.flops(1) == pytest.approx(full.flops(1) / 4)
+        assert grouped.weight_bytes() == pytest.approx(full.weight_bytes() / 4)
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(name="c", in_channels=30, out_channels=64, groups=4)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(name="c").flops(0)
+
+
+class TestDepthwiseConv2d:
+    def test_flops_much_lower_than_dense(self):
+        dense = Conv2d(name="c", in_channels=256, out_channels=256, input_hw=14)
+        depthwise = DepthwiseConv2d(name="d", channels=256, input_hw=14)
+        assert depthwise.flops(1) < dense.flops(1) / 50
+
+    def test_memory_bound_character(self):
+        layer = DepthwiseConv2d(name="d", channels=512, input_hw=14)
+        # depthwise kernels move far more bytes per flop than dense conv
+        assert layer.flops(1) / layer.bytes_moved(1) < 10
+
+
+class TestLinear:
+    def test_flops_formula(self):
+        layer = Linear(name="fc", in_features=1024, out_features=1000)
+        assert layer.flops(1) == pytest.approx(2 * 1024 * 1000)
+
+    def test_tokens_multiply_work(self):
+        single = Linear(name="fc", in_features=768, out_features=768, tokens=1)
+        seq = Linear(name="fc", in_features=768, out_features=768, tokens=128)
+        assert seq.flops(1) == pytest.approx(128 * single.flops(1))
+
+    def test_weight_bytes_independent_of_batch(self):
+        layer = Linear(name="fc", in_features=512, out_features=512)
+        assert layer.weight_bytes() == 512 * 512 * 2
+
+
+class TestMultiHeadAttention:
+    def test_flops_quadratic_in_sequence_length(self):
+        short = MultiHeadAttention(name="a", seq_len=64)
+        long = MultiHeadAttention(name="a", seq_len=128)
+        assert long.flops(1) == pytest.approx(4 * short.flops(1))
+
+    def test_no_weights(self):
+        assert MultiHeadAttention(name="a").weight_bytes() == 0.0
+
+
+class TestAuxiliaryLayers:
+    def test_elementwise_bytes(self):
+        layer = Elementwise(name="e", elements_per_sample=1000)
+        assert layer.bytes_moved(2) == pytest.approx(2 * 2 * 1000 * 2)
+
+    def test_pooling_reduces_output(self):
+        layer = Pooling(name="p", channels=64, input_hw=8, window=2)
+        assert layer.output_elements(1) == 4 * 4 * 64
+
+    def test_embedding_scales_with_sequence(self):
+        layer = Embedding(name="emb", seq_len=128, hidden_size=768)
+        assert layer.flops(1) == pytest.approx(128 * 768)
+
+    def test_conv_bn_relu_helper_pairs_layers(self):
+        conv, post = conv_bn_relu("blk", 3, 64, 3, 224, stride=2)
+        assert conv.output_hw == 112
+        assert post.elements_per_sample == 112 * 112 * 64
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batch=st.integers(1, 128),
+    channels=st.sampled_from([8, 32, 128, 512]),
+    hw=st.sampled_from([7, 14, 56, 112]),
+)
+def test_layer_costs_are_positive_and_monotone_in_batch(batch, channels, hw):
+    """Property: every cost function is positive and non-decreasing in batch."""
+    layers = [
+        Conv2d(name="c", in_channels=channels, out_channels=channels, input_hw=hw),
+        DepthwiseConv2d(name="d", channels=channels, input_hw=hw),
+        Linear(name="l", in_features=channels, out_features=channels),
+        Elementwise(name="e", elements_per_sample=hw * hw * channels),
+    ]
+    for layer in layers:
+        assert layer.flops(batch) > 0
+        assert layer.bytes_moved(batch) > 0
+        assert layer.thread_blocks(batch) >= 1
+        if batch > 1:
+            assert layer.flops(batch) >= layer.flops(batch - 1)
+            assert layer.bytes_moved(batch) >= layer.bytes_moved(batch - 1)
+            assert layer.thread_blocks(batch) >= layer.thread_blocks(batch - 1)

@@ -1,0 +1,113 @@
+"""Tests for the five paper DNN model specifications."""
+
+import pytest
+
+from repro.models.base import ComputeIntensity, ModelSpec, validate_layers
+from repro.models.bert import build_bert_base
+from repro.models.conformer import build_conformer
+from repro.models.layers import Linear
+from repro.models.mobilenet import build_mobilenet_v1
+from repro.models.registry import PAPER_MODELS, get_model
+from repro.models.resnet import build_resnet50
+from repro.models.shufflenet import build_shufflenet_v2
+
+
+class TestModelSpec:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="empty", layers=())
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="", layers=(Linear(name="fc"),))
+
+    def test_aggregates_sum_layers(self):
+        layer = Linear(name="fc", in_features=10, out_features=10)
+        spec = ModelSpec(name="toy", layers=(layer, layer))
+        assert spec.flops(1) == pytest.approx(2 * layer.flops(1))
+        assert spec.num_layers == 2
+        assert spec.weight_bytes() == pytest.approx(2 * layer.weight_bytes())
+
+    def test_summary_fields(self):
+        spec = get_model("resnet")
+        summary = spec.summary()
+        assert summary["name"] == "resnet"
+        assert summary["layers"] == spec.num_layers
+        assert summary["intensity"] == "medium"
+
+    def test_validate_layers_rejects_non_layers(self):
+        with pytest.raises(TypeError):
+            validate_layers([Linear(name="fc"), "not-a-layer"])
+
+
+class TestPaperModels:
+    def test_all_five_models_registered(self):
+        assert set(PAPER_MODELS) == {
+            "shufflenet",
+            "mobilenet",
+            "resnet",
+            "bert",
+            "conformer",
+        }
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_models_build_and_have_layers(self, name):
+        model = get_model(name)
+        assert model.name == name
+        assert model.num_layers > 10
+        assert model.flops(1) > 0
+        assert model.weight_bytes() > 0
+
+    def test_compute_intensity_ordering(self):
+        """The paper's low/medium/high classification maps to per-sample FLOPs."""
+        flops = {name: get_model(name).gflops(1) for name in PAPER_MODELS}
+        assert flops["shufflenet"] < flops["mobilenet"] < flops["resnet"]
+        assert flops["resnet"] < flops["bert"]
+
+    def test_intensity_labels(self):
+        assert get_model("shufflenet").intensity is ComputeIntensity.LOW
+        assert get_model("mobilenet").intensity is ComputeIntensity.LOW
+        assert get_model("resnet").intensity is ComputeIntensity.MEDIUM
+        assert get_model("bert").intensity is ComputeIntensity.HIGH
+        assert get_model("conformer").intensity is ComputeIntensity.MEDIUM
+
+    def test_model_flops_in_plausible_ranges(self):
+        """Per-sample GFLOPs should be in the right ballpark of the real nets."""
+        assert 0.05 <= get_model("shufflenet").gflops(1) <= 1.0
+        assert 0.3 <= get_model("mobilenet").gflops(1) <= 2.5
+        assert 3.0 <= get_model("resnet").gflops(1) <= 20.0
+        assert 10.0 <= get_model("bert").gflops(1) <= 60.0
+
+    def test_resnet_weights_heavier_than_mobilenet(self):
+        assert get_model("resnet").weight_bytes() > get_model("mobilenet").weight_bytes()
+
+
+class TestBuilders:
+    def test_mobilenet_width_multiplier_scales_flops(self):
+        full = build_mobilenet_v1(width_multiplier=1.0)
+        slim = build_mobilenet_v1(width_multiplier=0.5)
+        assert slim.flops(1) < full.flops(1)
+
+    def test_bert_sequence_length_scales_flops(self):
+        short = build_bert_base(seq_len=64)
+        long = build_bert_base(seq_len=256)
+        assert long.flops(1) > 3 * short.flops(1)
+
+    def test_bert_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            build_bert_base(hidden_size=100, num_heads=7)
+
+    def test_resnet_invalid_image_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet50(image_size=0)
+
+    def test_shufflenet_invalid_image_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_shufflenet_v2(image_size=-2)
+
+    def test_conformer_layers_scale(self):
+        small = build_conformer(num_layers=4)
+        large = build_conformer(num_layers=16)
+        assert large.flops(1) > 2 * small.flops(1)
+        with pytest.raises(ValueError):
+            build_conformer(num_layers=0)

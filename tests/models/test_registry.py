@@ -1,0 +1,49 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.models.base import ModelSpec
+from repro.models.layers import Linear
+from repro.models.registry import (
+    PAPER_MODELS,
+    clear_cache,
+    get_model,
+    list_models,
+    register_model,
+)
+
+
+class TestRegistry:
+    def test_paper_models_listed(self):
+        names = list_models()
+        for name in PAPER_MODELS:
+            assert name in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model("ResNet") is get_model("resnet")
+
+    def test_unknown_model_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            get_model("does-not-exist")
+
+    def test_specs_are_cached(self):
+        assert get_model("bert") is get_model("bert")
+
+    def test_register_custom_model_and_duplicate_rejection(self):
+        name = "tiny-test-model"
+        if name not in list_models():
+            register_model(
+                name,
+                lambda: ModelSpec(name=name, layers=(Linear(name="fc"),)),
+            )
+        spec = get_model(name)
+        assert spec.name == name
+        with pytest.raises(ValueError):
+            register_model(name, lambda: spec)
+
+    def test_clear_cache_rebuilds_specs(self):
+        first = get_model("mobilenet")
+        clear_cache()
+        second = get_model("mobilenet")
+        assert first is not second
+        assert first.flops(4) == pytest.approx(second.flops(4))

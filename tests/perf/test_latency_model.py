@@ -1,0 +1,104 @@
+"""Tests for the per-query latency/utilization model.
+
+These tests encode the paper's characterisation findings (Section III,
+Figures 3 and 4) as assertions on the analytical model — they are the
+reproduction's ground truth for "does the substrate behave like the profiled
+hardware".
+"""
+
+import pytest
+
+from repro.models.registry import PAPER_MODELS, get_model
+from repro.perf.latency_model import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel()
+
+
+class TestBasicProperties:
+    def test_invalid_batch_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.query_cost(get_model("resnet"), 0, 7)
+
+    def test_invalid_partition_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.query_cost(get_model("resnet"), 1, 5)
+
+    def test_throughput_is_inverse_latency(self, model):
+        cost = model.query_cost(get_model("resnet"), 8, 3)
+        assert cost.throughput_qps == pytest.approx(1.0 / cost.latency_s)
+
+    def test_latency_ms_helper(self, model):
+        cost = model.query_cost(get_model("bert"), 4, 7)
+        assert cost.latency_ms == pytest.approx(cost.latency_s * 1e3)
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_utilization_bounded(self, model, name):
+        for gpcs in (1, 3, 7):
+            for batch in (1, 8, 32):
+                util = model.utilization(get_model(name), batch, gpcs)
+                assert 0.0 < util <= 1.0
+
+
+class TestMonotonicity:
+    """Figure 4: latency and utilization rise monotonically with batch size."""
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    @pytest.mark.parametrize("gpcs", [1, 3, 7])
+    def test_latency_monotone_in_batch(self, model, name, gpcs):
+        spec = get_model(name)
+        latencies = [model.latency(spec, b, gpcs) for b in (1, 2, 4, 8, 16, 32, 64)]
+        assert latencies == sorted(latencies)
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    @pytest.mark.parametrize("gpcs", [1, 3, 7])
+    def test_utilization_monotone_in_batch(self, model, name, gpcs):
+        spec = get_model(name)
+        utils = [model.utilization(spec, b, gpcs) for b in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(b >= a - 1e-9 for a, b in zip(utils, utils[1:]))
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_latency_non_increasing_in_partition_size(self, model, name):
+        spec = get_model(name)
+        for batch in (1, 8, 32):
+            latencies = [model.latency(spec, batch, g) for g in (1, 2, 3, 4, 7)]
+            assert all(b <= a * 1.001 for a, b in zip(latencies, latencies[1:]))
+
+
+class TestPaperCharacterisation:
+    """Section III: the qualitative findings that motivate PARIS."""
+
+    def test_small_partitions_achieve_higher_utilization(self, model):
+        """Figure 3: GPU(1) utilization > GPU(7) utilization at batch 8."""
+        for name in ("mobilenet", "resnet", "bert"):
+            spec = get_model(name)
+            assert model.utilization(spec, 8, 1) > model.utilization(spec, 8, 7)
+
+    def test_compute_heavy_models_suffer_more_on_small_partitions(self, model):
+        """Figure 3: BERT's latency blows up more than MobileNet's on GPU(1)."""
+        def slowdown(name):
+            spec = get_model(name)
+            return model.latency(spec, 8, 1) / model.latency(spec, 8, 7)
+
+        assert slowdown("bert") > slowdown("resnet") > slowdown("mobilenet")
+
+    def test_heavy_models_keep_large_partitions_busier(self, model):
+        """Figure 4a: BERT utilises GPU(7) better than MobileNet at equal batch."""
+        bert = get_model("bert")
+        mobilenet = get_model("mobilenet")
+        assert model.utilization(bert, 8, 7) > model.utilization(mobilenet, 8, 7)
+
+    def test_utilization_saturates_at_large_batch_on_small_partition(self, model):
+        """Figure 4a: small partitions reach the 80-95% plateau."""
+        for name in PAPER_MODELS:
+            spec = get_model(name)
+            assert model.utilization(spec, 64, 1) >= 0.8
+
+    def test_latency_grows_linearly_past_the_knee(self, model):
+        """Figure 4b: once saturated, doubling the batch roughly doubles latency."""
+        spec = get_model("bert")
+        l32 = model.latency(spec, 32, 1)
+        l64 = model.latency(spec, 64, 1)
+        assert 1.6 < l64 / l32 < 2.4

@@ -1,0 +1,96 @@
+"""Tests for the profiled lookup table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.lookup import ProfileEntry, ProfileTable
+
+
+def make_table():
+    entries = []
+    for gpcs, scale in ((1, 4.0), (7, 1.0)):
+        for batch in (1, 2, 4, 8):
+            latency = scale * 0.001 * batch
+            entries.append(
+                ProfileEntry(
+                    gpcs=gpcs,
+                    batch=batch,
+                    latency_s=latency,
+                    utilization=min(1.0, 0.2 * batch),
+                    throughput_qps=1.0 / latency,
+                )
+            )
+    return ProfileTable("toy", entries)
+
+
+class TestProfileTable:
+    def test_requires_entries(self):
+        with pytest.raises(ValueError):
+            ProfileTable("empty", [])
+
+    def test_exact_lookup(self):
+        table = make_table()
+        assert table.latency(7, 4) == pytest.approx(0.004)
+        assert table.entry(1, 8).latency_s == pytest.approx(0.032)
+
+    def test_partition_and_batch_introspection(self):
+        table = make_table()
+        assert table.partition_sizes == [1, 7]
+        assert table.batch_sizes(7) == [1, 2, 4, 8]
+        assert table.max_batch == 8
+
+    def test_unprofiled_partition_raises(self):
+        table = make_table()
+        with pytest.raises(KeyError):
+            table.latency(3, 2)
+        with pytest.raises(KeyError):
+            table.entry(7, 5)
+
+    def test_interpolation_between_profiled_batches(self):
+        table = make_table()
+        assert table.latency(7, 3) == pytest.approx(0.003)
+        assert table.latency(7, 6) == pytest.approx(0.006)
+
+    def test_extrapolation_above_largest_batch(self):
+        table = make_table()
+        assert table.latency(7, 16) == pytest.approx(0.016)
+
+    def test_below_smallest_batch_clamps(self):
+        table = make_table()
+        assert table.latency(7, 1) == pytest.approx(0.001)
+        with pytest.raises(ValueError):
+            table.latency(7, 0)
+
+    def test_throughput_is_inverse_of_latency(self):
+        table = make_table()
+        assert table.throughput(1, 4) == pytest.approx(1.0 / table.latency(1, 4))
+
+    def test_utilization_clamped_to_one(self):
+        table = make_table()
+        assert table.utilization(1, 8) <= 1.0
+
+    def test_round_trip_serialization(self):
+        table = make_table()
+        restored = ProfileTable.from_json(table.to_json())
+        assert restored.model_name == table.model_name
+        assert restored.partition_sizes == table.partition_sizes
+        for gpcs in table.partition_sizes:
+            for batch in table.batch_sizes(gpcs):
+                assert restored.latency(gpcs, batch) == pytest.approx(
+                    table.latency(gpcs, batch)
+                )
+
+    def test_rows_enumeration(self):
+        table = make_table()
+        rows = table.rows()
+        assert len(rows) == 8
+        assert all(len(row) == 5 for row in rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=st.integers(1, 20))
+def test_interpolated_latency_is_monotone(batch):
+    """Property: interpolation preserves monotonicity of a monotone profile."""
+    table = make_table()
+    if batch > 1:
+        assert table.latency(7, batch) >= table.latency(7, batch - 1) - 1e-12

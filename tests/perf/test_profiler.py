@@ -1,0 +1,49 @@
+"""Tests for the one-time profiler."""
+
+import pytest
+
+from repro.models.registry import get_model
+from repro.perf.profiler import DEFAULT_BATCH_SIZES, Profiler, profile_model
+
+
+class TestProfiler:
+    def test_default_sweep_covers_figure4_range(self):
+        assert 1 in DEFAULT_BATCH_SIZES
+        assert 64 in DEFAULT_BATCH_SIZES
+
+    def test_profile_covers_all_pairs(self):
+        profiler = Profiler(batch_sizes=(1, 4, 16), partition_sizes=(1, 7))
+        table = profiler.profile(get_model("mobilenet"))
+        assert table.partition_sizes == [1, 7]
+        assert table.batch_sizes(1) == [1, 4, 16]
+        assert table.model_name == "mobilenet"
+
+    def test_profile_matches_latency_model(self):
+        profiler = Profiler(batch_sizes=(2, 8), partition_sizes=(3,))
+        table = profiler.profile(get_model("resnet"))
+        direct = profiler.latency_model.query_cost(get_model("resnet"), 8, 3)
+        assert table.latency(3, 8) == pytest.approx(direct.latency_s)
+        assert table.utilization(3, 8) == pytest.approx(direct.utilization)
+
+    def test_profile_many(self):
+        profiler = Profiler(batch_sizes=(1, 8), partition_sizes=(1, 7))
+        tables = profiler.profile_many([get_model("bert"), get_model("resnet")])
+        assert set(tables) == {"bert", "resnet"}
+
+    def test_invalid_batch_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler(batch_sizes=(0, 4))
+
+    def test_invalid_partition_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler(partition_sizes=(5,))
+
+    def test_profile_model_by_name(self):
+        table = profile_model("shufflenet", batch_sizes=(1, 2), partition_sizes=(1,))
+        assert table.model_name == "shufflenet"
+        assert table.batch_sizes(1) == [1, 2]
+
+    def test_duplicate_inputs_deduplicated(self):
+        profiler = Profiler(batch_sizes=(4, 4, 1), partition_sizes=(7, 7))
+        assert profiler.batch_sizes == (1, 4)
+        assert profiler.partition_sizes == (7,)

@@ -1,0 +1,103 @@
+"""Tests for the per-layer roofline cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.partition import GPUPartition
+from repro.models.layers import Conv2d, Linear
+from repro.perf.roofline import RooflineParameters, layer_cost, occupancy_for
+
+
+class TestRooflineParameters:
+    def test_defaults_valid(self):
+        params = RooflineParameters()
+        assert 0 < params.max_utilization <= 1.0
+        assert params.occupancy_knee > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"occupancy_knee": 0.0},
+            {"max_utilization": 0.0},
+            {"max_utilization": 1.5},
+            {"launch_overhead_s": -1e-6},
+            {"activation_dram_fraction": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RooflineParameters(**kwargs)
+
+
+class TestOccupancy:
+    def test_monotone_in_thread_blocks(self):
+        params = RooflineParameters()
+        values = [occupancy_for(ctas, 112, params) for ctas in (1, 10, 100, 1000, 10000)]
+        assert values == sorted(values)
+        assert values[-1] <= params.max_utilization
+
+    def test_small_partition_easier_to_fill(self):
+        params = RooflineParameters()
+        assert occupancy_for(64, 16, params) > occupancy_for(64, 112, params)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_for(0, 16, RooflineParameters())
+        with pytest.raises(ValueError):
+            occupancy_for(10, 0, RooflineParameters())
+
+
+class TestLayerCost:
+    def test_latency_includes_launch_overhead(self):
+        params = RooflineParameters()
+        layer = Linear(name="fc", in_features=64, out_features=64)
+        cost = layer_cost(layer, 1, GPUPartition(7), params)
+        assert cost.latency_s == pytest.approx(cost.busy_s + params.launch_overhead_s)
+
+    def test_min_kernel_time_floor(self):
+        params = RooflineParameters()
+        tiny = Linear(name="fc", in_features=4, out_features=4)
+        cost = layer_cost(tiny, 1, GPUPartition(7), params)
+        assert cost.busy_s >= params.min_kernel_time_s
+
+    def test_bigger_partition_never_slower_for_same_layer(self):
+        layer = Conv2d(name="c", in_channels=256, out_channels=256, input_hw=28)
+        small = layer_cost(layer, 8, GPUPartition(1))
+        large = layer_cost(layer, 8, GPUPartition(7))
+        assert large.latency_s <= small.latency_s * 1.001
+
+    def test_compute_bound_layer_scales_with_partition(self):
+        layer = Conv2d(name="c", in_channels=512, out_channels=512, input_hw=28)
+        small = layer_cost(layer, 64, GPUPartition(1))
+        large = layer_cost(layer, 64, GPUPartition(7))
+        # at saturation the speedup approaches the peak-FLOPs ratio
+        assert small.busy_s / large.busy_s > 3.0
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            layer_cost(Linear(name="fc"), 0, GPUPartition(1))
+
+    def test_activation_dram_fraction_reduces_memory_time(self):
+        layer = Conv2d(name="c", in_channels=64, out_channels=64, input_hw=112)
+        all_dram = layer_cost(
+            layer, 8, GPUPartition(1), RooflineParameters(activation_dram_fraction=1.0)
+        )
+        cached = layer_cost(
+            layer, 8, GPUPartition(1), RooflineParameters(activation_dram_fraction=0.1)
+        )
+        assert cached.memory_s < all_dram.memory_s
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.integers(1, 64),
+    gpcs=st.sampled_from([1, 2, 3, 4, 7]),
+)
+def test_layer_cost_invariants(batch, gpcs):
+    """Property: costs are positive, occupancy bounded, latency >= roofs."""
+    layer = Conv2d(name="c", in_channels=128, out_channels=128, input_hw=28)
+    cost = layer_cost(layer, batch, GPUPartition(gpcs))
+    assert cost.latency_s > 0
+    assert 0 < cost.occupancy <= 1.0
+    assert cost.busy_s >= max(0.0, min(cost.compute_s, cost.memory_s))
+    assert cost.latency_s >= cost.busy_s

@@ -1,0 +1,120 @@
+"""Property-based tests on cross-cutting system invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.elsa import ElsaScheduler
+from repro.core.schedulers import FifsScheduler, LeastLoadedScheduler
+from repro.sim.cluster import InferenceServerSimulator
+from tests.sim.helpers import MODEL, linear_profile, make_instances, make_trace
+
+
+def run_simulation(scheduler_name, arrivals, sizes, sla):
+    profile = linear_profile({1: 0.4, 3: 0.2, 7: 0.1})
+    latencies = {g: 0.0 for g in (1, 3, 7)}
+    schedulers = {
+        "fifs": FifsScheduler(),
+        "elsa": ElsaScheduler(profile),
+        "least-loaded": LeastLoadedScheduler(),
+    }
+    simulator = InferenceServerSimulator(
+        instances=make_instances(sizes),
+        profiles={MODEL: profile},
+        scheduler=schedulers[scheduler_name],
+    )
+    trace = make_trace(arrivals, sla=sla)
+    return simulator.run(trace)
+
+
+arrival_lists = st.lists(
+    st.tuples(st.floats(0.0, 10.0), st.integers(1, 32)), min_size=1, max_size=40
+).map(lambda items: sorted(items, key=lambda x: x[0]))
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    arrivals=arrival_lists,
+    scheduler=st.sampled_from(["fifs", "elsa", "least-loaded"]),
+    sizes=st.lists(st.sampled_from([1, 3, 7]), min_size=1, max_size=5),
+    sla=st.one_of(st.none(), st.floats(0.1, 10.0)),
+)
+def test_simulation_conservation_invariants(arrivals, scheduler, sizes, sla):
+    """Every query completes exactly once with causally ordered timestamps,
+    regardless of scheduler, server shape, workload or SLA."""
+    result = run_simulation(scheduler, arrivals, sizes, sla)
+    assert result.statistics.completed_queries == len(arrivals)
+    assert sum(result.per_instance_queries.values()) == len(arrivals)
+    for query in result.queries:
+        assert query.completed
+        assert query.arrival_time <= query.dispatch_time <= query.start_time
+        assert query.start_time <= query.finish_time
+        # service time equals the profiled latency of its batch on its instance
+        assert query.service_time > 0
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(arrivals=arrival_lists, sizes=st.lists(st.sampled_from([1, 3, 7]), min_size=1, max_size=4))
+def test_workers_never_overlap_executions(arrivals, sizes):
+    """Per-partition executions are serialised: busy time <= makespan."""
+    result = run_simulation("fifs", arrivals, sizes, sla=None)
+    makespan = result.statistics.makespan
+    for utilization in result.statistics.utilization.per_instance.values():
+        assert 0.0 <= utilization <= 1.0 + 1e-9
+    # per-instance executions must be non-overlapping
+    by_instance = {}
+    for query in result.queries:
+        by_instance.setdefault(query.instance_id, []).append(query)
+    for queries in by_instance.values():
+        queries.sort(key=lambda q: q.start_time)
+        for earlier, later in zip(queries, queries[1:]):
+            assert later.start_time >= earlier.finish_time - 1e-9
+
+
+unique_arrivals = st.lists(
+    st.tuples(st.floats(0.05, 2.0), st.integers(1, 32)), min_size=1, max_size=30
+).map(
+    lambda gaps: [
+        (sum(g for g, _ in gaps[: idx + 1]), batch)
+        for idx, (_, batch) in enumerate(gaps)
+    ]
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    arrivals=unique_arrivals,
+    sla=st.floats(0.5, 5.0),
+)
+def test_elsa_admission_is_not_overcommitted(arrivals, sla):
+    """Step A soundness: if, at dispatch time, some *idle* partition could
+    serve the query within its SLA on execution time alone, then whatever
+    instance ELSA picked must also have been predicted to meet the SLA
+    (wait + execution <= SLA)."""
+    result = run_simulation("elsa", arrivals, sizes=[1, 3, 7], sla=sla)
+    profile = linear_profile({1: 0.4, 3: 0.2, 7: 0.1})
+    queries = result.queries
+    instance_sizes = {
+        q.instance_id: None for q in queries
+    }
+    # recover instance sizes from per-query service times is unreliable; use
+    # the simulator's canonical ordering instead: ids were assigned by size.
+    sizes_sorted = [1, 3, 7]
+    instance_sizes = {idx: sizes_sorted[idx] for idx in range(3)}
+
+    def idle_at(instance_id, t, excluding):
+        for other in queries:
+            if other.query_id == excluding or other.instance_id != instance_id:
+                continue
+            if other.dispatch_time <= t and other.finish_time > t:
+                return False
+        return True
+
+    for query in queries:
+        t = query.dispatch_time
+        feasible_idle_exists = any(
+            idle_at(inst, t, query.query_id)
+            and profile.latency(size, query.batch) < sla
+            for inst, size in instance_sizes.items()
+        )
+        if feasible_idle_exists:
+            assert query.queueing_delay + query.service_time <= sla + 1e-9

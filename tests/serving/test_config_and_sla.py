@@ -1,0 +1,76 @@
+"""Tests for the server configuration and SLA target derivation."""
+
+import pytest
+
+from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
+from repro.serving.sla import derive_sla_target
+from tests.sim.helpers import constant_profile, linear_profile
+
+
+class TestServerConfig:
+    def test_defaults_are_paris_elsa(self):
+        config = ServerConfig(model="resnet")
+        assert config.partitioning is PartitioningStrategy.PARIS
+        assert config.scheduler is SchedulingPolicy.ELSA
+        assert config.effective_gpc_budget == 56
+        assert config.label() == "paris+elsa"
+
+    def test_homogeneous_label_includes_size(self):
+        config = ServerConfig(
+            model="bert",
+            partitioning=PartitioningStrategy.HOMOGENEOUS,
+            scheduler=SchedulingPolicy.FIFS,
+            homogeneous_gpcs=3,
+        )
+        assert config.label() == "gpu(3)+fifs"
+
+    def test_budget_override(self):
+        config = ServerConfig(model="bert", gpc_budget=42)
+        assert config.effective_gpc_budget == 42
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"model": ""},
+            {"model": "resnet", "num_gpus": 0},
+            {"model": "resnet", "gpc_budget": 0},
+            {"model": "resnet", "homogeneous_gpcs": 5},
+            {"model": "resnet", "sla_multiplier": 0.0},
+            {"model": "resnet", "max_batch": 0},
+            {"model": "resnet", "frontend_capacity_qps": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerConfig(**kwargs)
+
+    def test_enum_values_round_trip_from_strings(self):
+        assert PartitioningStrategy("paris") is PartitioningStrategy.PARIS
+        assert SchedulingPolicy("fifs") is SchedulingPolicy.FIFS
+
+
+class TestSlaTarget:
+    def test_multiplier_times_reference_latency(self):
+        profile = linear_profile({7: 0.001, 1: 0.004})
+        # GPU(7) at batch 32 takes 32 ms; SLA = 1.5x = 48 ms.
+        assert derive_sla_target(profile, max_batch=32) == pytest.approx(0.048)
+
+    def test_custom_multiplier_and_reference(self):
+        profile = constant_profile({1: 2.0, 7: 1.0})
+        assert derive_sla_target(profile, 8, multiplier=2.0) == pytest.approx(2.0)
+        assert derive_sla_target(profile, 8, reference_gpcs=1) == pytest.approx(3.0)
+
+    def test_invalid_inputs_rejected(self):
+        profile = constant_profile({7: 1.0})
+        with pytest.raises(ValueError):
+            derive_sla_target(profile, max_batch=0)
+        with pytest.raises(ValueError):
+            derive_sla_target(profile, max_batch=8, multiplier=0.0)
+        with pytest.raises(KeyError):
+            derive_sla_target(profile, max_batch=8, reference_gpcs=3)
+
+    def test_sla_scales_with_model_weight(self, mobilenet_profile, bert_profile):
+        """Heavier models get proportionally larger SLA targets."""
+        light = derive_sla_target(mobilenet_profile, 32)
+        heavy = derive_sla_target(bert_profile, 32)
+        assert heavy > light

@@ -1,0 +1,70 @@
+"""Tests for the InferenceService facade."""
+
+import pytest
+
+from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
+from repro.serving.service import InferenceService
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def service(profiler):
+    config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+    return InferenceService(config, profiler=profiler)
+
+
+class TestInferenceService:
+    def test_deploy_requires_a_pdf(self, profiler):
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(config, profiler=profiler)
+        with pytest.raises(ValueError):
+            service.deploy()
+
+    def test_serve_end_to_end(self, service):
+        workload = WorkloadConfig(
+            model="mobilenet", rate_qps=300.0, num_queries=300, seed=1
+        )
+        result = service.serve(workload)
+        assert result.simulation.statistics.completed_queries == 300
+        assert result.p95_latency > 0
+        assert result.throughput_qps > 0
+        assert 0.0 <= result.sla_violation_rate <= 1.0
+        summary = result.summary()
+        assert set(summary) >= {
+            "p95_latency_ms",
+            "throughput_qps",
+            "sla_violation_rate",
+            "mean_utilization",
+            "sla_target_ms",
+        }
+
+    def test_workload_model_mismatch_rejected(self, service):
+        workload = WorkloadConfig(model="bert", rate_qps=10.0, num_queries=10)
+        with pytest.raises(ValueError):
+            service.serve(workload)
+
+    def test_serve_trace_applies_sla(self, service):
+        workload = WorkloadConfig(
+            model="mobilenet", rate_qps=100.0, num_queries=50, seed=2
+        )
+        trace = QueryGenerator(workload).generate()
+        result = service.serve_trace(trace)
+        assert all(q.sla_target == pytest.approx(result.sla_target)
+                   for q in result.simulation.queries)
+
+    def test_deployment_cached(self, service):
+        assert service.deployment is service.deployment
+
+    def test_fifs_service_also_runs(self, profiler):
+        config = ServerConfig(
+            model="mobilenet",
+            partitioning=PartitioningStrategy.HOMOGENEOUS,
+            scheduler=SchedulingPolicy.FIFS,
+            homogeneous_gpcs=7,
+            gpc_budget=28,
+            num_gpus=4,
+        )
+        service = InferenceService(config, profiler=profiler)
+        workload = WorkloadConfig(model="mobilenet", rate_qps=200.0, num_queries=200)
+        result = service.serve(workload)
+        assert result.simulation.statistics.completed_queries == 200

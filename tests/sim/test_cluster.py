@@ -1,0 +1,152 @@
+"""Tests for the inference-server simulator."""
+
+import pytest
+
+from repro.core.schedulers import FifsScheduler, LeastLoadedScheduler
+from repro.sim.cluster import InferenceServerSimulator
+from tests.sim.helpers import MODEL, constant_profile, linear_profile, make_instances, make_trace
+
+
+def make_simulator(sizes=(1, 7), latencies=None, scheduler=None, **kwargs):
+    latencies = latencies or {1: 2.0, 7: 1.0}
+    profile = constant_profile(latencies)
+    return InferenceServerSimulator(
+        instances=make_instances(sizes),
+        profiles={MODEL: profile},
+        scheduler=scheduler or FifsScheduler(),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_requires_instances_and_profiles(self):
+        profile = constant_profile({1: 1.0})
+        with pytest.raises(ValueError):
+            InferenceServerSimulator([], {MODEL: profile}, FifsScheduler())
+        with pytest.raises(ValueError):
+            InferenceServerSimulator(make_instances([1]), {}, FifsScheduler())
+
+    def test_unknown_model_raises_on_estimate(self):
+        simulator = make_simulator()
+        with pytest.raises(KeyError):
+            simulator.estimate_latency("unknown", 1, 1)
+
+    def test_invalid_frontend_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_simulator(frontend_capacity_qps=0.0)
+
+
+class TestSingleWorkerBehaviour:
+    def test_queries_serialise_on_one_partition(self):
+        simulator = make_simulator(sizes=(7,), latencies={7: 1.0})
+        trace = make_trace([(0.0, 1), (0.0, 1), (0.0, 1)])
+        result = simulator.run(trace)
+        finishes = sorted(q.finish_time for q in result.queries)
+        assert finishes == pytest.approx([1.0, 2.0, 3.0])
+        assert result.statistics.completed_queries == 3
+
+    def test_idle_gaps_are_respected(self):
+        simulator = make_simulator(sizes=(7,), latencies={7: 1.0})
+        trace = make_trace([(0.0, 1), (5.0, 1)])
+        result = simulator.run(trace)
+        second = [q for q in result.queries if q.query_id == 1][0]
+        assert second.start_time == pytest.approx(5.0)
+        assert second.latency == pytest.approx(1.0)
+
+    def test_all_queries_complete(self):
+        simulator = make_simulator(sizes=(1, 7))
+        trace = make_trace([(0.1 * i, 1 + i % 4) for i in range(50)])
+        result = simulator.run(trace)
+        assert result.statistics.completed_queries == 50
+        assert all(q.completed for q in result.queries)
+
+
+class TestFifsBehaviour:
+    def test_waits_in_central_queue_until_idle(self):
+        # One partition, two simultaneous queries: the second waits.
+        simulator = make_simulator(sizes=(7,), latencies={7: 2.0})
+        trace = make_trace([(0.0, 1), (0.0, 1)])
+        result = simulator.run(trace)
+        waits = sorted(q.queueing_delay for q in result.queries)
+        assert waits == pytest.approx([0.0, 2.0])
+
+    def test_uses_idle_partition_immediately(self):
+        simulator = make_simulator(sizes=(1, 7), latencies={1: 2.0, 7: 2.0})
+        trace = make_trace([(0.0, 1), (0.0, 1)])
+        result = simulator.run(trace)
+        assert {q.instance_id for q in result.queries} == {0, 1}
+        assert all(q.queueing_delay == 0.0 for q in result.queries)
+
+
+class TestReplayIsolation:
+    def test_trace_is_not_mutated(self):
+        simulator = make_simulator()
+        trace = make_trace([(0.0, 1), (1.0, 2)])
+        simulator.run(trace)
+        assert all(not q.completed for q in trace)
+
+    def test_same_trace_reusable_across_runs(self):
+        simulator = make_simulator()
+        trace = make_trace([(0.0, 1), (0.5, 2), (1.0, 4)])
+        first = simulator.run(trace)
+        second = simulator.run(trace)
+        assert first.statistics.latency.p95 == pytest.approx(
+            second.statistics.latency.p95
+        )
+
+
+class TestSchedulersOnCluster:
+    def test_least_loaded_balances(self):
+        simulator = make_simulator(
+            sizes=(7, 7), latencies={7: 1.0}, scheduler=LeastLoadedScheduler()
+        )
+        trace = make_trace([(0.0, 1)] * 4)
+        result = simulator.run(trace)
+        assert set(result.per_instance_queries.values()) == {2}
+
+    def test_execution_noise_changes_latencies_but_not_completion(self):
+        noisy = make_simulator(execution_noise_std=0.2, seed=5)
+        clean = make_simulator()
+        trace = make_trace([(0.2 * i, 2) for i in range(20)])
+        noisy_result = noisy.run(trace)
+        clean_result = clean.run(trace)
+        assert noisy_result.statistics.completed_queries == 20
+        assert clean_result.statistics.completed_queries == 20
+        assert noisy_result.statistics.latency.mean != pytest.approx(
+            clean_result.statistics.latency.mean
+        )
+
+
+class TestFrontendBottleneck:
+    def test_frontend_limits_dispatch_rate(self):
+        # 10 simultaneous arrivals, frontend can dispatch 1 query per second,
+        # plenty of workers: completion is staggered by the frontend.
+        simulator = make_simulator(
+            sizes=(7,) * 1, latencies={7: 0.001}, frontend_capacity_qps=1.0
+        )
+        trace = make_trace([(0.0, 1)] * 10)
+        result = simulator.run(trace)
+        makespan = result.statistics.makespan
+        assert makespan >= 9.0  # last query cannot start before ~9 s
+
+    def test_no_frontend_limit_by_default(self):
+        simulator = make_simulator(sizes=(7,), latencies={7: 0.001})
+        trace = make_trace([(0.0, 1)] * 10)
+        result = simulator.run(trace)
+        assert result.statistics.makespan < 0.1
+
+
+class TestLinearProfiles:
+    def test_larger_batches_take_longer(self):
+        profile = linear_profile({7: 0.5})
+        simulator = InferenceServerSimulator(
+            instances=make_instances([7]),
+            profiles={MODEL: profile},
+            scheduler=FifsScheduler(),
+        )
+        trace = make_trace([(0.0, 1), (10.0, 8)])
+        result = simulator.run(trace)
+        small = [q for q in result.queries if q.batch == 1][0]
+        large = [q for q in result.queries if q.batch == 8][0]
+        assert small.service_time == pytest.approx(0.5)
+        assert large.service_time == pytest.approx(4.0)

@@ -1,0 +1,78 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.events import Event, EventKind
+from repro.workload.query import Query
+
+
+def make_query(qid=0):
+    return Query(query_id=qid, model="toy", batch=1, arrival_time=0.0)
+
+
+class TestSimulationClock:
+    def test_advances_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+
+    def test_rejects_going_backwards(self):
+        clock = SimulationClock(start=2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulationClock(start=-1.0)
+
+
+class TestEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Event(time=-1.0, kind=EventKind.ARRIVAL, sequence=0, query=make_query())
+
+    def test_completion_sorts_before_arrival_at_same_time(self):
+        completion = Event(
+            time=1.0, kind=EventKind.COMPLETION, sequence=5, query=make_query()
+        )
+        arrival = Event(time=1.0, kind=EventKind.ARRIVAL, sequence=1, query=make_query())
+        assert completion < arrival
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.ARRIVAL, make_query(0))
+        queue.push(1.0, EventKind.ARRIVAL, make_query(1))
+        queue.push(3.0, EventKind.ARRIVAL, make_query(2))
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_within_same_timestamp_and_kind(self):
+        queue = EventQueue()
+        first = queue.push(1.0, EventKind.ARRIVAL, make_query(0))
+        second = queue.push(1.0, EventKind.ARRIVAL, make_query(1))
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.ARRIVAL, make_query())
+        assert queue.peek().time == 1.0
+        assert len(queue) == 1
+
+    def test_pop_and_peek_empty_raise(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+        with pytest.raises(IndexError):
+            queue.peek()
+
+    def test_len_and_truthiness(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, EventKind.ARRIVAL, make_query())
+        assert queue and len(queue) == 1

@@ -1,0 +1,95 @@
+"""Scenario tests reproducing the paper's scheduling timelines (Figures 5 and 10).
+
+Figure 5(b): on a heterogeneous server, FIFS sends a query to the only idle
+(small) partition and violates the SLA, when waiting for a large partition
+would have met it.
+
+Figure 10: ELSA detects the potential violation via its slack predictor,
+schedules query A to the large partition, and query B to the small partition
+only because B's slack is sufficient there.
+"""
+
+import pytest
+
+from repro.core.elsa import ElsaScheduler
+from repro.core.schedulers import FifsScheduler
+from repro.sim.cluster import InferenceServerSimulator
+from tests.sim.helpers import MODEL, constant_profile, make_instances, make_trace
+
+#: Small partition takes 3 s per query, large takes 1 s.
+LATENCIES = {1: 3.0, 7: 1.0}
+#: SLA of 2.5 s: feasible on the large partition, infeasible on the small one.
+SLA = 2.5
+
+
+def build(scheduler):
+    profile = constant_profile(LATENCIES)
+    return InferenceServerSimulator(
+        instances=make_instances([1, 7]),
+        profiles={MODEL: profile},
+        scheduler=scheduler,
+    ), profile
+
+
+class TestFigure5FifsPathology:
+    def test_fifs_sends_query_to_idle_small_partition_and_violates_sla(self):
+        # Query X occupies the large partition; query A then arrives and the
+        # only idle device is the small partition.
+        simulator, _ = build(FifsScheduler(idle_preference="largest"))
+        trace = make_trace([(0.0, 4), (0.1, 4)], sla=SLA)
+        result = simulator.run(trace)
+        query_a = [q for q in result.queries if q.query_id == 1][0]
+
+        small_instance = min(
+            result.per_instance_queries, key=lambda i: simulator.workers[i].gpcs
+        )
+        assert query_a.instance_id == small_instance
+        assert query_a.latency == pytest.approx(3.0)
+        assert query_a.sla_violated
+
+    def test_better_decision_would_have_met_sla(self):
+        # Had query A waited for the large partition it would have finished at
+        # 1.0 (remaining) + 1.0 (execution) ~= 2.0 < SLA.
+        wait_then_run = (1.0 - 0.1) + 1.0
+        assert wait_then_run < SLA
+
+
+class TestFigure10ElsaAvoidsViolation:
+    def test_elsa_waits_for_the_large_partition(self):
+        simulator, profile = build(ElsaScheduler(profile=constant_profile(LATENCIES)))
+        trace = make_trace([(0.0, 4), (0.1, 4)], sla=SLA)
+        result = simulator.run(trace)
+        query_a = [q for q in result.queries if q.query_id == 1][0]
+
+        large_instance = max(
+            range(len(simulator.workers)), key=lambda i: simulator.workers[i].gpcs
+        )
+        assert query_a.instance_id == large_instance
+        assert not query_a.sla_violated
+        assert query_a.latency == pytest.approx((1.0 - 0.1) + 1.0)
+
+    def test_elsa_uses_small_partition_when_slack_allows(self):
+        # A single small query with a loose SLA should go to the small
+        # partition (Step A prefers the smallest feasible partition to
+        # preserve the large one's capacity).
+        profile = constant_profile(LATENCIES)
+        simulator, _ = build(ElsaScheduler(profile=profile))
+        trace = make_trace([(0.0, 1)], sla=10.0)
+        result = simulator.run(trace)
+        query = result.queries[0]
+        small_instance = min(
+            range(len(simulator.workers)), key=lambda i: simulator.workers[i].gpcs
+        )
+        assert query.instance_id == small_instance
+        assert not query.sla_violated
+
+    def test_elsa_step_b_minimises_damage_when_sla_unreachable(self):
+        # SLA so tight that no partition can meet it: ELSA should pick the
+        # fastest completion (the large partition).
+        profile = constant_profile(LATENCIES)
+        simulator, _ = build(ElsaScheduler(profile=profile))
+        trace = make_trace([(0.0, 4)], sla=0.5)
+        result = simulator.run(trace)
+        query = result.queries[0]
+        assert simulator.workers[query.instance_id].gpcs == 7
+        assert query.latency == pytest.approx(1.0)

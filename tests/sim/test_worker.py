@@ -1,0 +1,108 @@
+"""Tests for the partition worker."""
+
+import pytest
+
+from repro.gpu.partition import GPUPartition, PartitionInstance
+from repro.sim.worker import PartitionWorker
+from repro.workload.query import Query
+
+
+def make_worker(gpcs=1, latency=2.0, noise=0.0):
+    instance = PartitionInstance(0, GPUPartition(gpcs))
+    return PartitionWorker(
+        instance, latency_fn=lambda model, batch, g: latency, noise_std=noise, seed=1
+    )
+
+
+def make_query(qid=0, batch=1):
+    return Query(query_id=qid, model="toy", batch=batch, arrival_time=0.0)
+
+
+class TestLifecycle:
+    def test_initially_idle(self):
+        worker = make_worker()
+        assert worker.is_idle and not worker.is_executing
+        assert worker.queue_depth == 0
+
+    def test_enqueue_start_complete_cycle(self):
+        worker = make_worker(latency=2.0)
+        query = make_query()
+        worker.enqueue(query, now=1.0)
+        assert query.dispatch_time == 1.0
+        assert query.instance_id == worker.instance_id
+
+        finish = worker.start_next(now=1.0)
+        assert finish == pytest.approx(3.0)
+        assert worker.is_executing
+
+        done = worker.complete_current(now=3.0)
+        assert done is query
+        assert query.finish_time == 3.0
+        assert worker.busy_time == pytest.approx(2.0)
+        assert worker.is_idle
+        assert worker.completed == [query]
+
+    def test_start_next_when_busy_returns_none(self):
+        worker = make_worker()
+        worker.enqueue(make_query(0), 0.0)
+        worker.enqueue(make_query(1), 0.0)
+        worker.start_next(0.0)
+        assert worker.start_next(0.0) is None
+        assert worker.queue_depth == 1
+
+    def test_complete_without_running_query_raises(self):
+        with pytest.raises(RuntimeError):
+            make_worker().complete_current(1.0)
+
+    def test_utilization_fraction(self):
+        worker = make_worker(latency=1.0)
+        worker.enqueue(make_query(), 0.0)
+        worker.start_next(0.0)
+        worker.complete_current(1.0)
+        assert worker.utilization(4.0) == pytest.approx(0.25)
+        assert worker.utilization(0.0) == 0.0
+
+
+class TestEstimation:
+    def test_remaining_execution_time(self):
+        worker = make_worker(latency=4.0)
+        worker.enqueue(make_query(), 0.0)
+        worker.start_next(0.0)
+        assert worker.remaining_execution_time(1.0) == pytest.approx(3.0)
+        assert worker.remaining_execution_time(10.0) == 0.0
+
+    def test_estimated_wait_combines_queue_and_remaining(self):
+        worker = make_worker(latency=4.0)
+        worker.enqueue(make_query(0), 0.0)
+        worker.start_next(0.0)
+        worker.enqueue(make_query(1), 0.0)
+        worker.enqueue(make_query(2), 0.0)
+        estimator = lambda model, batch, gpcs: 4.0
+        assert worker.estimated_wait(1.0, estimator) == pytest.approx(3.0 + 8.0)
+
+    def test_estimated_wait_idle_is_zero(self):
+        worker = make_worker()
+        assert worker.estimated_wait(0.0, lambda *a: 1.0) == 0.0
+
+
+class TestServiceTime:
+    def test_deterministic_without_noise(self):
+        worker = make_worker(latency=2.5)
+        assert worker.service_time(make_query()) == pytest.approx(2.5)
+
+    def test_noise_perturbs_but_stays_positive(self):
+        worker = make_worker(latency=1.0, noise=0.3)
+        times = [worker.service_time(make_query(i)) for i in range(50)]
+        assert all(t > 0 for t in times)
+        assert len(set(times)) > 1
+
+    def test_nonpositive_latency_from_oracle_rejected(self):
+        instance = PartitionInstance(0, GPUPartition(1))
+        worker = PartitionWorker(instance, latency_fn=lambda *a: 0.0)
+        with pytest.raises(ValueError):
+            worker.service_time(make_query())
+
+    def test_negative_noise_rejected(self):
+        instance = PartitionInstance(0, GPUPartition(1))
+        with pytest.raises(ValueError):
+            PartitionWorker(instance, latency_fn=lambda *a: 1.0, noise_std=-0.1)

@@ -1,0 +1,135 @@
+"""Tests for the batch-size and arrival distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.distributions import (
+    EmpiricalBatchDistribution,
+    LogNormalBatchDistribution,
+    PoissonArrivalProcess,
+    UniformBatchDistribution,
+)
+
+
+class TestLogNormalBatchDistribution:
+    def test_samples_within_bounds(self):
+        dist = LogNormalBatchDistribution(sigma=0.9, max_batch=32, seed=1)
+        samples = dist.sample(size=5000)
+        assert samples.min() >= 1
+        assert samples.max() <= 32
+
+    def test_pdf_sums_to_one_and_covers_range(self):
+        dist = LogNormalBatchDistribution(sigma=0.9, max_batch=32)
+        pdf = dist.pdf()
+        assert set(pdf) == set(range(1, 33))
+        assert sum(pdf.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in pdf.values())
+
+    def test_median_parameter_shifts_mass(self):
+        small = LogNormalBatchDistribution(median=2.0, max_batch=32)
+        large = LogNormalBatchDistribution(median=16.0, max_batch=32)
+        assert small.mean() < large.mean()
+
+    def test_larger_sigma_means_heavier_tail(self):
+        """Figure 13(a): larger variance puts more mass at extreme batch sizes."""
+        narrow = LogNormalBatchDistribution(sigma=0.3, median=8, max_batch=32)
+        wide = LogNormalBatchDistribution(sigma=1.8, median=8, max_batch=32)
+        assert wide.pdf()[32] > narrow.pdf()[32]
+        assert wide.pdf()[1] > narrow.pdf()[1]
+
+    def test_sampling_matches_pdf_roughly(self):
+        dist = LogNormalBatchDistribution(sigma=0.9, median=8, max_batch=32, seed=3)
+        samples = dist.sample(size=20000)
+        empirical_small = np.mean(samples <= 8)
+        analytic_small = sum(p for b, p in dist.pdf().items() if b <= 8)
+        assert empirical_small == pytest.approx(analytic_small, abs=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = LogNormalBatchDistribution(seed=42).sample(size=10)
+        b = LogNormalBatchDistribution(seed=42).sample(size=10)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sigma": 0.0},
+            {"median": 0.0},
+            {"max_batch": 0},
+            {"min_batch": 0},
+            {"min_batch": 10, "max_batch": 5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LogNormalBatchDistribution(**kwargs)
+
+
+class TestUniformBatchDistribution:
+    def test_pdf_uniform(self):
+        dist = UniformBatchDistribution(max_batch=4)
+        assert dist.pdf() == {1: 0.25, 2: 0.25, 3: 0.25, 4: 0.25}
+        assert dist.mean() == pytest.approx(2.5)
+
+    def test_samples_in_range(self):
+        dist = UniformBatchDistribution(max_batch=8, seed=0)
+        samples = dist.sample(size=1000)
+        assert samples.min() >= 1 and samples.max() <= 8
+
+
+class TestEmpiricalBatchDistribution:
+    def test_from_histogram_normalises(self):
+        dist = EmpiricalBatchDistribution({1: 30, 2: 70})
+        assert dist.pdf() == {1: pytest.approx(0.3), 2: pytest.approx(0.7)}
+
+    def test_from_samples(self):
+        dist = EmpiricalBatchDistribution.from_samples([1, 1, 2, 4, 4, 4])
+        assert dist.pdf()[4] == pytest.approx(0.5)
+        assert dist.mean() == pytest.approx((1 + 1 + 2 + 4 + 4 + 4) / 6)
+
+    def test_sampling_respects_support(self):
+        dist = EmpiricalBatchDistribution({2: 1, 8: 1}, seed=0)
+        samples = set(dist.sample(size=500).tolist())
+        assert samples <= {2, 8}
+
+    @pytest.mark.parametrize("hist", [{}, {0: 1}, {1: -1}, {1: 0}])
+    def test_invalid_histograms_rejected(self, hist):
+        with pytest.raises(ValueError):
+            EmpiricalBatchDistribution(hist)
+
+
+class TestPoissonArrivalProcess:
+    def test_mean_inter_arrival_matches_rate(self):
+        process = PoissonArrivalProcess(rate_qps=100.0, seed=0)
+        gaps = process.inter_arrival(size=20000)
+        assert gaps.mean() == pytest.approx(0.01, rel=0.05)
+
+    def test_arrival_times_monotone(self):
+        process = PoissonArrivalProcess(rate_qps=10.0, seed=1)
+        times = process.arrival_times(100)
+        assert np.all(np.diff(times) > 0)
+
+    def test_empty_and_invalid_counts(self):
+        process = PoissonArrivalProcess(rate_qps=10.0)
+        assert process.arrival_times(0).size == 0
+        with pytest.raises(ValueError):
+            process.arrival_times(-1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess(rate_qps=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sigma=st.floats(0.2, 2.0),
+    median=st.floats(1.0, 16.0),
+    max_batch=st.sampled_from([8, 16, 32, 64]),
+)
+def test_lognormal_pdf_always_a_distribution(sigma, median, max_batch):
+    """Property: the discretised PDF is a valid probability distribution."""
+    dist = LogNormalBatchDistribution(sigma=sigma, median=median, max_batch=max_batch)
+    pdf = dist.pdf()
+    assert sum(pdf.values()) == pytest.approx(1.0)
+    assert min(pdf) == 1 and max(pdf) == max_batch
+    assert all(p >= 0 for p in pdf.values())

@@ -1,0 +1,104 @@
+"""Tests for the query record and query traces."""
+
+import pytest
+
+from repro.workload.query import Query
+from repro.workload.trace import QueryTrace, merge_traces
+
+
+def make_query(qid=0, batch=4, arrival=0.0, sla=None):
+    return Query(
+        query_id=qid, model="resnet", batch=batch, arrival_time=arrival, sla_target=sla
+    )
+
+
+class TestQuery:
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            make_query(batch=0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            make_query(arrival=-1.0)
+
+    def test_latency_requires_completion(self):
+        query = make_query()
+        assert not query.completed
+        with pytest.raises(ValueError):
+            _ = query.latency
+
+    def test_timing_properties(self):
+        query = make_query(arrival=1.0)
+        query.dispatch_time = 1.0
+        query.start_time = 1.5
+        query.finish_time = 2.5
+        assert query.latency == pytest.approx(1.5)
+        assert query.queueing_delay == pytest.approx(0.5)
+        assert query.service_time == pytest.approx(1.0)
+
+    def test_sla_violation_detection(self):
+        query = make_query(arrival=0.0, sla=1.0)
+        query.start_time = 0.0
+        query.finish_time = 2.0
+        assert query.sla_violated
+        query.finish_time = 0.5
+        assert not query.sla_violated
+
+    def test_no_sla_never_violates(self):
+        query = make_query()
+        query.start_time = 0.0
+        query.finish_time = 100.0
+        assert not query.sla_violated
+
+    def test_reset_runtime_state(self):
+        query = make_query()
+        query.start_time = 1.0
+        query.finish_time = 2.0
+        query.instance_id = 3
+        query.reset_runtime_state()
+        assert not query.completed
+        assert query.instance_id is None
+
+
+class TestQueryTrace:
+    def test_requires_sorted_arrivals(self):
+        queries = (make_query(0, arrival=1.0), make_query(1, arrival=0.5))
+        with pytest.raises(ValueError):
+            QueryTrace(queries)
+
+    def test_basic_statistics(self):
+        queries = tuple(make_query(i, batch=2, arrival=float(i)) for i in range(11))
+        trace = QueryTrace(queries)
+        assert len(trace) == 11
+        assert trace.duration == pytest.approx(10.0)
+        assert trace.arrival_rate() == pytest.approx(1.0)
+        assert trace.total_samples == 22
+        assert trace.batch_histogram() == {2: 11}
+        assert trace.batch_pdf() == {2: 1.0}
+
+    def test_fresh_copy_clears_runtime_state(self):
+        query = make_query()
+        query.finish_time = 5.0
+        trace = QueryTrace((query,))
+        copy = trace.fresh_copy()
+        assert not copy[0].completed
+        assert trace[0].finish_time == 5.0  # original untouched
+
+    def test_with_sla_sets_every_query(self):
+        trace = QueryTrace(tuple(make_query(i, arrival=float(i)) for i in range(3)))
+        with_sla = trace.with_sla(0.5)
+        assert all(q.sla_target == 0.5 for q in with_sla)
+        with pytest.raises(ValueError):
+            trace.with_sla(0.0)
+
+    def test_merge_traces_sorts_and_renumbers(self):
+        a = QueryTrace((make_query(0, arrival=0.0), make_query(1, arrival=2.0)))
+        b = QueryTrace((make_query(0, arrival=1.0),))
+        merged = merge_traces([a, b])
+        assert [q.arrival_time for q in merged] == [0.0, 1.0, 2.0]
+        assert [q.query_id for q in merged] == [0, 1, 2]
+
+    def test_empty_trace_statistics(self):
+        trace = QueryTrace(())
+        assert trace.duration == 0.0
+        assert trace.arrival_rate() == 0.0

@@ -6,13 +6,11 @@
   over-conservative predictor.
 """
 
-from dataclasses import replace
-
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import latency_bounded_throughput
-from repro.core.elsa import ElsaScheduler
+from repro.core.specs import ClusterSpec, ElsaSpec
 from repro.serving.config import ServerConfig
-from repro.serving.deployment import Deployment, build_deployment
+from repro.serving.deployment import build_deployment
 from repro.workload.generator import WorkloadConfig
 
 MODEL = "mobilenet"
@@ -20,26 +18,18 @@ BUDGET = 24
 
 
 def build(settings, **elsa_kwargs):
-    config = ServerConfig(
-        model=MODEL,
-        gpc_budget=BUDGET,
-        num_gpus=8,
-        frontend_capacity_qps=settings.frontend_qps,
+    config = ServerConfig.from_specs(
+        MODEL,
+        scheduler=ElsaSpec(**elsa_kwargs),
+        cluster=ClusterSpec(
+            num_gpus=8,
+            gpc_budget=BUDGET,
+            frontend_capacity_qps=settings.frontend_qps,
+        ),
     )
-    deployment = build_deployment(
+    return build_deployment(
         config, settings.batch_pdf(), profile=settings.profile(MODEL)
     )
-    if elsa_kwargs:
-        scheduler = ElsaScheduler(deployment.profile, **elsa_kwargs)
-        deployment = Deployment(
-            config=deployment.config,
-            profile=deployment.profile,
-            plan=deployment.plan,
-            instances=deployment.instances,
-            scheduler=scheduler,
-            sla_target=deployment.sla_target,
-        )
-    return deployment
 
 
 def measure(settings, deployment):

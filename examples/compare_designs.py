@@ -17,7 +17,7 @@ Run with::
 
 import sys
 
-from repro.analysis.experiments import ExperimentSettings, _named_designs
+from repro.analysis.experiments import ExperimentSettings, named_designs
 from repro.analysis.reporting import format_table
 
 
@@ -25,6 +25,8 @@ def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "mobilenet"
     settings = ExperimentSettings(num_queries=600, search_iterations=7)
 
+    # Any "<partitioner>+<scheduler>" pair of registered policy names works
+    # here, including custom policies registered from user code.
     designs = [
         "gpu(1)+fifs",
         "gpu(2)+fifs",
@@ -34,7 +36,7 @@ def main() -> None:
         "paris+fifs",
         "paris+elsa",
     ]
-    deployments = _named_designs(model, settings, designs)
+    deployments = named_designs(model, settings, designs)
 
     rows = []
     baseline = None

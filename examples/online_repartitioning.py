@@ -4,12 +4,12 @@
 PARIS consumes a batch-size probability density function.  In production this
 PDF is not known ahead of time; the paper notes it "can readily be generated
 in the inference server by collecting the number of input batch sizes
-serviced within a given period of time".  This example demonstrates that
-workflow:
+serviced within a given period of time".  ``InferenceService.repartition``
+supports that workflow directly:
 
 1. deploy BERT with PARIS using an assumed (wrong) batch distribution,
 2. serve a day of traffic whose real distribution skews to larger batches,
-3. rebuild the PDF from the *observed* trace and re-run PARIS,
+3. rebuild the PDF from the *observed* trace and call ``repartition``,
 4. show that the re-partitioned server sustains a higher latency-bounded
    throughput on the real traffic.
 
@@ -18,43 +18,35 @@ Run with::
     python examples/online_repartitioning.py
 """
 
+from repro import InferenceService, QueryGenerator, ServerBuilder, WorkloadConfig
 from repro.analysis.sweep import latency_bounded_throughput
-from repro.perf.profiler import Profiler
-from repro.models.registry import get_model
-from repro.serving.config import ServerConfig
-from repro.serving.deployment import build_deployment
-from repro.workload.distributions import EmpiricalBatchDistribution, LogNormalBatchDistribution
-from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.distributions import LogNormalBatchDistribution
 
 MODEL = "bert"
 BUDGET = 42
 
 
 def main() -> None:
-    profile = Profiler().profile(get_model(MODEL))
-
     # 1. initial deployment assumes mostly tiny batches (median 2)
     assumed_pdf = LogNormalBatchDistribution(sigma=0.9, median=2, max_batch=32).pdf()
-    initial = build_deployment(
-        ServerConfig(model=MODEL, gpc_budget=BUDGET), assumed_pdf, profile=profile
+    service: InferenceService = (
+        ServerBuilder(MODEL).cluster(num_gpus=8, gpc_budget=BUDGET)
+        .build_service(batch_pdf=assumed_pdf)
     )
+    initial = service.deploy()
 
     # 2. the real traffic skews to larger batches (median 12)
     real_traffic = WorkloadConfig(
         model=MODEL, rate_qps=1000.0, num_queries=3000, median_batch=12.0, seed=7
     )
     observed_trace = QueryGenerator(real_traffic).generate()
+    before = latency_bounded_throughput(initial, real_traffic, iterations=7)
 
-    # 3. rebuild the PDF from the observed batch sizes and re-run PARIS
-    observed_pdf = EmpiricalBatchDistribution.from_samples(
-        [q.batch for q in observed_trace]
-    ).pdf()
-    repartitioned = build_deployment(
-        ServerConfig(model=MODEL, gpc_budget=BUDGET), observed_pdf, profile=profile
-    )
+    # 3. rebuild the PDF from the observed batch sizes and re-run PARIS;
+    #    profiles are reused, only the plan and the MIG layout change.
+    repartitioned = service.repartition(observed_trace.batch_pdf())
 
     # 4. compare latency-bounded throughput on the real traffic
-    before = latency_bounded_throughput(initial, real_traffic, iterations=7)
     after = latency_bounded_throughput(repartitioned, real_traffic, iterations=7)
 
     print(f"model: {MODEL}, GPC budget: {BUDGET}")

@@ -3,7 +3,8 @@
 
 This is the smallest end-to-end use of the library:
 
-1. describe the server design point (``ServerConfig``),
+1. describe the server design point with the fluent ``ServerBuilder``
+   (PARIS + ELSA are the defaults; any registered policy name works),
 2. describe the workload (``WorkloadConfig``: Poisson arrivals, log-normal
    batch sizes),
 3. let :class:`repro.InferenceService` profile the model, run PARIS, carve
@@ -15,16 +16,18 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import InferenceService, ServerConfig, WorkloadConfig
+from repro import ServerBuilder, WorkloadConfig
 
 
 def main() -> None:
-    config = ServerConfig(
-        model="resnet",       # one of: shufflenet, mobilenet, resnet, bert, conformer
-        gpc_budget=48,        # 48 of the 8x7=56 GPCs, as in the paper's Table I
-        num_gpus=8,
+    service = (
+        ServerBuilder("resnet")   # one of: shufflenet, mobilenet, resnet, bert, conformer
+        .cluster(num_gpus=8, gpc_budget=48)  # 48 of the 8x7=56 GPCs (Table I)
+        .partitioner("paris")
+        .scheduler("elsa")
+        .sla(multiplier=1.5, max_batch=32)
+        .build_service()
     )
-    service = InferenceService(config)
 
     workload = WorkloadConfig(
         model="resnet",

@@ -11,8 +11,8 @@ Run with::
     python examples/scheduling_timeline.py
 """
 
-from repro.core.elsa import ElsaScheduler
-from repro.core.schedulers import FifsScheduler
+from repro.core.registry import SchedulerContext, get_scheduler
+from repro.core.specs import FifsSpec
 from repro.gpu.partition import GPUPartition, PartitionInstance
 from repro.perf.lookup import ProfileEntry, ProfileTable
 from repro.sim.cluster import InferenceServerSimulator
@@ -70,10 +70,16 @@ def run(scheduler, label: str) -> None:
     print()
 
 
+def make_scheduler(name: str, spec=None):
+    """Build a scheduler by registry name — custom policies work here too."""
+    context = SchedulerContext(profile=make_profile(), spec=spec)
+    return get_scheduler(name)(context)
+
+
 def main() -> None:
     print(f"Two queries, SLA = {SLA}s, GPU(1) takes 3s, GPU(7) takes 1s\n")
-    run(FifsScheduler(idle_preference="largest"), "FIFS (Figure 5b)")
-    run(ElsaScheduler(profile=make_profile()), "ELSA (Figure 10b)")
+    run(make_scheduler("fifs", FifsSpec(idle_preference="largest")), "FIFS (Figure 5b)")
+    run(make_scheduler("elsa"), "ELSA (Figure 10b)")
 
 
 if __name__ == "__main__":

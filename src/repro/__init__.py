@@ -15,73 +15,134 @@ The package is organised bottom-up:
 * :mod:`repro.workload` — Poisson arrivals and log-normal batch sizes.
 * :mod:`repro.sim` — discrete-event simulator of the inference server.
 * :mod:`repro.core` — **PARIS** (Algorithm 1) and **ELSA** (Algorithm 2),
-  plus the FIFS / random / homogeneous baselines.
-* :mod:`repro.serving` — end-to-end deployment and the
+  the FIFS / random / homogeneous baselines, and the **policy registries**
+  that make partitioners and schedulers pluggable by name.
+* :mod:`repro.serving` — end-to-end deployment, the fluent
+  :class:`~repro.serving.builder.ServerBuilder` and the multi-model
   :class:`~repro.serving.service.InferenceService` facade.
 * :mod:`repro.analysis` — experiment harnesses regenerating every table and
   figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (fluent builder API)::
 
-    from repro import InferenceService, ServerConfig, WorkloadConfig
+    from repro import ServerBuilder, WorkloadConfig
 
-    config = ServerConfig(model="resnet")        # PARIS + ELSA by default
-    service = InferenceService(config)
+    service = (
+        ServerBuilder("resnet")              # PARIS + ELSA by default
+        .cluster(num_gpus=8, gpc_budget=48)
+        .sla(multiplier=1.5, max_batch=32)
+        .build_service()
+    )
     workload = WorkloadConfig(model="resnet", rate_qps=200.0, num_queries=2000)
     result = service.serve(workload)
     print(service.deployment.plan.describe())
     print(result.summary())
+
+Writing your own policy is a registry decorator away::
+
+    from repro import register_scheduler, SchedulerContext
+
+    @register_scheduler("my-sched")
+    def build_my_scheduler(context: SchedulerContext):
+        return MyScheduler(context.profile)
+
+    ServerBuilder("resnet").scheduler("my-sched").build_service()
 """
 
 from repro.core.elsa import ElsaScheduler
 from repro.core.paris import Paris, ParisConfig, run_paris
 from repro.core.plan import PartitionPlan
+from repro.core.registry import (
+    PartitionerContext,
+    SchedulerContext,
+    UnknownPolicyError,
+    available_partitioners,
+    available_schedulers,
+    get_partitioner,
+    get_scheduler,
+    register_partitioner,
+    register_scheduler,
+)
 from repro.core.schedulers import FifsScheduler
+from repro.core.specs import (
+    ClusterSpec,
+    ElsaSpec,
+    FifsSpec,
+    HomogeneousSpec,
+    LeastLoadedSpec,
+    ParisSpec,
+    PolicySpec,
+    RandomDispatchSpec,
+    RandomPartitionSpec,
+    SlaSpec,
+)
 from repro.gpu.architecture import A100, GPUArchitecture
 from repro.gpu.partition import GPUPartition
 from repro.gpu.server import MultiGPUServer
 from repro.models.registry import PAPER_MODELS, get_model, list_models
 from repro.perf.lookup import ProfileTable
 from repro.perf.profiler import Profiler, profile_model
+from repro.serving.builder import ServerBuilder
 from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
 from repro.serving.deployment import Deployment, build_deployment
 from repro.serving.service import InferenceService, ServiceResult
 from repro.sim.cluster import InferenceServerSimulator, SimulationResult
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 from repro.workload.query import Query
-from repro.workload.trace import QueryTrace
+from repro.workload.trace import QueryTrace, merge_traces
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "A100",
+    "ClusterSpec",
     "Deployment",
     "ElsaScheduler",
+    "ElsaSpec",
     "FifsScheduler",
+    "FifsSpec",
     "GPUArchitecture",
     "GPUPartition",
+    "HomogeneousSpec",
     "InferenceServerSimulator",
     "InferenceService",
+    "LeastLoadedSpec",
     "MultiGPUServer",
     "PAPER_MODELS",
     "Paris",
     "ParisConfig",
+    "ParisSpec",
     "PartitionPlan",
+    "PartitionerContext",
     "PartitioningStrategy",
+    "PolicySpec",
     "ProfileTable",
     "Profiler",
     "Query",
     "QueryGenerator",
     "QueryTrace",
+    "RandomDispatchSpec",
+    "RandomPartitionSpec",
+    "SchedulerContext",
     "SchedulingPolicy",
+    "ServerBuilder",
     "ServerConfig",
     "ServiceResult",
     "SimulationResult",
+    "SlaSpec",
+    "UnknownPolicyError",
     "WorkloadConfig",
+    "available_partitioners",
+    "available_schedulers",
     "build_deployment",
     "get_model",
+    "get_partitioner",
+    "get_scheduler",
     "list_models",
+    "merge_traces",
     "profile_model",
+    "register_partitioner",
+    "register_scheduler",
     "run_paris",
     "__version__",
 ]

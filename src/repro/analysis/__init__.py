@@ -17,8 +17,11 @@ from repro.analysis.sweep import (
 )
 from repro.analysis.reporting import format_table, rows_to_csv
 from repro.analysis import experiments
+from repro.analysis.experiments import ExperimentSettings, named_designs
 
 __all__ = [
+    "ExperimentSettings",
+    "named_designs",
     "DesignPointResult",
     "ThroughputLatencyPoint",
     "measure_design",

@@ -31,11 +31,8 @@ from repro.models.registry import PAPER_MODELS, get_model
 from repro.perf.latency_model import LatencyModel
 from repro.perf.lookup import ProfileEntry, ProfileTable
 from repro.perf.profiler import Profiler
-from repro.serving.config import (
-    PartitioningStrategy,
-    SchedulingPolicy,
-    ServerConfig,
-)
+from repro.core.registry import normalize_policy_name
+from repro.serving.config import ServerConfig
 from repro.serving.deployment import Deployment, build_deployment
 from repro.workload.distributions import LogNormalBatchDistribution
 from repro.workload.generator import WorkloadConfig
@@ -157,19 +154,23 @@ class ExperimentSettings:
     def build(
         self,
         model: str,
-        partitioning: PartitioningStrategy,
-        scheduler: SchedulingPolicy,
+        partitioning: str,
+        scheduler: str,
         homogeneous_gpcs: int = 7,
         max_batch: Optional[int] = None,
         sigma: Optional[float] = None,
         sla_multiplier: Optional[float] = None,
     ) -> Deployment:
-        """Materialise one design point under the paper's methodology."""
+        """Materialise one design point under the paper's methodology.
+
+        ``partitioning`` and ``scheduler`` are policy registry names
+        (``"paris"``, ``"homogeneous"``, ``"elsa"``, ... or any custom
+        registered policy); the deprecated enums are also accepted.
+        """
+        partitioning = normalize_policy_name(partitioning, "partitioning")
+        scheduler = normalize_policy_name(scheduler, "scheduler")
         budget = PAPER_GPC_BUDGETS.get(model, 48)
-        if (
-            partitioning is PartitioningStrategy.HOMOGENEOUS
-            and homogeneous_gpcs == 7
-        ):
+        if partitioning == "homogeneous" and homogeneous_gpcs == 7:
             budget = PAPER_GPU7_BUDGETS.get(model, budget)
         # The physical box always has 8 GPUs (p4d.24xlarge); Table I's
         # "# of A100" column is how many of them the budget occupies.  Using
@@ -373,7 +374,7 @@ def table1(
                 }
             )
         paris_deployment = settings.build(
-            model, PartitioningStrategy.PARIS, SchedulingPolicy.ELSA
+            model, "paris", "elsa"
         )
         plan = paris_deployment.plan
         rows.append(
@@ -403,7 +404,7 @@ def figure11(
     Returns one row per (design, offered rate).
     """
     settings = settings or ExperimentSettings()
-    deployments = _named_designs(model, settings, designs)
+    deployments = named_designs(model, settings, designs)
     rows = []
     for name, deployment in deployments.items():
         bound_result = settings.measure(deployment)
@@ -444,7 +445,7 @@ def figure12(
     for model in models:
         designs = _figure12_designs(include_random)
         results: Dict[str, DesignPointResult] = {}
-        deployments = _named_designs(model, settings, designs)
+        deployments = named_designs(model, settings, designs)
         for name, deployment in deployments.items():
             results[name] = settings.measure(deployment)
         baseline = results["gpu(7)+fifs"].throughput_qps or 1e-9
@@ -491,7 +492,7 @@ def figure13a(
     settings = settings or ExperimentSettings()
     rows = []
     for sigma in sigmas:
-        deployments = _named_designs(model, settings, designs, sigma=sigma)
+        deployments = named_designs(model, settings, designs, sigma=sigma)
         results = {
             name: settings.measure(deployment, sigma=sigma)
             for name, deployment in deployments.items()
@@ -532,14 +533,14 @@ def figure13b(
             )
             paris_fifs = settings.build(
                 model,
-                PartitioningStrategy.PARIS,
-                SchedulingPolicy.FIFS,
+                "paris",
+                "fifs",
                 max_batch=max_batch,
             )
             paris_elsa = settings.build(
                 model,
-                PartitioningStrategy.PARIS,
-                SchedulingPolicy.ELSA,
+                "paris",
+                "elsa",
                 max_batch=max_batch,
             )
             results = {
@@ -577,8 +578,8 @@ def sla_sensitivity(
         for multiplier in multipliers:
             gpu7 = settings.build(
                 model,
-                PartitioningStrategy.HOMOGENEOUS,
-                SchedulingPolicy.FIFS,
+                "homogeneous",
+                "fifs",
                 homogeneous_gpcs=7,
                 sla_multiplier=multiplier,
             )
@@ -587,8 +588,8 @@ def sla_sensitivity(
             )
             paris_elsa = settings.build(
                 model,
-                PartitioningStrategy.PARIS,
-                SchedulingPolicy.ELSA,
+                "paris",
+                "elsa",
                 sla_multiplier=multiplier,
             )
             gpu7_result = settings.measure(gpu7)
@@ -615,17 +616,20 @@ def sla_sensitivity(
 # --------------------------------------------------------------------------- #
 # shared helpers
 # --------------------------------------------------------------------------- #
-def _named_designs(
+def named_designs(
     model: str,
     settings: ExperimentSettings,
     designs: Sequence[str],
     max_batch: Optional[int] = None,
     sigma: Optional[float] = None,
 ) -> Dict[str, Deployment]:
-    """Materialise the named design points for one model.
+    """Materialise named ``<partitioner>+<scheduler>`` design points.
 
-    Supported names: ``gpu(N)+fifs``, ``gpu(max)+fifs``, ``random+fifs``,
-    ``random+elsa``, ``paris+fifs``, ``paris+elsa``.
+    ``gpu(N)`` selects the homogeneous partitioner with N-GPC instances and
+    ``gpu(max)+fifs`` the best homogeneous design in hindsight; any other
+    ``partitioner+scheduler`` pair is resolved against the policy
+    registries, so custom registered policies work here too (e.g.
+    ``my-policy+elsa``).
     """
     deployments: Dict[str, Deployment] = {}
     for name in designs:
@@ -639,6 +643,10 @@ def _named_designs(
     return deployments
 
 
+#: Deprecated alias of :func:`named_designs`.
+_named_designs = named_designs
+
+
 def _build_named(
     model: str,
     settings: ExperimentSettings,
@@ -646,35 +654,24 @@ def _build_named(
     max_batch: Optional[int] = None,
     sigma: Optional[float] = None,
 ) -> Deployment:
-    partition_part, scheduler_part = name.split("+")
-    scheduler = SchedulingPolicy(scheduler_part)
+    partition_part, scheduler = name.split("+")
     if partition_part.startswith("gpu("):
         gpcs = int(partition_part[4:-1])
         return settings.build(
             model,
-            PartitioningStrategy.HOMOGENEOUS,
+            "homogeneous",
             scheduler,
             homogeneous_gpcs=gpcs,
             max_batch=max_batch,
             sigma=sigma,
         )
-    if partition_part == "random":
-        return settings.build(
-            model,
-            PartitioningStrategy.RANDOM,
-            scheduler,
-            max_batch=max_batch,
-            sigma=sigma,
-        )
-    if partition_part == "paris":
-        return settings.build(
-            model,
-            PartitioningStrategy.PARIS,
-            scheduler,
-            max_batch=max_batch,
-            sigma=sigma,
-        )
-    raise ValueError(f"unknown design name {name!r}")
+    return settings.build(
+        model,
+        partition_part,
+        scheduler,
+        max_batch=max_batch,
+        sigma=sigma,
+    )
 
 
 def _best_homogeneous(
@@ -691,8 +688,8 @@ def _best_homogeneous(
     for gpcs in HOMOGENEOUS_SIZES:
         deployment = settings.build(
             model,
-            PartitioningStrategy.HOMOGENEOUS,
-            SchedulingPolicy.FIFS,
+            "homogeneous",
+            "fifs",
             homogeneous_gpcs=gpcs,
             max_batch=max_batch,
             sigma=sigma,

@@ -23,7 +23,11 @@ from repro.workload.generator import QueryGenerator, WorkloadConfig
 
 @dataclass(frozen=True)
 class DesignPointResult:
-    """Measurement of one design at one offered load."""
+    """Measurement of one design at one offered load.
+
+    ``sla_target`` is the bound the queries were judged against — the
+    workload's target model's own derived SLA.
+    """
 
     rate_qps: float
     throughput_qps: float
@@ -31,6 +35,7 @@ class DesignPointResult:
     mean_latency: float
     sla_violation_rate: float
     mean_utilization: float
+    sla_target: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -50,14 +55,14 @@ def measure_design(
 ) -> DesignPointResult:
     """Replay ``workload`` at ``rate_qps`` on ``deployment`` and summarise.
 
-    The workload's SLA is set to the deployment's derived SLA target so that
-    violation statistics always refer to the evaluated design's own SLA.
+    The workload's SLA is set to *its target model's* derived SLA target
+    (the primary model's on single-model deployments), so violation
+    statistics always refer to the evaluated model's own SLA.
     """
     if rate_qps <= 0:
         raise ValueError("rate_qps must be positive")
-    configured = replace(
-        workload, rate_qps=rate_qps, sla_target=deployment.sla_target
-    )
+    sla = deployment.sla_target_for(workload.model)
+    configured = replace(workload, rate_qps=rate_qps, sla_target=sla)
     trace = QueryGenerator(configured).generate()
     simulator = deployment.simulator(seed=seed)
     result = simulator.run(trace)
@@ -69,6 +74,7 @@ def measure_design(
         mean_latency=stats.latency.mean,
         sla_violation_rate=stats.latency.sla_violation_rate,
         mean_utilization=stats.utilization.mean,
+        sla_target=sla,
     )
 
 
@@ -76,14 +82,17 @@ def capacity_estimate(deployment: Deployment, workload: WorkloadConfig) -> float
     """Rough upper bound on the sustainable arrival rate (queries/second).
 
     Sums each instance's steady-state throughput at the workload's mean batch
-    size; used to bracket the binary search and to choose sweep ranges.
+    size; used to bracket the binary search and to choose sweep ranges.  On
+    multi-model deployments the estimate uses the profile of the workload's
+    target model.
     """
     generator = QueryGenerator(workload)
     pdf = generator.batch_pdf()
     mean_batch = max(1, round(sum(b * p for b, p in pdf.items())))
+    profile = deployment.profile_for(workload.model)
     total = 0.0
     for instance in deployment.instances:
-        total += deployment.profile.throughput(instance.gpcs, mean_batch)
+        total += profile.throughput(instance.gpcs, mean_batch)
     return total
 
 
@@ -122,7 +131,8 @@ def latency_bounded_throughput(
         deployment: the design point to evaluate.
         workload: workload template (its ``rate_qps`` field is overridden).
         latency_bound: p95 latency bound in seconds; defaults to the
-            deployment's SLA target (the paper's vertical lines).
+            workload's target model's derived SLA (the paper's vertical
+            lines).
         max_rate: upper bracket of the search; defaults to twice the
             capacity estimate.
         iterations: number of bisection steps.
@@ -135,7 +145,11 @@ def latency_bounded_throughput(
         measurement is returned (its ``p95_latency`` will exceed the bound,
         signalling an infeasible design).
     """
-    bound = latency_bound if latency_bound is not None else deployment.sla_target
+    bound = (
+        latency_bound
+        if latency_bound is not None
+        else deployment.sla_target_for(workload.model)
+    )
     if bound <= 0:
         raise ValueError("latency bound must be positive")
     high = max_rate if max_rate is not None else 2.0 * capacity_estimate(deployment, workload)

@@ -13,6 +13,9 @@
   variants).
 * :mod:`repro.core.baselines` — baseline partitioning strategies
   (homogeneous GPU(N), random heterogeneous).
+* :mod:`repro.core.registry` — pluggable name-based registries for
+  partitioners and schedulers (the extension point for custom policies).
+* :mod:`repro.core.specs` — composable per-policy configuration specs.
 """
 
 from repro.core.knee import MaxBatchKnee, find_knee, derive_knees
@@ -26,8 +29,64 @@ from repro.core.schedulers import (
     RandomDispatchScheduler,
 )
 from repro.core.baselines import homogeneous_partition, random_partition
+from repro.core.registry import (
+    PARTITIONERS,
+    SCHEDULERS,
+    Partitioner,
+    PartitionerContext,
+    PolicyRegistry,
+    SchedulerContext,
+    SchedulerFactory,
+    UnknownPolicyError,
+    available_partitioners,
+    available_schedulers,
+    build_plan,
+    build_scheduler,
+    get_partitioner,
+    get_scheduler,
+    register_partitioner,
+    register_scheduler,
+)
+from repro.core.specs import (
+    ClusterSpec,
+    ElsaSpec,
+    FifsSpec,
+    HomogeneousSpec,
+    LeastLoadedSpec,
+    ParisSpec,
+    PolicySpec,
+    RandomDispatchSpec,
+    RandomPartitionSpec,
+    SlaSpec,
+)
 
 __all__ = [
+    "PARTITIONERS",
+    "SCHEDULERS",
+    "Partitioner",
+    "PartitionerContext",
+    "PolicyRegistry",
+    "SchedulerContext",
+    "SchedulerFactory",
+    "UnknownPolicyError",
+    "available_partitioners",
+    "available_schedulers",
+    "build_plan",
+    "build_scheduler",
+    "get_partitioner",
+    "get_scheduler",
+    "register_partitioner",
+    "register_scheduler",
+    "ClusterSpec",
+    "ElsaSpec",
+    "FifsSpec",
+    "HomogeneousSpec",
+    "LeastLoadedSpec",
+    "ParisSpec",
+    "PolicySpec",
+    "RandomDispatchSpec",
+    "RandomPartitionSpec",
+    "SlaSpec",
     "MaxBatchKnee",
     "find_knee",
     "derive_knees",

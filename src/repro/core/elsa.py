@@ -24,7 +24,7 @@ would want when no SLA is defined.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 from repro.core.slack import SlackEstimator, SlackPrediction
 from repro.perf.lookup import ProfileTable
@@ -37,13 +37,15 @@ class ElsaScheduler(Scheduler):
     """Heterogeneity-aware elastic scheduler (Algorithm 2).
 
     Args:
-        profile: profiled lookup table of the served model (the
+        profile: profiled lookup table of the primary served model (the
             ``T_estimated`` source).
         alpha: slack-predictor safety coefficient (Equation 2).
         beta: slack-predictor weight on the new query's execution time.
         prefer_smallest: iterate candidate partitions smallest-first in
             Step A (the paper's design).  Setting this to ``False`` iterates
             largest-first — exposed for the ablation study.
+        profiles: per-model lookup tables for multi-model servers; queries of
+            models absent from the mapping fall back to ``profile``.
     """
 
     name = "elsa"
@@ -54,8 +56,11 @@ class ElsaScheduler(Scheduler):
         alpha: float = 1.0,
         beta: float = 1.0,
         prefer_smallest: bool = True,
+        profiles: Optional[Mapping[str, ProfileTable]] = None,
     ) -> None:
-        self.estimator = SlackEstimator(profile, alpha=alpha, beta=beta)
+        self.estimator = SlackEstimator(
+            profile, alpha=alpha, beta=beta, profiles=profiles
+        )
         self.prefer_smallest = prefer_smallest
 
     # ------------------------------------------------------------------ #
@@ -93,7 +98,8 @@ class ElsaScheduler(Scheduler):
         scored = [
             (
                 self.estimator.predict(
-                    worker, query.batch, query.sla_target, context.now
+                    worker, query.batch, query.sla_target, context.now,
+                    model=query.model,
                 ),
                 worker,
             )

@@ -177,14 +177,17 @@ class Paris:
 
         # Guarantee coverage of active segments when the budget allows it.
         floor = self.config.min_instances_per_active_segment
+        floors: Dict[int, int] = {}
         if floor > 0:
             for segment in segments:
-                if segment.probability > 0 and counts[segment.gpcs] < floor:
-                    counts[segment.gpcs] = floor
+                if segment.probability > 0:
+                    floors[segment.gpcs] = floor
+                    if counts[segment.gpcs] < floor:
+                        counts[segment.gpcs] = floor
 
         used = sum(gpcs * count for gpcs, count in counts.items())
         if used > total_gpcs:
-            counts = self._shrink_to_budget(counts, ideal, total_gpcs)
+            counts = self._shrink_to_budget(counts, ideal, total_gpcs, floors)
             used = sum(gpcs * count for gpcs, count in counts.items())
 
         remaining = total_gpcs - used
@@ -193,13 +196,24 @@ class Paris:
 
     @staticmethod
     def _shrink_to_budget(
-        counts: Dict[int, int], ideal: Dict[float, float], total_gpcs: int
+        counts: Dict[int, int],
+        ideal: Dict[int, float],
+        total_gpcs: int,
+        floors: Optional[Dict[int, int]] = None,
     ) -> Dict[int, int]:
-        """Remove instances (least-demanded first) until the plan fits the budget."""
+        """Remove instances (least-demanded first) until the plan fits the budget.
+
+        Sizes at their configured per-segment floor are only shrunk when no
+        size above its floor remains, i.e. when the floors themselves do not
+        fit the budget.
+        """
         counts = dict(counts)
+        floors = floors or {}
         while sum(g * c for g, c in counts.items()) > total_gpcs:
             # drop an instance from the size with the largest surplus vs ideal
-            candidates = [g for g, c in counts.items() if c > 0]
+            candidates = [g for g, c in counts.items() if c > floors.get(g, 0)]
+            if not candidates:
+                candidates = [g for g, c in counts.items() if c > 0]
             surplus = {g: counts[g] - ideal[g] for g in candidates}
             victim = max(candidates, key=lambda g: (surplus[g], g))
             counts[victim] -= 1

@@ -1,0 +1,477 @@
+"""Pluggable policy registries for partitioners and schedulers.
+
+The paper's central claim is that partitioning strategies and scheduling
+policies are *interchangeable design points*.  This module makes that claim
+architectural: partitioners and schedulers are looked up by name in open
+registries, so a new policy plugs in from user code without touching
+``repro`` internals::
+
+    from repro.core.registry import (
+        PartitionerContext, SchedulerContext,
+        register_partitioner, register_scheduler,
+    )
+
+    @register_partitioner("my-policy")
+    def my_partitioner(context: PartitionerContext) -> PartitionPlan:
+        ...  # carve context.budget GPCs however you like
+
+    @register_scheduler("my-sched")
+    def my_scheduler(context: SchedulerContext) -> Scheduler:
+        return MyScheduler(context.profile)
+
+    ServerConfig(model="resnet", partitioning="my-policy", scheduler="my-sched")
+
+A registered *factory* is any callable that takes the build context and
+returns a :class:`~repro.core.plan.PartitionPlan` (partitioners) or a
+:class:`~repro.sim.scheduler_api.Scheduler` (schedulers).  The built-in
+policies of the paper — PARIS, homogeneous, random, ELSA, FIFS, least-loaded,
+random-dispatch — are registered here through the same mechanism.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    TypeVar,
+    runtime_checkable,
+)
+
+from repro.core.plan import PartitionPlan
+from repro.gpu.architecture import A100, GPUArchitecture
+from repro.perf.lookup import ProfileTable
+from repro.sim.scheduler_api import Scheduler
+
+FactoryT = TypeVar("FactoryT", bound=Callable)
+
+
+class UnknownPolicyError(ValueError):
+    """Raised when a policy name is not present in the registry."""
+
+
+def normalize_policy_name(value, what: str = "policy") -> str:
+    """Normalise a policy selector (string or enum member) to a registry key.
+
+    The single normaliser shared by the registries, ``ServerConfig`` and the
+    fluent builder — names accepted anywhere resolve identically everywhere.
+    """
+    if isinstance(value, enum.Enum):
+        value = value.value
+    name = str(value).strip().lower()
+    if not name:
+        raise ValueError(f"{what} must be a non-empty policy name")
+    return name
+
+
+# --------------------------------------------------------------------------- #
+# build contexts
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PartitionerContext:
+    """Everything a partitioner factory may look at.
+
+    Attributes:
+        profile: profiled lookup table of the primary model.
+        batch_pdf: batch-size PDF of the expected workload (``Dist[]``).
+        budget: GPC budget to carve.
+        config: the :class:`~repro.serving.config.ServerConfig` being built
+            (``None`` when a policy is built standalone).
+        spec: per-policy spec object (:mod:`repro.core.specs`), when one was
+            configured; factories fall back to the flat config fields.
+    """
+
+    profile: ProfileTable
+    batch_pdf: Mapping[int, float]
+    budget: int
+    config: Any = None
+    spec: Any = None
+
+    @property
+    def model(self) -> str:
+        """Primary model name (from the config, else the profile)."""
+        if self.config is not None:
+            return self.config.model
+        return self.profile.model_name
+
+    @property
+    def architecture(self) -> GPUArchitecture:
+        """Target GPU architecture (A100 when no config is given)."""
+        return getattr(self.config, "architecture", A100)
+
+
+@dataclass(frozen=True)
+class SchedulerContext:
+    """Everything a scheduler factory may look at.
+
+    Attributes:
+        profile: profiled lookup table of the primary model.
+        profiles: profiled tables of *every* served model, keyed by name
+            (multi-model deployments); always contains ``profile``.
+        config: the server config being built (``None`` when standalone).
+        spec: per-policy spec object, when one was configured.
+    """
+
+    profile: ProfileTable
+    profiles: Mapping[str, ProfileTable] = field(default_factory=dict)
+    config: Any = None
+    spec: Any = None
+
+    def __post_init__(self) -> None:
+        tables = dict(self.profiles)
+        # the explicit primary profile wins over a same-model mapping entry,
+        # matching build_deployment and SlackEstimator precedence
+        tables[self.profile.model_name] = self.profile
+        object.__setattr__(self, "profiles", tables)
+
+
+@runtime_checkable
+class Partitioner(Protocol):
+    """A partitioner factory: build context -> partition plan."""
+
+    def __call__(self, context: PartitionerContext) -> PartitionPlan: ...
+
+
+@runtime_checkable
+class SchedulerFactory(Protocol):
+    """A scheduler factory: build context -> scheduler instance."""
+
+    def __call__(self, context: SchedulerContext) -> Scheduler: ...
+
+
+# --------------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------------- #
+class PolicyRegistry:
+    """A name -> factory mapping with decorator-based registration.
+
+    Names are case-insensitive.  Aliases resolve to the same factory but are
+    marked as such in listings.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+        self._aliases: Dict[str, str] = {}
+
+    def _key(self, name: str) -> str:
+        return normalize_policy_name(name, self.kind)
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[FactoryT] = None,
+        *,
+        aliases: Sequence[str] = (),
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name`` (usable as a decorator).
+
+        Args:
+            name: registry key (case-insensitive).
+            factory: the factory callable; omit to use as a decorator.
+            aliases: additional names resolving to the same factory.
+            overwrite: replace an existing registration instead of raising.
+
+        Raises:
+            ValueError: if the name is taken and ``overwrite`` is false.
+        """
+
+        def _register(fn: FactoryT) -> FactoryT:
+            if not callable(fn):
+                raise TypeError(f"{self.kind} factory for {name!r} must be callable")
+            key = self._key(name)
+            keys = [key]
+            for alias in aliases:
+                alias_key = self._key(alias)
+                # an alias that folds onto the name (or a repeat) is a no-op,
+                # not a self-shadowing registration
+                if alias_key not in keys:
+                    keys.append(alias_key)
+            for k in keys:
+                if not overwrite and (k in self._factories or k in self._aliases):
+                    raise ValueError(
+                        f"{self.kind} {k!r} is already registered; pass "
+                        "overwrite=True to replace it"
+                    )
+            for k in keys:
+                self._displace(k)
+            self._factories[key] = fn
+            for alias in keys[1:]:
+                self._aliases[alias] = key
+            return fn
+
+        if factory is None:
+            return _register
+        return _register(factory)
+
+    def _displace(self, key: str) -> None:
+        """Remove whatever currently occupies ``key`` (factory or alias).
+
+        Displacing a primary name also drops its aliases, so no alias is
+        ever left dangling at a removed factory.
+        """
+        if key in self._factories:
+            del self._factories[key]
+            for alias in [a for a, t in self._aliases.items() if t == key]:
+                del self._aliases[alias]
+        self._aliases.pop(key, None)
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration.
+
+        Called with a primary name, removes the factory and every alias
+        pointing at it; called with an alias, removes only that alias (the
+        aliased factory stays registered).
+        """
+        key = self._key(name)
+        if key in self._aliases:
+            del self._aliases[key]
+            return
+        self._factories.pop(key, None)
+        for alias in [a for a, target in self._aliases.items() if target == key]:
+            del self._aliases[alias]
+
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` through the alias table to its primary name.
+
+        Unregistered names pass through unchanged (they may be registered
+        later), normalised to lowercase.
+        """
+        key = self._key(name)
+        return self._aliases.get(key, key)
+
+    def get(self, name: str) -> Callable:
+        """Look up the factory registered under ``name``.
+
+        Raises:
+            UnknownPolicyError: listing the available policies.
+        """
+        key = self.canonical(name)
+        try:
+            return self._factories[key]
+        except KeyError:
+            raise UnknownPolicyError(
+                f"unknown {self.kind} {name!r}; available {self.kind}s: "
+                f"{self.names()}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        key = self._key(name)
+        return key in self._factories or key in self._aliases
+
+    def names(self) -> List[str]:
+        """Sorted primary names of every registered policy."""
+        return sorted(self._factories)
+
+
+#: The global partitioner registry (name -> plan factory).
+PARTITIONERS = PolicyRegistry("partitioner")
+
+#: The global scheduler registry (name -> scheduler factory).
+SCHEDULERS = PolicyRegistry("scheduler")
+
+
+def register_partitioner(
+    name: str, *, aliases: Sequence[str] = (), overwrite: bool = False
+):
+    """Decorator registering a partitioner factory under ``name``."""
+    return PARTITIONERS.register(name, aliases=aliases, overwrite=overwrite)
+
+
+def register_scheduler(
+    name: str, *, aliases: Sequence[str] = (), overwrite: bool = False
+):
+    """Decorator registering a scheduler factory under ``name``."""
+    return SCHEDULERS.register(name, aliases=aliases, overwrite=overwrite)
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """The partitioner factory registered under ``name``."""
+    return PARTITIONERS.get(name)
+
+
+def get_scheduler(name: str) -> SchedulerFactory:
+    """The scheduler factory registered under ``name``."""
+    return SCHEDULERS.get(name)
+
+
+def available_partitioners() -> List[str]:
+    """Names of every registered partitioner."""
+    return PARTITIONERS.names()
+
+
+def available_schedulers() -> List[str]:
+    """Names of every registered scheduler."""
+    return SCHEDULERS.names()
+
+
+def build_plan(name: str, context: PartitionerContext) -> PartitionPlan:
+    """Run the named partitioner and type-check its result."""
+    plan = get_partitioner(name)(context)
+    if not isinstance(plan, PartitionPlan):
+        raise TypeError(
+            f"partitioner {name!r} returned {type(plan).__name__}, "
+            "expected a PartitionPlan"
+        )
+    return plan
+
+
+def build_scheduler(name: str, context: SchedulerContext) -> Scheduler:
+    """Instantiate the named scheduler and type-check its result."""
+    scheduler = get_scheduler(name)(context)
+    if not isinstance(scheduler, Scheduler):
+        raise TypeError(
+            f"scheduler factory {name!r} returned {type(scheduler).__name__}, "
+            "expected a Scheduler"
+        )
+    return scheduler
+
+
+def _resolve_spec(context, spec_type):
+    """The context's spec when it matches, else one derived from the config.
+
+    A generic :class:`~repro.core.specs.PolicySpec` targeting a built-in
+    policy has its options applied onto the built-in spec type; unknown
+    option names — and spec objects of a different policy's type — raise
+    rather than being silently dropped.
+    """
+    import dataclasses
+
+    from repro.core.specs import PolicySpec
+
+    spec = context.spec
+    if isinstance(spec, spec_type):
+        return spec
+    base = spec_type.from_config(context.config)
+    if spec is None:
+        return base
+    if isinstance(spec, PolicySpec):
+        if not spec.options:
+            return base
+        valid = {f.name for f in dataclasses.fields(spec_type)}
+        unknown = sorted(set(spec.options) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) {unknown} for built-in policy "
+                f"{spec.policy!r}; valid options: {sorted(valid)}"
+            )
+        return dataclasses.replace(base, **spec.options)
+    raise TypeError(
+        f"this policy expects a {spec_type.__name__} (or a PolicySpec), "
+        f"got {type(spec).__name__}; the configured spec does not match "
+        "the selected policy"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# built-in partitioners
+# --------------------------------------------------------------------------- #
+@register_partitioner("paris")
+def _paris_partitioner(context: PartitionerContext) -> PartitionPlan:
+    """PARIS (Algorithm 1): knee-segmented heterogeneous partitioning."""
+    from repro.core.paris import Paris, ParisConfig
+    from repro.core.specs import ParisSpec
+
+    spec = _resolve_spec(context, ParisSpec)
+    paris = Paris(
+        context.profile,
+        ParisConfig(
+            knee_threshold=spec.knee_threshold,
+            partition_sizes=spec.partition_sizes,
+            min_instances_per_active_segment=spec.min_instances_per_active_segment,
+        ),
+    )
+    return paris.plan(dict(context.batch_pdf), context.budget)
+
+
+@register_partitioner("homogeneous")
+def _homogeneous_partitioner(context: PartitionerContext) -> PartitionPlan:
+    """Homogeneous GPU(N) baseline: identical partitions fill the budget."""
+    from repro.core.baselines import homogeneous_partition
+    from repro.core.specs import HomogeneousSpec
+
+    spec = _resolve_spec(context, HomogeneousSpec)
+    return homogeneous_partition(
+        spec.gpcs,
+        context.budget,
+        model=context.model,
+        architecture=context.architecture,
+    )
+
+
+@register_partitioner("random")
+def _random_partitioner(context: PartitionerContext) -> PartitionPlan:
+    """Random heterogeneous baseline: uniformly drawn sizes fill the budget."""
+    from repro.core.baselines import random_partition
+    from repro.core.specs import RandomPartitionSpec
+
+    spec = _resolve_spec(context, RandomPartitionSpec)
+    seed = spec.seed if spec.seed is not None else getattr(context.config, "random_seed", 0)
+    return random_partition(
+        context.budget,
+        model=context.model,
+        architecture=context.architecture,
+        partition_sizes=spec.partition_sizes,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# built-in schedulers
+# --------------------------------------------------------------------------- #
+@register_scheduler("elsa")
+def _elsa_scheduler(context: SchedulerContext) -> Scheduler:
+    """ELSA (Algorithm 2): heterogeneity-aware SLA-slack scheduling."""
+    from repro.core.elsa import ElsaScheduler
+    from repro.core.specs import ElsaSpec
+
+    spec = _resolve_spec(context, ElsaSpec)
+    return ElsaScheduler(
+        context.profile,
+        alpha=spec.alpha,
+        beta=spec.beta,
+        prefer_smallest=spec.prefer_smallest,
+        profiles=context.profiles,
+    )
+
+
+@register_scheduler("fifs")
+def _fifs_scheduler(context: SchedulerContext) -> Scheduler:
+    """First-idle first-serve (Triton-style central queue)."""
+    from repro.core.schedulers import FifsScheduler
+    from repro.core.specs import FifsSpec
+
+    spec = _resolve_spec(context, FifsSpec)
+    seed = spec.seed if spec.seed is not None else getattr(context.config, "random_seed", 0)
+    return FifsScheduler(idle_preference=spec.idle_preference, seed=seed)
+
+
+@register_scheduler("least-loaded")
+def _least_loaded_scheduler(context: SchedulerContext) -> Scheduler:
+    """Least-outstanding-work load balancer (heterogeneity-unaware)."""
+    from repro.core.schedulers import LeastLoadedScheduler
+    from repro.core.specs import LeastLoadedSpec
+
+    # no tunables, but resolving the spec makes bogus options raise
+    # instead of being silently ignored
+    _resolve_spec(context, LeastLoadedSpec)
+    return LeastLoadedScheduler()
+
+
+@register_scheduler("random-dispatch", aliases=("random",))
+def _random_dispatch_scheduler(context: SchedulerContext) -> Scheduler:
+    """Uniformly random dispatch (lower-bound sanity check)."""
+    from repro.core.schedulers import RandomDispatchScheduler
+    from repro.core.specs import RandomDispatchSpec
+
+    spec = _resolve_spec(context, RandomDispatchSpec)
+    seed = spec.seed if spec.seed is not None else getattr(context.config, "random_seed", 0)
+    return RandomDispatchScheduler(seed=seed)

@@ -15,7 +15,7 @@ deployment (conservative alpha > 1 guards against estimation error).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.perf.lookup import ProfileTable
 from repro.sim.worker import PartitionWorker
@@ -54,32 +54,51 @@ class SlackEstimator:
     """Profiling-based SLA slack estimator.
 
     Args:
-        profile: profiled lookup table of the target model (used for
+        profile: profiled lookup table of the primary model (used for
             ``T_estimated`` of the new query and of queued queries).
         alpha: multiplicative safety coefficient applied to the whole
             predicted delay (Equation 2).
         beta: weight on the new query's own execution time (Equation 2).
+        profiles: optional per-model lookup tables for multi-model servers;
+            queries of models absent from the mapping fall back to the
+            primary ``profile``.
     """
 
     def __init__(
-        self, profile: ProfileTable, alpha: float = 1.0, beta: float = 1.0
+        self,
+        profile: ProfileTable,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        profiles: Optional[Mapping[str, ProfileTable]] = None,
     ) -> None:
         if alpha <= 0:
             raise ValueError("alpha must be positive")
         if beta <= 0:
             raise ValueError("beta must be positive")
         self.profile = profile
+        self.profiles = dict(profiles or {})
+        # the explicit primary profile wins over a same-model mapping entry,
+        # matching build_deployment's precedence — every lookup path then
+        # agrees on T_estimated for the primary model
+        self.profiles[profile.model_name] = profile
         self.alpha = alpha
         self.beta = beta
 
-    def estimated_execution_time(self, batch: int, gpcs: int) -> float:
+    def _table_for(self, model: Optional[str]) -> ProfileTable:
+        if model is None:
+            return self.profile
+        return self.profiles.get(model, self.profile)
+
+    def estimated_execution_time(
+        self, batch: int, gpcs: int, model: Optional[str] = None
+    ) -> float:
         """``T_estimated`` of a query of ``batch`` samples on ``GPU(gpcs)``."""
-        return self.profile.latency(gpcs, batch)
+        return self._table_for(model).latency(gpcs, batch)
 
     def wait_time(self, worker: PartitionWorker, now: float) -> float:
         """``T_wait`` on ``worker`` at time ``now`` (Equation 1)."""
         return worker.estimated_wait(
-            now, lambda model, batch, gpcs: self.profile.latency(gpcs, batch)
+            now, lambda model, batch, gpcs: self._table_for(model).latency(gpcs, batch)
         )
 
     def predict(
@@ -88,6 +107,7 @@ class SlackEstimator:
         batch: int,
         sla_target: Optional[float],
         now: float,
+        model: Optional[str] = None,
     ) -> SlackPrediction:
         """Predict the SLA slack of scheduling a new query onto ``worker``.
 
@@ -97,9 +117,11 @@ class SlackEstimator:
             sla_target: the query's SLA in seconds; ``None`` yields a slack
                 of ``+inf`` (no SLA to violate).
             now: current time (for the remaining-execution-time term).
+            model: model of the new query (multi-model servers); ``None``
+                uses the primary profile.
         """
         wait = self.wait_time(worker, now)
-        execution = self.estimated_execution_time(batch, worker.gpcs)
+        execution = self.estimated_execution_time(batch, worker.gpcs, model)
         weighted = self.alpha * (wait + self.beta * execution)
         slack = float("inf") if sla_target is None else sla_target - weighted
         return SlackPrediction(

@@ -3,22 +3,27 @@
 Glues the substrates together into the inference server of Figure 6:
 
 * :mod:`repro.serving.config` — declarative server configuration
-  (partitioning strategy, scheduler, GPC budget, SLA policy).
+  (open-string policy names, composable per-policy specs, GPC budget, SLA
+  policy).
+* :mod:`repro.serving.builder` — the fluent :class:`ServerBuilder`.
 * :mod:`repro.serving.sla` — SLA target derivation (Section V: N x the
   GPU(7) latency of the distribution's max batch size).
-* :mod:`repro.serving.deployment` — turns a configuration plus a profiled
-  model into a concrete deployment: partition plan, MIG layout, scheduler.
+* :mod:`repro.serving.deployment` — turns a configuration plus profiled
+  models into a concrete deployment: partition plan, MIG layout, scheduler
+  (policies resolved through :mod:`repro.core.registry`).
 * :mod:`repro.serving.service` — :class:`InferenceService`, the high-level
-  facade used by the examples and benchmark harnesses.
+  multi-model facade used by the examples and benchmark harnesses.
 """
 
 from repro.serving.config import ServerConfig, PartitioningStrategy, SchedulingPolicy
+from repro.serving.builder import ServerBuilder
 from repro.serving.sla import derive_sla_target
 from repro.serving.deployment import Deployment, build_deployment
 from repro.serving.service import InferenceService, ServiceResult
 
 __all__ = [
     "ServerConfig",
+    "ServerBuilder",
     "PartitioningStrategy",
     "SchedulingPolicy",
     "derive_sla_target",

@@ -1,32 +1,35 @@
 """Deployment construction: configuration -> concrete server.
 
 :func:`build_deployment` takes a :class:`~repro.serving.config.ServerConfig`,
-profiles the model (or accepts a pre-built profile), runs the configured
-partitioning strategy, packs the resulting instances onto the physical GPUs
-and instantiates the configured scheduler — everything needed to hand a
+profiles the served models (or accepts pre-built profiles), looks the
+configured partitioner and scheduler up in the policy registries of
+:mod:`repro.core.registry`, packs the resulting instances onto the physical
+GPUs and instantiates the scheduler — everything needed to hand a
 ready-to-run :class:`~repro.sim.cluster.InferenceServerSimulator` to the
 caller.
+
+Because policies are resolved by name, any partitioner or scheduler
+registered from user code participates here with zero changes to this
+module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
-from repro.core.baselines import homogeneous_partition, random_partition
-from repro.core.elsa import ElsaScheduler
-from repro.core.paris import Paris, ParisConfig
 from repro.core.plan import PartitionPlan
-from repro.core.schedulers import (
-    FifsScheduler,
-    LeastLoadedScheduler,
-    RandomDispatchScheduler,
+from repro.core.registry import (
+    PartitionerContext,
+    SchedulerContext,
+    build_plan,
+    build_scheduler,
 )
 from repro.gpu.partition import PartitionInstance
 from repro.gpu.server import MultiGPUServer
 from repro.perf.lookup import ProfileTable
 from repro.perf.profiler import Profiler
-from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
+from repro.serving.config import ServerConfig
 from repro.serving.sla import derive_sla_target
 from repro.sim.cluster import InferenceServerSimulator
 from repro.sim.scheduler_api import Scheduler
@@ -38,19 +41,61 @@ class Deployment:
 
     Attributes:
         config: the design point this deployment realises.
-        profile: the model's profiled lookup table.
-        plan: the partitioning plan (PARIS, homogeneous or random).
+        profiles: profiled lookup tables of every served model, keyed by
+            model name (the primary model is always present).
+        plan: the partitioning plan produced by the configured partitioner.
         instances: partition instances placed on the physical GPUs.
         scheduler: the instantiated scheduling policy.
-        sla_target: derived SLA target in seconds.
+        sla_target: the primary model's derived SLA target in seconds.
+        sla_targets: per-model derived SLA targets (Section V applies the
+            multiplier to *each* model's own GPU(7) latency).
     """
 
     config: ServerConfig
-    profile: ProfileTable
+    profiles: Mapping[str, ProfileTable]
     plan: PartitionPlan
     instances: Sequence[PartitionInstance]
     scheduler: Scheduler
     sla_target: float
+    sla_targets: Mapping[str, float]
+
+    @property
+    def profile(self) -> ProfileTable:
+        """The primary model's profiled lookup table."""
+        return self.profiles[self.config.model]
+
+    @property
+    def models(self) -> Sequence[str]:
+        """Names of every model this deployment can serve."""
+        return tuple(self.profiles)
+
+    def profile_for(self, model: str) -> ProfileTable:
+        """The profiled lookup table of ``model``.
+
+        Raises:
+            KeyError: when the model is not served by this deployment.
+        """
+        try:
+            return self.profiles[model]
+        except KeyError:
+            raise KeyError(
+                f"model {model!r} is not served by this deployment; served "
+                f"models: {sorted(self.profiles)}"
+            ) from None
+
+    def sla_target_for(self, model: str) -> float:
+        """The derived SLA target of ``model`` in seconds.
+
+        Raises:
+            KeyError: when the model is not served by this deployment.
+        """
+        try:
+            return self.sla_targets[model]
+        except KeyError:
+            raise KeyError(
+                f"model {model!r} is not served by this deployment; served "
+                f"models: {sorted(self.sla_targets)}"
+            ) from None
 
     def simulator(
         self, execution_noise_std: float = 0.0, seed: int = 0
@@ -58,7 +103,7 @@ class Deployment:
         """Build a fresh simulator for this deployment."""
         return InferenceServerSimulator(
             instances=self.instances,
-            profiles={self.profile.model_name: self.profile},
+            profiles=dict(self.profiles),
             scheduler=self.scheduler,
             execution_noise_std=execution_noise_std,
             seed=seed,
@@ -67,45 +112,8 @@ class Deployment:
 
     def describe(self) -> str:
         """One-line summary, e.g. ``mobilenet: paris+elsa = 6xGPU(1)+4xGPU(2)...``."""
-        return f"{self.config.model}: {self.config.label()} = {self.plan.describe()}"
-
-
-def _build_plan(
-    config: ServerConfig,
-    profile: ProfileTable,
-    batch_pdf: Dict[int, float],
-) -> PartitionPlan:
-    budget = config.effective_gpc_budget
-    if config.partitioning is PartitioningStrategy.PARIS:
-        paris = Paris(profile, ParisConfig(knee_threshold=config.knee_threshold))
-        return paris.plan(batch_pdf, budget)
-    if config.partitioning is PartitioningStrategy.HOMOGENEOUS:
-        return homogeneous_partition(
-            config.homogeneous_gpcs,
-            budget,
-            model=config.model,
-            architecture=config.architecture,
-        )
-    if config.partitioning is PartitioningStrategy.RANDOM:
-        return random_partition(
-            budget,
-            model=config.model,
-            architecture=config.architecture,
-            seed=config.random_seed,
-        )
-    raise ValueError(f"unknown partitioning strategy {config.partitioning}")
-
-
-def _build_scheduler(config: ServerConfig, profile: ProfileTable) -> Scheduler:
-    if config.scheduler is SchedulingPolicy.ELSA:
-        return ElsaScheduler(profile, alpha=config.alpha, beta=config.beta)
-    if config.scheduler is SchedulingPolicy.FIFS:
-        return FifsScheduler()
-    if config.scheduler is SchedulingPolicy.LEAST_LOADED:
-        return LeastLoadedScheduler()
-    if config.scheduler is SchedulingPolicy.RANDOM:
-        return RandomDispatchScheduler(seed=config.random_seed)
-    raise ValueError(f"unknown scheduling policy {config.scheduler}")
+        served = "+".join(self.models)
+        return f"{served}: {self.config.label()} = {self.plan.describe()}"
 
 
 def build_deployment(
@@ -113,30 +121,62 @@ def build_deployment(
     batch_pdf: Dict[int, float],
     profile: Optional[ProfileTable] = None,
     profiler: Optional[Profiler] = None,
+    profiles: Optional[Mapping[str, ProfileTable]] = None,
 ) -> Deployment:
     """Materialise a deployment for one design point.
 
     Args:
-        config: the design point.
-        batch_pdf: batch-size PDF of the expected workload (PARIS input;
-            also used to pick the max batch for the SLA target).
-        profile: pre-built profile table (skips profiling when provided).
-        profiler: profiler to use when ``profile`` is not given; a default
-            :class:`~repro.perf.profiler.Profiler` over the configured
-            architecture is created otherwise.
+        config: the design point.  ``config.partitioning`` and
+            ``config.scheduler`` are resolved against the policy registries,
+            so custom registered policies are selectable by name.
+        batch_pdf: batch-size PDF of the expected workload (the partitioner's
+            input; also used to pick the max batch for the SLA target).
+        profile: pre-built profile table of the primary model (skips
+            profiling it when provided).  Takes precedence over a same-model
+            entry in ``profiles`` — the explicit single-model argument is
+            the more specific one.
+        profiler: profiler used for any model lacking a pre-built profile;
+            a default :class:`~repro.perf.profiler.Profiler` over the
+            configured architecture is created otherwise.
+        profiles: pre-built profile tables keyed by model name; models in
+            ``config.models`` missing from the mapping are profiled.
 
     Returns:
         The materialised :class:`Deployment`.
+
+    Raises:
+        ValueError: for an empty ``batch_pdf``.
+        UnknownPolicyError: when a policy name is not registered (the
+            message lists the available policies).
     """
     if not batch_pdf:
         raise ValueError("batch_pdf must be non-empty")
-    if profile is None:
+
+    tables: Dict[str, ProfileTable] = dict(profiles or {})
+    if profile is not None:
+        tables[config.model] = profile
+    missing = [name for name in config.models if name not in tables]
+    if missing:
         from repro.models.registry import get_model
 
         profiler = profiler or Profiler(architecture=config.architecture)
-        profile = profiler.profile(get_model(config.model))
+        for name in missing:
+            tables[name] = profiler.profile(get_model(name))
+    primary = tables[config.model]
+    # primary-first ordering keeps Deployment.models/describe() consistent
+    # with ServerConfig.models regardless of the caller's mapping order
+    tables = {config.model: primary, **tables}
 
-    plan = _build_plan(config, profile, batch_pdf)
+    plan = build_plan(
+        config.partitioning,
+        PartitionerContext(
+            profile=primary,
+            batch_pdf=batch_pdf,
+            budget=config.effective_gpc_budget,
+            config=config,
+            spec=config.partitioner_spec,
+        ),
+    )
 
     server = MultiGPUServer(
         num_gpus=config.num_gpus,
@@ -145,15 +185,30 @@ def build_deployment(
     )
     instances = server.configure(plan.counts)
 
-    scheduler = _build_scheduler(config, profile)
-    sla_target = derive_sla_target(
-        profile, max_batch=config.max_batch, multiplier=config.sla_multiplier
+    scheduler = build_scheduler(
+        config.scheduler,
+        SchedulerContext(
+            profile=primary,
+            profiles=tables,
+            config=config,
+            spec=config.scheduler_spec,
+        ),
     )
+    sla_targets = {
+        name: derive_sla_target(
+            table,
+            max_batch=config.max_batch,
+            multiplier=config.sla_multiplier,
+            reference_gpcs=config.sla_reference_gpcs,
+        )
+        for name, table in tables.items()
+    }
     return Deployment(
         config=config,
-        profile=profile,
+        profiles=tables,
         plan=plan,
         instances=tuple(instances),
         scheduler=scheduler,
-        sla_target=sla_target,
+        sla_target=sla_targets[config.model],
+        sla_targets=sla_targets,
     )

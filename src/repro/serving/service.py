@@ -1,17 +1,28 @@
 """High-level inference service facade.
 
 :class:`InferenceService` is the one-stop public API used by the examples:
-give it a model name, a design point and a workload description and it
-profiles the model, runs PARIS (or a baseline partitioner), reconfigures the
-simulated multi-GPU server, generates the query trace and replays it under
-the chosen scheduler, returning the paper's evaluation metrics.
+give it a design point and a workload description and it profiles the served
+models, runs the configured partitioner, reconfigures the simulated
+multi-GPU server, generates the query trace and replays it under the
+configured scheduler, returning the paper's evaluation metrics.
+
+The service is **multi-model**: list co-located models in
+``ServerConfig.extra_models`` (or hand pre-built profiles to the
+constructor) and mixed-model traces replay end-to-end — the simulator and
+ELSA's slack estimator both consult the per-model profile tables.
+
+The service also supports the paper's *online re-partitioning* workflow:
+:meth:`InferenceService.repartition` re-runs the partitioner against a batch
+PDF observed in production and atomically swaps in the new deployment,
+reusing the cached profiles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
+from repro.perf.lookup import ProfileTable
 from repro.perf.profiler import Profiler
 from repro.serving.config import ServerConfig
 from repro.serving.deployment import Deployment, build_deployment
@@ -27,7 +38,9 @@ class ServiceResult:
     Attributes:
         deployment: the materialised deployment that served the workload.
         simulation: the raw simulation result.
-        sla_target: SLA target applied to the queries (seconds).
+        sla_target: the *primary* model's derived SLA target in seconds;
+            on multi-model deployments each query is judged against its own
+            model's target (see ``deployment.sla_targets``).
     """
 
     deployment: Deployment
@@ -55,7 +68,11 @@ class ServiceResult:
         return self.simulation.statistics.utilization.mean
 
     def summary(self) -> Dict[str, float]:
-        """Compact numeric summary for reports."""
+        """Compact numeric summary for reports.
+
+        ``sla_target_ms`` is the primary model's target; per-query violation
+        statistics always use each query's own (per-model) SLA.
+        """
         return {
             "p95_latency_ms": self.p95_latency * 1e3,
             "mean_latency_ms": self.simulation.statistics.latency.mean * 1e3,
@@ -67,14 +84,18 @@ class ServiceResult:
 
 
 class InferenceService:
-    """End-to-end facade over profiling, PARIS, deployment and simulation.
+    """End-to-end facade over profiling, partitioning, deployment, simulation.
 
     Args:
-        config: the server design point to realise.
+        config: the server design point to realise.  ``config.extra_models``
+            names additional co-located models to serve.
         profiler: optional custom profiler (e.g. different batch sweep).
-        batch_pdf: optional explicit batch-size PDF for PARIS; when omitted,
-            the analytical PDF of the workload passed to :meth:`serve` is
-            used (the common case).
+        batch_pdf: optional explicit batch-size PDF for the partitioner;
+            when omitted, the analytical PDF of the workload passed to
+            :meth:`serve` is used (the common case).  Must be non-empty when
+            provided.
+        profiles: optional pre-built profile tables keyed by model name;
+            models missing from the mapping are profiled on first deploy.
     """
 
     def __init__(
@@ -82,35 +103,81 @@ class InferenceService:
         config: ServerConfig,
         profiler: Optional[Profiler] = None,
         batch_pdf: Optional[Dict[int, float]] = None,
+        profiles: Optional[Mapping[str, ProfileTable]] = None,
     ) -> None:
+        if batch_pdf is not None and not batch_pdf:
+            raise ValueError(
+                "batch_pdf must be non-empty; pass None to derive the PDF "
+                "from the served workload"
+            )
         self.config = config
         self.profiler = profiler or Profiler(architecture=config.architecture)
-        self._explicit_pdf = batch_pdf
+        self._explicit_pdf = dict(batch_pdf) if batch_pdf else None
+        self._profiles: Dict[str, ProfileTable] = dict(profiles or {})
         self._deployment: Optional[Deployment] = None
+
+    @property
+    def models(self) -> Tuple[str, ...]:
+        """All models this service serves (primary first).
+
+        Includes ``config.extra_models`` and any model whose profile was
+        handed to the constructor or loaded by a deployment — every entry is
+        accepted by both :meth:`serve` and :meth:`serve_trace`.
+        """
+        seen = dict.fromkeys(self.config.models)
+        for name in self._profiles:
+            seen.setdefault(name)
+        return tuple(seen)
 
     # ------------------------------------------------------------------ #
     # deployment lifecycle
     # ------------------------------------------------------------------ #
     def deploy(self, batch_pdf: Optional[Dict[int, float]] = None) -> Deployment:
-        """Profile the model, run the partitioner and configure the server.
+        """Profile the models, run the partitioner and configure the server.
 
         Args:
-            batch_pdf: batch-size PDF used by PARIS; falls back to the PDF
-                provided at construction.
+            batch_pdf: batch-size PDF consumed by the partitioner; falls back
+                to the PDF provided at construction.  An explicitly-passed
+                empty PDF is an error, never a silent fallback.
 
         Returns:
             The materialised deployment (cached for subsequent calls).
         """
-        pdf = batch_pdf or self._explicit_pdf
+        pdf = batch_pdf if batch_pdf is not None else self._explicit_pdf
         if pdf is None:
             raise ValueError(
                 "a batch-size PDF is required to deploy; pass one here, at "
                 "construction, or call serve() with a workload"
             )
+        if not pdf:
+            raise ValueError(
+                "batch_pdf must be non-empty: an empty PDF gives the "
+                "partitioner nothing to work with"
+            )
         self._deployment = build_deployment(
-            self.config, pdf, profiler=self.profiler
+            self.config, pdf, profiler=self.profiler, profiles=self._profiles
         )
+        self._profiles.update(self._deployment.profiles)
         return self._deployment
+
+    def repartition(self, new_pdf: Dict[int, float]) -> Deployment:
+        """Re-run the partitioner against a freshly observed batch PDF.
+
+        This is the paper's online re-partitioning workflow: collect the
+        batch-size histogram served over some window (e.g.
+        ``QueryTrace.batch_pdf()``), then call this method to re-derive the
+        plan and reconfigure the (simulated) server.  Profiles are reused
+        from the previous deployment, so re-partitioning is cheap.
+
+        Args:
+            new_pdf: the observed batch-size PDF (must be non-empty).
+
+        Returns:
+            The new deployment, which also becomes :attr:`deployment`.
+        """
+        if not new_pdf:
+            raise ValueError("repartition requires a non-empty batch PDF")
+        return self.deploy(batch_pdf=new_pdf)
 
     @property
     def deployment(self) -> Deployment:
@@ -125,32 +192,54 @@ class InferenceService:
     def serve(self, workload: WorkloadConfig, seed: int = 0) -> ServiceResult:
         """Generate a trace from ``workload`` and serve it.
 
-        The workload's analytical batch PDF is fed to PARIS (unless an
-        explicit PDF was supplied), and the derived SLA target is attached to
-        every query.
+        The workload's analytical batch PDF is fed to the partitioner
+        (unless an explicit PDF was supplied), and the derived SLA target is
+        attached to every query.  The workload may target any served model.
         """
-        if workload.model != self.config.model:
+        if workload.model not in self.models:
             raise ValueError(
                 f"workload targets model {workload.model!r} but the service "
-                f"is configured for {self.config.model!r}"
+                f"serves {list(self.models)}"
             )
         generator = QueryGenerator(workload)
         if self._deployment is None:
-            self.deploy(batch_pdf=self._explicit_pdf or generator.batch_pdf())
+            pdf = (
+                self._explicit_pdf
+                if self._explicit_pdf is not None
+                else generator.batch_pdf()
+            )
+            self.deploy(batch_pdf=pdf)
         trace = generator.generate()
         return self.serve_trace(trace, seed=seed)
 
     def serve_trace(self, trace: QueryTrace, seed: int = 0) -> ServiceResult:
-        """Serve an existing query trace on the deployed server.
+        """Serve an existing (possibly mixed-model) query trace.
 
-        Queries without an SLA target are given the deployment's derived SLA.
+        Every model appearing in the trace must be served by the deployment
+        (the primary model or one of ``extra_models``).  Queries without an
+        SLA target are given *their own model's* derived SLA target
+        (Section V defines the SLA per model), so mixed-model violation
+        statistics refer to each model's own bound.
         """
         deployment = self.deployment
-        sla = deployment.sla_target
+        unknown = sorted({q.model for q in trace} - set(deployment.profiles))
+        if unknown:
+            raise ValueError(
+                f"trace contains models {unknown} not served by this "
+                f"deployment; served models: {sorted(deployment.profiles)}"
+            )
         needs_sla = any(q.sla_target is None for q in trace)
-        replay = trace.with_sla(sla) if needs_sla else trace
+        if needs_sla:
+            replay = trace.fresh_copy()
+            for query in replay:
+                if query.sla_target is None:
+                    query.sla_target = deployment.sla_target_for(query.model)
+        else:
+            replay = trace
         simulator = deployment.simulator(seed=seed)
         result = simulator.run(replay)
         return ServiceResult(
-            deployment=deployment, simulation=result, sla_target=sla
+            deployment=deployment,
+            simulation=result,
+            sla_target=deployment.sla_target,
         )

@@ -84,13 +84,10 @@ class QueryTrace:
         """Return a copy of the trace with every query's SLA set to ``sla_target``."""
         if sla_target <= 0:
             raise ValueError("sla_target must be positive")
-        queries = []
-        for query in self.queries:
-            clone = copy.copy(query)
-            clone.reset_runtime_state()
-            clone.sla_target = sla_target
-            queries.append(clone)
-        return QueryTrace(tuple(queries))
+        trace = self.fresh_copy()
+        for query in trace.queries:
+            query.sla_target = sla_target
+        return trace
 
 
 def merge_traces(traces: Iterable[QueryTrace]) -> QueryTrace:

@@ -70,3 +70,18 @@ class TestHeadlineComparison:
         assert {row["max_batch"] for row in rows} == {16}
         designs = {row["design"] for row in rows}
         assert "paris+elsa" in designs
+
+
+class TestBuildPolicyNameNormalisation:
+    def test_untrimmed_homogeneous_name_still_gets_gpu7_budget(self, settings):
+        tidy = settings.build("mobilenet", "homogeneous", "fifs")
+        sloppy = settings.build("mobilenet", "  Homogeneous ", "fifs")
+        assert sloppy.plan.total_gpcs == tidy.plan.total_gpcs == 28
+
+    def test_deprecated_enums_still_accepted(self, settings):
+        from repro.serving.config import PartitioningStrategy, SchedulingPolicy
+
+        deployment = settings.build(
+            "mobilenet", PartitioningStrategy.PARIS, SchedulingPolicy.ELSA
+        )
+        assert deployment.config.label() == "paris+elsa"

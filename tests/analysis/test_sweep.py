@@ -108,3 +108,45 @@ class TestSweepAndSearch:
     def test_invalid_bound_rejected(self, deployment, workload):
         with pytest.raises(ValueError):
             latency_bounded_throughput(deployment, workload, latency_bound=0.0)
+
+
+class TestMultiModelSweep:
+    @pytest.fixture(scope="class")
+    def multi_deployment(self, mobilenet_profile, resnet_profile):
+        config = ServerConfig(
+            model="resnet",
+            extra_models=("mobilenet",),
+            gpc_budget=48,
+            num_gpus=8,
+        )
+        pdf = LogNormalBatchDistribution(sigma=0.9, median=8, max_batch=32).pdf()
+        return build_deployment(
+            config,
+            pdf,
+            profiles={"resnet": resnet_profile, "mobilenet": mobilenet_profile},
+        )
+
+    def test_measure_design_uses_workload_models_own_sla(self, multi_deployment):
+        # a secondary model is judged against its own derived SLA, not the
+        # primary's (which would inflate its latency-bounded throughput)
+        secondary = WorkloadConfig(
+            model="mobilenet", rate_qps=1.0, num_queries=100, seed=0
+        )
+        result = measure_design(multi_deployment, secondary, rate_qps=100.0)
+        assert result.sla_target == pytest.approx(
+            multi_deployment.sla_target_for("mobilenet")
+        )
+        assert result.sla_target < multi_deployment.sla_target  # resnet's
+
+    def test_bounded_search_bounds_on_the_workloads_model(self, multi_deployment):
+        secondary = WorkloadConfig(
+            model="mobilenet", rate_qps=1.0, num_queries=100, seed=0
+        )
+        result = latency_bounded_throughput(
+            multi_deployment, secondary, iterations=3
+        )
+        # the search bound (and the stamped per-query SLA) is the workload
+        # model's own target, not the primary's
+        assert result.sla_target == pytest.approx(
+            multi_deployment.sla_target_for("mobilenet")
+        )

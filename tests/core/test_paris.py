@@ -107,6 +107,39 @@ class TestAlgorithmSteps:
         assert plan.strategy == "paris"
 
 
+class TestShrinkToBudget:
+    def test_shrink_never_drops_below_segment_floor(self):
+        """Regression: the over-budget shrink used to evict instances from a
+        floored (low-demand but active) segment first, because its surplus vs
+        the ideal count is the largest — silently undoing the
+        ``min_instances_per_active_segment`` guarantee."""
+        counts = {1: 1, 2: 3}
+        ideal = {1: 0.05, 2: 2.9}
+        shrunk = Paris._shrink_to_budget(counts, ideal, total_gpcs=6, floors={1: 1})
+        assert shrunk[1] >= 1  # the floored size survives
+        assert shrunk == {1: 1, 2: 2}
+        assert sum(g * c for g, c in shrunk.items()) <= 6
+
+    def test_shrink_falls_back_when_floors_do_not_fit(self):
+        # floors demand 1 + 2 = 3 GPCs more than the 2-GPC budget allows;
+        # shrinking below a floor is then the only way to fit.
+        counts = {1: 1, 2: 1}
+        ideal = {1: 0.5, 2: 0.5}
+        shrunk = Paris._shrink_to_budget(
+            counts, ideal, total_gpcs=2, floors={1: 1, 2: 1}
+        )
+        assert sum(g * c for g, c in shrunk.items()) <= 2
+
+    def test_plan_with_floor_keeps_active_segments_when_budget_allows(self):
+        pdf = {1: 0.9, 2: 0.05, 16: 0.05}
+        config = ParisConfig(min_instances_per_active_segment=2)
+        plan = Paris(synthetic_profile(), config).plan(pdf, 28)
+        for segment in plan.segments:
+            if segment.probability > 0:
+                assert plan.instances_of(segment.gpcs) >= 2
+        assert plan.used_gpcs <= 28
+
+
 class TestOnRealProfiles:
     def test_lightweight_model_gets_small_partitions(self, mobilenet_profile):
         pdf = LogNormalBatchDistribution(sigma=0.9, median=8, max_batch=32).pdf()

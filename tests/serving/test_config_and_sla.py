@@ -10,10 +10,45 @@ from tests.sim.helpers import constant_profile, linear_profile
 class TestServerConfig:
     def test_defaults_are_paris_elsa(self):
         config = ServerConfig(model="resnet")
-        assert config.partitioning is PartitioningStrategy.PARIS
-        assert config.scheduler is SchedulingPolicy.ELSA
+        assert config.partitioning == "paris"
+        assert config.scheduler == "elsa"
+        # the deprecated str-enums compare equal to the open strings
+        assert config.partitioning == PartitioningStrategy.PARIS
+        assert config.scheduler == SchedulingPolicy.ELSA
         assert config.effective_gpc_budget == 56
         assert config.label() == "paris+elsa"
+
+    def test_enum_members_normalise_to_strings(self):
+        config = ServerConfig(
+            model="resnet",
+            partitioning=PartitioningStrategy.RANDOM,
+            scheduler=SchedulingPolicy.RANDOM,
+        )
+        assert config.partitioning == "random"
+        assert config.scheduler == "random-dispatch"
+
+    def test_open_policy_names_accepted(self):
+        config = ServerConfig(
+            model="resnet", partitioning="My-Policy", scheduler="MY-SCHED"
+        )
+        # names are open strings, normalised to lowercase; validity is
+        # checked against the registry at deployment time, not here
+        assert config.partitioning == "my-policy"
+        assert config.scheduler == "my-sched"
+        assert config.label() == "my-policy+my-sched"
+
+    def test_bare_string_extra_models_rejected(self):
+        # tuple("bert") would silently splat into per-character model names
+        with pytest.raises(TypeError, match="bare"):
+            ServerConfig(model="resnet", extra_models="bert")
+        with pytest.raises(TypeError, match="bare"):
+            ServerConfig.from_specs("resnet", extra_models="bert")
+
+    def test_models_puts_primary_first_and_dedupes(self):
+        config = ServerConfig(
+            model="resnet", extra_models=("bert", "resnet", "mobilenet")
+        )
+        assert config.models == ("resnet", "bert", "mobilenet")
 
     def test_homogeneous_label_includes_size(self):
         config = ServerConfig(
@@ -47,6 +82,21 @@ class TestServerConfig:
     def test_enum_values_round_trip_from_strings(self):
         assert PartitioningStrategy("paris") is PartitioningStrategy.PARIS
         assert SchedulingPolicy("fifs") is SchedulingPolicy.FIFS
+
+    def test_registry_aliases_canonicalise_to_equal_configs(self):
+        # "random" is a registry alias of "random-dispatch": both spellings
+        # must produce the same (equal, identically-labelled) design point
+        via_alias = ServerConfig(model="resnet", scheduler="random")
+        via_enum = ServerConfig(model="resnet", scheduler=SchedulingPolicy.RANDOM)
+        assert via_alias == via_enum
+        assert via_alias.scheduler == "random-dispatch"
+        assert via_alias.label() == "paris+random-dispatch"
+
+    def test_from_specs_rejects_non_spec_sla_and_cluster(self):
+        with pytest.raises(TypeError, match="SlaSpec"):
+            ServerConfig.from_specs("resnet", sla=2.0)
+        with pytest.raises(TypeError, match="ClusterSpec"):
+            ServerConfig.from_specs("resnet", cluster=8)
 
 
 class TestSlaTarget:

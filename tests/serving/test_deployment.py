@@ -72,3 +72,17 @@ class TestBuildDeployment:
         config = ServerConfig(model="shufflenet", gpc_budget=14, num_gpus=2)
         deployment = build_deployment(config, pdf, profiler=profiler)
         assert deployment.profile.model_name == "shufflenet"
+
+    def test_explicit_profile_wins_over_profiles_mapping(self, pdf, profiler):
+        # the single-model `profile` argument is the more specific one; a
+        # stale same-model entry in `profiles` must not silently win
+        from repro.models.registry import get_model
+        from repro.perf.profiler import Profiler
+
+        stale = Profiler(batch_sizes=(1, 2, 4)).profile(get_model("resnet"))
+        fresh = profiler.profile(get_model("resnet"))
+        config = ServerConfig(model="resnet", gpc_budget=48)
+        deployment = build_deployment(
+            config, pdf, profile=fresh, profiles={"resnet": stale}
+        )
+        assert deployment.profile is fresh

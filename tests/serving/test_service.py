@@ -5,6 +5,7 @@ import pytest
 from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
 from repro.serving.service import InferenceService
 from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.trace import merge_traces
 
 
 @pytest.fixture(scope="module")
@@ -52,8 +53,55 @@ class TestInferenceService:
         assert all(q.sla_target == pytest.approx(result.sla_target)
                    for q in result.simulation.queries)
 
+    def test_serve_trace_keeps_explicit_per_query_slas(self, service):
+        # only queries lacking an SLA get the derived default; explicit
+        # per-query SLAs in a partially-tagged trace must survive
+        strict = WorkloadConfig(
+            model="mobilenet", rate_qps=100.0, num_queries=20, seed=3,
+            sla_target=123.0,
+        )
+        untagged = WorkloadConfig(
+            model="mobilenet", rate_qps=100.0, num_queries=20, seed=4
+        )
+        mixed = merge_traces([
+            QueryGenerator(strict).generate(),
+            QueryGenerator(untagged).generate(),
+        ])
+        result = service.serve_trace(mixed)
+        slas = sorted({q.sla_target for q in result.simulation.queries})
+        assert slas == [pytest.approx(result.sla_target), 123.0]
+
     def test_deployment_cached(self, service):
         assert service.deployment is service.deployment
+
+    def test_empty_pdf_rejected_at_deploy(self, profiler):
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(config, profiler=profiler)
+        with pytest.raises(ValueError, match="non-empty"):
+            service.deploy(batch_pdf={})
+
+    def test_empty_pdf_rejected_at_construction(self, profiler):
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        with pytest.raises(ValueError, match="non-empty"):
+            InferenceService(config, profiler=profiler, batch_pdf={})
+
+    def test_empty_pdf_does_not_fall_back_to_constructor_pdf(self, profiler):
+        # An explicitly-passed empty PDF must raise, never silently reuse
+        # the PDF given at construction.
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(
+            config, profiler=profiler, batch_pdf={4: 0.5, 8: 0.5}
+        )
+        with pytest.raises(ValueError, match="non-empty"):
+            service.deploy(batch_pdf={})
+
+    def test_empty_repartition_rejected(self, profiler):
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(
+            config, profiler=profiler, batch_pdf={4: 0.5, 8: 0.5}
+        )
+        with pytest.raises(ValueError, match="non-empty"):
+            service.repartition({})
 
     def test_fifs_service_also_runs(self, profiler):
         config = ServerConfig(
@@ -68,3 +116,121 @@ class TestInferenceService:
         workload = WorkloadConfig(model="mobilenet", rate_qps=200.0, num_queries=200)
         result = service.serve(workload)
         assert result.simulation.statistics.completed_queries == 200
+
+
+class TestMultiModelService:
+    @pytest.fixture(scope="class")
+    def multi_service(self, profiler):
+        config = ServerConfig(
+            model="mobilenet",
+            extra_models=("resnet",),
+            gpc_budget=24,
+            num_gpus=4,
+        )
+        service = InferenceService(config, profiler=profiler)
+        service.deploy(batch_pdf={4: 0.3, 8: 0.5, 16: 0.2})
+        return service
+
+    def test_models_lists_primary_first(self, multi_service):
+        assert multi_service.models == ("mobilenet", "resnet")
+
+    def test_deployment_profiles_every_served_model(self, multi_service):
+        deployment = multi_service.deployment
+        assert set(deployment.models) == {"mobilenet", "resnet"}
+        assert deployment.profile.model_name == "mobilenet"
+        assert deployment.profile_for("resnet").model_name == "resnet"
+        with pytest.raises(KeyError, match="not served"):
+            deployment.profile_for("bert")
+
+    def test_mixed_trace_served_end_to_end(self, multi_service):
+        traces = [
+            QueryGenerator(
+                WorkloadConfig(model=model, rate_qps=150.0, num_queries=60, seed=s)
+            ).generate()
+            for s, model in enumerate(multi_service.models)
+        ]
+        mixed = merge_traces(traces)
+        result = multi_service.serve_trace(mixed)
+        assert result.simulation.statistics.completed_queries == 120
+        served_models = {q.model for q in result.simulation.queries}
+        assert served_models == {"mobilenet", "resnet"}
+
+    def test_mixed_trace_gets_per_model_sla_targets(self, multi_service):
+        # Section V defines the SLA per model: each untagged query gets its
+        # own model's derived target, not the primary's
+        deployment = multi_service.deployment
+        assert deployment.sla_target_for("resnet") > deployment.sla_target_for(
+            "mobilenet"
+        )
+        traces = [
+            QueryGenerator(
+                WorkloadConfig(model=model, rate_qps=150.0, num_queries=30, seed=s)
+            ).generate()
+            for s, model in enumerate(multi_service.models)
+        ]
+        result = multi_service.serve_trace(merge_traces(traces))
+        for query in result.simulation.queries:
+            assert query.sla_target == pytest.approx(
+                deployment.sla_target_for(query.model)
+            )
+
+    def test_secondary_model_workload_accepted(self, multi_service):
+        workload = WorkloadConfig(model="resnet", rate_qps=100.0, num_queries=40)
+        result = multi_service.serve(workload)
+        assert result.simulation.statistics.completed_queries == 40
+
+    def test_constructor_profiles_make_models_servable(self, profiler):
+        # models provided only via profiles= (no extra_models) are accepted
+        # by serve() and serve_trace() alike
+        from repro.models.registry import get_model
+
+        profiles = {
+            "mobilenet": profiler.profile(get_model("mobilenet")),
+            "resnet": profiler.profile(get_model("resnet")),
+        }
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(config, profiler=profiler, profiles=profiles)
+        assert service.models == ("mobilenet", "resnet")
+        result = service.serve(
+            WorkloadConfig(model="resnet", rate_qps=100.0, num_queries=30)
+        )
+        assert result.simulation.statistics.completed_queries == 30
+        # describe() reports the actually served models, not just the config
+        assert service.deployment.describe().startswith("mobilenet+resnet:")
+
+    def test_unserved_model_trace_rejected(self, multi_service):
+        trace = QueryGenerator(
+            WorkloadConfig(model="bert", rate_qps=10.0, num_queries=5)
+        ).generate()
+        with pytest.raises(ValueError, match="bert"):
+            multi_service.serve_trace(trace)
+
+
+class TestRepartitionLifecycle:
+    def test_repartition_swaps_the_deployment(self, profiler):
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(config, profiler=profiler)
+        first = service.deploy(batch_pdf={1: 0.9, 2: 0.1})
+        second = service.repartition({16: 0.5, 32: 0.5})
+        assert service.deployment is second
+        assert service.deployment is not first
+        # large-batch traffic shifts the plan toward larger partitions
+        def avg_size(plan):
+            return plan.used_gpcs / plan.total_instances
+        assert avg_size(second.plan) >= avg_size(first.plan)
+
+    def test_repartition_reuses_cached_profiles(self, profiler):
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(config, profiler=profiler)
+        first = service.deploy(batch_pdf={4: 1.0})
+        second = service.repartition({8: 1.0})
+        assert second.profile is first.profile
+
+    def test_repartitioned_service_keeps_serving(self, profiler):
+        config = ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+        service = InferenceService(config, profiler=profiler, batch_pdf={1: 1.0})
+        workload = WorkloadConfig(model="mobilenet", rate_qps=200.0, num_queries=50)
+        service.serve(workload)
+        service.repartition({8: 0.5, 16: 0.5})
+        result = service.serve(workload)
+        assert result.simulation.statistics.completed_queries == 50

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Live mid-run repartitioning on a time-varying scenario.
+
+The paper's elastic workflow is *online*: the server observes the batch-size
+distribution it actually serves, and when it drifts from the distribution the
+current PARIS plan was derived for, it re-runs PARIS and reconfigures the MIG
+partitions — paying a real reconfiguration cost.  This example runs that loop
+end to end inside one simulation:
+
+1. build a diurnal-style scenario whose batch-size distribution drifts from
+   tiny batches (median 2) to large ones (median 16) while traffic keeps
+   flowing,
+2. deploy BERT with PARIS planned for the *opening* phase,
+3. replay the scenario through a :class:`~repro.serving.session.ServingSession`
+   with the ``pdf-drift`` trigger armed: the session detects the drift,
+   repartitions live and pays a modeled 2 s MIG reconfiguration downtime,
+4. replay the identical trace with no trigger as the control,
+5. print the windowed metrics side by side — the reconfiguration dip is
+   clearly visible, followed by a markedly lower SLA violation rate than the
+   control.
+
+Run with::
+
+    python examples/dynamic_scenarios.py
+"""
+
+from repro.analysis.experiments import ExperimentSettings, dynamic_scenario
+from repro.analysis.reporting import format_table
+from repro.workload.scenario import build_scenario
+
+MODEL = "bert"
+
+
+def main() -> None:
+    scenario = build_scenario(
+        "batch-drift",
+        model=MODEL,
+        rate_qps=600.0,
+        phase_duration=30.0,
+        start_median=2.0,
+        end_median=16.0,
+        steps=1,
+        seed=3,
+    )
+    print(f"scenario: {scenario.describe()}")
+
+    settings = ExperimentSettings(num_queries=600, seed=0)
+    rows = dynamic_scenario(
+        scenario,
+        settings=settings,
+        triggers=(
+            ("pdf-drift", {"threshold": 0.2, "min_queries": 200, "cooldown": 45.0}),
+        ),
+        reconfig_cost=2.0,
+        window=2.0,
+        seed=1,
+    )
+
+    by_mode = {"triggered": {}, "control": {}}
+    for row in rows:
+        by_mode[row["mode"]][row["window"]] = row
+
+    print()
+    print("windowed trajectory (triggered vs control)")
+    table_rows = []
+    for index in sorted(by_mode["triggered"]):
+        trig = by_mode["triggered"][index]
+        ctrl = by_mode["control"].get(index)
+        table_rows.append(
+            [
+                index,
+                f"{trig['start_s']:.0f}s",
+                round(trig["throughput_qps"], 1),
+                round(trig["violation_rate"], 3),
+                "RECONFIG" if trig["reconfiguring"] else "",
+                round(ctrl["throughput_qps"], 1) if ctrl else "-",
+                round(ctrl["violation_rate"], 3) if ctrl else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["win", "t", "qps (trig)", "viol (trig)", "", "qps (ctrl)", "viol (ctrl)"],
+            table_rows,
+        )
+    )
+
+    plans = {row["mode"]: row["plan"] for row in rows}
+    print()
+    print(f"control plan (never changes): {plans['control']}")
+    print(f"triggered final plan:         {plans['triggered']}")
+    post = [
+        r for r in rows if r["mode"] == "triggered" and not r["reconfiguring"]
+    ][-5:]
+    ctrl_tail = [r for r in rows if r["mode"] == "control"][-5:]
+    avg = lambda rs: sum(r["violation_rate"] for r in rs) / max(1, len(rs))  # noqa: E731
+    print(
+        f"violation rate over the last 5 windows: triggered {avg(post):.3f} "
+        f"vs control {avg(ctrl_tail):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,13 +12,18 @@ The package is organised bottom-up:
   ResNet, BERT, Conformer).
 * :mod:`repro.perf` — roofline latency/utilization model and the one-time
   profiler producing (partition size, batch) lookup tables.
-* :mod:`repro.workload` — Poisson arrivals and log-normal batch sizes.
-* :mod:`repro.sim` — discrete-event simulator of the inference server.
+* :mod:`repro.workload` — Poisson arrivals, log-normal batch sizes and
+  time-varying :class:`~repro.workload.scenario.Scenario` workloads.
+* :mod:`repro.sim` — discrete-event simulator of the inference server, with
+  typed lifecycle events, observers and incremental windowed metrics.
 * :mod:`repro.core` — **PARIS** (Algorithm 1) and **ELSA** (Algorithm 2),
-  the FIFS / random / homogeneous baselines, and the **policy registries**
-  that make partitioners and schedulers pluggable by name.
+  the FIFS / random / homogeneous baselines, the **policy registries**
+  that make partitioners and schedulers pluggable by name, and the
+  repartition **triggers** driving the elastic loop.
 * :mod:`repro.serving` — end-to-end deployment, the fluent
-  :class:`~repro.serving.builder.ServerBuilder` and the multi-model
+  :class:`~repro.serving.builder.ServerBuilder`, the streaming
+  :class:`~repro.serving.session.ServingSession` (live mid-run
+  repartitioning with modeled MIG downtime) and the multi-model
   :class:`~repro.serving.service.InferenceService` facade.
 * :mod:`repro.analysis` — experiment harnesses regenerating every table and
   figure of the paper's evaluation.
@@ -64,6 +69,14 @@ from repro.core.registry import (
     register_scheduler,
 )
 from repro.core.schedulers import FifsScheduler
+from repro.core.triggers import (
+    RepartitionTrigger,
+    TriggerContext,
+    TriggerDecision,
+    available_triggers,
+    build_trigger,
+    register_trigger,
+)
 from repro.core.specs import (
     ClusterSpec,
     ElsaSpec,
@@ -86,12 +99,25 @@ from repro.serving.builder import ServerBuilder
 from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
 from repro.serving.deployment import Deployment, build_deployment
 from repro.serving.service import InferenceService, ServiceResult
-from repro.sim.cluster import InferenceServerSimulator, SimulationResult
+from repro.serving.session import ServingSession, SessionResult
+from repro.sim.cluster import (
+    InferenceServerSimulator,
+    ReconfigurationRecord,
+    SimulationResult,
+)
+from repro.sim.hooks import SimulationObserver, WindowedMetrics
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 from repro.workload.query import Query
+from repro.workload.scenario import (
+    Phase,
+    Scenario,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+)
 from repro.workload.trace import QueryTrace, merge_traces
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "A100",
@@ -115,6 +141,7 @@ __all__ = [
     "PartitionPlan",
     "PartitionerContext",
     "PartitioningStrategy",
+    "Phase",
     "PolicySpec",
     "ProfileTable",
     "Profiler",
@@ -123,18 +150,31 @@ __all__ = [
     "QueryTrace",
     "RandomDispatchSpec",
     "RandomPartitionSpec",
+    "ReconfigurationRecord",
+    "RepartitionTrigger",
+    "Scenario",
     "SchedulerContext",
     "SchedulingPolicy",
     "ServerBuilder",
     "ServerConfig",
     "ServiceResult",
+    "ServingSession",
+    "SessionResult",
+    "SimulationObserver",
     "SimulationResult",
     "SlaSpec",
+    "TriggerContext",
+    "TriggerDecision",
     "UnknownPolicyError",
+    "WindowedMetrics",
     "WorkloadConfig",
     "available_partitioners",
+    "available_scenarios",
     "available_schedulers",
+    "available_triggers",
     "build_deployment",
+    "build_scenario",
+    "build_trigger",
     "get_model",
     "get_partitioner",
     "get_scheduler",
@@ -142,7 +182,9 @@ __all__ = [
     "merge_traces",
     "profile_model",
     "register_partitioner",
+    "register_scenario",
     "register_scheduler",
+    "register_trigger",
     "run_paris",
     "__version__",
 ]

@@ -160,12 +160,16 @@ class ExperimentSettings:
         max_batch: Optional[int] = None,
         sigma: Optional[float] = None,
         sla_multiplier: Optional[float] = None,
+        batch_pdf: Optional[Dict[int, float]] = None,
     ) -> Deployment:
         """Materialise one design point under the paper's methodology.
 
         ``partitioning`` and ``scheduler`` are policy registry names
         (``"paris"``, ``"homogeneous"``, ``"elsa"``, ... or any custom
         registered policy); the deprecated enums are also accepted.
+        ``batch_pdf`` overrides the analytical workload PDF handed to the
+        partitioner — e.g. a scenario's ``initial_pdf()`` when the
+        deployment should be planned for the scenario's opening phase.
         """
         partitioning = normalize_policy_name(partitioning, "partitioning")
         scheduler = normalize_policy_name(scheduler, "scheduler")
@@ -189,7 +193,11 @@ class ExperimentSettings:
             random_seed=self.seed,
             frontend_capacity_qps=self.frontend_qps,
         )
-        pdf = self.batch_pdf(max_batch=max_batch, sigma=sigma)
+        pdf = (
+            dict(batch_pdf)
+            if batch_pdf is not None
+            else self.batch_pdf(max_batch=max_batch, sigma=sigma)
+        )
         return build_deployment(config, pdf, profile=self.profile(model))
 
     def measure(
@@ -608,6 +616,73 @@ def sla_sensitivity(
                     / max(gpu_max_result.throughput_qps, 1e-9),
                     "paris_p95_ms": paris_result.p95_latency * 1e3,
                     "gpu_max_p95_ms": gpu_max_result.p95_latency * 1e3,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# dynamic scenarios — the observe -> repartition -> reconfigure loop
+# --------------------------------------------------------------------------- #
+def dynamic_scenario(
+    scenario,
+    settings: Optional[ExperimentSettings] = None,
+    triggers: Sequence = (("pdf-drift", {"threshold": 0.2, "min_queries": 200}),),
+    reconfig_cost: float = 2.0,
+    window: float = 2.0,
+    partitioning: str = "paris",
+    scheduler: str = "elsa",
+    seed: int = 0,
+) -> List[dict]:
+    """Windowed trajectory of a time-varying scenario, triggered vs control.
+
+    Deploys the design for the scenario's *opening* phase (the operator's
+    honest prior), then replays the scenario twice over the same trace:
+
+    * ``triggered`` — with the given repartition triggers and a modeled MIG
+      reconfiguration downtime of ``reconfig_cost`` seconds;
+    * ``control`` — the same deployment left alone.
+
+    Returns one row per (mode, window) with throughput, p95 latency, SLA
+    violation rate and whether the window overlapped a reconfiguration — the
+    dip-and-recover trajectory of the paper's elastic workflow.
+    """
+    from repro.analysis.sweep import run_scenario
+
+    settings = settings or ExperimentSettings()
+    deployment = settings.build(
+        scenario.model,
+        partitioning,
+        scheduler,
+        max_batch=max(phase.max_batch for phase in scenario.phases),
+        batch_pdf=scenario.initial_pdf(),
+    )
+    runs = {
+        "triggered": run_scenario(
+            deployment,
+            scenario,
+            triggers=triggers,
+            reconfig_cost=reconfig_cost,
+            window=window,
+            seed=seed,
+        ),
+        "control": run_scenario(
+            deployment, scenario, window=window, seed=seed
+        ),
+    }
+    rows: List[dict] = []
+    for mode, result in runs.items():
+        for stats in result.windows:
+            rows.append(
+                {
+                    "mode": mode,
+                    "window": stats.index,
+                    "start_s": stats.start,
+                    "throughput_qps": stats.throughput_qps,
+                    "p95_latency_ms": stats.p95_latency * 1e3,
+                    "violation_rate": stats.violation_rate,
+                    "reconfiguring": stats.reconfiguring,
+                    "plan": result.deployment.plan.describe(),
                 }
             )
     return rows

@@ -9,16 +9,26 @@ latency stays below a target (the SLA).  This module provides:
 * :func:`sweep_rates` — the full throughput-vs-tail-latency curve of
   Figure 11;
 * :func:`latency_bounded_throughput` — binary search for the largest
-  sustainable rate (the single number per design used in Figures 12/13).
+  sustainable rate (the single number per design used in Figures 12/13);
+* :func:`run_scenario` — replay a time-varying
+  :class:`~repro.workload.scenario.Scenario` on a deployment through a
+  :class:`~repro.serving.session.ServingSession`, optionally with live
+  repartition triggers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.serving.deployment import Deployment
+from repro.serving.session import (
+    DEFAULT_RECONFIG_COST,
+    ServingSession,
+    SessionResult,
+)
 from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -76,6 +86,38 @@ def measure_design(
         mean_utilization=stats.utilization.mean,
         sla_target=sla,
     )
+
+
+def run_scenario(
+    deployment: Deployment,
+    scenario: Scenario,
+    triggers: Sequence[Any] = (),
+    reconfig_cost: float = DEFAULT_RECONFIG_COST,
+    window: float = 1.0,
+    trigger_interval: Optional[float] = None,
+    seed: int = 0,
+    observers: Sequence[Any] = (),
+) -> SessionResult:
+    """Replay a time-varying scenario on ``deployment`` through a session.
+
+    With ``triggers`` the session runs the paper's full elastic loop —
+    observed drift or SLA pressure repartitions the server live, paying
+    ``reconfig_cost`` seconds of modeled MIG downtime.  Without triggers this
+    is the no-repartition control run over the same trace.
+
+    Returns:
+        The :class:`~repro.serving.session.SessionResult`, whose ``windows``
+        series exposes the per-window throughput / violation trajectory.
+    """
+    session = ServingSession.from_deployment(
+        deployment,
+        triggers=triggers,
+        reconfig_cost=reconfig_cost,
+        window=window,
+        trigger_interval=trigger_interval,
+        observers=observers,
+    )
+    return session.run(scenario, seed=seed)
 
 
 def capacity_estimate(deployment: Deployment, workload: WorkloadConfig) -> float:

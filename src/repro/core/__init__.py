@@ -15,6 +15,8 @@
   (homogeneous GPU(N), random heterogeneous).
 * :mod:`repro.core.registry` — pluggable name-based registries for
   partitioners and schedulers (the extension point for custom policies).
+* :mod:`repro.core.triggers` — pluggable *repartition triggers* driving the
+  serving session's observe → repartition → reconfigure loop.
 * :mod:`repro.core.specs` — composable per-policy configuration specs.
 """
 
@@ -47,6 +49,18 @@ from repro.core.registry import (
     register_partitioner,
     register_scheduler,
 )
+from repro.core.triggers import (
+    TRIGGERS,
+    PdfDriftTrigger,
+    RepartitionTrigger,
+    SlaViolationTrigger,
+    TriggerContext,
+    TriggerDecision,
+    available_triggers,
+    build_trigger,
+    get_trigger,
+    register_trigger,
+)
 from repro.core.specs import (
     ClusterSpec,
     ElsaSpec,
@@ -77,6 +91,16 @@ __all__ = [
     "get_scheduler",
     "register_partitioner",
     "register_scheduler",
+    "TRIGGERS",
+    "PdfDriftTrigger",
+    "RepartitionTrigger",
+    "SlaViolationTrigger",
+    "TriggerContext",
+    "TriggerDecision",
+    "available_triggers",
+    "build_trigger",
+    "get_trigger",
+    "register_trigger",
     "ClusterSpec",
     "ElsaSpec",
     "FifsSpec",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional
 
-from repro.core.slack import SlackEstimator, SlackPrediction
+from repro.core.slack import SlackEstimator
 from repro.perf.lookup import ProfileTable
 from repro.sim.scheduler_api import Scheduler, SchedulingContext
 from repro.sim.worker import PartitionWorker

@@ -1,0 +1,315 @@
+"""Pluggable repartition triggers for the serving session.
+
+The paper's elastic workflow is *online*: the server observes the batch-size
+distribution it actually serves, and when the observation drifts from the
+distribution the current partitioning was planned for — or when SLA
+violations spike — it re-runs PARIS and reconfigures the MIG partitions,
+paying a real reconfiguration cost.  This module makes the *when to
+repartition* decision a pluggable policy, registered by name through the
+same registry mechanism as partitioners and schedulers::
+
+    from repro.core.triggers import TriggerContext, TriggerDecision, register_trigger
+
+    @register_trigger("my-trigger")
+    def build_my_trigger(**options):
+        return MyTrigger(**options)
+
+    ServingSession(config, triggers=["my-trigger"])
+
+A registered factory takes the trigger's keyword options and returns any
+object with an ``evaluate(context) -> TriggerDecision`` method.  Built-ins:
+
+* ``pdf-drift`` — fires when the observed batch PDF over a recent window
+  drifts (total-variation distance) from the PDF the current plan targets;
+* ``sla-violation-rate`` — fires when the SLA violation rate over a recent
+  window exceeds a threshold.
+
+The :class:`~repro.serving.session.ServingSession` evaluates triggers at a
+fixed simulation-time cadence and calls ``session.repartition`` live when one
+fires, closing the paper's observe → repartition → reconfigure loop inside a
+single simulation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+from repro.core.registry import PolicyRegistry
+from repro.sim.hooks import WindowedMetrics
+
+#: The global repartition-trigger registry (name -> factory of trigger objects).
+TRIGGERS = PolicyRegistry("trigger")
+
+
+def register_trigger(
+    name: str, *, aliases: Sequence[str] = (), overwrite: bool = False
+):
+    """Decorator registering a trigger factory under ``name``."""
+    return TRIGGERS.register(name, aliases=aliases, overwrite=overwrite)
+
+
+def get_trigger(name: str) -> Callable:
+    """The trigger factory registered under ``name``."""
+    return TRIGGERS.get(name)
+
+
+def available_triggers() -> List[str]:
+    """Names of every registered trigger."""
+    return TRIGGERS.names()
+
+
+def build_trigger(name: str, **options: Any) -> "RepartitionTrigger":
+    """Instantiate the named trigger with ``options``."""
+    trigger = get_trigger(name)(**options)
+    if not hasattr(trigger, "evaluate"):
+        raise TypeError(
+            f"trigger factory {name!r} returned {type(trigger).__name__}, "
+            "which has no evaluate() method"
+        )
+    return trigger
+
+
+@dataclass(frozen=True)
+class TriggerContext:
+    """Everything a trigger decision may look at.
+
+    Attributes:
+        now: current simulation time in seconds.
+        planned_pdf: the batch-size PDF the *current* partition plan was
+            derived from.
+        metrics: the session's live :class:`~repro.sim.hooks.WindowedMetrics`
+            observer — triggers read observed PDFs and violation rates from
+            its recent windows.
+        time_since_reconfig: seconds since the run started or the last
+            repartition came online (for cooldowns).
+        deployment: the current deployment (``None`` in bare tests).
+    """
+
+    now: float
+    planned_pdf: Mapping[int, float]
+    metrics: WindowedMetrics
+    time_since_reconfig: float
+    deployment: Any = None
+
+
+@dataclass(frozen=True)
+class TriggerDecision:
+    """Outcome of one trigger evaluation.
+
+    Attributes:
+        fire: whether to repartition now.
+        reason: human-readable explanation (reported in the session log).
+        new_pdf: the batch PDF to re-run the partitioner against; ``None``
+            lets the session fall back to the observed PDF.
+    """
+
+    fire: bool
+    reason: str = ""
+    new_pdf: Optional[Mapping[int, float]] = None
+
+    @classmethod
+    def hold(cls, reason: str = "") -> "TriggerDecision":
+        """A no-fire decision."""
+        return cls(fire=False, reason=reason)
+
+
+class RepartitionTrigger(abc.ABC):
+    """Abstract repartition trigger."""
+
+    #: Registry name, used in session logs.
+    name: str = "trigger"
+
+    @abc.abstractmethod
+    def evaluate(self, context: TriggerContext) -> TriggerDecision:
+        """Decide whether the session should repartition now."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def total_variation_distance(
+    p: Mapping[int, float], q: Mapping[int, float]
+) -> float:
+    """Total-variation distance between two batch-size PMFs (0..1)."""
+    support = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(b, 0.0) - q.get(b, 0.0)) for b in support)
+
+
+def _in_warmup(context: TriggerContext, lookback_windows: int) -> bool:
+    """True while the lookback still overlaps the last reconfiguration.
+
+    Immediately after a repartition the recent windows mix pre- and
+    post-reconfig observations (including backlog completions whose latency
+    spans the downtime); judging them would re-fire on stale evidence and
+    thrash reconfiguration after reconfiguration.  Built-in triggers hold
+    until a full lookback of post-reconfig windows has accumulated — this
+    also defers the very first evaluation until one lookback into the run.
+    """
+    return context.time_since_reconfig < lookback_windows * context.metrics.window
+
+
+@dataclass
+class PdfDriftTrigger(RepartitionTrigger):
+    """Fire when the observed batch PDF drifts from the planned one.
+
+    Attributes:
+        threshold: total-variation distance above which to fire (0..1).
+        lookback_windows: how many recent metric windows form the observation.
+        min_queries: minimum arrivals in the lookback before judging drift.
+        cooldown: minimum seconds between firings (reconfigurations are not
+            free; this prevents thrashing on noisy observations).
+    """
+
+    threshold: float = 0.25
+    lookback_windows: int = 5
+    min_queries: int = 50
+    cooldown: float = 0.0
+    name: str = field(default="pdf-drift", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.lookback_windows < 1:
+            raise ValueError("lookback_windows must be >= 1")
+        if self.min_queries < 1:
+            raise ValueError("min_queries must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    def evaluate(self, context: TriggerContext) -> TriggerDecision:
+        if context.time_since_reconfig < self.cooldown:
+            return TriggerDecision.hold("cooldown")
+        if _in_warmup(context, self.lookback_windows):
+            return TriggerDecision.hold("lookback spans the last reconfiguration")
+        histogram = context.metrics.observed_batch_histogram(
+            context.now, self.lookback_windows
+        )
+        samples = sum(histogram.values())
+        if samples < self.min_queries:
+            return TriggerDecision.hold(f"only {samples} recent queries")
+        observed = {batch: count / samples for batch, count in histogram.items()}
+        drift = total_variation_distance(observed, context.planned_pdf)
+        if drift <= self.threshold:
+            return TriggerDecision.hold(f"drift {drift:.3f} <= {self.threshold}")
+        return TriggerDecision(
+            fire=True,
+            reason=(
+                f"observed batch PDF drifted {drift:.3f} (TV) from the "
+                f"planned PDF over the last {self.lookback_windows} windows"
+            ),
+            new_pdf=observed,
+        )
+
+
+@dataclass
+class SlaViolationTrigger(RepartitionTrigger):
+    """Fire when the recent SLA violation rate exceeds a threshold.
+
+    Attributes:
+        threshold: violation rate (violations / SLA-carrying completions)
+            above which to fire.
+        lookback_windows: how many recent metric windows form the observation.
+        min_queries: minimum SLA-carrying completions in the lookback.
+        cooldown: minimum seconds between firings.
+    """
+
+    threshold: float = 0.1
+    lookback_windows: int = 5
+    min_queries: int = 50
+    cooldown: float = 0.0
+    name: str = field(default="sla-violation-rate", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold < 1.0:
+            raise ValueError("threshold must be in [0, 1)")
+        if self.lookback_windows < 1:
+            raise ValueError("lookback_windows must be >= 1")
+        if self.min_queries < 1:
+            raise ValueError("min_queries must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    def evaluate(self, context: TriggerContext) -> TriggerDecision:
+        if context.time_since_reconfig < self.cooldown:
+            return TriggerDecision.hold("cooldown")
+        if _in_warmup(context, self.lookback_windows):
+            return TriggerDecision.hold("lookback spans the last reconfiguration")
+        violations, sla_count = context.metrics.recent_violation_stats(
+            context.now, self.lookback_windows
+        )
+        if sla_count < self.min_queries:
+            return TriggerDecision.hold(f"only {sla_count} recent SLA queries")
+        rate = violations / sla_count
+        if rate <= self.threshold:
+            return TriggerDecision.hold(f"violation rate {rate:.3f} <= {self.threshold}")
+        observed = context.metrics.observed_batch_pdf(
+            context.now, self.lookback_windows
+        )
+        return TriggerDecision(
+            fire=True,
+            reason=(
+                f"SLA violation rate {rate:.3f} over the last "
+                f"{self.lookback_windows} windows exceeds {self.threshold}"
+            ),
+            new_pdf=observed or None,
+        )
+
+
+@register_trigger("pdf-drift", aliases=("drift",))
+def _pdf_drift_trigger(**options: Any) -> PdfDriftTrigger:
+    """Observed-vs-planned batch PDF drift (total-variation distance)."""
+    return PdfDriftTrigger(**options)
+
+
+@register_trigger("sla-violation-rate", aliases=("sla",))
+def _sla_violation_trigger(**options: Any) -> SlaViolationTrigger:
+    """SLA-violation-rate-over-window trigger."""
+    return SlaViolationTrigger(**options)
+
+
+def resolve_triggers(
+    triggers: Sequence[Any],
+) -> List[RepartitionTrigger]:
+    """Normalise a mixed trigger list into trigger objects.
+
+    Accepts registry names (``"pdf-drift"``), ``(name, options)`` pairs
+    (``("pdf-drift", {"threshold": 0.3})``) and ready trigger objects.
+    """
+    resolved: List[RepartitionTrigger] = []
+    for entry in triggers:
+        if isinstance(entry, str):
+            resolved.append(build_trigger(entry))
+        elif (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], str)
+            and isinstance(entry[1], Mapping)
+        ):
+            name, options = entry
+            resolved.append(build_trigger(name, **dict(options)))
+        elif hasattr(entry, "evaluate"):
+            resolved.append(entry)
+        else:
+            raise TypeError(
+                "triggers must be registry names, (name, options) pairs or "
+                f"objects with evaluate(); got {entry!r}"
+            )
+    return resolved
+
+
+__all__ = [
+    "PdfDriftTrigger",
+    "RepartitionTrigger",
+    "SlaViolationTrigger",
+    "TRIGGERS",
+    "TriggerContext",
+    "TriggerDecision",
+    "available_triggers",
+    "build_trigger",
+    "get_trigger",
+    "register_trigger",
+    "resolve_triggers",
+    "total_variation_distance",
+]

@@ -9,7 +9,7 @@ model, PARIS and the SLA-target derivation consume.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from repro.models.layers import Layer

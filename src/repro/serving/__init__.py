@@ -11,24 +11,39 @@ Glues the substrates together into the inference server of Figure 6:
 * :mod:`repro.serving.deployment` — turns a configuration plus profiled
   models into a concrete deployment: partition plan, MIG layout, scheduler
   (policies resolved through :mod:`repro.core.registry`).
+* :mod:`repro.serving.session` — :class:`ServingSession`, the streaming
+  execution surface: lifecycle events, windowed metrics, scenario runs and
+  live mid-run repartitioning with modeled MIG downtime.
 * :mod:`repro.serving.service` — :class:`InferenceService`, the high-level
-  multi-model facade used by the examples and benchmark harnesses.
+  multi-model facade used by the examples and benchmark harnesses (now a
+  thin one-shot wrapper over a session).
 """
 
 from repro.serving.config import ServerConfig, PartitioningStrategy, SchedulingPolicy
 from repro.serving.builder import ServerBuilder
 from repro.serving.sla import derive_sla_target
-from repro.serving.deployment import Deployment, build_deployment
+from repro.serving.deployment import Deployment, build_deployment, replan_deployment
+from repro.serving.session import (
+    DEFAULT_RECONFIG_COST,
+    ServingSession,
+    SessionResult,
+    TriggerFiring,
+)
 from repro.serving.service import InferenceService, ServiceResult
 
 __all__ = [
+    "DEFAULT_RECONFIG_COST",
     "ServerConfig",
     "ServerBuilder",
     "PartitioningStrategy",
     "SchedulingPolicy",
+    "ServingSession",
+    "SessionResult",
+    "TriggerFiring",
     "derive_sla_target",
     "Deployment",
     "build_deployment",
+    "replan_deployment",
     "InferenceService",
     "ServiceResult",
 ]

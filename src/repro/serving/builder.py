@@ -281,3 +281,14 @@ class ServerBuilder:
         from repro.serving.service import InferenceService
 
         return InferenceService(self.build(), **service_kwargs)
+
+    def build_session(self, **session_kwargs: Any):
+        """Materialise a :class:`~repro.serving.session.ServingSession`.
+
+        Keyword args (``triggers``, ``reconfig_cost``, ``window``,
+        ``observers``, ``batch_pdf``, ...) are passed through to the session
+        constructor.
+        """
+        from repro.serving.session import ServingSession
+
+        return ServingSession(self.build(), **session_kwargs)

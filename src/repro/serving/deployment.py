@@ -15,6 +15,7 @@ module.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
@@ -116,6 +117,57 @@ class Deployment:
         return f"{served}: {self.config.label()} = {self.plan.describe()}"
 
 
+def _plan_and_place(
+    config: ServerConfig,
+    profile: ProfileTable,
+    batch_pdf: Dict[int, float],
+):
+    """Run the configured partitioner and pack the plan onto the server.
+
+    The one plan-construction path shared by :func:`build_deployment` and
+    :func:`replan_deployment`.
+    """
+    plan = build_plan(
+        config.partitioning,
+        PartitionerContext(
+            profile=profile,
+            batch_pdf=batch_pdf,
+            budget=config.effective_gpc_budget,
+            config=config,
+            spec=config.partitioner_spec,
+        ),
+    )
+    server = MultiGPUServer(
+        num_gpus=config.num_gpus,
+        architecture=config.architecture,
+        gpc_budget=config.gpc_budget,
+    )
+    instances = server.configure(plan.counts)
+    return plan, tuple(instances)
+
+
+def replan_deployment(
+    deployment: Deployment, batch_pdf: Dict[int, float]
+) -> Deployment:
+    """Re-run an existing deployment's partitioner against a new batch PDF.
+
+    Profiles, scheduler and SLA targets are reused untouched — only the plan
+    and the MIG layout change, which is exactly the paper's online
+    re-partitioning step.  Used by
+    :meth:`repro.serving.session.ServingSession.repartition` both mid-run
+    and between runs.
+
+    Raises:
+        ValueError: for an empty ``batch_pdf``.
+    """
+    if not batch_pdf:
+        raise ValueError("batch_pdf must be non-empty")
+    plan, instances = _plan_and_place(
+        deployment.config, deployment.profile, dict(batch_pdf)
+    )
+    return dataclasses.replace(deployment, plan=plan, instances=instances)
+
+
 def build_deployment(
     config: ServerConfig,
     batch_pdf: Dict[int, float],
@@ -167,23 +219,7 @@ def build_deployment(
     # with ServerConfig.models regardless of the caller's mapping order
     tables = {config.model: primary, **tables}
 
-    plan = build_plan(
-        config.partitioning,
-        PartitionerContext(
-            profile=primary,
-            batch_pdf=batch_pdf,
-            budget=config.effective_gpc_budget,
-            config=config,
-            spec=config.partitioner_spec,
-        ),
-    )
-
-    server = MultiGPUServer(
-        num_gpus=config.num_gpus,
-        architecture=config.architecture,
-        gpc_budget=config.gpc_budget,
-    )
-    instances = server.configure(plan.counts)
+    plan, instances = _plan_and_place(config, primary, batch_pdf)
 
     scheduler = build_scheduler(
         config.scheduler,

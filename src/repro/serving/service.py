@@ -15,6 +15,13 @@ The service also supports the paper's *online re-partitioning* workflow:
 :meth:`InferenceService.repartition` re-runs the partitioner against a batch
 PDF observed in production and atomically swaps in the new deployment,
 reusing the cached profiles.
+
+Since the introduction of :class:`~repro.serving.session.ServingSession`
+the service is a thin back-compat facade: every replay is executed by a
+one-shot session (no triggers, no windowed metrics), which keeps the
+results bit-identical to the original replay loop while the streaming
+machinery underneath stays single-sourced.  Scenario workloads, live
+mid-run repartitioning and lifecycle observers live on the session API.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.perf.lookup import ProfileTable
 from repro.perf.profiler import Profiler
 from repro.serving.config import ServerConfig
-from repro.serving.deployment import Deployment, build_deployment
+from repro.serving.deployment import Deployment
+from repro.serving.session import ServingSession
 from repro.sim.cluster import SimulationResult
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 from repro.workload.trace import QueryTrace
@@ -105,16 +113,27 @@ class InferenceService:
         batch_pdf: Optional[Dict[int, float]] = None,
         profiles: Optional[Mapping[str, ProfileTable]] = None,
     ) -> None:
-        if batch_pdf is not None and not batch_pdf:
-            raise ValueError(
-                "batch_pdf must be non-empty; pass None to derive the PDF "
-                "from the served workload"
-            )
-        self.config = config
-        self.profiler = profiler or Profiler(architecture=config.architecture)
+        # the facade owns exactly one quiescent session; every deployment
+        # lifecycle operation below delegates to it, so validation, profile
+        # caching and deployment construction live in one place
+        self._session = ServingSession(
+            config,
+            profiler=profiler,
+            batch_pdf=batch_pdf,
+            profiles=profiles,
+            window=None,
+        )
         self._explicit_pdf = dict(batch_pdf) if batch_pdf else None
-        self._profiles: Dict[str, ProfileTable] = dict(profiles or {})
-        self._deployment: Optional[Deployment] = None
+
+    @property
+    def config(self) -> ServerConfig:
+        """The design point this service realises."""
+        return self._session.config
+
+    @property
+    def profiler(self) -> Profiler:
+        """The profiler used for models lacking a pre-built profile."""
+        return self._session.profiler
 
     @property
     def models(self) -> Tuple[str, ...]:
@@ -125,7 +144,7 @@ class InferenceService:
         accepted by both :meth:`serve` and :meth:`serve_trace`.
         """
         seen = dict.fromkeys(self.config.models)
-        for name in self._profiles:
+        for name in self._session.profiles:
             seen.setdefault(name)
         return tuple(seen)
 
@@ -143,22 +162,7 @@ class InferenceService:
         Returns:
             The materialised deployment (cached for subsequent calls).
         """
-        pdf = batch_pdf if batch_pdf is not None else self._explicit_pdf
-        if pdf is None:
-            raise ValueError(
-                "a batch-size PDF is required to deploy; pass one here, at "
-                "construction, or call serve() with a workload"
-            )
-        if not pdf:
-            raise ValueError(
-                "batch_pdf must be non-empty: an empty PDF gives the "
-                "partitioner nothing to work with"
-            )
-        self._deployment = build_deployment(
-            self.config, pdf, profiler=self.profiler, profiles=self._profiles
-        )
-        self._profiles.update(self._deployment.profiles)
-        return self._deployment
+        return self._session.deploy(batch_pdf=batch_pdf)
 
     def repartition(self, new_pdf: Dict[int, float]) -> Deployment:
         """Re-run the partitioner against a freshly observed batch PDF.
@@ -177,14 +181,12 @@ class InferenceService:
         """
         if not new_pdf:
             raise ValueError("repartition requires a non-empty batch PDF")
-        return self.deploy(batch_pdf=new_pdf)
+        return self._session.deploy(batch_pdf=new_pdf)
 
     @property
     def deployment(self) -> Deployment:
         """The current deployment (deploys lazily if needed)."""
-        if self._deployment is None:
-            return self.deploy()
-        return self._deployment
+        return self._session.deployment
 
     # ------------------------------------------------------------------ #
     # serving
@@ -202,7 +204,7 @@ class InferenceService:
                 f"serves {list(self.models)}"
             )
         generator = QueryGenerator(workload)
-        if self._deployment is None:
+        if not self._session.has_deployment:
             pdf = (
                 self._explicit_pdf
                 if self._explicit_pdf is not None
@@ -221,25 +223,19 @@ class InferenceService:
         (Section V defines the SLA per model), so mixed-model violation
         statistics refer to each model's own bound.
         """
+        # One-shot run on the facade's quiescent session: same per-model SLA
+        # attachment, same replay machinery, no triggers and no windowed
+        # metrics — the legacy semantics (and numbers) exactly.
         deployment = self.deployment
-        unknown = sorted({q.model for q in trace} - set(deployment.profiles))
-        if unknown:
-            raise ValueError(
-                f"trace contains models {unknown} not served by this "
-                f"deployment; served models: {sorted(deployment.profiles)}"
-            )
-        needs_sla = any(q.sla_target is None for q in trace)
-        if needs_sla:
-            replay = trace.fresh_copy()
-            for query in replay:
-                if query.sla_target is None:
-                    query.sla_target = deployment.sla_target_for(query.model)
-        else:
-            replay = trace
-        simulator = deployment.simulator(seed=seed)
-        result = simulator.run(replay)
+        outcome = self._session.run(trace, seed=seed)
         return ServiceResult(
             deployment=deployment,
-            simulation=result,
+            simulation=outcome.simulation,
             sla_target=deployment.sla_target,
         )
+
+    def session(self, **session_kwargs) -> ServingSession:
+        """Open a :class:`~repro.serving.session.ServingSession` over this
+        service's deployment (triggers, observers, scenarios and live
+        repartitioning live there)."""
+        return ServingSession.from_deployment(self.deployment, **session_kwargs)

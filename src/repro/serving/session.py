@@ -1,0 +1,501 @@
+"""Streaming serving sessions: lifecycle events, live metrics, mid-run
+repartitioning.
+
+:class:`ServingSession` is the event-driven execution surface of the
+reproduction.  Where :class:`~repro.serving.service.InferenceService`
+replays a whole trace and hands back one post-hoc result, a session *runs* a
+:class:`~repro.workload.scenario.Scenario` (or a plain trace) through the
+streaming simulator:
+
+* typed lifecycle events flow to registered observers
+  (:mod:`repro.sim.hooks`), with a :class:`~repro.sim.hooks.WindowedMetrics`
+  observer attached by default for per-time-window latency / throughput /
+  SLA series;
+* :meth:`ServingSession.metrics` snapshots the aggregate statistics at any
+  simulation time, mid-run;
+* :meth:`ServingSession.repartition` re-runs the configured partitioner
+  against a freshly observed batch PDF **while the simulation is running**:
+  old partitions drain, the MIG reconfiguration costs a configurable
+  downtime, and the backlog is absorbed by the new partition set — the
+  paper's observe → repartition → reconfigure loop inside one simulation;
+* pluggable *triggers* (:mod:`repro.core.triggers`) automate that loop:
+  evaluated on a simulation-time cadence, a firing trigger repartitions the
+  session live.
+
+One-shot usage is a strict subset, which is why
+:class:`~repro.serving.service.InferenceService` is now a thin facade over a
+single-run session::
+
+    session = ServingSession(ServerBuilder("bert").build(),
+                             triggers=["pdf-drift"], reconfig_cost=2.0)
+    result = session.run(build_scenario("batch-drift", model="bert"))
+    for w in result.windows:
+        print(w.index, w.throughput_qps, w.violation_rate, w.reconfiguring)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.triggers import (
+    RepartitionTrigger,
+    TriggerContext,
+    resolve_triggers,
+)
+from repro.perf.lookup import ProfileTable
+from repro.perf.profiler import Profiler
+from repro.serving.config import ServerConfig
+from repro.serving.deployment import (
+    Deployment,
+    build_deployment,
+    replan_deployment,
+)
+from repro.sim.cluster import (
+    InferenceServerSimulator,
+    ReconfigurationRecord,
+    SimulationResult,
+)
+from repro.sim.hooks import SimulationObserver, WindowedMetrics, WindowStats
+from repro.sim.metrics import ServerStatistics
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.scenario import Scenario
+from repro.workload.trace import QueryTrace
+
+#: Default modeled MIG reconfiguration downtime in seconds.  Destroying and
+#: re-creating GPU instances takes on the order of seconds on real A100s;
+#: sessions that want an idealised (free) reconfiguration pass 0.0.
+DEFAULT_RECONFIG_COST = 1.0
+
+
+@dataclass(frozen=True)
+class TriggerFiring:
+    """One trigger firing during a session run."""
+
+    time: float
+    trigger: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one :meth:`ServingSession.run`.
+
+    Attributes:
+        deployment: the deployment at the *end* of the run (after any live
+            repartitions).
+        simulation: the raw simulation result, including the
+            reconfiguration records.
+        sla_target: the primary model's derived SLA target in seconds.
+        windows: the windowed metric series of the run (empty when the
+            session was opened with ``window=None``).
+        trigger_firings: every trigger firing, in order.
+    """
+
+    deployment: Deployment
+    simulation: SimulationResult
+    sla_target: float
+    windows: Tuple[WindowStats, ...] = ()
+    trigger_firings: Tuple[TriggerFiring, ...] = ()
+
+    @property
+    def reconfigurations(self) -> Tuple[ReconfigurationRecord, ...]:
+        """Live repartitions performed during the run."""
+        return self.simulation.reconfigurations
+
+    @property
+    def p95_latency(self) -> float:
+        """p95 tail latency in seconds."""
+        return self.simulation.p95_latency
+
+    @property
+    def throughput_qps(self) -> float:
+        """Achieved throughput in queries/second."""
+        return self.simulation.throughput_qps
+
+    @property
+    def sla_violation_rate(self) -> float:
+        """Fraction of SLA-carrying queries that missed their SLA."""
+        return self.simulation.sla_violation_rate
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean per-partition utilization."""
+        return self.simulation.statistics.utilization.mean
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary for reports."""
+        return {
+            "p95_latency_ms": self.p95_latency * 1e3,
+            "mean_latency_ms": self.simulation.statistics.latency.mean * 1e3,
+            "throughput_qps": self.throughput_qps,
+            "sla_violation_rate": self.sla_violation_rate,
+            "mean_utilization": self.mean_utilization,
+            "sla_target_ms": self.sla_target * 1e3,
+            "reconfigurations": float(len(self.reconfigurations)),
+            "total_downtime_s": float(
+                sum(record.downtime for record in self.reconfigurations)
+            ),
+        }
+
+
+#: Anything a session can run: a scenario, a concrete trace or a workload.
+SessionWorkload = Union[Scenario, QueryTrace, WorkloadConfig]
+
+
+class ServingSession:
+    """An event-driven serving run over one server design point.
+
+    Args:
+        config: the design point — a :class:`~repro.serving.config.ServerConfig`
+            or anything with a ``build()`` method returning one (e.g. a
+            :class:`~repro.serving.builder.ServerBuilder`).
+        profiler: optional custom profiler.
+        batch_pdf: optional explicit batch PDF for the initial deployment;
+            when omitted the workload's own planning PDF is used.
+        profiles: pre-built profile tables keyed by model name.
+        reconfig_cost: modeled MIG reconfiguration downtime in seconds paid
+            by every live repartition.
+        triggers: repartition triggers — registry names, ``(name, options)``
+            pairs or trigger objects (see :mod:`repro.core.triggers`).
+        trigger_interval: simulation-time cadence of trigger evaluation;
+            defaults to ``window``.
+        window: :class:`~repro.sim.hooks.WindowedMetrics` window length in
+            seconds; ``None`` disables windowed metrics (and triggers).
+        observers: extra lifecycle-event observers to attach to every run.
+        execution_noise_std: relative log-normal noise on execution times.
+    """
+
+    def __init__(
+        self,
+        config: Any,
+        *,
+        profiler: Optional[Profiler] = None,
+        batch_pdf: Optional[Dict[int, float]] = None,
+        profiles: Optional[Mapping[str, ProfileTable]] = None,
+        reconfig_cost: float = DEFAULT_RECONFIG_COST,
+        triggers: Sequence[Any] = (),
+        trigger_interval: Optional[float] = None,
+        window: Optional[float] = 1.0,
+        observers: Sequence[SimulationObserver] = (),
+        execution_noise_std: float = 0.0,
+    ) -> None:
+        if not isinstance(config, ServerConfig):
+            builder = getattr(config, "build", None)
+            if builder is None:
+                raise TypeError(
+                    "config must be a ServerConfig or expose build() "
+                    f"(e.g. ServerBuilder); got {type(config).__name__}"
+                )
+            config = builder()
+        if batch_pdf is not None and not batch_pdf:
+            raise ValueError(
+                "batch_pdf must be non-empty; pass None to derive the PDF "
+                "from the workload"
+            )
+        if reconfig_cost < 0:
+            raise ValueError("reconfig_cost must be non-negative")
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive (or None to disable)")
+        if trigger_interval is not None and trigger_interval <= 0:
+            raise ValueError("trigger_interval must be positive when set")
+        self.config: ServerConfig = config
+        self.profiler = profiler or Profiler(architecture=config.architecture)
+        self.reconfig_cost = reconfig_cost
+        self.window = window
+        self.triggers: List[RepartitionTrigger] = resolve_triggers(triggers)
+        if self.triggers and window is None:
+            raise ValueError(
+                "triggers observe the windowed metrics; pass a window length "
+                "instead of window=None"
+            )
+        self.trigger_interval = (
+            trigger_interval if trigger_interval is not None else window
+        )
+        self._observers: List[SimulationObserver] = list(observers)
+        self._noise = execution_noise_std
+        self._explicit_pdf = dict(batch_pdf) if batch_pdf else None
+        self._profiles: Dict[str, ProfileTable] = dict(profiles or {})
+        self._deployment: Optional[Deployment] = None
+        self._planned_pdf: Optional[Dict[int, float]] = None
+        self._sim: Optional[InferenceServerSimulator] = None
+        self._windowed: Optional[WindowedMetrics] = None
+        self._last_result: Optional[SessionResult] = None
+        self._last_reconfig_online = 0.0
+        self._firings: List[TriggerFiring] = []
+
+    @classmethod
+    def from_deployment(cls, deployment: Deployment, **kwargs: Any) -> "ServingSession":
+        """Open a session over an already-materialised deployment."""
+        session = cls(
+            deployment.config, profiles=dict(deployment.profiles), **kwargs
+        )
+        session._deployment = deployment
+        return session
+
+    # ------------------------------------------------------------------ #
+    # deployment lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def deployment(self) -> Deployment:
+        """The current deployment (deploys lazily when a PDF is known)."""
+        if self._deployment is None:
+            return self.deploy()
+        return self._deployment
+
+    def deploy(self, batch_pdf: Optional[Dict[int, float]] = None) -> Deployment:
+        """Profile, partition and configure the server (see
+        :meth:`repro.serving.service.InferenceService.deploy`)."""
+        pdf = batch_pdf if batch_pdf is not None else self._explicit_pdf
+        if pdf is None:
+            raise ValueError(
+                "a batch-size PDF is required to deploy; pass one here, at "
+                "construction, or serve/run a workload first"
+            )
+        if not pdf:
+            raise ValueError(
+                "batch_pdf must be non-empty: an empty PDF gives the "
+                "partitioner nothing to work with"
+            )
+        self._deployment = build_deployment(
+            self.config, pdf, profiler=self.profiler, profiles=self._profiles
+        )
+        self._profiles.update(self._deployment.profiles)
+        self._planned_pdf = dict(pdf)
+        return self._deployment
+
+    @property
+    def planned_pdf(self) -> Optional[Dict[int, float]]:
+        """The batch PDF the current partition plan was derived from."""
+        return dict(self._planned_pdf) if self._planned_pdf is not None else None
+
+    @property
+    def has_deployment(self) -> bool:
+        """True once the session holds a materialised deployment."""
+        return self._deployment is not None
+
+    @property
+    def profiles(self) -> Dict[str, ProfileTable]:
+        """Profile tables known to the session (pre-supplied + deployed)."""
+        return dict(self._profiles)
+
+    @property
+    def running(self) -> bool:
+        """True while a run is in flight (i.e. during trigger callbacks)."""
+        return self._sim is not None and self._sim.active
+
+    def repartition(self, new_pdf: Dict[int, float]) -> Deployment:
+        """Re-run the partitioner against ``new_pdf``.
+
+        Mid-run this is a *live* reconfiguration: the simulator drains the
+        old partitions, pays :attr:`reconfig_cost` of downtime and brings the
+        new plan online without stopping the simulation.  Between runs it
+        simply rebuilds the deployment (profiles are reused).
+
+        Raises:
+            ValueError: for an empty PDF.
+        """
+        if not new_pdf:
+            raise ValueError("repartition requires a non-empty batch PDF")
+        if self._deployment is None:
+            return self.deploy(batch_pdf=new_pdf)
+        replanned = replan_deployment(self._deployment, new_pdf)
+        if self.running:
+            assert self._sim is not None
+            self._last_reconfig_online = self._sim.reconfigure(
+                replanned.instances, self.reconfig_cost
+            )
+            # adopt the simulator's renumbered generation so the deployment's
+            # instance ids line up with completion events / per-instance stats
+            replanned = dataclasses.replace(
+                replanned, instances=self._sim.pending_instances
+            )
+        self._deployment = replanned
+        self._planned_pdf = dict(new_pdf)
+        return self._deployment
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(
+        self, workload: SessionWorkload, seed: Optional[int] = None
+    ) -> SessionResult:
+        """Run ``workload`` (a scenario, trace or workload config) end to end.
+
+        The session deploys lazily from the workload's planning PDF when no
+        deployment exists yet; triggers (if any) are evaluated every
+        :attr:`trigger_interval` simulated seconds and may repartition the
+        server live.
+
+        Args:
+            workload: the scenario, trace or workload config to run.
+            seed: overrides the workload's own generation seed (a scenario's
+                ``Scenario.seed``, a workload config's ``seed``) and seeds
+                the simulator's execution noise; ``None`` keeps the
+                workload's seed and noise seed 0.
+
+        Returns:
+            The :class:`SessionResult`, also retrievable via
+            :attr:`last_result`.
+        """
+        if self.running:
+            raise RuntimeError("a run is already in progress on this session")
+        trace, planning_pdf = self._resolve_workload(workload, seed)
+        if self._deployment is None:
+            pdf = self._explicit_pdf if self._explicit_pdf is not None else planning_pdf
+            if pdf is None:
+                pdf = trace.batch_pdf()
+            self.deploy(batch_pdf=pdf)
+        deployment = self._deployment
+        assert deployment is not None
+        if self._planned_pdf is None and planning_pdf is not None:
+            self._planned_pdf = dict(planning_pdf)
+        if self.triggers and self._planned_pdf is None:
+            # No planning PDF is known (e.g. from_deployment + bare trace):
+            # fall back to the trace's own PDF so drift is judged against it.
+            self._planned_pdf = trace.batch_pdf()
+
+        unknown = sorted({q.model for q in trace} - set(deployment.profiles))
+        if unknown:
+            raise ValueError(
+                f"trace contains models {unknown} not served by this "
+                f"deployment; served models: {sorted(deployment.profiles)}"
+            )
+        replay = trace.fresh_copy()
+        for query in replay:
+            if query.sla_target is None:
+                query.sla_target = deployment.sla_target_for(query.model)
+
+        simulator = deployment.simulator(
+            execution_noise_std=self._noise, seed=seed if seed is not None else 0
+        )
+        self._windowed = WindowedMetrics(self.window) if self.window else None
+        if self._windowed is not None:
+            simulator.add_observer(self._windowed)
+        for observer in self._observers:
+            simulator.add_observer(observer)
+        self._sim = simulator
+        self._firings = []
+        self._last_reconfig_online = 0.0
+
+        simulator.begin()
+        simulator.submit_trace(replay)
+        if self.triggers:
+            self._run_with_triggers(simulator)
+        else:
+            simulator.run_until(None)
+        simulation = simulator.finish(offered_load_qps=replay.arrival_rate())
+        final_deployment = self._deployment
+        assert final_deployment is not None
+        result = SessionResult(
+            deployment=final_deployment,
+            simulation=simulation,
+            sla_target=final_deployment.sla_target,
+            windows=tuple(self._windowed.series()) if self._windowed else (),
+            trigger_firings=tuple(self._firings),
+        )
+        self._last_result = result
+        return result
+
+    def _run_with_triggers(self, simulator: InferenceServerSimulator) -> None:
+        interval = self.trigger_interval
+        assert interval is not None and self._windowed is not None
+        checkpoint = interval
+        while simulator.pending_events:
+            simulator.run_until(checkpoint)
+            if not simulator.reconfiguring:
+                self._evaluate_triggers(checkpoint)
+            checkpoint += interval
+
+    def _evaluate_triggers(self, now: float) -> None:
+        assert self._windowed is not None and self._planned_pdf is not None
+        context = TriggerContext(
+            now=now,
+            planned_pdf=self._planned_pdf,
+            metrics=self._windowed,
+            time_since_reconfig=now - self._last_reconfig_online,
+            deployment=self._deployment,
+        )
+        for trigger in self.triggers:
+            decision = trigger.evaluate(context)
+            if not decision.fire:
+                continue
+            if decision.new_pdf:
+                new_pdf = dict(decision.new_pdf)
+            else:
+                # fall back to the observation the trigger itself judged
+                lookback = getattr(trigger, "lookback_windows", 5)
+                new_pdf = self._windowed.observed_batch_pdf(
+                    now, lookback_windows=lookback
+                )
+            if not new_pdf:
+                continue
+            name = getattr(trigger, "name", type(trigger).__name__)
+            self._firings.append(TriggerFiring(now, name, decision.reason))
+            self.repartition(new_pdf)
+            return
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def last_result(self) -> Optional[SessionResult]:
+        """The most recent completed run's result."""
+        return self._last_result
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (0 outside a run)."""
+        return self._sim.now if self._sim is not None else 0.0
+
+    def metrics(self) -> ServerStatistics:
+        """Aggregate statistics snapshot at the current simulation time.
+
+        Mid-run (e.g. from a trigger or observer callback) this digests the
+        run so far; after a run it returns the final statistics.
+
+        Raises:
+            RuntimeError: when the session never ran.
+        """
+        if self._sim is not None and self._sim.active:
+            return self._sim.snapshot_statistics()
+        if self._last_result is not None:
+            return self._last_result.simulation.statistics
+        raise RuntimeError("no run in progress and no completed run to report")
+
+    def windows(self) -> Tuple[WindowStats, ...]:
+        """The windowed metric series observed so far (empty when disabled)."""
+        if self._windowed is None:
+            return ()
+        return tuple(self._windowed.series())
+
+    # ------------------------------------------------------------------ #
+    # workload resolution
+    # ------------------------------------------------------------------ #
+    def _resolve_workload(
+        self, workload: SessionWorkload, seed: Optional[int]
+    ) -> Tuple[QueryTrace, Optional[Dict[int, float]]]:
+        if isinstance(workload, Scenario):
+            # seed=None lets Scenario.generate fall back to Scenario.seed
+            return workload.generate(seed=seed), workload.initial_pdf()
+        if isinstance(workload, QueryTrace):
+            return workload, None
+        if isinstance(workload, WorkloadConfig):
+            if seed is not None and seed != workload.seed:
+                workload = dataclasses.replace(workload, seed=seed)
+            generator = QueryGenerator(workload)
+            return generator.generate(), generator.batch_pdf()
+        raise TypeError(
+            "run() accepts a Scenario, QueryTrace or WorkloadConfig; got "
+            f"{type(workload).__name__}"
+        )
+
+
+__all__ = [
+    "DEFAULT_RECONFIG_COST",
+    "ServingSession",
+    "SessionResult",
+    "SessionWorkload",
+    "TriggerFiring",
+]

@@ -10,7 +10,10 @@ runtime (a heavily modified DeepRecInfra on real A100s):
 * :mod:`repro.sim.scheduler_api` — the scheduler interface the simulator
   drives; concrete policies (FIFS, ELSA, ...) live in :mod:`repro.core`.
 * :mod:`repro.sim.cluster` — the inference-server simulator that wires the
-  frontend, scheduler and workers together and replays a query trace.
+  frontend, scheduler and workers together; offers both a one-shot trace
+  replay and a streaming run surface with live mid-run reconfiguration.
+* :mod:`repro.sim.hooks` — typed lifecycle events, the observer interface
+  and the incremental :class:`~repro.sim.hooks.WindowedMetrics` series.
 * :mod:`repro.sim.metrics` — latency/throughput/utilization statistics
   (p95 tail latency, SLA violation rate, latency-bounded throughput inputs).
 """
@@ -19,20 +22,67 @@ from repro.sim.events import Event, EventKind
 from repro.sim.engine import EventQueue, SimulationClock
 from repro.sim.worker import PartitionWorker
 from repro.sim.scheduler_api import Scheduler, SchedulingContext
-from repro.sim.cluster import InferenceServerSimulator, SimulationResult
-from repro.sim.metrics import LatencyStatistics, UtilizationStatistics, compute_statistics
+from repro.sim.cluster import (
+    InferenceServerSimulator,
+    ReconfigurationRecord,
+    SimulationResult,
+)
+from repro.sim.hooks import (
+    EventLog,
+    QueryArrived,
+    QueryCompleted,
+    QueryDispatched,
+    QueryDropped,
+    QueryRequeued,
+    ReconfigFinished,
+    ReconfigStarted,
+    SimEvent,
+    SimulationObserver,
+    SlaViolated,
+    StatisticsCollector,
+    WindowedMetrics,
+    WindowStats,
+    WorkerIdle,
+)
+from repro.sim.metrics import (
+    CompletedArrays,
+    LatencyStatistics,
+    UtilizationStatistics,
+    completed_arrays,
+    compute_statistics,
+    latency_statistics_from_arrays,
+)
 
 __all__ = [
+    "CompletedArrays",
     "Event",
     "EventKind",
+    "EventLog",
     "EventQueue",
-    "SimulationClock",
+    "InferenceServerSimulator",
+    "LatencyStatistics",
     "PartitionWorker",
+    "QueryArrived",
+    "QueryCompleted",
+    "QueryDispatched",
+    "QueryDropped",
+    "QueryRequeued",
+    "ReconfigFinished",
+    "ReconfigStarted",
+    "ReconfigurationRecord",
     "Scheduler",
     "SchedulingContext",
-    "InferenceServerSimulator",
+    "SimEvent",
+    "SimulationClock",
+    "SimulationObserver",
     "SimulationResult",
-    "LatencyStatistics",
+    "SlaViolated",
+    "StatisticsCollector",
     "UtilizationStatistics",
+    "WindowStats",
+    "WindowedMetrics",
+    "WorkerIdle",
+    "completed_arrays",
     "compute_statistics",
+    "latency_statistics_from_arrays",
 ]

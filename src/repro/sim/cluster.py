@@ -15,23 +15,82 @@ the paper:
 Execution latency comes from the profiled lookup tables, so the simulator,
 ELSA's estimator and PARIS all share one source of truth — exactly as in the
 paper, where all three consume the same one-time profiling results.
+
+Two run surfaces are offered:
+
+* the classic one-shot :meth:`InferenceServerSimulator.run` (replay a whole
+  trace, get one :class:`SimulationResult`), and
+* a **streaming** surface — :meth:`begin` / :meth:`submit` /
+  :meth:`run_until` / :meth:`finish` — used by
+  :class:`~repro.serving.session.ServingSession` to pause the simulation at
+  trigger checkpoints and :meth:`reconfigure` the partition set *mid-run*
+  with a modeled MIG reconfiguration downtime.
+
+Both surfaces publish typed lifecycle events (:mod:`repro.sim.hooks`) to any
+registered observers; with no observers attached the event layer is skipped
+entirely, so the one-shot replay loop costs the same as before it existed.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.gpu.partition import PartitionInstance
 from repro.perf.lookup import ProfileTable
 from repro.sim.engine import EventQueue, SimulationClock
 from repro.sim.events import EventKind
+from repro.sim.hooks import (
+    QueryArrived,
+    QueryCompleted,
+    QueryDispatched,
+    QueryRequeued,
+    ReconfigFinished,
+    ReconfigStarted,
+    SimulationObserver,
+    SlaViolated,
+    WorkerIdle,
+    build_dispatch_table,
+)
 from repro.sim.metrics import ServerStatistics, compute_statistics
 from repro.sim.scheduler_api import Scheduler, SchedulingContext
 from repro.sim.worker import PartitionWorker
 from repro.workload.query import Query
 from repro.workload.trace import QueryTrace
+
+
+@dataclass(frozen=True)
+class ReconfigurationRecord:
+    """One live MIG repartition performed during a streaming run.
+
+    Attributes:
+        started: simulation time the reconfiguration was requested (old
+            partitions stop accepting new work from this instant).
+        drain_completed: when the last in-flight query of the old partition
+            set finished executing.
+        finished: when the new partition set came online
+            (``drain_completed + reconfig_cost``).
+        requeued: queries pulled back off local/central queues at ``started``.
+        buffered_arrivals: queries that arrived during the downtime and were
+            buffered at the frontend.
+        old_instance_ids / new_instance_ids: the partition instances swapped
+            out / in.
+    """
+
+    started: float
+    drain_completed: float
+    finished: float
+    requeued: int
+    buffered_arrivals: int
+    old_instance_ids: Tuple[int, ...]
+    new_instance_ids: Tuple[int, ...]
+
+    @property
+    def downtime(self) -> float:
+        """Wall-clock span the server accepted no new work (seconds)."""
+        return self.finished - self.started
 
 
 @dataclass(frozen=True)
@@ -43,12 +102,15 @@ class SimulationResult:
         queries: the replayed queries with their execution timestamps filled.
         per_instance_queries: number of queries each partition instance served.
         scheduler_name: the policy that produced this result.
+        reconfigurations: live repartitions performed during the run (empty
+            for classic one-shot replays).
     """
 
     statistics: ServerStatistics
     queries: Sequence[Query]
     per_instance_queries: Dict[int, int]
     scheduler_name: str
+    reconfigurations: Tuple[ReconfigurationRecord, ...] = ()
 
     @property
     def p95_latency(self) -> float:
@@ -64,6 +126,17 @@ class SimulationResult:
     def sla_violation_rate(self) -> float:
         """Fraction of SLA-carrying queries that missed their SLA."""
         return self.statistics.latency.sla_violation_rate
+
+
+@dataclass
+class _StagedReconfig:
+    """Bookkeeping of an in-flight reconfiguration (internal)."""
+
+    started: float
+    drain_deadline: float
+    new_workers: List[PartitionWorker]
+    requeued: List[Query]
+    old_instance_ids: Tuple[int, ...]
 
 
 class InferenceServerSimulator:
@@ -84,6 +157,8 @@ class InferenceServerSimulator:
             paper's serving stack (DeepRecInfra) has such a frontend, and
             Section V explicitly calls out configurations where the backend
             GPU workers outpace it; ``None`` disables the limit.
+        observers: lifecycle-event observers (:mod:`repro.sim.hooks`); more
+            can be attached later with :meth:`add_observer`.
     """
 
     def __init__(
@@ -94,6 +169,7 @@ class InferenceServerSimulator:
         execution_noise_std: float = 0.0,
         seed: int = 0,
         frontend_capacity_qps: Optional[float] = None,
+        observers: Sequence[SimulationObserver] = (),
     ) -> None:
         if not instances:
             raise ValueError("simulator requires at least one partition instance")
@@ -107,8 +183,12 @@ class InferenceServerSimulator:
         self._instances = sorted(instances, key=lambda i: (i.gpcs, i.instance_id))
         self._noise = execution_noise_std
         self._seed = seed
+        self._observers: List[SimulationObserver] = list(observers)
+        self._dispatch_table = build_dispatch_table(self._observers)
         self.workers: List[PartitionWorker] = []
+        self._active = False
         self._build_workers()
+        self._reset_run_state()
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -125,6 +205,33 @@ class InferenceServerSimulator:
         ]
         self._workers_by_id = {w.instance_id: w for w in self.workers}
 
+    def _reset_run_state(self) -> None:
+        self._clock = SimulationClock()
+        self._events = EventQueue()
+        self._central_queue: Deque[Query] = deque()
+        self._frontend_gap = (
+            1.0 / self.frontend_capacity_qps if self.frontend_capacity_qps else 0.0
+        )
+        self._frontend_available = 0.0
+        self._submitted: List[Query] = []
+        self._retired_workers: List[PartitionWorker] = []
+        self._draining_ids: Set[int] = set()
+        self._held: List[Query] = []
+        self._staged: Optional[_StagedReconfig] = None
+        self._announced: Set[int] = set()
+        self._reconfig_log: List[ReconfigurationRecord] = []
+        self._next_instance_id = 1 + max(i.instance_id for i in self._instances)
+
+    def add_observer(self, observer: SimulationObserver) -> None:
+        """Attach a lifecycle-event observer."""
+        self._observers.append(observer)
+        self._dispatch_table = build_dispatch_table(self._observers)
+
+    def _handlers(self, event_type: type):
+        """Bound handlers subscribed to ``event_type`` (empty tuple = skip
+        constructing the event at all)."""
+        return self._dispatch_table.get(event_type, ())
+
     def estimate_latency(self, model: str, batch: int, gpcs: int) -> float:
         """Profiled execution latency of (model, batch) on ``GPU(gpcs)``.
 
@@ -139,7 +246,7 @@ class InferenceServerSimulator:
         return self.profiles[model].latency(gpcs, batch)
 
     # ------------------------------------------------------------------ #
-    # main loop
+    # one-shot surface
     # ------------------------------------------------------------------ #
     def run(self, trace: QueryTrace) -> SimulationResult:
         """Replay ``trace`` and return the resulting statistics.
@@ -148,115 +255,422 @@ class InferenceServerSimulator:
         replay, so a single trace object can safely be reused across designs.
         """
         replay = trace.fresh_copy()
+        self.begin()
+        for query in replay:
+            self.submit(query)
+        self.run_until(None)
+        return self.finish(offered_load_qps=replay.arrival_rate())
+
+    # ------------------------------------------------------------------ #
+    # streaming surface
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> bool:
+        """True while a streaming run is open (``begin`` without ``finish``)."""
+        return self._active
+
+    @property
+    def now(self) -> float:
+        """Current simulation time of the open run, in seconds."""
+        return self._clock.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of simulation events not yet processed."""
+        return len(self._events)
+
+    @property
+    def reconfiguring(self) -> bool:
+        """True while the partition set is offline mid-reconfiguration."""
+        return self._staged is not None
+
+    @property
+    def pending_instances(self) -> Tuple[PartitionInstance, ...]:
+        """The partition instances staged by an in-flight reconfiguration.
+
+        :meth:`reconfigure` reassigns instance ids so generations never
+        collide; callers that keep their own view of the server (e.g. a
+        session's deployment) must adopt these renumbered instances, or
+        their ids will not match completion events and per-instance
+        statistics.
+
+        Raises:
+            RuntimeError: when no reconfiguration is in flight.
+        """
+        if self._staged is None:
+            raise RuntimeError("no reconfiguration is in progress")
+        return tuple(worker.instance for worker in self._staged.new_workers)
+
+    @property
+    def submitted_queries(self) -> Sequence[Query]:
+        """Every query submitted to the open (or just-finished) run."""
+        return tuple(self._submitted)
+
+    def begin(self) -> None:
+        """Open a streaming run: fresh clock, queues, workers and scheduler.
+
+        Raises:
+            RuntimeError: when a streaming run is already open.
+        """
+        if self._active:
+            raise RuntimeError("a streaming run is already open; call finish() first")
         self.scheduler.reset()
         self._build_workers()
+        self._reset_run_state()
+        self._active = True
 
-        clock = SimulationClock()
-        events = EventQueue()
-        central_queue: Deque[Query] = deque()
-        frontend_gap = (
-            1.0 / self.frontend_capacity_qps if self.frontend_capacity_qps else 0.0
-        )
-        frontend_available = 0.0
-
-        for query in replay:
-            events.push(query.arrival_time, EventKind.ARRIVAL, query)
-
-        while events:
-            event = events.pop()
-            clock.advance_to(event.time)
-            now = clock.now
-            if event.kind is EventKind.ARRIVAL and frontend_gap > 0:
-                # The frontend dispatches queries serially; an arrival that
-                # finds it busy is retried when it becomes free.
-                if frontend_available > now + 1e-15:
-                    events.push(frontend_available, EventKind.ARRIVAL, event.query)
-                    continue
-                frontend_available = now + frontend_gap
-            context = SchedulingContext(
-                now=now,
-                workers=self.workers,
-                central_queue=tuple(central_queue),
-                estimator=self.estimate_latency,
+    def submit(self, query: Query) -> None:
+        """Inject one query into the open run (arrival at its own
+        ``arrival_time``, which must not lie in the simulation's past)."""
+        if not self._active:
+            raise RuntimeError("submit() requires an open run; call begin() first")
+        if query.arrival_time < self._clock.now:
+            raise ValueError(
+                f"query {query.query_id} arrives at {query.arrival_time}, "
+                f"before the current simulation time {self._clock.now}"
             )
-            if event.kind is EventKind.ARRIVAL:
-                self._handle_arrival(event.query, context, central_queue, events, now)
-            else:
-                self._handle_completion(event, central_queue, events, now)
+        self._submitted.append(query)
+        self._events.push(query.arrival_time, EventKind.ARRIVAL, query)
 
-        makespan = clock.now
-        offered = replay.arrival_rate()
+    def submit_trace(self, trace: QueryTrace) -> None:
+        """Inject every query of ``trace`` (not copied — pass a fresh copy)."""
+        for query in trace:
+            self.submit(query)
+
+    def run_until(self, time: Optional[float] = None) -> float:
+        """Process events up to and including ``time`` (``None`` = drain all).
+
+        The clock ends on the last processed event, so the makespan reflects
+        actual activity rather than the checkpoint grid.
+
+        Returns:
+            The simulation time after processing.
+        """
+        if not self._active:
+            raise RuntimeError("run_until() requires an open run; call begin() first")
+        events = self._events
+        while events:
+            if time is not None and events.peek().time > time:
+                break
+            self._process(events.pop())
+        return self._clock.now
+
+    def finish(self, offered_load_qps: Optional[float] = None) -> SimulationResult:
+        """Drain every remaining event and close the run.
+
+        Args:
+            offered_load_qps: offered arrival rate to report; derived from
+                the submitted queries when omitted.
+        """
+        if not self._active:
+            raise RuntimeError("finish() requires an open run; call begin() first")
+        self.run_until(None)
+        self._active = False
+        if offered_load_qps is None:
+            offered_load_qps = self._observed_arrival_rate()
+        makespan = self._clock.now
+        all_workers = self._retired_workers + self.workers
         statistics = compute_statistics(
-            list(replay), self.workers, makespan, offered_load_qps=offered
+            self._submitted, all_workers, makespan, offered_load_qps=offered_load_qps
         )
         per_instance = {
-            worker.instance_id: len(worker.completed) for worker in self.workers
+            worker.instance_id: len(worker.completed) for worker in all_workers
         }
         return SimulationResult(
             statistics=statistics,
-            queries=list(replay),
+            queries=list(self._submitted),
             per_instance_queries=per_instance,
             scheduler_name=self.scheduler.name,
+            reconfigurations=tuple(self._reconfig_log),
         )
+
+    def snapshot_statistics(self) -> ServerStatistics:
+        """Digest the run *so far* (at the current simulation time).
+
+        Unlike :meth:`finish` this leaves the run open; use it for live
+        metrics mid-run.
+        """
+        makespan = self._clock.now
+        all_workers = self._retired_workers + self.workers
+        return compute_statistics(
+            self._submitted,
+            all_workers,
+            makespan,
+            offered_load_qps=self._observed_arrival_rate(),
+        )
+
+    def _observed_arrival_rate(self) -> float:
+        # submit() only forbids arrivals in the simulation's past, so the
+        # submission order need not be arrival order — span over min/max.
+        queries = self._submitted
+        if len(queries) < 2:
+            return 0.0
+        times = [query.arrival_time for query in queries]
+        span = max(times) - min(times)
+        if span <= 0:
+            return 0.0
+        return (len(queries) - 1) / span
+
+    # ------------------------------------------------------------------ #
+    # live reconfiguration
+    # ------------------------------------------------------------------ #
+    def reconfigure(
+        self,
+        instances: Sequence[PartitionInstance],
+        reconfig_cost: float = 0.0,
+    ) -> float:
+        """Swap the partition set mid-run, modeling MIG reconfiguration.
+
+        Semantics (the paper's observe → repartition → reconfigure loop):
+
+        * old partitions stop accepting new work immediately; queries sitting
+          in local queues or the central queue are *requeued* (they keep
+          their original arrival times);
+        * in-flight queries run to completion on the old partitions
+          (MIG cannot reconfigure a busy instance);
+        * once drained, the reconfiguration itself takes ``reconfig_cost``
+          seconds during which the server executes nothing; arrivals are
+          buffered at the frontend;
+        * the new partitions come online together at
+          ``drain_deadline + reconfig_cost`` and absorb the backlog.
+
+        Args:
+            instances: the new partition set (instance ids are reassigned so
+                they never collide with earlier generations).
+            reconfig_cost: modeled MIG reconfiguration downtime in seconds.
+
+        Returns:
+            The simulation time at which the new partitions come online.
+
+        Raises:
+            RuntimeError: outside an open run, or mid-reconfiguration.
+            ValueError: for an empty instance set or negative cost.
+        """
+        if not self._active:
+            raise RuntimeError(
+                "reconfigure() requires an open streaming run; use "
+                "begin()/submit()/run_until()"
+            )
+        if self._staged is not None:
+            raise RuntimeError("a reconfiguration is already in progress")
+        if not instances:
+            raise ValueError("reconfigure() requires at least one partition instance")
+        if reconfig_cost < 0:
+            raise ValueError("reconfig_cost must be non-negative")
+
+        now = self._clock.now
+        old_ids = tuple(w.instance_id for w in self.workers)
+
+        # Pull back every query that has not started executing.
+        requeue_handlers = self._handlers(QueryRequeued)
+        requeued: List[Query] = []
+        for query in self._central_queue:
+            for handler in requeue_handlers:
+                handler(QueryRequeued(now, query, None))
+            requeued.append(query)
+        self._central_queue.clear()
+        drain_deadline = now
+        for worker in self.workers:
+            while worker.queue:
+                query = worker.queue.popleft()
+                query.dispatch_time = None
+                query.instance_id = None
+                for handler in requeue_handlers:
+                    handler(QueryRequeued(now, query, worker.instance_id))
+                requeued.append(query)
+            if worker.current_finish_time is not None:
+                drain_deadline = max(drain_deadline, worker.current_finish_time)
+            self._draining_ids.add(worker.instance_id)
+
+        # Renumber the new instances so ids stay unique across generations
+        # (per-instance statistics and completion events never collide).
+        renumbered: List[PartitionInstance] = []
+        for instance in sorted(instances, key=lambda i: (i.gpcs, i.instance_id)):
+            renumbered.append(
+                dataclasses.replace(instance, instance_id=self._next_instance_id)
+            )
+            self._next_instance_id += 1
+        new_workers = [
+            PartitionWorker(
+                instance=instance,
+                latency_fn=self.estimate_latency,
+                noise_std=self._noise,
+                seed=self._seed + instance.instance_id,
+            )
+            for instance in renumbered
+        ]
+
+        self._retired_workers.extend(self.workers)
+        self.workers = []
+        self._staged = _StagedReconfig(
+            started=now,
+            drain_deadline=drain_deadline,
+            new_workers=new_workers,
+            requeued=requeued,
+            old_instance_ids=old_ids,
+        )
+        for handler in self._handlers(ReconfigStarted):
+            handler(ReconfigStarted(now, old_ids, len(requeued)))
+        online_at = drain_deadline + reconfig_cost
+        self._events.push(online_at, EventKind.RECONFIG)
+        return online_at
+
+    def _complete_reconfigure(self, now: float) -> None:
+        staged = self._staged
+        assert staged is not None
+        new_workers = sorted(
+            staged.new_workers, key=lambda w: (w.gpcs, w.instance_id)
+        )
+        self.workers = new_workers
+        self._workers_by_id = {w.instance_id: w for w in new_workers}
+        self._draining_ids.clear()
+        self._staged = None
+        record = ReconfigurationRecord(
+            started=staged.started,
+            drain_completed=staged.drain_deadline,
+            finished=now,
+            requeued=len(staged.requeued),
+            buffered_arrivals=len(self._held),
+            old_instance_ids=staged.old_instance_ids,
+            new_instance_ids=tuple(w.instance_id for w in new_workers),
+        )
+        self._reconfig_log.append(record)
+        for handler in self._handlers(ReconfigFinished):
+            handler(
+                ReconfigFinished(
+                    now,
+                    record.new_instance_ids,
+                    downtime=record.downtime,
+                )
+            )
+        # Re-inject the backlog (requeued + buffered arrivals) in arrival
+        # order; each query re-enters through the frontend but keeps its
+        # original arrival_time, so queueing delay includes the downtime.
+        # With a rate-limited frontend the re-entries are pre-staggered one
+        # dispatch slot apart — colliding the whole backlog at `now` would
+        # make the serial frontend re-push every still-queued query per
+        # admission, O(backlog^2) heap churn for the same simulated outcome.
+        backlog = staged.requeued + self._held
+        self._held = []
+        backlog.sort(key=lambda q: (q.arrival_time, q.query_id))
+        gap = self._frontend_gap
+        start = max(now, self._frontend_available) if gap > 0 else now
+        for position, query in enumerate(backlog):
+            self._events.push(start + position * gap, EventKind.ARRIVAL, query)
 
     # ------------------------------------------------------------------ #
     # event handlers
     # ------------------------------------------------------------------ #
+    def _process(self, event) -> None:
+        self._clock.advance_to(event.time)
+        now = self._clock.now
+        kind = event.kind
+        if kind is EventKind.ARRIVAL:
+            arrival_handlers = self._handlers(QueryArrived)
+            if arrival_handlers:
+                key = id(event.query)
+                if key not in self._announced:
+                    self._announced.add(key)
+                    arrived = QueryArrived(now, event.query)
+                    for handler in arrival_handlers:
+                        handler(arrived)
+            if self._staged is not None:
+                # The server is draining/reconfiguring: buffer at the frontend.
+                self._held.append(event.query)
+                return
+            if self._frontend_gap > 0:
+                # The frontend dispatches queries serially; an arrival that
+                # finds it busy is retried when it becomes free.
+                if self._frontend_available > now + 1e-15:
+                    self._events.push(
+                        self._frontend_available, EventKind.ARRIVAL, event.query
+                    )
+                    return
+                self._frontend_available = now + self._frontend_gap
+            context = SchedulingContext(
+                now=now,
+                workers=self.workers,
+                central_queue=tuple(self._central_queue),
+                estimator=self.estimate_latency,
+            )
+            self._handle_arrival(event.query, context, now)
+        elif kind is EventKind.COMPLETION:
+            self._handle_completion(event, now)
+        else:
+            self._complete_reconfigure(now)
+
     def _handle_arrival(
         self,
         query: Query,
         context: SchedulingContext,
-        central_queue: Deque[Query],
-        events: EventQueue,
         now: float,
     ) -> None:
         worker = self.scheduler.on_arrival(query, context)
         if worker is None:
-            central_queue.append(query)
+            self._central_queue.append(query)
             return
-        self._dispatch(worker, query, events, now)
+        self._dispatch(worker, query, now)
 
-    def _handle_completion(
-        self,
-        event,
-        central_queue: Deque[Query],
-        events: EventQueue,
-        now: float,
-    ) -> None:
+    def _handle_completion(self, event, now: float) -> None:
         worker = self._workers_by_id[event.instance_id]
-        worker.complete_current(now)
+        query = worker.complete_current(now)
+        completed_handlers = self._handlers(QueryCompleted)
+        if completed_handlers:
+            completed = QueryCompleted(now, query, worker.instance_id)
+            for handler in completed_handlers:
+                handler(completed)
+        violated_handlers = self._handlers(SlaViolated)
+        if violated_handlers and query.sla_violated:
+            violated = SlaViolated(now, query, worker.instance_id)
+            for handler in violated_handlers:
+                handler(violated)
+
+        if worker.instance_id in self._draining_ids:
+            # A draining partition takes no further work; its local queue was
+            # already requeued, so finishing the in-flight query empties it.
+            return
 
         # Start the next locally queued query, if any.
         finish = worker.start_next(now)
         if finish is not None:
-            events.push(
+            self._events.push(
                 finish, EventKind.COMPLETION, worker.current_query, worker.instance_id
             )
             return
 
         # Otherwise offer the idle worker a query from the central queue.
-        if central_queue:
+        if self._central_queue:
             context = SchedulingContext(
                 now=now,
                 workers=self.workers,
-                central_queue=tuple(central_queue),
+                central_queue=tuple(self._central_queue),
                 estimator=self.estimate_latency,
             )
-            query = self.scheduler.on_worker_idle(worker, context)
-            if query is not None:
-                central_queue.remove(query)
-                self._dispatch(worker, query, events, now)
+            pulled = self.scheduler.on_worker_idle(worker, context)
+            if pulled is not None:
+                self._central_queue.remove(pulled)
+                self._dispatch(worker, pulled, now)
+                return
+        idle_handlers = self._handlers(WorkerIdle)
+        if idle_handlers:
+            idle = WorkerIdle(now, worker.instance_id)
+            for handler in idle_handlers:
+                handler(idle)
 
     def _dispatch(
         self,
         worker: PartitionWorker,
         query: Query,
-        events: EventQueue,
         now: float,
     ) -> None:
         worker.enqueue(query, now)
+        dispatch_handlers = self._handlers(QueryDispatched)
+        if dispatch_handlers:
+            dispatched = QueryDispatched(now, query, worker.instance_id)
+            for handler in dispatch_handlers:
+                handler(dispatched)
         finish = worker.start_next(now)
         if finish is not None:
-            events.push(
+            self._events.push(
                 finish, EventKind.COMPLETION, worker.current_query, worker.instance_id
             )

@@ -60,7 +60,7 @@ class EventQueue:
         self,
         time: float,
         kind: EventKind,
-        query: Query,
+        query: Optional[Query] = None,
         instance_id: Optional[int] = None,
     ) -> Event:
         """Create and enqueue an event, assigning it the next sequence number."""

@@ -14,11 +14,15 @@ class EventKind(enum.IntEnum):
 
     The integer values double as tie-break priorities when two events share a
     timestamp: completions are processed before arrivals so that a partition
-    freed at time ``t`` is visible to a query arriving at the same ``t``.
+    freed at time ``t`` is visible to a query arriving at the same ``t``, and
+    a reconfiguration completes only after every same-instant completion and
+    arrival has been absorbed (so drained partitions are truly empty and
+    buffered queries are all accounted for when the new set comes online).
     """
 
     COMPLETION = 0
     ARRIVAL = 1
+    RECONFIG = 2
 
 
 @dataclass(frozen=True, order=True)
@@ -30,16 +34,16 @@ class Event:
 
     Attributes:
         time: simulation time in seconds.
-        kind: event kind (arrival or completion).
+        kind: event kind (arrival, completion or reconfiguration).
         sequence: monotonically increasing tie-breaker assigned by the queue.
-        query: the query this event concerns.
+        query: the query this event concerns (``None`` for reconfigurations).
         instance_id: for completions, the partition instance that finished.
     """
 
     time: float
     kind: EventKind
     sequence: int
-    query: Query = field(compare=False)
+    query: Optional[Query] = field(default=None, compare=False)
     instance_id: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:

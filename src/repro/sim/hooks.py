@@ -1,0 +1,523 @@
+"""Typed lifecycle events and the simulator observer layer.
+
+:class:`~repro.sim.cluster.InferenceServerSimulator` no longer only
+accumulates per-query timestamps: every interesting moment of a run is
+published as a typed event to registered :class:`SimulationObserver`
+instances.  The statistics digestion of :mod:`repro.sim.metrics` is
+available as one such observer (:class:`StatisticsCollector`, for callers
+that poll statistics frequently); :class:`WindowedMetrics` is the one the
+serving session attaches by default, producing per-time-window latency /
+throughput / SLA-violation series *incrementally* — each event touches
+exactly one window bucket, so building the series never re-scans the full
+query list.
+
+Events published per run:
+
+* :class:`QueryArrived` — a query reached the server frontend (emitted once
+  per query, even when the frontend retries or a reconfiguration buffers it);
+* :class:`QueryDispatched` — the scheduler placed the query on a partition;
+* :class:`QueryCompleted` — execution finished;
+* :class:`SlaViolated` — the completed query missed its SLA;
+* :class:`WorkerIdle` — a partition finished with nothing left to do;
+* :class:`QueryRequeued` — a mid-run reconfiguration pulled a not-yet-started
+  query back off a partition's local queue;
+* :class:`QueryDropped` — reserved for load-shedding policies (the built-in
+  simulator never drops work);
+* :class:`ReconfigStarted` / :class:`ReconfigFinished` — a live MIG
+  repartition began draining / came back online.
+
+Observers subclass :class:`SimulationObserver` and override any subset of the
+``on_*`` handlers; unknown events are ignored, so observers stay forward
+compatible with new event types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.workload.query import Query
+
+# --------------------------------------------------------------------------- #
+# typed lifecycle events
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(slots=True)
+class SimEvent:
+    """Base class of every lifecycle event (``time`` is simulation seconds)."""
+
+    time: float
+
+
+@dataclass(slots=True)
+class QueryArrived(SimEvent):
+    """A query reached the server frontend."""
+
+    query: Query
+
+
+@dataclass(slots=True)
+class QueryDispatched(SimEvent):
+    """The scheduler placed a query on a partition's local queue."""
+
+    query: Query
+    instance_id: int
+
+
+@dataclass(slots=True)
+class QueryCompleted(SimEvent):
+    """A query finished executing."""
+
+    query: Query
+    instance_id: int
+
+
+@dataclass(slots=True)
+class SlaViolated(SimEvent):
+    """A completed query missed its SLA target."""
+
+    query: Query
+    instance_id: int
+
+
+@dataclass(slots=True)
+class WorkerIdle(SimEvent):
+    """A partition went completely idle (nothing running, nothing queued)."""
+
+    instance_id: int
+
+
+@dataclass(slots=True)
+class QueryRequeued(SimEvent):
+    """A reconfiguration pulled an undispatched query back to the frontend."""
+
+    query: Query
+    instance_id: Optional[int]
+
+
+@dataclass(slots=True)
+class QueryDropped(SimEvent):
+    """A query was explicitly dropped (never executed).
+
+    Reserved for load-shedding policies: the built-in simulator never drops
+    work (every arrival completes — the conservation property the test suite
+    pins), so only custom schedulers/session logic emit this today.
+    """
+
+    query: Query
+    reason: str
+
+
+@dataclass(slots=True)
+class ReconfigStarted(SimEvent):
+    """A live repartition started draining the old partition set."""
+
+    old_instance_ids: Tuple[int, ...]
+    requeued: int
+
+
+@dataclass(slots=True)
+class ReconfigFinished(SimEvent):
+    """The new partition set came online after the modeled downtime."""
+
+    new_instance_ids: Tuple[int, ...]
+    downtime: float
+
+
+# --------------------------------------------------------------------------- #
+# the observer interface
+# --------------------------------------------------------------------------- #
+
+_HANDLERS = {
+    QueryArrived: "on_query_arrived",
+    QueryDispatched: "on_query_dispatched",
+    QueryCompleted: "on_query_completed",
+    SlaViolated: "on_sla_violated",
+    WorkerIdle: "on_worker_idle",
+    QueryRequeued: "on_query_requeued",
+    QueryDropped: "on_query_dropped",
+    ReconfigStarted: "on_reconfig_started",
+    ReconfigFinished: "on_reconfig_finished",
+}
+
+
+class SimulationObserver:
+    """Base class for simulation observers.
+
+    Subclasses override any subset of the ``on_*`` handlers; the default
+    implementations are no-ops.  The simulator delivers events through
+    :meth:`on_event`, which dispatches by event type (events of unknown
+    types are silently ignored, keeping observers forward compatible).
+    """
+
+    def on_event(self, event: SimEvent) -> None:
+        """Dispatch ``event`` to its typed handler."""
+        handler = _HANDLERS.get(type(event))
+        if handler is not None:
+            getattr(self, handler)(event)
+
+    def on_query_arrived(self, event: QueryArrived) -> None:
+        """A query reached the frontend."""
+
+    def on_query_dispatched(self, event: QueryDispatched) -> None:
+        """A query was placed on a partition."""
+
+    def on_query_completed(self, event: QueryCompleted) -> None:
+        """A query finished executing."""
+
+    def on_sla_violated(self, event: SlaViolated) -> None:
+        """A completed query missed its SLA."""
+
+    def on_worker_idle(self, event: WorkerIdle) -> None:
+        """A partition went idle."""
+
+    def on_query_requeued(self, event: QueryRequeued) -> None:
+        """A reconfiguration requeued an undispatched query."""
+
+    def on_query_dropped(self, event: QueryDropped) -> None:
+        """A query was explicitly dropped."""
+
+    def on_reconfig_started(self, event: ReconfigStarted) -> None:
+        """A live repartition started."""
+
+    def on_reconfig_finished(self, event: ReconfigFinished) -> None:
+        """A live repartition finished."""
+
+
+def build_dispatch_table(observers) -> Dict[type, Tuple]:
+    """Pre-resolve observers into ``{event type: (bound handlers, ...)}``.
+
+    The simulator emits through this table so that (a) handler resolution
+    happens once per run instead of once per event, and (b) event types no
+    observer handles are never even constructed — the hook layer's cost
+    scales with what observers actually listen to.
+
+    Observers overriding :meth:`SimulationObserver.on_event` itself (or
+    plain duck-typed objects exposing ``on_event``) subscribe to every event
+    type; otherwise only the overridden ``on_*`` handlers subscribe.
+    """
+    table: Dict[type, List] = {}
+    for observer in observers:
+        cls = type(observer)
+        generic = (
+            not isinstance(observer, SimulationObserver)
+            or cls.on_event is not SimulationObserver.on_event
+        )
+        if generic:
+            for event_type in _HANDLERS:
+                table.setdefault(event_type, []).append(observer.on_event)
+            continue
+        for event_type, name in _HANDLERS.items():
+            if getattr(cls, name) is not getattr(SimulationObserver, name):
+                table.setdefault(event_type, []).append(getattr(observer, name))
+    return {event_type: tuple(handlers) for event_type, handlers in table.items()}
+
+
+class EventLog(SimulationObserver):
+    """Records every event in order — handy for tests and debugging."""
+
+    def __init__(self) -> None:
+        self.events: List[SimEvent] = []
+
+    def on_event(self, event: SimEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: type) -> List[SimEvent]:
+        """All recorded events of ``event_type``, in emission order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+
+class StatisticsCollector(SimulationObserver):
+    """Opt-in incremental accumulator of the completed-query digestion rows.
+
+    The latency digestion of :mod:`repro.sim.metrics` recast as an observer:
+    each completion appends one flat (latency, delay, SLA) row, and
+    :meth:`latency_statistics` digests the columns in one vectorised pass
+    (:func:`repro.sim.metrics.latency_statistics_from_arrays`) without
+    touching the query list.  Attach one when you poll statistics *often*
+    (live dashboards, per-checkpoint logging); for occasional snapshots the
+    simulator's own :meth:`~repro.sim.cluster.InferenceServerSimulator.snapshot_statistics`
+    — a single-pass scan per call — is the simpler tool.
+    """
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        #: one row per completion: (latency, queueing delay, has_sla, violated)
+        self._rows: List[Tuple[float, float, bool, bool]] = []
+
+    @property
+    def completed(self) -> int:
+        """Number of completions digested so far."""
+        return len(self._rows)
+
+    def on_query_arrived(self, event: QueryArrived) -> None:
+        self.arrived += 1
+
+    def on_query_completed(self, event: QueryCompleted) -> None:
+        query = event.query
+        arrival = query.arrival_time
+        finish = query.finish_time
+        latency = finish - arrival
+        start = query.start_time
+        sla = query.sla_target
+        self._rows.append(
+            (
+                latency,
+                (start if start is not None else finish) - arrival,
+                sla is not None,
+                sla is not None and latency > sla,
+            )
+        )
+
+    def latency_statistics(self):
+        """Vectorised latency statistics of everything completed so far."""
+        from repro.sim.metrics import CompletedArrays, latency_statistics_from_arrays
+
+        if self._rows:
+            latencies, delays, has_sla, violated = zip(*self._rows)
+        else:
+            latencies = delays = has_sla = violated = ()
+        arrays = CompletedArrays(
+            latencies=np.asarray(latencies, dtype=float),
+            delays=np.asarray(delays, dtype=float),
+            has_sla=np.asarray(has_sla, dtype=bool),
+            violated=np.asarray(violated, dtype=bool),
+        )
+        return latency_statistics_from_arrays(arrays)
+
+
+# --------------------------------------------------------------------------- #
+# windowed metrics
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(slots=True)
+class _Bucket:
+    """Mutable per-window accumulator (internal to :class:`WindowedMetrics`)."""
+
+    arrivals: int = 0
+    completions: int = 0
+    sla_count: int = 0
+    violations: int = 0
+    latencies: List[float] = field(default_factory=list)
+    batch_counts: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Digested metrics of one time window ``[start, end)``.
+
+    Attributes:
+        index: zero-based window index.
+        start / end: window bounds in simulation seconds.
+        arrivals: queries that arrived at the frontend in the window.
+        completions: queries that finished in the window.
+        throughput_qps: ``completions / window length``.
+        mean_latency / p95_latency: over completions in the window (0 when
+            nothing completed).
+        sla_count: completions carrying an SLA target.
+        violations: completions that missed their SLA.
+        violation_rate: ``violations / sla_count`` (0 when no SLA queries).
+        reconfiguring: True when the window overlaps a reconfiguration
+            downtime interval.
+    """
+
+    index: int
+    start: float
+    end: float
+    arrivals: int
+    completions: int
+    throughput_qps: float
+    mean_latency: float
+    p95_latency: float
+    sla_count: int
+    violations: int
+    violation_rate: float
+    reconfiguring: bool
+
+
+class WindowedMetrics(SimulationObserver):
+    """Per-time-window latency / throughput / violation series.
+
+    Every event updates exactly one window bucket, so the observer's cost is
+    O(1) per event and :meth:`series` digests each completion exactly once —
+    no O(n) re-scan per window.
+
+    Args:
+        window: window length in simulation seconds.
+    """
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._buckets: Dict[int, _Bucket] = {}
+        self._downtime: List[Tuple[float, float]] = []
+        self._reconfig_started_at: Optional[float] = None
+        self._last_event_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def _bucket(self, time: float) -> _Bucket:
+        if time > self._last_event_time:
+            self._last_event_time = time
+        index = int(time // self.window)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = _Bucket()
+        return bucket
+
+    def on_query_arrived(self, event: QueryArrived) -> None:
+        bucket = self._bucket(event.time)
+        bucket.arrivals += 1
+        counts = bucket.batch_counts
+        batch = event.query.batch
+        counts[batch] = counts.get(batch, 0) + 1
+
+    def on_query_completed(self, event: QueryCompleted) -> None:
+        query = event.query
+        latency = query.finish_time - query.arrival_time
+        bucket = self._bucket(event.time)
+        bucket.completions += 1
+        bucket.latencies.append(latency)
+        sla = query.sla_target
+        if sla is not None:
+            bucket.sla_count += 1
+            if latency > sla:
+                bucket.violations += 1
+
+    def on_reconfig_started(self, event: ReconfigStarted) -> None:
+        self._reconfig_started_at = event.time
+        self._last_event_time = max(self._last_event_time, event.time)
+
+    def on_reconfig_finished(self, event: ReconfigFinished) -> None:
+        start = (
+            self._reconfig_started_at
+            if self._reconfig_started_at is not None
+            else event.time - event.downtime
+        )
+        self._downtime.append((start, event.time))
+        self._reconfig_started_at = None
+        self._last_event_time = max(self._last_event_time, event.time)
+
+    # ------------------------------------------------------------------ #
+    # digestion
+    # ------------------------------------------------------------------ #
+    @property
+    def downtime_intervals(self) -> List[Tuple[float, float]]:
+        """Closed reconfiguration downtime intervals seen so far."""
+        return list(self._downtime)
+
+    def _overlaps_downtime(self, start: float, end: float) -> bool:
+        return any(start < hi and lo < end for lo, hi in self._downtime)
+
+    def series(self, until: Optional[float] = None) -> List[WindowStats]:
+        """The windowed series from time 0 through ``until`` (default: the
+        last observed event), including empty windows so gaps — e.g. a
+        reconfiguration dip — stay visible.  An explicit ``until`` truncates:
+        windows starting after it are not reported."""
+        if until is None:
+            horizon = self._last_event_time
+            if not self._buckets and horizon <= 0:
+                return []
+            last_index = max(
+                max(self._buckets, default=0), int(max(horizon, 0.0) // self.window)
+            )
+        else:
+            if until < 0:
+                return []
+            last_index = int(until // self.window)
+        out: List[WindowStats] = []
+        empty = _Bucket()
+        for index in range(last_index + 1):
+            bucket = self._buckets.get(index, empty)
+            start = index * self.window
+            end = start + self.window
+            if bucket.latencies:
+                latencies = np.asarray(bucket.latencies, dtype=float)
+                mean_latency = float(latencies.mean())
+                p95 = float(np.percentile(latencies, 95))
+            else:
+                mean_latency = p95 = 0.0
+            out.append(
+                WindowStats(
+                    index=index,
+                    start=start,
+                    end=end,
+                    arrivals=bucket.arrivals,
+                    completions=bucket.completions,
+                    throughput_qps=bucket.completions / self.window,
+                    mean_latency=mean_latency,
+                    p95_latency=p95,
+                    sla_count=bucket.sla_count,
+                    violations=bucket.violations,
+                    violation_rate=(
+                        bucket.violations / bucket.sla_count if bucket.sla_count else 0.0
+                    ),
+                    reconfiguring=self._overlaps_downtime(start, end),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # trigger-facing views
+    # ------------------------------------------------------------------ #
+    def _last_lookback_window(self, now: float) -> int:
+        """Index of the newest window a lookback at ``now`` should cover.
+
+        The window containing ``now`` counts only when ``now`` lies strictly
+        inside it: at an exact boundary (the session's checkpoint times) that
+        window just opened and holds no elapsed time, so counting it would
+        silently shorten every lookback by one full window.
+        """
+        last = int(now // self.window)
+        if last > 0 and now <= last * self.window:
+            last -= 1
+        return last
+
+    def observed_batch_histogram(
+        self, now: float, lookback_windows: int
+    ) -> Dict[int, int]:
+        """Arrival batch-size histogram over the ``lookback_windows`` windows
+        preceding ``now`` (the window containing ``now`` included only when
+        ``now`` lies strictly inside it)."""
+        if lookback_windows < 1:
+            raise ValueError("lookback_windows must be >= 1")
+        last = self._last_lookback_window(now)
+        histogram: Dict[int, int] = {}
+        for index in range(max(0, last - lookback_windows + 1), last + 1):
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                continue
+            for batch, count in bucket.batch_counts.items():
+                histogram[batch] = histogram.get(batch, 0) + count
+        return dict(sorted(histogram.items()))
+
+    def observed_batch_pdf(self, now: float, lookback_windows: int) -> Dict[int, float]:
+        """Arrival batch-size PDF over the recent lookback (empty when no
+        arrivals were observed)."""
+        histogram = self.observed_batch_histogram(now, lookback_windows)
+        total = sum(histogram.values())
+        if total == 0:
+            return {}
+        return {batch: count / total for batch, count in histogram.items()}
+
+    def recent_violation_stats(
+        self, now: float, lookback_windows: int
+    ) -> Tuple[int, int]:
+        """``(violations, sla_count)`` over the recent lookback windows."""
+        if lookback_windows < 1:
+            raise ValueError("lookback_windows must be >= 1")
+        last = self._last_lookback_window(now)
+        violations = sla_count = 0
+        for index in range(max(0, last - lookback_windows + 1), last + 1):
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                continue
+            violations += bucket.violations
+            sla_count += bucket.sla_count
+        return violations, sla_count

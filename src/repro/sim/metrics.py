@@ -64,6 +64,79 @@ class ServerStatistics:
     total_queries: int
 
 
+@dataclass(frozen=True)
+class CompletedArrays:
+    """Flat digestion columns of the completed queries of one snapshot.
+
+    Built in a single pass over the queries (or accumulated incrementally by
+    :class:`repro.sim.hooks.StatisticsCollector`), then digested entirely
+    with vectorised numpy operations — no per-statistic Python re-scan.
+    """
+
+    latencies: np.ndarray
+    delays: np.ndarray
+    has_sla: np.ndarray
+    violated: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of completed queries in the snapshot."""
+        return int(self.latencies.size)
+
+
+def completed_arrays(queries: Sequence[Query]) -> CompletedArrays:
+    """Build the digestion columns in one pass over ``queries``.
+
+    Queries that never completed are skipped; the arrays hold, per completed
+    query: end-to-end latency, queueing delay, whether an SLA target was set
+    and whether it was violated.
+    """
+    latencies: list = []
+    delays: list = []
+    has_sla: list = []
+    violated: list = []
+    for query in queries:
+        finish = query.finish_time
+        if finish is None:
+            continue
+        arrival = query.arrival_time
+        latency = finish - arrival
+        start = query.start_time
+        sla = query.sla_target
+        latencies.append(latency)
+        delays.append((start if start is not None else finish) - arrival)
+        has_sla.append(sla is not None)
+        violated.append(sla is not None and latency > sla)
+    return CompletedArrays(
+        latencies=np.asarray(latencies, dtype=float),
+        delays=np.asarray(delays, dtype=float),
+        has_sla=np.asarray(has_sla, dtype=bool),
+        violated=np.asarray(violated, dtype=bool),
+    )
+
+
+def latency_statistics_from_arrays(
+    arrays: CompletedArrays, percentile_method: str = "linear"
+) -> LatencyStatistics:
+    """Digest pre-built :class:`CompletedArrays` into latency statistics."""
+    if arrays.count == 0:
+        return LatencyStatistics.empty()
+    latencies = arrays.latencies
+    sla_count = int(arrays.has_sla.sum())
+    violations = int(arrays.violated.sum())
+    violation_rate = violations / sla_count if sla_count else 0.0
+    return LatencyStatistics(
+        count=arrays.count,
+        mean=float(latencies.mean()),
+        p50=float(np.percentile(latencies, 50, method=percentile_method)),
+        p95=float(np.percentile(latencies, 95, method=percentile_method)),
+        p99=float(np.percentile(latencies, 99, method=percentile_method)),
+        maximum=float(latencies.max()),
+        mean_queueing_delay=float(arrays.delays.mean()),
+        sla_violation_rate=violation_rate,
+    )
+
+
 def latency_statistics(
     queries: Sequence[Query], percentile_method: str = "linear"
 ) -> LatencyStatistics:
@@ -73,23 +146,8 @@ def latency_statistics(
         queries: completed queries (entries that never completed are ignored).
         percentile_method: numpy percentile interpolation method.
     """
-    completed = [q for q in queries if q.completed]
-    if not completed:
-        return LatencyStatistics.empty()
-    latencies = np.array([q.latency for q in completed])
-    delays = np.array([q.queueing_delay for q in completed])
-    with_sla = [q for q in completed if q.sla_target is not None]
-    violations = sum(1 for q in with_sla if q.sla_violated)
-    violation_rate = violations / len(with_sla) if with_sla else 0.0
-    return LatencyStatistics(
-        count=len(completed),
-        mean=float(latencies.mean()),
-        p50=float(np.percentile(latencies, 50, method=percentile_method)),
-        p95=float(np.percentile(latencies, 95, method=percentile_method)),
-        p99=float(np.percentile(latencies, 99, method=percentile_method)),
-        maximum=float(latencies.max()),
-        mean_queueing_delay=float(delays.mean()),
-        sla_violation_rate=violation_rate,
+    return latency_statistics_from_arrays(
+        completed_arrays(queries), percentile_method=percentile_method
     )
 
 
@@ -125,14 +183,14 @@ def compute_statistics(
         offered_load_qps: the offered arrival rate, when known (reported
             alongside the achieved throughput).
     """
-    completed = [q for q in queries if q.completed]
-    throughput = len(completed) / makespan if makespan > 0 else 0.0
+    arrays = completed_arrays(queries)
+    throughput = arrays.count / makespan if makespan > 0 else 0.0
     return ServerStatistics(
-        latency=latency_statistics(queries),
+        latency=latency_statistics_from_arrays(arrays),
         utilization=utilization_statistics(workers, makespan),
         throughput_qps=throughput,
         offered_load_qps=offered_load_qps if offered_load_qps is not None else 0.0,
         makespan=makespan,
-        completed_queries=len(completed),
+        completed_queries=arrays.count,
         total_queries=len(queries),
     )

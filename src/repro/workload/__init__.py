@@ -9,9 +9,11 @@ MLPerf conventions:
   discretised to ``[1, max_batch]`` (32 by default),
 
 This package implements both distributions, the :class:`Query` record that
-flows through the simulator, a reproducible trace generator, and helpers to
+flows through the simulator, a reproducible trace generator, helpers to
 build empirical batch-size PDFs (the ``Dist[]`` input of PARIS's
-Algorithm 1).
+Algorithm 1), and first-class *scenarios* — ordered phases of time-varying
+load (:mod:`repro.workload.scenario`) consumed by the streaming
+:class:`~repro.serving.session.ServingSession`.
 """
 
 from repro.workload.query import Query
@@ -23,6 +25,15 @@ from repro.workload.distributions import (
 )
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 from repro.workload.trace import QueryTrace, merge_traces
+from repro.workload.scenario import (
+    SCENARIOS,
+    Phase,
+    Scenario,
+    available_scenarios,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+)
 
 __all__ = [
     "Query",
@@ -34,4 +45,11 @@ __all__ = [
     "WorkloadConfig",
     "QueryTrace",
     "merge_traces",
+    "SCENARIOS",
+    "Phase",
+    "Scenario",
+    "available_scenarios",
+    "build_scenario",
+    "get_scenario",
+    "register_scenario",
 ]

@@ -7,7 +7,7 @@ MLPerf-style Poisson arrivals and log-normal query sizes (Section V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.workload.distributions import (

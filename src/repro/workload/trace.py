@@ -38,7 +38,10 @@ class QueryTrace:
 
     @property
     def duration(self) -> float:
-        """Time span between the first and last arrival (seconds)."""
+        """Time span between the first and last arrival (seconds).
+
+        Defined for every trace: 0.0 for empty and single-query traces.
+        """
         if not self.queries:
             return 0.0
         return self.queries[-1].arrival_time - self.queries[0].arrival_time
@@ -49,7 +52,12 @@ class QueryTrace:
         return sum(q.batch for q in self.queries)
 
     def arrival_rate(self) -> float:
-        """Observed average arrival rate in queries/second."""
+        """Observed average arrival rate in queries/second.
+
+        Defined for every trace: 0.0 when fewer than two queries exist or
+        when all arrivals share one timestamp (no time span to rate over) —
+        never a division by zero.
+        """
         if len(self.queries) < 2 or self.duration == 0:
             return 0.0
         return (len(self.queries) - 1) / self.duration
@@ -62,9 +70,19 @@ class QueryTrace:
         return dict(sorted(hist.items()))
 
     def batch_pdf(self) -> Dict[int, float]:
-        """Observed batch-size probability mass function."""
+        """Observed batch-size probability mass function.
+
+        Raises:
+            ValueError: for an empty trace — an empty PDF would silently
+                poison every downstream consumer (the partitioner rejects
+                it anyway), so the degenerate case fails loudly here.
+        """
         hist = self.batch_histogram()
         total = sum(hist.values())
+        if total == 0:
+            raise ValueError(
+                "cannot derive a batch-size PDF from an empty trace"
+            )
         return {batch: count / total for batch, count in hist.items()}
 
     def fresh_copy(self) -> "QueryTrace":
@@ -94,7 +112,8 @@ def merge_traces(traces: Iterable[QueryTrace]) -> QueryTrace:
     """Merge several traces into one, re-sorted by arrival time.
 
     Query ids are reassigned to stay unique in the merged trace.  Useful for
-    multi-tenant experiments where several models share one server.
+    multi-tenant experiments where several models share one server.  Merging
+    no traces (or only empty ones) yields an empty trace.
     """
     merged: List[Query] = []
     for trace in traces:

@@ -24,7 +24,7 @@ from repro.core.registry import (
     register_partitioner,
     register_scheduler,
 )
-from repro.core.schedulers import FifsScheduler, RandomDispatchScheduler
+from repro.core.schedulers import FifsScheduler
 from repro.core.specs import FifsSpec, PolicySpec
 from repro.serving.config import ServerConfig
 from repro.serving.deployment import build_deployment

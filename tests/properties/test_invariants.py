@@ -1,6 +1,5 @@
 """Property-based tests on cross-cutting system invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.elsa import ElsaScheduler
@@ -11,7 +10,6 @@ from tests.sim.helpers import MODEL, linear_profile, make_instances, make_trace
 
 def run_simulation(scheduler_name, arrivals, sizes, sla):
     profile = linear_profile({1: 0.4, 3: 0.2, 7: 0.1})
-    latencies = {g: 0.0 for g in (1, 3, 7)}
     schedulers = {
         "fifs": FifsScheduler(),
         "elsa": ElsaScheduler(profile),
@@ -57,7 +55,6 @@ def test_simulation_conservation_invariants(arrivals, scheduler, sizes, sla):
 def test_workers_never_overlap_executions(arrivals, sizes):
     """Per-partition executions are serialised: busy time <= makespan."""
     result = run_simulation("fifs", arrivals, sizes, sla=None)
-    makespan = result.statistics.makespan
     for utilization in result.statistics.utilization.per_instance.values():
         assert 0.0 <= utilization <= 1.0 + 1e-9
     # per-instance executions must be non-overlapping

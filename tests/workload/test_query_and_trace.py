@@ -102,3 +102,47 @@ class TestQueryTrace:
         trace = QueryTrace(())
         assert trace.duration == 0.0
         assert trace.arrival_rate() == 0.0
+
+
+class TestDegenerateTraces:
+    """Empty / single-query / zero-span traces return defined values or
+    raise clear errors — never a ZeroDivisionError."""
+
+    def test_empty_trace_batch_statistics(self):
+        trace = QueryTrace(())
+        assert trace.batch_histogram() == {}
+        assert trace.total_samples == 0
+        with pytest.raises(ValueError, match="empty trace"):
+            trace.batch_pdf()
+
+    def test_single_query_trace(self):
+        trace = QueryTrace((make_query(0, arrival=5.0),))
+        assert trace.duration == 0.0
+        assert trace.arrival_rate() == 0.0
+        assert trace.batch_pdf() == {4: 1.0}
+
+    def test_simultaneous_arrivals_have_zero_rate(self):
+        trace = QueryTrace(
+            (make_query(0, arrival=1.0), make_query(1, arrival=1.0))
+        )
+        assert trace.duration == 0.0
+        assert trace.arrival_rate() == 0.0  # no span to rate over
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_traces([])
+        assert len(merged) == 0
+        assert merged.duration == 0.0
+
+    def test_merge_of_empty_traces_is_empty(self):
+        merged = merge_traces([QueryTrace(()), QueryTrace(())])
+        assert len(merged) == 0
+        assert merged.arrival_rate() == 0.0
+
+    def test_merge_with_empty_trace_keeps_queries(self):
+        a = QueryTrace((make_query(0, arrival=0.0),))
+        merged = merge_traces([QueryTrace(()), a])
+        assert [q.arrival_time for q in merged] == [0.0]
+        assert merged.batch_pdf() == {4: 1.0}
+
+    def test_fresh_copy_of_empty_trace(self):
+        assert len(QueryTrace(()).fresh_copy()) == 0

@@ -19,6 +19,10 @@ def pytest_configure(config):
     # The benchmarks print their result tables; -s is convenient but not
     # required (captured output still ends up in the report on failure).
     config.addinivalue_line("markers", "figure: paper figure/table reproduction")
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: small-trace performance gates run by the CI smoke job",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,191 @@
+"""Replay-speed benchmark: optimised hot path vs the naive reference path.
+
+The fast-path work (memoized ``CachedEstimator``, incrementally maintained
+queued-work totals, indexed idle-worker set, copy-free scheduling contexts)
+only counts if it (a) never changes simulated outcomes and (b) actually
+moves events/second.  This benchmark pins both on a fixed overloaded
+PARIS+ELSA workload — the regime the paper's latency-bounded-throughput
+searches spend most of their replays in:
+
+* the optimised replay must be **bit-identical** to the naive path (every
+  query timestamp, every statistic);
+* the optimised path must process at least ``MIN_SPEEDUP``x the events/sec
+  of the naive path;
+* a rate sweep fanned over ``ParallelRunner(n_jobs=2)`` must return results
+  identical to the serial sweep, and (on multi-core machines) take less
+  wall time.
+
+Results land in ``BENCH_speed.json`` at the repository root.  The small
+``perf_smoke``-marked variant runs in CI on every push.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import ParallelRunner, capacity_estimate, sweep_rates
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+NUM_QUERIES = 6000
+RATE_MULTIPLIER = 1.3
+ROUNDS = 3
+#: re-attempted with fresh interleaved rounds when a loaded machine smears a
+#: measurement; a genuine regression fails every attempt
+ATTEMPTS = 3
+MIN_SPEEDUP = 3.0
+SMOKE_NUM_QUERIES = 1500
+SMOKE_MIN_SPEEDUP = 2.0
+
+SWEEP_POINTS = 4
+SWEEP_QUERIES = 2500
+SWEEP_JOBS = 2
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
+
+
+def _pinned_workload(settings, deployment, num_queries):
+    workload = WorkloadConfig(
+        model="mobilenet",
+        rate_qps=1.0,
+        num_queries=num_queries,
+        seed=1,
+        sla_target=deployment.sla_target,
+    )
+    capacity = capacity_estimate(deployment, workload)
+    from dataclasses import replace
+
+    return replace(workload, rate_qps=RATE_MULTIPLIER * capacity)
+
+
+def _query_signature(result):
+    return [
+        (q.query_id, q.dispatch_time, q.start_time, q.finish_time, q.instance_id)
+        for q in result.queries
+    ]
+
+
+def _timed_replay(deployment, trace, fast):
+    simulator = deployment.simulator(seed=0, fast_path=fast)
+    start = time.perf_counter()
+    result = simulator.run(trace)
+    elapsed = time.perf_counter() - start
+    return result, elapsed, simulator.events_processed
+
+
+def _measure_speedup(deployment, trace, rounds):
+    """Interleaved best-of-N of both paths, plus the identity check."""
+    fast_times, naive_times = [], []
+    fast_result = naive_result = None
+    events = 0
+    for _ in range(rounds):
+        fast_result, fast_s, events = _timed_replay(deployment, trace, fast=True)
+        naive_result, naive_s, _ = _timed_replay(deployment, trace, fast=False)
+        fast_times.append(fast_s)
+        naive_times.append(naive_s)
+    identical = (
+        _query_signature(fast_result) == _query_signature(naive_result)
+        and fast_result.statistics == naive_result.statistics
+        and fast_result.per_instance_queries == naive_result.per_instance_queries
+    )
+    return min(fast_times), min(naive_times), events, identical
+
+
+def _run_gate(deployment, trace, min_speedup):
+    best = None
+    for _ in range(ATTEMPTS):
+        fast_s, naive_s, events, identical = _measure_speedup(
+            deployment, trace, ROUNDS
+        )
+        assert identical, "optimised replay diverged from the naive path"
+        speedup = naive_s / fast_s
+        if best is None or speedup > best[0]:
+            best = (speedup, fast_s, naive_s, events)
+        if speedup >= min_speedup:
+            break
+    return best
+
+
+def test_replay_speedup_and_bit_identity(settings):
+    """The headline gate: >= 3x events/sec, identical simulated outcomes."""
+    deployment = settings.build("mobilenet", "paris", "elsa")
+    workload = _pinned_workload(settings, deployment, NUM_QUERIES)
+    trace = QueryGenerator(workload).generate()
+
+    speedup, fast_s, naive_s, events = _run_gate(deployment, trace, MIN_SPEEDUP)
+
+    # --- parallel sweep: identical results, wall time recorded ----------- #
+    sweep_workload = WorkloadConfig(
+        model="mobilenet",
+        rate_qps=1.0,
+        num_queries=SWEEP_QUERIES,
+        seed=1,
+        sla_target=deployment.sla_target,
+    )
+    capacity = capacity_estimate(deployment, sweep_workload)
+    rates = [capacity * fraction for fraction in (0.6, 0.9, 1.1, 1.3)][:SWEEP_POINTS]
+
+    start = time.perf_counter()
+    serial_points = sweep_rates(deployment, sweep_workload, rates, n_jobs=1)
+    sweep_serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_points = sweep_rates(deployment, sweep_workload, rates, n_jobs=SWEEP_JOBS)
+    sweep_parallel_s = time.perf_counter() - start
+
+    assert parallel_points == serial_points, "n_jobs changed sweep results"
+
+    cpu_count = os.cpu_count() or 1
+    payload = {
+        "benchmark": "replay_speed",
+        "model": "mobilenet",
+        "design": "paris+elsa",
+        "num_queries": NUM_QUERIES,
+        "rate_multiplier": RATE_MULTIPLIER,
+        "rounds": ROUNDS,
+        "events": events,
+        "fast_best_s": fast_s,
+        "naive_best_s": naive_s,
+        "events_per_sec_fast": events / fast_s,
+        "events_per_sec_naive": events / naive_s,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "bit_identical": True,
+        "sweep": {
+            "points": len(rates),
+            "num_queries": SWEEP_QUERIES,
+            "n_jobs": SWEEP_JOBS,
+            "serial_s": sweep_serial_s,
+            "parallel_s": sweep_parallel_s,
+            "parallel_speedup": sweep_serial_s / sweep_parallel_s,
+            "cpu_count": cpu_count,
+            "results_identical": True,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"optimised path is only {speedup:.2f}x the naive events/sec "
+        f"(bound {MIN_SPEEDUP}x); see {BENCH_PATH.name}"
+    )
+    if cpu_count >= 2:
+        # with real cores available the fan-out must actually pay for itself
+        assert sweep_parallel_s < sweep_serial_s, (
+            f"parallel sweep ({sweep_parallel_s:.2f}s) did not beat the "
+            f"serial sweep ({sweep_serial_s:.2f}s) on {cpu_count} cores"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_replay_speedup_smoke(settings):
+    """CI smoke gate: small trace, same identity contract, relaxed bound."""
+    deployment = settings.build("mobilenet", "paris", "elsa")
+    workload = _pinned_workload(settings, deployment, SMOKE_NUM_QUERIES)
+    trace = QueryGenerator(workload).generate()
+    speedup, _, _, _ = _run_gate(deployment, trace, SMOKE_MIN_SPEEDUP)
+    assert speedup >= SMOKE_MIN_SPEEDUP, (
+        f"optimised path is only {speedup:.2f}x the naive events/sec "
+        f"(smoke bound {SMOKE_MIN_SPEEDUP}x)"
+    )

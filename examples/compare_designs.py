@@ -8,22 +8,33 @@ latency under the SLA) of:
 * a random heterogeneous partitioning with ELSA,
 * PARIS with FIFS and with ELSA,
 
-for a model given on the command line (default: mobilenet).
+for a model given on the command line (default: mobilenet).  Each design is
+an independent full-replay search, so they fan out across cores; pass a
+second argument to choose the worker-process count.
 
 Run with::
 
-    python examples/compare_designs.py [model]
+    python examples/compare_designs.py [model] [n_jobs]
+
+(``n_jobs=0`` uses every core; the results are identical for any value.)
 """
 
 import sys
 
-from repro.analysis.experiments import ExperimentSettings, named_designs
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    measure_designs,
+    named_designs,
+)
 from repro.analysis.reporting import format_table
 
 
 def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "mobilenet"
-    settings = ExperimentSettings(num_queries=600, search_iterations=7)
+    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    settings = ExperimentSettings(
+        num_queries=600, search_iterations=7, n_jobs=n_jobs
+    )
 
     # Any "<partitioner>+<scheduler>" pair of registered policy names works
     # here, including custom policies registered from user code.
@@ -38,10 +49,12 @@ def main() -> None:
     ]
     deployments = named_designs(model, settings, designs)
 
+    results = measure_designs(settings, deployments)
+
     rows = []
     baseline = None
     for name, deployment in deployments.items():
-        result = settings.measure(deployment)
+        result = results[name]
         if name == "gpu(7)+fifs":
             baseline = result.throughput_qps
         rows.append(

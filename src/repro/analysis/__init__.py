@@ -10,6 +10,7 @@
 
 from repro.analysis.sweep import (
     DesignPointResult,
+    ParallelRunner,
     ThroughputLatencyPoint,
     measure_design,
     sweep_rates,
@@ -17,12 +18,18 @@ from repro.analysis.sweep import (
 )
 from repro.analysis.reporting import format_table, rows_to_csv
 from repro.analysis import experiments
-from repro.analysis.experiments import ExperimentSettings, named_designs
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    measure_designs,
+    named_designs,
+)
 
 __all__ = [
     "ExperimentSettings",
+    "measure_designs",
     "named_designs",
     "DesignPointResult",
+    "ParallelRunner",
     "ThroughputLatencyPoint",
     "measure_design",
     "sweep_rates",

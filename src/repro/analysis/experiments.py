@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.sweep import (
     DesignPointResult,
+    ParallelRunner,
     latency_bounded_throughput,
     sweep_rates,
 )
@@ -102,6 +103,9 @@ class ExperimentSettings:
         frontend_qps: frontend dispatch capacity in queries/second
             (``None`` disables the frontend model).
         seed: base RNG seed.
+        n_jobs: worker processes the experiment runners may fan independent
+            design-point replays across (``1`` = serial, ``None``/``0`` =
+            every core).  Results are identical for any value.
     """
 
     num_queries: int = 800
@@ -112,6 +116,7 @@ class ExperimentSettings:
     search_iterations: int = 8
     frontend_qps: Optional[float] = DEFAULT_FRONTEND_QPS
     seed: int = 0
+    n_jobs: Optional[int] = 1
     _profiles: Dict[str, ProfileTable] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -216,6 +221,37 @@ class ExperimentSettings:
             iterations=self.search_iterations,
             seed=self.seed,
         )
+
+    def runner(self) -> ParallelRunner:
+        """The :class:`~repro.analysis.sweep.ParallelRunner` for ``n_jobs``."""
+        return ParallelRunner(n_jobs=self.n_jobs)
+
+
+def _measure_deployment(args) -> DesignPointResult:
+    """Picklable worker: one deployment's latency-bounded throughput."""
+    settings, deployment, max_batch, sigma = args
+    return settings.measure(deployment, max_batch=max_batch, sigma=sigma)
+
+
+def measure_designs(
+    settings: ExperimentSettings,
+    deployments: Dict[str, Deployment],
+    max_batch: Optional[int] = None,
+    sigma: Optional[float] = None,
+) -> Dict[str, DesignPointResult]:
+    """Latency-bounded throughput of several independent design points.
+
+    Each design's bisection search is sequential, but different designs are
+    independent full-replay pipelines, so they fan out across
+    ``settings.n_jobs`` processes; the result mapping (insertion order
+    included) is identical to measuring each design serially.
+    """
+    names = list(deployments)
+    results = settings.runner().map(
+        _measure_deployment,
+        [(settings, deployments[name], max_batch, sigma) for name in names],
+    )
+    return dict(zip(names, results))
 
 
 # --------------------------------------------------------------------------- #
@@ -413,13 +449,16 @@ def figure11(
     """
     settings = settings or ExperimentSettings()
     deployments = named_designs(model, settings, designs)
+    bounds = measure_designs(settings, deployments)
     rows = []
     for name, deployment in deployments.items():
-        bound_result = settings.measure(deployment)
+        bound_result = bounds[name]
         peak = max(bound_result.rate_qps, 1e-3)
         rates = [peak * fraction for fraction in _spread(num_points)]
         workload = settings.workload(model)
-        for point in sweep_rates(deployment, workload, rates, seed=settings.seed):
+        for point in sweep_rates(
+            deployment, workload, rates, seed=settings.seed, n_jobs=settings.n_jobs
+        ):
             rows.append(
                 {
                     "model": model,
@@ -452,10 +491,8 @@ def figure12(
     rows: List[dict] = []
     for model in models:
         designs = _figure12_designs(include_random)
-        results: Dict[str, DesignPointResult] = {}
         deployments = named_designs(model, settings, designs)
-        for name, deployment in deployments.items():
-            results[name] = settings.measure(deployment)
+        results = measure_designs(settings, deployments)
         baseline = results["gpu(7)+fifs"].throughput_qps or 1e-9
         for name, result in results.items():
             rows.append(
@@ -501,10 +538,7 @@ def figure13a(
     rows = []
     for sigma in sigmas:
         deployments = named_designs(model, settings, designs, sigma=sigma)
-        results = {
-            name: settings.measure(deployment, sigma=sigma)
-            for name, deployment in deployments.items()
-        }
+        results = measure_designs(settings, deployments, sigma=sigma)
         baseline = results["gpu(7)+fifs"].throughput_qps or 1e-9
         for name, result in results.items():
             rows.append(
@@ -536,25 +570,37 @@ def figure13b(
     rows = []
     for model in models:
         for max_batch in max_batches:
-            gpu_max_name, gpu_max_result, gpu_max_deployment = _best_homogeneous(
-                model, settings, max_batch=max_batch
+            # One fan-out over every candidate of this (model, max_batch)
+            # pair — the homogeneous GPU(max) field and both PARIS designs —
+            # instead of separate pools for the GPU(max) search and the
+            # PARIS measurements.
+            candidates = {
+                f"gpu({gpcs})+fifs": settings.build(
+                    model,
+                    "homogeneous",
+                    "fifs",
+                    homogeneous_gpcs=gpcs,
+                    max_batch=max_batch,
+                )
+                for gpcs in HOMOGENEOUS_SIZES
+            }
+            candidates["paris+fifs"] = settings.build(
+                model, "paris", "fifs", max_batch=max_batch
             )
-            paris_fifs = settings.build(
-                model,
-                "paris",
-                "fifs",
-                max_batch=max_batch,
+            candidates["paris+elsa"] = settings.build(
+                model, "paris", "elsa", max_batch=max_batch
             )
-            paris_elsa = settings.build(
-                model,
-                "paris",
-                "elsa",
-                max_batch=max_batch,
-            )
+            measured = measure_designs(settings, candidates, max_batch=max_batch)
+            homogeneous = {
+                name: measured[name]
+                for name in (f"gpu({gpcs})+fifs" for gpcs in HOMOGENEOUS_SIZES)
+            }
+            gpu_max_name = _highest_throughput(homogeneous)
+            gpu_max_result = homogeneous[gpu_max_name]
             results = {
                 gpu_max_name: gpu_max_result,
-                "paris+fifs": settings.measure(paris_fifs, max_batch=max_batch),
-                "paris+elsa": settings.measure(paris_elsa, max_batch=max_batch),
+                "paris+fifs": measured["paris+fifs"],
+                "paris+elsa": measured["paris+elsa"],
             }
             baseline = gpu_max_result.throughput_qps or 1e-9
             for name, result in results.items():
@@ -757,11 +803,8 @@ def _best_homogeneous(
     sla_multiplier: Optional[float] = None,
 ) -> Tuple[str, DesignPointResult, Deployment]:
     """GPU(max): the homogeneous design with the best latency-bounded throughput."""
-    best_name = ""
-    best_result: Optional[DesignPointResult] = None
-    best_deployment: Optional[Deployment] = None
-    for gpcs in HOMOGENEOUS_SIZES:
-        deployment = settings.build(
+    deployments = {
+        f"gpu({gpcs})+fifs": settings.build(
             model,
             "homogeneous",
             "fifs",
@@ -770,10 +813,21 @@ def _best_homogeneous(
             sigma=sigma,
             sla_multiplier=sla_multiplier,
         )
-        result = settings.measure(deployment, max_batch=max_batch, sigma=sigma)
-        if best_result is None or result.throughput_qps > best_result.throughput_qps:
-            best_name = f"gpu({gpcs})+fifs"
-            best_result = result
-            best_deployment = deployment
-    assert best_result is not None and best_deployment is not None
-    return best_name, best_result, best_deployment
+        for gpcs in HOMOGENEOUS_SIZES
+    }
+    results = measure_designs(settings, deployments, max_batch=max_batch, sigma=sigma)
+    best_name = _highest_throughput(results)
+    return best_name, results[best_name], deployments[best_name]
+
+
+def _highest_throughput(results: Dict[str, DesignPointResult]) -> str:
+    """Name of the highest-throughput result (first wins ties, like max)."""
+    best_name = ""
+    best: Optional[DesignPointResult] = None
+    for name, result in results.items():
+        if best is None or result.throughput_qps > best.throughput_qps:
+            best_name = name
+            best = result
+    if best is None:
+        raise ValueError("no results to choose from")
+    return best_name

@@ -8,8 +8,15 @@ latency stays below a target (the SLA).  This module provides:
   report throughput / p95 / SLA violations;
 * :func:`sweep_rates` — the full throughput-vs-tail-latency curve of
   Figure 11;
-* :func:`latency_bounded_throughput` — binary search for the largest
-  sustainable rate (the single number per design used in Figures 12/13);
+* :func:`latency_bounded_throughput` — bracketed bisection search for the
+  largest sustainable rate (the single number per design used in
+  Figures 12/13): the upper bracket is verified (and exponentially expanded
+  while it still meets the bound) before bisecting, so the answer is never
+  silently capped by an optimistic capacity estimate;
+* :class:`ParallelRunner` — a ``ProcessPoolExecutor`` fan-out that spreads
+  independent replay points across cores with deterministic per-point seeds;
+  every sweep accepts ``n_jobs`` and produces results identical to a serial
+  run;
 * :func:`run_scenario` — replay a time-varying
   :class:`~repro.workload.scenario.Scenario` on a deployment through a
   :class:`~repro.serving.session.ServingSession`, optionally with live
@@ -18,8 +25,10 @@ latency stays below a target (the SLA).  This module provides:
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.serving.deployment import Deployment
 from repro.serving.session import (
@@ -55,6 +64,51 @@ class ThroughputLatencyPoint:
     rate_qps: float
     throughput_qps: float
     p95_latency: float
+
+
+@dataclass(frozen=True)
+class ParallelRunner:
+    """Deterministic fan-out of independent replay points across processes.
+
+    Each item is handed to a picklable top-level function in its own worker
+    process; results come back in submission order, so a parallel run is
+    indistinguishable from a serial one apart from wall time.  Seeds travel
+    *inside* the items (one deterministic seed per point), never through
+    process-global RNG state, which is what keeps ``n_jobs`` out of the
+    simulated outcomes.
+
+    Args:
+        n_jobs: worker processes. ``1`` (the default) runs inline with no
+            pool at all; ``None`` or ``0`` uses every available core.
+    """
+
+    n_jobs: Optional[int] = 1
+
+    @property
+    def effective_jobs(self) -> int:
+        """The concrete worker count after resolving ``None``/``0``."""
+        if not self.n_jobs:
+            return os.cpu_count() or 1
+        return max(1, int(self.n_jobs))
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, preserving order.
+
+        Runs inline when one job (or fewer than two items) makes a pool
+        pointless; otherwise fans out over a ``ProcessPoolExecutor``.
+        """
+        work = list(items)
+        jobs = min(self.effective_jobs, len(work))
+        if jobs <= 1:
+            return [fn(item) for item in work]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(fn, work))
+
+
+def _resolve_runner(runner: Optional[ParallelRunner], n_jobs: Optional[int]) -> ParallelRunner:
+    if runner is not None:
+        return runner
+    return ParallelRunner(n_jobs=n_jobs)
 
 
 def measure_design(
@@ -138,24 +192,52 @@ def capacity_estimate(deployment: Deployment, workload: WorkloadConfig) -> float
     return total
 
 
+def _measure_point(args: Tuple[Deployment, WorkloadConfig, float, int]) -> DesignPointResult:
+    """Picklable worker: one (deployment, workload, rate, seed) replay."""
+    deployment, workload, rate, seed = args
+    return measure_design(deployment, workload, rate, seed=seed)
+
+
+def point_seed(seed: int, index: int, seed_stride: int = 0) -> int:
+    """Deterministic per-point seed of the ``index``-th replay point.
+
+    With the default stride of 0 every point replays the same seeded trace
+    (the historical behaviour, which keeps curves comparable point to
+    point); a non-zero stride decorrelates the points.  Either way the seed
+    is a pure function of (base seed, point index), so fanning points across
+    processes cannot change any result.
+    """
+    return seed + index * seed_stride
+
+
 def sweep_rates(
     deployment: Deployment,
     workload: WorkloadConfig,
     rates: Sequence[float],
     seed: int = 0,
+    seed_stride: int = 0,
+    n_jobs: Optional[int] = 1,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[ThroughputLatencyPoint]:
-    """Measure the design at each offered rate (the Figure 11 curves)."""
-    points = []
-    for rate in rates:
-        result = measure_design(deployment, workload, rate, seed=seed)
-        points.append(
-            ThroughputLatencyPoint(
-                rate_qps=rate,
-                throughput_qps=result.throughput_qps,
-                p95_latency=result.p95_latency,
-            )
+    """Measure the design at each offered rate (the Figure 11 curves).
+
+    The points are independent full-trace replays, so they parallelise
+    perfectly: pass ``n_jobs`` (or a shared :class:`ParallelRunner`) to
+    spread them across cores.  Results are identical for any ``n_jobs``.
+    """
+    tasks = [
+        (deployment, workload, rate, point_seed(seed, index, seed_stride))
+        for index, rate in enumerate(rates)
+    ]
+    results = _resolve_runner(runner, n_jobs).map(_measure_point, tasks)
+    return [
+        ThroughputLatencyPoint(
+            rate_qps=rate,
+            throughput_qps=result.throughput_qps,
+            p95_latency=result.p95_latency,
         )
-    return points
+        for rate, result in zip(rates, results)
+    ]
 
 
 def latency_bounded_throughput(
@@ -166,8 +248,16 @@ def latency_bounded_throughput(
     iterations: int = 9,
     relative_tolerance: float = 0.02,
     seed: int = 0,
+    max_expansions: int = 6,
 ) -> DesignPointResult:
     """Find the highest arrival rate whose p95 latency stays under the bound.
+
+    The search is a *bracketed* bisection: the upper end of the bracket is
+    measured first and exponentially expanded (rate doubling, up to
+    ``max_expansions`` times) while it still satisfies the bound, so a
+    design that outperforms its capacity estimate is never silently capped.
+    Only once a genuinely violating rate brackets the answer does the
+    bisection begin.
 
     Args:
         deployment: the design point to evaluate.
@@ -175,11 +265,13 @@ def latency_bounded_throughput(
         latency_bound: p95 latency bound in seconds; defaults to the
             workload's target model's derived SLA (the paper's vertical
             lines).
-        max_rate: upper bracket of the search; defaults to twice the
+        max_rate: initial upper bracket of the search; defaults to twice the
             capacity estimate.
         iterations: number of bisection steps.
         relative_tolerance: stop early once the bracket is this tight.
         seed: trace generation / simulation seed.
+        max_expansions: rate doublings allowed while the upper bracket still
+            meets the bound.
 
     Returns:
         The measurement at the highest sustainable rate found.  If even a
@@ -204,6 +296,23 @@ def latency_bounded_throughput(
         return low_result
 
     best = low_result
+    # Bracket: make sure `high` actually violates the bound, expanding the
+    # probe exponentially while it does not.  ``max_expansions=0`` skips the
+    # verification and bisects straight against the given ceiling.
+    for _ in range(max_expansions):
+        high_result = measure_design(deployment, workload, high, seed=seed)
+        if high_result.p95_latency > bound:
+            break
+        best = high_result
+        low = high
+        high *= 2.0
+    else:
+        if max_expansions > 0:
+            # Never found a violating rate: the design sustains everything
+            # we were willing to probe; report the highest sustained
+            # measurement.
+            return best
+
     for _ in range(iterations):
         if (high - low) <= relative_tolerance * high:
             break

@@ -24,6 +24,7 @@ would want when no SLA is defined.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import List, Mapping, Optional
 
 from repro.core.slack import SlackEstimator
@@ -69,18 +70,46 @@ class ElsaScheduler(Scheduler):
     def on_arrival(
         self, query: Query, context: SchedulingContext
     ) -> Optional[PartitionWorker]:
-        predictions = self.predictions(query, context)
+        # Lean scoring loop for the replay hot path: same visit order, same
+        # float operations and same decisions as walking
+        # :meth:`predictions`, without constructing a SlackPrediction per
+        # (query, worker) pairing.  Arrivals dominate simulated time, and
+        # this method runs once per arrival against every worker.
+        estimator = self.estimator
+        oracle = estimator.estimator  # memoized T_estimated lookup
+        now = context.now
+        model, batch = query.model, query.batch
+        sign = 1 if self.prefer_smallest else -1
+        rows = [
+            (
+                sign * worker.gpcs,
+                worker.estimated_wait(now, oracle),
+                worker.instance_id,
+                worker,
+            )
+            for worker in context.workers
+        ]
+        rows.sort(key=itemgetter(0, 1, 2))
 
-        if query.sla_target is not None:
+        sla = query.sla_target
+        if sla is not None:
             # Step A: smallest partition that still satisfies the SLA.
-            for prediction, worker in predictions:
-                if prediction.satisfies_sla:
+            alpha, beta = estimator.alpha, estimator.beta
+            for _, wait, _, worker in rows:
+                execution = oracle(model, batch, worker.gpcs)
+                if sla - alpha * (wait + beta * execution) > 0.0:
                     return worker
 
         # Step B: no partition satisfies the SLA (or the query carries no
         # SLA): pick the partition that completes the query the fastest.
-        best = min(predictions, key=lambda pw: (pw[0].completion_time, pw[0].gpcs))
-        return best[1]
+        best_key = None
+        best_worker = None
+        for _, wait, _, worker in rows:
+            key = (wait + oracle(model, batch, worker.gpcs), worker.gpcs)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_worker = worker
+        return best_worker
 
     # ------------------------------------------------------------------ #
     # helpers

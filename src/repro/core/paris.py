@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.knee import DEFAULT_KNEE_THRESHOLD, derive_knees
 from repro.core.plan import BatchSegment, PartitionPlan
-from repro.perf.lookup import ProfileTable
+from repro.perf.lookup import CachedEstimator, ProfileTable
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,13 @@ class Paris:
 
     profile: ProfileTable
     config: ParisConfig = field(default_factory=ParisConfig)
+
+    def __post_init__(self) -> None:
+        # The online repartitioning loop re-runs plan() against every
+        # observed PDF; memoizing the throughput lookups means each distinct
+        # (batch, size) pair is interpolated once per Paris instance, not
+        # once per replan.
+        self._estimator = CachedEstimator({self.profile.model_name: self.profile})
 
     # ------------------------------------------------------------------ #
     # public API
@@ -136,7 +143,9 @@ class Paris:
             ratio = 0.0
             for batch, prob in pdf.items():
                 if low <= batch <= high and prob > 0:
-                    throughput = self.profile.throughput(gpcs, batch)
+                    throughput = self._estimator.throughput(
+                        self.profile.model_name, batch, gpcs
+                    )
                     if throughput <= 0:
                         raise ValueError(
                             f"profiled throughput for GPU({gpcs}) batch {batch} "

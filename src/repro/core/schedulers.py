@@ -46,11 +46,13 @@ class FifsScheduler(Scheduler):
         self.idle_preference = idle_preference
         self._seed = seed
         self._rng = np.random.default_rng(seed)
-        self._rr_cursor = 0
+        self._dispatch_clock = 0
+        self._last_pick: dict = {}
 
     def reset(self) -> None:
         self._rng = np.random.default_rng(self._seed)
-        self._rr_cursor = 0
+        self._dispatch_clock = 0
+        self._last_pick = {}
 
     def on_arrival(
         self, query: Query, context: SchedulingContext
@@ -75,10 +77,19 @@ class FifsScheduler(Scheduler):
             return max(idle, key=lambda w: (w.gpcs, -w.instance_id))
         if self.idle_preference == "random":
             return idle[int(self._rng.integers(len(idle)))]
-        # round robin over instance ids
-        ordered = sorted(idle, key=lambda w: w.instance_id)
-        chosen = ordered[self._rr_cursor % len(ordered)]
-        self._rr_cursor += 1
+        # Round robin over *instance ids*, not over the currently idle
+        # subset: the old ``ordered[cursor % len(ordered)]`` pick indexed the
+        # idle list directly, so the rotation skewed with the idle-set size
+        # and could starve high-id instances under load.  Dispatching the
+        # least-recently-dispatched idle instance (ids break ties, so a full
+        # idle set rotates 0, 1, 2, ... exactly) keeps every instance in the
+        # rotation whatever subset happens to be idle.
+        chosen = min(
+            idle,
+            key=lambda w: (self._last_pick.get(w.instance_id, -1), w.instance_id),
+        )
+        self._dispatch_clock += 1
+        self._last_pick[chosen.instance_id] = self._dispatch_clock
         return chosen
 
 

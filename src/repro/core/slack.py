@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
-from repro.perf.lookup import ProfileTable
+from repro.perf.lookup import CachedEstimator, ProfileTable
 from repro.sim.worker import PartitionWorker
 
 
@@ -83,6 +83,12 @@ class SlackEstimator:
         self.profiles[profile.model_name] = profile
         self.alpha = alpha
         self.beta = beta
+        # One persistent memoized oracle for every T_estimated lookup.  The
+        # stable identity matters as much as the memo: the partition workers
+        # cache their summed queued work per estimator object, so handing
+        # them the same callable on every poll is what makes ELSA's
+        # per-arrival scan O(workers) instead of O(workers x queue).
+        self.estimator = CachedEstimator(self.profiles, fallback=profile)
 
     def _table_for(self, model: Optional[str]) -> ProfileTable:
         if model is None:
@@ -93,13 +99,11 @@ class SlackEstimator:
         self, batch: int, gpcs: int, model: Optional[str] = None
     ) -> float:
         """``T_estimated`` of a query of ``batch`` samples on ``GPU(gpcs)``."""
-        return self._table_for(model).latency(gpcs, batch)
+        return self.estimator(model, batch, gpcs)
 
     def wait_time(self, worker: PartitionWorker, now: float) -> float:
         """``T_wait`` on ``worker`` at time ``now`` (Equation 1)."""
-        return worker.estimated_wait(
-            now, lambda model, batch, gpcs: self._table_for(model).latency(gpcs, batch)
-        )
+        return worker.estimated_wait(now, self.estimator)
 
     def predict(
         self,

@@ -327,12 +327,15 @@ class ClusterSpec:
         gpc_budget: GPCs the partitioner may use (``None`` = full server).
         architecture: reconfigurable GPU architecture.
         frontend_capacity_qps: dispatch capacity of the serving frontend.
+        fast_path: run simulators on the optimised (bit-identical) replay
+            loop; disable only to time the naive reference path.
     """
 
     num_gpus: int = 8
     gpc_budget: Optional[int] = None
     architecture: GPUArchitecture = A100
     frontend_capacity_qps: Optional[float] = None
+    fast_path: bool = True
 
     def flat_overrides(self) -> Dict[str, Any]:
         return {
@@ -340,6 +343,7 @@ class ClusterSpec:
             "gpc_budget": self.gpc_budget,
             "architecture": self.architecture,
             "frontend_capacity_qps": self.frontend_capacity_qps,
+            "fast_path": self.fast_path,
         }
 
 

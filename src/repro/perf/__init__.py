@@ -24,7 +24,7 @@ substitution faithful: PARIS and ELSA only ever see the table.
 
 from repro.perf.roofline import RooflineParameters, LayerCost, layer_cost
 from repro.perf.latency_model import LatencyModel, QueryCost
-from repro.perf.lookup import ProfileEntry, ProfileTable
+from repro.perf.lookup import CachedEstimator, ProfileEntry, ProfileTable
 from repro.perf.profiler import Profiler, profile_model
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "layer_cost",
     "LatencyModel",
     "QueryCost",
+    "CachedEstimator",
     "ProfileEntry",
     "ProfileTable",
     "Profiler",

@@ -10,7 +10,16 @@ mirroring the paper's software structure.
 Batch sizes that were not profiled are answered by linear interpolation
 between the two nearest profiled batch sizes (and by extrapolation of the
 last segment above the largest profiled batch), which is how serving systems
-with per-batch profiles handle odd batch sizes in practice.
+with per-batch profiles handle odd batch sizes in practice.  Extrapolated
+values are floored so a negative profiled slope can never drive the estimate
+to zero or below (a zero latency would report infinite throughput and crash
+the execution model mid-simulation).
+
+:class:`CachedEstimator` wraps one table per model behind the simulator's
+``(model, batch, gpcs) -> seconds`` oracle signature and memoizes every
+answer; it is the hot-path entry point shared by the partition workers,
+ELSA's slack predictor and PARIS, so each distinct lookup is interpolated at
+most once per run.
 """
 
 from __future__ import annotations
@@ -18,7 +27,9 @@ from __future__ import annotations
 import json
 from bisect import bisect_left
 from dataclasses import dataclass, asdict
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,7 @@ class ProfileTable:
         self._batches: Dict[int, List[int]] = {
             gpcs: sorted(row) for gpcs, row in self._data.items()
         }
+        self._array_cache: Dict[int, Dict[str, Tuple]] = {}
 
     # ------------------------------------------------------------------ #
     # basic introspection
@@ -115,7 +127,8 @@ class ProfileTable:
         idx = bisect_left(batches, batch)
         if idx == 0:
             return getattr(row[batches[0]], field)
-        if idx == len(batches):
+        extrapolated = idx == len(batches)
+        if extrapolated:
             # extrapolate using the slope of the last profiled segment
             if len(batches) == 1:
                 return getattr(row[batches[0]], field)
@@ -125,7 +138,62 @@ class ProfileTable:
         v0, v1 = getattr(row[b0], field), getattr(row[b1], field)
         slope = (v1 - v0) / (b1 - b0)
         value = v0 + slope * (batch - b0)
+        if extrapolated:
+            # A negative profiled slope must never extrapolate to zero or
+            # below: floor at the last profiled value decaying harmonically
+            # toward (but never reaching) zero, so latency stays strictly
+            # positive and throughput finite however far past the profile a
+            # query lands.
+            return max(value, v1 * (b1 / batch))
         return max(0.0, value)
+
+    def interp_array(
+        self, gpcs: int, batches: "np.ndarray", field: str = "latency_s"
+    ) -> "np.ndarray":
+        """Vectorised :meth:`_interp` over an array of batch sizes.
+
+        Elementwise bit-identical to the scalar accessors (same IEEE
+        operations in the same order), so cached/vectorised consumers can be
+        validated against — and mixed freely with — scalar lookups.
+
+        Args:
+            gpcs: partition size to query.
+            batches: integer batch sizes (each >= 1), any shape.
+            field: profiled field to interpolate (``latency_s`` by default).
+
+        Returns:
+            A float array of ``batches``' shape with the estimated values.
+        """
+        self._check_gpcs(gpcs)
+        query = np.asarray(batches, dtype=np.int64)
+        if query.size and int(query.min()) < 1:
+            raise ValueError("batch sizes must be >= 1")
+        xs, vs = self._field_arrays(gpcs, field)
+        if xs.size == 1:
+            return np.full(query.shape, vs[0], dtype=float)
+        pos = np.searchsorted(xs, query)
+        hi = np.clip(pos, 1, xs.size - 1)
+        b0, b1 = xs[hi - 1], xs[hi]
+        v0, v1 = vs[hi - 1], vs[hi]
+        slope = (v1 - v0) / (b1 - b0)
+        value = v0 + slope * (query - b0)
+        extrapolated = pos == xs.size
+        floor = np.where(extrapolated, vs[-1] * (xs[-1] / query), 0.0)
+        value = np.maximum(value, floor)
+        exact = xs[np.minimum(pos, xs.size - 1)] == query
+        value = np.where(exact, vs[np.minimum(pos, xs.size - 1)], value)
+        return np.where(pos == 0, vs[0], value)
+
+    def _field_arrays(self, gpcs: int, field: str) -> Tuple["np.ndarray", "np.ndarray"]:
+        cache = self._array_cache.setdefault(gpcs, {})
+        if field not in cache:
+            batches = self._batches[gpcs]
+            row = self._data[gpcs]
+            cache[field] = (
+                np.asarray(batches, dtype=np.int64),
+                np.asarray([getattr(row[b], field) for b in batches], dtype=float),
+            )
+        return cache[field]
 
     def _check_gpcs(self, gpcs: int) -> None:
         if gpcs not in self._data:
@@ -181,4 +249,97 @@ class ProfileTable:
         return (
             f"ProfileTable(model={self.model_name!r}, partitions="
             f"{self.partition_sizes}, max_batch={self.max_batch})"
+        )
+
+
+class CachedEstimator:
+    """Memoized multi-model latency oracle over profiled lookup tables.
+
+    The simulator's replay loop, ELSA's slack predictor and PARIS's segment
+    derivation all ask the same question — *how long does (model, batch)
+    take on GPU(gpcs)?* — thousands of times per run, for a small set of
+    distinct keys.  This wrapper answers each distinct key once through
+    :meth:`ProfileTable.latency` and serves every repeat from a dictionary,
+    so the interpolation cost disappears from the hot path while the values
+    stay bit-identical to uncached lookups.
+
+    Instances are callables with the ``LatencyFn`` signature
+    ``(model, batch, gpcs) -> seconds`` and are safe to share between the
+    workers, the scheduler and the analysis layer of one run (the memo only
+    ever holds pure functions of the underlying tables).
+
+    Args:
+        profiles: profiled lookup tables keyed by model name.
+        fallback: table used for models absent from ``profiles`` (e.g. the
+            primary model's table, mirroring
+            :class:`~repro.core.slack.SlackEstimator` semantics).  Without a
+            fallback, unknown models raise ``KeyError``.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[str, ProfileTable],
+        fallback: Optional[ProfileTable] = None,
+    ) -> None:
+        if not profiles and fallback is None:
+            raise ValueError("CachedEstimator requires at least one profile table")
+        self._tables: Dict[str, ProfileTable] = dict(profiles)
+        self._fallback = fallback
+        self._memo: Dict[Tuple[Optional[str], int, int], float] = {}
+
+    @property
+    def models(self) -> List[str]:
+        """Model names with a dedicated profile table, sorted."""
+        return sorted(self._tables)
+
+    def table_for(self, model: Optional[str]) -> ProfileTable:
+        """The profile table answering queries for ``model``.
+
+        Raises:
+            KeyError: when the model has no table and no fallback is set.
+        """
+        table = self._tables.get(model, self._fallback)
+        if table is None:
+            raise KeyError(
+                f"model {model!r} has no profile table; profiled models: "
+                f"{sorted(self._tables)}"
+            )
+        return table
+
+    def __call__(self, model: Optional[str], batch: int, gpcs: int) -> float:
+        """Estimated latency in seconds of (``model``, ``batch``) on ``GPU(gpcs)``."""
+        key = (model, batch, gpcs)
+        memo = self._memo
+        value = memo.get(key)
+        if value is None:
+            value = self.table_for(model).latency(gpcs, batch)
+            memo[key] = value
+        return value
+
+    #: Alias so the callable also reads naturally as a named method.
+    latency = __call__
+
+    def throughput(self, model: Optional[str], batch: int, gpcs: int) -> float:
+        """Estimated steady-state queries/sec (``1 / latency``, memoized)."""
+        latency = self(model, batch, gpcs)
+        return 1.0 / latency if latency > 0 else 0.0
+
+    def batch_latencies(
+        self, model: Optional[str], gpcs: int, batches: "np.ndarray"
+    ) -> "np.ndarray":
+        """Vectorised latency estimates for an array of batch sizes.
+
+        Elementwise bit-identical to calling the estimator per batch (see
+        :meth:`ProfileTable.interp_array`).
+        """
+        return self.table_for(model).interp_array(gpcs, batches, "latency_s")
+
+    def cache_info(self) -> Dict[str, int]:
+        """Size of the memo (diagnostics for benchmarks and tests)."""
+        return {"entries": len(self._memo)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CachedEstimator(models={self.models}, "
+            f"fallback={self._fallback.model_name if self._fallback else None!r})"
         )

@@ -175,6 +175,7 @@ class ServerBuilder:
         gpc_budget: Optional[int] = None,
         architecture: Optional[GPUArchitecture] = None,
         frontend_capacity_qps: Optional[float] = None,
+        fast_path: Optional[bool] = None,
     ) -> "ServerBuilder":
         """Configure the physical server shape; omitted knobs keep their
         :class:`~repro.core.specs.ClusterSpec` defaults."""
@@ -185,6 +186,7 @@ class ServerBuilder:
                 ("gpc_budget", gpc_budget),
                 ("architecture", architecture),
                 ("frontend_capacity_qps", frontend_capacity_qps),
+                ("fast_path", fast_path),
             )
             if value is not None
         }

@@ -34,12 +34,13 @@ entirely, so the one-shot replay loop costs the same as before it existed.
 from __future__ import annotations
 
 import dataclasses
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.gpu.partition import PartitionInstance
-from repro.perf.lookup import ProfileTable
+from repro.perf.lookup import CachedEstimator, ProfileTable
 from repro.sim.engine import EventQueue, SimulationClock
 from repro.sim.events import EventKind
 from repro.sim.hooks import (
@@ -159,6 +160,13 @@ class InferenceServerSimulator:
             GPU workers outpace it; ``None`` disables the limit.
         observers: lifecycle-event observers (:mod:`repro.sim.hooks`); more
             can be attached later with :meth:`add_observer`.
+        fast_path: enable the optimised replay loop — a memoized
+            :class:`~repro.perf.lookup.CachedEstimator`, incrementally
+            maintained queued-work totals, an indexed idle-worker set and
+            copy-free scheduling contexts.  Simulated outcomes are
+            bit-identical either way (pinned by the replay benchmark); the
+            naive path exists as the reference for that contract and for
+            speed comparisons.
     """
 
     def __init__(
@@ -170,6 +178,7 @@ class InferenceServerSimulator:
         seed: int = 0,
         frontend_capacity_qps: Optional[float] = None,
         observers: Sequence[SimulationObserver] = (),
+        fast_path: bool = True,
     ) -> None:
         if not instances:
             raise ValueError("simulator requires at least one partition instance")
@@ -185,6 +194,13 @@ class InferenceServerSimulator:
         self._seed = seed
         self._observers: List[SimulationObserver] = list(observers)
         self._dispatch_table = build_dispatch_table(self._observers)
+        self._fast = bool(fast_path)
+        self._estimator: Optional[CachedEstimator] = (
+            CachedEstimator(self.profiles) if self._fast else None
+        )
+        #: The latency oracle handed to workers and scheduling contexts; one
+        #: persistent object so the workers' queued-work caches can key on it.
+        self._latency_fn = self._estimator if self._fast else self.estimate_latency
         self.workers: List[PartitionWorker] = []
         self._active = False
         self._build_workers()
@@ -197,9 +213,10 @@ class InferenceServerSimulator:
         self.workers = [
             PartitionWorker(
                 instance=instance,
-                latency_fn=self.estimate_latency,
+                latency_fn=self._latency_fn,
                 noise_std=self._noise,
                 seed=self._seed + idx,
+                queued_work_cache=self._fast,
             )
             for idx, instance in enumerate(self._instances)
         ]
@@ -209,6 +226,15 @@ class InferenceServerSimulator:
         self._clock = SimulationClock()
         self._events = EventQueue()
         self._central_queue: Deque[Query] = deque()
+        self._events_processed = 0
+        # Indexed idle-worker set (fast path): sorted (gpcs, instance_id)
+        # keys mirror the workers-list ordering, so idle snapshots match what
+        # a full scan would produce.
+        self._idle_keys: List[Tuple[int, int]] = []
+        self._idle_map: Dict[Tuple[int, int], PartitionWorker] = {}
+        if self._fast:
+            for worker in self.workers:
+                self._mark_idle(worker)
         self._frontend_gap = (
             1.0 / self.frontend_capacity_qps if self.frontend_capacity_qps else 0.0
         )
@@ -227,6 +253,47 @@ class InferenceServerSimulator:
         self._observers.append(observer)
         self._dispatch_table = build_dispatch_table(self._observers)
 
+    # ------------------------------------------------------------------ #
+    # indexed idle-worker set (fast path)
+    # ------------------------------------------------------------------ #
+    def _mark_idle(self, worker: PartitionWorker) -> None:
+        if not self._fast:
+            return
+        key = (worker.gpcs, worker.instance_id)
+        if key not in self._idle_map:
+            self._idle_map[key] = worker
+            insort(self._idle_keys, key)
+
+    def _mark_busy(self, worker: PartitionWorker) -> None:
+        if not self._fast:
+            return
+        key = (worker.gpcs, worker.instance_id)
+        if self._idle_map.pop(key, None) is not None:
+            keys = self._idle_keys
+            del keys[bisect_left(keys, key)]
+
+    def _idle_snapshot(self) -> Optional[Tuple[PartitionWorker, ...]]:
+        if not self._fast:
+            return None
+        idle_map = self._idle_map
+        return tuple(idle_map[key] for key in self._idle_keys)
+
+    def _make_context(self, now: float) -> SchedulingContext:
+        if self._fast:
+            # Hand the scheduler the live central queue (documented as
+            # read-only) and the maintained idle index instead of copying
+            # O(queue)+O(workers) state on every event.
+            central: Sequence[Query] = self._central_queue
+        else:
+            central = tuple(self._central_queue)
+        return SchedulingContext(
+            now=now,
+            workers=self.workers,
+            central_queue=central,
+            estimator=self._latency_fn,
+            idle=self._idle_snapshot(),
+        )
+
     def _handlers(self, event_type: type):
         """Bound handlers subscribed to ``event_type`` (empty tuple = skip
         constructing the event at all)."""
@@ -238,6 +305,8 @@ class InferenceServerSimulator:
         Raises:
             KeyError: if the model was not profiled.
         """
+        if self._estimator is not None:
+            return self._estimator(model, batch, gpcs)
         if model not in self.profiles:
             raise KeyError(
                 f"model {model!r} has no profile table; profiled models: "
@@ -278,6 +347,18 @@ class InferenceServerSimulator:
     def pending_events(self) -> int:
         """Number of simulation events not yet processed."""
         return len(self._events)
+
+    @property
+    def events_processed(self) -> int:
+        """Simulation events processed since the run opened (arrivals,
+        completions and reconfigurations — the replay benchmark's
+        events/sec denominator)."""
+        return self._events_processed
+
+    @property
+    def fast_path(self) -> bool:
+        """Whether the optimised replay loop is enabled."""
+        return self._fast
 
     @property
     def reconfiguring(self) -> bool:
@@ -471,8 +552,7 @@ class InferenceServerSimulator:
         self._central_queue.clear()
         drain_deadline = now
         for worker in self.workers:
-            while worker.queue:
-                query = worker.queue.popleft()
+            for query in worker.drain_queue():
                 query.dispatch_time = None
                 query.instance_id = None
                 for handler in requeue_handlers:
@@ -480,7 +560,15 @@ class InferenceServerSimulator:
                 requeued.append(query)
             if worker.current_finish_time is not None:
                 drain_deadline = max(drain_deadline, worker.current_finish_time)
+                # A busy worker stays accountable until its in-flight query
+                # drains; an idle one retires the moment the swap starts.
+                worker.retired_at = worker.current_finish_time
+            else:
+                worker.retired_at = now
             self._draining_ids.add(worker.instance_id)
+        # No partition accepts work during the swap: empty the idle index.
+        self._idle_keys.clear()
+        self._idle_map.clear()
 
         # Renumber the new instances so ids stay unique across generations
         # (per-instance statistics and completion events never collide).
@@ -493,9 +581,10 @@ class InferenceServerSimulator:
         new_workers = [
             PartitionWorker(
                 instance=instance,
-                latency_fn=self.estimate_latency,
+                latency_fn=self._latency_fn,
                 noise_std=self._noise,
                 seed=self._seed + instance.instance_id,
+                queued_work_cache=self._fast,
             )
             for instance in renumbered
         ]
@@ -523,6 +612,9 @@ class InferenceServerSimulator:
         )
         self.workers = new_workers
         self._workers_by_id = {w.instance_id: w for w in new_workers}
+        for worker in new_workers:
+            worker.created_at = now
+            self._mark_idle(worker)
         self._draining_ids.clear()
         self._staged = None
         record = ReconfigurationRecord(
@@ -563,6 +655,7 @@ class InferenceServerSimulator:
     # ------------------------------------------------------------------ #
     def _process(self, event) -> None:
         self._clock.advance_to(event.time)
+        self._events_processed += 1
         now = self._clock.now
         kind = event.kind
         if kind is EventKind.ARRIVAL:
@@ -587,13 +680,7 @@ class InferenceServerSimulator:
                     )
                     return
                 self._frontend_available = now + self._frontend_gap
-            context = SchedulingContext(
-                now=now,
-                workers=self.workers,
-                central_queue=tuple(self._central_queue),
-                estimator=self.estimate_latency,
-            )
-            self._handle_arrival(event.query, context, now)
+            self._handle_arrival(event.query, self._make_context(now), now)
         elif kind is EventKind.COMPLETION:
             self._handle_completion(event, now)
         else:
@@ -638,17 +725,21 @@ class InferenceServerSimulator:
             )
             return
 
+        # The worker is now fully idle; index it before consulting the
+        # scheduler so the context's idle view matches a full scan.
+        self._mark_idle(worker)
+
         # Otherwise offer the idle worker a query from the central queue.
         if self._central_queue:
-            context = SchedulingContext(
-                now=now,
-                workers=self.workers,
-                central_queue=tuple(self._central_queue),
-                estimator=self.estimate_latency,
-            )
-            pulled = self.scheduler.on_worker_idle(worker, context)
+            pulled = self.scheduler.on_worker_idle(worker, self._make_context(now))
             if pulled is not None:
-                self._central_queue.remove(pulled)
+                queue = self._central_queue
+                if queue[0] is pulled:
+                    # FIFO drain is the overwhelmingly common case; popping
+                    # the head avoids an O(queue) scan-and-remove.
+                    queue.popleft()
+                else:
+                    queue.remove(pulled)
                 self._dispatch(worker, pulled, now)
                 return
         idle_handlers = self._handlers(WorkerIdle)
@@ -663,6 +754,7 @@ class InferenceServerSimulator:
         query: Query,
         now: float,
     ) -> None:
+        self._mark_busy(worker)
         worker.enqueue(query, now)
         dispatch_handlers = self._handlers(QueryDispatched)
         if dispatch_handlers:

@@ -154,8 +154,19 @@ def latency_statistics(
 def utilization_statistics(
     workers: Sequence[PartitionWorker], makespan: float
 ) -> UtilizationStatistics:
-    """Per-partition and aggregate utilization over ``[0, makespan]``."""
-    per_instance = {w.instance_id: w.utilization(makespan) for w in workers}
+    """Per-partition and aggregate utilization.
+
+    Each worker's busy time is normalised by its *own* active span
+    (:meth:`~repro.sim.worker.PartitionWorker.active_span`), not the full
+    run makespan: after a live repartition, retired workers only existed for
+    a prefix of the run and new-generation workers only for a suffix, and
+    dividing either's busy time by the whole makespan would systematically
+    understate utilization.  For runs without a reconfiguration every span
+    equals the makespan and the statistics are unchanged.
+    """
+    per_instance = {
+        w.instance_id: w.utilization(w.active_span(makespan)) for w in workers
+    }
     if not per_instance:
         return UtilizationStatistics({}, 0.0, 0.0)
     values = np.array(list(per_instance.values()))

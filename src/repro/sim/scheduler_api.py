@@ -39,15 +39,23 @@ class SchedulingContext:
         workers: all partition workers, sorted by ascending partition size
             then instance id (the iteration order ELSA's Step A expects).
         central_queue: read-only view of the queries currently parked in the
-            server-wide FIFO (relevant to central-queue policies).
+            server-wide FIFO (relevant to central-queue policies).  Must not
+            be mutated — the fast-path simulator shares its live queue here
+            instead of copying it per event.
         estimator: the profiled latency oracle (model, batch, gpcs) -> seconds,
             i.e. the ``T_estimated`` lookup of Section IV-C.
+        idle: the completely idle workers in ``workers`` order, maintained
+            incrementally by the fast-path simulator so policies need not
+            rescan every worker per event; ``None`` when the caller did not
+            precompute it (``Scheduler.idle_workers`` then falls back to a
+            scan, which yields the same list).
     """
 
     now: float
     workers: Sequence[PartitionWorker]
     central_queue: Sequence[Query]
     estimator: LatencyFn
+    idle: Optional[Sequence[PartitionWorker]] = None
 
 
 class Scheduler(abc.ABC):
@@ -85,7 +93,14 @@ class Scheduler(abc.ABC):
 
     @staticmethod
     def idle_workers(context: SchedulingContext) -> List[PartitionWorker]:
-        """Convenience: all completely idle workers, smallest partition first."""
+        """Convenience: all completely idle workers, smallest partition first.
+
+        Uses the simulator-maintained idle index when the context carries
+        one; otherwise scans every worker.  Both paths return the same
+        workers in the same order.
+        """
+        if context.idle is not None:
+            return list(context.idle)
         return [worker for worker in context.workers if worker.is_idle]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -36,6 +36,14 @@ class PartitionWorker:
             noise applied to execution times (0 = deterministic, the default;
             DNN inference latency is close to deterministic, Section IV-C).
         seed: RNG seed for the noise term.
+        queued_work_cache: cache the summed queued-work estimate between
+            queue mutations, so schedulers that poll every worker per arrival
+            (ELSA, least-loaded) pay O(1) instead of re-walking the queue.
+            The cached value is always a fresh left-to-right sum over the
+            queue, so it is bit-identical to an uncached scan.
+        created_at: simulation time this worker came online (0 for the
+            initial partition set; the reconfiguration completion time for
+            workers added by a live repartition).
     """
 
     def __init__(
@@ -44,6 +52,8 @@ class PartitionWorker:
         latency_fn: LatencyFn,
         noise_std: float = 0.0,
         seed: Optional[int] = None,
+        queued_work_cache: bool = True,
+        created_at: float = 0.0,
     ) -> None:
         if noise_std < 0:
             raise ValueError("noise_std must be non-negative")
@@ -57,6 +67,19 @@ class PartitionWorker:
         self.current_finish_time: Optional[float] = None
         self.busy_time = 0.0
         self.completed: List[Query] = []
+
+        #: Active-span bookkeeping for utilization accounting: a worker is
+        #: only accountable for the window it actually existed in.
+        self.created_at = created_at
+        self.retired_at: Optional[float] = None
+
+        self._qw_cache_enabled = queued_work_cache
+        self._qw_estimator: Optional[LatencyFn] = None
+        #: Per-query estimates (same order as ``queue``) under the current
+        #: estimator, so a recompute is a pure float sum with no lookups.
+        self._qw_estimates: Deque[float] = deque()
+        self._qw_total = 0.0
+        self._qw_dirty = True
 
     # ------------------------------------------------------------------ #
     # identity / state
@@ -109,7 +132,18 @@ class PartitionWorker:
         """Append ``query`` to this worker's local scheduling queue."""
         query.dispatch_time = now
         query.instance_id = self.instance_id
-        self.queue.append(query)
+        if self._qw_cache_enabled and self._qw_estimator is not None:
+            # Estimate before mutating, so an estimator error cannot leave
+            # the queue and its estimate cache out of sync.
+            estimate = self._qw_estimator(query.model, query.batch, self.gpcs)
+            self.queue.append(query)
+            self._qw_estimates.append(estimate)
+            if not self._qw_dirty:
+                # Appending on the right extends the cached left-to-right
+                # sum exactly (same fold order as a fresh scan).
+                self._qw_total += estimate
+        else:
+            self.queue.append(query)
 
     def start_next(self, now: float) -> Optional[float]:
         """Begin executing the head of the local queue, if idle and non-empty.
@@ -121,6 +155,9 @@ class PartitionWorker:
         if self.current_query is not None or not self.queue:
             return None
         query = self.queue.popleft()
+        if self._qw_estimates:
+            self._qw_estimates.popleft()
+        self._qw_dirty = True
         query.start_time = now
         duration = self.service_time(query)
         self.current_query = query
@@ -161,20 +198,65 @@ class PartitionWorker:
         return max(0.0, self.current_finish_time - now)
 
     def queued_work(self, estimator: LatencyFn) -> float:
-        """Summed estimated execution time of every queued (not started) query."""
-        return sum(
-            estimator(query.model, query.batch, self.gpcs) for query in self.queue
-        )
+        """Summed estimated execution time of every queued (not started) query.
+
+        With the queued-work cache enabled (the default) the sum is
+        recomputed only after the queue changed or when queried with a
+        different estimator object; schedulers that poll every worker per
+        arrival with one persistent estimator therefore pay O(1) here.
+        """
+        if not self._qw_cache_enabled:
+            return sum(
+                estimator(query.model, query.batch, self.gpcs) for query in self.queue
+            )
+        if estimator is not self._qw_estimator:
+            gpcs = self.gpcs
+            self._qw_estimates = deque(
+                estimator(query.model, query.batch, gpcs) for query in self.queue
+            )
+            self._qw_estimator = estimator
+            self._qw_total = sum(self._qw_estimates)
+            self._qw_dirty = False
+        elif self._qw_dirty:
+            # A fresh left-to-right sum over the cached per-query estimates:
+            # bit-identical to scanning the queue through the estimator.
+            self._qw_total = sum(self._qw_estimates)
+            self._qw_dirty = False
+        return self._qw_total
 
     def estimated_wait(self, now: float, estimator: LatencyFn) -> float:
         """ELSA's ``T_wait``: queued work plus remainder of the running query."""
         return self.queued_work(estimator) + self.remaining_execution_time(now)
+
+    def drain_queue(self) -> List[Query]:
+        """Remove and return every queued (not started) query, in order.
+
+        Used by live reconfiguration to pull un-started work back off a
+        retiring partition; keeps the queued-work cache consistent.
+        """
+        drained = list(self.queue)
+        self.queue.clear()
+        self._qw_estimates.clear()
+        self._qw_dirty = True
+        return drained
 
     def utilization(self, horizon: float) -> float:
         """Fraction of ``[0, horizon]`` this partition spent executing queries."""
         if horizon <= 0:
             return 0.0
         return min(1.0, self.busy_time / horizon)
+
+    def active_span(self, makespan: float) -> float:
+        """Wall-clock span this worker existed within ``[0, makespan]``.
+
+        Workers retired by a live repartition stop accruing (and stop being
+        accountable for) time at ``retired_at``; workers added by one only
+        start at ``created_at``.  Utilization statistics normalise busy time
+        by this span rather than the whole-run makespan, so a fully busy
+        worker that was retired halfway through a run still reports ~1.0.
+        """
+        end = makespan if self.retired_at is None else min(self.retired_at, makespan)
+        return max(0.0, end - self.created_at)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "busy" if self.is_executing else "idle"

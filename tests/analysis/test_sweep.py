@@ -3,9 +3,11 @@
 import pytest
 
 from repro.analysis.sweep import (
+    ParallelRunner,
     capacity_estimate,
     latency_bounded_throughput,
     measure_design,
+    point_seed,
     sweep_rates,
 )
 from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
@@ -150,3 +152,71 @@ class TestMultiModelSweep:
         assert result.sla_target == pytest.approx(
             multi_deployment.sla_target_for("mobilenet")
         )
+
+
+def double(value):
+    return 2 * value
+
+
+class TestParallelRunner:
+    def test_serial_map_preserves_order(self):
+        runner = ParallelRunner(n_jobs=1)
+        assert runner.map(double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_parallel_map_matches_serial(self):
+        work = list(range(8))
+        serial = ParallelRunner(n_jobs=1).map(double, work)
+        parallel = ParallelRunner(n_jobs=2).map(double, work)
+        assert parallel == serial
+
+    def test_none_and_zero_use_every_core(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert ParallelRunner(n_jobs=None).effective_jobs == cores
+        assert ParallelRunner(n_jobs=0).effective_jobs == cores
+
+    def test_single_item_runs_inline(self):
+        assert ParallelRunner(n_jobs=4).map(double, [21]) == [42]
+
+
+class TestPointSeeds:
+    def test_default_stride_keeps_points_comparable(self):
+        assert [point_seed(7, i) for i in range(4)] == [7, 7, 7, 7]
+
+    def test_stride_decorrelates_points_deterministically(self):
+        assert [point_seed(7, i, seed_stride=3) for i in range(4)] == [7, 10, 13, 16]
+
+
+class TestParallelSweep:
+    def test_results_identical_for_any_n_jobs(self, deployment, workload):
+        rates = [100.0, 400.0, 800.0]
+        serial = sweep_rates(deployment, workload, rates, seed=0, n_jobs=1)
+        parallel = sweep_rates(deployment, workload, rates, seed=0, n_jobs=2)
+        assert parallel == serial
+
+    def test_shared_runner_accepted(self, deployment, workload):
+        runner = ParallelRunner(n_jobs=2)
+        points = sweep_rates(deployment, workload, [100.0, 200.0], runner=runner)
+        assert [p.rate_qps for p in points] == [100.0, 200.0]
+
+
+class TestBracketedSearch:
+    def test_expands_past_an_undersized_ceiling(self, deployment, workload):
+        capacity = capacity_estimate(deployment, workload)
+        undersized = capacity / 16.0
+        result = latency_bounded_throughput(
+            deployment, workload, max_rate=undersized, iterations=5
+        )
+        # the old search could never answer above max_rate; the bracketed
+        # search doubles out of an undersized ceiling before bisecting
+        assert result.rate_qps > undersized
+        assert result.p95_latency <= deployment.sla_target
+
+    def test_zero_expansions_restores_trusted_ceiling(self, deployment, workload):
+        capacity = capacity_estimate(deployment, workload)
+        undersized = capacity / 16.0
+        result = latency_bounded_throughput(
+            deployment, workload, max_rate=undersized, iterations=5, max_expansions=0
+        )
+        assert result.rate_qps <= undersized

@@ -1,6 +1,7 @@
 """Unit tests for the ELSA scheduler (Algorithm 2)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.elsa import ElsaScheduler
 from repro.gpu.partition import GPUPartition, PartitionInstance
@@ -114,6 +115,53 @@ class TestStepB:
         scheduler = make_scheduler()
         chosen = scheduler.on_arrival(make_query(sla=None), make_context(workers))
         assert chosen.gpcs == 7
+
+
+class TestLeanArrivalMatchesPredictions:
+    """on_arrival's lean scoring loop must equal walking predictions().
+
+    The hot path inlines Algorithm 2 over plain tuples; this pins it to the
+    introspectable :meth:`ElsaScheduler.predictions` reference so a future
+    change to the slack formula cannot silently diverge the two.
+    """
+
+    @staticmethod
+    def reference_pick(scheduler, query, context):
+        predictions = scheduler.predictions(query, context)
+        if query.sla_target is not None:
+            for prediction, worker in predictions:
+                if prediction.satisfies_sla:
+                    return worker
+        best = min(predictions, key=lambda pw: (pw[0].completion_time, pw[0].gpcs))
+        return best[1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        backlog=st.lists(st.integers(0, 4), min_size=3, max_size=3),
+        batch=st.integers(1, 32),
+        sla=st.one_of(st.none(), st.floats(0.05, 30.0, allow_nan=False)),
+        alpha=st.floats(0.5, 2.5),
+        beta=st.floats(0.5, 2.5),
+        prefer_smallest=st.booleans(),
+        now=st.floats(0.0, 2.0, allow_nan=False),
+    )
+    def test_decisions_identical(
+        self, backlog, batch, sla, alpha, beta, prefer_smallest, now
+    ):
+        workers = make_workers()
+        for worker, queued in zip(workers, backlog):
+            for i in range(queued):
+                worker.enqueue(make_query(100 + i), 0.0)
+            if queued:
+                worker.start_next(0.0)
+        scheduler = make_scheduler(
+            alpha=alpha, beta=beta, prefer_smallest=prefer_smallest
+        )
+        query = make_query(batch=batch, sla=sla)
+        context = make_context(workers, now=now)
+        assert scheduler.on_arrival(query, context) is self.reference_pick(
+            scheduler, query, context
+        )
 
 
 class TestMisc:

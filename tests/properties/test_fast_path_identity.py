@@ -1,0 +1,171 @@
+"""Properties pinning the fast-path contract: speed never changes outcomes.
+
+Two families of invariants:
+
+* the memoized / vectorised estimator surfaces of
+  :class:`~repro.perf.lookup.CachedEstimator` agree **exactly** (``==`` on
+  floats, not approx) with uncached :class:`~repro.perf.lookup.ProfileTable`
+  lookups;
+* a replay on the optimised simulator path produces a **bit-identical**
+  :class:`~repro.sim.cluster.SimulationResult` to the naive reference path,
+  for every scheduler family and for seeded random traces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.elsa import ElsaScheduler
+from repro.core.schedulers import FifsScheduler, LeastLoadedScheduler
+from repro.perf.lookup import CachedEstimator, ProfileEntry, ProfileTable
+from repro.sim.cluster import InferenceServerSimulator
+from tests.sim.helpers import MODEL, constant_profile, make_instances, make_trace
+
+
+# --------------------------------------------------------------------------- #
+# estimator agreement
+# --------------------------------------------------------------------------- #
+@st.composite
+def profile_tables(draw):
+    """Random single-model tables with 1-3 partition sizes, 1-6 batches."""
+    sizes = draw(st.lists(st.integers(1, 7), min_size=1, max_size=3, unique=True))
+    entries = []
+    for gpcs in sizes:
+        batches = draw(
+            st.lists(st.integers(1, 64), min_size=1, max_size=6, unique=True)
+        )
+        for batch in batches:
+            latency = draw(
+                st.floats(1e-4, 10.0, allow_nan=False, allow_infinity=False)
+            )
+            entries.append(
+                ProfileEntry(
+                    gpcs=gpcs,
+                    batch=batch,
+                    latency_s=latency,
+                    utilization=draw(st.floats(0.0, 1.0)),
+                    throughput_qps=1.0 / latency,
+                )
+            )
+    return ProfileTable("prop", entries)
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=profile_tables(), batches=st.lists(st.integers(1, 96), min_size=1, max_size=12))
+def test_cached_estimator_matches_uncached_lookups(table, batches):
+    estimator = CachedEstimator({"prop": table})
+    for gpcs in table.partition_sizes:
+        for batch in batches:
+            expected = table.latency(gpcs, batch)
+            assert estimator("prop", batch, gpcs) == expected
+            # repeat: the memoized answer must stay exact
+            assert estimator("prop", batch, gpcs) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=profile_tables(), batches=st.lists(st.integers(1, 96), min_size=1, max_size=12))
+def test_vectorised_interpolation_matches_scalar(table, batches):
+    estimator = CachedEstimator({"prop": table})
+    query = np.asarray(batches, dtype=np.int64)
+    for gpcs in table.partition_sizes:
+        vectorised = estimator.batch_latencies("prop", gpcs, query)
+        scalar = np.asarray([table.latency(gpcs, b) for b in batches])
+        assert vectorised.shape == query.shape
+        assert (vectorised == scalar).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=profile_tables(), batch=st.integers(1, 200))
+def test_extrapolated_latency_stays_strictly_positive(table, batch):
+    for gpcs in table.partition_sizes:
+        assert table.latency(gpcs, batch) > 0.0
+        assert table.throughput(gpcs, batch) > 0.0
+
+
+# --------------------------------------------------------------------------- #
+# replay identity: optimised vs naive path
+# --------------------------------------------------------------------------- #
+LATENCIES = {1: 0.9, 3: 0.5, 7: 0.2}
+
+
+def query_signature(result):
+    return [
+        (q.query_id, q.dispatch_time, q.start_time, q.finish_time, q.instance_id)
+        for q in result.queries
+    ]
+
+
+def run_both_paths(scheduler_factory, trace, sizes=(1, 3, 7, 7), **kwargs):
+    results = []
+    for fast in (True, False):
+        simulator = InferenceServerSimulator(
+            instances=make_instances(sizes),
+            profiles={MODEL: constant_profile(LATENCIES)},
+            scheduler=scheduler_factory(),
+            fast_path=fast,
+            **kwargs,
+        )
+        results.append(simulator.run(trace))
+    return results
+
+
+def make_elsa(**kwargs):
+    return ElsaScheduler(profile=constant_profile(LATENCIES), **kwargs)
+
+
+SCHEDULER_FACTORIES = {
+    "fifs-round-robin": lambda: FifsScheduler("round_robin"),
+    "fifs-random": lambda: FifsScheduler("random", seed=7),
+    "fifs-smallest": lambda: FifsScheduler("smallest"),
+    "least-loaded": LeastLoadedScheduler,
+    "elsa": make_elsa,
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    spec=st.lists(
+        st.tuples(st.floats(0.0, 5.0, allow_nan=False), st.integers(1, 32)),
+        min_size=1,
+        max_size=40,
+    ),
+    policy=st.sampled_from(sorted(SCHEDULER_FACTORIES)),
+    sla=st.one_of(st.none(), st.floats(0.1, 5.0, allow_nan=False)),
+)
+def test_fast_and_naive_replays_are_bit_identical(spec, policy, sla):
+    trace = make_trace(sorted(spec, key=lambda s: s[0]), sla=sla)
+    fast, naive = run_both_paths(SCHEDULER_FACTORIES[policy], trace)
+    assert query_signature(fast) == query_signature(naive)
+    assert fast.statistics == naive.statistics
+    assert fast.per_instance_queries == naive.per_instance_queries
+
+
+@pytest.mark.parametrize("policy", sorted(SCHEDULER_FACTORIES))
+def test_fast_and_naive_agree_with_frontend_limit(policy):
+    trace = make_trace([(0.05 * i, 1 + i % 8) for i in range(60)], sla=1.5)
+    fast, naive = run_both_paths(
+        SCHEDULER_FACTORIES[policy], trace, frontend_capacity_qps=30.0
+    )
+    assert query_signature(fast) == query_signature(naive)
+    assert fast.statistics == naive.statistics
+
+
+def test_fast_and_naive_agree_across_live_reconfiguration():
+    """Streaming runs with a mid-run repartition stay bit-identical too."""
+    results = []
+    for fast in (True, False):
+        simulator = InferenceServerSimulator(
+            instances=make_instances((1, 7)),
+            profiles={MODEL: constant_profile(LATENCIES)},
+            scheduler=FifsScheduler(),
+            fast_path=fast,
+        )
+        simulator.begin()
+        simulator.submit_trace(make_trace([(0.1 * i, 2) for i in range(30)]))
+        simulator.run_until(1.0)
+        simulator.reconfigure(make_instances((3, 3)), reconfig_cost=0.5)
+        results.append(simulator.finish())
+    fast, naive = results
+    assert query_signature(fast) == query_signature(naive)
+    assert fast.statistics == naive.statistics
+    assert fast.reconfigurations == naive.reconfigurations

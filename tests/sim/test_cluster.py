@@ -150,3 +150,35 @@ class TestLinearProfiles:
         large = [q for q in result.queries if q.batch == 8][0]
         assert small.service_time == pytest.approx(0.5)
         assert large.service_time == pytest.approx(4.0)
+
+
+class TestFastPathBookkeeping:
+    def test_events_processed_counts_arrivals_and_completions(self):
+        simulator = make_simulator(sizes=(7,), latencies={7: 1.0})
+        trace = make_trace([(0.0, 1), (0.5, 1), (1.0, 1)])
+        simulator.run(trace)
+        assert simulator.events_processed == 6  # 3 arrivals + 3 completions
+
+    def test_fast_path_flag_exposed(self):
+        assert make_simulator().fast_path is True
+        assert make_simulator(fast_path=False).fast_path is False
+
+    def test_reconfigured_utilization_uses_active_spans(self):
+        """Fully busy worker retired halfway through the run reports ~1.0."""
+        simulator = make_simulator(sizes=(7,), latencies={7: 1.0})
+        simulator.begin()
+        # Keep the single GPU(7) worker busy back to back over [0, 5].
+        simulator.submit_trace(make_trace([(float(t), 1) for t in range(5)]))
+        simulator.run_until(5.0)
+        old_id = simulator.workers[0].instance_id
+        simulator.reconfigure(make_instances((7,)), reconfig_cost=1.0)
+        # New generation online at t=6; keep it busy over [6, 10].
+        for query in make_trace([(6.0 + t, 1) for t in range(4)]):
+            simulator.submit(query)
+        result = simulator.finish()
+        new_id = result.reconfigurations[0].new_instance_ids[0]
+        utilization = result.statistics.utilization.per_instance
+        assert result.statistics.makespan == pytest.approx(10.0)
+        assert utilization[old_id] == pytest.approx(1.0)
+        assert utilization[new_id] == pytest.approx(1.0)
+        assert result.statistics.utilization.mean == pytest.approx(1.0)

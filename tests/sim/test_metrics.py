@@ -71,6 +71,37 @@ class TestUtilizationStatistics:
         stats = utilization_statistics([], makespan=1.0)
         assert stats.mean == 0.0 and stats.per_instance == {}
 
+    def test_retired_worker_normalised_by_its_active_span(self):
+        """A fully busy worker retired halfway through the run reports ~1.0.
+
+        Regression: dividing by the whole-run makespan understated every
+        retired (and every late-created) worker after a live repartition.
+        """
+        retired = self.make_worker(0, 7, busy=5.0)
+        retired.retired_at = 5.0
+        stats = utilization_statistics([retired], makespan=10.0)
+        assert stats.per_instance[0] == pytest.approx(1.0)
+
+    def test_late_created_worker_normalised_by_its_active_span(self):
+        late = self.make_worker(1, 7, busy=2.0)
+        late.created_at = 6.0
+        stats = utilization_statistics([late], makespan=10.0)
+        assert stats.per_instance[1] == pytest.approx(0.5)
+
+    def test_mixed_generations_mean(self):
+        retired = self.make_worker(0, 1, busy=4.0)
+        retired.retired_at = 4.0
+        late = self.make_worker(1, 1, busy=3.0)
+        late.created_at = 4.0
+        stats = utilization_statistics([retired, late], makespan=10.0)
+        assert stats.per_instance == {0: pytest.approx(1.0), 1: pytest.approx(0.5)}
+        assert stats.mean == pytest.approx(0.75)
+
+    def test_full_span_workers_unchanged(self):
+        worker = self.make_worker(0, 7, busy=5.0)
+        stats = utilization_statistics([worker], makespan=10.0)
+        assert stats.per_instance[0] == pytest.approx(0.5)
+
 
 class TestComputeStatistics:
     def test_combined_record(self):

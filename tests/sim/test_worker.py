@@ -106,3 +106,108 @@ class TestServiceTime:
         instance = PartitionInstance(0, GPUPartition(1))
         with pytest.raises(ValueError):
             PartitionWorker(instance, latency_fn=lambda *a: 1.0, noise_std=-0.1)
+
+
+class CountingEstimator:
+    """A latency oracle that counts its invocations."""
+
+    def __init__(self, per_batch=0.5):
+        self.per_batch = per_batch
+        self.calls = 0
+
+    def __call__(self, model, batch, gpcs):
+        self.calls += 1
+        return self.per_batch * batch
+
+
+class TestQueuedWorkCache:
+    def uncached_sum(self, worker, estimator):
+        return sum(
+            estimator(q.model, q.batch, worker.gpcs) for q in worker.queue
+        )
+
+    def test_cached_value_matches_uncached_scan(self):
+        worker = make_worker()
+        estimator = CountingEstimator()
+        for i in range(5):
+            worker.enqueue(make_query(i, batch=i + 1), 0.0)
+        assert worker.queued_work(estimator) == self.uncached_sum(
+            worker, CountingEstimator()
+        )
+        worker.start_next(0.0)  # pops one query
+        assert worker.queued_work(estimator) == self.uncached_sum(
+            worker, CountingEstimator()
+        )
+
+    def test_repeat_polls_do_not_rescan(self):
+        worker = make_worker()
+        for i in range(4):
+            worker.enqueue(make_query(i), 0.0)
+        estimator = CountingEstimator()
+        first = worker.queued_work(estimator)
+        calls_after_first = estimator.calls
+        assert worker.queued_work(estimator) == first
+        assert estimator.calls == calls_after_first  # served from the cache
+
+    def test_enqueue_extends_cache_without_rescan(self):
+        worker = make_worker()
+        estimator = CountingEstimator()
+        worker.enqueue(make_query(0, batch=2), 0.0)
+        worker.queued_work(estimator)
+        calls_before = estimator.calls
+        worker.enqueue(make_query(1, batch=4), 0.0)
+        assert worker.queued_work(estimator) == pytest.approx(3.0)
+        # only the newly enqueued query was estimated
+        assert estimator.calls == calls_before + 1
+
+    def test_different_estimator_triggers_recompute(self):
+        worker = make_worker()
+        worker.enqueue(make_query(0, batch=2), 0.0)
+        fast = CountingEstimator(per_batch=0.5)
+        slow = CountingEstimator(per_batch=2.0)
+        assert worker.queued_work(fast) == pytest.approx(1.0)
+        assert worker.queued_work(slow) == pytest.approx(4.0)
+        assert worker.queued_work(fast) == pytest.approx(1.0)
+
+    def test_cache_disabled_rescans_every_time(self):
+        instance = PartitionInstance(0, GPUPartition(1))
+        worker = PartitionWorker(
+            instance, latency_fn=lambda *a: 1.0, queued_work_cache=False
+        )
+        estimator = CountingEstimator()
+        worker.enqueue(make_query(0), 0.0)
+        worker.queued_work(estimator)
+        worker.queued_work(estimator)
+        assert estimator.calls == 2
+
+    def test_drain_queue_returns_and_clears(self):
+        worker = make_worker()
+        estimator = CountingEstimator()
+        queries = [make_query(i) for i in range(3)]
+        for query in queries:
+            worker.enqueue(query, 0.0)
+        worker.queued_work(estimator)
+        assert worker.drain_queue() == queries
+        assert worker.queue_depth == 0
+        assert worker.queued_work(estimator) == 0.0
+
+
+class TestActiveSpan:
+    def test_defaults_to_full_makespan(self):
+        worker = make_worker()
+        assert worker.active_span(10.0) == pytest.approx(10.0)
+
+    def test_retired_worker_span_ends_at_retirement(self):
+        worker = make_worker()
+        worker.retired_at = 4.0
+        assert worker.active_span(10.0) == pytest.approx(4.0)
+
+    def test_late_created_worker_span_starts_at_creation(self):
+        instance = PartitionInstance(0, GPUPartition(1))
+        worker = PartitionWorker(instance, latency_fn=lambda *a: 1.0, created_at=6.0)
+        assert worker.active_span(10.0) == pytest.approx(4.0)
+
+    def test_span_clamped_to_makespan(self):
+        worker = make_worker()
+        worker.retired_at = 12.0
+        assert worker.active_span(10.0) == pytest.approx(10.0)

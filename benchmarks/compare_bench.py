@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Fail when replay events/sec regresses against a committed baseline.
+
+Used by the CI ``perf_smoke`` job: the smoke benchmark writes a fresh
+``BENCH_smoke.json`` and this script compares it to the committed one.
+
+Raw events/sec numbers are machine-dependent (CI runners differ wildly), so
+the compared quantity is the fast:naive events/sec ratio — the naive
+reference path, measured interleaved in the same process on the same
+machine, calibrates machine speed away.  A >``--max-regression`` drop in
+that ratio means the optimised path genuinely lost ground relative to the
+reference semantics, not that the runner was slow.
+
+Usage::
+
+    python benchmarks/compare_bench.py FRESH.json BASELINE.json \
+        [--max-regression 0.20]
+
+Exits non-zero on regression (or unreadable/mismatched inputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def normalized_events_per_sec(payload: dict, path: str) -> float:
+    """The machine-calibrated events/sec figure: fast relative to naive."""
+    try:
+        fast = float(payload["events_per_sec_fast"])
+        naive = float(payload["events_per_sec_naive"])
+    except KeyError as missing:
+        raise SystemExit(f"{path}: missing field {missing} — not a replay benchmark")
+    if naive <= 0:
+        raise SystemExit(f"{path}: non-positive naive events/sec")
+    return fast / naive
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="benchmark JSON produced by this run")
+    parser.add_argument("baseline", help="committed baseline benchmark JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop in normalised events/sec",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = normalized_events_per_sec(fresh, args.fresh)
+    reference = normalized_events_per_sec(baseline, args.baseline)
+    change = current / reference - 1.0
+
+    print(
+        f"normalised events/sec (fast/naive): current {current:.2f}x, "
+        f"baseline {reference:.2f}x, change {change:+.1%} "
+        f"(tolerance -{args.max_regression:.0%})"
+    )
+    print(
+        f"  raw fast: {fresh['events_per_sec_fast']:,.0f} ev/s now vs "
+        f"{baseline['events_per_sec_fast']:,.0f} ev/s at baseline "
+        "(raw numbers are machine-dependent; the ratio above is the gate)"
+    )
+    if change < -args.max_regression:
+        print("FAIL: optimised replay path regressed past the tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,27 @@
-"""Replay-speed benchmark: optimised hot path vs the naive reference path.
+"""Replay-speed benchmark: columnar hot path vs the naive reference path.
 
-The fast-path work (memoized ``CachedEstimator``, incrementally maintained
-queued-work totals, indexed idle-worker set, copy-free scheduling contexts)
-only counts if it (a) never changes simulated outcomes and (b) actually
-moves events/second.  This benchmark pins both on a fixed overloaded
-PARIS+ELSA workload — the regime the paper's latency-bounded-throughput
-searches spend most of their replays in:
+The fast-path work (tuple-keyed event heap, columnar per-query runtime state
+with zero-copy digestion, memoized ``CachedEstimator``, incrementally
+maintained queued-work totals, live idle-worker view, reused scheduling
+context) only counts if it (a) never changes simulated outcomes and
+(b) actually moves events/second.  This benchmark pins both on a fixed
+overloaded PARIS+ELSA workload — the regime the paper's
+latency-bounded-throughput searches spend most of their replays in:
 
 * the optimised replay must be **bit-identical** to the naive path (every
   query timestamp, every statistic);
 * the optimised path must process at least ``MIN_SPEEDUP``x the events/sec
   of the naive path;
-* a rate sweep fanned over ``ParallelRunner(n_jobs=2)`` must return results
-  identical to the serial sweep, and (on multi-core machines) take less
-  wall time.
+* a rate sweep over the warm ``ParallelRunner`` must return results
+  identical to the serial sweep; on multi-core machines the warm pool must
+  beat the serial sweep outright, and on single-core machines the
+  auto-fallback must keep it from *losing* to serial (the pre-warm-pool
+  pool respawned per call and re-pickled the deployment per point, making
+  ``n_jobs=2`` ~15% slower than serial on one core).
 
-Results land in ``BENCH_speed.json`` at the repository root.  The small
-``perf_smoke``-marked variant runs in CI on every push.
+Results land in ``BENCH_speed.json`` at the repository root; the small
+``perf_smoke``-marked variant runs in CI on every push and writes
+``BENCH_smoke.json`` for the baseline-comparison step.
 """
 
 import json
@@ -35,15 +40,16 @@ ROUNDS = 3
 #: re-attempted with fresh interleaved rounds when a loaded machine smears a
 #: measurement; a genuine regression fails every attempt
 ATTEMPTS = 3
-MIN_SPEEDUP = 3.0
+MIN_SPEEDUP = 8.0
 SMOKE_NUM_QUERIES = 1500
-SMOKE_MIN_SPEEDUP = 2.0
+SMOKE_MIN_SPEEDUP = 4.0
 
 SWEEP_POINTS = 4
 SWEEP_QUERIES = 2500
 SWEEP_JOBS = 2
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
+SMOKE_PATH = Path(__file__).resolve().parent.parent / "BENCH_smoke.json"
 
 
 def _pinned_workload(settings, deployment, num_queries):
@@ -109,14 +115,14 @@ def _run_gate(deployment, trace, min_speedup):
 
 
 def test_replay_speedup_and_bit_identity(settings):
-    """The headline gate: >= 3x events/sec, identical simulated outcomes."""
+    """The headline gate: >= 8x events/sec, identical simulated outcomes."""
     deployment = settings.build("mobilenet", "paris", "elsa")
     workload = _pinned_workload(settings, deployment, NUM_QUERIES)
     trace = QueryGenerator(workload).generate()
 
     speedup, fast_s, naive_s, events = _run_gate(deployment, trace, MIN_SPEEDUP)
 
-    # --- parallel sweep: identical results, wall time recorded ----------- #
+    # --- warm-pool sweep: identical results, wall time recorded --------- #
     sweep_workload = WorkloadConfig(
         model="mobilenet",
         rate_qps=1.0,
@@ -131,13 +137,22 @@ def test_replay_speedup_and_bit_identity(settings):
     serial_points = sweep_rates(deployment, sweep_workload, rates, n_jobs=1)
     sweep_serial_s = time.perf_counter() - start
 
-    start = time.perf_counter()
-    parallel_points = sweep_rates(deployment, sweep_workload, rates, n_jobs=SWEEP_JOBS)
-    sweep_parallel_s = time.perf_counter() - start
+    # The runner the analysis layer would use: warm pool on multi-core
+    # machines, automatic serial fallback on one core.
+    with ParallelRunner(n_jobs=SWEEP_JOBS) as runner:
+        start = time.perf_counter()
+        cold_points = sweep_rates(deployment, sweep_workload, rates, runner=runner)
+        sweep_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_points = sweep_rates(deployment, sweep_workload, rates, runner=runner)
+        sweep_warm_s = time.perf_counter() - start
+        spawned = runner.warm
 
-    assert parallel_points == serial_points, "n_jobs changed sweep results"
+    assert cold_points == serial_points, "n_jobs changed sweep results"
+    assert warm_points == serial_points, "warm pool changed sweep results"
 
     cpu_count = os.cpu_count() or 1
+    parallel_speedup = sweep_serial_s / sweep_warm_s
     payload = {
         "benchmark": "replay_speed",
         "model": "mobilenet",
@@ -158,8 +173,10 @@ def test_replay_speedup_and_bit_identity(settings):
             "num_queries": SWEEP_QUERIES,
             "n_jobs": SWEEP_JOBS,
             "serial_s": sweep_serial_s,
-            "parallel_s": sweep_parallel_s,
-            "parallel_speedup": sweep_serial_s / sweep_parallel_s,
+            "parallel_cold_s": sweep_cold_s,
+            "parallel_warm_s": sweep_warm_s,
+            "parallel_speedup": parallel_speedup,
+            "pool_spawned": spawned,
             "cpu_count": cpu_count,
             "results_identical": True,
         },
@@ -171,20 +188,42 @@ def test_replay_speedup_and_bit_identity(settings):
         f"(bound {MIN_SPEEDUP}x); see {BENCH_PATH.name}"
     )
     if cpu_count >= 2:
-        # with real cores available the fan-out must actually pay for itself
-        assert sweep_parallel_s < sweep_serial_s, (
-            f"parallel sweep ({sweep_parallel_s:.2f}s) did not beat the "
+        # with real cores available the warm fan-out must pay for itself
+        assert parallel_speedup > 1.0, (
+            f"warm parallel sweep ({sweep_warm_s:.2f}s) did not beat the "
             f"serial sweep ({sweep_serial_s:.2f}s) on {cpu_count} cores"
         )
 
 
 @pytest.mark.perf_smoke
 def test_replay_speedup_smoke(settings):
-    """CI smoke gate: small trace, same identity contract, relaxed bound."""
+    """CI smoke gate: small trace, same identity contract, relaxed bound.
+
+    Writes ``BENCH_smoke.json`` so the CI compare step can judge events/sec
+    against the committed ``BENCH_speed.json`` baseline (normalised by the
+    naive path, which calibrates away machine-speed differences).
+    """
     deployment = settings.build("mobilenet", "paris", "elsa")
     workload = _pinned_workload(settings, deployment, SMOKE_NUM_QUERIES)
     trace = QueryGenerator(workload).generate()
-    speedup, _, _, _ = _run_gate(deployment, trace, SMOKE_MIN_SPEEDUP)
+    speedup, fast_s, naive_s, events = _run_gate(deployment, trace, SMOKE_MIN_SPEEDUP)
+    SMOKE_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "replay_speed_smoke",
+                "num_queries": SMOKE_NUM_QUERIES,
+                "events": events,
+                "fast_best_s": fast_s,
+                "naive_best_s": naive_s,
+                "events_per_sec_fast": events / fast_s,
+                "events_per_sec_naive": events / naive_s,
+                "speedup": speedup,
+                "min_speedup": SMOKE_MIN_SPEEDUP,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
     assert speedup >= SMOKE_MIN_SPEEDUP, (
         f"optimised path is only {speedup:.2f}x the naive events/sec "
         f"(smoke bound {SMOKE_MIN_SPEEDUP}x)"

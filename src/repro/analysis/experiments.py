@@ -118,6 +118,7 @@ class ExperimentSettings:
     seed: int = 0
     n_jobs: Optional[int] = 1
     _profiles: Dict[str, ProfileTable] = field(default_factory=dict, repr=False)
+    _runner: Optional[ParallelRunner] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # shared building blocks
@@ -222,14 +223,34 @@ class ExperimentSettings:
             seed=self.seed,
         )
 
+    def __getstate__(self):
+        # Shipping settings into pool workers must not drag the (unpicklable)
+        # warm process pool along; workers run their share inline anyway.
+        state = self.__dict__.copy()
+        state["_runner"] = None
+        return state
+
     def runner(self) -> ParallelRunner:
-        """The :class:`~repro.analysis.sweep.ParallelRunner` for ``n_jobs``."""
-        return ParallelRunner(n_jobs=self.n_jobs)
+        """The settings' shared :class:`~repro.analysis.sweep.ParallelRunner`.
+
+        One warm runner per settings object, so consecutive experiment
+        phases (e.g. figure11's searches and its rate sweeps) reuse the
+        same process pool instead of respawning one per phase.
+        """
+        if self._runner is None or self._runner.n_jobs != self.n_jobs:
+            self._runner = ParallelRunner(n_jobs=self.n_jobs)
+        return self._runner
 
 
 def _measure_deployment(args) -> DesignPointResult:
     """Picklable worker: one deployment's latency-bounded throughput."""
     settings, deployment, max_batch, sigma = args
+    return settings.measure(deployment, max_batch=max_batch, sigma=sigma)
+
+
+def _measure_deployment_shared(shared, deployment: Deployment) -> DesignPointResult:
+    """Picklable shared-state worker: settings ship once per pool worker."""
+    settings, max_batch, sigma = shared
     return settings.measure(deployment, max_batch=max_batch, sigma=sigma)
 
 
@@ -243,13 +264,18 @@ def measure_designs(
 
     Each design's bisection search is sequential, but different designs are
     independent full-replay pipelines, so they fan out across
-    ``settings.n_jobs`` processes; the result mapping (insertion order
-    included) is identical to measuring each design serially.
+    ``settings.n_jobs`` processes (the settings — profiles included — ship
+    once per pool worker); the result mapping (insertion order included) is
+    identical to measuring each design serially.
     """
     names = list(deployments)
-    results = settings.runner().map(
-        _measure_deployment,
-        [(settings, deployments[name], max_batch, sigma) for name in names],
+    # per point: the bracket probes + bisection steps each replay a trace
+    work_hint = settings.num_queries * (settings.search_iterations + 2)
+    results = settings.runner().map_shared(
+        _measure_deployment_shared,
+        (settings, max_batch, sigma),
+        [deployments[name] for name in names],
+        work_hint=work_hint,
     )
     return dict(zip(names, results))
 
@@ -457,7 +483,7 @@ def figure11(
         rates = [peak * fraction for fraction in _spread(num_points)]
         workload = settings.workload(model)
         for point in sweep_rates(
-            deployment, workload, rates, seed=settings.seed, n_jobs=settings.n_jobs
+            deployment, workload, rates, seed=settings.seed, runner=settings.runner()
         ):
             rows.append(
                 {

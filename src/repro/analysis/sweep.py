@@ -26,8 +26,11 @@ latency stays below a target (the SLA).  This module provides:
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from math import ceil
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.serving.deployment import Deployment
@@ -66,23 +69,64 @@ class ThroughputLatencyPoint:
     p95_latency: float
 
 
-@dataclass(frozen=True)
-class ParallelRunner:
-    """Deterministic fan-out of independent replay points across processes.
+#: Pool-worker global holding the unpickled ``(fn, shared)`` payload shipped
+#: once per worker by the pool initializer (see ParallelRunner.map_shared).
+_POOL_STATE: Optional[Tuple[Callable, Any]] = None
 
-    Each item is handed to a picklable top-level function in its own worker
+
+def _pool_initializer(payload: bytes) -> None:
+    global _POOL_STATE
+    _POOL_STATE = pickle.loads(payload)
+
+
+def _invoke_shared(item: Any) -> Any:
+    fn, shared = _POOL_STATE
+    return fn(shared, item)
+
+
+#: Below this much estimated per-point work (simulated queries, see
+#: ``work_hint``) a process fan-out cannot amortise its spawn + pickle cost.
+DEFAULT_MIN_FORK_WORK = 1000.0
+
+
+@dataclass(eq=False)
+class ParallelRunner:
+    """Warm, deterministic fan-out of independent replay points across processes.
+
+    Each item is handed to a picklable top-level function in a worker
     process; results come back in submission order, so a parallel run is
     indistinguishable from a serial one apart from wall time.  Seeds travel
     *inside* the items (one deterministic seed per point), never through
     process-global RNG state, which is what keeps ``n_jobs`` out of the
     simulated outcomes.
 
+    The pool is **warm**: one ``ProcessPoolExecutor`` is created lazily and
+    reused across ``map``/``map_shared`` calls (one pool per sweep, not one
+    per point batch), and :meth:`map_shared` ships the heavy shared state —
+    profiles, deployment, workload template — *once per worker* through the
+    pool initializer instead of re-pickling it with every point.  Points are
+    dispatched in chunks so a sweep costs a handful of IPC round trips.
+
+    Fan-out auto-falls-back to inline execution when it cannot pay for
+    itself: a single job, fewer than two items, a single-core machine, or
+    per-point work below :attr:`min_fork_work` (see ``work_hint``).
+
     Args:
         n_jobs: worker processes. ``1`` (the default) runs inline with no
             pool at all; ``None`` or ``0`` uses every available core.
+        min_fork_work: per-point work threshold (in simulated queries, the
+            unit of ``work_hint``) below which the fan-out is skipped.
+        force_spawn: spawn the pool even on a single-core machine or for
+            tiny work items — for tests of the pool machinery and for
+            measuring the fan-out's overhead honestly.
     """
 
     n_jobs: Optional[int] = 1
+    min_fork_work: float = DEFAULT_MIN_FORK_WORK
+    force_spawn: bool = False
+    _pool: Optional[ProcessPoolExecutor] = field(default=None, init=False, repr=False)
+    _pool_payload: Optional[bytes] = field(default=None, init=False, repr=False)
+    _pool_shared: Any = field(default=None, init=False, repr=False)
 
     @property
     def effective_jobs(self) -> int:
@@ -91,18 +135,145 @@ class ParallelRunner:
             return os.cpu_count() or 1
         return max(1, int(self.n_jobs))
 
-    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+    @property
+    def warm(self) -> bool:
+        """True while a worker pool is alive and reusable."""
+        return self._pool is not None
+
+    def _should_fork(self, num_items: int, work_hint: Optional[float]) -> bool:
+        if num_items < 2 or self.effective_jobs <= 1:
+            return False
+        if self.force_spawn:
+            return True
+        if (os.cpu_count() or 1) < 2:
+            # a 1-core box pays the full spawn + pickle + IPC tax for zero
+            # genuine parallelism
+            return False
+        return work_hint is None or work_hint >= self.min_fork_work
+
+    def _ensure_pool(self, payload: Optional[bytes]) -> ProcessPoolExecutor:
+        """The warm executor, (re)created only when the shared payload changes.
+
+        ``payload=None`` (plain :meth:`map`) reuses whatever pool exists —
+        the worker-global shared state is simply unused.
+        """
+        if self._pool is not None and (payload is None or payload == self._pool_payload):
+            return self._pool
+        self.close()
+        if payload is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.effective_jobs)
+        else:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.effective_jobs,
+                initializer=_pool_initializer,
+                initargs=(payload,),
+            )
+        self._pool_payload = payload
+        return self._pool
+
+    def _pool_map(self, fn: Callable, work: List[Any]) -> List[Any]:
+        """Chunked dispatch over the warm pool, discarding it if it breaks.
+
+        A worker death (OOM kill, segfault) permanently breaks a
+        ``ProcessPoolExecutor``; dropping ours means the *next* call spawns
+        a healthy pool instead of replaying ``BrokenProcessPool`` forever.
+        """
+        pool = self._pool
+        jobs = min(self.effective_jobs, len(work))
+        try:
+            return list(pool.map(fn, work, chunksize=self._chunksize(len(work), jobs)))
+        except BrokenProcessPool:
+            self.close()
+            raise
+
+    @classmethod
+    def _same_shared(cls, shared: Any, cached: Any) -> bool:
+        """Cheap is-identity test so a warm reuse skips re-pickling the
+        (potentially large) shared state.  Tuples compare element-wise (and
+        recursively — ``sweep_rates`` rebuilds its ``(deployment, workload)``
+        wrapper per call around the same stable objects); anything that is
+        not identical falls back to the byte-compare respawn path, which is
+        merely the old per-call cost, never wrong results."""
+        if shared is cached:
+            return True
+        return (
+            type(shared) is tuple
+            and type(cached) is tuple
+            and len(shared) == len(cached)
+            and all(cls._same_shared(a, b) for a, b in zip(shared, cached))
+        )
+
+    @staticmethod
+    def _chunksize(num_items: int, jobs: int) -> int:
+        # a couple of chunks per worker: few IPC round trips, some slack for
+        # uneven point runtimes
+        return max(1, ceil(num_items / (jobs * 2)))
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        work_hint: Optional[float] = None,
+    ) -> List[Any]:
         """Apply ``fn`` to every item, preserving order.
 
-        Runs inline when one job (or fewer than two items) makes a pool
-        pointless; otherwise fans out over a ``ProcessPoolExecutor``.
+        Args:
+            fn: picklable top-level function of one item.
+            items: the work items (fully self-contained — prefer
+                :meth:`map_shared` when they share heavy state).
+            work_hint: estimated per-point work in simulated queries; below
+                :attr:`min_fork_work` the fan-out is skipped.
         """
         work = list(items)
-        jobs = min(self.effective_jobs, len(work))
-        if jobs <= 1:
+        if not self._should_fork(len(work), work_hint):
             return [fn(item) for item in work]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(fn, work))
+        self._ensure_pool(None)
+        return self._pool_map(fn, work)
+
+    def map_shared(
+        self,
+        fn: Callable[[Any, Any], Any],
+        shared: Any,
+        items: Iterable[Any],
+        work_hint: Optional[float] = None,
+    ) -> List[Any]:
+        """Apply ``fn(shared, item)`` to every item, preserving order.
+
+        ``shared`` (e.g. ``(deployment, workload)``) is pickled once and
+        shipped to each worker by the pool initializer; the per-item
+        messages carry only the point parameters (a rate and a seed), so a
+        sweep's fan-out cost no longer scales with the deployment size.
+        Re-using the runner with the same shared state keeps the pool warm
+        across calls; new shared state respawns it.
+        """
+        work = list(items)
+        if not self._should_fork(len(work), work_hint):
+            return [fn(shared, item) for item in work]
+        if self._pool is None or not self._same_shared((fn, shared), self._pool_shared):
+            payload = pickle.dumps((fn, shared), protocol=pickle.HIGHEST_PROTOCOL)
+            self._ensure_pool(payload)
+            self._pool_shared = (fn, shared)
+        return self._pool_map(_invoke_shared, work)
+
+    def close(self) -> None:
+        """Shut the warm pool down (idempotent; the runner stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_payload = None
+            self._pool_shared = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-exit cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def _resolve_runner(runner: Optional[ParallelRunner], n_jobs: Optional[int]) -> ParallelRunner:
@@ -198,6 +369,16 @@ def _measure_point(args: Tuple[Deployment, WorkloadConfig, float, int]) -> Desig
     return measure_design(deployment, workload, rate, seed=seed)
 
 
+def _measure_point_shared(
+    shared: Tuple[Deployment, WorkloadConfig], point: Tuple[float, int]
+) -> DesignPointResult:
+    """Picklable shared-state worker: the deployment/workload ship once per
+    pool worker, the per-point message is just ``(rate, seed)``."""
+    deployment, workload = shared
+    rate, seed = point
+    return measure_design(deployment, workload, rate, seed=seed)
+
+
 def point_seed(seed: int, index: int, seed_stride: int = 0) -> int:
     """Deterministic per-point seed of the ``index``-th replay point.
 
@@ -222,14 +403,21 @@ def sweep_rates(
     """Measure the design at each offered rate (the Figure 11 curves).
 
     The points are independent full-trace replays, so they parallelise
-    perfectly: pass ``n_jobs`` (or a shared :class:`ParallelRunner`) to
-    spread them across cores.  Results are identical for any ``n_jobs``.
+    perfectly: pass ``n_jobs`` (or a shared :class:`ParallelRunner`, which
+    keeps one warm pool across repeated sweeps of the same deployment) to
+    spread them across cores.  The deployment and workload template ship to
+    each pool worker once, not once per point.  Results are identical for
+    any ``n_jobs``.
     """
-    tasks = [
-        (deployment, workload, rate, point_seed(seed, index, seed_stride))
-        for index, rate in enumerate(rates)
+    points = [
+        (rate, point_seed(seed, index, seed_stride)) for index, rate in enumerate(rates)
     ]
-    results = _resolve_runner(runner, n_jobs).map(_measure_point, tasks)
+    results = _resolve_runner(runner, n_jobs).map_shared(
+        _measure_point_shared,
+        (deployment, workload),
+        points,
+        work_hint=workload.num_queries,
+    )
     return [
         ThroughputLatencyPoint(
             rate_qps=rate,

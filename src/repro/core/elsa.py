@@ -24,7 +24,6 @@ would want when no SLA is defined.
 
 from __future__ import annotations
 
-from operator import itemgetter
 from typing import List, Mapping, Optional
 
 from repro.core.slack import SlackEstimator
@@ -70,45 +69,62 @@ class ElsaScheduler(Scheduler):
     def on_arrival(
         self, query: Query, context: SchedulingContext
     ) -> Optional[PartitionWorker]:
-        # Lean scoring loop for the replay hot path: same visit order, same
-        # float operations and same decisions as walking
-        # :meth:`predictions`, without constructing a SlackPrediction per
-        # (query, worker) pairing.  Arrivals dominate simulated time, and
-        # this method runs once per arrival against every worker.
+        # Lean scoring loop for the replay hot path: one pass over the
+        # workers, no per-(query, worker) tuple rows and no sort, yet the
+        # same float operations and the same decisions as walking
+        # :meth:`predictions`:
+        #
+        # * within one partition size, execution time is constant, so Step A
+        #   only ever accepts that size's least-loaded instance (smallest
+        #   (T_wait, id)) — if it misses the SLA slack, every sibling does;
+        # * Step B's winner minimises (T_wait + T_estimated, gpcs, id), a
+        #   total order independent of visit order.
+        #
+        # Arrivals dominate simulated time, and this method runs once per
+        # arrival against every worker.
         estimator = self.estimator
         oracle = estimator.estimator  # memoized T_estimated lookup
         now = context.now
         model, batch = query.model, query.batch
-        sign = 1 if self.prefer_smallest else -1
-        rows = [
-            (
-                sign * worker.gpcs,
-                worker.estimated_wait(now, oracle),
-                worker.instance_id,
-                worker,
-            )
-            for worker in context.workers
-        ]
-        rows.sort(key=itemgetter(0, 1, 2))
+
+        execution_by_size: dict = {}
+        group_best: dict = {}  # gpcs -> (wait, instance_id, worker)
+        best_total = best_worker = None
+        best_gpcs = best_id = 0
+        for worker in context.workers:
+            gpcs = worker.gpcs
+            execution = execution_by_size.get(gpcs)
+            if execution is None:
+                execution = execution_by_size[gpcs] = oracle(model, batch, gpcs)
+            wait = worker.estimated_wait(now, oracle)
+            instance_id = worker.instance_id
+            entry = group_best.get(gpcs)
+            if entry is None or wait < entry[0] or (wait == entry[0] and instance_id < entry[1]):
+                group_best[gpcs] = (wait, instance_id, worker)
+            total = wait + execution
+            if (
+                best_total is None
+                or total < best_total
+                or (
+                    total == best_total
+                    and (gpcs < best_gpcs or (gpcs == best_gpcs and instance_id < best_id))
+                )
+            ):
+                best_total, best_worker = total, worker
+                best_gpcs, best_id = gpcs, instance_id
 
         sla = query.sla_target
         if sla is not None:
             # Step A: smallest partition that still satisfies the SLA.
             alpha, beta = estimator.alpha, estimator.beta
-            for _, wait, _, worker in rows:
-                execution = oracle(model, batch, worker.gpcs)
-                if sla - alpha * (wait + beta * execution) > 0.0:
+            sizes = sorted(execution_by_size, reverse=not self.prefer_smallest)
+            for gpcs in sizes:
+                wait, _, worker = group_best[gpcs]
+                if sla - alpha * (wait + beta * execution_by_size[gpcs]) > 0.0:
                     return worker
 
         # Step B: no partition satisfies the SLA (or the query carries no
         # SLA): pick the partition that completes the query the fastest.
-        best_key = None
-        best_worker = None
-        for _, wait, _, worker in rows:
-            key = (wait + oracle(model, batch, worker.gpcs), worker.gpcs)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_worker = worker
         return best_worker
 
     # ------------------------------------------------------------------ #

@@ -24,11 +24,16 @@ Steps:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.knee import DEFAULT_KNEE_THRESHOLD, derive_knees
 from repro.core.plan import BatchSegment, PartitionPlan
 from repro.perf.lookup import CachedEstimator, ProfileTable
+
+#: Plans memoized per Paris instance; a bisection sweep revisits the same
+#: (PDF, budget) pair once per rate point, a scenario session once per
+#: trigger checkpoint — far below this bound in practice.
+_PLAN_CACHE_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -77,12 +82,20 @@ class Paris:
         # (batch, size) pair is interpolated once per Paris instance, not
         # once per replan.
         self._estimator = CachedEstimator({self.profile.model_name: self.profile})
+        self._plan_cache: Dict[Tuple, PartitionPlan] = {}
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def plan(self, batch_pdf: Dict[int, float], total_gpcs: int) -> PartitionPlan:
         """Run Algorithm 1 and return the partitioning plan.
+
+        Plans are memoized on (PDF, budget): the plan is a pure function of
+        the batch-size distribution and the GPC budget — *not* of the
+        arrival rate — so a latency-bounded-throughput search that revisits
+        the same design at many rates receives the **identical plan object**
+        every time and each bisection step only replays, never
+        re-partitions.
 
         Args:
             batch_pdf: mapping batch size -> probability (``Dist[]``).  Must
@@ -93,6 +106,10 @@ class Paris:
         Returns:
             The heterogeneous :class:`~repro.core.plan.PartitionPlan`.
         """
+        key = (tuple(sorted(batch_pdf.items())), int(total_gpcs))
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
         pdf = self._normalise_pdf(batch_pdf)
         sizes = self._candidate_sizes()
         if total_gpcs < min(sizes):
@@ -110,7 +127,7 @@ class Paris:
         # Step C: convert relative ratios into absolute instance counts.
         counts = self._instance_counts(segments, total_gpcs)
 
-        return PartitionPlan(
+        plan = PartitionPlan(
             model=self.profile.model_name,
             counts=counts,
             total_gpcs=total_gpcs,
@@ -118,6 +135,10 @@ class Paris:
             knees={k: knees[k].batch for k in sizes},
             segments=segments,
         )
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[key] = plan
+        return plan
 
     # ------------------------------------------------------------------ #
     # Step B: batch-range segmentation and relative ratios
@@ -285,6 +306,48 @@ class Paris:
         return {batch: prob / total for batch, prob in sorted(cleaned.items())}
 
 
+#: Process-wide Paris instances keyed by profile identity then config
+#: tunables.  The cache is *bounded*, not weak: a cached Paris strongly
+#: references its profile (so weak keying could never evict anything — the
+#: value would pin the key); instead the oldest profile's planners are
+#: evicted once the cap is hit.  Identity keying is safe because a cached
+#: entry keeps its profile alive, so a live id is never reused.
+_SHARED_PARIS: Dict[int, Dict[Tuple, Paris]] = {}
+_SHARED_PARIS_LIMIT = 64
+
+
+def shared_paris(
+    profile: ProfileTable, config: Optional[ParisConfig] = None
+) -> Paris:
+    """The process-wide memoized :class:`Paris` planner for ``profile``.
+
+    Deployment builds, live repartitions and registry lookups that plan for
+    the same (profile, config) pair share one planner — and therefore one
+    plan memo — so replanning against a PDF the planner has already seen
+    returns the identical :class:`~repro.core.plan.PartitionPlan` object
+    without re-running Algorithm 1.  Memory is bounded: at most
+    ``_SHARED_PARIS_LIMIT`` profiles keep cached planners, oldest evicted
+    first.
+    """
+    config = config or ParisConfig()
+    sizes = config.partition_sizes
+    key = (
+        config.knee_threshold,
+        None if sizes is None else tuple(sizes),
+        config.min_instances_per_active_segment,
+    )
+    profile_id = id(profile)
+    per_profile = _SHARED_PARIS.get(profile_id)
+    if per_profile is None:
+        if len(_SHARED_PARIS) >= _SHARED_PARIS_LIMIT:
+            _SHARED_PARIS.pop(next(iter(_SHARED_PARIS)))
+        per_profile = _SHARED_PARIS[profile_id] = {}
+    paris = per_profile.get(key)
+    if paris is None:
+        paris = per_profile[key] = Paris(profile, config)
+    return paris
+
+
 def run_paris(
     profile: ProfileTable,
     batch_pdf: Dict[int, float],
@@ -292,6 +355,9 @@ def run_paris(
     config: Optional[ParisConfig] = None,
 ) -> PartitionPlan:
     """Convenience wrapper: run PARIS in one call.
+
+    Dispatches through :func:`shared_paris`, so repeated calls for the same
+    profile, tunables, PDF and budget return the memoized plan.
 
     Args:
         profile: profiled lookup table of the target model.
@@ -302,4 +368,4 @@ def run_paris(
     Returns:
         The :class:`~repro.core.plan.PartitionPlan` chosen by PARIS.
     """
-    return Paris(profile, config or ParisConfig()).plan(batch_pdf, total_gpcs)
+    return shared_paris(profile, config).plan(batch_pdf, total_gpcs)

@@ -376,12 +376,18 @@ def _resolve_spec(context, spec_type):
 # --------------------------------------------------------------------------- #
 @register_partitioner("paris")
 def _paris_partitioner(context: PartitionerContext) -> PartitionPlan:
-    """PARIS (Algorithm 1): knee-segmented heterogeneous partitioning."""
-    from repro.core.paris import Paris, ParisConfig
+    """PARIS (Algorithm 1): knee-segmented heterogeneous partitioning.
+
+    Resolved through :func:`repro.core.paris.shared_paris`, so every build
+    against the same (profile, tunables) shares one planner and plans are
+    memoized across repeated (PDF, budget) requests — a rate sweep or a
+    trigger loop replans only when the observed distribution changes.
+    """
+    from repro.core.paris import ParisConfig, shared_paris
     from repro.core.specs import ParisSpec
 
     spec = _resolve_spec(context, ParisSpec)
-    paris = Paris(
+    paris = shared_paris(
         context.profile,
         ParisConfig(
             knee_threshold=spec.knee_threshold,

@@ -19,7 +19,8 @@ runtime (a heavily modified DeepRecInfra on real A100s):
 """
 
 from repro.sim.events import Event, EventKind
-from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.engine import EventQueue, SimulationClock, TupleEventQueue
+from repro.sim.columnar import QueryColumns
 from repro.sim.worker import PartitionWorker
 from repro.sim.scheduler_api import Scheduler, SchedulingContext
 from repro.sim.cluster import (
@@ -63,6 +64,7 @@ __all__ = [
     "LatencyStatistics",
     "PartitionWorker",
     "QueryArrived",
+    "QueryColumns",
     "QueryCompleted",
     "QueryDispatched",
     "QueryDropped",
@@ -78,6 +80,7 @@ __all__ = [
     "SimulationResult",
     "SlaViolated",
     "StatisticsCollector",
+    "TupleEventQueue",
     "UtilizationStatistics",
     "WindowStats",
     "WindowedMetrics",

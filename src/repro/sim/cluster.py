@@ -29,25 +29,41 @@ Two run surfaces are offered:
 Both surfaces publish typed lifecycle events (:mod:`repro.sim.hooks`) to any
 registered observers; with no observers attached the event layer is skipped
 entirely, so the one-shot replay loop costs the same as before it existed.
+
+With ``fast_path=True`` (the default) the replay loop is columnar: events
+live in a tuple-keyed heap (:class:`~repro.sim.engine.TupleEventQueue` — no
+:class:`~repro.sim.events.Event` objects, C-level comparisons), per-query
+runtime state lives in a struct-of-arrays store
+(:class:`~repro.sim.columnar.QueryColumns`) that statistics digestion reads
+zero-copy, and one reused :class:`~repro.sim.scheduler_api.SchedulingContext`
+plus a live idle-worker view replace the per-event snapshot copies.  The
+naive path keeps the original object-per-event machinery as the reference
+both semantics (bit-identical results, pinned by the identity property
+tests) and timing (the replay-speed benchmark) are measured against.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
 from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.gpu.partition import PartitionInstance
 from repro.perf.lookup import CachedEstimator, ProfileTable
-from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.columnar import QueryColumns
+from repro.sim.engine import EventQueue, SimulationClock, TupleEventQueue
 from repro.sim.events import EventKind
 from repro.sim.hooks import (
     QueryArrived,
     QueryCompleted,
     QueryDispatched,
     QueryRequeued,
+    ReconfigEventsOnly,
     ReconfigFinished,
     ReconfigStarted,
     SimulationObserver,
@@ -55,11 +71,59 @@ from repro.sim.hooks import (
     WorkerIdle,
     build_dispatch_table,
 )
-from repro.sim.metrics import ServerStatistics, compute_statistics
+from repro.sim.metrics import (
+    ServerStatistics,
+    completed_arrays_from_columns,
+    compute_statistics,
+    compute_statistics_from_arrays,
+)
 from repro.sim.scheduler_api import Scheduler, SchedulingContext
 from repro.sim.worker import PartitionWorker
 from repro.workload.query import Query
 from repro.workload.trace import QueryTrace
+
+#: EventKind values as plain ints: the fast loop compares heap-entry kinds
+#: against these without touching the enum machinery.
+_ARRIVAL = int(EventKind.ARRIVAL)
+_COMPLETION = int(EventKind.COMPLETION)
+_RECONFIG = int(EventKind.RECONFIG)
+
+
+class _IdleWorkersView:
+    """Live, read-only sequence view over the fast path's idle-worker index.
+
+    Handed to schedulers as ``SchedulingContext.idle``: building it costs
+    nothing per event (the keys/map are the simulator's own index), and
+    policies that never look at idle workers (ELSA) never pay for a
+    snapshot.  Iteration order matches a full ``workers`` scan, exactly like
+    the tuple snapshots it replaces.
+    """
+
+    __slots__ = ("_keys", "_map")
+
+    def __init__(
+        self,
+        keys: List[Tuple[int, int]],
+        mapping: Dict[Tuple[int, int], PartitionWorker],
+    ) -> None:
+        self._keys = keys
+        self._map = mapping
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __iter__(self):
+        mapping = self._map
+        return iter([mapping[key] for key in self._keys])
+
+    def __getitem__(self, item: Union[int, slice]):
+        if isinstance(item, slice):
+            mapping = self._map
+            return [mapping[key] for key in self._keys[item]]
+        return self._map[self._keys[item]]
 
 
 @dataclass(frozen=True)
@@ -160,13 +224,14 @@ class InferenceServerSimulator:
             GPU workers outpace it; ``None`` disables the limit.
         observers: lifecycle-event observers (:mod:`repro.sim.hooks`); more
             can be attached later with :meth:`add_observer`.
-        fast_path: enable the optimised replay loop — a memoized
+        fast_path: enable the columnar replay core — tuple-keyed event heap,
+            struct-of-arrays runtime state with zero-copy digestion, memoized
             :class:`~repro.perf.lookup.CachedEstimator`, incrementally
-            maintained queued-work totals, an indexed idle-worker set and
-            copy-free scheduling contexts.  Simulated outcomes are
-            bit-identical either way (pinned by the replay benchmark); the
-            naive path exists as the reference for that contract and for
-            speed comparisons.
+            maintained queued-work totals, a live idle-worker view and a
+            reused scheduling context.  Simulated outcomes are bit-identical
+            either way (pinned by the replay benchmark and the identity
+            property tests); the naive path exists as the reference for that
+            contract and for speed comparisons.
     """
 
     def __init__(
@@ -193,8 +258,9 @@ class InferenceServerSimulator:
         self._noise = execution_noise_std
         self._seed = seed
         self._observers: List[SimulationObserver] = list(observers)
-        self._dispatch_table = build_dispatch_table(self._observers)
         self._fast = bool(fast_path)
+        self._columns: Optional[QueryColumns] = QueryColumns() if self._fast else None
+        self._rebind_handlers()
         self._estimator: Optional[CachedEstimator] = (
             CachedEstimator(self.profiles) if self._fast else None
         )
@@ -217,6 +283,8 @@ class InferenceServerSimulator:
                 noise_std=self._noise,
                 seed=self._seed + idx,
                 queued_work_cache=self._fast,
+                columns=self._columns,
+                write_through=self._write_through,
             )
             for idx, instance in enumerate(self._instances)
         ]
@@ -224,14 +292,18 @@ class InferenceServerSimulator:
 
     def _reset_run_state(self) -> None:
         self._clock = SimulationClock()
-        self._events = EventQueue()
+        self._events: Union[EventQueue, TupleEventQueue] = (
+            TupleEventQueue() if self._fast else EventQueue()
+        )
         self._central_queue: Deque[Query] = deque()
         self._events_processed = 0
         # Indexed idle-worker set (fast path): sorted (gpcs, instance_id)
-        # keys mirror the workers-list ordering, so idle snapshots match what
-        # a full scan would produce.
+        # keys mirror the workers-list ordering, so idle views match what a
+        # full scan would produce.
         self._idle_keys: List[Tuple[int, int]] = []
         self._idle_map: Dict[Tuple[int, int], PartitionWorker] = {}
+        self._idle_view = _IdleWorkersView(self._idle_keys, self._idle_map)
+        self._context: Optional[SchedulingContext] = None
         if self._fast:
             for worker in self.workers:
                 self._mark_idle(worker)
@@ -248,10 +320,63 @@ class InferenceServerSimulator:
         self._reconfig_log: List[ReconfigurationRecord] = []
         self._next_instance_id = 1 + max(i.instance_id for i in self._instances)
 
+    def _rebind_handlers(self) -> None:
+        """Pre-resolve the observer dispatch table into per-type attributes.
+
+        The hot loop reads one attribute per event instead of a dictionary
+        lookup per emission point; an empty tuple means "nobody listens —
+        do not even construct the event".
+
+        Columnar-capable observers (``columnar_capable`` attribute, e.g.
+        :class:`~repro.sim.hooks.WindowedMetrics`) are bound to the run's
+        columnar store on the fast path and subscribed through a
+        reconfiguration-only view: their per-query events are never
+        constructed — they digest the columns lazily instead.
+        """
+        delivered: List[SimulationObserver] = []
+        for observer in self._observers:
+            if (
+                self._fast
+                and self._columns is not None
+                and getattr(observer, "columnar_capable", False)
+                and observer.attach_columns(self._columns, self)
+            ):
+                delivered.append(ReconfigEventsOnly(observer))
+            else:
+                delivered.append(observer)
+        self._dispatch_table = build_dispatch_table(delivered)
+        get = self._dispatch_table.get
+        self._h_arrived = get(QueryArrived, ())
+        self._h_dispatched = get(QueryDispatched, ())
+        self._h_completed = get(QueryCompleted, ())
+        self._h_sla = get(SlaViolated, ())
+        self._h_idle = get(WorkerIdle, ())
+        self._h_requeued = get(QueryRequeued, ())
+        self._h_reconfig_started = get(ReconfigStarted, ())
+        self._h_reconfig_finished = get(ReconfigFinished, ())
+        #: With per-query handlers attached, columnar workers also write the
+        #: query objects so handlers can read e.g. ``query.finish_time`` the
+        #: moment the event fires.
+        self._write_through = bool(
+            self._h_arrived
+            or self._h_dispatched
+            or self._h_completed
+            or self._h_sla
+            or self._h_requeued
+        )
+
     def add_observer(self, observer: SimulationObserver) -> None:
         """Attach a lifecycle-event observer."""
         self._observers.append(observer)
-        self._dispatch_table = build_dispatch_table(self._observers)
+        self._rebind_handlers()
+        if self._fast and self._write_through:
+            staged = self._staged.new_workers if self._staged is not None else ()
+            for worker in (*self.workers, *self._retired_workers, *staged):
+                worker.enable_write_through()
+            # queries already dispatched before write-through turned on have
+            # runtime state only in the columns; materialise it so the new
+            # handlers read current timestamps, exactly like the naive path
+            self._columns.write_back()
 
     # ------------------------------------------------------------------ #
     # indexed idle-worker set (fast path)
@@ -272,27 +397,36 @@ class InferenceServerSimulator:
             keys = self._idle_keys
             del keys[bisect_left(keys, key)]
 
-    def _idle_snapshot(self) -> Optional[Tuple[PartitionWorker, ...]]:
-        if not self._fast:
-            return None
-        idle_map = self._idle_map
-        return tuple(idle_map[key] for key in self._idle_keys)
-
     def _make_context(self, now: float) -> SchedulingContext:
-        if self._fast:
-            # Hand the scheduler the live central queue (documented as
-            # read-only) and the maintained idle index instead of copying
-            # O(queue)+O(workers) state on every event.
-            central: Sequence[Query] = self._central_queue
-        else:
-            central = tuple(self._central_queue)
+        """Naive-path context: fresh snapshot copies per scheduling moment."""
         return SchedulingContext(
             now=now,
             workers=self.workers,
-            central_queue=central,
+            central_queue=tuple(self._central_queue),
             estimator=self._latency_fn,
-            idle=self._idle_snapshot(),
+            idle=None,
         )
+
+    def _fast_context(self, now: float) -> SchedulingContext:
+        """Fast-path context: one reused object over live (read-only) views.
+
+        The central queue and idle view are the simulator's own structures —
+        documented read-only for schedulers — and only ``now`` changes
+        between scheduling moments, so the frozen dataclass is rebuilt only
+        when the worker list itself is swapped (a live reconfiguration).
+        """
+        context = self._context
+        if context is None or context.workers is not self.workers:
+            context = self._context = SchedulingContext(
+                now=now,
+                workers=self.workers,
+                central_queue=self._central_queue,
+                estimator=self._latency_fn,
+                idle=self._idle_view,
+            )
+        else:
+            object.__setattr__(context, "now", now)
+        return context
 
     def _handlers(self, event_type: type):
         """Bound handlers subscribed to ``event_type`` (empty tuple = skip
@@ -325,8 +459,7 @@ class InferenceServerSimulator:
         """
         replay = trace.fresh_copy()
         self.begin()
-        for query in replay:
-            self.submit(query)
+        self.submit_trace(replay)
         self.run_until(None)
         return self.finish(offered_load_qps=replay.arrival_rate())
 
@@ -384,7 +517,13 @@ class InferenceServerSimulator:
 
     @property
     def submitted_queries(self) -> Sequence[Query]:
-        """Every query submitted to the open (or just-finished) run."""
+        """Every query submitted to the open (or just-finished) run.
+
+        On the fast path the columnar runtime state is materialised onto the
+        query objects first, so callers always see current timestamps.
+        """
+        if self._fast:
+            self._columns.write_back()
         return tuple(self._submitted)
 
     def begin(self) -> None:
@@ -396,6 +535,10 @@ class InferenceServerSimulator:
         if self._active:
             raise RuntimeError("a streaming run is already open; call finish() first")
         self.scheduler.reset()
+        if self._fast:
+            self._columns = QueryColumns()
+        # re-attach columnar-bound observers to the fresh store
+        self._rebind_handlers()
         self._build_workers()
         self._reset_run_state()
         self._active = True
@@ -411,12 +554,46 @@ class InferenceServerSimulator:
                 f"before the current simulation time {self._clock.now}"
             )
         self._submitted.append(query)
+        if self._fast:
+            self._columns.add(query)
         self._events.push(query.arrival_time, EventKind.ARRIVAL, query)
 
     def submit_trace(self, trace: QueryTrace) -> None:
-        """Inject every query of ``trace`` (not copied — pass a fresh copy)."""
-        for query in trace:
-            self.submit(query)
+        """Inject every query of ``trace`` (not copied — pass a fresh copy).
+
+        On the fast path a whole-trace submission into an empty event queue
+        is bulk-loaded: traces are sorted by arrival time, and a sorted batch
+        of same-kind events is already a valid heap, so the per-query
+        ``heappush`` walks disappear.
+        """
+        if not self._active:
+            raise RuntimeError("submit() requires an open run; call begin() first")
+        queries = list(trace)
+        times = [query.arrival_time for query in queries]
+        # Validate the bulk-load preconditions *before* touching any state:
+        # QueryTrace guarantees sortedness, but duck-typed trace objects may
+        # not, and a partial registration would leave phantom queries.
+        bulk = (
+            self._fast
+            and queries
+            and not self._events
+            and all(a <= b for a, b in zip(times, times[1:]))
+        )
+        if not bulk:
+            for query in queries:
+                self.submit(query)
+            return
+        if times[0] < self._clock.now:
+            # sorted, so the first query is the earliest
+            raise ValueError(
+                f"query {queries[0].query_id} arrives at {times[0]}, "
+                f"before the current simulation time {self._clock.now}"
+            )
+        columns = self._columns
+        for query in queries:
+            columns.add(query)
+        self._submitted.extend(queries)
+        self._events.extend_sorted(times, _ARRIVAL, queries)
 
     def run_until(self, time: Optional[float] = None) -> float:
         """Process events up to and including ``time`` (``None`` = drain all).
@@ -429,6 +606,8 @@ class InferenceServerSimulator:
         """
         if not self._active:
             raise RuntimeError("run_until() requires an open run; call begin() first")
+        if self._fast:
+            return self._run_fast(time)
         events = self._events
         while events:
             if time is not None and events.peek().time > time:
@@ -451,9 +630,19 @@ class InferenceServerSimulator:
             offered_load_qps = self._observed_arrival_rate()
         makespan = self._clock.now
         all_workers = self._retired_workers + self.workers
-        statistics = compute_statistics(
-            self._submitted, all_workers, makespan, offered_load_qps=offered_load_qps
-        )
+        if self._fast:
+            self._columns.write_back()
+            statistics = compute_statistics_from_arrays(
+                completed_arrays_from_columns(self._columns),
+                all_workers,
+                makespan,
+                total_queries=len(self._submitted),
+                offered_load_qps=offered_load_qps,
+            )
+        else:
+            statistics = compute_statistics(
+                self._submitted, all_workers, makespan, offered_load_qps=offered_load_qps
+            )
         per_instance = {
             worker.instance_id: len(worker.completed) for worker in all_workers
         }
@@ -469,10 +658,19 @@ class InferenceServerSimulator:
         """Digest the run *so far* (at the current simulation time).
 
         Unlike :meth:`finish` this leaves the run open; use it for live
-        metrics mid-run.
+        metrics mid-run.  On the fast path the digestion reads the columnar
+        store directly — no object materialisation, no Python re-scan.
         """
         makespan = self._clock.now
         all_workers = self._retired_workers + self.workers
+        if self._fast:
+            return compute_statistics_from_arrays(
+                completed_arrays_from_columns(self._columns),
+                all_workers,
+                makespan,
+                total_queries=len(self._submitted),
+                offered_load_qps=self._observed_arrival_rate(),
+            )
         return compute_statistics(
             self._submitted,
             all_workers,
@@ -483,6 +681,14 @@ class InferenceServerSimulator:
     def _observed_arrival_rate(self) -> float:
         # submit() only forbids arrivals in the simulation's past, so the
         # submission order need not be arrival order — span over min/max.
+        if self._fast:
+            arrivals = np.frombuffer(self._columns.arrival, dtype=np.float64)
+            if arrivals.size < 2:
+                return 0.0
+            span = float(arrivals.max()) - float(arrivals.min())
+            if span <= 0:
+                return 0.0
+            return (arrivals.size - 1) / span
         queries = self._submitted
         if len(queries) < 2:
             return 0.0
@@ -543,7 +749,8 @@ class InferenceServerSimulator:
         old_ids = tuple(w.instance_id for w in self.workers)
 
         # Pull back every query that has not started executing.
-        requeue_handlers = self._handlers(QueryRequeued)
+        requeue_handlers = self._h_requeued
+        materialise_objects = not self._fast or self._write_through
         requeued: List[Query] = []
         for query in self._central_queue:
             for handler in requeue_handlers:
@@ -553,8 +760,11 @@ class InferenceServerSimulator:
         drain_deadline = now
         for worker in self.workers:
             for query in worker.drain_queue():
-                query.dispatch_time = None
-                query.instance_id = None
+                if self._fast:
+                    self._columns.clear_dispatch(query.index)
+                if materialise_objects:
+                    query.dispatch_time = None
+                    query.instance_id = None
                 for handler in requeue_handlers:
                     handler(QueryRequeued(now, query, worker.instance_id))
                 requeued.append(query)
@@ -585,6 +795,8 @@ class InferenceServerSimulator:
                 noise_std=self._noise,
                 seed=self._seed + instance.instance_id,
                 queued_work_cache=self._fast,
+                columns=self._columns,
+                write_through=self._write_through,
             )
             for instance in renumbered
         ]
@@ -598,7 +810,7 @@ class InferenceServerSimulator:
             requeued=requeued,
             old_instance_ids=old_ids,
         )
-        for handler in self._handlers(ReconfigStarted):
+        for handler in self._h_reconfig_started:
             handler(ReconfigStarted(now, old_ids, len(requeued)))
         online_at = drain_deadline + reconfig_cost
         self._events.push(online_at, EventKind.RECONFIG)
@@ -627,7 +839,7 @@ class InferenceServerSimulator:
             new_instance_ids=tuple(w.instance_id for w in new_workers),
         )
         self._reconfig_log.append(record)
-        for handler in self._handlers(ReconfigFinished):
+        for handler in self._h_reconfig_finished:
             handler(
                 ReconfigFinished(
                     now,
@@ -651,7 +863,129 @@ class InferenceServerSimulator:
             self._events.push(start + position * gap, EventKind.ARRIVAL, query)
 
     # ------------------------------------------------------------------ #
-    # event handlers
+    # the fast (columnar) replay loop
+    # ------------------------------------------------------------------ #
+    def _run_fast(self, until: Optional[float]) -> float:
+        """Drain the tuple-keyed heap up to ``until`` with the hot logic inline.
+
+        Heap entries are ``(time, kind, seq, query, worker)`` tuples; the
+        loop unpacks them directly — no Event objects, no per-event method
+        dispatch, one clock write per event.  The heap's total order makes
+        popped times non-decreasing, so the clock can be assigned without
+        the monotonicity guard (push sites validate against the clock).
+        """
+        events = self._events
+        heap = events._heap
+        heappop = heapq.heappop
+        clock = self._clock
+        scheduler = self.scheduler
+        central = self._central_queue
+        gap = self._frontend_gap
+        announced = self._columns.announced
+        processed = self._events_processed
+        now = clock.now
+        try:
+            while heap:
+                entry = heap[0]
+                now = entry[0]
+                if until is not None and now > until:
+                    now = clock.now
+                    break
+                heappop(heap)
+                processed += 1
+                clock._now = now
+                kind = entry[1]
+                if kind == _ARRIVAL:
+                    query = entry[3]
+                    index = query.index
+                    if not announced[index]:
+                        # First firing of this query's arrival event: the
+                        # flag is both the QueryArrived dedupe (frontend
+                        # retries and reconfig buffering re-enqueue the
+                        # query) and the columnar "this arrival happened"
+                        # marker the lazy metrics digestion filters on.
+                        announced[index] = 1
+                        handlers = self._h_arrived
+                        if handlers:
+                            arrived = QueryArrived(now, query)
+                            for handler in handlers:
+                                handler(arrived)
+                    if self._staged is not None:
+                        # Draining/reconfiguring: buffer at the frontend.
+                        self._held.append(query)
+                        continue
+                    if gap > 0.0:
+                        # The frontend dispatches queries serially; an
+                        # arrival that finds it busy retries when it frees.
+                        available = self._frontend_available
+                        if available > now + 1e-15:
+                            events.push(available, _ARRIVAL, query)
+                            continue
+                        self._frontend_available = now + gap
+                    worker = scheduler.on_arrival(query, self._fast_context(now))
+                    if worker is None:
+                        central.append(query)
+                    else:
+                        self._dispatch(worker, query, now)
+                elif kind == _COMPLETION:
+                    self._complete_fast(entry[4], now)
+                else:
+                    self._complete_reconfigure(now)
+        finally:
+            self._events_processed = processed
+        return now
+
+    def _complete_fast(self, worker: PartitionWorker, now: float) -> None:
+        """Completion handling for the fast loop (worker comes straight off
+        the heap entry — no id -> worker map lookup)."""
+        query = worker.complete_current(now)
+        handlers = self._h_completed
+        if handlers:
+            completed = QueryCompleted(now, query, worker.instance_id)
+            for handler in handlers:
+                handler(completed)
+        handlers = self._h_sla
+        if handlers and query.sla_violated:
+            violated = SlaViolated(now, query, worker.instance_id)
+            for handler in handlers:
+                handler(violated)
+
+        if worker.instance_id in self._draining_ids:
+            # A draining partition takes no further work; its local queue was
+            # already requeued, so finishing the in-flight query empties it.
+            return
+
+        # Start the next locally queued query, if any.
+        finish = worker.start_next(now)
+        if finish is not None:
+            self._events.push(finish, _COMPLETION, worker.current_query, worker)
+            return
+
+        # The worker is now fully idle; index it before consulting the
+        # scheduler so the context's idle view matches a full scan.
+        self._mark_idle(worker)
+
+        # Otherwise offer the idle worker a query from the central queue.
+        if self._central_queue:
+            pulled = self.scheduler.on_worker_idle(worker, self._fast_context(now))
+            if pulled is not None:
+                queue = self._central_queue
+                if queue[0] is pulled:
+                    # FIFO drain is the overwhelmingly common case; popping
+                    # the head avoids an O(queue) scan-and-remove.
+                    queue.popleft()
+                else:
+                    queue.remove(pulled)
+                self._dispatch(worker, pulled, now)
+                return
+        handlers = self._h_idle
+        if handlers:
+            idle = WorkerIdle(now, worker.instance_id)
+            for handler in handlers:
+                handler(idle)
+
+    # ------------------------------------------------------------------ #
+    # naive-path event handlers (the reference semantics)
     # ------------------------------------------------------------------ #
     def _process(self, event) -> None:
         self._clock.advance_to(event.time)
@@ -659,7 +993,7 @@ class InferenceServerSimulator:
         now = self._clock.now
         kind = event.kind
         if kind is EventKind.ARRIVAL:
-            arrival_handlers = self._handlers(QueryArrived)
+            arrival_handlers = self._h_arrived
             if arrival_handlers:
                 key = id(event.query)
                 if key not in self._announced:
@@ -701,12 +1035,12 @@ class InferenceServerSimulator:
     def _handle_completion(self, event, now: float) -> None:
         worker = self._workers_by_id[event.instance_id]
         query = worker.complete_current(now)
-        completed_handlers = self._handlers(QueryCompleted)
+        completed_handlers = self._h_completed
         if completed_handlers:
             completed = QueryCompleted(now, query, worker.instance_id)
             for handler in completed_handlers:
                 handler(completed)
-        violated_handlers = self._handlers(SlaViolated)
+        violated_handlers = self._h_sla
         if violated_handlers and query.sla_violated:
             violated = SlaViolated(now, query, worker.instance_id)
             for handler in violated_handlers:
@@ -725,24 +1059,18 @@ class InferenceServerSimulator:
             )
             return
 
-        # The worker is now fully idle; index it before consulting the
-        # scheduler so the context's idle view matches a full scan.
-        self._mark_idle(worker)
-
         # Otherwise offer the idle worker a query from the central queue.
         if self._central_queue:
             pulled = self.scheduler.on_worker_idle(worker, self._make_context(now))
             if pulled is not None:
                 queue = self._central_queue
                 if queue[0] is pulled:
-                    # FIFO drain is the overwhelmingly common case; popping
-                    # the head avoids an O(queue) scan-and-remove.
                     queue.popleft()
                 else:
                     queue.remove(pulled)
                 self._dispatch(worker, pulled, now)
                 return
-        idle_handlers = self._handlers(WorkerIdle)
+        idle_handlers = self._h_idle
         if idle_handlers:
             idle = WorkerIdle(now, worker.instance_id)
             for handler in idle_handlers:
@@ -756,13 +1084,19 @@ class InferenceServerSimulator:
     ) -> None:
         self._mark_busy(worker)
         worker.enqueue(query, now)
-        dispatch_handlers = self._handlers(QueryDispatched)
+        dispatch_handlers = self._h_dispatched
         if dispatch_handlers:
             dispatched = QueryDispatched(now, query, worker.instance_id)
             for handler in dispatch_handlers:
                 handler(dispatched)
         finish = worker.start_next(now)
         if finish is not None:
-            self._events.push(
-                finish, EventKind.COMPLETION, worker.current_query, worker.instance_id
-            )
+            if self._fast:
+                self._events.push(finish, _COMPLETION, worker.current_query, worker)
+            else:
+                self._events.push(
+                    finish,
+                    EventKind.COMPLETION,
+                    worker.current_query,
+                    worker.instance_id,
+                )

@@ -289,6 +289,26 @@ class StatisticsCollector(SimulationObserver):
         return latency_statistics_from_arrays(arrays)
 
 
+class ReconfigEventsOnly(SimulationObserver):
+    """Delivery view forwarding only reconfiguration events to ``target``.
+
+    The fast-path simulator wraps columnar-bound observers
+    (:meth:`WindowedMetrics.attach_columns`) in this view: per-query events
+    are neither delivered nor constructed for them, while the rare
+    reconfiguration lifecycle still flows (downtime intervals cannot be
+    derived from the columns).
+    """
+
+    def __init__(self, target: SimulationObserver) -> None:
+        self.target = target
+
+    def on_reconfig_started(self, event: ReconfigStarted) -> None:
+        self.target.on_reconfig_started(event)
+
+    def on_reconfig_finished(self, event: ReconfigFinished) -> None:
+        self.target.on_reconfig_finished(event)
+
+
 # --------------------------------------------------------------------------- #
 # windowed metrics
 # --------------------------------------------------------------------------- #
@@ -342,13 +362,41 @@ class WindowStats:
 class WindowedMetrics(SimulationObserver):
     """Per-time-window latency / throughput / violation series.
 
-    Every event updates exactly one window bucket, so the observer's cost is
-    O(1) per event and :meth:`series` digests each completion exactly once —
-    no O(n) re-scan per window.
+    Two operating modes, chosen by the simulator when the observer is
+    attached:
+
+    * **event-driven** (naive path, or any simulator without a columnar
+      store): every event updates exactly one window bucket, so the
+      observer's cost is O(1) per event and :meth:`series` digests each
+      completion exactly once — no O(n) re-scan per window;
+    * **columnar** (the fast path): :meth:`attach_columns` binds the
+      observer to the run's struct-of-arrays store, per-query events are
+      *never delivered* (or even constructed), and every view —
+      :meth:`series`, :meth:`observed_batch_histogram`,
+      :meth:`recent_violation_stats` — digests the columns vectorised on
+      demand.  Only the (rare) reconfiguration events still arrive as
+      events.  Integer counts (arrivals, completions, SLA totals,
+      violations, batch histograms) are exactly equal between the modes, so
+      repartition triggers decide identically; per-window float summaries
+      (mean latency) can differ in the last ulp because the summation order
+      differs.
+
+    The columnar mode is what keeps the lifecycle-hook overhead of a
+    session's default observer within budget on the fast path: the replay
+    loop never pays a Python callback per query.
+
+    One observer describes **one run at a time**: binding to a new run's
+    store resets it (:meth:`attach_columns`), whereas an event-driven
+    observer left attached across ``begin()``/``finish()`` cycles keeps
+    accumulating.  Attach a fresh observer per run (what sessions do) when
+    comparing modes.
 
     Args:
         window: window length in simulation seconds.
     """
+
+    #: The simulator offers columnar binding to observers advertising this.
+    columnar_capable = True
 
     def __init__(self, window: float = 1.0) -> None:
         if window <= 0:
@@ -358,6 +406,78 @@ class WindowedMetrics(SimulationObserver):
         self._downtime: List[Tuple[float, float]] = []
         self._reconfig_started_at: Optional[float] = None
         self._last_event_time = 0.0
+        # Hot-path bucket cache: simulation time is non-decreasing and a
+        # window usually holds many events, so almost every lookup hits the
+        # same bucket the previous event touched.
+        self._cached_index = -1
+        self._cached_bucket: Optional[_Bucket] = None
+        # Columnar binding (fast path): the run's struct-of-arrays store and
+        # a clock source exposing ``.now``.
+        self._columns = None
+        self._source = None
+
+    # ------------------------------------------------------------------ #
+    # columnar binding
+    # ------------------------------------------------------------------ #
+    def attach_columns(self, columns, source) -> bool:
+        """Bind this observer to a run's columnar store (fast path only).
+
+        ``source`` is anything exposing the current simulation time as
+        ``.now`` (the simulator).  Binding resets the observer — it now
+        describes exactly the bound run — and switches every digestion
+        surface to lazy, vectorised reads of the columns; one observer can
+        be bound to one run at a time.
+
+        Re-attaching the *same* run's store (e.g. the simulator re-resolving
+        its observers when another observer is added mid-run) is a no-op, so
+        already-recorded reconfiguration history survives.
+
+        Returns:
+            True (the binding is accepted; the simulator then delivers only
+            reconfiguration events).
+        """
+        if self._columns is columns and self._source is source:
+            return True
+        self._columns = columns
+        self._source = source
+        self._buckets.clear()
+        self._downtime.clear()
+        self._reconfig_started_at = None
+        self._last_event_time = 0.0
+        self._cached_index = -1
+        self._cached_bucket = None
+        return True
+
+    def _columnar_state(self):
+        """Numpy views + masks of the bound columns.
+
+        ``seen`` marks the queries whose arrival event has actually fired —
+        the simulator raises the ``announced`` flag exactly once per query,
+        when it would emit :class:`QueryArrived` — so the lazy digestion
+        counts precisely what an event-driven observer would have
+        accumulated, including queries submitted mid-run at the current
+        instant whose events are still pending.  Completions are recorded
+        only when their event fires, so the finish column needs no filter.
+        """
+        columns = self._columns
+        arrival = np.frombuffer(columns.arrival, dtype=np.float64)
+        batch = np.frombuffer(columns.batch, dtype=np.int64)
+        finish = np.frombuffer(columns.finish, dtype=np.float64)
+        deadline = np.frombuffer(columns.deadline, dtype=np.float64)
+        seen = np.frombuffer(columns.announced, dtype=np.int8) != 0
+        completed = ~np.isnan(finish)
+        return arrival, batch, finish, deadline, seen, completed
+
+    def _columnar_horizon(self, state) -> float:
+        """The last observed event time (columnar equivalent of the
+        event-driven ``_last_event_time``)."""
+        arrival, _, finish, _, seen, completed = state
+        horizon = self._last_event_time  # reconfiguration events, if any
+        if seen.any():
+            horizon = max(horizon, float(arrival[seen].max()))
+        if completed.any():
+            horizon = max(horizon, float(finish[completed].max()))
+        return horizon
 
     # ------------------------------------------------------------------ #
     # event handlers
@@ -366,9 +486,13 @@ class WindowedMetrics(SimulationObserver):
         if time > self._last_event_time:
             self._last_event_time = time
         index = int(time // self.window)
+        if index == self._cached_index:
+            return self._cached_bucket
         bucket = self._buckets.get(index)
         if bucket is None:
             bucket = self._buckets[index] = _Bucket()
+        self._cached_index = index
+        self._cached_bucket = bucket
         return bucket
 
     def on_query_arrived(self, event: QueryArrived) -> None:
@@ -420,6 +544,8 @@ class WindowedMetrics(SimulationObserver):
         last observed event), including empty windows so gaps — e.g. a
         reconfiguration dip — stay visible.  An explicit ``until`` truncates:
         windows starting after it are not reported."""
+        if self._columns is not None:
+            return self._columnar_series(until)
         if until is None:
             horizon = self._last_event_time
             if not self._buckets and horizon <= 0:
@@ -463,6 +589,89 @@ class WindowedMetrics(SimulationObserver):
             )
         return out
 
+    def _columnar_series(self, until: Optional[float]) -> List[WindowStats]:
+        """Vectorised :meth:`series` over the bound columnar store.
+
+        Window bucketing uses the same float floor-division as the
+        event-driven path, so every count lands in the same window; the
+        per-window mean is a sum over a different accumulation order, hence
+        "last ulp" rather than bit-exact for the float summaries.
+        """
+        window = self.window
+        state = self._columnar_state()
+        arrival, _, finish, deadline, seen, completed = state
+        if until is None:
+            horizon = self._columnar_horizon(state)
+            if (
+                horizon <= 0
+                and not self._downtime
+                and not seen.any()
+                and not completed.any()
+            ):
+                return []
+            last_index = int(max(horizon, 0.0) // window)
+        else:
+            if until < 0:
+                return []
+            last_index = int(until // window)
+        count = last_index + 1
+
+        arrival_index = (arrival[seen] // window).astype(np.int64)
+        arrivals_per = np.bincount(
+            arrival_index[arrival_index <= last_index], minlength=count
+        )
+
+        finished = finish[completed]
+        latencies = finished - arrival[completed]
+        deadlines = deadline[completed]
+        finish_index = (finished // window).astype(np.int64)
+        in_range = finish_index <= last_index
+        finish_index = finish_index[in_range]
+        latencies = latencies[in_range]
+        deadlines = deadlines[in_range]
+        completions_per = np.bincount(finish_index, minlength=count)
+        has_sla = ~np.isnan(deadlines)
+        violated = latencies > deadlines  # NaN deadline compares False
+        sla_per = np.bincount(finish_index, weights=has_sla, minlength=count)
+        violations_per = np.bincount(finish_index, weights=violated, minlength=count)
+
+        # Group completion latencies by window for the mean/p95 summaries.
+        order = np.argsort(finish_index, kind="stable")
+        sorted_latencies = latencies[order]
+        boundaries = np.searchsorted(finish_index[order], np.arange(count + 1))
+
+        out: List[WindowStats] = []
+        for index in range(count):
+            start = index * window
+            end = start + window
+            completions = int(completions_per[index])
+            lo, hi = boundaries[index], boundaries[index + 1]
+            if completions:
+                window_latencies = sorted_latencies[lo:hi]
+                mean_latency = float(window_latencies.mean())
+                p95 = float(np.percentile(window_latencies, 95))
+            else:
+                mean_latency = p95 = 0.0
+            sla_count = int(sla_per[index])
+            violations = int(violations_per[index])
+            out.append(
+                WindowStats(
+                    index=index,
+                    start=start,
+                    end=end,
+                    arrivals=int(arrivals_per[index]),
+                    completions=completions,
+                    throughput_qps=completions / window,
+                    mean_latency=mean_latency,
+                    p95_latency=p95,
+                    sla_count=sla_count,
+                    violations=violations,
+                    violation_rate=violations / sla_count if sla_count else 0.0,
+                    reconfiguring=self._overlaps_downtime(start, end),
+                )
+            )
+        return out
+
     # ------------------------------------------------------------------ #
     # trigger-facing views
     # ------------------------------------------------------------------ #
@@ -488,8 +697,15 @@ class WindowedMetrics(SimulationObserver):
         if lookback_windows < 1:
             raise ValueError("lookback_windows must be >= 1")
         last = self._last_lookback_window(now)
+        first = max(0, last - lookback_windows + 1)
+        if self._columns is not None:
+            arrival, batch, _, _, seen, _ = self._columnar_state()
+            index = (arrival // self.window).astype(np.int64)
+            mask = seen & (index >= first) & (index <= last)
+            values, counts = np.unique(batch[mask], return_counts=True)
+            return {int(b): int(c) for b, c in zip(values, counts)}
         histogram: Dict[int, int] = {}
-        for index in range(max(0, last - lookback_windows + 1), last + 1):
+        for index in range(first, last + 1):
             bucket = self._buckets.get(index)
             if bucket is None:
                 continue
@@ -513,8 +729,19 @@ class WindowedMetrics(SimulationObserver):
         if lookback_windows < 1:
             raise ValueError("lookback_windows must be >= 1")
         last = self._last_lookback_window(now)
+        first = max(0, last - lookback_windows + 1)
+        if self._columns is not None:
+            arrival, _, finish, deadline, _, completed = self._columnar_state()
+            finished = finish[completed]
+            index = (finished // self.window).astype(np.int64)
+            mask = (index >= first) & (index <= last)
+            deadlines = deadline[completed][mask]
+            latencies = finished[mask] - arrival[completed][mask]
+            sla_count = int((~np.isnan(deadlines)).sum())
+            violations = int((latencies > deadlines).sum())
+            return violations, sla_count
         violations = sla_count = 0
-        for index in range(max(0, last - lookback_windows + 1), last + 1):
+        for index in range(first, last + 1):
             bucket = self._buckets.get(index)
             if bucket is None:
                 continue

@@ -84,6 +84,48 @@ class CompletedArrays:
         return int(self.latencies.size)
 
 
+def completed_arrays_from_columns(columns) -> CompletedArrays:
+    """Digest a fast-path columnar store into :class:`CompletedArrays`.
+
+    ``columns`` is a :class:`repro.sim.columnar.QueryColumns` (duck-typed to
+    avoid an import cycle).  The ``array('d')`` columns are wrapped in numpy
+    views through the buffer protocol — zero copies, no per-query Python
+    loop — and the derived values are bit-identical to
+    :func:`completed_arrays` over the materialised query objects: the same
+    float64 subtractions over the same values in the same (submission)
+    order, with NaN marking "not set" exactly where the object scan sees
+    ``None``.
+    """
+    finish = np.frombuffer(columns.finish, dtype=np.float64)
+    if finish.size == 0:
+        empty = np.empty(0, dtype=float)
+        return CompletedArrays(
+            latencies=empty,
+            delays=empty,
+            has_sla=np.empty(0, dtype=bool),
+            violated=np.empty(0, dtype=bool),
+        )
+    arrival = np.frombuffer(columns.arrival, dtype=np.float64)
+    start = np.frombuffer(columns.start, dtype=np.float64)
+    deadline = np.frombuffer(columns.deadline, dtype=np.float64)
+    mask = ~np.isnan(finish)
+    if not mask.all():
+        finish = finish[mask]
+        arrival = arrival[mask]
+        start = start[mask]
+        deadline = deadline[mask]
+    latencies = finish - arrival
+    delays = np.where(np.isnan(start), finish, start) - arrival
+    has_sla = ~np.isnan(deadline)
+    # NaN compares False, so queries without a deadline never count as
+    # violated — the same truth table as the object scan's
+    # ``sla is not None and latency > sla``.
+    violated = latencies > deadline
+    return CompletedArrays(
+        latencies=latencies, delays=delays, has_sla=has_sla, violated=violated
+    )
+
+
 def completed_arrays(queries: Sequence[Query]) -> CompletedArrays:
     """Build the digestion columns in one pass over ``queries``.
 
@@ -194,7 +236,28 @@ def compute_statistics(
         offered_load_qps: the offered arrival rate, when known (reported
             alongside the achieved throughput).
     """
-    arrays = completed_arrays(queries)
+    return compute_statistics_from_arrays(
+        completed_arrays(queries),
+        workers,
+        makespan,
+        total_queries=len(queries),
+        offered_load_qps=offered_load_qps,
+    )
+
+
+def compute_statistics_from_arrays(
+    arrays: CompletedArrays,
+    workers: Sequence[PartitionWorker],
+    makespan: float,
+    total_queries: int,
+    offered_load_qps: Optional[float] = None,
+) -> ServerStatistics:
+    """:func:`compute_statistics` over pre-built digestion columns.
+
+    The fast simulator path hands its columnar store straight here (via
+    :func:`completed_arrays_from_columns`) so digestion never re-scans the
+    query objects.
+    """
     throughput = arrays.count / makespan if makespan > 0 else 0.0
     return ServerStatistics(
         latency=latency_statistics_from_arrays(arrays),
@@ -203,5 +266,5 @@ def compute_statistics(
         offered_load_qps=offered_load_qps if offered_load_qps is not None else 0.0,
         makespan=makespan,
         completed_queries=arrays.count,
-        total_queries=len(queries),
+        total_queries=total_queries,
     )

@@ -9,6 +9,13 @@ so the metrics module can report per-partition and server-wide utilization.
 Execution times come from the model's :class:`~repro.perf.lookup.ProfileTable`
 — the same table ELSA's estimator reads — with an optional multiplicative
 noise term to model run-to-run variance of real hardware.
+
+Runtime state can live in two places: on the :class:`~repro.workload.query.Query`
+objects themselves (the naive/reference representation) or in the fast path's
+columnar store (:class:`~repro.sim.columnar.QueryColumns`), in which case the
+worker writes array slots instead of object attributes and the objects are
+materialised from the columns when the run finishes (or eagerly, per query,
+when lifecycle observers need to read them mid-run).
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Callable, Deque, List, Optional
 import numpy as np
 
 from repro.gpu.partition import PartitionInstance
+from repro.sim.columnar import QueryColumns
 from repro.workload.query import Query
 
 #: Signature of the execution-latency oracle: (model, batch, gpcs) -> seconds.
@@ -44,6 +52,12 @@ class PartitionWorker:
         created_at: simulation time this worker came online (0 for the
             initial partition set; the reconfiguration completion time for
             workers added by a live repartition).
+        columns: the fast path's columnar runtime-state store.  When given,
+            dispatch/start/finish timestamps are written to array slots
+            (``Query.index`` addresses the row) instead of query attributes.
+        write_through: with ``columns``, *also* write the query attributes —
+            enabled when lifecycle observers are attached, so handlers can
+            read e.g. ``query.finish_time`` the moment the event fires.
     """
 
     def __init__(
@@ -54,10 +68,17 @@ class PartitionWorker:
         seed: Optional[int] = None,
         queued_work_cache: bool = True,
         created_at: float = 0.0,
+        columns: Optional[QueryColumns] = None,
+        write_through: bool = False,
     ) -> None:
         if noise_std < 0:
             raise ValueError("noise_std must be non-negative")
         self.instance = instance
+        #: Partition size / id cached as plain attributes: the scheduling hot
+        #: loops read them once per worker per arrival, and a chain of two
+        #: properties is measurable there.
+        self.gpcs: int = instance.gpcs
+        self.instance_id: int = instance.instance_id
         self.latency_fn = latency_fn
         self.noise_std = noise_std
         self._rng = np.random.default_rng(seed)
@@ -73,6 +94,10 @@ class PartitionWorker:
         self.created_at = created_at
         self.retired_at: Optional[float] = None
 
+        self._columns = columns
+        self._write_objects = columns is None or write_through
+        self._current_start = 0.0
+
         self._qw_cache_enabled = queued_work_cache
         self._qw_estimator: Optional[LatencyFn] = None
         #: Per-query estimates (same order as ``queue``) under the current
@@ -84,16 +109,6 @@ class PartitionWorker:
     # ------------------------------------------------------------------ #
     # identity / state
     # ------------------------------------------------------------------ #
-    @property
-    def instance_id(self) -> int:
-        """Unique id of the underlying partition instance."""
-        return self.instance.instance_id
-
-    @property
-    def gpcs(self) -> int:
-        """Partition size in GPCs."""
-        return self.instance.gpcs
-
     @property
     def is_idle(self) -> bool:
         """True when nothing is executing and the local queue is empty."""
@@ -108,6 +123,10 @@ class PartitionWorker:
     def queue_depth(self) -> int:
         """Number of queries waiting in the local queue (excluding executing)."""
         return len(self.queue)
+
+    def enable_write_through(self) -> None:
+        """Mirror columnar writes onto the query objects from now on."""
+        self._write_objects = True
 
     # ------------------------------------------------------------------ #
     # execution model
@@ -130,8 +149,14 @@ class PartitionWorker:
     # ------------------------------------------------------------------ #
     def enqueue(self, query: Query, now: float) -> None:
         """Append ``query`` to this worker's local scheduling queue."""
-        query.dispatch_time = now
-        query.instance_id = self.instance_id
+        columns = self._columns
+        if columns is not None:
+            index = query.index
+            columns.dispatch[index] = now
+            columns.instance[index] = self.instance_id
+        if self._write_objects:
+            query.dispatch_time = now
+            query.instance_id = self.instance_id
         if self._qw_cache_enabled and self._qw_estimator is not None:
             # Estimate before mutating, so an estimator error cannot leave
             # the queue and its estimate cache out of sync.
@@ -158,7 +183,12 @@ class PartitionWorker:
         if self._qw_estimates:
             self._qw_estimates.popleft()
         self._qw_dirty = True
-        query.start_time = now
+        columns = self._columns
+        if columns is not None:
+            columns.start[query.index] = now
+        if self._write_objects:
+            query.start_time = now
+        self._current_start = now
         duration = self.service_time(query)
         self.current_query = query
         self.current_finish_time = now + duration
@@ -175,9 +205,12 @@ class PartitionWorker:
                 f"worker {self.instance_id} has no executing query to complete"
             )
         query = self.current_query
-        query.finish_time = now
-        started = query.start_time if query.start_time is not None else now
-        self.busy_time += now - started
+        columns = self._columns
+        if columns is not None:
+            columns.finish[query.index] = now
+        if self._write_objects:
+            query.finish_time = now
+        self.busy_time += now - self._current_start
         self.completed.append(query)
         self.current_query = None
         self.current_finish_time = None
@@ -225,8 +258,25 @@ class PartitionWorker:
         return self._qw_total
 
     def estimated_wait(self, now: float, estimator: LatencyFn) -> float:
-        """ELSA's ``T_wait``: queued work plus remainder of the running query."""
-        return self.queued_work(estimator) + self.remaining_execution_time(now)
+        """ELSA's ``T_wait``: queued work plus remainder of the running query.
+
+        One call per worker per arrival in the scheduling hot loop, so the
+        clean-cache case is answered inline instead of through two further
+        method calls; the arithmetic is identical either way.
+        """
+        if (
+            self._qw_cache_enabled
+            and estimator is self._qw_estimator
+            and not self._qw_dirty
+        ):
+            queued = self._qw_total
+        else:
+            queued = self.queued_work(estimator)
+        finish = self.current_finish_time
+        if finish is None:
+            return queued
+        remaining = finish - now
+        return queued + (remaining if remaining > 0.0 else 0.0)
 
     def drain_queue(self) -> List[Query]:
         """Remove and return every queued (not started) query, in order.

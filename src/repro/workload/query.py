@@ -17,6 +17,13 @@ from typing import Optional
 class Query:
     """One inference request.
 
+    The runtime fields (``dispatch_time`` … ``instance_id``) are authoritative
+    on the naive/reference simulator path.  The fast path keeps them in the
+    columnar store (:mod:`repro.sim.columnar`) instead — ``index`` is the
+    query's row there — and this object becomes a thin view: the columns are
+    materialised onto it when the run finishes, or eagerly while observers
+    are attached.
+
     Attributes:
         query_id: unique id within a trace.
         model: name of the DNN model this query targets.
@@ -28,6 +35,8 @@ class Query:
         start_time: when execution began on the partition.
         finish_time: when execution completed.
         instance_id: partition instance that executed the query.
+        index: row index in the current run's columnar store (fast path
+            only; assigned at submission).
     """
 
     query_id: int
@@ -39,6 +48,7 @@ class Query:
     start_time: Optional[float] = field(default=None, compare=False)
     finish_time: Optional[float] = field(default=None, compare=False)
     instance_id: Optional[int] = field(default=None, compare=False)
+    index: Optional[int] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.batch < 1:
@@ -89,3 +99,15 @@ class Query:
         self.start_time = None
         self.finish_time = None
         self.instance_id = None
+        self.index = None
+
+    def clone_fresh(self) -> "Query":
+        """A pristine copy of the static fields, runtime state cleared.
+
+        The replay-copy path of :meth:`repro.workload.trace.QueryTrace.fresh_copy`:
+        constructing directly is cheaper than ``copy.copy`` + reset, and the
+        per-trace cost lands inside every timed replay.
+        """
+        return Query(
+            self.query_id, self.model, self.batch, self.arrival_time, self.sla_target
+        )

@@ -91,12 +91,7 @@ class QueryTrace:
         Use this when replaying one trace against multiple server designs so
         each simulation starts from pristine queries.
         """
-        queries = []
-        for query in self.queries:
-            clone = copy.copy(query)
-            clone.reset_runtime_state()
-            queries.append(clone)
-        return QueryTrace(tuple(queries))
+        return QueryTrace(tuple(query.clone_fresh() for query in self.queries))
 
     def with_sla(self, sla_target: float) -> "QueryTrace":
         """Return a copy of the trace with every query's SLA set to ``sla_target``."""

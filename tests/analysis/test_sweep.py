@@ -220,3 +220,51 @@ class TestBracketedSearch:
             deployment, workload, max_rate=undersized, iterations=5, max_expansions=0
         )
         assert result.rate_qps <= undersized
+
+
+def shared_double(shared, value):
+    return shared * value
+
+
+class TestWarmSharedPool:
+    def test_map_shared_serial_matches_inline(self):
+        runner = ParallelRunner(n_jobs=1)
+        assert runner.map_shared(shared_double, 3, [1, 2, 4]) == [3, 6, 12]
+        assert not runner.warm
+
+    def test_map_shared_spawned_pool_matches_serial(self):
+        work = list(range(8))
+        serial = ParallelRunner(n_jobs=1).map_shared(shared_double, 5, work)
+        with ParallelRunner(n_jobs=2, force_spawn=True) as runner:
+            parallel = runner.map_shared(shared_double, 5, work)
+            assert runner.warm  # the pool stays alive for the next call
+            again = runner.map_shared(shared_double, 5, work)
+        assert parallel == serial
+        assert again == serial
+        assert not runner.warm  # context exit closed it
+
+    def test_pool_respawns_when_shared_state_changes(self):
+        with ParallelRunner(n_jobs=2, force_spawn=True) as runner:
+            assert runner.map_shared(shared_double, 2, [1, 2]) == [2, 4]
+            assert runner.map_shared(shared_double, 10, [1, 2]) == [10, 20]
+
+    def test_single_core_or_tiny_work_skips_the_spawn(self, monkeypatch):
+        import os as _os
+
+        runner = ParallelRunner(n_jobs=4)
+        monkeypatch.setattr(_os, "cpu_count", lambda: 1)
+        assert runner.map_shared(shared_double, 2, [1, 2, 3]) == [2, 4, 6]
+        assert not runner.warm  # 1 core: no pool, no spawn tax
+        monkeypatch.setattr(_os, "cpu_count", lambda: 8)
+        assert runner.map(double, [1, 2, 3], work_hint=10.0) == [2, 4, 6]
+        assert not runner.warm  # per-point work below min_fork_work
+        runner.close()
+
+    def test_sweep_with_warm_runner_matches_serial(self, deployment, workload):
+        rates = [100.0, 400.0, 800.0]
+        serial = sweep_rates(deployment, workload, rates, seed=0, n_jobs=1)
+        with ParallelRunner(n_jobs=2, force_spawn=True) as runner:
+            first = sweep_rates(deployment, workload, rates, seed=0, runner=runner)
+            second = sweep_rates(deployment, workload, rates, seed=0, runner=runner)
+        assert first == serial
+        assert second == serial

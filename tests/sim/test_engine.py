@@ -76,3 +76,88 @@ class TestEventQueue:
         assert not queue
         queue.push(0.0, EventKind.ARRIVAL, make_query())
         assert queue and len(queue) == 1
+
+
+class TestTupleEventQueue:
+    def make(self):
+        from repro.sim.engine import TupleEventQueue
+
+        return TupleEventQueue()
+
+    def test_orders_by_time_kind_sequence(self):
+        queue = self.make()
+        queue.push(2.0, EventKind.ARRIVAL, make_query(0))
+        queue.push(1.0, EventKind.ARRIVAL, make_query(1))
+        queue.push(1.0, EventKind.COMPLETION, make_query(2), worker="w")
+        order = [queue.pop() for _ in range(3)]
+        # completion beats arrival at t=1.0 (same tie-break as Event)
+        assert [(e[0], e[1]) for e in order] == [
+            (1.0, int(EventKind.COMPLETION)),
+            (1.0, int(EventKind.ARRIVAL)),
+            (2.0, int(EventKind.ARRIVAL)),
+        ]
+
+    def test_total_order_matches_event_queue(self):
+        """Same pushes into both queues drain in the same order."""
+        pushes = [
+            (2.0, EventKind.ARRIVAL),
+            (1.0, EventKind.RECONFIG),
+            (1.0, EventKind.COMPLETION),
+            (1.0, EventKind.ARRIVAL),
+            (0.5, EventKind.ARRIVAL),
+            (2.0, EventKind.COMPLETION),
+        ]
+        reference, tuples = EventQueue(), self.make()
+        for index, (time, kind) in enumerate(pushes):
+            query = make_query(index)
+            reference.push(time, kind, query)
+            tuples.push(time, kind, query)
+        while reference:
+            event = reference.pop()
+            entry = tuples.pop()
+            assert (event.time, int(event.kind), event.sequence) == entry[:3]
+            assert entry[3] is event.query
+
+    def test_peek_does_not_remove(self):
+        queue = self.make()
+        queue.push(1.0, EventKind.ARRIVAL, make_query())
+        assert queue.peek()[0] == 1.0
+        assert len(queue) == 1
+        with pytest.raises(IndexError):
+            self.make().peek()
+
+    def test_extend_sorted_bulk_load(self):
+        queue = self.make()
+        queries = [make_query(i) for i in range(4)]
+        queue.extend_sorted([0.0, 0.5, 0.5, 2.0], EventKind.ARRIVAL, queries)
+        drained = [queue.pop() for _ in range(4)]
+        assert [e[0] for e in drained] == [0.0, 0.5, 0.5, 2.0]
+        assert [e[3] for e in drained] == queries
+        # sequences keep increasing for later pushes
+        entry = queue.push(9.0, EventKind.ARRIVAL, make_query(9))
+        assert entry[2] == 4
+
+    def test_extend_sorted_rejects_unsorted_and_nonempty(self):
+        queue = self.make()
+        with pytest.raises(ValueError):
+            queue.extend_sorted([1.0, 0.5], EventKind.ARRIVAL, [make_query(0), make_query(1)])
+        assert not queue  # failed bulk load leaves the queue empty
+        queue.push(0.0, EventKind.ARRIVAL, make_query())
+        with pytest.raises(ValueError):
+            queue.extend_sorted([1.0], EventKind.ARRIVAL, [make_query(1)])
+
+    def test_materialize_builds_the_event_view_lazily(self):
+        from repro.sim.engine import TupleEventQueue
+
+        queue = self.make()
+
+        class FakeWorker:
+            instance_id = 7
+
+        queue.push(1.0, EventKind.COMPLETION, make_query(3), worker=FakeWorker())
+        event = TupleEventQueue.materialize(queue.peek())
+        assert isinstance(event, Event)
+        assert event.time == 1.0
+        assert event.kind is EventKind.COMPLETION
+        assert event.instance_id == 7
+        assert event.query.query_id == 3

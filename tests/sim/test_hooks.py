@@ -338,3 +338,93 @@ class TestLiveReconfiguration:
         assert online_at == pytest.approx(2.0)  # in-flight query drains first
         result = simulator.finish()
         assert result.statistics.completed_queries == 2
+
+
+class TestColumnarWindowedMetrics:
+    """Fast-path (columnar-bound) WindowedMetrics behaviours."""
+
+    def _simulator(self, windowed):
+        from repro.core.schedulers import FifsScheduler
+        from repro.sim.cluster import InferenceServerSimulator
+        from tests.sim.helpers import MODEL, constant_profile, make_instances
+
+        return InferenceServerSimulator(
+            instances=make_instances((1, 7)),
+            profiles={MODEL: constant_profile({1: 0.4, 3: 0.2, 7: 0.1})},
+            scheduler=FifsScheduler(),
+            observers=[windowed],
+            fast_path=True,
+        )
+
+    def test_mid_run_add_observer_keeps_reconfiguration_history(self):
+        from repro.sim.hooks import EventLog, WindowedMetrics
+        from tests.sim.helpers import make_instances, make_trace
+
+        windowed = WindowedMetrics(window=0.5)
+        simulator = self._simulator(windowed)
+        simulator.begin()
+        simulator.submit_trace(make_trace([(0.1 * i, 2) for i in range(20)]))
+        simulator.run_until(0.6)
+        simulator.reconfigure(make_instances((3, 3)), reconfig_cost=0.5)
+        simulator.run_until(3.0)
+        assert windowed.downtime_intervals  # the repartition was recorded
+        # re-resolving observers mid-run must not reset the bound metrics
+        simulator.add_observer(EventLog())
+        simulator.finish()
+        assert windowed.downtime_intervals
+        assert any(window.reconfiguring for window in windowed.series())
+
+    def test_retrospective_lookback_sees_every_fired_arrival(self):
+        """A historical `now` must count the whole window, exactly like the
+        event-driven observer would (arrivals are cut at the simulation
+        clock, not at the lookback time)."""
+        from repro.sim.hooks import WindowedMetrics
+        from tests.sim.helpers import make_trace
+
+        windowed = WindowedMetrics(window=1.0)
+        simulator = self._simulator(windowed)
+        simulator.run(make_trace([(0.2, 1), (5.1, 2), (5.7, 4), (8.0, 8)]))
+        # window 5 holds both the 5.1 and the 5.7 arrival; a lookback pinned
+        # inside that window (now=5.3) must still report both
+        assert windowed.observed_batch_histogram(5.3, lookback_windows=1) == {
+            2: 1,
+            4: 1,
+        }
+
+    def test_unstarted_run_reports_no_arrivals(self):
+        from repro.sim.hooks import WindowedMetrics
+        from tests.sim.helpers import make_trace
+
+        windowed = WindowedMetrics(window=1.0)
+        simulator = self._simulator(windowed)
+        simulator.begin()
+        simulator.submit_trace(make_trace([(0.0, 2), (0.5, 4)]))
+        # nothing processed yet: even the t=0 arrival has not fired
+        assert windowed.series() == []
+
+    def test_mid_run_observer_sees_materialised_runtime_state(self):
+        """Attaching an event-driven observer mid-run flips the columnar
+        workers to write-through AND back-fills already-recorded state, so
+        its statistics match the naive path exactly."""
+        from repro.core.schedulers import FifsScheduler
+        from repro.sim.cluster import InferenceServerSimulator
+        from repro.sim.hooks import StatisticsCollector
+        from tests.sim.helpers import MODEL, constant_profile, make_instances, make_trace
+
+        digests = {}
+        for fast in (True, False):
+            simulator = InferenceServerSimulator(
+                instances=make_instances((1, 7)),
+                profiles={MODEL: constant_profile({1: 0.5, 7: 0.5})},
+                scheduler=FifsScheduler(),
+                fast_path=fast,
+            )
+            simulator.begin()
+            simulator.submit_trace(make_trace([(0.0, 1), (0.2, 2), (0.4, 4)], sla=2.0))
+            simulator.run_until(0.25)
+            collector = StatisticsCollector()
+            simulator.add_observer(collector)
+            simulator.run_until(None)
+            simulator.finish()
+            digests[fast] = collector.latency_statistics()
+        assert digests[True] == digests[False]

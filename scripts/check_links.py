@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Link-check the markdown docs (stdlib only; used by the CI docs job).
+
+Validates, for every ``.md`` file passed (or found under passed directories):
+
+* relative links ``[text](path)`` resolve to an existing file or directory
+  (relative to the linking file);
+* intra-document and cross-document anchors ``path#anchor`` match a heading
+  in the target file (GitHub-style slugs);
+* reference-style definitions ``[label]: path`` resolve too.
+
+External links (``http(s)://``, ``mailto:``) are *not* fetched — CI must not
+depend on the network — but obviously malformed ones (whitespace) fail.
+
+Exit status is the number of broken links (0 = clean).
+
+Usage::
+
+    python scripts/check_links.py docs README.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+#: Inline links: [text](target) — excluding images' alt block is fine since
+#: the pattern matches the (target) either way.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions: [label]: target
+REFERENCE_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, spaces→dashes)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # strip links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> Set[str]:
+    """Every heading anchor of a markdown file."""
+    content = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: Set[str] = set()
+    counts: dict = {}
+    for match in HEADING.finditer(content):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    # explicit <a name="..."> / id="..." anchors
+    for match in re.finditer(r"<a\s+(?:name|id)=\"([^\"]+)\"", content):
+        slugs.add(match.group(1))
+    return slugs
+
+
+def collect_markdown(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            print(f"warning: skipping non-markdown argument {argument}")
+    return files
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Broken (target, reason) pairs of one markdown file."""
+    content = path.read_text(encoding="utf-8")
+    stripped = CODE_FENCE.sub("", content)
+    targets = INLINE_LINK.findall(stripped) + REFERENCE_DEF.findall(stripped)
+    broken: List[Tuple[str, str]] = []
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors_of(path):
+                broken.append((target, "no such heading in this file"))
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append((target, f"missing file {resolved}"))
+            continue
+        if anchor:
+            if resolved.suffix != ".md":
+                broken.append((target, "anchor on a non-markdown target"))
+            elif anchor not in anchors_of(resolved):
+                broken.append((target, f"no heading '{anchor}' in {file_part}"))
+    return broken
+
+
+def main(arguments: List[str]) -> int:
+    files = collect_markdown(arguments or ["docs", "README.md"])
+    if not files:
+        print("no markdown files found")
+        return 1
+    total = 0
+    for path in files:
+        for target, reason in check_file(path):
+            print(f"{path}: broken link '{target}' ({reason})")
+            total += 1
+    print(f"checked {len(files)} file(s): {total} broken link(s)")
+    return min(total, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -55,8 +55,8 @@ Writing your own policy is a registry decorator away::
 """
 
 from repro.core.elsa import ElsaScheduler
-from repro.core.paris import Paris, ParisConfig, run_paris
-from repro.core.plan import PartitionPlan
+from repro.core.paris import FleetParis, Paris, ParisConfig, run_fleet_paris, run_paris
+from repro.core.plan import FleetPlan, PartitionPlan
 from repro.core.registry import (
     PartitionerContext,
     SchedulerContext,
@@ -89,12 +89,20 @@ from repro.core.specs import (
     RandomPartitionSpec,
     SlaSpec,
 )
-from repro.gpu.architecture import A100, GPUArchitecture
+from repro.gpu.architecture import (
+    A100,
+    A100_80GB,
+    A30,
+    GPUArchitecture,
+    H100,
+    get_architecture,
+)
+from repro.gpu.fleet import Fleet, FleetServerSpec
 from repro.gpu.partition import GPUPartition
-from repro.gpu.server import MultiGPUServer
+from repro.gpu.server import MultiGPUServer, ServerCapacityError
 from repro.models.registry import PAPER_MODELS, get_model, list_models
 from repro.perf.lookup import ProfileTable
-from repro.perf.profiler import Profiler, profile_model
+from repro.perf.profiler import Profiler, cached_profile, fleet_profiles, profile_model
 from repro.serving.builder import ServerBuilder
 from repro.serving.config import PartitioningStrategy, SchedulingPolicy, ServerConfig
 from repro.serving.deployment import Deployment, build_deployment
@@ -121,8 +129,15 @@ __version__ = "1.2.0"
 
 __all__ = [
     "A100",
+    "A100_80GB",
+    "A30",
+    "H100",
     "ClusterSpec",
     "Deployment",
+    "Fleet",
+    "FleetParis",
+    "FleetPlan",
+    "FleetServerSpec",
     "ElsaScheduler",
     "ElsaSpec",
     "FifsScheduler",
@@ -157,6 +172,7 @@ __all__ = [
     "SchedulingPolicy",
     "ServerBuilder",
     "ServerConfig",
+    "ServerCapacityError",
     "ServiceResult",
     "ServingSession",
     "SessionResult",
@@ -173,6 +189,9 @@ __all__ = [
     "available_schedulers",
     "available_triggers",
     "build_deployment",
+    "cached_profile",
+    "fleet_profiles",
+    "get_architecture",
     "build_scenario",
     "build_trigger",
     "get_model",
@@ -186,5 +205,6 @@ __all__ = [
     "register_scheduler",
     "register_trigger",
     "run_paris",
+    "run_fleet_paris",
     "__version__",
 ]

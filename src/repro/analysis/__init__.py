@@ -20,12 +20,16 @@ from repro.analysis.reporting import format_table, rows_to_csv
 from repro.analysis import experiments
 from repro.analysis.experiments import (
     ExperimentSettings,
+    fleet_gpc_cost,
+    heterogeneous_fleet,
     measure_designs,
     named_designs,
 )
 
 __all__ = [
     "ExperimentSettings",
+    "fleet_gpc_cost",
+    "heterogeneous_fleet",
     "measure_designs",
     "named_designs",
     "DesignPointResult",

@@ -72,6 +72,39 @@ PAPER_NUM_GPUS: Dict[str, int] = {
 #: The homogeneous partition sizes studied in the paper's evaluation.
 HOMOGENEOUS_SIZES: Tuple[int, ...] = (1, 2, 3, 7)
 
+#: Relative cost of one GPC by architecture, normalised to the A100-40GB
+#: (rough public-cloud hourly-price ratios).  The fleet experiment compares
+#: designs at *iso GPC-cost*: a fleet's cost is the sum of its per-server
+#: budgets weighted by these factors.
+GPC_COST: Dict[str, float] = {
+    "A100-SXM4-40GB": 1.0,
+    "A100-SXM4-80GB": 1.15,
+    "A30": 0.45,
+    "H100-SXM5-80GB": 2.4,
+}
+
+
+def fleet_gpc_cost(servers: Sequence) -> float:
+    """GPC-cost of a fleet description under :data:`GPC_COST`.
+
+    Args:
+        servers: ``(num_gpus, architecture[, gpc_budget])`` tuples or
+            :class:`~repro.gpu.fleet.FleetServerSpec` objects.
+
+    Returns:
+        The summed cost of every server's effective GPC budget.
+
+    Raises:
+        KeyError: for an architecture without a cost entry.
+    """
+    from repro.gpu.fleet import FleetServerSpec
+
+    total = 0.0
+    for server in servers:
+        spec = FleetServerSpec.coerce(server)
+        total += spec.effective_gpc_budget * GPC_COST[spec.architecture.name]
+    return total
+
 #: Default workload parameters (Section V).
 DEFAULT_SIGMA = 0.9
 DEFAULT_MAX_BATCH = 32
@@ -222,6 +255,50 @@ class ExperimentSettings:
             iterations=self.search_iterations,
             seed=self.seed,
         )
+
+    def build_fleet_design(
+        self,
+        model: str,
+        servers: Sequence,
+        partitioning: str = "paris",
+        scheduler: str = "elsa",
+        max_batch: Optional[int] = None,
+        sigma: Optional[float] = None,
+        sla_multiplier: Optional[float] = None,
+        batch_pdf: Optional[Dict[int, float]] = None,
+    ) -> Deployment:
+        """Materialise a fleet design point under the paper's methodology.
+
+        Args:
+            model: served model (registry name).
+            servers: the fleet — ``(num_gpus, architecture[, gpc_budget])``
+                tuples or :class:`~repro.gpu.fleet.FleetServerSpec` objects.
+            partitioning / scheduler: policy registry names.
+            max_batch / sigma: workload-distribution overrides.
+            sla_multiplier: SLA multiplier override.
+            batch_pdf: explicit planning PDF (defaults to the analytical
+                log-normal PDF).
+
+        Returns:
+            The materialised fleet :class:`Deployment` (per-architecture
+            profile tables come from the process-wide cache).
+        """
+        config = ServerConfig(
+            model=model,
+            partitioning=normalize_policy_name(partitioning, "partitioning"),
+            scheduler=normalize_policy_name(scheduler, "scheduler"),
+            fleet=tuple(servers),
+            sla_multiplier=sla_multiplier or self.sla_multiplier,
+            max_batch=max_batch or self.max_batch,
+            random_seed=self.seed,
+            frontend_capacity_qps=self.frontend_qps,
+        )
+        pdf = (
+            dict(batch_pdf)
+            if batch_pdf is not None
+            else self.batch_pdf(max_batch=max_batch, sigma=sigma)
+        )
+        return build_deployment(config, pdf)
 
     def __getstate__(self):
         # Shipping settings into pool workers must not drag the (unpicklable)
@@ -757,6 +834,79 @@ def dynamic_scenario(
                     "plan": result.deployment.plan.describe(),
                 }
             )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# heterogeneous fleets — mixed-architecture serving at iso GPC-cost
+# --------------------------------------------------------------------------- #
+
+#: Default fleet designs of the heterogeneous-fleet experiment, all within
+#: ~1.7% of the homogeneous baseline's GPC-cost of 48.0 (see
+#: :data:`GPC_COST`): trading expensive A100 GPCs for a larger number of
+#: cheap A30 GPCs, or for a few very fast H100 GPCs.
+DEFAULT_FLEETS: Dict[str, Tuple] = {
+    "a100-only": ((8, "a100", 48),),
+    "a100+a30": ((4, "a100", 28), (11, "a30", 44)),
+    "a100+h100": ((4, "a100", 28), (2, "h100", 8)),
+}
+
+
+def heterogeneous_fleet(
+    model: str = "resnet",
+    settings: Optional[ExperimentSettings] = None,
+    fleets: Optional[Dict[str, Sequence]] = None,
+    partitioning: str = "paris",
+    scheduler: str = "elsa",
+) -> List[dict]:
+    """Compare homogeneous vs mixed-architecture fleets at iso GPC-cost.
+
+    Every fleet is deployed with the same partitioner/scheduler pair (fleet
+    PARIS + architecture-aware ELSA by default), its latency-bounded
+    throughput is measured against the same workload and SLA methodology as
+    Figures 11–13, and the designs are compared on *throughput per unit of
+    GPC-cost* — the honest metric when the fleets deliberately buy different
+    GPC counts for the same money.
+
+    Args:
+        model: served model (registry name).
+        settings: experiment knobs (paper defaults when omitted).
+        fleets: named fleet descriptions (:data:`DEFAULT_FLEETS` when
+            omitted); each value is a sequence of ``(num_gpus,
+            architecture[, gpc_budget])`` tuples.
+        partitioning / scheduler: policy registry names shared by every
+            design.
+
+    Returns:
+        One row per fleet with its cost, GPC count, plan, latency-bounded
+        throughput, p95 latency and throughput-per-cost.
+    """
+    settings = settings or ExperimentSettings()
+    fleets = fleets if fleets is not None else DEFAULT_FLEETS
+    rows: List[dict] = []
+    for name, servers in fleets.items():
+        deployment = settings.build_fleet_design(
+            model, servers, partitioning=partitioning, scheduler=scheduler
+        )
+        result = settings.measure(deployment)
+        cost = fleet_gpc_cost(servers)
+        plan = deployment.plan
+        rows.append(
+            {
+                "fleet": name,
+                "gpc_cost": round(cost, 2),
+                "total_gpcs": plan.total_gpcs,
+                "instances": plan.total_instances,
+                "plan": plan.describe(),
+                "throughput_qps": result.throughput_qps,
+                "p95_latency_ms": result.p95_latency * 1e3,
+                "violation_rate": result.sla_violation_rate,
+                "sla_ms": result.sla_target * 1e3,
+                "throughput_per_cost": (
+                    result.throughput_qps / cost if cost > 0 else 0.0
+                ),
+            }
+        )
     return rows
 
 

@@ -351,14 +351,17 @@ def capacity_estimate(deployment: Deployment, workload: WorkloadConfig) -> float
     Sums each instance's steady-state throughput at the workload's mean batch
     size; used to bracket the binary search and to choose sweep ranges.  On
     multi-model deployments the estimate uses the profile of the workload's
-    target model.
+    target model; on mixed-architecture fleets each instance is rated by its
+    own architecture's profile table.
     """
     generator = QueryGenerator(workload)
     pdf = generator.batch_pdf()
     mean_batch = max(1, round(sum(b * p for b, p in pdf.items())))
-    profile = deployment.profile_for(workload.model)
     total = 0.0
     for instance in deployment.instances:
+        profile = deployment.profile_for_architecture(
+            workload.model, instance.partition.architecture.name
+        )
         total += profile.throughput(instance.gpcs, mean_batch)
     return total
 

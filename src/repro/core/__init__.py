@@ -21,8 +21,16 @@
 """
 
 from repro.core.knee import MaxBatchKnee, find_knee, derive_knees
-from repro.core.plan import PartitionPlan, BatchSegment
-from repro.core.paris import Paris, ParisConfig, run_paris
+from repro.core.plan import BatchSegment, FleetPlan, PartitionPlan
+from repro.core.paris import (
+    FleetParis,
+    Paris,
+    ParisConfig,
+    run_fleet_paris,
+    run_paris,
+    shared_fleet_paris,
+    shared_paris,
+)
 from repro.core.slack import SlackEstimator, SlackPrediction
 from repro.core.elsa import ElsaScheduler
 from repro.core.schedulers import (
@@ -115,10 +123,15 @@ __all__ = [
     "find_knee",
     "derive_knees",
     "PartitionPlan",
+    "FleetPlan",
     "BatchSegment",
     "Paris",
     "ParisConfig",
+    "FleetParis",
     "run_paris",
+    "run_fleet_paris",
+    "shared_paris",
+    "shared_fleet_paris",
     "SlackEstimator",
     "SlackPrediction",
     "ElsaScheduler",

@@ -46,6 +46,17 @@ class ElsaScheduler(Scheduler):
             largest-first — exposed for the ablation study.
         profiles: per-model lookup tables for multi-model servers; queries of
             models absent from the mapping fall back to ``profile``.
+        arch_profiles: per-architecture per-model lookup tables for
+            mixed-architecture fleets (``architecture name -> model name ->
+            table``).  With two or more architectures ELSA schedules
+            heterogeneity-aware *across generations*: partitions group by
+            ``(architecture, size)``, each group's ``T_estimated`` comes
+            from its own architecture's table, and Step A's
+            smallest-partition-first preference generalises to
+            least-capable-first (slowest estimated execution first) so the
+            cheapest slice that still meets the SLA wins.  ``None`` (or a
+            single architecture) keeps the classic single-architecture
+            behaviour bit-for-bit.
     """
 
     name = "elsa"
@@ -57,11 +68,15 @@ class ElsaScheduler(Scheduler):
         beta: float = 1.0,
         prefer_smallest: bool = True,
         profiles: Optional[Mapping[str, ProfileTable]] = None,
+        arch_profiles: Optional[Mapping[str, Mapping[str, ProfileTable]]] = None,
     ) -> None:
         self.estimator = SlackEstimator(
-            profile, alpha=alpha, beta=beta, profiles=profiles
+            profile, alpha=alpha, beta=beta, profiles=profiles,
+            arch_profiles=arch_profiles,
         )
         self.prefer_smallest = prefer_smallest
+        #: Plain bool read once per arrival (cheaper than the property).
+        self._hetero = self.estimator.heterogeneous
 
     # ------------------------------------------------------------------ #
     # Algorithm 2
@@ -69,6 +84,8 @@ class ElsaScheduler(Scheduler):
     def on_arrival(
         self, query: Query, context: SchedulingContext
     ) -> Optional[PartitionWorker]:
+        if self._hetero:
+            return self._on_arrival_hetero(query, context)
         # Lean scoring loop for the replay hot path: one pass over the
         # workers, no per-(query, worker) tuple rows and no sort, yet the
         # same float operations and the same decisions as walking
@@ -125,6 +142,81 @@ class ElsaScheduler(Scheduler):
 
         # Step B: no partition satisfies the SLA (or the query carries no
         # SLA): pick the partition that completes the query the fastest.
+        return best_worker
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2 on a mixed-architecture fleet
+    # ------------------------------------------------------------------ #
+    def _on_arrival_hetero(
+        self, query: Query, context: SchedulingContext
+    ) -> Optional[PartitionWorker]:
+        """The lean scoring loop generalised to ``(architecture, size)`` groups.
+
+        Within one (architecture, size) group execution time is constant, so
+        the group's least-loaded instance is its only Step-A candidate —
+        the same argument as the single-architecture loop, per group.  The
+        per-group ``T_estimated`` and every queued-work estimate resolve
+        through that architecture's own profile table, so an H100 GPU(2)
+        and an A30 GPU(2) are scored by what *they* would actually take.
+
+        Step A's smallest-first preference generalises to *least capable
+        first*: groups are visited by descending estimated execution time of
+        this very query (slowest slice first), which on one architecture
+        degenerates to ascending partition size.  Step B is unchanged —
+        minimum predicted completion time across the whole fleet.
+        """
+        estimator = self.estimator
+        now = context.now
+        model, batch = query.model, query.batch
+
+        execution_by_group: dict = {}
+        group_best: dict = {}  # (arch, gpcs) -> (wait, instance_id, worker)
+        oracle_cache: dict = {}
+        best_total = best_worker = None
+        best_gpcs = best_id = 0
+        for worker in context.workers:
+            arch = worker.arch_name
+            gpcs = worker.gpcs
+            group = (arch, gpcs)
+            oracle = oracle_cache.get(arch)
+            if oracle is None:
+                oracle = oracle_cache[arch] = estimator.oracle_for(worker)
+            execution = execution_by_group.get(group)
+            if execution is None:
+                execution = execution_by_group[group] = oracle(model, batch, gpcs)
+            wait = worker.estimated_wait(now, oracle)
+            instance_id = worker.instance_id
+            entry = group_best.get(group)
+            if entry is None or wait < entry[0] or (wait == entry[0] and instance_id < entry[1]):
+                group_best[group] = (wait, instance_id, worker)
+            total = wait + execution
+            if (
+                best_total is None
+                or total < best_total
+                or (
+                    total == best_total
+                    and (gpcs < best_gpcs or (gpcs == best_gpcs and instance_id < best_id))
+                )
+            ):
+                best_total, best_worker = total, worker
+                best_gpcs, best_id = gpcs, instance_id
+
+        sla = query.sla_target
+        if sla is not None:
+            alpha, beta = estimator.alpha, estimator.beta
+            # Least-capable-first: slowest execution first (reverse for the
+            # largest-first ablation); deterministic ties by size then
+            # architecture name.
+            ordered = sorted(
+                execution_by_group.items(),
+                key=lambda kv: (-kv[1], kv[0][1], kv[0][0]),
+                reverse=not self.prefer_smallest,
+            )
+            for group, execution in ordered:
+                wait, _, worker = group_best[group]
+                if sla - alpha * (wait + beta * execution) > 0.0:
+                    return worker
+
         return best_worker
 
     # ------------------------------------------------------------------ #

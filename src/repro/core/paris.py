@@ -24,10 +24,10 @@ Steps:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.knee import DEFAULT_KNEE_THRESHOLD, derive_knees
-from repro.core.plan import BatchSegment, PartitionPlan
+from repro.core.plan import BatchSegment, FleetPlan, PartitionPlan
 from repro.perf.lookup import CachedEstimator, ProfileTable
 
 #: Plans memoized per Paris instance; a bisection sweep revisits the same
@@ -346,6 +346,294 @@ def shared_paris(
     if paris is None:
         paris = per_profile[key] = Paris(profile, config)
     return paris
+
+
+@dataclass
+class FleetParis:
+    """PARIS generalised to heterogeneous (mixed-architecture) budgets.
+
+    Where :class:`Paris` divides one GPC budget among the partition sizes of
+    a single architecture, ``FleetParis`` divides **per-architecture
+    budgets** among ``(architecture, size)`` *device classes*:
+
+    * **Step A** — derive ``MaxBatch_knee`` per class from each
+      architecture's own profile table (a GPU(2) slice of an H100 saturates
+      at a much larger batch than a GPU(2) slice of an A30).
+    * **Step B** — order all classes by ascending knee (ties: size, then
+      architecture name) and segment the batch range at the knees, exactly
+      like single-architecture Step B but with the class list merged across
+      architectures.  The knee is the natural cross-architecture capability
+      order: the class that saturates at batch ``b`` is the right-sized
+      owner of batches up to ``b``.
+    * **Step C** — normalise each architecture's class ratios by **that
+      architecture's own budget** (instances of an A30 class can only be
+      placed on A30 servers), reusing the single-architecture rounding
+      machinery per architecture.  An architecture whose classes received no
+      probability mass falls back to a plain per-architecture PARIS plan
+      over the full PDF, so budget is never silently stranded.
+
+    A **single-architecture** fleet delegates to the memoized
+    :func:`shared_paris` planner outright, so its plan is the *identical
+    object* the classic path produces — the anchor of the fleet
+    bit-identity tests.
+
+    Args:
+        profiles: per-architecture profile tables of the target model,
+            keyed by architecture name.
+        config: algorithm tunables (shared across architectures;
+            ``partition_sizes`` is intersected with each architecture's
+            profiled sizes).
+    """
+
+    profiles: Mapping[str, ProfileTable]
+    config: ParisConfig = field(default_factory=ParisConfig)
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ValueError("FleetParis requires at least one architecture profile")
+        self.profiles = dict(self.profiles)
+        names = {table.model_name for table in self.profiles.values()}
+        if len(names) > 1:
+            raise ValueError(
+                f"all profiles must target one model, got {sorted(names)}"
+            )
+        self._plan_cache: Dict[Tuple, FleetPlan] = {}
+
+    @property
+    def model_name(self) -> str:
+        """The model every per-architecture profile targets."""
+        return next(iter(self.profiles.values())).model_name
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def plan(
+        self, batch_pdf: Dict[int, float], budgets: Mapping[str, int]
+    ) -> FleetPlan:
+        """Divide the per-architecture budgets for ``batch_pdf``.
+
+        Args:
+            batch_pdf: mapping batch size -> probability (``Dist[]``);
+                normalised internally.
+            budgets: mapping architecture name -> GPC budget.  Every
+                architecture must have a profile table.
+
+        Returns:
+            The fleet-wide :class:`~repro.core.plan.FleetPlan`.
+
+        Raises:
+            ValueError: for empty/invalid inputs, unknown architectures, or
+                a budget smaller than an architecture's smallest partition.
+        """
+        if not budgets:
+            raise ValueError("budgets must name at least one architecture")
+        unknown = sorted(set(budgets) - set(self.profiles))
+        if unknown:
+            raise ValueError(
+                f"no profile table for architecture(s) {unknown}; profiled: "
+                f"{sorted(self.profiles)}"
+            )
+        key = (
+            tuple(sorted(batch_pdf.items())),
+            tuple(sorted((name, int(b)) for name, b in budgets.items())),
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+
+        if len(budgets) == 1:
+            (name, budget), = budgets.items()
+            sub = shared_paris(self.profiles[name], self._config_for(name)).plan(
+                dict(batch_pdf), int(budget)
+            )
+            plan = self._lift(sub, name)
+        else:
+            plan = self._plan_hetero(batch_pdf, budgets)
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _config_for(self, arch_name: str) -> ParisConfig:
+        """The per-architecture tunables: explicit candidate sizes are
+        intersected with the architecture's profiled sizes."""
+        sizes = self.config.partition_sizes
+        if sizes is None:
+            return self.config
+        profiled = set(self.profiles[arch_name].partition_sizes)
+        usable = tuple(sorted(set(sizes) & profiled))
+        if not usable:
+            raise ValueError(
+                f"none of the candidate sizes {sorted(set(sizes))} are "
+                f"profiled for {arch_name} (profiled: {sorted(profiled)})"
+            )
+        from dataclasses import replace
+
+        return replace(self.config, partition_sizes=usable)
+
+    def _lift(self, sub: PartitionPlan, arch_name: str) -> FleetPlan:
+        """Wrap one architecture's plan as a fleet plan."""
+        return FleetPlan(
+            model=sub.model,
+            counts={(arch_name, size): count for size, count in sub.counts.items()},
+            budgets={arch_name: sub.total_gpcs},
+            strategy="fleet-paris",
+            per_architecture={arch_name: sub},
+        )
+
+    def _plan_hetero(
+        self, batch_pdf: Dict[int, float], budgets: Mapping[str, int]
+    ) -> FleetPlan:
+        pdf = Paris._normalise_pdf(batch_pdf)
+        max_batch = max(pdf)
+
+        # Step A per class: each architecture's knees from its own table.
+        classes: List[Tuple[int, int, str]] = []  # (knee, size, arch name)
+        for name in budgets:
+            config = self._config_for(name)
+            planner = shared_paris(self.profiles[name], config)
+            sizes = planner._candidate_sizes()
+            if budgets[name] < min(sizes):
+                raise ValueError(
+                    f"budget {budgets[name]} for {name} is smaller than its "
+                    f"smallest partition size {min(sizes)}"
+                )
+            knees = derive_knees(
+                self.profiles[name], sizes, self.config.knee_threshold
+            )
+            for size in sizes:
+                classes.append((knees[size].batch, size, name))
+        classes.sort()
+
+        # Step B over the merged class order: segment the batch range at the
+        # knees; the most capable class also covers everything beyond its
+        # knee (no bigger class to delegate to).
+        per_arch_segments: Dict[str, List[BatchSegment]] = {name: [] for name in budgets}
+        previous_high = 0
+        for index, (knee, size, name) in enumerate(classes):
+            low = previous_high + 1
+            high = knee
+            if index == len(classes) - 1:
+                high = max(high, max_batch)
+            high = max(high, low)
+            table = self.profiles[name]
+            probability = 0.0
+            ratio = 0.0
+            for batch, prob in pdf.items():
+                if low <= batch <= high:
+                    probability += prob
+                    if prob > 0:
+                        throughput = table.throughput(size, batch)
+                        if throughput <= 0:
+                            raise ValueError(
+                                f"profiled throughput for {name} GPU({size}) "
+                                f"batch {batch} must be positive"
+                            )
+                        ratio += prob / throughput
+            per_arch_segments[name].append(
+                BatchSegment(
+                    gpcs=size,
+                    low=low,
+                    high=high,
+                    probability=probability,
+                    instance_ratio=ratio,
+                )
+            )
+            previous_high = high
+
+        # Step C per architecture: normalise that architecture's class
+        # ratios by its own budget.  Architectures whose merged segments got
+        # no probability mass are replanned standalone over the full PDF.
+        counts: Dict[Tuple[str, int], int] = {}
+        sub_plans: Dict[str, PartitionPlan] = {}
+        for name in budgets:
+            config = self._config_for(name)
+            planner = shared_paris(self.profiles[name], config)
+            segments = per_arch_segments[name]
+            budget = int(budgets[name])
+            if sum(seg.instance_ratio for seg in segments) <= 0:
+                sub = planner.plan(dict(batch_pdf), budget)
+            else:
+                arch_counts = planner._instance_counts(segments, budget)
+                sub = PartitionPlan(
+                    model=self.model_name,
+                    counts=arch_counts,
+                    total_gpcs=budget,
+                    strategy="fleet-paris",
+                    knees={seg.gpcs: seg.high for seg in segments},
+                    segments=segments,
+                )
+            sub_plans[name] = sub
+            for size, count in sub.counts.items():
+                if count > 0:
+                    counts[(name, size)] = count
+        return FleetPlan(
+            model=self.model_name,
+            counts=counts,
+            budgets={name: int(b) for name, b in budgets.items()},
+            strategy="fleet-paris",
+            per_architecture=sub_plans,
+        )
+
+
+#: Process-wide FleetParis planners, keyed by per-architecture profile
+#: identities plus config tunables.  Identity keying is safe for the same
+#: reason as :data:`_SHARED_PARIS`: a cached planner strongly references its
+#: tables, so a live id is never reused.
+_SHARED_FLEET: Dict[Tuple, FleetParis] = {}
+_SHARED_FLEET_LIMIT = 64
+
+
+def shared_fleet_paris(
+    profiles: Mapping[str, ProfileTable], config: Optional[ParisConfig] = None
+) -> FleetParis:
+    """The process-wide memoized :class:`FleetParis` planner for ``profiles``.
+
+    Fleet deployments and live repartitions that plan for the same
+    (per-architecture tables, tunables) pair share one planner — and
+    therefore one plan memo — mirroring :func:`shared_paris`.
+
+    Args:
+        profiles: per-architecture profile tables of the target model.
+        config: optional algorithm tunables.
+    """
+    config = config or ParisConfig()
+    sizes = config.partition_sizes
+    key = (
+        tuple(sorted((name, id(table)) for name, table in profiles.items())),
+        config.knee_threshold,
+        None if sizes is None else tuple(sizes),
+        config.min_instances_per_active_segment,
+    )
+    planner = _SHARED_FLEET.get(key)
+    if planner is None:
+        if len(_SHARED_FLEET) >= _SHARED_FLEET_LIMIT:
+            _SHARED_FLEET.pop(next(iter(_SHARED_FLEET)))
+        planner = _SHARED_FLEET[key] = FleetParis(dict(profiles), config)
+    return planner
+
+
+def run_fleet_paris(
+    profiles: Mapping[str, ProfileTable],
+    batch_pdf: Dict[int, float],
+    budgets: Mapping[str, int],
+    config: Optional[ParisConfig] = None,
+) -> FleetPlan:
+    """Convenience wrapper: run fleet-PARIS in one call.
+
+    Args:
+        profiles: per-architecture profile tables of the target model.
+        batch_pdf: batch-size probability density function (``Dist[]``).
+        budgets: per-architecture GPC budgets.
+        config: optional algorithm tunables.
+
+    Returns:
+        The :class:`~repro.core.plan.FleetPlan` chosen by fleet-PARIS.
+    """
+    return FleetParis(profiles, config or ParisConfig()).plan(batch_pdf, budgets)
 
 
 def run_paris(

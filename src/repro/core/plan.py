@@ -9,7 +9,7 @@ experiments and reports can explain *why* the plan looks the way it does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -115,5 +115,122 @@ class PartitionPlan:
             "used_gpcs": self.used_gpcs,
             "counts": {int(k): int(v) for k, v in sorted(self.counts.items())},
             "knees": {int(k): int(v) for k, v in sorted(self.knees.items())},
+            "description": self.describe(),
+        }
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """A partitioning of a (possibly mixed-architecture) GPU fleet.
+
+    Where a :class:`PartitionPlan` divides one architecture's GPC budget,
+    a fleet plan divides **per-architecture budgets**: its counts are keyed
+    by ``(architecture name, partition size)`` and every architecture's
+    share respects that architecture's own budget.  The per-architecture
+    sub-plans (ordinary :class:`PartitionPlan`\\ s) are retained so reports
+    can explain each architecture's knees and segments.
+
+    Attributes:
+        model: DNN model the plan targets.
+        counts: mapping ``(architecture name, size) -> instance count``.
+        budgets: mapping ``architecture name -> GPC budget`` the plan was
+            derived for.
+        strategy: name of the producing strategy (e.g. ``"fleet-paris"``).
+        per_architecture: per-architecture sub-plans, keyed by name.
+    """
+
+    model: str
+    counts: Dict[Tuple[str, int], int]
+    budgets: Dict[str, int]
+    strategy: str = "fleet-paris"
+    per_architecture: Mapping[str, PartitionPlan] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.budgets:
+            raise ValueError("a FleetPlan needs at least one architecture budget")
+        for name, budget in self.budgets.items():
+            if budget <= 0:
+                raise ValueError(f"budget for {name!r} must be positive")
+        for (name, size), count in self.counts.items():
+            if name not in self.budgets:
+                raise ValueError(
+                    f"counts reference architecture {name!r} absent from the "
+                    f"budgets {sorted(self.budgets)}"
+                )
+            if size <= 0:
+                raise ValueError(f"invalid partition size {size}")
+            if count < 0:
+                raise ValueError(f"negative instance count for {name}/GPU({size})")
+        for name in self.budgets:
+            used = self.used_gpcs_of(name)
+            if used > self.budgets[name]:
+                raise ValueError(
+                    f"plan uses {used} {name} GPCs, exceeding that "
+                    f"architecture's budget of {self.budgets[name]}"
+                )
+
+    @property
+    def architectures(self) -> List[str]:
+        """Architecture names the plan spans, in budget order."""
+        return list(self.budgets)
+
+    @property
+    def total_gpcs(self) -> int:
+        """Summed GPC budget across every architecture."""
+        return sum(self.budgets.values())
+
+    @property
+    def used_gpcs(self) -> int:
+        """GPCs consumed by the planned instances, fleet-wide."""
+        return sum(size * count for (_, size), count in self.counts.items())
+
+    def used_gpcs_of(self, architecture: str) -> int:
+        """GPCs the plan consumes on one architecture."""
+        return sum(
+            size * count
+            for (name, size), count in self.counts.items()
+            if name == architecture
+        )
+
+    @property
+    def total_instances(self) -> int:
+        """Total number of partition instances, fleet-wide."""
+        return sum(self.counts.values())
+
+    def counts_of(self, architecture: str) -> Dict[int, int]:
+        """One architecture's share as plain ``{size: count}``."""
+        return {
+            size: count
+            for (name, size), count in sorted(self.counts.items())
+            if name == architecture and count > 0
+        }
+
+    def plan_of(self, architecture: str) -> Optional[PartitionPlan]:
+        """The per-architecture sub-plan, when one was recorded."""
+        return self.per_architecture.get(architecture)
+
+    def describe(self) -> str:
+        """Readable description, e.g. ``A30[4xGPU(1)] + A100[2xGPU(3)+...]``."""
+        parts = []
+        for name in self.budgets:
+            flat = self.counts_of(name)
+            if not flat:
+                continue
+            inner = "+".join(f"{c}xGPU({s})" for s, c in sorted(flat.items()))
+            parts.append(f"{name}[{inner}]")
+        return " + ".join(parts) if parts else "(empty)"
+
+    def to_dict(self) -> dict:
+        """Serialise the plan (e.g. for experiment reports)."""
+        return {
+            "model": self.model,
+            "strategy": self.strategy,
+            "budgets": dict(self.budgets),
+            "used_gpcs": self.used_gpcs,
+            "counts": {
+                f"{name}/GPU({size})": int(count)
+                for (name, size), count in sorted(self.counts.items())
+                if count
+            },
             "description": self.describe(),
         }

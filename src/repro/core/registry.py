@@ -86,6 +86,11 @@ class PartitionerContext:
             (``None`` when a policy is built standalone).
         spec: per-policy spec object (:mod:`repro.core.specs`), when one was
             configured; factories fall back to the flat config fields.
+        target_architecture: explicit target architecture override.  Fleet
+            deployments invoke a partitioner once per member architecture
+            with that architecture's own profile/budget; this field carries
+            the architecture so :attr:`architecture` resolves correctly even
+            though the config names only the fleet's primary one.
     """
 
     profile: ProfileTable
@@ -93,6 +98,7 @@ class PartitionerContext:
     budget: int
     config: Any = None
     spec: Any = None
+    target_architecture: Optional[GPUArchitecture] = None
 
     @property
     def model(self) -> str:
@@ -104,6 +110,8 @@ class PartitionerContext:
     @property
     def architecture(self) -> GPUArchitecture:
         """Target GPU architecture (A100 when no config is given)."""
+        if self.target_architecture is not None:
+            return self.target_architecture
         return getattr(self.config, "architecture", A100)
 
 
@@ -117,12 +125,18 @@ class SchedulerContext:
             (multi-model deployments); always contains ``profile``.
         config: the server config being built (``None`` when standalone).
         spec: per-policy spec object, when one was configured.
+        arch_profiles: per-architecture per-model tables (``architecture
+            name -> model name -> table``) on mixed-architecture fleet
+            deployments; ``None`` on single-architecture servers.
+            Architecture-aware schedulers (ELSA) use these to estimate each
+            instance through its own architecture's profile.
     """
 
     profile: ProfileTable
     profiles: Mapping[str, ProfileTable] = field(default_factory=dict)
     config: Any = None
     spec: Any = None
+    arch_profiles: Optional[Mapping[str, Mapping[str, ProfileTable]]] = None
 
     def __post_init__(self) -> None:
         tables = dict(self.profiles)
@@ -371,6 +385,11 @@ def _resolve_spec(context, spec_type):
     )
 
 
+#: Public alias: fleet deployment planning resolves built-in policy specs
+#: through exactly the same rules as the registered factories.
+resolve_spec = _resolve_spec
+
+
 # --------------------------------------------------------------------------- #
 # built-in partitioners
 # --------------------------------------------------------------------------- #
@@ -446,6 +465,7 @@ def _elsa_scheduler(context: SchedulerContext) -> Scheduler:
         beta=spec.beta,
         prefer_smallest=spec.prefer_smallest,
         profiles=context.profiles,
+        arch_profiles=context.arch_profiles,
     )
 
 

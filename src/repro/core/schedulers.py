@@ -108,10 +108,13 @@ class LeastLoadedScheduler(Scheduler):
     def on_arrival(
         self, query: Query, context: SchedulingContext
     ) -> Optional[PartitionWorker]:
+        # oracle_for resolves the right per-architecture estimator on mixed
+        # fleets; on single-architecture servers it is context.estimator
+        # itself, preserving the workers' queued-work cache identity.
         return min(
             context.workers,
             key=lambda w: (
-                w.estimated_wait(context.now, context.estimator),
+                w.estimated_wait(context.now, context.oracle_for(w)),
                 w.instance_id,
             ),
         )

@@ -15,7 +15,7 @@ deployment (conservative alpha > 1 guards against estimation error).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.perf.lookup import CachedEstimator, ProfileTable
 from repro.sim.worker import PartitionWorker
@@ -62,6 +62,15 @@ class SlackEstimator:
         profiles: optional per-model lookup tables for multi-model servers;
             queries of models absent from the mapping fall back to the
             primary ``profile``.
+        arch_profiles: per-architecture per-model lookup tables
+            (``architecture name -> model name -> table``) for
+            mixed-architecture fleets.  When two or more architectures are
+            given the estimator becomes *heterogeneous*: every lookup
+            resolves through the target worker's own architecture's oracle
+            (:meth:`oracle_for`), so ``T_estimated`` of the same query
+            differs between e.g. an A30 GPU(2) and an H100 GPU(2).  With
+            ``None`` (or a single architecture) behaviour is exactly the
+            classic single-architecture estimator.
     """
 
     def __init__(
@@ -70,6 +79,7 @@ class SlackEstimator:
         alpha: float = 1.0,
         beta: float = 1.0,
         profiles: Optional[Mapping[str, ProfileTable]] = None,
+        arch_profiles: Optional[Mapping[str, Mapping[str, ProfileTable]]] = None,
     ) -> None:
         if alpha <= 0:
             raise ValueError("alpha must be positive")
@@ -89,6 +99,37 @@ class SlackEstimator:
         # them the same callable on every poll is what makes ELSA's
         # per-arrival scan O(workers) instead of O(workers x queue).
         self.estimator = CachedEstimator(self.profiles, fallback=profile)
+        # Mixed fleets get one persistent memoized oracle *per architecture*
+        # (same identity argument, per architecture).  A single-architecture
+        # mapping degenerates to the classic estimator above.
+        self._arch_oracles: Optional[Dict[str, CachedEstimator]] = None
+        if arch_profiles is not None and len(arch_profiles) > 1:
+            self._arch_oracles = {}
+            for arch_name, tables in arch_profiles.items():
+                tables = dict(tables)
+                fallback = tables.get(profile.model_name, profile)
+                self._arch_oracles[arch_name] = CachedEstimator(
+                    tables, fallback=fallback
+                )
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when per-architecture oracles are active (mixed fleet)."""
+        return self._arch_oracles is not None
+
+    def oracle_for(self, worker: PartitionWorker) -> CachedEstimator:
+        """The memoized oracle answering for ``worker``'s architecture.
+
+        On single-architecture servers this is always :attr:`estimator`
+        (the same object, preserving worker-side queued-work cache
+        identity); on mixed fleets it is the worker's architecture's
+        dedicated oracle, falling back to the primary oracle for workers of
+        an unprofiled architecture.
+        """
+        oracles = self._arch_oracles
+        if oracles is None:
+            return self.estimator
+        return oracles.get(worker.arch_name, self.estimator)
 
     def _table_for(self, model: Optional[str]) -> ProfileTable:
         if model is None:
@@ -102,8 +143,12 @@ class SlackEstimator:
         return self.estimator(model, batch, gpcs)
 
     def wait_time(self, worker: PartitionWorker, now: float) -> float:
-        """``T_wait`` on ``worker`` at time ``now`` (Equation 1)."""
-        return worker.estimated_wait(now, self.estimator)
+        """``T_wait`` on ``worker`` at time ``now`` (Equation 1).
+
+        On mixed fleets the queued work is estimated through the worker's
+        own architecture's oracle.
+        """
+        return worker.estimated_wait(now, self.oracle_for(worker))
 
     def predict(
         self,
@@ -124,8 +169,9 @@ class SlackEstimator:
             model: model of the new query (multi-model servers); ``None``
                 uses the primary profile.
         """
-        wait = self.wait_time(worker, now)
-        execution = self.estimated_execution_time(batch, worker.gpcs, model)
+        oracle = self.oracle_for(worker)
+        wait = worker.estimated_wait(now, oracle)
+        execution = oracle(model, batch, worker.gpcs)
         weighted = self.alpha * (wait + self.beta * execution)
         slack = float("inf") if sla_target is None else sla_target - weighted
         return SlackPrediction(

@@ -320,7 +320,7 @@ class SlaSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """The physical shape of the server.
+    """The physical shape of the server (or fleet).
 
     Attributes:
         num_gpus: physical GPUs in the server.
@@ -329,6 +329,12 @@ class ClusterSpec:
         frontend_capacity_qps: dispatch capacity of the serving frontend.
         fast_path: run simulators on the optimised (bit-identical) replay
             loop; disable only to time the naive reference path.
+        fleet: optional mixed-architecture fleet description (a sequence of
+            :class:`~repro.gpu.fleet.FleetServerSpec` or ``(num_gpus,
+            architecture[, gpc_budget])`` tuples).  When set it supersedes
+            ``num_gpus`` / ``gpc_budget`` / ``architecture`` (the flat
+            fields are derived from the fleet by
+            :class:`~repro.serving.config.ServerConfig`).
     """
 
     num_gpus: int = 8
@@ -336,15 +342,22 @@ class ClusterSpec:
     architecture: GPUArchitecture = A100
     frontend_capacity_qps: Optional[float] = None
     fast_path: bool = True
+    fleet: Optional[Sequence[Any]] = None
 
     def flat_overrides(self) -> Dict[str, Any]:
-        return {
+        overrides = {
             "num_gpus": self.num_gpus,
             "gpc_budget": self.gpc_budget,
             "architecture": self.architecture,
             "frontend_capacity_qps": self.frontend_capacity_qps,
             "fast_path": self.fast_path,
         }
+        if self.fleet is not None:
+            overrides["fleet"] = tuple(self.fleet)
+            # the flat shape fields are derived from the fleet downstream;
+            # emitting them here would collide with that derivation
+            del overrides["num_gpus"], overrides["gpc_budget"], overrides["architecture"]
+        return overrides
 
 
 #: Built-in partitioner specs by registry name (used by the fluent builder).

@@ -13,9 +13,24 @@ This package models the reconfigurable GPU hardware the paper builds on:
 * :mod:`repro.gpu.server` — a multi-GPU server (the paper's 8×A100 box) that
   owns a pool of physical GPUs and exposes the flattened list of partition
   instances produced by a partitioning plan.
+* :mod:`repro.gpu.fleet` — a :class:`Fleet` of (possibly mixed-architecture)
+  servers composed into one schedulable GPC pool with per-server budgets.
 """
 
-from repro.gpu.architecture import GPCSpec, GPUArchitecture, A100, a100_spec
+from repro.gpu.architecture import (
+    A100,
+    A100_80GB,
+    A30,
+    ARCHITECTURES,
+    GPCSpec,
+    GPUArchitecture,
+    H100,
+    a100_spec,
+    a100_80gb_spec,
+    a30_spec,
+    get_architecture,
+    h100_spec,
+)
 from repro.gpu.partition import GPUPartition, PartitionInstance
 from repro.gpu.mig import (
     MIGConfiguration,
@@ -26,12 +41,21 @@ from repro.gpu.mig import (
     pack_partitions,
 )
 from repro.gpu.server import MultiGPUServer, ServerCapacityError
+from repro.gpu.fleet import Fleet, FleetServerSpec, as_fleet
 
 __all__ = [
     "GPCSpec",
     "GPUArchitecture",
     "A100",
+    "A100_80GB",
+    "A30",
+    "H100",
+    "ARCHITECTURES",
     "a100_spec",
+    "a100_80gb_spec",
+    "a30_spec",
+    "h100_spec",
+    "get_architecture",
     "GPUPartition",
     "PartitionInstance",
     "MIGConfiguration",
@@ -42,4 +66,7 @@ __all__ = [
     "pack_partitions",
     "MultiGPUServer",
     "ServerCapacityError",
+    "Fleet",
+    "FleetServerSpec",
+    "as_fleet",
 ]

@@ -133,5 +133,121 @@ def a100_spec() -> GPUArchitecture:
     return GPUArchitecture()
 
 
+def a100_80gb_spec() -> GPUArchitecture:
+    """An A100-SXM4-80GB: same die as the 40 GB part, faster HBM2e.
+
+    The 80 GB SKU ships ~2039 GB/s of memory bandwidth (vs ~1555 GB/s),
+    i.e. ~291 GB/s per 7-GPC share; compute and MIG geometry are identical
+    to the 40 GB part.
+    """
+    return GPUArchitecture(
+        name="A100-SXM4-80GB",
+        gpc_count=7,
+        gpc=GPCSpec(
+            sm_count=16,
+            fp16_tflops=44.6,
+            memory_bandwidth_gbps=291.0,
+            l2_slice_mb=5.7,
+        ),
+        valid_partition_sizes=(1, 2, 3, 4, 7),
+        kernel_launch_overhead_us=5.0,
+        memory_gb=80.0,
+    )
+
+
+def a30_spec() -> GPUArchitecture:
+    """An A30: the 24 GB mainstream-inference Ampere part.
+
+    Four usable GPCs (MIG profiles 1g/2g/4g), 165 TFLOPS dense FP16 and
+    933 GB/s HBM2 — per GPC roughly 41 TFLOPS, 233 GB/s and 14 SMs.  Cheap
+    GPCs with a shallow partition-size menu: the natural home for the
+    small-batch mass of a web-service distribution.
+    """
+    return GPUArchitecture(
+        name="A30",
+        gpc_count=4,
+        gpc=GPCSpec(
+            sm_count=14,
+            fp16_tflops=41.25,
+            memory_bandwidth_gbps=233.0,
+            l2_slice_mb=6.0,
+        ),
+        valid_partition_sizes=(1, 2, 4),
+        kernel_launch_overhead_us=5.0,
+        memory_gb=24.0,
+    )
+
+
+def h100_spec() -> GPUArchitecture:
+    """An H100-SXM5-80GB: the Hopper flagship.
+
+    Seven GPCs of ~18-19 SMs (we model 18), ~990 TFLOPS dense FP16 and
+    ~3350 GB/s HBM3 — per GPC roughly 141 TFLOPS and 479 GB/s.  MIG
+    geometry matches the A100 (1/2/3/4/7-GPC instances).  Each H100 GPC is
+    ~3x an A100 GPC in peak compute, which is exactly what makes mixed
+    fleets interesting: large batches want H100 GPCs, tiny batches cannot
+    fill them.
+    """
+    return GPUArchitecture(
+        name="H100-SXM5-80GB",
+        gpc_count=7,
+        gpc=GPCSpec(
+            sm_count=18,
+            fp16_tflops=141.4,
+            memory_bandwidth_gbps=479.0,
+            l2_slice_mb=7.1,
+        ),
+        valid_partition_sizes=(1, 2, 3, 4, 7),
+        kernel_launch_overhead_us=5.0,
+        memory_gb=80.0,
+    )
+
+
 #: Module-level singleton used as the default architecture everywhere.
 A100 = a100_spec()
+
+#: The 80 GB A100 SKU (identical compute, ~31% more memory bandwidth).
+A100_80GB = a100_80gb_spec()
+
+#: The A30 (4 GPCs, MIG 1g/2g/4g, ~0.9x A100 per-GPC compute).
+A30 = a30_spec()
+
+#: The H100 (7 GPCs, MIG geometry as A100, ~3x A100 per-GPC compute).
+H100 = h100_spec()
+
+#: Built-in architecture presets by (case-insensitive) lookup name.
+ARCHITECTURES: dict = {
+    "a100": A100,
+    "a100-40gb": A100,
+    "a100-80gb": A100_80GB,
+    "a30": A30,
+    "h100": H100,
+}
+
+
+def get_architecture(name) -> GPUArchitecture:
+    """Resolve an architecture preset by name (or pass one through).
+
+    Args:
+        name: a preset key (``"a100"``, ``"a100-80gb"``, ``"a30"``,
+            ``"h100"``; case-insensitive; full device names such as
+            ``"A100-SXM4-40GB"`` also resolve) or an already-constructed
+            :class:`GPUArchitecture`, which is returned unchanged.
+
+    Returns:
+        The resolved :class:`GPUArchitecture` singleton.
+
+    Raises:
+        KeyError: for an unknown preset name.
+    """
+    if isinstance(name, GPUArchitecture):
+        return name
+    key = str(name).strip().lower()
+    if key in ARCHITECTURES:
+        return ARCHITECTURES[key]
+    for arch in (A100, A100_80GB, A30, H100):
+        if arch.name.lower() == key:
+            return arch
+    raise KeyError(
+        f"unknown GPU architecture {name!r}; presets: {sorted(ARCHITECTURES)}"
+    )

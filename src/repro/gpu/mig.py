@@ -22,7 +22,7 @@ leaving 3 GPCs idle is explicitly discussed in Section V).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.gpu.architecture import A100, GPUArchitecture
 from repro.gpu.partition import GPUPartition, PartitionInstance
@@ -195,24 +195,39 @@ def pack_partitions(
 
 def instantiate(
     configs: Iterable[MIGConfiguration],
-    architecture: GPUArchitecture = A100,
+    architecture: Optional[GPUArchitecture] = None,
 ) -> List[PartitionInstance]:
     """Flatten per-GPU configurations into addressable partition instances.
 
     Instances are numbered in ascending partition-size order (then by GPU
     index) which gives schedulers a stable, deterministic iteration order.
+
+    Each instance's partition is carved from *its own configuration's*
+    architecture (``cfg.architecture``), so configurations of non-A100
+    devices instantiate correctly without the caller having to repeat the
+    architecture; the ``architecture`` argument is kept for backward
+    compatibility and only cross-checked when given.
+
+    Raises:
+        MIGError: when ``architecture`` is given but disagrees with a
+            configuration's own architecture.
     """
-    triples: List[Tuple[int, int]] = []  # (size, gpu_index)
+    triples: List[Tuple[int, int, GPUArchitecture]] = []  # (size, gpu_index, arch)
     for cfg in configs:
+        if architecture is not None and cfg.architecture != architecture:
+            raise MIGError(
+                f"configuration of GPU #{cfg.gpu_index} is for "
+                f"{cfg.architecture.name}, not the requested {architecture.name}"
+            )
         for size in cfg.partitions:
-            triples.append((size, cfg.gpu_index))
-    triples.sort()
+            triples.append((size, cfg.gpu_index, cfg.architecture))
+    triples.sort(key=lambda t: (t[0], t[1]))
     instances = []
-    for instance_id, (size, gpu_index) in enumerate(triples):
+    for instance_id, (size, gpu_index, arch) in enumerate(triples):
         instances.append(
             PartitionInstance(
                 instance_id=instance_id,
-                partition=GPUPartition(size, architecture),
+                partition=GPUPartition(size, arch),
                 physical_gpu=gpu_index,
             )
         )

@@ -19,7 +19,28 @@ from repro.gpu.partition import PartitionInstance
 
 
 class ServerCapacityError(MIGError):
-    """Raised when a partitioning does not fit the server's GPC budget."""
+    """Raised when a partitioning does not fit the server's GPC budget.
+
+    Attributes:
+        breakdown: structured diagnosis of the failure — for over-budget
+            requests, the per-partition-size GPC demand; for packing
+            failures, the per-GPU free-GPC state; for fleet-level failures,
+            the per-server demand/capacity table.  ``None`` when no
+            structured detail applies.
+    """
+
+    def __init__(self, message: str, breakdown: Optional[Dict] = None) -> None:
+        super().__init__(message)
+        self.breakdown = breakdown
+
+
+def _demand_breakdown(counts: Dict[int, int]) -> Dict[str, int]:
+    """Per-size GPC demand of a requested partitioning, biggest first."""
+    return {
+        f"GPU({size})x{count}": size * count
+        for size, count in sorted(counts.items(), reverse=True)
+        if count
+    }
 
 
 @dataclass
@@ -88,21 +109,55 @@ class MultiGPUServer:
             size then GPU index.
 
         Raises:
-            ServerCapacityError: if the total GPC demand exceeds the budget
-                or the instances cannot be packed onto the physical GPUs.
+            ServerCapacityError: if a partition size is not supported by
+                *this server's* architecture, the total GPC demand exceeds
+                the budget, or the instances cannot be packed onto the
+                physical GPUs.  The error carries a structured
+                ``breakdown`` of the offending demand.
         """
+        supported = set(self.architecture.valid_partition_sizes)
+        unsupported = sorted(size for size in counts if size not in supported)
+        if unsupported:
+            raise ServerCapacityError(
+                f"partition size(s) {unsupported} are not supported by "
+                f"{self.architecture.name} (valid sizes: "
+                f"{sorted(supported)})",
+                breakdown={
+                    "unsupported_sizes": unsupported,
+                    "valid_sizes": sorted(supported),
+                    "architecture": self.architecture.name,
+                },
+            )
         demand = sum(size * count for size, count in counts.items())
         if demand > self.total_gpcs:
+            per_size = _demand_breakdown(counts)
+            detail = ", ".join(f"{k}={v}" for k, v in per_size.items())
             raise ServerCapacityError(
-                f"partitioning requires {demand} GPCs but only "
-                f"{self.total_gpcs} are available"
+                f"partitioning requires {demand} GPCs ({detail}) but only "
+                f"{self.total_gpcs} are available on this "
+                f"{self.num_gpus}x{self.architecture.name} server",
+                breakdown={
+                    "demand_gpcs": demand,
+                    "budget_gpcs": self.total_gpcs,
+                    "per_size": per_size,
+                    "architecture": self.architecture.name,
+                },
             )
         try:
             configs = pack_partitions(counts, self.num_gpus, self.architecture)
         except MIGError as exc:
-            raise ServerCapacityError(str(exc)) from exc
+            raise ServerCapacityError(
+                f"{exc} (per-size demand: "
+                f"{', '.join(f'{k}={v}' for k, v in _demand_breakdown(counts).items()) or 'empty'})",
+                breakdown={
+                    "demand_gpcs": demand,
+                    "budget_gpcs": self.total_gpcs,
+                    "per_size": _demand_breakdown(counts),
+                    "architecture": self.architecture.name,
+                },
+            ) from exc
         self._configs = configs
-        self._instances = instantiate(configs, self.architecture)
+        self._instances = instantiate(configs)
         return self.instances
 
     def reset(self) -> None:

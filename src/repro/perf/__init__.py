@@ -22,10 +22,22 @@ numbers came from this model or from real hardware, which is what makes the
 substitution faithful: PARIS and ELSA only ever see the table.
 """
 
-from repro.perf.roofline import RooflineParameters, LayerCost, layer_cost
+from repro.perf.roofline import (
+    ARCH_ROOFLINE_PARAMS,
+    LayerCost,
+    RooflineParameters,
+    layer_cost,
+    params_for,
+)
 from repro.perf.latency_model import LatencyModel, QueryCost
 from repro.perf.lookup import CachedEstimator, ProfileEntry, ProfileTable
-from repro.perf.profiler import Profiler, profile_model
+from repro.perf.profiler import (
+    Profiler,
+    cached_profile,
+    clear_profile_cache,
+    fleet_profiles,
+    profile_model,
+)
 
 __all__ = [
     "RooflineParameters",
@@ -38,4 +50,9 @@ __all__ = [
     "ProfileTable",
     "Profiler",
     "profile_model",
+    "cached_profile",
+    "clear_profile_cache",
+    "fleet_profiles",
+    "ARCH_ROOFLINE_PARAMS",
+    "params_for",
 ]

@@ -19,7 +19,7 @@ from typing import Optional
 from repro.gpu.architecture import A100, GPUArchitecture
 from repro.gpu.partition import GPUPartition
 from repro.models.base import ModelSpec
-from repro.perf.roofline import RooflineParameters, layer_cost
+from repro.perf.roofline import RooflineParameters, layer_cost, params_for
 
 
 @dataclass(frozen=True)
@@ -65,7 +65,10 @@ class LatencyModel:
 
     Args:
         architecture: physical GPU architecture the partitions are carved from.
-        params: roofline model constants.
+        params: roofline model constants; ``None`` resolves the
+            architecture's calibrated constants via
+            :func:`repro.perf.roofline.params_for` (the historical defaults
+            on A100).
     """
 
     def __init__(
@@ -74,7 +77,7 @@ class LatencyModel:
         params: Optional[RooflineParameters] = None,
     ) -> None:
         self.architecture = architecture
-        self.params = params or RooflineParameters()
+        self.params = params or params_for(architecture)
 
     def partition(self, gpcs: int) -> GPUPartition:
         """Construct a partition of ``gpcs`` GPCs on this architecture."""

@@ -13,7 +13,7 @@ consumed by PARIS, ELSA and the simulator.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.gpu.architecture import A100, GPUArchitecture
 from repro.models.base import ModelSpec
@@ -110,3 +110,100 @@ def profile_model(
         partition_sizes=partition_sizes,
     )
     return profiler.profile(get_model(model_name))
+
+
+# --------------------------------------------------------------------------- #
+# per-architecture profile-table cache
+# --------------------------------------------------------------------------- #
+#: Process-wide cache of profiled tables keyed by
+#: (model name, architecture, roofline params, batch sizes, partition sizes).
+#: All key components are hashable frozen dataclasses / tuples, so two
+#: requests for the same (model, architecture) sweep share one ProfileTable
+#: *object* — which in turn lets Paris plan memos, CachedEstimator memos and
+#: the shared_paris registry hit across deployments of the same fleet.
+_TABLE_CACHE: Dict[Tuple, ProfileTable] = {}
+_TABLE_CACHE_LIMIT = 256
+
+
+def cached_profile(
+    model_name: str,
+    architecture: GPUArchitecture = A100,
+    params: Optional[RooflineParameters] = None,
+    batch_sizes: Optional[Sequence[int]] = None,
+    partition_sizes: Optional[Sequence[int]] = None,
+) -> ProfileTable:
+    """Profile ``model_name`` on ``architecture``, memoized process-wide.
+
+    The one-time profiling pass of Section IV-C is a pure function of the
+    (model, architecture, sweep) triple, so fleets that mix architectures —
+    where every served model needs one table *per architecture* — profile
+    each combination exactly once per process and every deployment after
+    that reuses the identical table object.
+
+    Args:
+        model_name: registry name of the model, e.g. ``"resnet"``.
+        architecture: physical GPU architecture to profile against.
+        params: roofline constants; ``None`` uses the architecture's
+            calibrated defaults (:func:`repro.perf.roofline.params_for`).
+        batch_sizes: batch sizes to sweep (:data:`DEFAULT_BATCH_SIZES`).
+        partition_sizes: partition sizes to sweep (the architecture's valid
+            sizes).
+
+    Returns:
+        The (shared) profiled :class:`~repro.perf.lookup.ProfileTable`.
+    """
+    key = (
+        model_name,
+        architecture,
+        params,
+        None if batch_sizes is None else tuple(batch_sizes),
+        None if partition_sizes is None else tuple(partition_sizes),
+    )
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+        table = _TABLE_CACHE[key] = profile_model(
+            model_name,
+            architecture=architecture,
+            params=params,
+            batch_sizes=batch_sizes,
+            partition_sizes=partition_sizes,
+        )
+    return table
+
+
+def fleet_profiles(
+    model_names: Sequence[str],
+    architectures: Sequence[GPUArchitecture],
+    params: Optional[RooflineParameters] = None,
+    batch_sizes: Optional[Sequence[int]] = None,
+) -> Dict[str, Dict[str, ProfileTable]]:
+    """Profile every (model, architecture) pair of a fleet, cached.
+
+    Args:
+        model_names: registry names of every served model.
+        architectures: the distinct architectures present in the fleet.
+        params: roofline constants override (``None`` = per-architecture
+            calibration).
+        batch_sizes: batch sizes to sweep.
+
+    Returns:
+        Nested mapping ``architecture name -> model name -> ProfileTable``.
+    """
+    tables: Dict[str, Dict[str, ProfileTable]] = {}
+    for architecture in architectures:
+        per_arch = tables.setdefault(architecture.name, {})
+        for model_name in model_names:
+            per_arch[model_name] = cached_profile(
+                model_name,
+                architecture=architecture,
+                params=params,
+                batch_sizes=batch_sizes,
+            )
+    return tables
+
+
+def clear_profile_cache() -> None:
+    """Drop every cached per-architecture profile table (mainly for tests)."""
+    _TABLE_CACHE.clear()

@@ -201,6 +201,36 @@ class ServerBuilder:
         self._cluster = spec
         return self
 
+    def fleet(self, *servers: Any) -> "ServerBuilder":
+        """Deploy onto a (possibly mixed-architecture) fleet of servers.
+
+        Each server is a :class:`~repro.gpu.fleet.FleetServerSpec`, a
+        ``(num_gpus, architecture[, gpc_budget])`` tuple, or an architecture
+        preset name (one full 8-GPU server of that architecture)::
+
+            ServerBuilder("resnet").fleet(
+                (8, "a100", 48),
+                (4, "a30"),
+            )
+
+        The fleet supersedes the flat cluster shape: combining it with
+        ``.cluster(num_gpus=...)``, ``.cluster(gpc_budget=...)`` or
+        ``.cluster(architecture=...)`` raises (those fields are derived
+        from the fleet); ``.cluster(fast_path=...)`` and
+        ``.cluster(frontend_capacity_qps=...)`` still compose.
+        """
+        if not servers:
+            raise ValueError(".fleet() requires at least one server")
+        from repro.gpu.fleet import FleetServerSpec
+
+        specs = tuple(
+            FleetServerSpec(architecture=server) if isinstance(server, str) else server
+            for server in servers
+        )
+        self._claim(".fleet()", ("fleet", "num_gpus", "gpc_budget", "architecture"))
+        self._overrides["fleet"] = specs
+        return self
+
     def seed(self, seed: int) -> "ServerBuilder":
         """Seed for the stochastic policies (random partitioner/dispatch)."""
         self._claim(".seed()", ("random_seed",))

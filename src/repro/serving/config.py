@@ -57,6 +57,7 @@ from repro.core.specs import (
     spec_with_flat_overrides,
 )
 from repro.gpu.architecture import A100, GPUArchitecture
+from repro.gpu.fleet import Fleet, FleetServerSpec
 
 
 class PartitioningStrategy(str, enum.Enum):
@@ -144,6 +145,16 @@ class ServerConfig:
             factory (overrides the flat fields above when set).
         scheduler_spec: per-policy spec object handed to the scheduler
             factory (overrides the flat fields above when set).
+        fleet: optional fleet description — a sequence of
+            :class:`~repro.gpu.fleet.FleetServerSpec` (or ``(num_gpus,
+            architecture[, gpc_budget])`` tuples) composing possibly
+            mixed-architecture servers into one GPC pool.  When set, the
+            flat ``num_gpus`` / ``architecture`` / ``gpc_budget`` fields
+            are derived from the fleet (total GPUs, the first server's
+            architecture, the summed per-server budgets); setting
+            ``gpc_budget`` explicitly alongside a fleet is ambiguous and
+            raises.  Single-architecture fleets deploy bit-identically to
+            the equivalent flat configuration.
     """
 
     model: str
@@ -165,8 +176,34 @@ class ServerConfig:
     sla_reference_gpcs: int = 7
     partitioner_spec: Any = None
     scheduler_spec: Any = None
+    fleet: Optional[Tuple[FleetServerSpec, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.fleet is not None:
+            raw = self.fleet
+            if isinstance(raw, (FleetServerSpec,)):
+                raw = (raw,)
+            specs = tuple(FleetServerSpec.coerce(server) for server in raw)
+            if not specs:
+                raise ValueError("fleet must name at least one server")
+            if self.gpc_budget is not None:
+                raise ValueError(
+                    "gpc_budget cannot be combined with a fleet; set "
+                    "per-server budgets on the FleetServerSpecs instead"
+                )
+            object.__setattr__(self, "fleet", specs)
+            # Derive the flat shape fields so downstream consumers that only
+            # know the flat surface stay coherent: total GPUs, the primary
+            # (first server's) architecture, and the summed budget.
+            object.__setattr__(
+                self, "num_gpus", sum(spec.num_gpus for spec in specs)
+            )
+            object.__setattr__(self, "architecture", specs[0].architecture)
+            object.__setattr__(
+                self,
+                "gpc_budget",
+                sum(spec.effective_gpc_budget for spec in specs),
+            )
         # normalise AND canonicalise (resolve registry aliases, e.g.
         # scheduler "random" -> "random-dispatch") so equal design points
         # compare equal and label identically however they were spelled
@@ -198,18 +235,47 @@ class ServerConfig:
             raise ValueError("num_gpus must be positive")
         if self.gpc_budget is not None and self.gpc_budget <= 0:
             raise ValueError("gpc_budget must be positive when set")
-        if self.homogeneous_gpcs not in self.architecture.valid_partition_sizes:
-            raise ValueError(
-                f"homogeneous_gpcs={self.homogeneous_gpcs} is not a valid "
-                f"partition size of {self.architecture.name}"
-            )
+        if self.fleet is not None:
+            # On a fleet the homogeneous size only matters to the homogeneous
+            # partitioner — which runs once per member architecture, so the
+            # size must be valid on *every* member (the union would accept
+            # configs that crash at deploy time).  The default SLA reference
+            # — "the largest partition" — resolves to the primary
+            # architecture's largest valid size when GPU(7) does not exist
+            # on it (e.g. a 4-GPC A30 primary).
+            if self.partitioning == "homogeneous":
+                common = set(self.fleet[0].architecture.valid_partition_sizes)
+                for spec in self.fleet[1:]:
+                    common &= set(spec.architecture.valid_partition_sizes)
+                if self.homogeneous_gpcs not in common:
+                    raise ValueError(
+                        f"homogeneous_gpcs={self.homogeneous_gpcs} is not a "
+                        f"valid partition size on every fleet architecture "
+                        f"(common sizes: {sorted(common)})"
+                    )
+            if self.sla_reference_gpcs not in self.architecture.valid_partition_sizes:
+                largest = max(self.architecture.valid_partition_sizes)
+                if self.sla_reference_gpcs == 7:
+                    object.__setattr__(self, "sla_reference_gpcs", largest)
+                else:
+                    raise ValueError(
+                        f"sla_reference_gpcs={self.sla_reference_gpcs} is not "
+                        f"a valid partition size of the fleet's primary "
+                        f"architecture {self.architecture.name}"
+                    )
+        else:
+            if self.homogeneous_gpcs not in self.architecture.valid_partition_sizes:
+                raise ValueError(
+                    f"homogeneous_gpcs={self.homogeneous_gpcs} is not a valid "
+                    f"partition size of {self.architecture.name}"
+                )
+            if self.sla_reference_gpcs not in self.architecture.valid_partition_sizes:
+                raise ValueError(
+                    f"sla_reference_gpcs={self.sla_reference_gpcs} is not a valid "
+                    f"partition size of {self.architecture.name}"
+                )
         if self.sla_multiplier <= 0:
             raise ValueError("sla_multiplier must be positive")
-        if self.sla_reference_gpcs not in self.architecture.valid_partition_sizes:
-            raise ValueError(
-                f"sla_reference_gpcs={self.sla_reference_gpcs} is not a valid "
-                f"partition size of {self.architecture.name}"
-            )
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.frontend_capacity_qps is not None and self.frontend_capacity_qps <= 0:
@@ -356,6 +422,31 @@ class ServerConfig:
         if self.gpc_budget is not None:
             return self.gpc_budget
         return self.num_gpus * self.architecture.gpc_count
+
+    @property
+    def is_fleet(self) -> bool:
+        """True when this design deploys onto an explicit fleet."""
+        return self.fleet is not None
+
+    @property
+    def is_heterogeneous_fleet(self) -> bool:
+        """True when the fleet mixes two or more GPU architectures."""
+        if self.fleet is None:
+            return False
+        return len({spec.architecture.name for spec in self.fleet}) > 1
+
+    def build_fleet(self) -> Fleet:
+        """Materialise the configured :class:`~repro.gpu.fleet.Fleet`.
+
+        Raises:
+            ValueError: when no fleet was configured.
+        """
+        if self.fleet is None:
+            raise ValueError(
+                "this config has no fleet; set ServerConfig(fleet=...) or "
+                "use ServerBuilder.fleet()"
+            )
+        return Fleet(list(self.fleet))
 
     def label(self) -> str:
         """Readable design-point label, e.g. ``paris+elsa`` or ``gpu(3)+fifs``."""

@@ -17,19 +17,20 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.plan import PartitionPlan
+from repro.core.plan import FleetPlan, PartitionPlan
 from repro.core.registry import (
     PartitionerContext,
     SchedulerContext,
     build_plan,
     build_scheduler,
+    resolve_spec,
 )
 from repro.gpu.partition import PartitionInstance
 from repro.gpu.server import MultiGPUServer
 from repro.perf.lookup import ProfileTable
-from repro.perf.profiler import Profiler
+from repro.perf.profiler import Profiler, cached_profile, fleet_profiles
 from repro.serving.config import ServerConfig
 from repro.serving.sla import derive_sla_target
 from repro.sim.cluster import InferenceServerSimulator
@@ -43,22 +44,31 @@ class Deployment:
     Attributes:
         config: the design point this deployment realises.
         profiles: profiled lookup tables of every served model, keyed by
-            model name (the primary model is always present).
-        plan: the partitioning plan produced by the configured partitioner.
+            model name (the primary model is always present).  On fleet
+            deployments these are the *primary architecture's* tables.
+        plan: the partitioning plan produced by the configured partitioner —
+            a :class:`~repro.core.plan.PartitionPlan` on single servers, a
+            :class:`~repro.core.plan.FleetPlan` on fleet deployments.
         instances: partition instances placed on the physical GPUs.
         scheduler: the instantiated scheduling policy.
         sla_target: the primary model's derived SLA target in seconds.
         sla_targets: per-model derived SLA targets (Section V applies the
             multiplier to *each* model's own GPU(7) latency).
+        arch_profiles: per-architecture per-model tables (``architecture
+            name -> model name -> table``), set only on mixed-architecture
+            fleet deployments; the simulator and architecture-aware
+            schedulers resolve each instance's execution estimates through
+            its own architecture's table.
     """
 
     config: ServerConfig
     profiles: Mapping[str, ProfileTable]
-    plan: PartitionPlan
+    plan: Union[PartitionPlan, FleetPlan]
     instances: Sequence[PartitionInstance]
     scheduler: Scheduler
     sla_target: float
     sla_targets: Mapping[str, float]
+    arch_profiles: Optional[Mapping[str, Mapping[str, ProfileTable]]] = None
 
     @property
     def profile(self) -> ProfileTable:
@@ -98,6 +108,21 @@ class Deployment:
                 f"models: {sorted(self.sla_targets)}"
             ) from None
 
+    def profile_for_architecture(self, model: str, architecture: str) -> ProfileTable:
+        """The profiled table of ``model`` on a member architecture.
+
+        Falls back to the primary architecture's table on single-server
+        deployments (where no per-architecture tables exist).
+
+        Raises:
+            KeyError: when the model is not served by this deployment.
+        """
+        if self.arch_profiles is not None:
+            tables = self.arch_profiles.get(architecture)
+            if tables is not None and model in tables:
+                return tables[model]
+        return self.profile_for(model)
+
     def simulator(
         self,
         execution_noise_std: float = 0.0,
@@ -121,6 +146,11 @@ class Deployment:
             seed=seed,
             frontend_capacity_qps=self.config.frontend_capacity_qps,
             fast_path=self.config.fast_path if fast_path is None else fast_path,
+            arch_profiles=(
+                {name: dict(tables) for name, tables in self.arch_profiles.items()}
+                if self.arch_profiles is not None
+                else None
+            ),
         )
 
     def describe(self) -> str:
@@ -133,12 +163,16 @@ def _plan_and_place(
     config: ServerConfig,
     profile: ProfileTable,
     batch_pdf: Dict[int, float],
+    arch_tables: Optional[Mapping[str, Mapping[str, ProfileTable]]] = None,
 ):
     """Run the configured partitioner and pack the plan onto the server.
 
     The one plan-construction path shared by :func:`build_deployment` and
-    :func:`replan_deployment`.
+    :func:`replan_deployment`.  Fleet configs route through
+    :func:`_plan_and_place_fleet`.
     """
+    if config.fleet is not None:
+        return _plan_and_place_fleet(config.build_fleet(), config, batch_pdf, arch_tables)
     plan = build_plan(
         config.partitioning,
         PartitionerContext(
@@ -158,6 +192,85 @@ def _plan_and_place(
     return plan, tuple(instances)
 
 
+def _fleet_tables(fleet, models) -> Dict[str, Dict[str, ProfileTable]]:
+    """Per-architecture per-model tables of a fleet (process-cached)."""
+    return fleet_profiles(list(models), list(fleet.architectures))
+
+
+def _plan_and_place_fleet(
+    fleet,
+    config: ServerConfig,
+    batch_pdf: Dict[int, float],
+    arch_tables: Optional[Mapping[str, Mapping[str, ProfileTable]]] = None,
+) -> Tuple[FleetPlan, Tuple[PartitionInstance, ...]]:
+    """Plan the fleet's per-architecture budgets and pack the instances.
+
+    ``"paris"`` partitioning runs the heterogeneous
+    :class:`~repro.core.paris.FleetParis` generalisation (one global
+    knee-segmentation across every ``(architecture, size)`` class); every
+    other registered partitioner is invoked once per member architecture
+    with that architecture's own profile table and budget, and the
+    per-architecture plans are merged.
+    """
+    from repro.core.paris import ParisConfig, shared_fleet_paris
+    from repro.core.specs import ParisSpec
+
+    budgets = fleet.budgets_by_architecture()
+    if arch_tables is None:
+        arch_tables = _fleet_tables(fleet, config.models)
+    primary_tables = {
+        name: tables[config.model] for name, tables in arch_tables.items()
+    }
+
+    if config.partitioning == "paris":
+        spec_context = PartitionerContext(
+            profile=primary_tables[fleet.primary_architecture.name],
+            batch_pdf=batch_pdf,
+            budget=fleet.total_gpcs,
+            config=config,
+            spec=config.partitioner_spec,
+        )
+        spec = resolve_spec(spec_context, ParisSpec)
+        planner = shared_fleet_paris(
+            primary_tables,
+            ParisConfig(
+                knee_threshold=spec.knee_threshold,
+                partition_sizes=spec.partition_sizes,
+                min_instances_per_active_segment=spec.min_instances_per_active_segment,
+            ),
+        )
+        plan = planner.plan(dict(batch_pdf), budgets)
+    else:
+        counts: Dict[Tuple[str, int], int] = {}
+        sub_plans: Dict[str, PartitionPlan] = {}
+        for name, budget in budgets.items():
+            sub = build_plan(
+                config.partitioning,
+                PartitionerContext(
+                    profile=primary_tables[name],
+                    batch_pdf=batch_pdf,
+                    budget=budget,
+                    config=config,
+                    spec=config.partitioner_spec,
+                    target_architecture=fleet.architecture_named(name),
+                ),
+            )
+            sub_plans[name] = sub
+            for size, count in sub.counts.items():
+                if count > 0:
+                    counts[(name, size)] = count
+        plan = FleetPlan(
+            model=config.model,
+            counts=counts,
+            budgets=dict(budgets),
+            strategy=f"fleet-{config.partitioning}",
+            per_architecture=sub_plans,
+        )
+
+    instances = fleet.configure(plan.counts)
+    return plan, tuple(instances)
+
+
 def replan_deployment(
     deployment: Deployment, batch_pdf: Dict[int, float]
 ) -> Deployment:
@@ -167,7 +280,9 @@ def replan_deployment(
     and the MIG layout change, which is exactly the paper's online
     re-partitioning step.  Used by
     :meth:`repro.serving.session.ServingSession.repartition` both mid-run
-    and between runs.
+    and between runs.  Fleet deployments replan across their
+    per-architecture budgets (per-architecture tables come from the
+    process-wide profile cache, so no re-profiling happens).
 
     Raises:
         ValueError: for an empty ``batch_pdf``.
@@ -175,7 +290,10 @@ def replan_deployment(
     if not batch_pdf:
         raise ValueError("batch_pdf must be non-empty")
     plan, instances = _plan_and_place(
-        deployment.config, deployment.profile, dict(batch_pdf)
+        deployment.config,
+        deployment.profile,
+        dict(batch_pdf),
+        arch_tables=deployment.arch_profiles,
     )
     return dataclasses.replace(deployment, plan=plan, instances=instances)
 
@@ -212,27 +330,70 @@ def build_deployment(
         ValueError: for an empty ``batch_pdf``.
         UnknownPolicyError: when a policy name is not registered (the
             message lists the available policies).
+
+    Note:
+        On **fleet** configs every served model is profiled once per member
+        architecture through the process-wide cache
+        (:func:`repro.perf.profiler.cached_profile`); explicit ``profile`` /
+        ``profiles`` / ``profiler`` arguments are rejected there, because a
+        single-architecture table cannot answer for the whole fleet.  The
+        deployment's ``profiles`` mapping then holds the *primary*
+        architecture's tables and ``arch_profiles`` the full per-architecture
+        set.
     """
     if not batch_pdf:
         raise ValueError("batch_pdf must be non-empty")
 
-    tables: Dict[str, ProfileTable] = dict(profiles or {})
-    if profile is not None:
-        tables[config.model] = profile
-    missing = [name for name in config.models if name not in tables]
-    if missing:
-        from repro.models.registry import get_model
+    arch_tables: Optional[Dict[str, Dict[str, ProfileTable]]] = None
+    fleet = None
+    if config.fleet is not None:
+        if profile is not None or profiles or profiler is not None:
+            raise ValueError(
+                "fleet configs profile every (model, architecture) pair "
+                "through the per-architecture cache; explicit profile/"
+                "profiles/profiler arguments would be silently wrong — "
+                "drop them (custom sweeps go through "
+                "repro.perf.profiler.cached_profile parameters)"
+            )
+        fleet = config.build_fleet()
+        arch_tables = _fleet_tables(fleet, config.models)
+        primary_arch = config.architecture.name
+        tables = dict(arch_tables[primary_arch])
+    else:
+        tables = dict(profiles or {})
+        if profile is not None:
+            tables[config.model] = profile
+        missing = [name for name in config.models if name not in tables]
+        if missing:
+            if profiler is None:
+                # the default sweep is a pure function of (model,
+                # architecture), so deployments share tables through the
+                # process-wide cache; a custom profiler still profiles
+                # directly
+                for name in missing:
+                    tables[name] = cached_profile(
+                        name, architecture=config.architecture
+                    )
+            else:
+                from repro.models.registry import get_model
 
-        profiler = profiler or Profiler(architecture=config.architecture)
-        for name in missing:
-            tables[name] = profiler.profile(get_model(name))
+                for name in missing:
+                    tables[name] = profiler.profile(get_model(name))
     primary = tables[config.model]
     # primary-first ordering keeps Deployment.models/describe() consistent
     # with ServerConfig.models regardless of the caller's mapping order
     tables = {config.model: primary, **tables}
 
-    plan, instances = _plan_and_place(config, primary, batch_pdf)
+    if fleet is not None:
+        plan, instances = _plan_and_place_fleet(fleet, config, batch_pdf, arch_tables)
+    else:
+        plan, instances = _plan_and_place(config, primary, batch_pdf)
 
+    # per-architecture tables participate only on genuinely mixed fleets;
+    # a single-architecture fleet behaves (bit-for-bit) like a flat server
+    hetero_tables = (
+        arch_tables if arch_tables is not None and len(arch_tables) > 1 else None
+    )
     scheduler = build_scheduler(
         config.scheduler,
         SchedulerContext(
@@ -240,6 +401,7 @@ def build_deployment(
             profiles=tables,
             config=config,
             spec=config.scheduler_spec,
+            arch_profiles=hetero_tables,
         ),
     )
     sla_targets = {
@@ -259,4 +421,5 @@ def build_deployment(
         scheduler=scheduler,
         sla_target=sla_targets[config.model],
         sla_targets=sla_targets,
+        arch_profiles=hetero_tables,
     )

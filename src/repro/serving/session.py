@@ -200,6 +200,13 @@ class ServingSession:
             raise ValueError("window must be positive (or None to disable)")
         if trigger_interval is not None and trigger_interval <= 0:
             raise ValueError("trigger_interval must be positive when set")
+        if config.is_fleet and (profiler is not None or profiles):
+            raise ValueError(
+                "fleet configs profile every (model, architecture) pair "
+                "through the per-architecture cache; a custom profiler or "
+                "pre-built single-architecture profiles would be silently "
+                "wrong — drop them"
+            )
         self.config: ServerConfig = config
         self.profiler = profiler or Profiler(architecture=config.architecture)
         self.reconfig_cost = reconfig_cost
@@ -228,9 +235,14 @@ class ServingSession:
     @classmethod
     def from_deployment(cls, deployment: Deployment, **kwargs: Any) -> "ServingSession":
         """Open a session over an already-materialised deployment."""
-        session = cls(
-            deployment.config, profiles=dict(deployment.profiles), **kwargs
-        )
+        if deployment.config.is_fleet:
+            # fleet redeploys resolve tables through the per-architecture
+            # cache; seeding single-architecture profiles would be rejected
+            session = cls(deployment.config, **kwargs)
+        else:
+            session = cls(
+                deployment.config, profiles=dict(deployment.profiles), **kwargs
+            )
         session._deployment = deployment
         return session
 
@@ -258,9 +270,14 @@ class ServingSession:
                 "batch_pdf must be non-empty: an empty PDF gives the "
                 "partitioner nothing to work with"
             )
-        self._deployment = build_deployment(
-            self.config, pdf, profiler=self.profiler, profiles=self._profiles
-        )
+        if self.config.is_fleet:
+            # per-architecture tables come from the process-wide cache; the
+            # session's profiler/profile stash only serves flat configs
+            self._deployment = build_deployment(self.config, pdf)
+        else:
+            self._deployment = build_deployment(
+                self.config, pdf, profiler=self.profiler, profiles=self._profiles
+            )
         self._profiles.update(self._deployment.profiles)
         self._planned_pdf = dict(pdf)
         return self._deployment

@@ -232,6 +232,15 @@ class InferenceServerSimulator:
             either way (pinned by the replay benchmark and the identity
             property tests); the naive path exists as the reference for that
             contract and for speed comparisons.
+        arch_profiles: per-architecture per-model lookup tables
+            (``architecture name -> model name -> table``) for
+            mixed-architecture fleets.  With two or more architectures every
+            worker executes (and every scheduling context estimates)
+            through *its own* architecture's memoized oracle; the scheduling
+            context additionally exposes the per-architecture oracles via
+            ``SchedulingContext.estimators``.  ``None`` (or a single
+            architecture) keeps the classic single-oracle behaviour
+            bit-for-bit.
     """
 
     def __init__(
@@ -244,6 +253,7 @@ class InferenceServerSimulator:
         frontend_capacity_qps: Optional[float] = None,
         observers: Sequence[SimulationObserver] = (),
         fast_path: bool = True,
+        arch_profiles: Optional[Dict[str, Dict[str, ProfileTable]]] = None,
     ) -> None:
         if not instances:
             raise ValueError("simulator requires at least one partition instance")
@@ -267,6 +277,26 @@ class InferenceServerSimulator:
         #: The latency oracle handed to workers and scheduling contexts; one
         #: persistent object so the workers' queued-work caches can key on it.
         self._latency_fn = self._estimator if self._fast else self.estimate_latency
+        #: Mixed fleets: one persistent memoized oracle per architecture
+        #: (both paths — the oracle is semantics here, not an optimisation).
+        self._arch_estimators: Optional[Dict[str, CachedEstimator]] = None
+        if arch_profiles is not None and len(arch_profiles) > 1:
+            self._arch_estimators = {
+                name: CachedEstimator(dict(tables))
+                for name, tables in arch_profiles.items()
+            }
+            missing = sorted(
+                {
+                    instance.partition.architecture.name
+                    for instance in self._instances
+                }
+                - set(self._arch_estimators)
+            )
+            if missing:
+                raise ValueError(
+                    f"instances use architecture(s) {missing} absent from "
+                    f"arch_profiles {sorted(self._arch_estimators)}"
+                )
         self.workers: List[PartitionWorker] = []
         self._active = False
         self._build_workers()
@@ -275,11 +305,18 @@ class InferenceServerSimulator:
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
+    def _worker_latency_fn(self, instance: PartitionInstance):
+        """The execution oracle for a worker on ``instance`` (per-architecture
+        on mixed fleets, the shared oracle otherwise)."""
+        if self._arch_estimators is not None:
+            return self._arch_estimators[instance.partition.architecture.name]
+        return self._latency_fn
+
     def _build_workers(self) -> None:
         self.workers = [
             PartitionWorker(
                 instance=instance,
-                latency_fn=self._latency_fn,
+                latency_fn=self._worker_latency_fn(instance),
                 noise_std=self._noise,
                 seed=self._seed + idx,
                 queued_work_cache=self._fast,
@@ -405,6 +442,7 @@ class InferenceServerSimulator:
             central_queue=tuple(self._central_queue),
             estimator=self._latency_fn,
             idle=None,
+            estimators=self._arch_estimators,
         )
 
     def _fast_context(self, now: float) -> SchedulingContext:
@@ -423,6 +461,7 @@ class InferenceServerSimulator:
                 central_queue=self._central_queue,
                 estimator=self._latency_fn,
                 idle=self._idle_view,
+                estimators=self._arch_estimators,
             )
         else:
             object.__setattr__(context, "now", now)
@@ -791,7 +830,7 @@ class InferenceServerSimulator:
         new_workers = [
             PartitionWorker(
                 instance=instance,
-                latency_fn=self._latency_fn,
+                latency_fn=self._worker_latency_fn(instance),
                 noise_std=self._noise,
                 seed=self._seed + instance.instance_id,
                 queued_work_cache=self._fast,

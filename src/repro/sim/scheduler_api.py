@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.sim.worker import LatencyFn, PartitionWorker
 from repro.workload.query import Query
@@ -43,12 +43,19 @@ class SchedulingContext:
             be mutated — the fast-path simulator shares its live queue here
             instead of copying it per event.
         estimator: the profiled latency oracle (model, batch, gpcs) -> seconds,
-            i.e. the ``T_estimated`` lookup of Section IV-C.
+            i.e. the ``T_estimated`` lookup of Section IV-C.  On a
+            mixed-architecture fleet this is the *primary* architecture's
+            oracle; use :meth:`oracle_for` to resolve the right oracle per
+            worker.
         idle: the completely idle workers in ``workers`` order, maintained
             incrementally by the fast-path simulator so policies need not
             rescan every worker per event; ``None`` when the caller did not
             precompute it (``Scheduler.idle_workers`` then falls back to a
             scan, which yields the same list).
+        estimators: per-architecture latency oracles keyed by architecture
+            name, set only on mixed-architecture fleets; ``None`` on
+            single-architecture servers (every worker then shares
+            ``estimator``).
     """
 
     now: float
@@ -56,6 +63,19 @@ class SchedulingContext:
     central_queue: Sequence[Query]
     estimator: LatencyFn
     idle: Optional[Sequence[PartitionWorker]] = None
+    estimators: Optional[Mapping[str, LatencyFn]] = None
+
+    def oracle_for(self, worker: PartitionWorker) -> LatencyFn:
+        """The latency oracle matching ``worker``'s architecture.
+
+        On single-architecture servers this is always :attr:`estimator`
+        (same object, so worker-side queued-work caches keep their
+        identity); on mixed fleets it is the worker's architecture's oracle.
+        """
+        estimators = self.estimators
+        if estimators is None:
+            return self.estimator
+        return estimators.get(worker.arch_name, self.estimator)
 
 
 class Scheduler(abc.ABC):

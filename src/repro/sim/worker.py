@@ -74,11 +74,12 @@ class PartitionWorker:
         if noise_std < 0:
             raise ValueError("noise_std must be non-negative")
         self.instance = instance
-        #: Partition size / id cached as plain attributes: the scheduling hot
-        #: loops read them once per worker per arrival, and a chain of two
-        #: properties is measurable there.
+        #: Partition size / id / architecture cached as plain attributes:
+        #: the scheduling hot loops read them once per worker per arrival,
+        #: and a chain of two properties is measurable there.
         self.gpcs: int = instance.gpcs
         self.instance_id: int = instance.instance_id
+        self.arch_name: str = instance.partition.architecture.name
         self.latency_fn = latency_fn
         self.noise_std = noise_std
         self._rng = np.random.default_rng(seed)

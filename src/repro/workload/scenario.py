@@ -238,22 +238,53 @@ SCENARIOS = PolicyRegistry("scenario")
 def register_scenario(
     name: str, *, aliases: Sequence[str] = (), overwrite: bool = False
 ):
-    """Decorator registering a scenario factory under ``name``."""
+    """Decorator registering a scenario factory under ``name``.
+
+    Args:
+        name: registry key (case-insensitive).
+        aliases: additional names resolving to the same factory.
+        overwrite: replace an existing registration instead of raising.
+
+    Returns:
+        The decorator; the decorated factory is registered unchanged.
+
+    Raises:
+        ValueError: if the name is taken and ``overwrite`` is false.
+    """
     return SCENARIOS.register(name, aliases=aliases, overwrite=overwrite)
 
 
 def get_scenario(name: str) -> Callable:
-    """The scenario factory registered under ``name``."""
+    """The scenario factory registered under ``name``.
+
+    Raises:
+        UnknownPolicyError: for an unregistered name (the message lists the
+            available scenarios).
+    """
     return SCENARIOS.get(name)
 
 
 def available_scenarios() -> List[str]:
-    """Names of every registered scenario."""
+    """Sorted names of every registered scenario."""
     return SCENARIOS.names()
 
 
 def build_scenario(name: str, **options: Any) -> Scenario:
-    """Instantiate the named scenario with ``options``."""
+    """Instantiate the named scenario with ``options``.
+
+    Args:
+        name: registered scenario name (e.g. ``"diurnal"``, ``"burst"``,
+            ``"batch-drift"`` or a custom registration).
+        options: keyword options forwarded to the registered factory.
+
+    Returns:
+        The constructed :class:`Scenario`.
+
+    Raises:
+        UnknownPolicyError: for an unregistered name.
+        TypeError: when the factory returns something that is not a
+            :class:`Scenario`.
+    """
     scenario = get_scenario(name)(**options)
     if not isinstance(scenario, Scenario):
         raise TypeError(

@@ -1,0 +1,44 @@
+"""The heterogeneous-fleet iso-cost experiment (tiny settings)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    DEFAULT_FLEETS,
+    ExperimentSettings,
+    fleet_gpc_cost,
+    heterogeneous_fleet,
+)
+
+
+def test_default_fleets_are_iso_cost():
+    costs = {name: fleet_gpc_cost(servers) for name, servers in DEFAULT_FLEETS.items()}
+    baseline = costs["a100-only"]
+    for name, cost in costs.items():
+        assert cost == pytest.approx(baseline, rel=0.02), (name, cost, baseline)
+
+
+def test_fleet_gpc_cost_unknown_architecture():
+    from repro.gpu.architecture import GPUArchitecture
+
+    exotic = GPUArchitecture(name="B300", gpc_count=8, valid_partition_sizes=(1,))
+    with pytest.raises(KeyError):
+        fleet_gpc_cost([(1, exotic)])
+
+
+def test_heterogeneous_fleet_rows():
+    settings = ExperimentSettings(num_queries=120, search_iterations=3)
+    fleets = {
+        "a100-only": ((2, "a100", 14),),
+        "a100+a30": ((1, "a100", 7), (2, "a30", 7)),
+    }
+    rows = heterogeneous_fleet(settings=settings, fleets=fleets)
+    assert [row["fleet"] for row in rows] == ["a100-only", "a100+a30"]
+    for row in rows:
+        assert row["throughput_qps"] > 0
+        assert row["gpc_cost"] > 0
+        assert row["throughput_per_cost"] == pytest.approx(
+            row["throughput_qps"] / row["gpc_cost"]
+        )
+        assert row["plan"]
+    # the two designs were measured against the same SLA (A100 primary)
+    assert rows[0]["sla_ms"] == rows[1]["sla_ms"]

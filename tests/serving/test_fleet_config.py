@@ -1,0 +1,195 @@
+"""Fleet plumbing through ServerConfig / ServerBuilder / Deployment / Session."""
+
+import pytest
+
+from repro.gpu.architecture import A30, A100, H100
+from repro.gpu.fleet import FleetServerSpec
+from repro.serving.builder import ServerBuilder
+from repro.serving.config import ServerConfig
+from repro.serving.deployment import build_deployment, replan_deployment
+from repro.serving.session import ServingSession
+from repro.workload.generator import WorkloadConfig
+
+PDF = {1: 0.4, 2: 0.3, 8: 0.2, 32: 0.1}
+MIXED = ((2, "a100", 14), (2, "a30"), (1, "h100", 7))
+
+
+class TestFleetConfig:
+    def test_flat_fields_derived_from_fleet(self):
+        config = ServerConfig(model="resnet", fleet=MIXED)
+        assert config.is_fleet and config.is_heterogeneous_fleet
+        assert config.num_gpus == 5
+        assert config.architecture is A100  # the first server's
+        assert config.effective_gpc_budget == 14 + 8 + 7
+        fleet = config.build_fleet()
+        assert [a.name for a in fleet.architectures] == [
+            A100.name, A30.name, H100.name,
+        ]
+
+    def test_fleet_specs_normalised(self):
+        config = ServerConfig(model="resnet", fleet=[(4, "a30")])
+        assert all(isinstance(s, FleetServerSpec) for s in config.fleet)
+        assert not config.is_heterogeneous_fleet
+
+    def test_explicit_gpc_budget_with_fleet_rejected(self):
+        with pytest.raises(ValueError, match="per-server budgets"):
+            ServerConfig(model="resnet", fleet=MIXED, gpc_budget=48)
+
+    def test_sla_reference_defaults_to_largest_primary_partition(self):
+        # A30-primary fleet: GPU(7) does not exist, the default reference
+        # resolves to GPU(4)
+        config = ServerConfig(model="resnet", fleet=((4, "a30"), (1, "a100")))
+        assert config.sla_reference_gpcs == 4
+
+    def test_explicit_invalid_sla_reference_still_rejected(self):
+        with pytest.raises(ValueError, match="sla_reference_gpcs"):
+            ServerConfig(
+                model="resnet",
+                fleet=((4, "a30"),),
+                sla_reference_gpcs=3,
+            )
+
+    def test_homogeneous_partitioning_size_checked_against_members(self):
+        # 3 is valid on A100/H100 but not on A30: the homogeneous
+        # partitioner runs per member architecture, so the config must
+        # reject sizes any member cannot host
+        with pytest.raises(ValueError, match="every fleet architecture"):
+            ServerConfig(
+                model="resnet",
+                partitioning="homogeneous",
+                homogeneous_gpcs=3,
+                fleet=MIXED,
+            )
+
+
+class TestFleetBuilder:
+    def test_builder_fleet_step(self):
+        config = ServerBuilder("resnet").fleet((2, "a100", 14), "a30").build()
+        assert config.is_fleet
+        assert config.fleet[1].architecture is A30
+        assert config.fleet[1].num_gpus == 8  # bare name = one full server
+
+    def test_fleet_clashes_with_cluster_shape(self):
+        builder = ServerBuilder("resnet").cluster(num_gpus=4)
+        with pytest.raises(ValueError, match="set by both"):
+            builder.fleet((2, "a100"))
+
+    def test_fleet_composes_with_cluster_runtime_knobs(self):
+        config = (
+            ServerBuilder("resnet")
+            .fleet((2, "a100"), (2, "a30"))
+            .cluster(fast_path=False, frontend_capacity_qps=500.0)
+            .build()
+        )
+        assert config.fleet is not None
+        assert config.fast_path is False
+        assert config.frontend_capacity_qps == 500.0
+
+    def test_empty_fleet_step_rejected(self):
+        with pytest.raises(ValueError, match="at least one server"):
+            ServerBuilder("resnet").fleet()
+
+
+class TestFleetDeployment:
+    def test_mixed_deployment_has_arch_profiles(self):
+        deployment = build_deployment(
+            ServerConfig(model="resnet", fleet=MIXED), PDF
+        )
+        assert deployment.arch_profiles is not None
+        assert set(deployment.arch_profiles) == {A100.name, A30.name, H100.name}
+        # every served model is profiled on every architecture
+        for tables in deployment.arch_profiles.values():
+            assert set(tables) == {"resnet"}
+        # instances span every architecture and the plan is keyed by arch
+        archs = {i.partition.architecture.name for i in deployment.instances}
+        assert archs == {A100.name, A30.name, H100.name}
+        assert deployment.plan.counts_of(A30.name)
+
+    def test_profile_for_architecture_resolution(self):
+        deployment = build_deployment(
+            ServerConfig(model="resnet", fleet=MIXED), PDF
+        )
+        a30_table = deployment.profile_for_architecture("resnet", A30.name)
+        assert a30_table.partition_sizes == [1, 2, 4]
+        # unknown architecture falls back to the primary table
+        fallback = deployment.profile_for_architecture("resnet", "unknown")
+        assert fallback is deployment.profile
+
+    def test_multi_model_fleet_deployment(self):
+        config = ServerConfig(
+            model="resnet", extra_models=("mobilenet",), fleet=MIXED
+        )
+        deployment = build_deployment(config, PDF)
+        for tables in deployment.arch_profiles.values():
+            assert set(tables) == {"resnet", "mobilenet"}
+        assert set(deployment.profiles) == {"resnet", "mobilenet"}
+
+    def test_fleet_replan_respects_budgets(self):
+        deployment = build_deployment(
+            ServerConfig(model="resnet", fleet=MIXED), PDF
+        )
+        replanned = replan_deployment(deployment, {16: 0.5, 32: 0.5})
+        assert replanned.plan.used_gpcs_of(A100.name) <= 14
+        assert replanned.plan.used_gpcs_of(A30.name) <= 8
+        assert replanned.plan.used_gpcs_of(H100.name) <= 7
+        assert replanned.scheduler is deployment.scheduler  # reused untouched
+
+    def test_per_arch_partitioning_for_non_paris(self):
+        config = ServerConfig(
+            model="resnet",
+            partitioning="homogeneous",
+            homogeneous_gpcs=2,
+            fleet=((1, "a100", 6), (1, "a30", 4)),
+        )
+        deployment = build_deployment(config, PDF)
+        assert deployment.plan.counts_of(A100.name) == {2: 3}
+        assert deployment.plan.counts_of(A30.name) == {2: 2}
+        assert deployment.plan.strategy == "fleet-homogeneous"
+
+
+class TestFleetProfileArguments:
+    def test_explicit_profile_rejected_on_fleet_configs(self):
+        # a single-architecture table cannot answer for the whole fleet;
+        # silently ignoring it would compute results from the wrong model
+        from repro.perf.profiler import cached_profile
+
+        config = ServerConfig(model="resnet", fleet=MIXED)
+        with pytest.raises(ValueError, match="per-architecture cache"):
+            build_deployment(config, PDF, profile=cached_profile("resnet"))
+        with pytest.raises(ValueError, match="per-architecture cache"):
+            build_deployment(
+                config, PDF, profiles={"resnet": cached_profile("resnet")}
+            )
+
+    def test_custom_profiler_rejected_on_fleet_sessions(self):
+        from repro.perf.profiler import Profiler
+
+        config = ServerConfig(model="resnet", fleet=MIXED)
+        with pytest.raises(ValueError, match="per-architecture cache"):
+            ServingSession(config, profiler=Profiler())
+
+    def test_from_deployment_roundtrip_on_fleet(self):
+        deployment = build_deployment(ServerConfig(model="resnet", fleet=MIXED), PDF)
+        session = ServingSession.from_deployment(deployment, window=None)
+        assert session.deployment is deployment
+
+
+class TestFleetSession:
+    def test_session_runs_and_repartitions_mixed_fleet(self):
+        session = ServingSession(
+            ServerBuilder("resnet").fleet((2, "a100", 14), (2, "a30")),
+            batch_pdf={1: 0.8, 2: 0.2},  # deliberately stale prior
+            window=0.05,
+            triggers=[("pdf-drift", {"threshold": 0.1, "min_queries": 50})],
+            reconfig_cost=0.1,
+        )
+        result = session.run(
+            WorkloadConfig(
+                model="resnet", rate_qps=2500.0, num_queries=1200, seed=2, sigma=1.5
+            )
+        )
+        assert result.simulation.statistics.completed_queries == 1200
+        assert result.reconfigurations  # drift fired on the live fleet
+        final_plan = result.deployment.plan
+        assert final_plan.used_gpcs_of(A100.name) <= 14
+        assert final_plan.used_gpcs_of(A30.name) <= 8

@@ -11,10 +11,17 @@ machine, calibrates machine speed away.  A >``--max-regression`` drop in
 that ratio means the optimised path genuinely lost ground relative to the
 reference semantics, not that the runner was slow.
 
+A relative gate alone can drift: if the naive path slows down too, the
+ratio survives while absolute throughput quietly erodes.  The
+``--min-events-per-sec`` floor pins an absolute lower bound on the fresh
+run's raw fast-path events/sec — deliberately far below any healthy
+machine's figure, so it only trips on order-of-magnitude losses (an
+accidentally-disabled fast path, a quadratic slip), never on runner speed.
+
 Usage::
 
     python benchmarks/compare_bench.py FRESH.json BASELINE.json \
-        [--max-regression 0.20]
+        [--max-regression 0.20] [--min-events-per-sec 100000]
 
 Exits non-zero on regression (or unreadable/mismatched inputs).
 """
@@ -49,6 +56,13 @@ def main(argv=None) -> int:
         default=0.20,
         help="maximum tolerated fractional drop in normalised events/sec",
     )
+    parser.add_argument(
+        "--min-events-per-sec",
+        type=float,
+        default=100_000.0,
+        help="absolute floor on the fresh run's raw fast-path events/sec "
+        "(0 disables the floor)",
+    )
     args = parser.parse_args(argv)
 
     fresh = json.loads(Path(args.fresh).read_text())
@@ -69,6 +83,13 @@ def main(argv=None) -> int:
     )
     if change < -args.max_regression:
         print("FAIL: optimised replay path regressed past the tolerance")
+        return 1
+    raw_fast = float(fresh["events_per_sec_fast"])
+    if args.min_events_per_sec > 0 and raw_fast < args.min_events_per_sec:
+        print(
+            f"FAIL: raw fast-path throughput {raw_fast:,.0f} ev/s is below "
+            f"the absolute floor of {args.min_events_per_sec:,.0f} ev/s"
+        )
         return 1
     print("OK")
     return 0

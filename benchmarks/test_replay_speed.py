@@ -47,6 +47,13 @@ SMOKE_MIN_SPEEDUP = 4.0
 SWEEP_POINTS = 4
 SWEEP_QUERIES = 2500
 SWEEP_JOBS = 2
+SWEEP_ROUNDS = 3
+SMOKE_SWEEP_POINTS = 2
+SMOKE_SWEEP_QUERIES = 800
+#: On a single core the runner's auto-fallback makes the "warm" sweep run
+#: the very same inline loop as the serial sweep, so it may only trail by
+#: measurement noise — never by a real margin.
+SINGLE_CORE_MIN_RATIO = 0.9
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
 SMOKE_PATH = Path(__file__).resolve().parent.parent / "BENCH_smoke.json"
@@ -114,6 +121,82 @@ def _run_gate(deployment, trace, min_speedup):
     return best
 
 
+def _measure_sweep(deployment, workload, rates, n_jobs, rounds=SWEEP_ROUNDS):
+    """One cold warm-pool sweep, then ``rounds`` interleaved serial/warm pairs.
+
+    Interleaving the two timed paths (and keeping the best of each) is what
+    makes the serial/warm ratio trustworthy on a noisy shared machine — the
+    old single-sample measurement once reported the warm path "losing" 15%
+    on a box where both paths ran the identical inline loop.
+    """
+    serial_times, warm_times = [], []
+    serial_points = warm_points = None
+    with ParallelRunner(n_jobs=n_jobs) as runner:
+        start = time.perf_counter()
+        cold_points = sweep_rates(deployment, workload, rates, runner=runner)
+        cold_s = time.perf_counter() - start
+        spawned = runner.warm
+        for _ in range(rounds):
+            start = time.perf_counter()
+            serial_points = sweep_rates(deployment, workload, rates, n_jobs=1)
+            serial_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            warm_points = sweep_rates(deployment, workload, rates, runner=runner)
+            warm_times.append(time.perf_counter() - start)
+    return {
+        "serial_points": serial_points,
+        "warm_points": warm_points,
+        "cold_points": cold_points,
+        "serial_s": min(serial_times),
+        "warm_s": min(warm_times),
+        "cold_s": cold_s,
+        "spawned": spawned,
+    }
+
+
+def _sweep_gate(deployment, workload, rates, n_jobs):
+    """Identity + never-lose-to-serial gate; returns the recorded payload."""
+    cpu_count = os.cpu_count() or 1
+    best = None
+    for _ in range(ATTEMPTS):
+        measured = _measure_sweep(deployment, workload, rates, n_jobs)
+        serial = measured["serial_points"]
+        assert measured["cold_points"] == serial, "n_jobs changed sweep results"
+        assert measured["warm_points"] == serial, "warm pool changed sweep results"
+        speedup = measured["serial_s"] / measured["warm_s"]
+        if best is None or speedup > best[0]:
+            best = (speedup, measured)
+        if speedup > (1.0 if cpu_count >= 2 else SINGLE_CORE_MIN_RATIO):
+            break
+    speedup, measured = best
+    if cpu_count >= 2:
+        # with real cores available the warm fan-out must pay for itself
+        assert speedup > 1.0, (
+            f"warm parallel sweep ({measured['warm_s']:.2f}s) did not beat "
+            f"the serial sweep ({measured['serial_s']:.2f}s) on "
+            f"{cpu_count} cores"
+        )
+    else:
+        assert speedup >= SINGLE_CORE_MIN_RATIO, (
+            f"single-core fallback lost to serial: warm "
+            f"{measured['warm_s']:.2f}s vs serial {measured['serial_s']:.2f}s "
+            f"(ratio {speedup:.2f} < {SINGLE_CORE_MIN_RATIO})"
+        )
+    return {
+        "points": len(rates),
+        "n_jobs": n_jobs,
+        "rounds": SWEEP_ROUNDS,
+        "serial_s": measured["serial_s"],
+        "parallel_cold_s": measured["cold_s"],
+        "parallel_warm_s": measured["warm_s"],
+        "parallel_speedup": speedup,
+        "single_core_min_ratio": SINGLE_CORE_MIN_RATIO,
+        "pool_spawned": measured["spawned"],
+        "cpu_count": cpu_count,
+        "results_identical": True,
+    }
+
+
 def test_replay_speedup_and_bit_identity(settings):
     """The headline gate: >= 8x events/sec, identical simulated outcomes."""
     deployment = settings.build("mobilenet", "paris", "elsa")
@@ -133,26 +216,10 @@ def test_replay_speedup_and_bit_identity(settings):
     capacity = capacity_estimate(deployment, sweep_workload)
     rates = [capacity * fraction for fraction in (0.6, 0.9, 1.1, 1.3)][:SWEEP_POINTS]
 
-    start = time.perf_counter()
-    serial_points = sweep_rates(deployment, sweep_workload, rates, n_jobs=1)
-    sweep_serial_s = time.perf_counter() - start
-
     # The runner the analysis layer would use: warm pool on multi-core
     # machines, automatic serial fallback on one core.
-    with ParallelRunner(n_jobs=SWEEP_JOBS) as runner:
-        start = time.perf_counter()
-        cold_points = sweep_rates(deployment, sweep_workload, rates, runner=runner)
-        sweep_cold_s = time.perf_counter() - start
-        start = time.perf_counter()
-        warm_points = sweep_rates(deployment, sweep_workload, rates, runner=runner)
-        sweep_warm_s = time.perf_counter() - start
-        spawned = runner.warm
+    sweep_payload = _sweep_gate(deployment, sweep_workload, rates, SWEEP_JOBS)
 
-    assert cold_points == serial_points, "n_jobs changed sweep results"
-    assert warm_points == serial_points, "warm pool changed sweep results"
-
-    cpu_count = os.cpu_count() or 1
-    parallel_speedup = sweep_serial_s / sweep_warm_s
     payload = {
         "benchmark": "replay_speed",
         "model": "mobilenet",
@@ -168,18 +235,7 @@ def test_replay_speedup_and_bit_identity(settings):
         "speedup": speedup,
         "min_speedup": MIN_SPEEDUP,
         "bit_identical": True,
-        "sweep": {
-            "points": len(rates),
-            "num_queries": SWEEP_QUERIES,
-            "n_jobs": SWEEP_JOBS,
-            "serial_s": sweep_serial_s,
-            "parallel_cold_s": sweep_cold_s,
-            "parallel_warm_s": sweep_warm_s,
-            "parallel_speedup": parallel_speedup,
-            "pool_spawned": spawned,
-            "cpu_count": cpu_count,
-            "results_identical": True,
-        },
+        "sweep": {"num_queries": SWEEP_QUERIES, **sweep_payload},
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -187,12 +243,6 @@ def test_replay_speedup_and_bit_identity(settings):
         f"optimised path is only {speedup:.2f}x the naive events/sec "
         f"(bound {MIN_SPEEDUP}x); see {BENCH_PATH.name}"
     )
-    if cpu_count >= 2:
-        # with real cores available the warm fan-out must pay for itself
-        assert parallel_speedup > 1.0, (
-            f"warm parallel sweep ({sweep_warm_s:.2f}s) did not beat the "
-            f"serial sweep ({sweep_serial_s:.2f}s) on {cpu_count} cores"
-        )
 
 
 @pytest.mark.perf_smoke
@@ -207,6 +257,21 @@ def test_replay_speedup_smoke(settings):
     workload = _pinned_workload(settings, deployment, SMOKE_NUM_QUERIES)
     trace = QueryGenerator(workload).generate()
     speedup, fast_s, naive_s, events = _run_gate(deployment, trace, SMOKE_MIN_SPEEDUP)
+
+    # The warm-pool never-lose-to-serial gate, smoke-sized.  CI runs this on
+    # a 1-core box, which is exactly the configuration that regressed: the
+    # single-core fallback must keep the warm path within noise of serial.
+    sweep_workload = WorkloadConfig(
+        model="mobilenet",
+        rate_qps=1.0,
+        num_queries=SMOKE_SWEEP_QUERIES,
+        seed=1,
+        sla_target=deployment.sla_target,
+    )
+    capacity = capacity_estimate(deployment, sweep_workload)
+    rates = [capacity * fraction for fraction in (0.8, 1.2)][:SMOKE_SWEEP_POINTS]
+    sweep_payload = _sweep_gate(deployment, sweep_workload, rates, SWEEP_JOBS)
+
     SMOKE_PATH.write_text(
         json.dumps(
             {
@@ -219,6 +284,7 @@ def test_replay_speedup_smoke(settings):
                 "events_per_sec_naive": events / naive_s,
                 "speedup": speedup,
                 "min_speedup": SMOKE_MIN_SPEEDUP,
+                "sweep": {"num_queries": SMOKE_SWEEP_QUERIES, **sweep_payload},
             },
             indent=2,
         )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Three tenants share one GPU fleet through the serving daemon.
+
+This example runs the whole daemon stack in-process:
+
+1. start a daemon (`DaemonThread`) fronting a two-server A100 fleet,
+2. submit three tenant scenarios over real HTTP, each on its own GPC quota
+   slice of the shared pool,
+3. follow one tenant's live NDJSON metric stream and cancel another tenant
+   mid-run (its quota frees immediately; it still seals a partial result),
+4. load the per-job artifact directories back with
+   ``repro.analysis.artifacts`` and print the run table.
+
+Because tenants share *capacity accounting* but no simulator state, each
+tenant's metrics are bit-identical to running its scenario alone on the
+same quota slice — the daemon adds multiplexing, not drift (see
+``docs/daemon.md`` and ``tests/daemon/test_api.py``).
+
+Run with::
+
+    python examples/daemon_multi_tenant.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.artifacts import load_runs, run_table
+from repro.daemon import DaemonClient, DaemonThread, FleetPool, JobManager
+from repro.serving.config import ServerConfig
+
+SERVERS = [(2, "a100", 12), (2, "a100", 12)]  # one shared 24-GPC pool
+
+TENANTS = [
+    # (tenant, scenario options, GPC quota)
+    ("team-light", {"peak_qps": 120.0, "phase_duration": 4.0}, 8),
+    ("team-heavy", {"peak_qps": 300.0, "phase_duration": 4.0}, 12),
+    ("team-cancelled", {"peak_qps": 80.0, "phase_duration": 60.0}, 4),
+]
+
+
+def make_manager_factory(artifact_root: Path):
+    def make_manager() -> JobManager:
+        return JobManager(
+            FleetPool(SERVERS),
+            ServerConfig(model="mobilenet", fleet=tuple(SERVERS)),
+            artifact_root,
+            chunk=1.0,
+            expected_tenants=len(TENANTS),
+        )
+
+    return make_manager
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="daemon-example-") as tmp:
+        artifact_root = Path(tmp) / "artifacts"
+        daemon = DaemonThread(make_manager_factory(artifact_root))
+        port = daemon.start()
+        client = DaemonClient(port=port)
+        print(f"daemon on port {port}: {client.fleet()['shape']}\n")
+
+        jobs = {}
+        for tenant, options, quota in TENANTS:
+            doc = client.submit(
+                tenant,
+                "diurnal",
+                options={"model": "mobilenet", "trough_qps": 40.0, **options},
+                quota_gpcs=quota,
+                seed=7,
+            )
+            jobs[tenant] = doc["job_id"]
+            print(f"submitted {doc['job_id']} for {tenant} ({quota} GPCs)")
+
+        # follow the heavy tenant's live stream; cancel the long-running
+        # tenant as soon as its neighbour proves the fleet is busy
+        print(f"\nstreaming {jobs['team-heavy']} (team-heavy):")
+        cancelled = False
+        for row in client.watch(jobs["team-heavy"]):
+            if row["type"] == "window":
+                print(
+                    f"  window {row['index']:>2}: "
+                    f"{row['throughput_qps']:7.1f} qps, "
+                    f"p95 {row['p95_latency'] * 1e3:6.2f} ms, "
+                    f"violations {row['violations']}"
+                )
+                if not cancelled:
+                    client.cancel(jobs["team-cancelled"])
+                    cancelled = True
+            else:
+                print(f"  terminal state: {row['state']}")
+
+        for tenant in ("team-light", "team-cancelled"):
+            final = client.wait(jobs[tenant])
+            print(f"{jobs[tenant]} ({tenant}) ended {final['state']}")
+
+        client.shutdown()  # graceful: drains jobs, flushes artifacts
+        daemon.stop()
+
+        print("\nrun table from the artifact directories:")
+        print(run_table(load_runs(artifact_root)))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,8 +6,17 @@
   returning plain data rows that the benchmarks print and EXPERIMENTS.md
   records.
 * :mod:`repro.analysis.reporting` — ASCII table / CSV helpers.
+* :mod:`repro.analysis.artifacts` — digestion of the serving daemon's
+  per-job artifact directories into run tables.
 """
 
+from repro.analysis.artifacts import (
+    JobArtifact,
+    load_job,
+    load_runs,
+    run_table,
+    run_table_csv,
+)
 from repro.analysis.sweep import (
     DesignPointResult,
     ParallelRunner,
@@ -27,6 +36,11 @@ from repro.analysis.experiments import (
 )
 
 __all__ = [
+    "JobArtifact",
+    "load_job",
+    "load_runs",
+    "run_table",
+    "run_table_csv",
     "ExperimentSettings",
     "fleet_gpc_cost",
     "heterogeneous_fleet",

@@ -1,0 +1,199 @@
+"""Digest daemon job artifacts back into analysable run tables.
+
+The serving daemon (:mod:`repro.daemon`) writes one directory per job —
+``job.json`` (the submitted spec), ``windows.ndjson`` (closed metric
+windows, one JSON object per line) and ``result.json`` (terminal state +
+summary), mubench's run-per-artifact layout.  This module is the read side:
+load a single job, sweep an artifact root, and flatten the result into
+run-table rows / CSV via the shared reporting helpers.
+
+Typical post-mortem::
+
+    from repro.analysis.artifacts import load_runs, run_table
+
+    runs = load_runs("daemon-artifacts")
+    print(run_table(runs))
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.reporting import format_table, rows_to_csv
+
+#: Run-table columns, in display order, with their extractors' key paths.
+RUN_TABLE_COLUMNS: Tuple[str, ...] = (
+    "job_id",
+    "tenant",
+    "scenario",
+    "state",
+    "quota_gpcs",
+    "windows",
+    "simulated_s",
+    "throughput_qps",
+    "p95_latency_ms",
+    "sla_violation_rate",
+    "reconfigurations",
+)
+
+
+@dataclass(frozen=True)
+class JobArtifact:
+    """One job directory, fully loaded.
+
+    Attributes:
+        job_id: the job's identity (directory name, cross-checked against
+            the documents inside).
+        spec: the decoded ``job.json`` document.
+        result: the decoded ``result.json`` document, or ``None`` for a job
+            that never reached a terminal state (daemon killed mid-run).
+        windows: decoded ``windows.ndjson`` rows, in emission order.
+        path: the artifact directory.
+    """
+
+    job_id: str
+    spec: Dict[str, Any]
+    result: Optional[Dict[str, Any]]
+    windows: Tuple[Dict[str, Any], ...]
+    path: Path = field(compare=False, default=Path("."))
+
+    @property
+    def state(self) -> str:
+        """Terminal state, or ``"unknown"`` when no result was flushed."""
+        if self.result is None:
+            return "unknown"
+        return str(self.result.get("state", "unknown"))
+
+    @property
+    def summary(self) -> Dict[str, Any]:
+        """The result's numeric summary (empty for unfinished jobs)."""
+        if self.result is None:
+            return {}
+        return self.result.get("summary") or {}
+
+    def row(self) -> List[Any]:
+        """This job as one run-table row (see :data:`RUN_TABLE_COLUMNS`)."""
+        summary = self.summary
+        return [
+            self.job_id,
+            self.spec.get("tenant", ""),
+            self.spec.get("scenario", ""),
+            self.state,
+            self.spec.get("quota_gpcs", ""),
+            len(self.windows),
+            summary.get("simulated_seconds", ""),
+            summary.get("throughput_qps", ""),
+            summary.get("p95_latency_ms", ""),
+            summary.get("sla_violation_rate", ""),
+            summary.get("reconfigurations", ""),
+        ]
+
+
+def load_job(job_dir: Union[str, Path]) -> JobArtifact:
+    """Load one job's artifact directory.
+
+    Raises:
+        FileNotFoundError: when the directory or its ``job.json`` is missing
+            (a directory without a spec is not a job artifact).
+        ValueError: for undecodable documents — with the offending path.
+    """
+    path = Path(job_dir)
+    spec_path = path / "job.json"
+    if not spec_path.is_file():
+        raise FileNotFoundError(f"{path} has no job.json — not a job artifact")
+    spec = _read_json(spec_path)
+    result_path = path / "result.json"
+    result = _read_json(result_path) if result_path.is_file() else None
+    windows: List[Dict[str, Any]] = []
+    windows_path = path / "windows.ndjson"
+    if windows_path.is_file():
+        for number, line in enumerate(windows_path.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                windows.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{windows_path}:{number}: invalid NDJSON row: {error}"
+                )
+    return JobArtifact(
+        job_id=str(spec.get("job_id", path.name)),
+        spec=spec,
+        result=result,
+        windows=tuple(windows),
+        path=path,
+    )
+
+
+def load_runs(artifact_root: Union[str, Path]) -> List[JobArtifact]:
+    """Every job artifact under ``artifact_root``, sorted by job id.
+
+    Non-job subdirectories (no ``job.json``) are skipped silently, so the
+    root can host other files alongside the daemon's output.
+    """
+    root = Path(artifact_root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"artifact root {root} is not a directory")
+    runs: List[JobArtifact] = []
+    for child in sorted(root.iterdir()):
+        if child.is_dir() and (child / "job.json").is_file():
+            runs.append(load_job(child))
+    return sorted(runs, key=lambda run: run.job_id)
+
+
+def run_table_rows(runs: Sequence[JobArtifact]) -> List[List[Any]]:
+    """The run-table rows of ``runs`` (columns per :data:`RUN_TABLE_COLUMNS`)."""
+    return [run.row() for run in runs]
+
+
+def run_table(runs: Sequence[JobArtifact]) -> str:
+    """ASCII run table of every job — the quick post-mortem view."""
+    return format_table(RUN_TABLE_COLUMNS, run_table_rows(runs))
+
+
+def run_table_csv(runs: Sequence[JobArtifact]) -> str:
+    """The same run table as CSV text (mubench's ``run_table.csv`` shape)."""
+    return rows_to_csv(RUN_TABLE_COLUMNS, run_table_rows(runs))
+
+
+def window_series(run: JobArtifact, metric: str) -> List[Tuple[float, float]]:
+    """One metric's ``(window start, value)`` series from a job's windows.
+
+    Raises:
+        KeyError: when the metric is absent from the job's window rows.
+    """
+    series: List[Tuple[float, float]] = []
+    for row in run.windows:
+        if metric not in row:
+            raise KeyError(
+                f"window rows of {run.job_id} have no metric {metric!r}; "
+                f"available: {sorted(run.windows[0]) if run.windows else []}"
+            )
+        series.append((float(row["start"]), float(row[metric])))
+    return series
+
+
+def _read_json(path: Path) -> Dict[str, Any]:
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: invalid JSON: {error}")
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return document
+
+
+__all__ = [
+    "RUN_TABLE_COLUMNS",
+    "JobArtifact",
+    "load_job",
+    "load_runs",
+    "run_table",
+    "run_table_csv",
+    "run_table_rows",
+    "window_series",
+]

@@ -130,10 +130,21 @@ class ParallelRunner:
 
     @property
     def effective_jobs(self) -> int:
-        """The concrete worker count after resolving ``None``/``0``."""
+        """The concrete worker count after resolving ``None``/``0``.
+
+        Explicit requests are clamped to the machine's core count: workers
+        beyond the physical cores add spawn and IPC tax without adding
+        parallelism, which is how an oversubscribed "parallel" sweep ends up
+        slower than serial.  ``force_spawn`` bypasses the clamp (tests of
+        the pool machinery need a real pool on a 1-core box).
+        """
+        cores = os.cpu_count() or 1
         if not self.n_jobs:
-            return os.cpu_count() or 1
-        return max(1, int(self.n_jobs))
+            return cores
+        requested = max(1, int(self.n_jobs))
+        if self.force_spawn:
+            return requested
+        return min(requested, cores)
 
     @property
     def warm(self) -> bool:

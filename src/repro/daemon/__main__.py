@@ -1,0 +1,242 @@
+"""Command-line entry point: ``python -m repro.daemon <command>``.
+
+Commands:
+
+* ``serve``  — run the daemon in the foreground.
+* ``submit`` — submit a scenario job, print the accepted job document.
+* ``status`` — one job's status (or ``list`` for all jobs).
+* ``watch``  — follow a job's NDJSON stream to stdout.
+* ``cancel`` — request cancellation.
+* ``fleet``  — pool capacity and live grants.
+* ``shutdown`` — drain (or abort) and stop the daemon.
+
+Example session::
+
+    python -m repro.daemon serve --model mobilenet \
+        --server 2:a100:12 --server 2:a100:12 --port 8321 &
+    python -m repro.daemon submit --tenant team-a --scenario diurnal \
+        --option peak_qps=400 --quota 8
+    python -m repro.daemon watch job-0001
+    python -m repro.daemon shutdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.daemon.api import DaemonServer
+from repro.daemon.client import DaemonClient, DaemonError
+from repro.daemon.jobs import DEFAULT_CHUNK, JobManager
+from repro.daemon.tenants import FleetPool
+from repro.serving.config import ServerConfig
+
+
+def _parse_server(text: str):
+    """``N:ARCH[:BUDGET]`` → a fleet server tuple, e.g. ``2:a100:12``."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"server spec {text!r} must be NUM_GPUS:ARCH[:GPC_BUDGET]"
+        )
+    try:
+        num_gpus = int(parts[0])
+        budget = int(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"non-numeric field in server spec {text!r}")
+    return (num_gpus, parts[1], budget) if budget is not None else (num_gpus, parts[1])
+
+
+def _parse_option(text: str):
+    """``key=value`` scenario option with JSON-ish value coercion."""
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"option {text!r} must be key=value")
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    # --host/--port are accepted both before and after the subcommand.
+    # The shared actions default to SUPPRESS so a subparser never writes a
+    # default over a value the main parser already parsed (set_defaults
+    # would mutate the shared actions and reintroduce the clobbering);
+    # main() fills in the real defaults for whatever stayed unset.
+    connection = argparse.ArgumentParser(add_help=False)
+    connection.add_argument(
+        "--host", default=argparse.SUPPRESS, help="daemon address (default 127.0.0.1)"
+    )
+    connection.add_argument(
+        "--port", type=int, default=argparse.SUPPRESS,
+        help="daemon port (default 8321)",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.daemon",
+        description="multi-tenant serving daemon over one shared GPU fleet",
+        parents=[connection],
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        return commands.add_parser(name, help=help_text, parents=[connection])
+
+    serve = add_command("serve", "run the daemon in the foreground")
+    serve.add_argument("--model", default="resnet", help="primary served model")
+    serve.add_argument(
+        "--server",
+        action="append",
+        type=_parse_server,
+        metavar="N:ARCH[:BUDGET]",
+        help="fleet member (repeatable); default 8:a100",
+    )
+    serve.add_argument("--partitioning", default="paris")
+    serve.add_argument("--scheduler", default="elsa")
+    serve.add_argument(
+        "--trigger", action="append", default=None,
+        help="repartition trigger name (repeatable), e.g. pdf-drift",
+    )
+    serve.add_argument("--window", type=float, default=1.0, help="metrics window (s)")
+    serve.add_argument(
+        "--chunk", type=float, default=DEFAULT_CHUNK,
+        help="simulated seconds advanced per scheduling turn",
+    )
+    serve.add_argument(
+        "--expected-tenants", type=int, default=4,
+        help="divisor for the default fair-share quota",
+    )
+    serve.add_argument(
+        "--artifacts", type=Path, default=Path("daemon-artifacts"),
+        help="artifact root (one directory per job)",
+    )
+
+    submit = add_command("submit", "submit a scenario job")
+    submit.add_argument("--tenant", required=True)
+    submit.add_argument("--scenario", required=True, help="registered scenario name")
+    submit.add_argument(
+        "--option", action="append", type=_parse_option, default=[],
+        metavar="KEY=VALUE", help="scenario option (repeatable)",
+    )
+    submit.add_argument("--quota", type=int, default=None, help="GPCs to reserve")
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+
+    status = add_command("status", "one job's status document")
+    status.add_argument("job_id")
+
+    add_command("list", "all jobs, submission order")
+    add_command("fleet", "pool capacity and live grants")
+
+    watch = add_command("watch", "follow a job's NDJSON stream")
+    watch.add_argument("job_id")
+
+    cancel = add_command("cancel", "request job cancellation")
+    cancel.add_argument("job_id")
+
+    shutdown = add_command("shutdown", "drain and stop the daemon")
+    shutdown.add_argument(
+        "--abort", action="store_true", help="cancel live jobs instead of draining"
+    )
+    return parser
+
+
+def _serve(args: argparse.Namespace) -> int:
+    servers = args.server or [(8, "a100")]
+    pool = FleetPool(servers)
+    template = ServerConfig(
+        model=args.model,
+        partitioning=args.partitioning,
+        scheduler=args.scheduler,
+        fleet=tuple(servers),
+    )
+    session_kwargs: Dict[str, Any] = {"window": args.window}
+    if args.trigger:
+        session_kwargs["triggers"] = list(args.trigger)
+    manager = JobManager(
+        pool,
+        template,
+        args.artifacts,
+        chunk=args.chunk,
+        expected_tenants=args.expected_tenants,
+        session_kwargs=session_kwargs,
+    )
+    server = DaemonServer(manager, host=args.host, port=args.port)
+
+    async def main() -> None:
+        await server.start()
+        print(
+            f"serving {pool.describe()} on http://{args.host}:{server.port} "
+            f"(artifacts in {args.artifacts})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _print(document: Any) -> None:
+    print(json.dumps(document, indent=2, default=str))
+
+
+def main(argv: List[str] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    args.host = getattr(args, "host", "127.0.0.1")
+    args.port = getattr(args, "port", 8321)
+    if args.command == "serve":
+        return _serve(args)
+
+    client = DaemonClient(args.host, args.port)
+    try:
+        if args.command == "submit":
+            job = client.submit(
+                args.tenant,
+                args.scenario,
+                options=dict(args.option),
+                quota_gpcs=args.quota,
+                seed=args.seed,
+            )
+            if args.wait:
+                job = client.wait(job["job_id"])
+            _print(job)
+        elif args.command == "status":
+            _print(client.status(args.job_id))
+        elif args.command == "list":
+            _print(client.list_jobs())
+        elif args.command == "fleet":
+            _print(client.fleet())
+        elif args.command == "watch":
+            for row in client.watch(args.job_id):
+                print(json.dumps(row), flush=True)
+        elif args.command == "cancel":
+            _print(client.cancel(args.job_id))
+        elif args.command == "shutdown":
+            _print(client.shutdown(abort=args.abort))
+    except BrokenPipeError:
+        return 0  # output piped into e.g. `head` that exited first
+    except DaemonError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ConnectionRefusedError:
+        print(
+            f"error: no daemon at {args.host}:{args.port} (start one with "
+            "'python -m repro.daemon serve')",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,373 @@
+"""HTTP/JSON surface of the serving daemon — stdlib only.
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` (no
+framework, no new dependencies): requests are parsed by hand, responses are
+JSON documents, and the one streaming endpoint emits newline-delimited JSON
+(NDJSON) terminated by connection close.
+
+Endpoints:
+
+========  ======================  =============================================
+method    path                    meaning
+========  ======================  =============================================
+GET       ``/``                   daemon identity + endpoint index
+GET       ``/healthz``            liveness probe
+GET       ``/fleet``              pool capacity, free GPCs, live grants
+GET       ``/jobs``               all jobs, submission order
+POST      ``/jobs``               submit a job (:class:`JobSpec` payload)
+GET       ``/jobs/{id}``          one job's status document
+GET       ``/jobs/{id}/stream``   NDJSON: closed windows, then a status row
+POST      ``/jobs/{id}/cancel``   request cancellation
+DELETE    ``/jobs/{id}``          same as cancel
+POST      ``/shutdown``           graceful shutdown (``{"abort": true}`` to
+                                  cancel live jobs instead of draining them)
+========  ======================  =============================================
+
+Streaming responses carry ``Connection: close`` and no ``Content-Length``;
+the body is complete when the socket closes — exactly what
+``http.client`` (and the bundled :class:`~repro.daemon.client.DaemonClient`)
+reads back line by line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.daemon.jobs import JobManager, JobSpec
+
+#: Protocol limits: far beyond any legitimate daemon request, small enough
+#: to shrug off junk connections.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINES = 100
+MAX_BODY_BYTES = 1_000_000
+
+
+class _HttpError(Exception):
+    """An error that maps onto a non-200 JSON response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class DaemonServer:
+    """The daemon's HTTP front door over one :class:`JobManager`.
+
+    Args:
+        manager: the job manager (owns the pool, sessions and artifacts).
+        host: bind address.
+        port: bind port; ``0`` picks a free one (see :attr:`port` after
+            :meth:`start`) — what the tests and the smoke script use.
+    """
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1", port: int = 0):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self.ready = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket and record the actual port."""
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ready.set()
+
+    async def serve_forever(self) -> None:
+        """Serve until a shutdown request, then drain jobs and close."""
+        if self._server is None:
+            await self.start()
+        assert self._stopping is not None
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def run(self) -> None:
+        """``start()`` + ``serve_forever()`` — the daemon's main coroutine."""
+        await self.start()
+        await self.serve_forever()
+
+    def request_shutdown(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, path, body = await self._read_request(reader)
+            await self._dispatch(method, path, body, writer)
+        except _HttpError as error:
+            await self._send_json(
+                writer, error.status, {"error": error.message}
+            )
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        except Exception as error:  # never let one connection kill the daemon
+            try:
+                await self._send_json(
+                    writer, 500, {"error": f"{type(error).__name__}: {error}"}
+                )
+            except OSError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        if len(request_line) > MAX_REQUEST_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        body = b""
+        length = headers.get("content-length")
+        if length:
+            try:
+                size = int(length)
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length")
+            if size > MAX_BODY_BYTES:
+                raise _HttpError(413, "request body too large")
+            body = await reader.readexactly(size)
+        return method, target.split("?", 1)[0], body
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        segments = [s for s in path.split("/") if s]
+        if not segments:
+            self._expect(method, "GET")
+            await self._send_json(writer, 200, self._index())
+            return
+        head = segments[0]
+        if head == "healthz" and len(segments) == 1:
+            self._expect(method, "GET")
+            await self._send_json(writer, 200, {"ok": True})
+            return
+        if head == "fleet" and len(segments) == 1:
+            self._expect(method, "GET")
+            await self._send_json(writer, 200, self.manager.fleet_status())
+            return
+        if head == "shutdown" and len(segments) == 1:
+            self._expect(method, "POST")
+            payload = self._json_body(body) if body else {}
+            abort = bool(payload.get("abort", False))
+            await self._send_json(
+                writer, 202, {"shutting_down": True, "abort": abort}
+            )
+            await self.manager.shutdown(abort=abort)
+            self.request_shutdown()
+            return
+        if head == "jobs":
+            await self._dispatch_jobs(method, segments[1:], body, writer)
+            return
+        raise _HttpError(404, f"no such path: /{'/'.join(segments)}")
+
+    async def _dispatch_jobs(
+        self, method: str, rest: list, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        if not rest:
+            if method == "GET":
+                await self._send_json(writer, 200, {"jobs": self.manager.list_jobs()})
+                return
+            if method == "POST":
+                try:
+                    spec = JobSpec.from_payload(self._json_body(body))
+                    job = self.manager.submit(spec)
+                except ValueError as error:
+                    raise _HttpError(400, str(error))
+                except RuntimeError as error:
+                    raise _HttpError(409, str(error))
+                await self._send_json(writer, 202, job.describe())
+                return
+            raise _HttpError(405, "use GET or POST on /jobs")
+        job_id = rest[0]
+        try:
+            job = self.manager.get(job_id)
+        except KeyError as error:
+            raise _HttpError(404, str(error).strip("'\""))
+        if len(rest) == 1:
+            if method == "GET":
+                await self._send_json(writer, 200, job.describe())
+                return
+            if method == "DELETE":
+                job = await self.manager.cancel(job_id)
+                await self._send_json(writer, 202, job.describe())
+                return
+            raise _HttpError(405, "use GET or DELETE on /jobs/{id}")
+        action = rest[1]
+        if action == "cancel" and len(rest) == 2:
+            self._expect(method, "POST")
+            job = await self.manager.cancel(job_id)
+            await self._send_json(writer, 202, job.describe())
+            return
+        if action == "stream" and len(rest) == 2:
+            self._expect(method, "GET")
+            await self._stream_job(writer, job_id)
+            return
+        raise _HttpError(404, f"no such job action: {action!r}")
+
+    async def _stream_job(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+        async for row in self.manager.stream_windows(job_id):
+            writer.write(json.dumps(row).encode() + b"\n")
+            await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _index(self) -> Dict[str, Any]:
+        return {
+            "service": "repro-serving-daemon",
+            "fleet": self.manager.fleet_status()["shape"],
+            "endpoints": [
+                "GET /healthz",
+                "GET /fleet",
+                "GET /jobs",
+                "POST /jobs",
+                "GET /jobs/{id}",
+                "GET /jobs/{id}/stream",
+                "POST /jobs/{id}/cancel",
+                "DELETE /jobs/{id}",
+                "POST /shutdown",
+            ],
+        }
+
+    @staticmethod
+    def _expect(method: str, allowed: str) -> None:
+        if method != allowed:
+            raise _HttpError(405, f"use {allowed} on this path")
+
+    @staticmethod
+    def _json_body(body: bytes) -> Any:
+        if not body:
+            raise _HttpError(400, "a JSON body is required")
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"invalid JSON body: {error}")
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = json.dumps(payload, default=str).encode()
+        writer.write(
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n".encode()
+            + body
+        )
+        await writer.drain()
+
+
+class DaemonThread:
+    """A daemon running on its own event loop in a background thread.
+
+    The harness the tests and the CI smoke script share: construct, call
+    :meth:`start` (binds the socket, returns the live port), talk to it over
+    HTTP from the calling thread, then :meth:`stop`.
+
+    Args:
+        make_manager: zero-argument factory building the :class:`JobManager`
+            *inside* the daemon thread, so every asyncio primitive the
+            manager creates belongs to the daemon's loop.
+        host: bind address.
+        port: bind port (0 = ephemeral).
+    """
+
+    def __init__(self, make_manager, host: str = "127.0.0.1", port: int = 0):
+        self._make_manager = make_manager
+        self._host = host
+        self._port = port
+        self._thread: Optional[threading.Thread] = None
+        self.server: Optional[DaemonServer] = None
+        self._started = threading.Event()
+
+    def start(self, timeout: float = 30.0) -> int:
+        """Launch the daemon thread; returns the bound port."""
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("daemon failed to start in time")
+        assert self.server is not None
+        return self.server.port
+
+    def _main(self) -> None:
+        async def body():
+            manager = self._make_manager()
+            self.server = DaemonServer(manager, host=self._host, port=self._port)
+            await self.server.start()
+            self._started.set()
+            await self.server.serve_forever()
+
+        try:
+            asyncio.run(body())
+        finally:
+            self._started.set()  # unblock start() even on a crash
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Join the daemon thread (send ``POST /shutdown`` first)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("daemon did not shut down in time")
+
+
+__all__ = ["DaemonServer", "DaemonThread", "MAX_BODY_BYTES"]

@@ -1,0 +1,156 @@
+"""Blocking HTTP client for the serving daemon (stdlib ``http.client``).
+
+The counterpart of :mod:`repro.daemon.api`: plain JSON requests for the job
+endpoints, plus a line-by-line reader for the NDJSON stream.  Used by the
+``python -m repro.daemon`` CLI, the CI smoke script and the end-to-end
+tests; anything else that speaks HTTP works just as well (``curl``,
+``httpx``, a browser).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class DaemonError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class DaemonClient:
+    """Talk to a running daemon at ``host:port``.
+
+    Each call opens a fresh connection (the daemon closes connections after
+    every response), so a client object is cheap and thread-safe to share.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # plain JSON requests
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                raise DaemonError(response.status, raw.decode(errors="replace"))
+            if response.status >= 400:
+                raise DaemonError(
+                    response.status, document.get("error", "request failed")
+                )
+            return document
+        finally:
+            connection.close()
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def info(self) -> Dict[str, Any]:
+        """``GET /`` — identity and endpoint index."""
+        return self._request("GET", "/")
+
+    def fleet(self) -> Dict[str, Any]:
+        """``GET /fleet`` — capacity and live grants."""
+        return self._request("GET", "/fleet")
+
+    def submit(
+        self,
+        tenant: str,
+        scenario: str,
+        *,
+        options: Optional[Dict[str, Any]] = None,
+        quota_gpcs: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """``POST /jobs`` — returns the accepted job's status document."""
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "tenant": tenant,
+                "scenario": scenario,
+                "options": options or {},
+                "quota_gpcs": quota_gpcs,
+                "seed": seed,
+            },
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/{id}``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """``GET /jobs``."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /jobs/{id}/cancel``."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def shutdown(self, *, abort: bool = False) -> Dict[str, Any]:
+        """``POST /shutdown`` — graceful drain, or abort live jobs."""
+        return self._request("POST", "/shutdown", {"abort": abort})
+
+    # ------------------------------------------------------------------ #
+    # the NDJSON stream
+    # ------------------------------------------------------------------ #
+    def watch(self, job_id: str, timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield the job's stream rows until the terminal status row.
+
+        Rows are ``{"type": "window", ...}`` metric windows followed by one
+        ``{"type": "status", ...}`` document; the generator ends when the
+        daemon closes the connection.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "stream failed")
+                except json.JSONDecodeError:
+                    message = raw.decode(errors="replace")
+                raise DaemonError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Follow the stream and return the terminal status document."""
+        last: Dict[str, Any] = {}
+        for row in self.watch(job_id, timeout=timeout):
+            if row.get("type") == "status":
+                last = row
+        if not last:
+            raise DaemonError(500, f"stream for {job_id} ended without a status row")
+        return last
+
+
+__all__ = ["DaemonClient", "DaemonError"]

@@ -41,7 +41,13 @@ from repro.gpu.mig import (
     pack_partitions,
 )
 from repro.gpu.server import MultiGPUServer, ServerCapacityError
-from repro.gpu.fleet import Fleet, FleetServerSpec, as_fleet
+from repro.gpu.fleet import (
+    Fleet,
+    FleetServerSpec,
+    as_fleet,
+    carve_budgets,
+    sliced_specs,
+)
 
 __all__ = [
     "GPCSpec",
@@ -69,4 +75,6 @@ __all__ = [
     "Fleet",
     "FleetServerSpec",
     "as_fleet",
+    "carve_budgets",
+    "sliced_specs",
 ]

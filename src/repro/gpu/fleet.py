@@ -422,6 +422,96 @@ class Fleet:
         return f"Fleet({self.describe()})"
 
 
+def carve_budgets(
+    specs: Sequence[FleetServerSpec],
+    quota_gpcs: int,
+    free: Optional[Sequence[int]] = None,
+) -> Tuple[int, ...]:
+    """First-fit carve of a GPC quota across a fleet's servers.
+
+    The shared-pool accounting primitive used by multi-tenant serving: a
+    tenant's quota of ``quota_gpcs`` is satisfied server by server in fleet
+    order, taking as much of each server's free budget as needed.  The
+    result is a per-server allocation (same length/order as ``specs``) whose
+    sum is exactly ``quota_gpcs``.
+
+    Args:
+        specs: the fleet's member server specs, in fleet order.
+        quota_gpcs: total GPCs to allocate (must be positive).
+        free: remaining free GPCs per server; defaults to each server's full
+            effective budget (an empty pool).
+
+    Raises:
+        ValueError: when the quota is non-positive, ``free`` has the wrong
+            shape, or the free capacity cannot cover the quota.
+    """
+    if quota_gpcs <= 0:
+        raise ValueError("quota_gpcs must be positive")
+    capacities = (
+        [spec.effective_gpc_budget for spec in specs] if free is None else list(free)
+    )
+    if len(capacities) != len(specs):
+        raise ValueError(
+            f"free has {len(capacities)} entries for {len(specs)} servers"
+        )
+    for index, (spec, capacity) in enumerate(zip(specs, capacities)):
+        if not 0 <= capacity <= spec.effective_gpc_budget:
+            raise ValueError(
+                f"free[{index}]={capacity} is outside [0, "
+                f"{spec.effective_gpc_budget}] for {spec.describe()}"
+            )
+    available = sum(capacities)
+    if quota_gpcs > available:
+        raise ValueError(
+            f"quota of {quota_gpcs} GPCs exceeds the {available} free GPCs "
+            f"of {' + '.join(spec.describe() for spec in specs)}"
+        )
+    allocation: List[int] = []
+    remaining = quota_gpcs
+    for capacity in capacities:
+        take = min(capacity, remaining)
+        allocation.append(take)
+        remaining -= take
+    return tuple(allocation)
+
+
+def sliced_specs(
+    specs: Sequence[FleetServerSpec], allocation: Sequence[int]
+) -> Tuple[FleetServerSpec, ...]:
+    """The sub-fleet a per-server GPC allocation describes.
+
+    Servers with a zero allocation are dropped; the rest keep their physical
+    shape with ``gpc_budget`` shrunk to the allocated share — the config a
+    tenant session deploys against when it owns a slice of a shared fleet.
+
+    Raises:
+        ValueError: on shape mismatch, an empty allocation, or a share
+            exceeding a server's own budget.
+    """
+    if len(allocation) != len(specs):
+        raise ValueError(
+            f"allocation has {len(allocation)} entries for {len(specs)} servers"
+        )
+    sliced: List[FleetServerSpec] = []
+    for spec, share in zip(specs, allocation):
+        if share < 0 or share > spec.effective_gpc_budget:
+            raise ValueError(
+                f"allocation {share} is outside [0, {spec.effective_gpc_budget}] "
+                f"for {spec.describe()}"
+            )
+        if share:
+            sliced.append(
+                FleetServerSpec(
+                    num_gpus=spec.num_gpus,
+                    architecture=spec.architecture,
+                    gpc_budget=share,
+                )
+            )
+    if not sliced:
+        raise ValueError("allocation assigns no GPCs to any server")
+    return tuple(sliced)
+
+
 def as_fleet(servers) -> Fleet:
     """Coerce a fleet description into a :class:`Fleet`.
 

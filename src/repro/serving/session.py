@@ -60,6 +60,7 @@ from repro.sim.cluster import (
 from repro.sim.hooks import SimulationObserver, WindowedMetrics, WindowStats
 from repro.sim.metrics import ServerStatistics
 from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.query import Query
 from repro.workload.scenario import Scenario
 from repro.workload.trace import QueryTrace
 
@@ -231,6 +232,8 @@ class ServingSession:
         self._last_result: Optional[SessionResult] = None
         self._last_reconfig_online = 0.0
         self._firings: List[TriggerFiring] = []
+        self._next_checkpoint: Optional[float] = None
+        self._offered_load: Optional[float] = None
 
     @classmethod
     def from_deployment(cls, deployment: Deployment, **kwargs: Any) -> "ServingSession":
@@ -345,6 +348,10 @@ class ServingSession:
         :attr:`trigger_interval` simulated seconds and may repartition the
         server live.
 
+        ``run()`` is exactly ``begin(workload, seed)`` + ``run_until(None)``
+        + ``finish()`` — the streaming surface used by callers (like the
+        serving daemon) that advance the session incrementally.
+
         Args:
             workload: the scenario, trace or workload config to run.
             seed: overrides the workload's own generation seed (a scenario's
@@ -355,6 +362,26 @@ class ServingSession:
         Returns:
             The :class:`SessionResult`, also retrievable via
             :attr:`last_result`.
+        """
+        self.begin(workload, seed=seed)
+        return self.finish()
+
+    # ------------------------------------------------------------------ #
+    # streaming surface
+    # ------------------------------------------------------------------ #
+    def begin(self, workload: SessionWorkload, seed: Optional[int] = None) -> None:
+        """Open a streaming run over ``workload`` without advancing it.
+
+        The session deploys lazily (as :meth:`run` does), submits the
+        resolved trace and leaves the simulation at time 0.  Drive it with
+        :meth:`run_until` — triggers are evaluated on the same
+        :attr:`trigger_interval` grid regardless of how the run is chopped
+        into ``run_until`` calls, so an incrementally driven run is
+        bit-identical to a one-shot :meth:`run` — then close it with
+        :meth:`finish` (drain) or :meth:`abort` (cancel).
+
+        Raises:
+            RuntimeError: when a run is already open on this session.
         """
         if self.running:
             raise RuntimeError("a run is already in progress on this session")
@@ -373,16 +400,7 @@ class ServingSession:
             # fall back to the trace's own PDF so drift is judged against it.
             self._planned_pdf = trace.batch_pdf()
 
-        unknown = sorted({q.model for q in trace} - set(deployment.profiles))
-        if unknown:
-            raise ValueError(
-                f"trace contains models {unknown} not served by this "
-                f"deployment; served models: {sorted(deployment.profiles)}"
-            )
-        replay = trace.fresh_copy()
-        for query in replay:
-            if query.sla_target is None:
-                query.sla_target = deployment.sla_target_for(query.model)
+        replay = self._prepare_trace(trace)
 
         simulator = deployment.simulator(
             execution_noise_std=self._noise, seed=seed if seed is not None else 0
@@ -395,14 +413,129 @@ class ServingSession:
         self._sim = simulator
         self._firings = []
         self._last_reconfig_online = 0.0
+        self._next_checkpoint = self.trigger_interval if self.triggers else None
+        self._offered_load = replay.arrival_rate()
 
         simulator.begin()
         simulator.submit_trace(replay)
-        if self.triggers:
-            self._run_with_triggers(simulator)
-        else:
-            simulator.run_until(None)
-        simulation = simulator.finish(offered_load_qps=replay.arrival_rate())
+
+    def submit(self, workload: Union[QueryTrace, Query]) -> None:
+        """Inject extra work into the *open* run.
+
+        Queries without an SLA target inherit their model's derived target,
+        exactly as :meth:`begin` does for the initial trace.  The reported
+        offered load of the final result is re-derived from every submitted
+        arrival once extra work lands mid-run.
+
+        Args:
+            workload: a :class:`~repro.workload.trace.QueryTrace` or a single
+                :class:`~repro.workload.query.Query`; arrivals must not lie
+                in the simulation's past.
+
+        Raises:
+            RuntimeError: when no run is open — with a message that
+                distinguishes "never began" from "already finished".
+        """
+        if not self.running:
+            if self._last_result is not None:
+                raise RuntimeError(
+                    "this session's run is finished; begin() a new run "
+                    "before submitting more work"
+                )
+            raise RuntimeError(
+                "no run is open on this session; call begin() (or run()) first"
+            )
+        assert self._sim is not None
+        if isinstance(workload, Query):
+            workload = QueryTrace((workload,))
+        replay = self._prepare_trace(workload)
+        for query in replay:
+            self._sim.submit(query)
+        # mixed submissions: let the simulator derive the observed rate
+        self._offered_load = None
+
+    def run_until(self, time: Optional[float] = None) -> float:
+        """Advance the open run up to simulation ``time`` (``None`` drains).
+
+        Triggers are evaluated at every :attr:`trigger_interval` checkpoint
+        crossed, never between checkpoints, so chopping a run into many
+        ``run_until`` calls reproduces :meth:`run` exactly.
+
+        Returns:
+            The simulation time after processing.
+
+        Raises:
+            RuntimeError: when no run is open.
+        """
+        if not self.running:
+            raise RuntimeError(
+                "no run is open on this session; call begin() (or run()) first"
+            )
+        simulator = self._sim
+        assert simulator is not None
+        if not self.triggers:
+            return simulator.run_until(time)
+        interval = self.trigger_interval
+        assert interval is not None and self._next_checkpoint is not None
+        while simulator.pending_events:
+            checkpoint = self._next_checkpoint
+            if time is not None and checkpoint > time:
+                # advance the remainder without crossing the next checkpoint
+                simulator.run_until(time)
+                break
+            simulator.run_until(checkpoint)
+            if not simulator.reconfiguring:
+                self._evaluate_triggers(checkpoint)
+            self._next_checkpoint = checkpoint + interval
+        return simulator.now
+
+    def finish(self) -> SessionResult:
+        """Drain the open run and seal its :class:`SessionResult`.
+
+        Idempotent: once a run has finished, every further ``finish()``
+        returns the same result object (this is what lets a supervising
+        daemon call ``finish()`` unconditionally in its cleanup path).
+
+        Raises:
+            RuntimeError: when the session never ran.
+        """
+        if not self.running:
+            if self._last_result is not None:
+                return self._last_result
+            raise RuntimeError(
+                "no run is open on this session and no finished result "
+                "exists; call begin() (or run()) first"
+            )
+        simulator = self._sim
+        assert simulator is not None
+        self.run_until(None)
+        simulation = simulator.finish(offered_load_qps=self._offered_load)
+        return self._seal(simulation)
+
+    def abort(self) -> SessionResult:
+        """Close the open run *now*, without draining pending events.
+
+        The partial result digests exactly what was simulated up to the
+        current time — the cancellation surface for daemon jobs.  Like
+        :meth:`finish`, aborting an already-closed session returns the last
+        sealed result.
+
+        Raises:
+            RuntimeError: when the session never ran.
+        """
+        if not self.running:
+            if self._last_result is not None:
+                return self._last_result
+            raise RuntimeError(
+                "no run is open on this session and no finished result "
+                "exists; call begin() (or run()) first"
+            )
+        simulator = self._sim
+        assert simulator is not None
+        simulation = simulator.abort(offered_load_qps=self._offered_load)
+        return self._seal(simulation)
+
+    def _seal(self, simulation: SimulationResult) -> SessionResult:
         final_deployment = self._deployment
         assert final_deployment is not None
         result = SessionResult(
@@ -415,15 +548,21 @@ class ServingSession:
         self._last_result = result
         return result
 
-    def _run_with_triggers(self, simulator: InferenceServerSimulator) -> None:
-        interval = self.trigger_interval
-        assert interval is not None and self._windowed is not None
-        checkpoint = interval
-        while simulator.pending_events:
-            simulator.run_until(checkpoint)
-            if not simulator.reconfiguring:
-                self._evaluate_triggers(checkpoint)
-            checkpoint += interval
+    def _prepare_trace(self, trace: QueryTrace) -> QueryTrace:
+        """Validate served models and fill derived SLA targets on a copy."""
+        deployment = self._deployment
+        assert deployment is not None
+        unknown = sorted({q.model for q in trace} - set(deployment.profiles))
+        if unknown:
+            raise ValueError(
+                f"trace contains models {unknown} not served by this "
+                f"deployment; served models: {sorted(deployment.profiles)}"
+            )
+        replay = trace.fresh_copy()
+        for query in replay:
+            if query.sla_target is None:
+                query.sla_target = deployment.sla_target_for(query.model)
+        return replay
 
     def _evaluate_triggers(self, now: float) -> None:
         assert self._windowed is not None and self._planned_pdf is not None
@@ -465,6 +604,18 @@ class ServingSession:
     def now(self) -> float:
         """Current simulation time (0 outside a run)."""
         return self._sim.now if self._sim is not None else 0.0
+
+    @property
+    def pending_events(self) -> int:
+        """Unprocessed simulation events of the open run (0 when closed).
+
+        ``running and not pending_events`` means the run has naturally
+        drained and only :meth:`finish` remains — the condition a streaming
+        driver (e.g. a daemon job loop) polls between ``run_until`` steps.
+        """
+        if self._sim is not None and self._sim.active:
+            return self._sim.pending_events
+        return 0
 
     def metrics(self) -> ServerStatistics:
         """Aggregate statistics snapshot at the current simulation time.

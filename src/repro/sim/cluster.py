@@ -664,6 +664,27 @@ class InferenceServerSimulator:
         if not self._active:
             raise RuntimeError("finish() requires an open run; call begin() first")
         self.run_until(None)
+        return self._close(offered_load_qps)
+
+    def abort(self, offered_load_qps: Optional[float] = None) -> SimulationResult:
+        """Close the run *now*, without draining the pending events.
+
+        The partial result digests exactly what has been simulated so far —
+        in-flight and never-dispatched queries simply have no completion
+        timestamps.  This is the cancellation surface: a serving daemon
+        killing a tenant job mid-run reports the work done up to the
+        cancellation instant instead of silently simulating to the end.
+
+        Args:
+            offered_load_qps: offered arrival rate to report; derived from
+                the submitted queries when omitted.
+        """
+        if not self._active:
+            raise RuntimeError("abort() requires an open run; call begin() first")
+        return self._close(offered_load_qps)
+
+    def _close(self, offered_load_qps: Optional[float]) -> SimulationResult:
+        """Digest and seal the open run at the current simulation time."""
         self._active = False
         if offered_load_qps is None:
             offered_load_qps = self._observed_arrival_rate()

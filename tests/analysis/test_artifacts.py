@@ -1,0 +1,142 @@
+"""Reading daemon job artifacts back into run tables."""
+
+import json
+
+import pytest
+
+from repro.analysis.artifacts import (
+    RUN_TABLE_COLUMNS,
+    load_job,
+    load_runs,
+    run_table,
+    run_table_csv,
+    window_series,
+)
+
+
+def write_job(
+    root,
+    job_id,
+    *,
+    tenant="team",
+    scenario="diurnal",
+    state="completed",
+    windows=2,
+    with_result=True,
+):
+    job_dir = root / job_id
+    job_dir.mkdir(parents=True)
+    (job_dir / "job.json").write_text(
+        json.dumps(
+            {
+                "job_id": job_id,
+                "tenant": tenant,
+                "scenario": scenario,
+                "options": {},
+                "quota_gpcs": 8,
+                "seed": 1,
+            }
+        )
+    )
+    rows = [
+        {
+            "index": i,
+            "start": float(i),
+            "end": float(i + 1),
+            "throughput_qps": 100.0 + i,
+            "p95_latency": 0.01,
+        }
+        for i in range(windows)
+    ]
+    (job_dir / "windows.ndjson").write_text(
+        "".join(json.dumps(row) + "\n" for row in rows)
+    )
+    if with_result:
+        (job_dir / "result.json").write_text(
+            json.dumps(
+                {
+                    "job_id": job_id,
+                    "state": state,
+                    "summary": {
+                        "throughput_qps": 101.5,
+                        "p95_latency_ms": 11.0,
+                        "sla_violation_rate": 0.0,
+                        "reconfigurations": 0.0,
+                        "simulated_seconds": float(windows),
+                    },
+                }
+            )
+        )
+    return job_dir
+
+
+class TestLoadJob:
+    def test_loads_all_three_documents(self, tmp_path):
+        job_dir = write_job(tmp_path, "job-0001", windows=3)
+        run = load_job(job_dir)
+        assert run.job_id == "job-0001"
+        assert run.state == "completed"
+        assert len(run.windows) == 3
+        assert run.summary["throughput_qps"] == 101.5
+
+    def test_missing_result_means_unknown_state(self, tmp_path):
+        job_dir = write_job(tmp_path, "job-0002", with_result=False)
+        run = load_job(job_dir)
+        assert run.state == "unknown"
+        assert run.summary == {}
+
+    def test_directory_without_spec_is_not_an_artifact(self, tmp_path):
+        (tmp_path / "stray").mkdir()
+        with pytest.raises(FileNotFoundError, match="job.json"):
+            load_job(tmp_path / "stray")
+
+    def test_bad_ndjson_reports_path_and_line(self, tmp_path):
+        job_dir = write_job(tmp_path, "job-0003", windows=1)
+        with open(job_dir / "windows.ndjson", "a") as stream:
+            stream.write("{not json\n")
+        with pytest.raises(ValueError, match="windows.ndjson:2"):
+            load_job(job_dir)
+
+
+class TestLoadRuns:
+    def test_sweeps_and_sorts_by_job_id(self, tmp_path):
+        write_job(tmp_path, "job-0002")
+        write_job(tmp_path, "job-0001")
+        (tmp_path / "not-a-job").mkdir()  # skipped: no job.json
+        (tmp_path / "README.txt").write_text("notes\n")
+        runs = load_runs(tmp_path)
+        assert [run.job_id for run in runs] == ["job-0001", "job-0002"]
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_runs(tmp_path / "nope")
+
+
+class TestRunTable:
+    def test_table_carries_every_column(self, tmp_path):
+        write_job(tmp_path, "job-0001", tenant="alpha")
+        write_job(tmp_path, "job-0002", tenant="beta", state="cancelled")
+        runs = load_runs(tmp_path)
+        table = run_table(runs)
+        for column in RUN_TABLE_COLUMNS:
+            assert column in table
+        assert "alpha" in table and "cancelled" in table
+
+    def test_csv_roundtrip(self, tmp_path):
+        write_job(tmp_path, "job-0001")
+        csv_text = run_table_csv(load_runs(tmp_path))
+        header, row = csv_text.strip().splitlines()
+        assert header.split(",")[0] == "job_id"
+        assert row.split(",")[0] == "job-0001"
+
+
+class TestWindowSeries:
+    def test_series_extracts_start_value_pairs(self, tmp_path):
+        run = load_job(write_job(tmp_path, "job-0001", windows=3))
+        series = window_series(run, "throughput_qps")
+        assert series == [(0.0, 100.0), (1.0, 101.0), (2.0, 102.0)]
+
+    def test_unknown_metric_lists_available(self, tmp_path):
+        run = load_job(write_job(tmp_path, "job-0001"))
+        with pytest.raises(KeyError, match="available"):
+            window_series(run, "no-such-metric")

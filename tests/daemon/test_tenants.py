@@ -1,0 +1,233 @@
+"""FleetPool quota accounting and multi-tenant fairness/isolation.
+
+The satellite contract: per-tenant SLA accounting stays isolated, tenants
+joining/leaving mid-run cannot corrupt another tenant's windows, and
+cancellation frees quota.
+"""
+
+import pytest
+
+from repro.daemon.tenants import (
+    FleetPool,
+    QuotaExceededError,
+    TenantSession,
+)
+from repro.gpu.fleet import carve_budgets, sliced_specs, FleetServerSpec
+from repro.serving.config import ServerConfig
+from repro.serving.session import ServingSession
+from repro.workload.scenario import build_scenario
+
+SERVERS = [(2, "a100", 12), (2, "a100", 12)]
+
+
+def scenario(seed=0, peak=120.0, duration=8.0):
+    return build_scenario(
+        "diurnal",
+        model="mobilenet",
+        trough_qps=40.0,
+        peak_qps=peak,
+        phase_duration=duration / 4.0,
+        seed=seed,
+    )
+
+
+def tenant_session(pool, name, quota, seed=0, **scenario_kwargs):
+    grant = pool.acquire(name, quota)
+    config = pool.config_for(
+        grant, ServerConfig(model="mobilenet", fleet=tuple(SERVERS))
+    )
+    return TenantSession(
+        name,
+        ServingSession(config, window=1.0),
+        scenario(seed=seed, **scenario_kwargs),
+        seed=seed,
+    )
+
+
+class TestCarveHelpers:
+    def test_first_fit_in_fleet_order(self):
+        specs = tuple(FleetServerSpec.coerce(s) for s in SERVERS)
+        assert carve_budgets(specs, 8) == (8, 0)
+        assert carve_budgets(specs, 16) == (12, 4)
+
+    def test_respects_free_capacities(self):
+        specs = tuple(FleetServerSpec.coerce(s) for s in SERVERS)
+        assert carve_budgets(specs, 8, free=[2, 12]) == (2, 6)
+
+    def test_overflow_rejected(self):
+        specs = tuple(FleetServerSpec.coerce(s) for s in SERVERS)
+        with pytest.raises(ValueError, match="exceeds"):
+            carve_budgets(specs, 25)
+        with pytest.raises(ValueError, match="positive"):
+            carve_budgets(specs, 0)
+
+    def test_sliced_specs_drop_zero_servers(self):
+        specs = tuple(FleetServerSpec.coerce(s) for s in SERVERS)
+        sliced = sliced_specs(specs, (8, 0))
+        assert len(sliced) == 1
+        assert sliced[0].gpc_budget == 8
+        assert sliced[0].num_gpus == 2
+
+    def test_sliced_specs_reject_empty_allocation(self):
+        specs = tuple(FleetServerSpec.coerce(s) for s in SERVERS)
+        with pytest.raises(ValueError, match="no GPCs"):
+            sliced_specs(specs, (0, 0))
+
+
+class TestFleetPoolAccounting:
+    def test_acquire_release_roundtrip(self):
+        pool = FleetPool(SERVERS)
+        assert pool.total_gpcs == pool.free_gpcs == 24
+        grant = pool.acquire("a", 9)
+        assert pool.free_gpcs == 15
+        assert grant.allocation == (9, 0)
+        pool.release("a")
+        assert pool.free_gpcs == 24
+        assert pool.grants == {}
+
+    def test_over_subscription_rejected_pool_untouched(self):
+        pool = FleetPool(SERVERS)
+        pool.acquire("a", 20)
+        with pytest.raises(QuotaExceededError) as excinfo:
+            pool.acquire("b", 5)
+        assert excinfo.value.requested == 5
+        assert excinfo.value.free == 4
+        assert pool.free_gpcs == 4  # failed acquire took nothing
+
+    def test_duplicate_tenant_rejected(self):
+        pool = FleetPool(SERVERS)
+        pool.acquire("a", 4)
+        with pytest.raises(ValueError, match="already holds"):
+            pool.acquire("a", 4)
+
+    def test_release_unknown_tenant_raises(self):
+        pool = FleetPool(SERVERS)
+        with pytest.raises(KeyError):
+            pool.release("ghost")
+
+    def test_fair_share(self):
+        pool = FleetPool(SERVERS)
+        assert pool.fair_share(3) == 8
+        assert pool.fair_share(24) == 1
+        with pytest.raises(ValueError):
+            pool.fair_share(25)
+
+    def test_freed_quota_is_reacquirable(self):
+        # cancellation's accounting half: release returns exactly the carved
+        # shares, so a same-size grant fits again
+        pool = FleetPool(SERVERS)
+        pool.acquire("a", 12)
+        pool.acquire("b", 12)
+        with pytest.raises(QuotaExceededError):
+            pool.acquire("c", 12)
+        pool.release("a")
+        grant = pool.acquire("c", 12)
+        assert grant.quota_gpcs == 12
+        assert pool.free_gpcs == 0
+
+    def test_acquisition_order_is_deterministic(self):
+        first = FleetPool(SERVERS)
+        second = FleetPool(SERVERS)
+        for pool in (first, second):
+            pool.acquire("a", 9)
+            pool.acquire("b", 9)
+        assert first.grants["b"].allocation == second.grants["b"].allocation
+        assert first.grants["b"].specs == second.grants["b"].specs
+
+    def test_config_for_is_a_pure_function(self):
+        pool = FleetPool(SERVERS)
+        grant = pool.acquire("a", 9)
+        template = ServerConfig(model="mobilenet", fleet=tuple(SERVERS))
+        one = pool.config_for(grant, template)
+        two = pool.config_for(grant, template)
+        assert one == two
+        assert one.gpc_budget == 9  # derived from the sliced fleet
+        assert one.model == "mobilenet"
+
+
+class TestTenantIsolation:
+    def test_sla_accounting_is_per_tenant(self):
+        # one overloaded tenant and one lightly loaded tenant on the same
+        # pool: the victim's violation rate must match its standalone run
+        pool = FleetPool(SERVERS)
+        hog = tenant_session(pool, "hog", 12, seed=1, peak=4000.0)
+        victim = tenant_session(pool, "victim", 12, seed=2, peak=100.0)
+        hog.start()
+        victim.start()
+        while not (hog.done and victim.done):
+            hog.advance(2.0)
+            victim.advance(2.0)
+        hog_result = hog.finish()
+        victim_result = victim.finish()
+
+        standalone_pool = FleetPool(SERVERS)
+        standalone_pool.acquire("hog", 12)  # same carve order as above
+        alone = tenant_session(standalone_pool, "victim", 12, seed=2, peak=100.0)
+        alone.start()
+        alone_result = alone.finish()
+
+        assert victim_result.simulation.statistics == alone_result.simulation.statistics
+        assert victim_result.windows == alone_result.windows
+        assert (
+            hog_result.sla_violation_rate > victim_result.sla_violation_rate
+        )
+
+    def test_join_and_leave_mid_run_do_not_corrupt_windows(self):
+        pool = FleetPool(SERVERS)
+        steady = tenant_session(pool, "steady", 8, seed=3)
+        steady.start()
+        steady.advance(2.0)
+        checkpoint = list(steady.session.windows())
+
+        # a second tenant joins mid-run, runs a while, then leaves
+        joiner = tenant_session(pool, "joiner", 8, seed=4)
+        joiner.start()
+        joiner.advance(3.0)
+        joiner.abort()
+        pool.release("joiner")
+
+        while not steady.done:
+            steady.advance(2.0)
+        result = steady.finish()
+
+        # the steady tenant's early windows are untouched and its full run
+        # equals a run with no join/leave at all
+        assert list(result.windows[: len(checkpoint)]) == checkpoint
+        alone_pool = FleetPool(SERVERS)
+        alone = tenant_session(alone_pool, "steady", 8, seed=3)
+        alone.start()
+        assert result.windows == alone.finish().windows
+
+    def test_new_windows_streams_each_window_exactly_once(self):
+        pool = FleetPool(SERVERS)
+        tenant = tenant_session(pool, "t", 8, seed=5)
+        tenant.start()
+        streamed = []
+        while not tenant.done:
+            tenant.advance(1.5)
+            streamed.extend(tenant.new_windows())
+        result = tenant.finish()
+        streamed.extend(tenant.new_windows())
+        assert tuple(streamed) == result.windows
+
+    def test_advance_drains_sparse_tails(self):
+        # event gaps longer than the step must not stall the cursor
+        pool = FleetPool(SERVERS)
+        tenant = tenant_session(pool, "t", 8, seed=6, duration=4.0)
+        tenant.start()
+        for _ in range(10_000):
+            if tenant.done:
+                break
+            tenant.advance(0.25)
+        assert tenant.done
+        tenant.finish()
+
+    def test_advance_validates_lifecycle(self):
+        pool = FleetPool(SERVERS)
+        tenant = tenant_session(pool, "t", 8)
+        with pytest.raises(RuntimeError, match="before start"):
+            tenant.advance(1.0)
+        tenant.start()
+        with pytest.raises(ValueError, match="positive"):
+            tenant.advance(0.0)
+        tenant.abort()

@@ -1,0 +1,194 @@
+"""Streaming lifecycle of ServingSession: begin / run_until / finish / abort.
+
+The daemon drives sessions incrementally, so the streaming surface carries a
+hard contract: a run chopped into arbitrary ``run_until`` steps must be
+bit-identical to the one-shot ``run()``, ``finish()`` must be idempotent,
+``submit()`` after ``finish()`` must fail with a clear error, and ``abort``
+must seal a partial result without draining.
+"""
+
+import pytest
+
+from repro.serving.config import ServerConfig
+from repro.serving.session import ServingSession
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.query import Query
+from repro.workload.scenario import Phase, Scenario
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4)
+
+
+def drift_scenario(duration=6.0, rate=300.0, seed=5):
+    return Scenario(
+        name="drift",
+        model="mobilenet",
+        phases=(
+            Phase(duration=duration, rate_qps=rate, median_batch=2.0),
+            Phase(duration=duration, rate_qps=rate, median_batch=12.0),
+        ),
+        seed=seed,
+    )
+
+
+def result_signature(result):
+    """Everything observable about a run, for exact comparison."""
+    return (
+        [
+            (q.query_id, q.dispatch_time, q.start_time, q.finish_time, q.instance_id)
+            for q in result.simulation.queries
+        ],
+        result.simulation.statistics,
+        result.windows,
+        result.trigger_firings,
+        [(r.started, r.finished) for r in result.reconfigurations],
+    )
+
+
+def session_kwargs(profiler, **extra):
+    kwargs = {"profiler": profiler, "window": 1.0}
+    kwargs.update(extra)
+    return kwargs
+
+
+class TestChunkedIdentity:
+    @pytest.mark.parametrize("step", [0.5, 1.7, 3.0, 100.0])
+    def test_chunked_run_matches_one_shot(self, config, profiler, step):
+        scenario = drift_scenario()
+        one_shot = ServingSession(config, **session_kwargs(profiler)).run(scenario)
+
+        streamed = ServingSession(config, **session_kwargs(profiler))
+        streamed.begin(scenario)
+        time = 0.0
+        while streamed.pending_events:
+            time += step
+            streamed.run_until(time)
+        chunked = streamed.finish()
+
+        assert result_signature(chunked) == result_signature(one_shot)
+
+    def test_chunked_run_with_triggers_matches_one_shot(self, config, profiler):
+        scenario = drift_scenario()
+        kwargs = session_kwargs(
+            profiler, triggers=["pdf-drift"], reconfig_cost=0.5
+        )
+        one_shot = ServingSession(config, **kwargs).run(scenario)
+
+        streamed = ServingSession(config, **kwargs)
+        streamed.begin(scenario)
+        time = 0.0
+        while streamed.pending_events:
+            time += 0.7  # deliberately misaligned with the trigger grid
+            streamed.run_until(time)
+        chunked = streamed.finish()
+
+        assert result_signature(chunked) == result_signature(one_shot)
+
+    def test_run_is_begin_plus_finish(self, config, profiler):
+        scenario = drift_scenario()
+        via_run = ServingSession(config, **session_kwargs(profiler)).run(scenario)
+        session = ServingSession(config, **session_kwargs(profiler))
+        session.begin(scenario)
+        via_finish = session.finish()
+        assert result_signature(via_finish) == result_signature(via_run)
+
+
+class TestFinishIdempotency:
+    def test_finish_twice_returns_the_same_result(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        session.begin(drift_scenario(duration=2.0))
+        first = session.finish()
+        assert session.finish() is first
+        assert session.finish() is first
+
+    def test_finish_after_run_returns_the_run_result(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        result = session.run(drift_scenario(duration=2.0))
+        assert session.finish() is result
+
+    def test_finish_without_a_run_raises(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        with pytest.raises(RuntimeError, match="call begin"):
+            session.finish()
+
+
+class TestSubmitLifecycle:
+    def test_submit_after_finish_raises_clearly(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        session.run(drift_scenario(duration=2.0))
+        query = Query(query_id=0, model="mobilenet", batch=4, arrival_time=99.0)
+        with pytest.raises(RuntimeError, match="finished; begin\\(\\) a new run"):
+            session.submit(query)
+
+    def test_submit_before_begin_raises_clearly(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        query = Query(query_id=0, model="mobilenet", batch=4, arrival_time=0.0)
+        with pytest.raises(RuntimeError, match="no run is open"):
+            session.submit(query)
+
+    def test_run_until_after_finish_raises(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        session.run(drift_scenario(duration=2.0))
+        with pytest.raises(RuntimeError, match="no run is open"):
+            session.run_until(1.0)
+
+    def test_mid_run_submit_is_served(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        trace = QueryGenerator(
+            WorkloadConfig(model="mobilenet", rate_qps=50.0, num_queries=40, seed=3)
+        ).generate()
+        session.begin(trace)
+        session.run_until(0.1)
+        extra = Query(
+            query_id=10_000, model="mobilenet", batch=4,
+            arrival_time=session.now + 1.0,
+        )
+        session.submit(extra)
+        result = session.finish()
+        served = {q.query_id for q in result.simulation.queries}
+        assert 10_000 in served
+
+    def test_begin_twice_raises(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        session.begin(drift_scenario(duration=2.0))
+        with pytest.raises(RuntimeError, match="already in progress"):
+            session.begin(drift_scenario(duration=2.0))
+        session.finish()
+
+
+class TestAbort:
+    def test_abort_seals_a_partial_result(self, config, profiler):
+        scenario = drift_scenario()
+        full = ServingSession(config, **session_kwargs(profiler)).run(scenario)
+
+        session = ServingSession(config, **session_kwargs(profiler))
+        session.begin(scenario)
+        session.run_until(3.0)
+        partial = session.abort()
+
+        assert not session.running
+        # the partial result digests only what actually completed
+        completed = partial.simulation.statistics.latency.count
+        assert 0 < completed < full.simulation.statistics.latency.count
+        assert partial.simulation.statistics.makespan <= 3.0 + 1e-9
+
+    def test_abort_after_finish_returns_last_result(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        result = session.run(drift_scenario(duration=2.0))
+        assert session.abort() is result
+
+    def test_abort_without_a_run_raises(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        with pytest.raises(RuntimeError, match="call begin"):
+            session.abort()
+
+    def test_session_reusable_after_abort(self, config, profiler):
+        session = ServingSession(config, **session_kwargs(profiler))
+        session.begin(drift_scenario(duration=3.0))
+        session.run_until(1.0)
+        session.abort()
+        # the same session can open (and complete) a fresh run
+        result = session.run(drift_scenario(duration=2.0, seed=9))
+        assert result.simulation.queries

@@ -25,6 +25,12 @@ The package is organised bottom-up:
   :class:`~repro.serving.session.ServingSession` (live mid-run
   repartitioning with modeled MIG downtime) and the multi-model
   :class:`~repro.serving.service.InferenceService` facade.
+* :mod:`repro.autoscale` — the elastic fleet control plane: trigger-driven
+  :class:`~repro.autoscale.autoscaler.Autoscaler` (whole-server scale-out
+  with provisioning lead times, drain-based scale-in), deterministic spot
+  :class:`~repro.autoscale.preemption.PreemptionSchedule` events, and the
+  :class:`~repro.autoscale.planner.CapacityPlanner` searching server mixes
+  for the cheapest SLA-feasible fleet.
 * :mod:`repro.analysis` — experiment harnesses regenerating every table and
   figure of the paper's evaluation.
 
@@ -76,6 +82,12 @@ from repro.core.triggers import (
     available_triggers,
     build_trigger,
     register_trigger,
+)
+from repro.autoscale import (
+    Autoscaler,
+    CapacityPlanner,
+    PreemptionEvent,
+    PreemptionSchedule,
 )
 from repro.core.specs import (
     ClusterSpec,
@@ -132,6 +144,8 @@ __all__ = [
     "A100_80GB",
     "A30",
     "H100",
+    "Autoscaler",
+    "CapacityPlanner",
     "ClusterSpec",
     "Deployment",
     "Fleet",
@@ -158,6 +172,8 @@ __all__ = [
     "PartitioningStrategy",
     "Phase",
     "PolicySpec",
+    "PreemptionEvent",
+    "PreemptionSchedule",
     "ProfileTable",
     "Profiler",
     "Query",

@@ -50,7 +50,11 @@ class JobArtifact:
         spec: the decoded ``job.json`` document.
         result: the decoded ``result.json`` document, or ``None`` for a job
             that never reached a terminal state (daemon killed mid-run).
-        windows: decoded ``windows.ndjson`` rows, in emission order.
+        windows: decoded metric-window rows of ``windows.ndjson``, in
+            emission order (``"type": "fleet-event"`` rows are partitioned
+            out into :attr:`fleet_events`).
+        fleet_events: fleet control-plane rows (scale-out/in, preemptions)
+            the daemon interleaved into the stream, in emission order.
         path: the artifact directory.
     """
 
@@ -58,6 +62,7 @@ class JobArtifact:
     spec: Dict[str, Any]
     result: Optional[Dict[str, Any]]
     windows: Tuple[Dict[str, Any], ...]
+    fleet_events: Tuple[Dict[str, Any], ...] = ()
     path: Path = field(compare=False, default=Path("."))
 
     @property
@@ -108,6 +113,7 @@ def load_job(job_dir: Union[str, Path]) -> JobArtifact:
     result_path = path / "result.json"
     result = _read_json(result_path) if result_path.is_file() else None
     windows: List[Dict[str, Any]] = []
+    fleet_events: List[Dict[str, Any]] = []
     windows_path = path / "windows.ndjson"
     if windows_path.is_file():
         for number, line in enumerate(windows_path.read_text().splitlines(), 1):
@@ -115,16 +121,24 @@ def load_job(job_dir: Union[str, Path]) -> JobArtifact:
             if not line:
                 continue
             try:
-                windows.append(json.loads(line))
+                row = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(
                     f"{windows_path}:{number}: invalid NDJSON row: {error}"
                 )
+            # the stream interleaves metric windows with typed control-plane
+            # rows; partition on the "type" marker so window digestion never
+            # trips over a fleet event
+            if row.get("type") == "fleet-event":
+                fleet_events.append(row)
+            else:
+                windows.append(row)
     return JobArtifact(
         job_id=str(spec.get("job_id", path.name)),
         spec=spec,
         result=result,
         windows=tuple(windows),
+        fleet_events=tuple(fleet_events),
         path=path,
     )
 

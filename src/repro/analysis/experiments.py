@@ -72,38 +72,10 @@ PAPER_NUM_GPUS: Dict[str, int] = {
 #: The homogeneous partition sizes studied in the paper's evaluation.
 HOMOGENEOUS_SIZES: Tuple[int, ...] = (1, 2, 3, 7)
 
-#: Relative cost of one GPC by architecture, normalised to the A100-40GB
-#: (rough public-cloud hourly-price ratios).  The fleet experiment compares
-#: designs at *iso GPC-cost*: a fleet's cost is the sum of its per-server
-#: budgets weighted by these factors.
-GPC_COST: Dict[str, float] = {
-    "A100-SXM4-40GB": 1.0,
-    "A100-SXM4-80GB": 1.15,
-    "A30": 0.45,
-    "H100-SXM5-80GB": 2.4,
-}
-
-
-def fleet_gpc_cost(servers: Sequence) -> float:
-    """GPC-cost of a fleet description under :data:`GPC_COST`.
-
-    Args:
-        servers: ``(num_gpus, architecture[, gpc_budget])`` tuples or
-            :class:`~repro.gpu.fleet.FleetServerSpec` objects.
-
-    Returns:
-        The summed cost of every server's effective GPC budget.
-
-    Raises:
-        KeyError: for an architecture without a cost entry.
-    """
-    from repro.gpu.fleet import FleetServerSpec
-
-    total = 0.0
-    for server in servers:
-        spec = FleetServerSpec.coerce(server)
-        total += spec.effective_gpc_budget * GPC_COST[spec.architecture.name]
-    return total
+# The $/GPC cost model moved to repro.gpu.cost in PR 7 so the autoscaler
+# and capacity planner can import it without touching analysis code; these
+# names stay re-exported here for backward compatibility.
+from repro.gpu.cost import GPC_COST, fleet_gpc_cost  # noqa: F401
 
 #: Default workload parameters (Section V).
 DEFAULT_SIGMA = 0.9

@@ -1,0 +1,45 @@
+"""Elastic fleet control plane: autoscaler, spot preemption, capacity planning.
+
+The paper sizes and partitions a *fixed* GPU pool; this package adds the
+fleet-level elasticity loop around it:
+
+* :class:`Autoscaler` — watches the session's windowed metrics through the
+  trigger registry and grows/shrinks the fleet by whole servers, with
+  per-architecture provisioning lead times and live-repartition drains.
+* :class:`PreemptionSchedule` — deterministic spot-reclaim scenario events
+  (notice → forced drain → removal), replayable byte-for-byte.
+* :class:`CapacityPlanner` — searches server mixes under
+  :data:`repro.gpu.cost.GPC_COST` for the cheapest fleet that meets the
+  SLA, returning a ranked feasible frontier.
+* :func:`integrate_fleet_timeline` — turns a run's fleet composition
+  history into per-window cost and availability alongside the SLA series.
+"""
+
+from repro.autoscale.autoscaler import DEFAULT_LEAD_TIME, Autoscaler, ScaleDecision
+from repro.autoscale.planner import CandidateResult, CapacityPlanner, enumerate_mixes
+from repro.autoscale.preemption import PreemptionEvent, PreemptionSchedule
+from repro.autoscale.timeline import (
+    EVENT_KINDS,
+    FleetEvent,
+    FleetWindow,
+    integrate_fleet_timeline,
+    static_fleet_cost,
+    timeline_cost,
+)
+
+__all__ = [
+    "Autoscaler",
+    "CandidateResult",
+    "CapacityPlanner",
+    "DEFAULT_LEAD_TIME",
+    "EVENT_KINDS",
+    "FleetEvent",
+    "FleetWindow",
+    "PreemptionEvent",
+    "PreemptionSchedule",
+    "ScaleDecision",
+    "enumerate_mixes",
+    "integrate_fleet_timeline",
+    "static_fleet_cost",
+    "timeline_cost",
+]

@@ -1,0 +1,286 @@
+"""The fleet autoscaler: trigger-driven scale-out/scale-in of whole servers.
+
+The paper repartitions a *fixed* pool when the workload drifts; production
+serving also grows and shrinks the pool itself.  The :class:`Autoscaler`
+composes the two: it watches the same :class:`~repro.sim.hooks.WindowedMetrics`
+the repartition triggers watch, through the same trigger registry
+(``scale-out-sla``, ``scale-out-backlog``, ``scale-in-idle`` — any registered
+trigger whose decisions carry ``action="scale-out"``/``"scale-in"``), and
+asks the owning :class:`~repro.serving.session.ServingSession` to mutate the
+fleet:
+
+* **scale-out** is not instant — a commissioned server arrives after a
+  per-architecture *provisioning lead time*, modeling cloud instance
+  startup.  The pending commission joins the fleet (one live repartition,
+  re-planned with FleetParis) when its lead time elapses.
+* **scale-in** drains immediately through the live-repartition machinery:
+  the chosen server's share of the pool is re-carved away and its in-flight
+  work drains like any reconfiguration.
+
+The autoscaler is deliberately *policy only*: every fleet mutation goes
+through the session's ``scale_out``/``scale_in`` lifecycle, so decisions,
+hook events and window artifacts stay consistent however the mutation was
+initiated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.triggers import TriggerContext, resolve_triggers
+from repro.gpu.fleet import FleetServerSpec
+
+#: Default provisioning lead time in simulated seconds — the scenario
+#: timescale of this reproduction compresses a diurnal cycle into a couple
+#: of minutes, so "a server takes ~10 s to arrive" plays the role real
+#: multi-minute cloud provisioning plays against a real day.
+DEFAULT_LEAD_TIME = 10.0
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One autoscaler decision, recorded for the run's post-mortem.
+
+    Attributes:
+        time: simulation time of the decision.
+        action: ``"scale-out"`` or ``"scale-in"``.
+        trigger: name of the trigger that fired.
+        reason: the trigger's reason string.
+        spec: the server shape involved (describe string).
+        server_index: the roster id removed (scale-in) or ``None`` until a
+            scale-out commission lands.
+        due: when a scale-out arrives (``time`` for scale-in).
+    """
+
+    time: float
+    action: str
+    trigger: str
+    reason: str
+    spec: str
+    server_index: Optional[int]
+    due: float
+
+
+@dataclass
+class _PendingServer:
+    """A commissioned server still inside its provisioning lead time."""
+
+    due: float
+    spec: FleetServerSpec
+    reason: str
+    seq: int
+
+
+class Autoscaler:
+    """Trigger-driven elastic fleet sizing for one serving session.
+
+    Args:
+        scale_unit: the server shape every scale-out adds — a
+            :class:`~repro.gpu.fleet.FleetServerSpec` or a ``(num_gpus,
+            architecture[, gpc_budget])`` tuple.  Mid-run additions must use
+            an architecture the running simulator can already execute (one
+            present in the fleet at ``begin()``); the session enforces this.
+        triggers: scale triggers — registry names, ``(name, options)`` pairs
+            or trigger objects.  Decisions with ``action="repartition"`` are
+            ignored (those belong to the session's own trigger list).
+        min_servers: never scale in below this many live servers.
+        max_servers: never hold more than this many servers, counting
+            pending commissions.
+        lead_times: per-architecture provisioning lead time overrides
+            (architecture name → seconds).
+        lead_time: default provisioning lead time in seconds.
+        cooldown: minimum simulated seconds between autoscaler decisions
+            (on top of each trigger's own cooldown/warmup).
+        shrink_base: allow scale-in to remove servers that were part of the
+            fleet at ``begin()``; by default only autoscaler-added servers
+            are eligible, so the configured baseline fleet is a floor.
+    """
+
+    def __init__(
+        self,
+        scale_unit: Any,
+        *,
+        triggers: Sequence[Any] = ("scale-out-sla", "scale-in-idle"),
+        min_servers: int = 1,
+        max_servers: int = 8,
+        lead_times: Optional[Mapping[str, float]] = None,
+        lead_time: float = DEFAULT_LEAD_TIME,
+        cooldown: float = 0.0,
+        shrink_base: bool = False,
+    ) -> None:
+        self.scale_unit = FleetServerSpec.coerce(scale_unit)
+        self.triggers = resolve_triggers(triggers)
+        if not self.triggers:
+            raise ValueError("an autoscaler needs at least one scale trigger")
+        if min_servers < 1:
+            raise ValueError("min_servers must be >= 1")
+        if max_servers < min_servers:
+            raise ValueError("max_servers must be >= min_servers")
+        if lead_time < 0:
+            raise ValueError("lead_time must be non-negative")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        for name, value in dict(lead_times or {}).items():
+            if value < 0:
+                raise ValueError(f"lead_times[{name!r}] must be non-negative")
+        self.min_servers = min_servers
+        self.max_servers = max_servers
+        self.lead_times: Dict[str, float] = dict(lead_times or {})
+        self.lead_time = lead_time
+        self.cooldown = cooldown
+        self.shrink_base = shrink_base
+        self.decisions: List[ScaleDecision] = []
+        self._pending: List[_PendingServer] = []
+        self._base_ids: Tuple[int, ...] = ()
+        self._last_decision_at: Optional[float] = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # session lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self, roster) -> None:
+        """Bind to a fresh run's roster (called by ``ServingSession.begin``)."""
+        self.decisions = []
+        self._pending = []
+        self._base_ids = tuple(roster.ids)
+        self._last_decision_at = None
+        self._seq = 0
+
+    @property
+    def pending(self) -> Tuple[Tuple[float, FleetServerSpec], ...]:
+        """Commissions still inside their lead time, as ``(due, spec)``."""
+        return tuple((p.due, p.spec) for p in self._pending)
+
+    def next_due(self) -> Optional[float]:
+        """Earliest pending commission arrival time (``None`` when idle)."""
+        if not self._pending:
+            return None
+        return min(p.due for p in self._pending)
+
+    def take_due(self, now: float) -> List[Tuple[FleetServerSpec, str]]:
+        """Pop every commission whose lead time elapsed by ``now``.
+
+        Returned in decision order (deterministic); the session admits each
+        to the roster and re-plans.
+        """
+        due = sorted(
+            (p for p in self._pending if p.due <= now), key=lambda p: p.seq
+        )
+        if due:
+            taken = {id(p) for p in due}
+            self._pending = [p for p in self._pending if id(p) not in taken]
+        return [(p.spec, p.reason) for p in due]
+
+    def lead_time_for(self, spec: FleetServerSpec) -> float:
+        """Provisioning lead time of a server shape."""
+        return self.lead_times.get(spec.architecture.name, self.lead_time)
+
+    # ------------------------------------------------------------------ #
+    # the decision step
+    # ------------------------------------------------------------------ #
+    def evaluate(self, session, context: TriggerContext) -> Optional[ScaleDecision]:
+        """Evaluate the scale triggers at a session checkpoint.
+
+        At most one decision per evaluation (mirroring the session's own
+        trigger loop): the first firing trigger wins.  Scale-outs enqueue a
+        pending commission; scale-ins call ``session.scale_in`` immediately.
+
+        Returns:
+            The decision taken, or ``None`` when every trigger held.
+        """
+        now = context.now
+        if (
+            self._last_decision_at is not None
+            and now - self._last_decision_at < self.cooldown
+        ):
+            return None
+        roster = session.roster
+        for trigger in self.triggers:
+            decision = trigger.evaluate(context)
+            if not decision.fire or decision.action == "repartition":
+                continue
+            name = getattr(trigger, "name", type(trigger).__name__)
+            if decision.action == "scale-out":
+                if len(roster) + len(self._pending) >= self.max_servers:
+                    continue
+                due = now + self.lead_time_for(self.scale_unit)
+                self._pending.append(
+                    _PendingServer(
+                        due=due,
+                        spec=self.scale_unit,
+                        reason=decision.reason,
+                        seq=self._seq,
+                    )
+                )
+                self._seq += 1
+                taken = ScaleDecision(
+                    time=now,
+                    action="scale-out",
+                    trigger=name,
+                    reason=decision.reason,
+                    spec=self.scale_unit.describe(),
+                    server_index=None,
+                    due=due,
+                )
+                self.decisions.append(taken)
+                session.note_scale_request(now, self.scale_unit, decision.reason)
+                self._last_decision_at = now
+                return taken
+            if decision.action == "scale-in":
+                victim = self._scale_in_pick(roster)
+                if victim is None:
+                    continue
+                spec = session.scale_in(victim, reason=decision.reason)
+                taken = ScaleDecision(
+                    time=now,
+                    action="scale-in",
+                    trigger=name,
+                    reason=decision.reason,
+                    spec=spec.describe(),
+                    server_index=victim,
+                    due=now,
+                )
+                self.decisions.append(taken)
+                self._last_decision_at = now
+                return taken
+            raise ValueError(
+                f"trigger {name!r} fired with unknown action "
+                f"{decision.action!r}; expected scale-out/scale-in"
+            )
+        return None
+
+    def _scale_in_pick(self, roster) -> Optional[int]:
+        """The server a scale-in removes (LIFO), or ``None`` to hold.
+
+        Newest-first keeps identities stable: the baseline servers carry the
+        long-lived state of the run, the marginal ones come and go.  Pending
+        commissions do not count toward ``min_servers`` — capacity that has
+        not arrived cannot serve the queries a floor is meant to protect.
+        """
+        if len(roster) <= self.min_servers:
+            return None
+        base = set(self._base_ids)
+        added = [sid for sid in roster.ids if sid not in base]
+        if added:
+            return max(added)
+        if self.shrink_base:
+            return roster.newest_id()
+        return None
+
+    def describe(self) -> str:
+        """Readable policy summary."""
+        names = ", ".join(
+            getattr(t, "name", type(t).__name__) for t in self.triggers
+        )
+        return (
+            f"autoscaler(+{self.scale_unit.describe()} per scale-out, "
+            f"servers in [{self.min_servers}, {self.max_servers}], "
+            f"lead {self.lead_time:g}s, triggers: {names})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Autoscaler({self.describe()})"
+
+
+__all__ = ["Autoscaler", "DEFAULT_LEAD_TIME", "ScaleDecision"]

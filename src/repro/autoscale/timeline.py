@@ -1,0 +1,233 @@
+"""Fleet composition timeline: events, per-window cost and availability.
+
+The control plane records every fleet mutation of a run as a
+:class:`FleetEvent` and the resulting composition history as *change
+points* — ``(time, specs)`` pairs meaning "from this instant the fleet is
+these servers".  :func:`integrate_fleet_timeline` turns that history into
+per-window :class:`FleetWindow` rows carrying the two metrics the paper's
+elasticity argument needs alongside the SLA series:
+
+* **cost** — the $-cost integral of the window under
+  :data:`repro.gpu.cost.GPC_COST` (cost accrues through reconfiguration
+  downtime: you pay for capacity while it drains and re-carves; a server
+  still inside its provisioning lead time is *not* in the composition yet
+  and therefore free);
+* **availability** — delivered GPC-seconds over planned GPC-seconds, where
+  delivered capacity is zeroed during reconfiguration downtime intervals.
+  1.0 means every configured GPC-second was actually serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gpu.cost import fleet_gpc_cost
+from repro.gpu.fleet import FleetServerSpec
+
+#: The fleet-event kinds the control plane records, in no particular order.
+EVENT_KINDS = (
+    "scale-out-requested",
+    "scale-out",
+    "scale-in",
+    "preempt-notice",
+    "preempted",
+    "preempt-skipped",
+)
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One fleet-control-plane action during a run.
+
+    Attributes:
+        time: simulation time of the action in seconds.
+        kind: one of :data:`EVENT_KINDS`.
+        server_index: the stable roster id the action names (``None`` for
+            events not tied to a live member, e.g. a skipped preemption of
+            an already-removed server keeps the id it targeted).
+        spec: the server shape acted on, as a describe string
+            (e.g. ``"2xA100-SXM4-40GB(14)"``); empty when unknown.
+        reason: why — the trigger reason, the preemption notice, etc.
+        fleet: the roster description *after* the action.
+        total_gpcs: summed effective GPC budget after the action.
+    """
+
+    time: float
+    kind: str
+    server_index: Optional[int]
+    spec: str
+    reason: str
+    fleet: str
+    total_gpcs: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly row (what the daemon writes to ``windows.ndjson``)."""
+        return {
+            "type": "fleet-event",
+            "time": self.time,
+            "kind": self.kind,
+            "server_index": self.server_index,
+            "spec": self.spec,
+            "reason": self.reason,
+            "fleet": self.fleet,
+            "total_gpcs": self.total_gpcs,
+        }
+
+
+@dataclass(frozen=True)
+class FleetWindow:
+    """Cost and availability of one metrics window ``[start, end)``.
+
+    Attributes:
+        index: zero-based window index (aligned with the session's
+            :class:`~repro.sim.hooks.WindowStats` windows).
+        start / end: window bounds in simulation seconds (the final window
+            is clipped to the run horizon).
+        servers: fleet size at the end of the window.
+        gpcs: summed effective GPC budget at the end of the window.
+        planned_gpc_seconds: configured capacity integral over the window.
+        delivered_gpc_seconds: capacity integral with reconfiguration
+            downtime zeroed out.
+        availability: ``delivered / planned`` (1.0 for an empty window).
+        cost: $-cost integral of the window under ``GPC_COST``.
+    """
+
+    index: int
+    start: float
+    end: float
+    servers: int
+    gpcs: int
+    planned_gpc_seconds: float
+    delivered_gpc_seconds: float
+    availability: float
+    cost: float
+
+
+def _downtime_overlap(
+    start: float, end: float, downtime: Sequence[Tuple[float, float]]
+) -> float:
+    """Seconds of ``[start, end)`` covered by downtime intervals."""
+    total = 0.0
+    for lo, hi in downtime:
+        total += max(0.0, min(end, hi) - max(start, lo))
+    return total
+
+
+def integrate_fleet_timeline(
+    change_points: Sequence[Tuple[float, Sequence[FleetServerSpec]]],
+    downtime_intervals: Sequence[Tuple[float, float]],
+    window: float,
+    horizon: float,
+) -> List[FleetWindow]:
+    """Per-window cost/availability of a fleet composition history.
+
+    Args:
+        change_points: ``(time, specs)`` pairs sorted by time, the first at
+            time 0.0 describing the initial fleet.  Each entry is the
+            composition *from* that instant.
+        downtime_intervals: closed reconfiguration downtime intervals
+            (:attr:`repro.sim.hooks.WindowedMetrics.downtime_intervals`).
+        window: window length in seconds (the session's metrics window).
+        horizon: end of the billing period (the run's last event time).
+
+    Returns:
+        One :class:`FleetWindow` per metrics window through ``horizon``
+        (the final window clipped to it).  Empty when ``horizon <= 0``.
+
+    Raises:
+        ValueError: for a non-positive window, an empty history, or a
+            history that does not start at time 0.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not change_points:
+        raise ValueError("change_points must describe at least the initial fleet")
+    points = sorted(change_points, key=lambda cp: cp[0])
+    if points[0][0] > 0.0:
+        raise ValueError("the first change point must describe time 0")
+    if horizon <= 0:
+        return []
+
+    # Pre-resolve each composition's GPC total and cost rate once.
+    resolved: List[Tuple[float, int, float]] = []
+    for time, specs in points:
+        specs = tuple(FleetServerSpec.coerce(s) for s in specs)
+        gpcs = sum(spec.effective_gpc_budget for spec in specs)
+        resolved.append((time, gpcs, fleet_gpc_cost(specs)))
+
+    count = int(horizon // window)
+    if count * window < horizon:
+        count += 1
+    out: List[FleetWindow] = []
+    cursor = 0  # index into resolved, advanced monotonically
+    for index in range(count):
+        start = index * window
+        end = min(start + window, horizon)
+        planned = 0.0
+        delivered = 0.0
+        cost = 0.0
+        # advance to the last change point at or before the window start
+        while cursor + 1 < len(resolved) and resolved[cursor + 1][0] <= start:
+            cursor += 1
+        seg = cursor
+        pos = start
+        while pos < end:
+            seg_end = end
+            if seg + 1 < len(resolved) and resolved[seg + 1][0] < end:
+                seg_end = max(pos, resolved[seg + 1][0])
+            length = seg_end - pos
+            _, gpcs, rate = resolved[seg]
+            planned += gpcs * length
+            delivered += gpcs * (
+                length - _downtime_overlap(pos, seg_end, downtime_intervals)
+            )
+            cost += rate * length
+            if seg_end >= end:
+                break
+            pos = seg_end
+            seg += 1
+        # After the segment sweep, ``seg`` is the composition active as the
+        # window closes (a change at exactly ``end`` lands in the next one).
+        _, final_gpcs, _ = resolved[seg]
+        servers_at_end = len(points[seg][1])
+        out.append(
+            FleetWindow(
+                index=index,
+                start=start,
+                end=end,
+                servers=servers_at_end,
+                gpcs=final_gpcs,
+                planned_gpc_seconds=planned,
+                delivered_gpc_seconds=delivered,
+                availability=(delivered / planned) if planned > 0 else 1.0,
+                cost=cost,
+            )
+        )
+    return out
+
+
+def timeline_cost(windows: Sequence[FleetWindow]) -> float:
+    """Total $-cost of a run (sum of its window cost integrals)."""
+    return sum(w.cost for w in windows)
+
+
+def static_fleet_cost(servers: Sequence, duration: float) -> float:
+    """Cost of holding a *fixed* fleet for ``duration`` seconds.
+
+    The baseline the iso-SLA experiment compares the autoscaled integral
+    against: a static fleet pays its full rate for the whole run.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    return fleet_gpc_cost(servers) * duration
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "FleetEvent",
+    "FleetWindow",
+    "integrate_fleet_timeline",
+    "static_fleet_cost",
+    "timeline_cost",
+]

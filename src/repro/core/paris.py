@@ -408,7 +408,10 @@ class FleetParis:
     # public API
     # ------------------------------------------------------------------ #
     def plan(
-        self, batch_pdf: Dict[int, float], budgets: Mapping[str, int]
+        self,
+        batch_pdf: Dict[int, float],
+        budgets: Mapping[str, int],
+        size_caps: Optional[Mapping[str, int]] = None,
     ) -> FleetPlan:
         """Divide the per-architecture budgets for ``batch_pdf``.
 
@@ -417,6 +420,12 @@ class FleetParis:
                 normalised internally.
             budgets: mapping architecture name -> GPC budget.  Every
                 architecture must have a profile table.
+            size_caps: optional mapping architecture name -> largest
+                partition size any of that architecture's servers can host.
+                An aggregate budget can exceed every individual server's cap
+                (three 6-GPC servers pool 18 GPCs yet none hosts a 7-GPC
+                instance), so callers that pack onto real servers pass the
+                caps to keep the plan placeable.
 
         Returns:
             The fleet-wide :class:`~repro.core.plan.FleetPlan`.
@@ -433,9 +442,11 @@ class FleetParis:
                 f"no profile table for architecture(s) {unknown}; profiled: "
                 f"{sorted(self.profiles)}"
             )
+        caps = dict(size_caps or {})
         key = (
             tuple(sorted(batch_pdf.items())),
             tuple(sorted((name, int(b)) for name, b in budgets.items())),
+            tuple(sorted((name, int(c)) for name, c in caps.items())),
         )
         cached = self._plan_cache.get(key)
         if cached is not None:
@@ -443,12 +454,12 @@ class FleetParis:
 
         if len(budgets) == 1:
             (name, budget), = budgets.items()
-            sub = shared_paris(self.profiles[name], self._config_for(name)).plan(
-                dict(batch_pdf), int(budget)
-            )
+            sub = shared_paris(
+                self.profiles[name], self._config_for(name, caps.get(name))
+            ).plan(dict(batch_pdf), int(budget))
             plan = self._lift(sub, name)
         else:
-            plan = self._plan_hetero(batch_pdf, budgets)
+            plan = self._plan_hetero(batch_pdf, budgets, caps)
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.pop(next(iter(self._plan_cache)))
         self._plan_cache[key] = plan
@@ -457,19 +468,34 @@ class FleetParis:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _config_for(self, arch_name: str) -> ParisConfig:
+    def _config_for(
+        self, arch_name: str, size_cap: Optional[int] = None
+    ) -> ParisConfig:
         """The per-architecture tunables: explicit candidate sizes are
-        intersected with the architecture's profiled sizes."""
+        intersected with the architecture's profiled sizes, and sizes no
+        server of the architecture can host are dropped."""
         sizes = self.config.partition_sizes
-        if sizes is None:
-            return self.config
         profiled = set(self.profiles[arch_name].partition_sizes)
-        usable = tuple(sorted(set(sizes) & profiled))
-        if not usable:
-            raise ValueError(
-                f"none of the candidate sizes {sorted(set(sizes))} are "
-                f"profiled for {arch_name} (profiled: {sorted(profiled)})"
-            )
+        if sizes is not None:
+            usable = tuple(sorted(set(sizes) & profiled))
+            if not usable:
+                raise ValueError(
+                    f"none of the candidate sizes {sorted(set(sizes))} are "
+                    f"profiled for {arch_name} (profiled: {sorted(profiled)})"
+                )
+        else:
+            usable = tuple(sorted(profiled))
+        if size_cap is not None:
+            capped = tuple(s for s in usable if s <= size_cap)
+            if not capped:
+                raise ValueError(
+                    f"no candidate size for {arch_name} fits on any of its "
+                    f"servers (largest hostable: {size_cap} GPCs; "
+                    f"candidates: {sorted(usable)})"
+                )
+            usable = capped
+        if sizes is None and len(usable) == len(profiled):
+            return self.config
         from dataclasses import replace
 
         return replace(self.config, partition_sizes=usable)
@@ -485,7 +511,10 @@ class FleetParis:
         )
 
     def _plan_hetero(
-        self, batch_pdf: Dict[int, float], budgets: Mapping[str, int]
+        self,
+        batch_pdf: Dict[int, float],
+        budgets: Mapping[str, int],
+        size_caps: Mapping[str, int],
     ) -> FleetPlan:
         pdf = Paris._normalise_pdf(batch_pdf)
         max_batch = max(pdf)
@@ -493,7 +522,7 @@ class FleetParis:
         # Step A per class: each architecture's knees from its own table.
         classes: List[Tuple[int, int, str]] = []  # (knee, size, arch name)
         for name in budgets:
-            config = self._config_for(name)
+            config = self._config_for(name, size_caps.get(name))
             planner = shared_paris(self.profiles[name], config)
             sizes = planner._candidate_sizes()
             if budgets[name] < min(sizes):
@@ -550,7 +579,7 @@ class FleetParis:
         counts: Dict[Tuple[str, int], int] = {}
         sub_plans: Dict[str, PartitionPlan] = {}
         for name in budgets:
-            config = self._config_for(name)
+            config = self._config_for(name, size_caps.get(name))
             planner = shared_paris(self.profiles[name], config)
             segments = per_arch_segments[name]
             budget = int(budgets[name])

@@ -22,7 +22,11 @@ object with an ``evaluate(context) -> TriggerDecision`` method.  Built-ins:
 * ``pdf-drift`` — fires when the observed batch PDF over a recent window
   drifts (total-variation distance) from the PDF the current plan targets;
 * ``sla-violation-rate`` — fires when the SLA violation rate over a recent
-  window exceeds a threshold.
+  window exceeds a threshold;
+* ``scale-out-sla`` / ``scale-out-backlog`` / ``scale-in-idle`` — fleet
+  elasticity requests (``TriggerDecision.action`` of ``"scale-out"`` /
+  ``"scale-in"``) consumed by the :mod:`repro.autoscale` control plane
+  rather than the repartition loop.
 
 The :class:`~repro.serving.session.ServingSession` evaluates triggers at a
 fixed simulation-time cadence and calls ``session.repartition`` live when one
@@ -99,15 +103,22 @@ class TriggerDecision:
     """Outcome of one trigger evaluation.
 
     Attributes:
-        fire: whether to repartition now.
+        fire: whether to act now.
         reason: human-readable explanation (reported in the session log).
         new_pdf: the batch PDF to re-run the partitioner against; ``None``
             lets the session fall back to the observed PDF.
+        action: what firing means — ``"repartition"`` (the default; the
+            session re-runs the partitioner in place), ``"scale-out"`` or
+            ``"scale-in"`` (consumed by the :mod:`repro.autoscale` control
+            plane to add / drain whole fleet servers).  The session's own
+            repartition loop ignores non-repartition actions, so scale
+            triggers are inert unless an autoscaler owns them.
     """
 
     fire: bool
     reason: str = ""
     new_pdf: Optional[Mapping[int, float]] = None
+    action: str = "repartition"
 
     @classmethod
     def hold(cls, reason: str = "") -> "TriggerDecision":
@@ -257,6 +268,172 @@ class SlaViolationTrigger(RepartitionTrigger):
         )
 
 
+@dataclass
+class ScaleOutSlaTrigger(RepartitionTrigger):
+    """Ask for one more server when the SLA violation rate spikes.
+
+    The fleet-level counterpart of :class:`SlaViolationTrigger`: instead of
+    re-cutting the partitions of the pool we have, it tells the autoscaler
+    the pool itself is too small.  Fires with ``action="scale-out"``.
+
+    Attributes:
+        threshold: violation rate above which to ask for capacity.
+        lookback_windows: how many recent metric windows form the observation.
+        min_queries: minimum SLA-carrying completions in the lookback.
+        cooldown: minimum seconds between firings.
+    """
+
+    threshold: float = 0.1
+    lookback_windows: int = 3
+    min_queries: int = 20
+    cooldown: float = 0.0
+    name: str = field(default="scale-out-sla", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold < 1.0:
+            raise ValueError("threshold must be in [0, 1)")
+        if self.lookback_windows < 1:
+            raise ValueError("lookback_windows must be >= 1")
+        if self.min_queries < 1:
+            raise ValueError("min_queries must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    def evaluate(self, context: TriggerContext) -> TriggerDecision:
+        if context.time_since_reconfig < self.cooldown:
+            return TriggerDecision.hold("cooldown")
+        if _in_warmup(context, self.lookback_windows):
+            return TriggerDecision.hold("lookback spans the last reconfiguration")
+        violations, sla_count = context.metrics.recent_violation_stats(
+            context.now, self.lookback_windows
+        )
+        if sla_count < self.min_queries:
+            return TriggerDecision.hold(f"only {sla_count} recent SLA queries")
+        rate = violations / sla_count
+        if rate <= self.threshold:
+            return TriggerDecision.hold(
+                f"violation rate {rate:.3f} <= {self.threshold}"
+            )
+        return TriggerDecision(
+            fire=True,
+            reason=(
+                f"SLA violation rate {rate:.3f} over the last "
+                f"{self.lookback_windows} windows exceeds {self.threshold}"
+            ),
+            action="scale-out",
+        )
+
+
+@dataclass
+class ScaleOutBacklogTrigger(RepartitionTrigger):
+    """Ask for one more server when the frontend backlog grows too deep.
+
+    Queue depth leads the violation rate: a backlog that keeps growing will
+    violate SLAs a few windows later, so this trigger scales out *before*
+    the latency spike lands.  Fires with ``action="scale-out"``.
+
+    Attributes:
+        max_backlog: arrived-but-not-completed queries above which to fire.
+        lookback_windows: warmup guard — hold until this many post-reconfig
+            windows accumulated (matching the other built-ins).
+        cooldown: minimum seconds between firings.
+    """
+
+    max_backlog: int = 64
+    lookback_windows: int = 2
+    cooldown: float = 0.0
+    name: str = field(default="scale-out-backlog", init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1")
+        if self.lookback_windows < 1:
+            raise ValueError("lookback_windows must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    def evaluate(self, context: TriggerContext) -> TriggerDecision:
+        if context.time_since_reconfig < self.cooldown:
+            return TriggerDecision.hold("cooldown")
+        if _in_warmup(context, self.lookback_windows):
+            return TriggerDecision.hold("lookback spans the last reconfiguration")
+        backlog = context.metrics.backlog()
+        if backlog <= self.max_backlog:
+            return TriggerDecision.hold(f"backlog {backlog} <= {self.max_backlog}")
+        return TriggerDecision(
+            fire=True,
+            reason=f"frontend backlog {backlog} exceeds {self.max_backlog}",
+            action="scale-out",
+        )
+
+
+@dataclass
+class ScaleInIdleTrigger(RepartitionTrigger):
+    """Release a server when the fleet is comfortably over-provisioned.
+
+    Fires with ``action="scale-in"`` when the recent violation rate sits at
+    or below a low-water mark *and* the frontend backlog is shallow — both
+    must hold, so a drained queue during a lull never sheds capacity the
+    next ramp needs if violations are still working through the tail.
+
+    Attributes:
+        max_violation_rate: recent violation rate at or below which the
+            fleet counts as over-provisioned.
+        max_backlog: frontend backlog at or below which it counts as idle.
+        lookback_windows: how many recent metric windows form the observation.
+        min_queries: minimum SLA-carrying completions in the lookback —
+            an empty lookback is *not* evidence of over-provisioning.
+        cooldown: minimum seconds between firings (scale-in pays a drain).
+    """
+
+    max_violation_rate: float = 0.01
+    max_backlog: int = 8
+    lookback_windows: int = 5
+    min_queries: int = 20
+    cooldown: float = 0.0
+    name: str = field(default="scale-in-idle", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_violation_rate < 1.0:
+            raise ValueError("max_violation_rate must be in [0, 1)")
+        if self.max_backlog < 0:
+            raise ValueError("max_backlog must be non-negative")
+        if self.lookback_windows < 1:
+            raise ValueError("lookback_windows must be >= 1")
+        if self.min_queries < 1:
+            raise ValueError("min_queries must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    def evaluate(self, context: TriggerContext) -> TriggerDecision:
+        if context.time_since_reconfig < self.cooldown:
+            return TriggerDecision.hold("cooldown")
+        if _in_warmup(context, self.lookback_windows):
+            return TriggerDecision.hold("lookback spans the last reconfiguration")
+        violations, sla_count = context.metrics.recent_violation_stats(
+            context.now, self.lookback_windows
+        )
+        if sla_count < self.min_queries:
+            return TriggerDecision.hold(f"only {sla_count} recent SLA queries")
+        rate = violations / sla_count
+        if rate > self.max_violation_rate:
+            return TriggerDecision.hold(
+                f"violation rate {rate:.3f} > {self.max_violation_rate}"
+            )
+        backlog = context.metrics.backlog()
+        if backlog > self.max_backlog:
+            return TriggerDecision.hold(f"backlog {backlog} > {self.max_backlog}")
+        return TriggerDecision(
+            fire=True,
+            reason=(
+                f"violation rate {rate:.3f} <= {self.max_violation_rate} and "
+                f"backlog {backlog} <= {self.max_backlog} over the last "
+                f"{self.lookback_windows} windows"
+            ),
+            action="scale-in",
+        )
+
+
 @register_trigger("pdf-drift", aliases=("drift",))
 def _pdf_drift_trigger(**options: Any) -> PdfDriftTrigger:
     """Observed-vs-planned batch PDF drift (total-variation distance)."""
@@ -267,6 +444,24 @@ def _pdf_drift_trigger(**options: Any) -> PdfDriftTrigger:
 def _sla_violation_trigger(**options: Any) -> SlaViolationTrigger:
     """SLA-violation-rate-over-window trigger."""
     return SlaViolationTrigger(**options)
+
+
+@register_trigger("scale-out-sla")
+def _scale_out_sla_trigger(**options: Any) -> ScaleOutSlaTrigger:
+    """Scale-out request on a recent SLA-violation-rate spike."""
+    return ScaleOutSlaTrigger(**options)
+
+
+@register_trigger("scale-out-backlog")
+def _scale_out_backlog_trigger(**options: Any) -> ScaleOutBacklogTrigger:
+    """Scale-out request on frontend backlog depth."""
+    return ScaleOutBacklogTrigger(**options)
+
+
+@register_trigger("scale-in-idle")
+def _scale_in_idle_trigger(**options: Any) -> ScaleInIdleTrigger:
+    """Scale-in request when violations and backlog are both low."""
+    return ScaleInIdleTrigger(**options)
 
 
 def resolve_triggers(
@@ -302,6 +497,9 @@ def resolve_triggers(
 __all__ = [
     "PdfDriftTrigger",
     "RepartitionTrigger",
+    "ScaleInIdleTrigger",
+    "ScaleOutBacklogTrigger",
+    "ScaleOutSlaTrigger",
     "SlaViolationTrigger",
     "TRIGGERS",
     "TriggerContext",

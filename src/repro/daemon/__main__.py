@@ -126,6 +126,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--quota", type=int, default=None, help="GPCs to reserve")
     submit.add_argument("--seed", type=int, default=None)
     submit.add_argument(
+        "--sla-class", default="best-effort",
+        choices=("gold", "standard", "best-effort"),
+        help="admission class (gold jumps the queue, best-effort waits)",
+    )
+    submit.add_argument(
         "--wait", action="store_true", help="block until the job finishes"
     )
 
@@ -206,6 +211,7 @@ def main(argv: List[str] = None) -> int:
                 options=dict(args.option),
                 quota_gpcs=args.quota,
                 seed=args.seed,
+                sla_class=args.sla_class,
             )
             if args.wait:
                 job = client.wait(job["job_id"])

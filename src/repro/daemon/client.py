@@ -82,6 +82,7 @@ class DaemonClient:
         options: Optional[Dict[str, Any]] = None,
         quota_gpcs: Optional[int] = None,
         seed: Optional[int] = None,
+        sla_class: str = "best-effort",
     ) -> Dict[str, Any]:
         """``POST /jobs`` — returns the accepted job's status document."""
         return self._request(
@@ -93,6 +94,7 @@ class DaemonClient:
                 "options": options or {},
                 "quota_gpcs": quota_gpcs,
                 "seed": seed,
+                "sla_class": sla_class,
             },
         )
 

@@ -4,8 +4,10 @@ A *job* is one tenant workload — a registered scenario name plus options —
 run to completion (or cancellation) on a quota slice of the shared fleet.
 :class:`JobManager` owns the full lifecycle:
 
-``PENDING`` → admission (strict FIFO; waits until the head job's quota fits
-the pool's free budget) → ``RUNNING`` (the tenant session advances in fixed
+``PENDING`` → admission (class-priority: ``gold`` jobs go to the head of
+the queue before ``standard`` before ``best-effort``, FIFO within a class;
+the head job waits until its quota fits the pool's free budget) →
+``RUNNING`` (the tenant session advances in fixed
 simulated-time chunks, yielding to the event loop between chunks and
 publishing closed metric windows) → ``COMPLETED`` / ``CANCELLED`` /
 ``FAILED``.  Cancellation is honoured at chunk granularity: a running job
@@ -36,7 +38,6 @@ import dataclasses
 import enum
 import json
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, AsyncIterator, Dict, List, Optional
@@ -56,6 +57,11 @@ from repro.workload.scenario import build_scenario
 #: enough that cancellation and window streaming stay responsive, large
 #: enough that the per-chunk bookkeeping stays negligible.
 DEFAULT_CHUNK = 5.0
+
+#: Tenant SLA classes and their admission priority (lower admits first).
+#: ``best-effort`` is the default, which keeps a single-class queue exactly
+#: FIFO — the pre-SLA-class behavior.
+SLA_CLASSES: Dict[str, int] = {"gold": 0, "standard": 1, "best-effort": 2}
 
 
 class JobState(str, enum.Enum):
@@ -84,6 +90,8 @@ class JobSpec:
         quota_gpcs: GPCs to reserve; ``None`` asks for the manager's default
             (a fair share of the pool).
         seed: optional trace-generation / noise seed override.
+        sla_class: admission class — one of :data:`SLA_CLASSES`
+            (``"gold"`` jumps the queue, ``"best-effort"`` is the default).
     """
 
     tenant: str
@@ -91,6 +99,7 @@ class JobSpec:
     options: Dict[str, Any] = field(default_factory=dict)
     quota_gpcs: Optional[int] = None
     seed: Optional[int] = None
+    sla_class: str = "best-effort"
 
     def __post_init__(self) -> None:
         if not self.tenant:
@@ -99,6 +108,11 @@ class JobSpec:
             raise ValueError("scenario must be non-empty")
         if self.quota_gpcs is not None and self.quota_gpcs <= 0:
             raise ValueError("quota_gpcs must be positive when set")
+        if self.sla_class not in SLA_CLASSES:
+            raise ValueError(
+                f"unknown sla_class {self.sla_class!r}; "
+                f"accepted: {sorted(SLA_CLASSES)}"
+            )
         object.__setattr__(self, "options", dict(self.options))
 
     @classmethod
@@ -111,7 +125,7 @@ class JobSpec:
         """
         if not isinstance(payload, dict):
             raise ValueError("job payload must be a JSON object")
-        known = {"tenant", "scenario", "options", "quota_gpcs", "seed"}
+        known = {"tenant", "scenario", "options", "quota_gpcs", "seed", "sla_class"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ValueError(
@@ -129,6 +143,7 @@ class JobSpec:
             options=options,
             quota_gpcs=payload.get("quota_gpcs"),
             seed=payload.get("seed"),
+            sla_class=str(payload.get("sla_class", "best-effort")),
         )
 
     def to_payload(self) -> Dict[str, Any]:
@@ -139,6 +154,7 @@ class JobSpec:
             "options": dict(self.options),
             "quota_gpcs": self.quota_gpcs,
             "seed": self.seed,
+            "sla_class": self.sla_class,
         }
 
 
@@ -161,6 +177,7 @@ class Job:
     finished_at: Optional[float] = None
     artifact_dir: Optional[Path] = None
     windows: List[Dict[str, Any]] = field(default_factory=list)
+    fleet_events: List[Dict[str, Any]] = field(default_factory=list)
     summary: Optional[Dict[str, Any]] = None
     result: Optional[SessionResult] = None
     cancel_requested: bool = False
@@ -172,11 +189,13 @@ class Job:
             "state": self.state.value,
             "tenant": self.spec.tenant,
             "scenario": self.spec.scenario,
+            "sla_class": self.spec.sla_class,
             "quota_gpcs": self.grant.quota_gpcs if self.grant else self.spec.quota_gpcs,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "windows": len(self.windows),
+            "fleet_events": len(self.fleet_events),
             "error": self.error,
             "summary": self.summary,
         }
@@ -225,7 +244,8 @@ class JobManager:
         self.session_kwargs: Dict[str, Any] = dict(session_kwargs or {})
         self._jobs: Dict[str, Job] = {}
         self._tasks: Dict[str, asyncio.Task] = {}
-        self._queue: deque = deque()
+        self._queue: List[tuple] = []
+        self._admit_seq = 0
         self._capacity: Optional[asyncio.Condition] = None
         self._events: Dict[str, asyncio.Condition] = {}
         self._counter = 0
@@ -380,22 +400,28 @@ class JobManager:
     # the per-job task
     # ------------------------------------------------------------------ #
     async def _admit(self, job: Job, quota: int) -> Optional[QuotaGrant]:
-        """Strict-FIFO admission: wait at the queue head until quota fits."""
+        """Class-priority admission: the best ``(class, arrival)`` entry is
+        the queue head and waits until its quota fits.  Within one SLA class
+        this is exactly FIFO (a single-class queue behaves like the old
+        strict-FIFO daemon); a ``gold`` job submitted late still admits
+        before queued ``best-effort`` work."""
         condition = self._condition()
         async with condition:
-            self._queue.append(job.job_id)
+            self._admit_seq += 1
+            entry = (SLA_CLASSES[job.spec.sla_class], self._admit_seq, job.job_id)
+            self._queue.append(entry)
             try:
                 while True:
                     if job.cancel_requested:
                         return None
-                    if self._queue[0] == job.job_id:
+                    if min(self._queue) == entry:
                         try:
                             return self.pool.acquire(job.job_id, quota)
                         except QuotaExceededError:
                             pass  # capacity busy: wait for a release
                     await condition.wait()
             finally:
-                self._queue.remove(job.job_id)
+                self._queue.remove(entry)
                 condition.notify_all()
 
     async def _release(self, job: Job) -> None:
@@ -428,16 +454,19 @@ class JobManager:
                 while not tenant.done and not job.cancel_requested:
                     tenant.advance(self.chunk)
                     self._append_windows(job, tenant.new_windows())
+                    self._append_fleet_events(job, tenant.new_fleet_events())
                     await self._publish(job)
                     # hand the loop to the other tenants between chunks
                     await asyncio.sleep(0)
                 if job.cancel_requested and not tenant.done:
                     job.result = tenant.abort()
                     self._append_windows(job, tenant.new_windows())
+                    self._append_fleet_events(job, tenant.new_fleet_events())
                     self._finalise(job, JobState.CANCELLED)
                 else:
                     job.result = tenant.finish()
                     self._append_windows(job, tenant.new_windows())
+                    self._append_fleet_events(job, tenant.new_fleet_events())
                     self._finalise(job, JobState.COMPLETED)
             finally:
                 await self._release(job)
@@ -454,6 +483,21 @@ class JobManager:
             return
         rows = [window_to_dict(w) for w in windows]
         job.windows.extend(rows)
+        if job.artifact_dir is not None:
+            with open(job.artifact_dir / "windows.ndjson", "a") as stream:
+                for row in rows:
+                    stream.write(json.dumps(row) + "\n")
+
+    def _append_fleet_events(self, job: Job, events: List[Any]) -> None:
+        """Interleave fleet control-plane rows into the window stream file.
+
+        Each row carries ``"type": "fleet-event"`` so artifact digestion can
+        partition them from the metric windows.
+        """
+        if not events:
+            return
+        rows = [event.to_dict() for event in events]
+        job.fleet_events.extend(rows)
         if job.artifact_dir is not None:
             with open(job.artifact_dir / "windows.ndjson", "a") as stream:
                 for row in rows:
@@ -480,6 +524,7 @@ class JobManager:
 
 __all__ = [
     "DEFAULT_CHUNK",
+    "SLA_CLASSES",
     "Job",
     "JobManager",
     "JobSpec",

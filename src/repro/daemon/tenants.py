@@ -27,12 +27,11 @@ tells an admission policy what an equal split currently looks like.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.gpu.fleet import FleetServerSpec, carve_budgets, sliced_specs
-from repro.serving.config import ServerConfig
+from repro.serving.config import ServerConfig, config_with_fleet
 from repro.serving.session import ServingSession, SessionResult, SessionWorkload
 from repro.sim.hooks import WindowStats
 
@@ -192,13 +191,7 @@ class FleetPool:
         grant in a fresh pool reproduces the exact same config — the basis
         of the standalone-equivalence guarantee.
         """
-        return dataclasses.replace(
-            template,
-            fleet=grant.specs,
-            gpc_budget=None,
-            num_gpus=sum(spec.num_gpus for spec in grant.specs),
-            architecture=grant.specs[0].architecture,
-        )
+        return config_with_fleet(template, grant.specs)
 
 
 class TenantSession:
@@ -231,6 +224,7 @@ class TenantSession:
         self._cursor = 0.0
         self._started = False
         self._emitted = 0
+        self._emitted_events = 0
 
     @property
     def started(self) -> bool:
@@ -289,6 +283,20 @@ class TenantSession:
             else:
                 break
         self._emitted += len(fresh)
+        return fresh
+
+    def new_fleet_events(self) -> List:
+        """Fleet control-plane events recorded since the last call.
+
+        Empty for sessions without an autoscaler/preemption schedule (and
+        with no manual fleet mutations).  Delivered in record order so the
+        daemon can interleave them with the window stream.
+        """
+        if not self._started:
+            return []
+        events = self.session.fleet_events()
+        fresh = list(events[self._emitted_events:])
+        self._emitted_events += len(fresh)
         return fresh
 
     def finish(self) -> SessionResult:

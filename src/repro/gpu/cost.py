@@ -1,0 +1,49 @@
+"""Public $-cost model of GPC capacity by GPU architecture.
+
+The paper compares partitioning designs at *iso GPC-cost*: one GPC of an
+A100-40GB is the unit, and every other architecture's GPC is weighted by its
+rough public-cloud hourly-price ratio.  PR 5 introduced these weights inside
+``analysis/experiments.py``; the autoscaler and capacity planner (PR 7) need
+them without importing analysis code, so they live here and the analysis
+module re-exports them for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+#: Relative cost of one GPC by architecture, normalised to the A100-40GB
+#: (rough public-cloud hourly-price ratios).  Fleet comparisons are run at
+#: *iso GPC-cost*: a fleet's cost is the sum of its per-server budgets
+#: weighted by these factors.
+GPC_COST: Dict[str, float] = {
+    "A100-SXM4-40GB": 1.0,
+    "A100-SXM4-80GB": 1.15,
+    "A30": 0.45,
+    "H100-SXM5-80GB": 2.4,
+}
+
+
+def fleet_gpc_cost(servers: Sequence) -> float:
+    """GPC-cost of a fleet description under :data:`GPC_COST`.
+
+    Args:
+        servers: ``(num_gpus, architecture[, gpc_budget])`` tuples or
+            :class:`~repro.gpu.fleet.FleetServerSpec` objects.
+
+    Returns:
+        The summed cost of every server's effective GPC budget.
+
+    Raises:
+        KeyError: for an architecture without a cost entry.
+    """
+    from repro.gpu.fleet import FleetServerSpec
+
+    total = 0.0
+    for server in servers:
+        spec = FleetServerSpec.coerce(server)
+        total += spec.effective_gpc_budget * GPC_COST[spec.architecture.name]
+    return total
+
+
+__all__ = ["GPC_COST", "fleet_gpc_cost"]

@@ -512,6 +512,98 @@ def sliced_specs(
     return tuple(sliced)
 
 
+class FleetRoster:
+    """Stable-identity membership ledger of an elastic fleet.
+
+    A :class:`Fleet` describes *composition* — which shapes, packed how.
+    The control plane additionally needs *identity*: "server 3" must keep
+    meaning the same physical box across scale-outs, scale-ins and
+    preemptions, so decisions, hook events and window artifacts can name
+    the server they acted on.  The roster assigns each member a monotone
+    integer id at admission (the initial fleet gets ``0..n-1`` in fleet
+    order), never reuses ids, and preserves admission order in
+    :attr:`specs` — so re-planning a mutated roster is deterministic.
+
+    Args:
+        servers: initial members (specs, servers, or tuples accepted by
+            :meth:`FleetServerSpec.coerce`).
+    """
+
+    def __init__(self, servers: Sequence = ()) -> None:
+        self._members: Dict[int, FleetServerSpec] = {}
+        self._next_id = 0
+        for server in servers:
+            self.add(server)
+        if not self._members:
+            raise ValueError("a fleet roster needs at least one initial server")
+
+    @property
+    def specs(self) -> Tuple[FleetServerSpec, ...]:
+        """Member specs in admission (id) order — the plan/deploy order."""
+        return tuple(self._members[sid] for sid in sorted(self._members))
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        """Live member ids in admission order."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, server_id: int) -> bool:
+        return server_id in self._members
+
+    def spec_of(self, server_id: int) -> FleetServerSpec:
+        """The spec of a live member.
+
+        Raises:
+            KeyError: for an unknown or already-removed id.
+        """
+        try:
+            return self._members[server_id]
+        except KeyError:
+            raise KeyError(
+                f"server {server_id} is not a live fleet member; live ids: "
+                f"{list(sorted(self._members))}"
+            ) from None
+
+    def add(self, server) -> int:
+        """Admit a server and return its (new, never-recycled) id."""
+        spec = FleetServerSpec.coerce(server)
+        server_id = self._next_id
+        self._members[server_id] = spec
+        self._next_id += 1
+        return server_id
+
+    def remove(self, server_id: int) -> FleetServerSpec:
+        """Retire a live member, returning its spec.
+
+        Raises:
+            KeyError: for an unknown or already-removed id.
+            ValueError: when removal would empty the fleet.
+        """
+        spec = self.spec_of(server_id)
+        if len(self._members) == 1:
+            raise ValueError(
+                f"removing server {server_id} would leave an empty fleet"
+            )
+        del self._members[server_id]
+        return spec
+
+    def newest_id(self) -> int:
+        """The most recently admitted live member's id (LIFO scale-in pick)."""
+        return max(self._members)
+
+    def describe(self) -> str:
+        """Readable membership, e.g. ``0:8xA100-SXM4-40GB(48) + 2:...``."""
+        return " + ".join(
+            f"{sid}:{self._members[sid].describe()}" for sid in sorted(self._members)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FleetRoster({self.describe()})"
+
+
 def as_fleet(servers) -> Fleet:
     """Coerce a fleet description into a :class:`Fleet`.
 

@@ -455,3 +455,31 @@ class ServerConfig:
         else:
             left = self.partitioning
         return f"{left}+{self.scheduler}"
+
+
+def config_with_fleet(
+    template: ServerConfig, servers: Sequence
+) -> ServerConfig:
+    """``template`` re-targeted at a different fleet composition.
+
+    Every policy knob (model, partitioning, scheduler, SLA derivation, …)
+    carries over; only the fleet — and the shape fields ``num_gpus`` /
+    ``architecture`` / ``gpc_budget`` derived from it — changes.  This is
+    the one sanctioned way the control plane (autoscaler, preemptions,
+    capacity planner) and the daemon's quota carving mutate a design's
+    fleet: going through the constructor re-runs every validation.
+
+    Args:
+        template: the config to re-target.
+        servers: the new fleet — :class:`~repro.gpu.fleet.FleetServerSpec`
+            objects or ``(num_gpus, architecture[, gpc_budget])`` tuples.
+
+    Returns:
+        A new frozen config deploying onto ``servers``.
+    """
+    import dataclasses
+
+    specs = tuple(FleetServerSpec.coerce(server) for server in servers)
+    if not specs:
+        raise ValueError("the new fleet must name at least one server")
+    return dataclasses.replace(template, fleet=specs, gpc_budget=None)

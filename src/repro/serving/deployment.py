@@ -239,7 +239,15 @@ def _plan_and_place_fleet(
                 min_instances_per_active_segment=spec.min_instances_per_active_segment,
             ),
         )
-        plan = planner.plan(dict(batch_pdf), budgets)
+        # An architecture's pooled budget can exceed what any one of its
+        # servers hosts (three 6-GPC servers pool 18 GPCs but cannot place
+        # a 7-GPC instance) — cap the candidate sizes so the plan packs.
+        size_caps: Dict[str, int] = {}
+        for member in fleet.specs:
+            arch = member.architecture
+            cap = min(max(arch.valid_partition_sizes), member.effective_gpc_budget)
+            size_caps[arch.name] = max(size_caps.get(arch.name, 0), cap)
+        plan = planner.plan(dict(batch_pdf), budgets, size_caps=size_caps)
     else:
         counts: Dict[Tuple[str, int], int] = {}
         sub_plans: Dict[str, PartitionPlan] = {}
@@ -296,6 +304,58 @@ def replan_deployment(
         arch_tables=deployment.arch_profiles,
     )
     return dataclasses.replace(deployment, plan=plan, instances=instances)
+
+
+def refleet_deployment(
+    deployment: Deployment,
+    config: ServerConfig,
+    batch_pdf: Dict[int, float],
+) -> Deployment:
+    """Re-plan an existing fleet deployment onto a mutated fleet.
+
+    The fleet-elasticity counterpart of :func:`replan_deployment`: the
+    control plane (:mod:`repro.autoscale`) added or removed whole servers,
+    producing ``config`` (built via
+    :func:`repro.serving.config.config_with_fleet`), and the partitioner
+    must re-cut the new pool.  Scheduler, profiles and SLA targets are
+    reused untouched — the SLA is a property of the *service*, derived
+    once at build time, not of whatever pool happens to serve it right
+    now — so only ``config``, ``plan`` and ``instances`` change.
+
+    Per-architecture tables are reused when the mutated fleet's
+    architectures are already covered; a genuinely new architecture fetches
+    through the process-wide profile cache.  (Note the live simulator can
+    only *execute* architectures present at its construction — the session
+    enforces that for mid-run mutations.)
+
+    Raises:
+        ValueError: for an empty ``batch_pdf`` or a non-fleet ``config``.
+    """
+    if not batch_pdf:
+        raise ValueError("batch_pdf must be non-empty")
+    if config.fleet is None:
+        raise ValueError("refleet_deployment requires a fleet config")
+    fleet = config.build_fleet()
+    names = {spec.architecture.name for spec in config.fleet}
+    if deployment.arch_profiles is not None and names <= set(
+        deployment.arch_profiles
+    ):
+        arch_tables: Mapping[str, Mapping[str, ProfileTable]] = (
+            deployment.arch_profiles
+        )
+    else:
+        arch_tables = _fleet_tables(fleet, config.models)
+    plan, instances = _plan_and_place_fleet(fleet, config, dict(batch_pdf), arch_tables)
+    arch_profiles = deployment.arch_profiles
+    if arch_profiles is None and len(names) > 1:
+        arch_profiles = arch_tables
+    return dataclasses.replace(
+        deployment,
+        config=config,
+        plan=plan,
+        instances=instances,
+        arch_profiles=arch_profiles,
+    )
 
 
 def build_deployment(

@@ -44,12 +44,14 @@ from repro.core.triggers import (
     TriggerContext,
     resolve_triggers,
 )
+from repro.gpu.fleet import FleetRoster, FleetServerSpec
 from repro.perf.lookup import ProfileTable
 from repro.perf.profiler import Profiler
-from repro.serving.config import ServerConfig
+from repro.serving.config import ServerConfig, config_with_fleet
 from repro.serving.deployment import (
     Deployment,
     build_deployment,
+    refleet_deployment,
     replan_deployment,
 )
 from repro.sim.cluster import (
@@ -57,7 +59,14 @@ from repro.sim.cluster import (
     ReconfigurationRecord,
     SimulationResult,
 )
-from repro.sim.hooks import SimulationObserver, WindowedMetrics, WindowStats
+from repro.sim.hooks import (
+    ServerPreempted,
+    ServerScaledIn,
+    ServerScaledOut,
+    SimulationObserver,
+    WindowedMetrics,
+    WindowStats,
+)
 from repro.sim.metrics import ServerStatistics
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 from repro.workload.query import Query
@@ -92,6 +101,16 @@ class SessionResult:
         windows: the windowed metric series of the run (empty when the
             session was opened with ``window=None``).
         trigger_firings: every trigger firing, in order.
+        fleet_events: every fleet-control-plane action of the run
+            (:class:`~repro.autoscale.timeline.FleetEvent`), in order; empty
+            unless an autoscaler, a preemption schedule or a manual fleet
+            mutation was involved.
+        fleet_windows: per-metrics-window fleet cost/availability rows
+            (:class:`~repro.autoscale.timeline.FleetWindow`); populated only
+            when the fleet control plane was active, so plain sessions stay
+            byte-identical to their pre-control-plane results.
+        fleet_cost: the run's total $-cost integral under
+            :data:`repro.gpu.cost.GPC_COST` (0.0 without the control plane).
     """
 
     deployment: Deployment
@@ -99,6 +118,9 @@ class SessionResult:
     sla_target: float
     windows: Tuple[WindowStats, ...] = ()
     trigger_firings: Tuple[TriggerFiring, ...] = ()
+    fleet_events: Tuple[Any, ...] = ()
+    fleet_windows: Tuple[Any, ...] = ()
+    fleet_cost: float = 0.0
 
     @property
     def reconfigurations(self) -> Tuple[ReconfigurationRecord, ...]:
@@ -125,9 +147,24 @@ class SessionResult:
         """Mean per-partition utilization."""
         return self.simulation.statistics.utilization.mean
 
+    @property
+    def mean_availability(self) -> float:
+        """Mean per-window fleet availability (1.0 without the control plane)."""
+        if not self.fleet_windows:
+            return 1.0
+        return sum(w.availability for w in self.fleet_windows) / len(
+            self.fleet_windows
+        )
+
     def summary(self) -> Dict[str, float]:
-        """Compact numeric summary for reports."""
-        return {
+        """Compact numeric summary for reports.
+
+        The fleet-control-plane keys (``fleet_cost``, ``mean_availability``,
+        ``final_servers``, ``fleet_events``) appear only when the run had a
+        fleet timeline, keeping plain sessions' summaries byte-identical to
+        their pre-control-plane shape.
+        """
+        summary = {
             "p95_latency_ms": self.p95_latency * 1e3,
             "mean_latency_ms": self.simulation.statistics.latency.mean * 1e3,
             "throughput_qps": self.throughput_qps,
@@ -139,6 +176,12 @@ class SessionResult:
                 sum(record.downtime for record in self.reconfigurations)
             ),
         }
+        if self.fleet_windows:
+            summary["fleet_cost"] = float(self.fleet_cost)
+            summary["mean_availability"] = float(self.mean_availability)
+            summary["final_servers"] = float(self.fleet_windows[-1].servers)
+            summary["fleet_events"] = float(len(self.fleet_events))
+        return summary
 
 
 #: Anything a session can run: a scenario, a concrete trace or a workload.
@@ -166,6 +209,16 @@ class ServingSession:
             seconds; ``None`` disables windowed metrics (and triggers).
         observers: extra lifecycle-event observers to attach to every run.
         execution_noise_std: relative log-normal noise on execution times.
+        autoscaler: optional :class:`~repro.autoscale.autoscaler.Autoscaler`
+            (or any object with the same ``reset``/``next_due``/``take_due``/
+            ``evaluate`` surface) driving whole-server scale-out/scale-in on
+            the trigger checkpoint grid.  Requires a fleet config and a
+            metrics window.
+        preemptions: optional
+            :class:`~repro.autoscale.preemption.PreemptionSchedule` (or a
+            sequence of :class:`~repro.autoscale.preemption.PreemptionEvent`)
+            of spot reclaims executed deterministically during the run.
+            Requires a fleet config and a metrics window.
     """
 
     def __init__(
@@ -181,6 +234,8 @@ class ServingSession:
         window: Optional[float] = 1.0,
         observers: Sequence[SimulationObserver] = (),
         execution_noise_std: float = 0.0,
+        autoscaler: Optional[Any] = None,
+        preemptions: Optional[Any] = None,
     ) -> None:
         if not isinstance(config, ServerConfig):
             builder = getattr(config, "build", None)
@@ -208,6 +263,21 @@ class ServingSession:
                 "pre-built single-architecture profiles would be silently "
                 "wrong — drop them"
             )
+        if (autoscaler is not None or preemptions) and not config.is_fleet:
+            raise ValueError(
+                "the fleet control plane (autoscaler/preemptions) scales "
+                "whole servers; pass a fleet config "
+                "(ServerConfig(fleet=[...]))"
+            )
+        if (autoscaler is not None or preemptions) and window is None:
+            raise ValueError(
+                "the fleet control plane accounts cost and availability per "
+                "metrics window; pass a window length instead of window=None"
+            )
+        if preemptions is not None and not hasattr(preemptions, "events"):
+            from repro.autoscale.preemption import PreemptionSchedule
+
+            preemptions = PreemptionSchedule(preemptions)
         self.config: ServerConfig = config
         self.profiler = profiler or Profiler(architecture=config.architecture)
         self.reconfig_cost = reconfig_cost
@@ -234,6 +304,15 @@ class ServingSession:
         self._firings: List[TriggerFiring] = []
         self._next_checkpoint: Optional[float] = None
         self._offered_load: Optional[float] = None
+        # fleet control plane (PR 7)
+        self.autoscaler = autoscaler
+        self.preemptions = preemptions
+        self._roster: Optional[FleetRoster] = None
+        self._fleet_events: List[Any] = []
+        self._fleet_log: List[Tuple[float, Tuple[FleetServerSpec, ...]]] = []
+        self._pending_removals: List[Tuple[float, Any]] = []
+        self._preempt_i = 0
+        self._sim_archs: Optional[set] = None
 
     @classmethod
     def from_deployment(cls, deployment: Deployment, **kwargs: Any) -> "ServingSession":
@@ -413,8 +492,42 @@ class ServingSession:
         self._sim = simulator
         self._firings = []
         self._last_reconfig_online = 0.0
-        self._next_checkpoint = self.trigger_interval if self.triggers else None
+        self._next_checkpoint = (
+            self.trigger_interval
+            if (self.triggers or self.autoscaler is not None)
+            else None
+        )
         self._offered_load = replay.arrival_rate()
+
+        # fleet control plane state (per run)
+        self._fleet_events = []
+        self._fleet_log = []
+        self._pending_removals = []
+        self._preempt_i = 0
+        if self.config.is_fleet:
+            # The simulator's per-architecture latency oracles are fixed at
+            # construction: only these architectures are servable mid-run.
+            self._sim_archs = (
+                set(deployment.arch_profiles)
+                if deployment.arch_profiles
+                else {self.config.architecture.name}
+            )
+        else:
+            self._sim_archs = None
+        if self._has_control:
+            self._roster = FleetRoster(self.config.fleet)
+            self._fleet_log = [(0.0, self._roster.specs)]
+            if self.autoscaler is not None:
+                self.autoscaler.reset(self._roster)
+                unit = self.autoscaler.scale_unit
+                if unit.architecture.name not in (self._sim_archs or ()):
+                    raise ValueError(
+                        f"the autoscaler's scale unit {unit.describe()} uses "
+                        f"architecture {unit.architecture.name}, which the "
+                        "running simulator cannot execute; mid-run additions "
+                        "are limited to architectures present in the fleet "
+                        f"at begin() ({sorted(self._sim_archs or ())})"
+                    )
 
         simulator.begin()
         simulator.submit_trace(replay)
@@ -473,20 +586,55 @@ class ServingSession:
             )
         simulator = self._sim
         assert simulator is not None
-        if not self.triggers:
+        if not self.triggers and not self._has_control:
             return simulator.run_until(time)
         interval = self.trigger_interval
-        assert interval is not None and self._next_checkpoint is not None
+        if not self._has_control:
+            assert interval is not None and self._next_checkpoint is not None
+            while simulator.pending_events:
+                checkpoint = self._next_checkpoint
+                if time is not None and checkpoint > time:
+                    # advance the remainder without crossing the next checkpoint
+                    simulator.run_until(time)
+                    break
+                simulator.run_until(checkpoint)
+                if not simulator.reconfiguring:
+                    self._evaluate_triggers(checkpoint)
+                self._next_checkpoint = checkpoint + interval
+            return simulator.now
+        # Fleet control plane: interleave the trigger checkpoint grid with
+        # the control plane's own due times (commission arrivals, preemption
+        # notices, pending removals).  Due mutations are deferred to the end
+        # of an in-flight reconfiguration — the simulator supports one
+        # staged reconfiguration at a time — by flooring them at its online
+        # time, which guarantees forward progress.
         while simulator.pending_events:
             checkpoint = self._next_checkpoint
-            if time is not None and checkpoint > time:
-                # advance the remainder without crossing the next checkpoint
+            due = self._next_control_due()
+            if due is not None and simulator.reconfiguring:
+                due = max(due, self._last_reconfig_online)
+            candidates = [t for t in (checkpoint, due) if t is not None]
+            if not candidates:
                 simulator.run_until(time)
                 break
-            simulator.run_until(checkpoint)
-            if not simulator.reconfiguring:
-                self._evaluate_triggers(checkpoint)
-            self._next_checkpoint = checkpoint + interval
+            target = min(candidates)
+            if time is not None and target > time:
+                simulator.run_until(time)
+                break
+            simulator.run_until(target)
+            if due is not None and target >= due:
+                # A drained simulator never reaches a due time beyond its
+                # last event — that control action is outside the horizon
+                # and must not fire (an out-of-horizon preemption would
+                # otherwise execute at the drain instant).
+                if simulator.pending_events or simulator.now >= due:
+                    self._apply_due_control(target)
+            if checkpoint is not None and target >= checkpoint:
+                if not simulator.reconfiguring:
+                    self._evaluate_triggers(checkpoint)
+                if self.autoscaler is not None and not simulator.reconfiguring:
+                    self._evaluate_autoscaler(checkpoint)
+                self._next_checkpoint = checkpoint + interval
         return simulator.now
 
     def finish(self) -> SessionResult:
@@ -538,12 +686,39 @@ class ServingSession:
     def _seal(self, simulation: SimulationResult) -> SessionResult:
         final_deployment = self._deployment
         assert final_deployment is not None
+        fleet_windows: Tuple[Any, ...] = ()
+        fleet_cost = 0.0
+        if (
+            (self._has_control or self._fleet_events)
+            and self._windowed is not None
+            and self._fleet_log
+        ):
+            from repro.autoscale.timeline import (
+                integrate_fleet_timeline,
+                timeline_cost,
+            )
+
+            horizon = max(
+                self._windowed.horizon(), self._fleet_log[-1][0]
+            )
+            fleet_windows = tuple(
+                integrate_fleet_timeline(
+                    self._fleet_log,
+                    self._windowed.downtime_intervals,
+                    self._windowed.window,
+                    horizon,
+                )
+            )
+            fleet_cost = timeline_cost(fleet_windows)
         result = SessionResult(
             deployment=final_deployment,
             simulation=simulation,
             sla_target=final_deployment.sla_target,
             windows=tuple(self._windowed.series()) if self._windowed else (),
             trigger_firings=tuple(self._firings),
+            fleet_events=tuple(self._fleet_events),
+            fleet_windows=fleet_windows,
+            fleet_cost=fleet_cost,
         )
         self._last_result = result
         return result
@@ -591,6 +766,322 @@ class ServingSession:
             self._firings.append(TriggerFiring(now, name, decision.reason))
             self.repartition(new_pdf)
             return
+
+    # ------------------------------------------------------------------ #
+    # fleet control plane (autoscaler, preemptions, manual elasticity)
+    # ------------------------------------------------------------------ #
+    @property
+    def _has_control(self) -> bool:
+        """True when an autoscaler or a preemption schedule is configured."""
+        return self.autoscaler is not None or bool(self.preemptions)
+
+    @property
+    def roster(self) -> FleetRoster:
+        """The fleet membership ledger (stable server ids).
+
+        Created at :meth:`begin` when the control plane is active, or
+        lazily from the configured fleet for manual between-run mutations.
+
+        Raises:
+            ValueError: on a non-fleet config.
+        """
+        if self._roster is None:
+            if not self.config.is_fleet:
+                raise ValueError(
+                    "fleet elasticity requires a fleet config "
+                    "(ServerConfig(fleet=[...]))"
+                )
+            self._roster = FleetRoster(self.config.fleet)
+        return self._roster
+
+    def fleet_events(self) -> Tuple[Any, ...]:
+        """Fleet-control-plane events recorded so far this run, in order."""
+        return tuple(self._fleet_events)
+
+    def scale_out(self, server: Any, reason: str = "manual") -> int:
+        """Add a whole server to the fleet and re-plan onto the new pool.
+
+        Mid-run this is a live repartition (the simulator drains, pays
+        :attr:`reconfig_cost`, comes back online on the bigger pool);
+        between runs it only rewrites the config/deployment.  Mid-run
+        additions must use an architecture the simulator could already
+        execute at :meth:`begin`.
+
+        Returns:
+            The new server's stable roster id.
+        """
+        spec = FleetServerSpec.coerce(server)
+        if (
+            self.running
+            and self._sim_archs is not None
+            and spec.architecture.name not in self._sim_archs
+        ):
+            raise ValueError(
+                f"cannot scale out {spec.describe()} mid-run: architecture "
+                f"{spec.architecture.name} was not in the fleet at begin() "
+                f"(servable: {sorted(self._sim_archs)}); start the run with "
+                "at least one server of each architecture you may add"
+            )
+        self._ensure_fleet_tracking()
+        server_id = self.roster.add(spec)
+        now = self.now
+        self._emit_control_event(
+            ServerScaledOut(
+                time=now, server_index=server_id, spec=spec.describe(), reason=reason
+            )
+        )
+        self._record_fleet_event(
+            "scale-out", now, server_index=server_id, spec=spec.describe(),
+            reason=reason,
+        )
+        self._refleet()
+        return server_id
+
+    def scale_in(self, server_id: Optional[int] = None, reason: str = "manual"):
+        """Drain a whole server out of the fleet and re-plan onto the rest.
+
+        Args:
+            server_id: the roster id to remove; default is the newest
+                member (LIFO).
+            reason: recorded on the fleet event.
+
+        Returns:
+            The removed server's :class:`~repro.gpu.fleet.FleetServerSpec`.
+
+        Raises:
+            KeyError: for an unknown/already-removed id.
+            ValueError: when removal would empty the fleet.
+        """
+        self._ensure_fleet_tracking()
+        roster = self.roster
+        if server_id is None:
+            server_id = roster.newest_id()
+        spec = roster.remove(server_id)
+        now = self.now
+        self._emit_control_event(
+            ServerScaledIn(
+                time=now, server_index=server_id, spec=spec.describe(), reason=reason
+            )
+        )
+        self._record_fleet_event(
+            "scale-in", now, server_index=server_id, spec=spec.describe(),
+            reason=reason,
+        )
+        self._refleet()
+        return spec
+
+    def preempt(self, server_id: int, notice: float = 0.0, reason: str = "spot reclaim"):
+        """Forcibly remove a server *now* (the spot-reclaim primitive).
+
+        Scheduled preemptions normally come from a
+        :class:`~repro.autoscale.preemption.PreemptionSchedule`; this is the
+        direct surface for tests and manual fault injection.
+
+        Returns:
+            The removed server's spec.
+        """
+        self._ensure_fleet_tracking()
+        spec = self.roster.remove(server_id)
+        now = self.now
+        self._emit_control_event(
+            ServerPreempted(
+                time=now, server_index=server_id, spec=spec.describe(), notice=notice
+            )
+        )
+        self._record_fleet_event(
+            "preempted", now, server_index=server_id, spec=spec.describe(),
+            reason=reason,
+        )
+        self._refleet()
+        return spec
+
+    def note_scale_request(self, now: float, spec: FleetServerSpec, reason: str) -> None:
+        """Record an autoscaler scale-out *request* (arrival still pending)."""
+        self._record_fleet_event(
+            "scale-out-requested", now, spec=spec.describe(), reason=reason
+        )
+
+    def _ensure_fleet_tracking(self) -> None:
+        """Make manual mid-run mutations billable even without a control plane."""
+        roster = self.roster  # materialises from the config on first use
+        if self.running and not self._fleet_log:
+            self._fleet_log = [(0.0, roster.specs)]
+
+    def _next_control_due(self) -> Optional[float]:
+        """Earliest pending control-plane time (commission/notice/removal)."""
+        due: Optional[float] = None
+        if self.autoscaler is not None:
+            due = self.autoscaler.next_due()
+        if self.preemptions is not None:
+            events = self.preemptions.events
+            if self._preempt_i < len(events):
+                notice_at = events[self._preempt_i].time
+                due = notice_at if due is None else min(due, notice_at)
+        if self._pending_removals:
+            removal = min(at for at, _ in self._pending_removals)
+            due = removal if due is None else min(due, removal)
+        return due
+
+    def _apply_due_control(self, now: float) -> None:
+        """Apply every control-plane item due by ``now`` (deterministic order).
+
+        Preemption notices first (bookkeeping only), then due removals,
+        then due commissions; all roster mutations land as **one** live
+        repartition, so a simultaneous loss and arrival pays one downtime.
+        """
+        roster = self.roster
+        if self.preemptions is not None:
+            events = self.preemptions.events
+            while self._preempt_i < len(events) and events[self._preempt_i].time <= now:
+                event = events[self._preempt_i]
+                self._preempt_i += 1
+                spec = (
+                    roster.spec_of(event.server_index).describe()
+                    if event.server_index in roster
+                    else ""
+                )
+                self._record_fleet_event(
+                    "preempt-notice",
+                    event.time,
+                    server_index=event.server_index,
+                    spec=spec,
+                    reason=f"{event.notice:g}s notice",
+                )
+                self._pending_removals.append((event.removal_time, event))
+        mutated = False
+        due_removals = sorted(
+            (r for r in self._pending_removals if r[0] <= now),
+            key=lambda r: (r[0], r[1].server_index),
+        )
+        if due_removals:
+            self._pending_removals = [
+                r for r in self._pending_removals if r[0] > now
+            ]
+        for _, event in due_removals:
+            if event.server_index not in roster:
+                self._record_fleet_event(
+                    "preempt-skipped", now, server_index=event.server_index,
+                    reason="server already removed",
+                )
+                continue
+            if len(roster) == 1:
+                self._record_fleet_event(
+                    "preempt-skipped", now, server_index=event.server_index,
+                    reason="would empty the fleet",
+                )
+                continue
+            spec = roster.remove(event.server_index)
+            self._emit_control_event(
+                ServerPreempted(
+                    time=now,
+                    server_index=event.server_index,
+                    spec=spec.describe(),
+                    notice=event.notice,
+                )
+            )
+            self._record_fleet_event(
+                "preempted", now, server_index=event.server_index,
+                spec=spec.describe(),
+                reason=f"spot reclaim ({event.notice:g}s notice)",
+            )
+            mutated = True
+        if self.autoscaler is not None:
+            for spec, reason in self.autoscaler.take_due(now):
+                server_id = roster.add(spec)
+                decisions = self.autoscaler.decisions
+                for i, decision in enumerate(decisions):
+                    if decision.action == "scale-out" and decision.server_index is None:
+                        # backfill the landed commission's roster id (commissions
+                        # land in decision order, so the first unfilled is ours)
+                        decisions[i] = dataclasses.replace(
+                            decision, server_index=server_id
+                        )
+                        break
+                self._emit_control_event(
+                    ServerScaledOut(
+                        time=now,
+                        server_index=server_id,
+                        spec=spec.describe(),
+                        reason=reason,
+                    )
+                )
+                self._record_fleet_event(
+                    "scale-out", now, server_index=server_id,
+                    spec=spec.describe(), reason=reason,
+                )
+                mutated = True
+        if mutated:
+            self._refleet()
+
+    def _evaluate_autoscaler(self, now: float) -> None:
+        assert self._windowed is not None
+        context = TriggerContext(
+            now=now,
+            planned_pdf=self._planned_pdf or {},
+            metrics=self._windowed,
+            time_since_reconfig=now - self._last_reconfig_online,
+            deployment=self._deployment,
+        )
+        self.autoscaler.evaluate(self, context)
+
+    def _refleet(self) -> None:
+        """Re-plan the deployment onto the roster's current composition."""
+        roster = self.roster
+        new_config = config_with_fleet(self.config, roster.specs)
+        deployment = self._deployment
+        if deployment is None:
+            # nothing deployed yet: the next deploy() picks the new fleet up
+            self.config = new_config
+            return
+        pdf = self._planned_pdf
+        assert pdf is not None
+        replanned = refleet_deployment(deployment, new_config, pdf)
+        if self.running:
+            assert self._sim is not None
+            self._last_reconfig_online = self._sim.reconfigure(
+                replanned.instances, self.reconfig_cost
+            )
+            replanned = dataclasses.replace(
+                replanned, instances=self._sim.pending_instances
+            )
+            # Billing follows the *serving* composition: the mutation's
+            # downtime bills at the old composition (you pay for the pool
+            # while it drains), and the new pool starts billing when it
+            # comes online.
+            self._fleet_log.append((self._last_reconfig_online, roster.specs))
+        self.config = new_config
+        self._deployment = replanned
+
+    def _record_fleet_event(
+        self,
+        kind: str,
+        time: float,
+        *,
+        server_index: Optional[int] = None,
+        spec: str = "",
+        reason: str = "",
+    ) -> None:
+        from repro.autoscale.timeline import FleetEvent
+
+        roster = self.roster
+        self._fleet_events.append(
+            FleetEvent(
+                time=time,
+                kind=kind,
+                server_index=server_index,
+                spec=spec,
+                reason=reason,
+                fleet=roster.describe(),
+                total_gpcs=sum(s.effective_gpc_budget for s in roster.specs),
+            )
+        )
+
+    def _emit_control_event(self, event: Any) -> None:
+        """Deliver a control-plane hook event to the extra observers."""
+        for observer in self._observers:
+            on_event = getattr(observer, "on_event", None)
+            if on_event is not None:
+                on_event(event)
 
     # ------------------------------------------------------------------ #
     # introspection

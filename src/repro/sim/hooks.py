@@ -24,7 +24,11 @@ Events published per run:
 * :class:`QueryDropped` — reserved for load-shedding policies (the built-in
   simulator never drops work);
 * :class:`ReconfigStarted` / :class:`ReconfigFinished` — a live MIG
-  repartition began draining / came back online.
+  repartition began draining / came back online;
+* :class:`ServerScaledOut` / :class:`ServerScaledIn` /
+  :class:`ServerPreempted` — the fleet control plane
+  (:mod:`repro.autoscale`) added, drained or lost a whole server; emitted
+  by the serving session rather than the simulator.
 
 Observers subclass :class:`SimulationObserver` and override any subset of the
 ``on_*`` handlers; unknown events are ignored, so observers stay forward
@@ -127,6 +131,42 @@ class ReconfigFinished(SimEvent):
     downtime: float
 
 
+@dataclass(slots=True)
+class ServerScaledOut(SimEvent):
+    """The autoscaler commissioned a whole server into the fleet.
+
+    Emitted by the serving session's control plane (not the simulator) when a
+    scale-out decision's provisioning lead time elapses and the new server
+    joins the pool.
+    """
+
+    server_index: int
+    spec: str
+    reason: str
+
+
+@dataclass(slots=True)
+class ServerScaledIn(SimEvent):
+    """The autoscaler drained a whole server out of the fleet."""
+
+    server_index: int
+    spec: str
+    reason: str
+
+
+@dataclass(slots=True)
+class ServerPreempted(SimEvent):
+    """A spot-instance preemption removed a server from the fleet.
+
+    ``notice`` is the warning the provider gave before reclaiming the
+    capacity (seconds between the preemption notice and this removal).
+    """
+
+    server_index: int
+    spec: str
+    notice: float
+
+
 # --------------------------------------------------------------------------- #
 # the observer interface
 # --------------------------------------------------------------------------- #
@@ -141,6 +181,9 @@ _HANDLERS = {
     QueryDropped: "on_query_dropped",
     ReconfigStarted: "on_reconfig_started",
     ReconfigFinished: "on_reconfig_finished",
+    ServerScaledOut: "on_server_scaled_out",
+    ServerScaledIn: "on_server_scaled_in",
+    ServerPreempted: "on_server_preempted",
 }
 
 
@@ -185,6 +228,15 @@ class SimulationObserver:
 
     def on_reconfig_finished(self, event: ReconfigFinished) -> None:
         """A live repartition finished."""
+
+    def on_server_scaled_out(self, event: ServerScaledOut) -> None:
+        """The control plane commissioned a server into the fleet."""
+
+    def on_server_scaled_in(self, event: ServerScaledIn) -> None:
+        """The control plane drained a server out of the fleet."""
+
+    def on_server_preempted(self, event: ServerPreempted) -> None:
+        """A spot preemption removed a server from the fleet."""
 
 
 def build_dispatch_table(observers) -> Dict[type, Tuple]:
@@ -748,3 +800,29 @@ class WindowedMetrics(SimulationObserver):
             violations += bucket.violations
             sla_count += bucket.sla_count
         return violations, sla_count
+
+    def horizon(self) -> float:
+        """The last observed event time, in either operating mode.
+
+        The fleet-timeline integration (:mod:`repro.autoscale.timeline`)
+        uses this as the end of the billing period.
+        """
+        if self._columns is not None:
+            return self._columnar_horizon(self._columnar_state())
+        return self._last_event_time
+
+    def backlog(self) -> int:
+        """Queries that arrived but have not completed yet (queue depth).
+
+        Exactly equal between the event-driven and columnar modes: both
+        count announced arrivals minus recorded completions, the integer
+        invariant the scale-out triggers key on.
+        """
+        if self._columns is not None:
+            _, _, _, _, seen, completed = self._columnar_state()
+            return int(seen.sum()) - int(completed.sum())
+        arrivals = completions = 0
+        for bucket in self._buckets.values():
+            arrivals += bucket.arrivals
+            completions += bucket.completions
+        return arrivals - completions

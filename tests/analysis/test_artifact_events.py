@@ -1,0 +1,62 @@
+"""Artifact digestion of interleaved fleet-event rows in windows.ndjson."""
+
+import json
+
+from repro.analysis.artifacts import load_job, window_series
+
+SPEC = {
+    "job_id": "job-0001",
+    "tenant": "team",
+    "scenario": "diurnal",
+    "quota_gpcs": 8,
+}
+
+WINDOW_ROW = {"index": 0, "start": 0.0, "end": 1.0, "throughput_qps": 50.0}
+
+FLEET_ROW = {
+    "type": "fleet-event",
+    "time": 0.4,
+    "kind": "scale-out",
+    "server_index": 1,
+    "spec": "2xA100-SXM4-40GB(12)",
+    "reason": "backlog",
+    "fleet": "0:2xA100-SXM4-40GB(12) + 1:2xA100-SXM4-40GB(12)",
+    "total_gpcs": 24,
+}
+
+
+def write_artifact(job_dir, rows):
+    job_dir.mkdir(parents=True)
+    (job_dir / "job.json").write_text(json.dumps(SPEC))
+    with open(job_dir / "windows.ndjson", "w") as stream:
+        for row in rows:
+            stream.write(json.dumps(row) + "\n")
+
+
+class TestFleetEventPartitioning:
+    def test_interleaved_rows_are_partitioned_by_type(self, tmp_path):
+        second_window = {**WINDOW_ROW, "index": 1, "start": 1.0, "end": 2.0}
+        write_artifact(
+            tmp_path / "job-0001", [WINDOW_ROW, FLEET_ROW, second_window]
+        )
+        run = load_job(tmp_path / "job-0001")
+        assert len(run.windows) == 2
+        assert len(run.fleet_events) == 1
+        assert run.fleet_events[0]["kind"] == "scale-out"
+        assert all("type" not in row for row in run.windows)
+
+    def test_window_series_ignores_fleet_events(self, tmp_path):
+        # before partitioning, a fleet row poisoned every metric lookup
+        write_artifact(tmp_path / "job-0001", [WINDOW_ROW, FLEET_ROW])
+        run = load_job(tmp_path / "job-0001")
+        assert window_series(run, "throughput_qps") == [(0.0, 50.0)]
+
+    def test_run_table_window_count_excludes_fleet_events(self, tmp_path):
+        write_artifact(tmp_path / "job-0001", [WINDOW_ROW, FLEET_ROW])
+        run = load_job(tmp_path / "job-0001")
+        assert run.row()[5] == 1  # the "windows" column
+
+    def test_artifact_without_fleet_events_stays_empty(self, tmp_path):
+        write_artifact(tmp_path / "job-0001", [WINDOW_ROW])
+        run = load_job(tmp_path / "job-0001")
+        assert run.fleet_events == ()

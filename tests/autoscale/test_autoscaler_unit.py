@@ -1,0 +1,216 @@
+"""Autoscaler policy unit tests over a stub session (no simulator)."""
+
+import pytest
+
+from repro.autoscale.autoscaler import Autoscaler, ScaleDecision
+from repro.core.triggers import (
+    RepartitionTrigger,
+    TriggerContext,
+    TriggerDecision,
+)
+from repro.gpu.fleet import FleetRoster, FleetServerSpec
+from repro.sim.hooks import WindowedMetrics
+
+UNIT = (2, "a100", 14)
+
+
+class ForcedTrigger(RepartitionTrigger):
+    """Fires a fixed action on every evaluation."""
+
+    def __init__(self, action, name="forced"):
+        self.action = action
+        self.name = name
+
+    def evaluate(self, context):
+        return TriggerDecision(fire=True, reason="forced", action=self.action)
+
+
+class HoldTrigger(RepartitionTrigger):
+    name = "hold"
+
+    def evaluate(self, context):
+        return TriggerDecision.hold("hold")
+
+
+class StubSession:
+    """The slice of the ServingSession surface the autoscaler drives."""
+
+    def __init__(self, servers):
+        self.roster = FleetRoster(servers)
+        self.scale_requests = []
+        self.scaled_in = []
+
+    def note_scale_request(self, now, spec, reason):
+        self.scale_requests.append((now, spec.describe(), reason))
+
+    def scale_in(self, server_id, reason=""):
+        self.scaled_in.append((server_id, reason))
+        return self.roster.remove(server_id)
+
+
+def context(now=10.0):
+    return TriggerContext(
+        now=now,
+        planned_pdf={1: 1.0},
+        metrics=WindowedMetrics(window=1.0),
+        time_since_reconfig=now,
+    )
+
+
+class TestValidation:
+    def test_rejects_empty_trigger_list(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Autoscaler(UNIT, triggers=[])
+
+    def test_rejects_inverted_server_bounds(self):
+        with pytest.raises(ValueError, match="max_servers"):
+            Autoscaler(UNIT, min_servers=4, max_servers=2)
+        with pytest.raises(ValueError, match="min_servers"):
+            Autoscaler(UNIT, min_servers=0)
+
+    def test_rejects_negative_lead_times(self):
+        with pytest.raises(ValueError, match="lead_time"):
+            Autoscaler(UNIT, lead_time=-1.0)
+        with pytest.raises(ValueError, match="lead_times"):
+            Autoscaler(UNIT, lead_times={"A30": -0.5})
+
+
+class TestScaleOut:
+    def test_enqueues_a_commission_after_the_lead_time(self):
+        scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("scale-out")], lead_time=5.0)
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        decision = scaler.evaluate(session, context(now=10.0))
+        assert decision.action == "scale-out"
+        assert decision.due == 15.0
+        assert decision.server_index is None  # lands when the lead elapses
+        assert scaler.next_due() == 15.0
+        assert session.scale_requests == [(10.0, FleetServerSpec.coerce(UNIT).describe(), "forced")]
+        # nothing due yet, then the commission pops exactly once
+        assert scaler.take_due(14.9) == []
+        taken = scaler.take_due(15.0)
+        assert [spec.describe() for spec, _ in taken] == [
+            FleetServerSpec.coerce(UNIT).describe()
+        ]
+        assert scaler.next_due() is None
+
+    def test_take_due_returns_commissions_in_decision_order(self):
+        scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("scale-out")], lead_time=1.0)
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        scaler.evaluate(session, context(now=1.0))
+        scaler.evaluate(session, context(now=2.0))
+        reasons = scaler.take_due(10.0)
+        assert len(reasons) == 2
+        assert scaler.next_due() is None
+
+    def test_max_servers_counts_pending_commissions(self):
+        scaler = Autoscaler(
+            UNIT, triggers=[ForcedTrigger("scale-out")], max_servers=2, lead_time=5.0
+        )
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        assert scaler.evaluate(session, context(now=1.0)) is not None
+        # 1 live + 1 pending == max: the next ask must hold
+        assert scaler.evaluate(session, context(now=2.0)) is None
+        assert len(scaler.pending) == 1
+
+    def test_per_architecture_lead_time_override(self):
+        scaler = Autoscaler(
+            (1, "a30"),
+            triggers=[ForcedTrigger("scale-out")],
+            lead_time=10.0,
+            lead_times={"A30": 2.0},
+        )
+        assert scaler.lead_time_for(FleetServerSpec.coerce((1, "a30"))) == 2.0
+        assert scaler.lead_time_for(FleetServerSpec.coerce(UNIT)) == 10.0
+
+    def test_cooldown_blocks_back_to_back_decisions(self):
+        scaler = Autoscaler(
+            UNIT, triggers=[ForcedTrigger("scale-out")], cooldown=5.0, max_servers=8
+        )
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        assert scaler.evaluate(session, context(now=1.0)) is not None
+        assert scaler.evaluate(session, context(now=3.0)) is None
+        assert scaler.evaluate(session, context(now=6.0)) is not None
+
+
+class TestScaleIn:
+    def test_removes_autoscaler_added_servers_lifo(self):
+        scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("scale-in")])
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)  # base ids: (0,)
+        first_added = session.roster.add(UNIT)   # id 1
+        second_added = session.roster.add(UNIT)  # id 2
+        decision = scaler.evaluate(session, context())
+        assert decision.action == "scale-in"
+        assert decision.server_index == second_added
+        assert session.scaled_in == [(second_added, "forced")]
+        decision = scaler.evaluate(session, context())
+        assert decision.server_index == first_added
+
+    def test_base_fleet_is_a_floor_unless_shrink_base(self):
+        session = StubSession([UNIT, UNIT])
+        held = Autoscaler(UNIT, triggers=[ForcedTrigger("scale-in")])
+        held.reset(session.roster)
+        assert held.evaluate(session, context()) is None  # only base servers
+
+        shrink = Autoscaler(
+            UNIT, triggers=[ForcedTrigger("scale-in")], shrink_base=True
+        )
+        shrink.reset(session.roster)
+        decision = shrink.evaluate(session, context())
+        assert decision.server_index == 1  # the newest base member
+
+    def test_min_servers_blocks_the_last_removal(self):
+        session = StubSession([UNIT])
+        scaler = Autoscaler(
+            UNIT, triggers=[ForcedTrigger("scale-in")], shrink_base=True
+        )
+        scaler.reset(session.roster)
+        assert scaler.evaluate(session, context()) is None
+        assert session.scaled_in == []
+
+
+class TestEvaluation:
+    def test_repartition_actions_are_ignored(self):
+        scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("repartition")])
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        assert scaler.evaluate(session, context()) is None
+
+    def test_unknown_action_is_rejected_loudly(self):
+        scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("explode")])
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        with pytest.raises(ValueError, match="unknown action"):
+            scaler.evaluate(session, context())
+
+    def test_first_firing_trigger_wins(self):
+        scaler = Autoscaler(
+            UNIT,
+            triggers=[HoldTrigger(), ForcedTrigger("scale-out", name="second")],
+        )
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        decision = scaler.evaluate(session, context())
+        assert decision.trigger == "second"
+
+    def test_reset_clears_decisions_and_pending(self):
+        scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("scale-out")])
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        scaler.evaluate(session, context())
+        assert scaler.decisions and scaler.pending
+        scaler.reset(session.roster)
+        assert scaler.decisions == [] and scaler.pending == ()
+
+    def test_decisions_are_recorded_in_order(self):
+        scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("scale-out")])
+        session = StubSession([UNIT])
+        scaler.reset(session.roster)
+        scaler.evaluate(session, context(now=1.0))
+        scaler.evaluate(session, context(now=2.0))
+        assert [d.time for d in scaler.decisions] == [1.0, 2.0]
+        assert all(isinstance(d, ScaleDecision) for d in scaler.decisions)

@@ -1,0 +1,44 @@
+"""The public $-cost model: gpu/cost.py and its analysis re-export."""
+
+import pytest
+
+from repro.gpu.cost import GPC_COST, fleet_gpc_cost
+from repro.gpu.fleet import FleetServerSpec
+
+
+class TestGpcCostTable:
+    def test_a100_40gb_is_the_unit(self):
+        assert GPC_COST["A100-SXM4-40GB"] == 1.0
+
+    def test_covers_every_builtin_architecture(self):
+        from repro.gpu.architecture import ARCHITECTURES
+
+        for arch in ARCHITECTURES.values():
+            assert arch.name in GPC_COST
+
+    def test_analysis_reexport_is_the_same_object(self):
+        # PR 5 grew these weights inside analysis/experiments.py; the move
+        # to gpu/cost.py must keep the old import path alive and aliased
+        from repro.analysis import experiments
+
+        assert experiments.GPC_COST is GPC_COST
+
+
+class TestFleetGpcCost:
+    def test_weights_budgets_by_architecture(self):
+        fleet = [(2, "a100", 14), (1, "h100", 7), (1, "a30", 4)]
+        assert fleet_gpc_cost(fleet) == pytest.approx(
+            14 * 1.0 + 7 * GPC_COST["H100-SXM5-80GB"] + 4 * GPC_COST["A30"]
+        )
+
+    def test_accepts_specs_and_tuples_identically(self):
+        tuples = [(2, "a100", 10), (2, "a100-80gb", 8)]
+        specs = [FleetServerSpec.coerce(t) for t in tuples]
+        assert fleet_gpc_cost(tuples) == fleet_gpc_cost(specs)
+
+    def test_defaults_to_the_full_physical_budget(self):
+        # (1, "a100") with no explicit cap bills all 7 physical GPCs
+        assert fleet_gpc_cost([(1, "a100")]) == pytest.approx(7.0)
+
+    def test_empty_fleet_costs_nothing(self):
+        assert fleet_gpc_cost([]) == 0.0

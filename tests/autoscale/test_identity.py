@@ -1,0 +1,114 @@
+"""Inert-control identity: the control plane must add capability, not drift.
+
+A fleet session whose control plane never mutates anything (no autoscaler
+decision fires, no preemption lands inside the horizon) must reproduce the
+plain session's simulation bit-for-bit — the control loop only adds
+checkpoints, never behavior.  And a control-plane run chopped into
+arbitrary ``run_until`` steps must match its one-shot ``run()`` exactly.
+"""
+
+import pytest
+
+from repro.autoscale.autoscaler import Autoscaler
+from repro.autoscale.preemption import PreemptionEvent, PreemptionSchedule
+from repro.serving.config import ServerConfig
+from repro.serving.session import ServingSession
+from repro.workload.generator import WorkloadConfig
+
+FLEET = ((2, "a100", 12), (2, "a100", 12))
+
+WORKLOAD = WorkloadConfig(
+    model="mobilenet", rate_qps=300.0, num_queries=600, seed=21
+)
+
+
+def fleet_session(**kwargs):
+    kwargs.setdefault("window", 0.25)
+    kwargs.setdefault("reconfig_cost", 0.05)
+    return ServingSession(ServerConfig(model="mobilenet", fleet=FLEET), **kwargs)
+
+
+def query_signature(result):
+    return [
+        (q.query_id, q.dispatch_time, q.start_time, q.finish_time, q.instance_id)
+        for q in result.simulation.queries
+    ]
+
+
+def assert_simulation_identical(controlled, plain):
+    assert query_signature(controlled) == query_signature(plain)
+    assert controlled.simulation.statistics == plain.simulation.statistics
+    assert controlled.windows == plain.windows
+    assert controlled.trigger_firings == plain.trigger_firings
+
+
+class TestInertControlIdentity:
+    def test_out_of_horizon_preemption_changes_nothing(self):
+        plain = fleet_session().run(WORKLOAD)
+        schedule = PreemptionSchedule(
+            [PreemptionEvent(time=1e9, server_index=0)]
+        )
+        controlled = fleet_session(preemptions=schedule).run(WORKLOAD)
+        assert_simulation_identical(controlled, plain)
+        # the control plane was active, so billing rows exist — but no
+        # event ever fired and the composition never changed
+        assert controlled.fleet_events == ()
+        assert controlled.fleet_windows
+        assert all(w.servers == 2 for w in controlled.fleet_windows)
+        # the plain session stays byte-identical to its pre-control shape
+        assert plain.fleet_events == ()
+        assert plain.fleet_windows == ()
+        assert plain.fleet_cost == 0.0
+        assert "fleet_cost" not in plain.summary()
+        assert "fleet_cost" in controlled.summary()
+
+    def test_never_firing_autoscaler_changes_nothing(self):
+        plain = fleet_session().run(WORKLOAD)
+        scaler = Autoscaler(
+            (2, "a100", 12),
+            triggers=[
+                ("scale-out-sla", {"threshold": 0.99, "min_queries": 10**6})
+            ],
+        )
+        controlled = fleet_session(autoscaler=scaler).run(WORKLOAD)
+        assert_simulation_identical(controlled, plain)
+        assert scaler.decisions == []
+        assert controlled.fleet_events == ()
+        assert controlled.mean_availability == 1.0
+
+    def test_plain_session_summary_shape_is_unchanged(self):
+        summary = fleet_session().run(WORKLOAD).summary()
+        assert set(summary) == {
+            "p95_latency_ms",
+            "mean_latency_ms",
+            "throughput_qps",
+            "sla_violation_rate",
+            "mean_utilization",
+            "sla_target_ms",
+            "reconfigurations",
+            "total_downtime_s",
+        }
+
+
+class TestChunkedControlIdentity:
+    SCHEDULE = PreemptionSchedule(
+        [PreemptionEvent(time=0.6, server_index=1, notice=0.1)]
+    )
+
+    @pytest.mark.parametrize("step", [0.2, 0.55, 3.0])
+    def test_chunked_run_matches_one_shot_with_preemptions(self, step):
+        one_shot = fleet_session(preemptions=self.SCHEDULE).run(WORKLOAD)
+
+        session = fleet_session(preemptions=self.SCHEDULE)
+        session.begin(WORKLOAD)
+        target = step
+        while session.pending_events:
+            session.run_until(target)
+            target += step
+        chunked = session.finish()
+
+        assert query_signature(chunked) == query_signature(one_shot)
+        assert chunked.fleet_events == one_shot.fleet_events
+        assert chunked.fleet_windows == one_shot.fleet_windows
+        assert chunked.fleet_cost == one_shot.fleet_cost
+        assert chunked.windows == one_shot.windows

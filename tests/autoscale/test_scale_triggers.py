@@ -1,0 +1,141 @@
+"""The scale trigger family: action-tagged decisions for the autoscaler."""
+
+import pytest
+
+from repro.core.triggers import (
+    ScaleInIdleTrigger,
+    ScaleOutBacklogTrigger,
+    ScaleOutSlaTrigger,
+    TriggerContext,
+    TriggerDecision,
+    build_trigger,
+    resolve_triggers,
+)
+from repro.sim.hooks import QueryArrived, QueryCompleted, WindowedMetrics
+from repro.workload.query import Query
+
+
+def metrics_with(
+    *, arrivals=0, completed=0, violated=0, window=1.0, time=0.1
+):
+    """WindowedMetrics primed with arrivals and (possibly violating)
+    completions; ``arrivals - completed`` is the live frontend backlog."""
+    metrics = WindowedMetrics(window=window)
+    for idx in range(arrivals):
+        query = Query(
+            query_id=idx, model="toy", batch=4, arrival_time=time, sla_target=1.0
+        )
+        metrics.on_event(QueryArrived(time, query))
+        if idx < completed:
+            query.start_time = time
+            query.finish_time = time + (2.0 if idx < violated else 0.5)
+            metrics.on_event(QueryCompleted(query.finish_time, query, 0))
+    return metrics
+
+
+def context(metrics, now=5.0, since_reconfig=100.0):
+    return TriggerContext(
+        now=now,
+        planned_pdf={4: 1.0},
+        metrics=metrics,
+        time_since_reconfig=since_reconfig,
+    )
+
+
+class TestActionField:
+    def test_default_action_is_repartition(self):
+        assert TriggerDecision(fire=True).action == "repartition"
+        assert TriggerDecision.hold().action == "repartition"
+
+    def test_registry_resolves_the_scale_family(self):
+        triggers = resolve_triggers(
+            ["scale-out-sla", "scale-out-backlog", "scale-in-idle"]
+        )
+        assert [t.name for t in triggers] == [
+            "scale-out-sla",
+            "scale-out-backlog",
+            "scale-in-idle",
+        ]
+
+
+class TestScaleOutSla:
+    def test_fires_scale_out_above_threshold(self):
+        trigger = ScaleOutSlaTrigger(threshold=0.2, min_queries=5, lookback_windows=3)
+        metrics = metrics_with(arrivals=10, completed=10, violated=5, window=10.0)
+        decision = trigger.evaluate(context(metrics))
+        assert decision.fire
+        assert decision.action == "scale-out"
+        assert "violation rate" in decision.reason
+
+    def test_holds_below_threshold_and_in_warmup(self):
+        trigger = ScaleOutSlaTrigger(threshold=0.9, min_queries=5, lookback_windows=3)
+        metrics = metrics_with(arrivals=10, completed=10, violated=1, window=10.0)
+        assert not trigger.evaluate(context(metrics)).fire
+        hot = ScaleOutSlaTrigger(threshold=0.1, min_queries=5, lookback_windows=3)
+        warmup = trigger.evaluate(context(metrics, since_reconfig=0.0))
+        assert not warmup.fire and "reconfiguration" in warmup.reason
+        assert not hot.evaluate(
+            context(metrics_with(arrivals=2, completed=2, violated=2, window=10.0))
+        ).fire  # below min_queries
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleOutSlaTrigger(threshold=1.0)
+        with pytest.raises(ValueError):
+            ScaleOutSlaTrigger(lookback_windows=0)
+
+
+class TestScaleOutBacklog:
+    def test_fires_on_deep_backlog(self):
+        trigger = ScaleOutBacklogTrigger(max_backlog=5, lookback_windows=1)
+        metrics = metrics_with(arrivals=20, completed=4, window=10.0)
+        decision = trigger.evaluate(context(metrics))
+        assert decision.fire
+        assert decision.action == "scale-out"
+        assert "backlog 16" in decision.reason
+
+    def test_holds_at_or_below_the_mark(self):
+        trigger = ScaleOutBacklogTrigger(max_backlog=16, lookback_windows=1)
+        metrics = metrics_with(arrivals=20, completed=4, window=10.0)
+        assert not trigger.evaluate(context(metrics)).fire
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleOutBacklogTrigger(max_backlog=0)
+
+
+class TestScaleInIdle:
+    def test_fires_when_quiet_and_drained(self):
+        trigger = ScaleInIdleTrigger(
+            max_violation_rate=0.05, max_backlog=2, min_queries=5, lookback_windows=3
+        )
+        metrics = metrics_with(arrivals=10, completed=10, violated=0, window=10.0)
+        decision = trigger.evaluate(context(metrics))
+        assert decision.fire
+        assert decision.action == "scale-in"
+
+    def test_holds_on_violations_even_with_empty_queue(self):
+        trigger = ScaleInIdleTrigger(
+            max_violation_rate=0.05, max_backlog=64, min_queries=5, lookback_windows=3
+        )
+        metrics = metrics_with(arrivals=10, completed=10, violated=5, window=10.0)
+        assert not trigger.evaluate(context(metrics)).fire
+
+    def test_holds_on_backlog_even_when_quiet(self):
+        trigger = ScaleInIdleTrigger(
+            max_violation_rate=0.5, max_backlog=2, min_queries=5, lookback_windows=3
+        )
+        metrics = metrics_with(arrivals=20, completed=10, violated=0, window=10.0)
+        assert not trigger.evaluate(context(metrics)).fire
+
+    def test_empty_lookback_is_not_overprovisioning_evidence(self):
+        trigger = ScaleInIdleTrigger(min_queries=5, lookback_windows=3)
+        metrics = metrics_with(arrivals=0, window=10.0)
+        decision = trigger.evaluate(context(metrics))
+        assert not decision.fire
+        assert "recent SLA queries" in decision.reason
+
+    def test_build_trigger_forwards_options(self):
+        trigger = build_trigger("scale-in-idle", max_backlog=3, min_queries=7)
+        assert trigger.max_backlog == 3
+        assert trigger.min_queries == 7

@@ -1,0 +1,117 @@
+"""Fleet-timeline integration: per-window cost, availability, edge cases."""
+
+import pytest
+
+from repro.autoscale.timeline import (
+    EVENT_KINDS,
+    FleetEvent,
+    integrate_fleet_timeline,
+    static_fleet_cost,
+    timeline_cost,
+)
+
+#: 2xA100(14): cost rate 14.0 under GPC_COST (A100-40GB is the unit).
+SMALL = (2, "a100", 14)
+#: An extra identical server doubles the rate.
+DOUBLE = [SMALL, SMALL]
+
+
+class TestSingleComposition:
+    def test_constant_fleet_integrates_rate_times_time(self):
+        windows = integrate_fleet_timeline([(0.0, [SMALL])], [], 1.0, 2.5)
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert [(w.start, w.end) for w in windows] == [(0, 1), (1, 2), (2, 2.5)]
+        assert windows[0].cost == pytest.approx(14.0)
+        assert windows[2].cost == pytest.approx(7.0)  # clipped to the horizon
+        assert all(w.servers == 1 and w.gpcs == 14 for w in windows)
+        assert all(w.availability == 1.0 for w in windows)
+        assert timeline_cost(windows) == pytest.approx(14.0 * 2.5)
+
+    def test_horizon_at_or_below_zero_yields_nothing(self):
+        assert integrate_fleet_timeline([(0.0, [SMALL])], [], 1.0, 0.0) == []
+        assert integrate_fleet_timeline([(0.0, [SMALL])], [], 1.0, -1.0) == []
+
+
+class TestCompositionChanges:
+    def test_mid_window_change_splits_the_integral(self):
+        history = [(0.0, [SMALL]), (0.5, DOUBLE)]
+        (window,) = integrate_fleet_timeline(history, [], 1.0, 1.0)
+        assert window.planned_gpc_seconds == pytest.approx(14 * 0.5 + 28 * 0.5)
+        assert window.cost == pytest.approx(14 * 0.5 + 28 * 0.5)
+        # end-of-window composition is the doubled fleet
+        assert window.servers == 2
+        assert window.gpcs == 28
+
+    def test_change_at_exact_window_end_lands_in_the_next_window(self):
+        history = [(0.0, [SMALL]), (1.0, DOUBLE)]
+        first, second = integrate_fleet_timeline(history, [], 1.0, 2.0)
+        assert first.cost == pytest.approx(14.0)
+        assert first.servers == 1
+        assert second.cost == pytest.approx(28.0)
+        assert second.servers == 2
+
+    def test_unsorted_history_is_sorted_before_integration(self):
+        history = [(0.5, DOUBLE), (0.0, [SMALL])]
+        (window,) = integrate_fleet_timeline(history, [], 1.0, 1.0)
+        assert window.cost == pytest.approx(14 * 0.5 + 28 * 0.5)
+
+
+class TestDowntime:
+    def test_downtime_zeroes_delivered_but_not_cost(self):
+        # capacity is billed through reconfiguration downtime: the fleet
+        # still exists while it drains and re-carves
+        (window,) = integrate_fleet_timeline(
+            [(0.0, [SMALL])], [(0.2, 0.7)], 1.0, 1.0
+        )
+        assert window.planned_gpc_seconds == pytest.approx(14.0)
+        assert window.delivered_gpc_seconds == pytest.approx(14 * 0.5)
+        assert window.availability == pytest.approx(0.5)
+        assert window.cost == pytest.approx(14.0)
+
+    def test_downtime_outside_the_window_is_ignored(self):
+        (window,) = integrate_fleet_timeline(
+            [(0.0, [SMALL])], [(5.0, 6.0)], 1.0, 1.0
+        )
+        assert window.availability == 1.0
+
+
+class TestValidation:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            integrate_fleet_timeline([(0.0, [SMALL])], [], 0.0, 1.0)
+
+    def test_rejects_empty_history(self):
+        with pytest.raises(ValueError, match="initial fleet"):
+            integrate_fleet_timeline([], [], 1.0, 1.0)
+
+    def test_rejects_history_not_starting_at_zero(self):
+        with pytest.raises(ValueError, match="time 0"):
+            integrate_fleet_timeline([(0.5, [SMALL])], [], 1.0, 1.0)
+
+
+class TestStaticCost:
+    def test_static_fleet_pays_full_rate_for_the_duration(self):
+        assert static_fleet_cost(DOUBLE, 10.0) == pytest.approx(280.0)
+        assert static_fleet_cost(DOUBLE, 0.0) == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            static_fleet_cost(DOUBLE, -1.0)
+
+
+class TestFleetEvent:
+    def test_to_dict_is_typed_for_ndjson_partitioning(self):
+        event = FleetEvent(
+            time=1.5,
+            kind="scale-out",
+            server_index=2,
+            spec="2xA100-SXM4-40GB(14)",
+            reason="backlog",
+            fleet="0:2xA100-SXM4-40GB(14) + 2:2xA100-SXM4-40GB(14)",
+            total_gpcs=28,
+        )
+        row = event.to_dict()
+        assert row["type"] == "fleet-event"
+        assert row["kind"] in EVENT_KINDS
+        assert row["server_index"] == 2
+        assert row["total_gpcs"] == 28

@@ -1,0 +1,146 @@
+"""Tenant SLA classes: admission priority over the shared fleet pool."""
+
+import asyncio
+
+import pytest
+
+from repro.daemon.jobs import SLA_CLASSES, JobManager, JobSpec, JobState
+from repro.daemon.tenants import FleetPool
+from repro.serving.config import ServerConfig
+
+SERVERS = [(2, "a100", 12), (2, "a100", 12)]
+
+OPTIONS = {
+    "model": "mobilenet",
+    "trough_qps": 40.0,
+    "peak_qps": 120.0,
+    "phase_duration": 2.0,
+}
+
+
+def make_manager(tmp_path, **kwargs):
+    kwargs.setdefault("chunk", 1.0)
+    kwargs.setdefault("expected_tenants", 3)
+    return JobManager(
+        FleetPool(SERVERS),
+        ServerConfig(model="mobilenet", fleet=tuple(SERVERS)),
+        tmp_path / "artifacts",
+        **kwargs,
+    )
+
+
+def spec(tenant="team", **overrides):
+    payload = {"tenant": tenant, "scenario": "diurnal", "options": OPTIONS}
+    payload.update(overrides)
+    return JobSpec(**payload)
+
+
+class TestSpecValidation:
+    def test_default_class_is_best_effort(self):
+        assert spec().sla_class == "best-effort"
+
+    def test_known_classes_are_ordered_gold_first(self):
+        assert SLA_CLASSES["gold"] < SLA_CLASSES["standard"] < SLA_CLASSES["best-effort"]
+
+    def test_unknown_class_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown sla_class"):
+            spec(sla_class="platinum")
+        with pytest.raises(ValueError, match="unknown sla_class"):
+            JobSpec.from_payload(
+                {"tenant": "t", "scenario": "diurnal", "sla_class": "platinum"}
+            )
+
+    def test_payload_roundtrip_carries_the_class(self):
+        original = spec(sla_class="gold", quota_gpcs=8)
+        payload = original.to_payload()
+        assert payload["sla_class"] == "gold"
+        assert JobSpec.from_payload(payload) == original
+
+    def test_describe_reports_the_class(self, tmp_path):
+        async def body():
+            manager = make_manager(tmp_path)
+            job = manager.submit(spec(sla_class="standard", seed=1))
+            await manager.drain()
+            return job
+
+        job = asyncio.run(body())
+        assert job.describe()["sla_class"] == "standard"
+
+
+class TestClassPriorityAdmission:
+    def test_gold_jumps_queued_best_effort_work(self, tmp_path):
+        """Pool sized for one job at a time: while a best-effort job runs,
+        a queued best-effort job and a *later-submitted* gold job both wait —
+        and the gold job admits first when the capacity frees up."""
+
+        async def body():
+            long_options = {**OPTIONS, "phase_duration": 6.0}
+            manager = make_manager(tmp_path)
+            running = manager.submit(
+                spec(tenant="be-running", quota_gpcs=16, seed=1, options=long_options)
+            )
+            while running.state is JobState.PENDING:
+                await asyncio.sleep(0)
+            queued_be = manager.submit(spec(tenant="be-queued", quota_gpcs=16, seed=2))
+            await asyncio.sleep(0)
+            queued_gold = manager.submit(
+                spec(tenant="gold-late", quota_gpcs=16, seed=3, sla_class="gold")
+            )
+            assert queued_be.state is JobState.PENDING
+            assert queued_gold.state is JobState.PENDING
+            await manager.drain()
+            return running, queued_be, queued_gold
+
+        running, queued_be, queued_gold = asyncio.run(body())
+        assert [j.state for j in (running, queued_be, queued_gold)] == (
+            [JobState.COMPLETED] * 3
+        )
+        # the later-submitted gold job was admitted before the queued
+        # best-effort job that had been waiting longer
+        assert queued_gold.started_at < queued_be.started_at
+
+    def test_single_class_queue_stays_fifo(self, tmp_path):
+        """With only best-effort jobs the queue must behave exactly like the
+        old strict-FIFO daemon: admission in submission order."""
+
+        async def body():
+            long_options = {**OPTIONS, "phase_duration": 4.0}
+            manager = make_manager(tmp_path)
+            jobs = [
+                manager.submit(
+                    spec(tenant=f"t{i}", quota_gpcs=16, seed=i, options=long_options)
+                )
+                for i in range(3)
+            ]
+            await manager.drain()
+            return jobs
+
+        jobs = asyncio.run(body())
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        starts = [j.started_at for j in jobs]
+        assert starts == sorted(starts)
+
+    def test_cancelled_queued_gold_releases_the_head(self, tmp_path):
+        """Cancelling the priority job at the queue head must let the
+        best-effort job behind it admit (no head-of-line deadlock)."""
+
+        async def body():
+            long_options = {**OPTIONS, "phase_duration": 6.0}
+            manager = make_manager(tmp_path)
+            running = manager.submit(
+                spec(tenant="be-running", quota_gpcs=16, seed=1, options=long_options)
+            )
+            while running.state is JobState.PENDING:
+                await asyncio.sleep(0)
+            gold = manager.submit(
+                spec(tenant="gold", quota_gpcs=16, seed=2, sla_class="gold")
+            )
+            queued_be = manager.submit(spec(tenant="be", quota_gpcs=16, seed=3))
+            await manager.cancel(gold.job_id)
+            await manager.drain()
+            return running, gold, queued_be
+
+        running, gold, queued_be = asyncio.run(body())
+        assert running.state is JobState.COMPLETED
+        assert gold.state is JobState.CANCELLED
+        assert queued_be.state is JobState.COMPLETED

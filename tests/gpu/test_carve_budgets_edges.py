@@ -1,0 +1,84 @@
+"""carve_budgets edge cases: degenerate quotas, exhaustion, carve order."""
+
+import pytest
+
+from repro.gpu.fleet import FleetServerSpec, carve_budgets, sliced_specs
+
+A100_14 = (2, "a100", 14)
+A30_4 = (1, "a30", 4)
+H100_7 = (1, "h100", 7)
+
+
+def specs(*servers):
+    return tuple(FleetServerSpec.coerce(s) for s in servers)
+
+
+class TestDegenerateQuotas:
+    def test_zero_quota_is_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            carve_budgets(specs(A100_14), 0)
+
+    def test_negative_quota_is_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            carve_budgets(specs(A100_14), -3)
+
+    def test_quota_exceeding_the_fleet_is_rejected_with_totals(self):
+        fleet = specs(A100_14, A30_4)
+        with pytest.raises(ValueError, match="exceeds the 18 free GPCs"):
+            carve_budgets(fleet, 19)
+
+    def test_quota_exceeding_remaining_free_is_rejected(self):
+        fleet = specs(A100_14, A30_4)
+        with pytest.raises(ValueError, match="exceeds the 5 free GPCs"):
+            carve_budgets(fleet, 6, free=[3, 2])
+
+
+class TestCarveOrder:
+    def test_first_fit_across_heterogeneous_architectures(self):
+        # fleet order is the carve order regardless of architecture: the
+        # A100 fills first, the A30 takes the remainder, the H100 is spared
+        fleet = specs(A100_14, A30_4, H100_7)
+        assert carve_budgets(fleet, 16) == (14, 2, 0)
+        assert carve_budgets(fleet, 19) == (14, 4, 1)
+
+    def test_exact_fit_consumes_the_whole_fleet(self):
+        fleet = specs(A100_14, A30_4, H100_7)
+        assert carve_budgets(fleet, 25) == (14, 4, 7)
+
+    def test_partial_free_budgets_respect_fleet_order(self):
+        fleet = specs(A100_14, A30_4, H100_7)
+        assert carve_budgets(fleet, 8, free=[5, 4, 7]) == (5, 3, 0)
+
+    def test_deterministic_replay(self):
+        fleet = specs(A100_14, H100_7, A30_4)
+        assert carve_budgets(fleet, 17) == carve_budgets(fleet, 17)
+
+
+class TestFreeValidation:
+    def test_wrong_length_free_is_rejected(self):
+        with pytest.raises(ValueError, match="entries for"):
+            carve_budgets(specs(A100_14, A30_4), 5, free=[14])
+
+    def test_free_above_a_server_budget_is_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            carve_budgets(specs(A100_14), 5, free=[15])
+        with pytest.raises(ValueError, match="outside"):
+            carve_budgets(specs(A100_14), 5, free=[-1])
+
+
+class TestSlicedSpecsRoundTrip:
+    def test_carve_then_slice_keeps_shapes_and_budgets(self):
+        fleet = specs(A100_14, A30_4, H100_7)
+        allocation = carve_budgets(fleet, 16)
+        sliced = sliced_specs(fleet, allocation)
+        # zero-share servers drop; the rest shrink to their allocation
+        assert [s.describe() for s in sliced] == [
+            "2xA100-SXM4-40GB(14)",
+            "1xA30(2)",
+        ]
+        assert sum(s.effective_gpc_budget for s in sliced) == 16
+
+    def test_all_zero_allocation_is_rejected(self):
+        fleet = specs(A100_14, A30_4)
+        with pytest.raises(ValueError, match="no GPCs"):
+            sliced_specs(fleet, (0, 0))

@@ -40,7 +40,9 @@ def normalized_events_per_sec(payload: dict, path: str) -> float:
         fast = float(payload["events_per_sec_fast"])
         naive = float(payload["events_per_sec_naive"])
     except KeyError as missing:
-        raise SystemExit(f"{path}: missing field {missing} — not a replay benchmark")
+        raise SystemExit(
+            f"{path}: missing field {missing} — not a replay benchmark"
+        ) from None
     if naive <= 0:
         raise SystemExit(f"{path}: non-positive naive events/sec")
     return fast / naive

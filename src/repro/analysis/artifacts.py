@@ -125,7 +125,7 @@ def load_job(job_dir: Union[str, Path]) -> JobArtifact:
             except json.JSONDecodeError as error:
                 raise ValueError(
                     f"{windows_path}:{number}: invalid NDJSON row: {error}"
-                )
+                ) from error
             # the stream interleaves metric windows with typed control-plane
             # rows; partition on the "type" marker so window digestion never
             # trips over a fleet event
@@ -195,7 +195,7 @@ def _read_json(path: Path) -> Dict[str, Any]:
     try:
         document = json.loads(path.read_text())
     except json.JSONDecodeError as error:
-        raise ValueError(f"{path}: invalid JSON: {error}")
+        raise ValueError(f"{path}: invalid JSON: {error}") from error
     if not isinstance(document, dict):
         raise ValueError(f"{path}: expected a JSON object")
     return document

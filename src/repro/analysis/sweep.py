@@ -274,6 +274,21 @@ class ParallelRunner:
             self._pool_payload = None
             self._pool_shared = None
 
+    def __getstate__(self) -> dict:
+        """Pickle without the live pool (and the state tied to it).
+
+        A runner referenced from shared state (e.g. a capacity planner
+        shipped into its own workers) must not drag a live
+        ``ProcessPoolExecutor`` — unpicklable, and meaningless in a child
+        process — across the pool boundary.  The unpickled copy starts
+        cold and lazily spawns its own pool if ever asked to fork.
+        """
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_pool_payload"] = None
+        state["_pool_shared"] = None
+        return state
+
     def __enter__(self) -> "ParallelRunner":
         return self
 

@@ -26,10 +26,22 @@ initiated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.triggers import TriggerContext, resolve_triggers
-from repro.gpu.fleet import FleetServerSpec
+from repro.gpu.fleet import FleetRoster, FleetServerSpec
+
+if TYPE_CHECKING:
+    from repro.serving.session import ServingSession
 
 #: Default provisioning lead time in simulated seconds — the scenario
 #: timescale of this reproduction compresses a diurnal cycle into a couple
@@ -139,7 +151,7 @@ class Autoscaler:
     # ------------------------------------------------------------------ #
     # session lifecycle
     # ------------------------------------------------------------------ #
-    def reset(self, roster) -> None:
+    def reset(self, roster: FleetRoster) -> None:
         """Bind to a fresh run's roster (called by ``ServingSession.begin``)."""
         self.decisions = []
         self._pending = []
@@ -179,7 +191,9 @@ class Autoscaler:
     # ------------------------------------------------------------------ #
     # the decision step
     # ------------------------------------------------------------------ #
-    def evaluate(self, session, context: TriggerContext) -> Optional[ScaleDecision]:
+    def evaluate(
+        self, session: "ServingSession", context: TriggerContext
+    ) -> Optional[ScaleDecision]:
         """Evaluate the scale triggers at a session checkpoint.
 
         At most one decision per evaluation (mirroring the session's own
@@ -250,7 +264,7 @@ class Autoscaler:
             )
         return None
 
-    def _scale_in_pick(self, roster) -> Optional[int]:
+    def _scale_in_pick(self, roster: FleetRoster) -> Optional[int]:
         """The server a scale-in removes (LIFO), or ``None`` to hold.
 
         Newest-first keeps identities stable: the baseline servers carry the

@@ -20,10 +20,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations_with_replacement
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.gpu.cost import fleet_gpc_cost
 from repro.gpu.fleet import FleetServerSpec
+
+if TYPE_CHECKING:
+    from repro.analysis.sweep import ParallelRunner
+    from repro.serving.config import ServerConfig
 
 
 def enumerate_mixes(
@@ -86,7 +99,9 @@ class CandidateResult:
     feasible: bool
 
 
-def _evaluate_candidate(shared, item) -> CandidateResult:
+def _evaluate_candidate(
+    shared: Tuple[Any, ...], item: Sequence[FleetServerSpec]
+) -> CandidateResult:
     """Replay one candidate fleet end-to-end (picklable pool worker)."""
     from repro.serving.config import config_with_fleet
     from repro.serving.session import ServingSession
@@ -129,9 +144,9 @@ class CapacityPlanner:
 
     def __init__(
         self,
-        template,
-        batch_pdf,
-        workload,
+        template: "ServerConfig",
+        batch_pdf: Mapping[int, float],
+        workload: Any,
         *,
         target_violation_rate: float = 0.01,
         window: float = 0.1,
@@ -150,7 +165,7 @@ class CapacityPlanner:
         self._runner = runner
         self._n_jobs = n_jobs
 
-    def _resolve_runner(self):
+    def _resolve_runner(self) -> "ParallelRunner":
         from repro.analysis.sweep import ParallelRunner
 
         if self._runner is not None:

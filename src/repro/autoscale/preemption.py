@@ -15,7 +15,7 @@ sampled with :meth:`PreemptionSchedule.sample` from a seeded generator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class PreemptionSchedule:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PreemptionEvent]:
         return iter(self.events)
 
     def __bool__(self) -> bool:

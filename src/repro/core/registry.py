@@ -41,7 +41,10 @@ from typing import (
     Optional,
     Protocol,
     Sequence,
+    Type,
     TypeVar,
+    Union,
+    overload,
     runtime_checkable,
 )
 
@@ -51,13 +54,14 @@ from repro.perf.lookup import ProfileTable
 from repro.sim.scheduler_api import Scheduler
 
 FactoryT = TypeVar("FactoryT", bound=Callable)
+SpecT = TypeVar("SpecT")
 
 
 class UnknownPolicyError(ValueError):
     """Raised when a policy name is not present in the registry."""
 
 
-def normalize_policy_name(value, what: str = "policy") -> str:
+def normalize_policy_name(value: object, what: str = "policy") -> str:
     """Normalise a policy selector (string or enum member) to a registry key.
 
     The single normaliser shared by the registries, ``ServerConfig`` and the
@@ -178,6 +182,26 @@ class PolicyRegistry:
     def _key(self, name: str) -> str:
         return normalize_policy_name(name, self.kind)
 
+    @overload
+    def register(
+        self,
+        name: str,
+        factory: FactoryT,
+        *,
+        aliases: Sequence[str] = (),
+        overwrite: bool = False,
+    ) -> FactoryT: ...
+
+    @overload
+    def register(
+        self,
+        name: str,
+        factory: None = None,
+        *,
+        aliases: Sequence[str] = (),
+        overwrite: bool = False,
+    ) -> Callable[[FactoryT], FactoryT]: ...
+
     def register(
         self,
         name: str,
@@ -185,7 +209,7 @@ class PolicyRegistry:
         *,
         aliases: Sequence[str] = (),
         overwrite: bool = False,
-    ):
+    ) -> Union[FactoryT, Callable[[FactoryT], FactoryT]]:
         """Register ``factory`` under ``name`` (usable as a decorator).
 
         Args:
@@ -295,14 +319,14 @@ SCHEDULERS = PolicyRegistry("scheduler")
 
 def register_partitioner(
     name: str, *, aliases: Sequence[str] = (), overwrite: bool = False
-):
+) -> Callable[[FactoryT], FactoryT]:
     """Decorator registering a partitioner factory under ``name``."""
     return PARTITIONERS.register(name, aliases=aliases, overwrite=overwrite)
 
 
 def register_scheduler(
     name: str, *, aliases: Sequence[str] = (), overwrite: bool = False
-):
+) -> Callable[[FactoryT], FactoryT]:
     """Decorator registering a scheduler factory under ``name``."""
     return SCHEDULERS.register(name, aliases=aliases, overwrite=overwrite)
 
@@ -349,7 +373,10 @@ def build_scheduler(name: str, context: SchedulerContext) -> Scheduler:
     return scheduler
 
 
-def _resolve_spec(context, spec_type):
+def _resolve_spec(
+    context: Union["PartitionerContext", "SchedulerContext"],
+    spec_type: Type[SpecT],
+) -> SpecT:
     """The context's spec when it matches, else one derived from the config.
 
     A generic :class:`~repro.core.specs.PolicySpec` targeting a built-in
@@ -364,20 +391,21 @@ def _resolve_spec(context, spec_type):
     spec = context.spec
     if isinstance(spec, spec_type):
         return spec
-    base = spec_type.from_config(context.config)
+    # spec types share ``from_config`` by convention, not by base class
+    base: SpecT = spec_type.from_config(context.config)  # type: ignore[attr-defined]
     if spec is None:
         return base
     if isinstance(spec, PolicySpec):
         if not spec.options:
             return base
-        valid = {f.name for f in dataclasses.fields(spec_type)}
+        valid = {f.name for f in dataclasses.fields(spec_type)}  # type: ignore[arg-type]
         unknown = sorted(set(spec.options) - valid)
         if unknown:
             raise ValueError(
                 f"unknown option(s) {unknown} for built-in policy "
                 f"{spec.policy!r}; valid options: {sorted(valid)}"
             )
-        return dataclasses.replace(base, **spec.options)
+        return dataclasses.replace(base, **spec.options)  # type: ignore[type-var]
     raise TypeError(
         f"this policy expects a {spec_type.__name__} (or a PolicySpec), "
         f"got {type(spec).__name__}; the configured spec does not match "

@@ -40,7 +40,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Mapping, Optional, Sequence
 
-from repro.core.registry import PolicyRegistry
+from repro.core.registry import FactoryT, PolicyRegistry
 from repro.sim.hooks import WindowedMetrics
 
 #: The global repartition-trigger registry (name -> factory of trigger objects).
@@ -49,7 +49,7 @@ TRIGGERS = PolicyRegistry("trigger")
 
 def register_trigger(
     name: str, *, aliases: Sequence[str] = (), overwrite: bool = False
-):
+) -> Callable[[FactoryT], FactoryT]:
     """Decorator registering a trigger factory under ``name``."""
     return TRIGGERS.register(name, aliases=aliases, overwrite=overwrite)
 

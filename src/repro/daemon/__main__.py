@@ -27,7 +27,7 @@ import asyncio
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.daemon.api import DaemonServer
 from repro.daemon.client import DaemonClient, DaemonError
@@ -47,7 +47,9 @@ def _parse_server(text: str):
         num_gpus = int(parts[0])
         budget = int(parts[2]) if len(parts) == 3 else None
     except ValueError:
-        raise argparse.ArgumentTypeError(f"non-numeric field in server spec {text!r}")
+        raise argparse.ArgumentTypeError(
+            f"non-numeric field in server spec {text!r}"
+        ) from None
     return (num_gpus, parts[1], budget) if budget is not None else (num_gpus, parts[1])
 
 
@@ -195,7 +197,7 @@ def _print(document: Any) -> None:
     print(json.dumps(document, indent=2, default=str))
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     args.host = getattr(args, "host", "127.0.0.1")
     args.port = getattr(args, "port", 8321)

@@ -170,7 +170,7 @@ class DaemonServer:
             try:
                 size = int(length)
             except ValueError:
-                raise _HttpError(400, "bad Content-Length")
+                raise _HttpError(400, "bad Content-Length") from None
             if size > MAX_BODY_BYTES:
                 raise _HttpError(413, "request body too large")
             body = await reader.readexactly(size)
@@ -223,9 +223,9 @@ class DaemonServer:
                     spec = JobSpec.from_payload(self._json_body(body))
                     job = self.manager.submit(spec)
                 except ValueError as error:
-                    raise _HttpError(400, str(error))
+                    raise _HttpError(400, str(error)) from error
                 except RuntimeError as error:
-                    raise _HttpError(409, str(error))
+                    raise _HttpError(409, str(error)) from error
                 await self._send_json(writer, 202, job.describe())
                 return
             raise _HttpError(405, "use GET or POST on /jobs")
@@ -233,7 +233,7 @@ class DaemonServer:
         try:
             job = self.manager.get(job_id)
         except KeyError as error:
-            raise _HttpError(404, str(error).strip("'\""))
+            raise _HttpError(404, str(error).strip("'\"")) from error
         if len(rest) == 1:
             if method == "GET":
                 await self._send_json(writer, 200, job.describe())
@@ -300,7 +300,7 @@ class DaemonServer:
         try:
             return json.loads(body)
         except json.JSONDecodeError as error:
-            raise _HttpError(400, f"invalid JSON body: {error}")
+            raise _HttpError(400, f"invalid JSON body: {error}") from error
 
     async def _send_json(
         self, writer: asyncio.StreamWriter, status: int, payload: Any

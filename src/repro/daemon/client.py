@@ -53,7 +53,9 @@ class DaemonClient:
             try:
                 document = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
-                raise DaemonError(response.status, raw.decode(errors="replace"))
+                raise DaemonError(
+                    response.status, raw.decode(errors="replace")
+                ) from None
             if response.status >= 400:
                 raise DaemonError(
                     response.status, document.get("error", "request failed")

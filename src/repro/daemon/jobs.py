@@ -163,6 +163,18 @@ def window_to_dict(window: WindowStats) -> Dict[str, Any]:
     return dataclasses.asdict(window)
 
 
+def _append_ndjson(path: Path, rows: List[Dict[str, Any]]) -> None:
+    """Append ``rows`` to an NDJSON file (sync; run via ``asyncio.to_thread``)."""
+    with open(path, "a") as stream:
+        for row in rows:
+            stream.write(json.dumps(row) + "\n")
+
+
+def _write_json_file(path: Path, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` as JSON (sync; run via ``asyncio.to_thread``)."""
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+
+
 @dataclass
 class Job:
     """One submitted job and everything observed about it so far."""
@@ -434,7 +446,7 @@ class JobManager:
         try:
             grant = await self._admit(job, quota)
             if grant is None:
-                self._finalise(job, JobState.CANCELLED)
+                await self._finalise(job, JobState.CANCELLED)
                 await self._publish(job)
                 return
             job.grant = grant
@@ -453,42 +465,44 @@ class JobManager:
                 await self._publish(job)
                 while not tenant.done and not job.cancel_requested:
                     tenant.advance(self.chunk)
-                    self._append_windows(job, tenant.new_windows())
-                    self._append_fleet_events(job, tenant.new_fleet_events())
+                    await self._append_windows(job, tenant.new_windows())
+                    await self._append_fleet_events(job, tenant.new_fleet_events())
                     await self._publish(job)
                     # hand the loop to the other tenants between chunks
                     await asyncio.sleep(0)
                 if job.cancel_requested and not tenant.done:
                     job.result = tenant.abort()
-                    self._append_windows(job, tenant.new_windows())
-                    self._append_fleet_events(job, tenant.new_fleet_events())
-                    self._finalise(job, JobState.CANCELLED)
+                    await self._append_windows(job, tenant.new_windows())
+                    await self._append_fleet_events(job, tenant.new_fleet_events())
+                    await self._finalise(job, JobState.CANCELLED)
                 else:
                     job.result = tenant.finish()
-                    self._append_windows(job, tenant.new_windows())
-                    self._append_fleet_events(job, tenant.new_fleet_events())
-                    self._finalise(job, JobState.COMPLETED)
+                    await self._append_windows(job, tenant.new_windows())
+                    await self._append_fleet_events(job, tenant.new_fleet_events())
+                    await self._finalise(job, JobState.COMPLETED)
             finally:
                 await self._release(job)
         except Exception as error:  # a job failure must not kill the daemon
             job.error = f"{type(error).__name__}: {error}"
-            self._finalise(job, JobState.FAILED)
+            await self._finalise(job, JobState.FAILED)
         await self._publish(job)
 
     # ------------------------------------------------------------------ #
     # artifacts
     # ------------------------------------------------------------------ #
-    def _append_windows(self, job: Job, windows: List[WindowStats]) -> None:
+    async def _append_windows(self, job: Job, windows: List[WindowStats]) -> None:
         if not windows:
             return
         rows = [window_to_dict(w) for w in windows]
         job.windows.extend(rows)
         if job.artifact_dir is not None:
-            with open(job.artifact_dir / "windows.ndjson", "a") as stream:
-                for row in rows:
-                    stream.write(json.dumps(row) + "\n")
+            # file appends run off-loop: a slow disk must not stall the
+            # other tenants sharing this event loop
+            await asyncio.to_thread(
+                _append_ndjson, job.artifact_dir / "windows.ndjson", rows
+            )
 
-    def _append_fleet_events(self, job: Job, events: List[Any]) -> None:
+    async def _append_fleet_events(self, job: Job, events: List[Any]) -> None:
         """Interleave fleet control-plane rows into the window stream file.
 
         Each row carries ``"type": "fleet-event"`` so artifact digestion can
@@ -499,11 +513,11 @@ class JobManager:
         rows = [event.to_dict() for event in events]
         job.fleet_events.extend(rows)
         if job.artifact_dir is not None:
-            with open(job.artifact_dir / "windows.ndjson", "a") as stream:
-                for row in rows:
-                    stream.write(json.dumps(row) + "\n")
+            await asyncio.to_thread(
+                _append_ndjson, job.artifact_dir / "windows.ndjson", rows
+            )
 
-    def _finalise(self, job: Job, state: JobState) -> None:
+    async def _finalise(self, job: Job, state: JobState) -> None:
         job.state = state
         job.finished_at = time.time()
         if job.result is not None:
@@ -515,7 +529,9 @@ class JobManager:
                 job.result.simulation.statistics.latency.count
             )
         if job.artifact_dir is not None:
-            self._write_json(job.artifact_dir / "result.json", job.describe())
+            await asyncio.to_thread(
+                _write_json_file, job.artifact_dir / "result.json", job.describe()
+            )
 
     @staticmethod
     def _write_json(path: Path, payload: Dict[str, Any]) -> None:

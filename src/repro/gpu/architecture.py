@@ -19,6 +19,7 @@ GPUs can be modelled by constructing a different :class:`GPUArchitecture`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Union
 
 
 @dataclass(frozen=True)
@@ -225,7 +226,7 @@ ARCHITECTURES: dict = {
 }
 
 
-def get_architecture(name) -> GPUArchitecture:
+def get_architecture(name: Union[str, GPUArchitecture]) -> GPUArchitecture:
     """Resolve an architecture preset by name (or pass one through).
 
     Args:

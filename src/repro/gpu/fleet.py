@@ -28,7 +28,7 @@ budgets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.gpu.architecture import A100, GPUArchitecture, get_architecture
 from repro.gpu.mig import MIGConfiguration
@@ -76,7 +76,9 @@ class FleetServerSpec:
         return self.num_gpus * self.architecture.gpc_count
 
     @classmethod
-    def coerce(cls, server) -> "FleetServerSpec":
+    def coerce(
+        cls, server: Union["FleetServerSpec", MultiGPUServer, tuple]
+    ) -> "FleetServerSpec":
         """Coerce any accepted server description into a spec.
 
         Accepts a :class:`FleetServerSpec` (returned unchanged), a
@@ -131,7 +133,9 @@ class Fleet:
         ValueError: for an empty fleet.
     """
 
-    def __init__(self, servers: Sequence[Union[FleetServerSpec, MultiGPUServer, tuple]]):
+    def __init__(
+        self, servers: Sequence[Union[FleetServerSpec, MultiGPUServer, tuple]]
+    ) -> None:
         if not servers:
             raise ValueError("a Fleet requires at least one server")
         self.specs: Tuple[FleetServerSpec, ...] = tuple(
@@ -214,7 +218,7 @@ class Fleet:
     # ------------------------------------------------------------------ #
     # configuration
     # ------------------------------------------------------------------ #
-    def configure(self, counts) -> List[PartitionInstance]:
+    def configure(self, counts: Any) -> List[PartitionInstance]:
         """Reconfigure the fleet into the requested partition instances.
 
         Args:
@@ -276,7 +280,7 @@ class Fleet:
         self._instances = instances
         return self.instances
 
-    def _normalise_counts(self, counts) -> Dict[str, Dict[int, int]]:
+    def _normalise_counts(self, counts: Any) -> Dict[str, Dict[int, int]]:
         """Normalise any accepted plan form to ``{arch name: {size: count}}``."""
         if hasattr(counts, "counts") and not isinstance(counts, Mapping):
             counts = counts.counts
@@ -303,7 +307,9 @@ class Fleet:
                 row[int(size)] = row.get(int(size), 0) + int(count)
         return per_arch
 
-    def _pack(self, per_arch: Dict[str, Dict[int, int]]):
+    def _pack(
+        self, per_arch: Dict[str, Dict[int, int]]
+    ) -> List[Tuple[int, int, GPUArchitecture]]:
         """Place every requested instance onto the fleet's physical GPUs.
 
         Best-fit decreasing per architecture, across that architecture's
@@ -316,7 +322,7 @@ class Fleet:
         # Per-server packing state.
         configs: List[List[MIGConfiguration]] = []
         used: List[int] = []
-        for index, spec in enumerate(self.specs):
+        for spec in self.specs:
             configs.append(
                 [
                     MIGConfiguration(gpu_index=g, architecture=spec.architecture)
@@ -567,7 +573,7 @@ class FleetRoster:
                 f"{list(sorted(self._members))}"
             ) from None
 
-    def add(self, server) -> int:
+    def add(self, server: Union[FleetServerSpec, MultiGPUServer, tuple]) -> int:
         """Admit a server and return its (new, never-recycled) id."""
         spec = FleetServerSpec.coerce(server)
         server_id = self._next_id
@@ -604,7 +610,11 @@ class FleetRoster:
         return f"FleetRoster({self.describe()})"
 
 
-def as_fleet(servers) -> Fleet:
+def as_fleet(
+    servers: Union[
+        Fleet, FleetServerSpec, MultiGPUServer, tuple, Sequence[Any]
+    ],
+) -> Fleet:
     """Coerce a fleet description into a :class:`Fleet`.
 
     Accepts a :class:`Fleet` (returned unchanged), a single spec/server, or

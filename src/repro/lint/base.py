@@ -1,0 +1,227 @@
+"""Checker framework: the parsed-module record and the visitor base class.
+
+A checker is a small class declaring a ``code``, the ``zones`` it polices
+and a ``check(module)`` generator of :class:`~repro.lint.findings.Finding`.
+Checkers receive a fully prepared :class:`Module` — source, split lines,
+parsed AST, zone set — and never touch the filesystem themselves, which is
+what makes them trivially testable on fixture snippets
+(:func:`repro.lint.runner.lint_source`).
+
+Shared AST utilities live here too:
+
+* :class:`ImportMap` resolves local names back to dotted import origins
+  (``from time import time as now`` makes ``now()`` resolve to
+  ``"time.time"``), so checkers match *what is called*, not what it is
+  spelled as;
+* :func:`dotted_name` flattens an attribute chain into its dotted form;
+* suppression pragmas — ``# lint: ignore[DET001]`` on the offending line
+  (or a bare ``# lint: ignore`` for every code) — are honoured centrally
+  by the runner through :meth:`Module.suppressed`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding
+from repro.lint.zones import ALL_ZONES
+
+_PRAGMA = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass
+class Module:
+    """One parsed source module handed to every applicable checker.
+
+    Attributes:
+        path: display path (relative to the scanned root).
+        rel: path relative to the ``repro`` package root — what zone
+            membership is computed from.
+        source: the raw source text.
+        lines: ``source.splitlines()`` (1-based access via ``line(n)``).
+        tree: the parsed :class:`ast.Module`.
+        zones: this module's policy zones.
+    """
+
+    path: str
+    rel: str
+    source: str
+    tree: ast.Module
+    zones: FrozenSet[str]
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line(self, lineno: int) -> str:
+        """The 1-based physical source line (empty for out-of-range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when the finding's line carries a matching ignore pragma."""
+        match = _PRAGMA.search(self.line(finding.line))
+        if match is None:
+            return False
+        codes = match.group(1)
+        if codes is None:
+            return True
+        return finding.code in {c.strip().upper() for c in codes.split(",")}
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=lineno,
+            col=col,
+            code=code,
+            message=message,
+            line_text=self.line(lineno).strip(),
+        )
+
+
+class ImportMap:
+    """Local name -> dotted origin, built from a module's import statements.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from os import
+    urandom`` maps ``urandom`` to ``os.urandom``.  Relative imports keep
+    their module path without the leading dots (enough for policy matching
+    inside one package).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.names[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    self.names[local] = origin
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Rewrite the leading component through the import table."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.names.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call, imports: Optional[ImportMap] = None) -> Optional[str]:
+    """The resolved dotted name a call invokes (None for computed callees)."""
+    name = dotted_name(node.func)
+    if imports is not None:
+        return imports.resolve(name)
+    return name
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Sequence[ast.AST]]]:
+    """Yield ``(function node, enclosing scopes)`` for every def in the tree.
+
+    The enclosing-scope chain (outermost first) lets checkers distinguish
+    methods from free functions and nested defs from top-level ones.
+    """
+
+    def visit(node: ast.AST, stack: Tuple[ast.AST, ...]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, stack
+                yield from visit(child, stack + (child,))
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, stack + (child,))
+            else:
+                yield from visit(child, stack)
+
+    yield from visit(tree, ())
+
+
+class Checker:
+    """Base class every checker subclasses.
+
+    Class attributes:
+        code: the finding code (``"DET001"``); unique across the registry.
+        zones: zone names this checker polices — the runner only hands it
+            modules intersecting them.  ``frozenset()`` means *every*
+            module (used by checkers that filter internally).
+        description: one line for ``--list-checkers`` and the docs table.
+    """
+
+    code: str = ""
+    zones: FrozenSet[str] = frozenset()
+    description: str = ""
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.code:
+            raise TypeError(f"{cls.__name__} must declare a finding code")
+        unknown = set(cls.zones) - ALL_ZONES
+        if unknown:
+            raise TypeError(
+                f"{cls.__name__} declares unknown zones {sorted(unknown)}"
+            )
+
+    def applies(self, module: Module) -> bool:
+        """Zone gate — override for checkers with finer targeting."""
+        return not self.zones or bool(self.zones & module.zones)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield findings for ``module`` (the zone gate already passed)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+def instantiate(checker_classes: Sequence[Type[Checker]]) -> List[Checker]:
+    """Fresh checker instances, validating code uniqueness."""
+    seen: Dict[str, str] = {}
+    out: List[Checker] = []
+    for cls in checker_classes:
+        if cls.code in seen:
+            raise ValueError(
+                f"duplicate checker code {cls.code}: "
+                f"{seen[cls.code]} and {cls.__name__}"
+            )
+        seen[cls.code] = cls.__name__
+        out.append(cls())
+    return out
+
+
+__all__ = [
+    "Checker",
+    "ImportMap",
+    "Module",
+    "call_name",
+    "dotted_name",
+    "instantiate",
+    "walk_functions",
+]

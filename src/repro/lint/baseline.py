@@ -1,0 +1,107 @@
+"""Grandfathered-finding baseline (``lint_baseline.json``).
+
+The baseline lets the suite be adopted with open findings: each entry
+suppresses exactly one matching finding (multiplicity-aware), matched by
+``(code, path, line_text)`` — never by line *number*, so unrelated edits
+above a grandfathered line don't resurrect it, while editing the offending
+line itself immediately un-grandfathers it.
+
+The committed repo policy is an **empty** baseline: every entry that ever
+lands must carry a ``note`` explaining why the finding is acceptable, and
+the docs require removing entries as fixes land.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file (bad JSON, wrong shape, wrong version)."""
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Entries of the baseline at ``path`` ([] when the file is absent)."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(f"{path}: expected an object with a 'findings' list")
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported baseline version {payload.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = payload["findings"]
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'findings' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not {
+            "code", "path", "line_text"
+        } <= set(entry):
+            raise BaselineError(
+                f"{path}: every entry needs 'code', 'path' and 'line_text'"
+            )
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[Dict[str, str]]
+) -> Tuple[List[Finding], int, int]:
+    """Split findings against the baseline.
+
+    Returns:
+        ``(fresh, suppressed, stale)`` — the findings the baseline does not
+        cover, how many it suppressed, and how many baseline entries
+        matched nothing (stale entries should be deleted; the CLI reports
+        them so the baseline only ever shrinks).
+    """
+    budget = Counter(
+        (entry["code"], entry["path"], entry["line_text"]) for entry in entries
+    )
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if budget.get(finding.key, 0) > 0:
+            budget[finding.key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    stale = sum(budget.values())
+    return fresh, suppressed, stale
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, notes blank)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path,
+                "line_text": f.line_text,
+                "note": "",
+            }
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

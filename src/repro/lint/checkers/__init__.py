@@ -1,0 +1,53 @@
+"""The checker battery.
+
+``ALL_CHECKERS`` is the ordered registry the runner instantiates; order is
+also display order in ``--list-checkers`` and the docs catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Type
+
+from repro.lint.base import Checker
+from repro.lint.checkers.concurrency import (
+    AsyncioHygieneChecker,
+    PoolPicklingChecker,
+)
+from repro.lint.checkers.determinism import (
+    EntropySourceChecker,
+    IdentityOrderChecker,
+    SetOrderChecker,
+)
+from repro.lint.checkers.hooks import HookExhaustivenessChecker
+from repro.lint.checkers.typed import TypedZoneChecker
+
+ALL_CHECKERS: Tuple[Type[Checker], ...] = (
+    EntropySourceChecker,
+    SetOrderChecker,
+    IdentityOrderChecker,
+    AsyncioHygieneChecker,
+    PoolPicklingChecker,
+    HookExhaustivenessChecker,
+    TypedZoneChecker,
+)
+
+
+def checker_catalogue() -> List[Tuple[str, str, str]]:
+    """``(code, zones, description)`` rows for the CLI and the docs."""
+    return [
+        (cls.code, ",".join(sorted(cls.zones)) or "*", cls.description)
+        for cls in ALL_CHECKERS
+    ]
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AsyncioHygieneChecker",
+    "EntropySourceChecker",
+    "HookExhaustivenessChecker",
+    "IdentityOrderChecker",
+    "PoolPicklingChecker",
+    "SetOrderChecker",
+    "TypedZoneChecker",
+    "checker_catalogue",
+]

@@ -1,0 +1,465 @@
+"""Concurrency checkers: CONC001 (asyncio hygiene), CONC002 (pool pickling).
+
+The daemon multiplexes every tenant on one event loop, and the sweep
+engine ships callables into a warm ``ProcessPoolExecutor``.  Both break in
+ways example-based tests rarely catch: a blocking call inside ``async def``
+stalls *every* tenant (not the one that made it), an admission-state write
+outside the admission ``Condition`` races the FIFO queue, and a class that
+captures a live pool/lock/session pickles fine right up until the first
+``n_jobs > 1`` sweep ships it to a worker.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import Checker, ImportMap, Module, call_name, dotted_name
+from repro.lint.findings import Finding
+
+# --------------------------------------------------------------------------- #
+# CONC001 — asyncio hygiene
+# --------------------------------------------------------------------------- #
+
+#: Calls that block the event loop when made from a coroutine.
+_BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: Blocking method *names* flagged on any receiver inside a coroutine —
+#: the synchronous file-I/O surface of pathlib and raw sockets.
+_BLOCKING_METHODS: FrozenSet[str] = frozenset(
+    {
+        "read_text", "write_text", "read_bytes", "write_bytes",
+        "recv", "sendall", "accept", "connect",
+    }
+)
+
+#: Receivers whose methods are event-loop aware, not raw sockets.
+_ASYNC_SAFE_HEADS: FrozenSet[str] = frozenset(
+    {"asyncio", "self", "loop", "writer", "reader", "server"}
+)
+
+
+class AsyncioHygieneChecker(Checker):
+    """CONC001: coroutines must not block, and admission state must be
+    mutated under the admission ``Condition``.
+
+    Part A flags blocking calls (``time.sleep``, ``open``, sync socket and
+    ``pathlib`` file I/O, ``subprocess``) lexically inside ``async def``
+    bodies — offload them with ``asyncio.to_thread(...)`` /
+    ``loop.run_in_executor``.
+
+    Part B infers, per class, which ``self`` attributes hold
+    ``asyncio.Condition``/``Lock`` objects (including lazily-created ones
+    behind accessor methods and dict-of-condition registries) and which
+    shared fields are ever written under an ``async with`` on one of them;
+    any write to such a *guarded field* outside a guarded block (and
+    outside ``__init__``) is a finding.
+    """
+
+    code = "CONC001"
+    zones = frozenset({"asyncio"})
+    description = (
+        "no blocking calls in async defs; admission state writes stay "
+        "under the admission Condition"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        yield from self._check_blocking(module, imports)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_guarded_state(module, node)
+
+    # ------------------------------------------------------------------ #
+    # Part A: blocking calls inside coroutines
+    # ------------------------------------------------------------------ #
+    def _check_blocking(
+        self, module: Module, imports: ImportMap
+    ) -> Iterator[Finding]:
+        for func in (
+            n for n in ast.walk(module.tree) if isinstance(n, ast.AsyncFunctionDef)
+        ):
+            for node in self._walk_same_coroutine(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node, imports)
+                if name in _BLOCKING_CALLS:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"blocking call {name}() inside async def "
+                        f"{func.name!r} stalls the whole event loop; offload "
+                        "it with await asyncio.to_thread(...)",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _BLOCKING_METHODS
+                    and not self._async_safe_receiver(node.func.value)
+                ):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"synchronous .{node.func.attr}() inside async def "
+                        f"{func.name!r} blocks the event loop; offload it "
+                        "with await asyncio.to_thread(...)",
+                    )
+
+    @staticmethod
+    def _walk_same_coroutine(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk ``func``'s body without descending into nested defs."""
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _async_safe_receiver(node: ast.AST) -> bool:
+        name = dotted_name(node)
+        if name is None:
+            return False
+        return name.split(".")[0] in _ASYNC_SAFE_HEADS
+
+    # ------------------------------------------------------------------ #
+    # Part B: guarded shared state
+    # ------------------------------------------------------------------ #
+    def _check_guarded_state(
+        self, module: Module, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        cond_attrs = self._condition_attrs(cls)
+        if not cond_attrs:
+            return
+        accessors = self._condition_accessors(cls, cond_attrs)
+        guarded_fields: Set[str] = set()
+        writes: List[Tuple[str, ast.AST, str, bool]] = []
+        for method in (
+            n for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            if method.name in {"__init__", "__post_init__"} or method.name in accessors:
+                continue
+            handles = self._condition_handles(method, cond_attrs, accessors)
+            for field_name, node, inside in self._field_writes(
+                method, cond_attrs, handles
+            ):
+                writes.append((field_name, node, method.name, inside))
+                if inside:
+                    guarded_fields.add(field_name)
+        for field_name, node, method_name, inside in writes:
+            if field_name in guarded_fields and not inside:
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"self.{field_name} is written under the admission "
+                    f"Condition elsewhere but mutated bare in "
+                    f"{method_name}(); take 'async with' on the condition "
+                    "before touching shared admission state",
+                )
+
+    @staticmethod
+    def _condition_attrs(cls: ast.ClassDef) -> Set[str]:
+        """``self`` attributes holding asyncio.Condition/Lock objects."""
+        out: Set[str] = set()
+        for node in ast.walk(cls):
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            annotation: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            texts = []
+            if isinstance(value, ast.Call):
+                texts.append(dotted_name(value.func) or "")
+            if annotation is not None:
+                texts.append(ast.unparse(annotation))
+            if any("Condition" in t or "Lock" in t for t in texts):
+                out.add(target.attr)
+        return out
+
+    @staticmethod
+    def _condition_accessors(cls: ast.ClassDef, cond_attrs: Set[str]) -> Set[str]:
+        """Methods whose return value is one of the condition attributes."""
+        out: Set[str] = set()
+        for method in (
+            n for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            for node in ast.walk(method):
+                if not (isinstance(node, ast.Return) and node.value is not None):
+                    continue
+                value = node.value
+                if isinstance(value, ast.Subscript):
+                    value = value.value
+                if (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                    and value.attr in cond_attrs
+                ):
+                    out.add(method.name)
+        return out
+
+    @staticmethod
+    def _condition_handles(
+        method: ast.AST, cond_attrs: Set[str], accessors: Set[str]
+    ) -> Set[str]:
+        """Local names bound to a condition (directly or via an accessor)."""
+        handles: Set[str] = set()
+        for node in ast.walk(method):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and value.attr in cond_attrs
+            ):
+                handles.add(target.id)
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id == "self"
+                and value.func.attr in accessors
+            ):
+                handles.add(target.id)
+        return handles
+
+    def _field_writes(
+        self, method: ast.AST, cond_attrs: Set[str], handles: Set[str]
+    ) -> Iterator[Tuple[str, ast.AST, bool]]:
+        """Yield ``(field, node, under_condition)`` for every shared write."""
+
+        def guard_item(item: ast.withitem) -> bool:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                return expr.id in handles
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                return expr.attr in cond_attrs
+            if isinstance(expr, ast.Call):
+                func = expr.func
+                return (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in cond_attrs
+                )
+            return False
+
+        def visit(node: ast.AST, inside: bool) -> Iterator[Tuple[str, ast.AST, bool]]:
+            for child in ast.iter_child_nodes(node):
+                child_inside = inside
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    child_inside = inside or any(
+                        guard_item(item) for item in child.items
+                    )
+                field_name = self._written_field(child)
+                if field_name is not None:
+                    yield field_name, child, child_inside
+                yield from visit(child, child_inside)
+
+        yield from visit(method, False)
+
+    @staticmethod
+    def _written_field(node: ast.AST) -> Optional[str]:
+        def self_attr(expr: ast.AST) -> Optional[str]:
+            if isinstance(expr, ast.Subscript):
+                expr = expr.value
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                return expr.attr
+            return None
+
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = self_attr(target)
+                if name is not None:
+                    return name
+        elif isinstance(node, ast.AugAssign):
+            return self_attr(node.target)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in {
+                "append", "remove", "add", "discard", "pop", "clear",
+                "extend", "insert", "update",
+            }:
+                return self_attr(func.value)
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# CONC002 — pool pickling safety
+# --------------------------------------------------------------------------- #
+
+#: Constructor calls producing objects that must never cross a pickle
+#: boundary into a pool worker.
+_UNPICKLABLE_CALLS: FrozenSet[str] = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "ThreadPoolExecutor",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "asyncio.Lock",
+        "asyncio.Condition",
+        "asyncio.Event",
+        "ServingSession",
+    }
+)
+
+#: Word-boundary matcher for unpicklable types in dataclass annotations
+#: (``FleetEvent`` must not match ``Event``).
+_UNPICKLABLE_ANNOTATION = re.compile(
+    r"\b(?:ProcessPoolExecutor|ThreadPoolExecutor|Lock|RLock|Condition|"
+    r"Event|Semaphore|ServingSession)\b"
+)
+
+
+class PoolPicklingChecker(Checker):
+    """CONC002: classes in pool zones holding live pools/locks/sessions
+    must strip them in ``__getstate__``.
+
+    A sweep ships shared state into its warm ``ProcessPoolExecutor`` by
+    pickling it once per worker; any class in the shipping path that
+    captures an executor, lock, condition or live ``ServingSession`` must
+    implement the ``__getstate__``-strips-it pattern (what
+    ``ExperimentSettings`` does for its warm runner).  The checker flags
+    every such attribute in a class with no ``__getstate__``, and any
+    ``__getstate__`` that fails to mention one of them.
+    """
+
+    code = "CONC002"
+    zones = frozenset({"pool"})
+    description = (
+        "classes holding pools/locks/live sessions define a __getstate__ "
+        "that strips them"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for cls in (n for n in module.tree.body if isinstance(n, ast.ClassDef)):
+            captured = self._unpicklable_attrs(cls, imports)
+            if not captured:
+                continue
+            getstate = next(
+                (
+                    n for n in cls.body
+                    if isinstance(n, ast.FunctionDef) and n.name == "__getstate__"
+                ),
+                None,
+            )
+            if getstate is None:
+                for attr, node in sorted(captured.items()):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"{cls.name}.{attr} holds an unpicklable live object "
+                        "but the class defines no __getstate__; add one that "
+                        "strips it before the object crosses into a pool "
+                        "worker",
+                    )
+                continue
+            mentioned = self._mentioned_names(getstate)
+            for attr, node in sorted(captured.items()):
+                if attr not in mentioned:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"{cls.name}.__getstate__ does not strip {attr!r}; a "
+                        "pickled instance would drag the live object into "
+                        "the pool worker",
+                    )
+
+    @staticmethod
+    def _unpicklable_attrs(
+        cls: ast.ClassDef, imports: ImportMap
+    ) -> Dict[str, ast.AST]:
+        out: Dict[str, ast.AST] = {}
+        for node in ast.walk(cls):
+            # dataclass-style declaration:  _pool: Optional[ProcessPoolExecutor]
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                annotation = ast.unparse(node.annotation)
+                if _UNPICKLABLE_ANNOTATION.search(annotation):
+                    out.setdefault(node.target.id, node)
+            # assignment of a live object:  self._pool = ProcessPoolExecutor()
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if not isinstance(value, ast.Call):
+                continue
+            name = call_name(value, imports)
+            if name is None:
+                continue
+            if name in _UNPICKLABLE_CALLS or name.rsplit(".", 1)[-1] in {
+                n.rsplit(".", 1)[-1] for n in _UNPICKLABLE_CALLS
+            }:
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        out.setdefault(target.attr, node)
+        return out
+
+    @staticmethod
+    def _mentioned_names(func: ast.FunctionDef) -> Set[str]:
+        """Attribute names and string literals ``__getstate__`` references."""
+        out: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute):
+                out.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                out.add(node.value)
+        return out
+
+
+__all__ = ["AsyncioHygieneChecker", "PoolPicklingChecker"]

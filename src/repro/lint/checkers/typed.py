@@ -1,0 +1,88 @@
+"""TYP001 — full annotations in the strict-typing zones.
+
+The ``mypy`` gate in CI enforces ``disallow_untyped_defs`` /
+``disallow_incomplete_defs`` over ``core/``, ``sim/``, ``gpu/`` and
+``autoscale/``; this checker mirrors exactly that discipline locally, so a
+missing annotation fails ``python -m repro.lint`` (and the test suite's
+self-scan) without needing mypy installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.base import Checker, Module, dotted_name, walk_functions
+from repro.lint.findings import Finding
+
+
+class TypedZoneChecker(Checker):
+    """TYP001: every def in typed zones annotates all params and the return.
+
+    ``self``/``cls`` are exempt, ``*args``/``**kwargs`` need annotations,
+    and ``@overload`` stubs are skipped (the implementation is checked).
+    """
+
+    code = "TYP001"
+    zones = frozenset({"typed"})
+    description = "functions in typed zones are fully annotated (mypy gate)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for func, stack in walk_functions(module.tree):
+            assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if self._is_overload(func):
+                continue
+            in_class = bool(stack) and isinstance(stack[-1], ast.ClassDef)
+            missing = self._missing_params(func, in_class)
+            if missing:
+                yield module.finding(
+                    func,
+                    self.code,
+                    f"def {func.name} leaves parameter(s) "
+                    f"{', '.join(repr(m) for m in missing)} unannotated",
+                )
+            if func.returns is None:
+                yield module.finding(
+                    func,
+                    self.code,
+                    f"def {func.name} has no return annotation "
+                    "(use '-> None' for procedures)",
+                )
+
+    @staticmethod
+    def _is_overload(func: ast.AST) -> bool:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for decorator in func.decorator_list:
+            name = dotted_name(decorator) or ""
+            if name.rsplit(".", 1)[-1] == "overload":
+                return True
+        return False
+
+    @staticmethod
+    def _missing_params(func: ast.AST, in_class: bool) -> List[str]:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = func.args
+        ordered = args.posonlyargs + args.args
+        missing: List[str] = []
+        for index, arg in enumerate(ordered):
+            if in_class and index == 0 and arg.arg in {"self", "cls", "mcs"}:
+                # also covers @staticmethod misdetection: a first param
+                # genuinely named 'self' outside methods is vanishingly rare
+                if not any(
+                    (dotted_name(d) or "").rsplit(".", 1)[-1] == "staticmethod"
+                    for d in func.decorator_list
+                ):
+                    continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        return missing
+
+
+__all__ = ["TypedZoneChecker"]

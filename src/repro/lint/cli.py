@@ -1,0 +1,164 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes are stable and CI-friendly:
+
+* ``0`` — no findings (after pragmas and the baseline);
+* ``1`` — at least one fresh finding (or, under ``--fail-on-stale``, a
+  stale baseline entry);
+* ``2`` — usage or input error (unknown code, unreadable file, malformed
+  baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.checkers import checker_catalogue
+from repro.lint.runner import DEFAULT_ROOT, LintError, lint_paths, repo_root_for
+
+BASELINE_NAME = "lint_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism & concurrency static analysis for this repo. "
+            "Scans the installed repro package by default."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated checker codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated checker codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: ./{BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help="exit 1 when baseline entries no longer match anything",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print the checker catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for code, zone_names, description in checker_catalogue():
+            print(f"{code}  [{zone_names}]  {description}")
+        return 0
+
+    try:
+        select = args.select.split(",") if args.select else None
+        ignore = args.ignore.split(",") if args.ignore else None
+        if args.paths:
+            paths = list(args.paths)
+            display_root = Path.cwd()
+            baseline_path = args.baseline or Path.cwd() / BASELINE_NAME
+        else:
+            package, repo = repo_root_for(DEFAULT_ROOT)
+            paths = [package]
+            display_root = repo
+            baseline_path = args.baseline or repo / BASELINE_NAME
+        findings = lint_paths(
+            paths, select=select, ignore=ignore, display_root=display_root
+        )
+    except (LintError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    suppressed = stale = 0
+    if not args.no_baseline:
+        try:
+            entries = load_baseline(baseline_path)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = apply_baseline(findings, entries)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "count": len(findings),
+                    "baselined": suppressed,
+                    "stale_baseline_entries": stale,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = f"{len(findings)} finding(s)"
+        if suppressed:
+            summary += f", {suppressed} baselined"
+        if stale:
+            summary += (
+                f", {stale} stale baseline entr"
+                f"{'y' if stale == 1 else 'ies'} (delete them)"
+            )
+        print(summary)
+
+    if findings or (stale and args.fail_on_stale):
+        return 1
+    return 0
+
+
+__all__ = ["BASELINE_NAME", "build_parser", "main"]

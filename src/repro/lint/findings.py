@@ -1,0 +1,57 @@
+"""The finding record every checker emits.
+
+A :class:`Finding` pins one policy violation to a source location.  Its
+*identity* for baseline matching is deliberately line-number-free —
+``(code, path, line_text)`` — so grandfathered findings survive unrelated
+edits above them and go stale the moment the offending line itself changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis finding.
+
+    Attributes:
+        path: file path relative to the scanned root (stable across hosts).
+        line: 1-based line number of the offending node.
+        col: 0-based column offset.
+        code: checker code (``"DET001"``, ``"CONC002"``, ...).
+        message: human-readable explanation with the suggested fix.
+        line_text: the stripped source line — the location-independent part
+            of the finding's identity used by the baseline.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    line_text: str = field(default="", compare=False)
+
+    @property
+    def key(self) -> tuple:
+        """The baseline-matching identity (line numbers excluded)."""
+        return (self.code, self.path, self.line_text)
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: CODE message`` text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the ``--format json`` row)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+
+__all__ = ["Finding"]

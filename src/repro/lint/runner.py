@@ -1,0 +1,185 @@
+"""Discover modules, dispatch checkers, collect findings.
+
+The runner is the only layer that touches the filesystem; checkers see
+prepared :class:`~repro.lint.base.Module` records.  ``lint_source`` runs
+the same machinery on an in-memory snippet with an explicit zone set —
+the fixture surface the checker tests are written against.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.lint.base import Checker, Module, instantiate
+from repro.lint.checkers import ALL_CHECKERS
+from repro.lint.findings import Finding
+from repro.lint.zones import zones_for
+
+#: The package this suite polices — the default scan root.
+DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories never scanned (the lint package itself names banned calls
+#: in string tables and fixture docstrings; scanning it is self-referential
+#: noise, and its own correctness is covered by the checker tests).
+_EXCLUDED_PARTS = {"__pycache__", "lint"}
+
+
+class LintError(RuntimeError):
+    """An input file could not be read or parsed."""
+
+
+def _relative_to_package(path: Path) -> str:
+    """Path relative to the enclosing ``repro`` package (for zone lookup)."""
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return path.name
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Every ``.py`` file under ``paths``, sorted for stable output."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            seen.add(path.resolve())
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not _EXCLUDED_PARTS & set(sub.parts):
+                    seen.add(sub.resolve())
+    return sorted(seen)
+
+
+def load_module(path: Path, display_root: Optional[Path] = None) -> Module:
+    """Parse ``path`` into a checker-ready :class:`Module`."""
+    try:
+        source = path.read_text()
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from error
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise LintError(f"cannot parse {path}: {error}") from error
+    rel = _relative_to_package(path)
+    if display_root is not None:
+        try:
+            display = str(path.resolve().relative_to(display_root.resolve()))
+        except ValueError:
+            display = str(path)
+    else:
+        display = str(path)
+    return Module(
+        path=display,
+        rel=rel,
+        source=source,
+        tree=tree,
+        zones=zones_for(rel),
+    )
+
+
+def select_checkers(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    checkers: Sequence[Type[Checker]] = ALL_CHECKERS,
+) -> List[Checker]:
+    """Instantiate the registry filtered by ``--select`` / ``--ignore``."""
+    known = {cls.code for cls in checkers}
+    chosen = {c.upper() for c in select} if select else set(known)
+    dropped = {c.upper() for c in ignore} if ignore else set()
+    unknown = (chosen | dropped) - known
+    if unknown:
+        raise ValueError(
+            f"unknown checker code(s) {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return instantiate(
+        [cls for cls in checkers if cls.code in chosen - dropped]
+    )
+
+
+def lint_module(module: Module, checkers: Sequence[Checker]) -> List[Finding]:
+    """All non-suppressed findings of ``checkers`` on one module."""
+    findings: List[Finding] = []
+    for checker in checkers:
+        if not checker.applies(module):
+            continue
+        for finding in checker.check(module):
+            if not module.suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    display_root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by location."""
+    checkers = select_checkers(select, ignore)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        module = load_module(path, display_root=display_root)
+        findings.extend(lint_module(module, checkers))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def lint_source(
+    source: str,
+    *,
+    rel: str = "snippet.py",
+    zones: Optional[FrozenSet[str]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint an in-memory snippet (the checker-test fixture surface).
+
+    Args:
+        source: the snippet text.
+        rel: pretend package-relative path (drives zone inference when
+            ``zones`` is not given — ``rel="sim/cluster.py"`` puts the
+            snippet in the sim zones).
+        zones: explicit zone override.
+    """
+    tree = ast.parse(source)
+    module = Module(
+        path=rel,
+        rel=rel,
+        source=source,
+        tree=tree,
+        zones=zones if zones is not None else zones_for(rel),
+    )
+    checkers = select_checkers(select, ignore)
+    return sorted(
+        lint_module(module, checkers), key=lambda f: (f.line, f.col, f.code)
+    )
+
+
+def repo_root_for(path: Path) -> Tuple[Path, Path]:
+    """``(scan root, repo root)`` for the default no-argument CLI run.
+
+    The scan root is the installed ``repro`` package; the repo root (where
+    ``lint_baseline.json`` lives and what display paths are relative to)
+    is its ``src/..`` parent when the layout matches a source checkout,
+    else the current directory.
+    """
+    package = path
+    repo = package.parent
+    if repo.name == "src":
+        repo = repo.parent
+    return package, repo
+
+
+__all__ = [
+    "DEFAULT_ROOT",
+    "LintError",
+    "iter_python_files",
+    "lint_module",
+    "lint_paths",
+    "lint_source",
+    "load_module",
+    "repo_root_for",
+    "select_checkers",
+]

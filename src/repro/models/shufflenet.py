@@ -88,7 +88,7 @@ def build_shufflenet_v2(image_size: int = 224, num_classes: int = 1000) -> Model
         ),
     ]
 
-    for stage_idx, (hw, cin, cout, repeats) in enumerate(_SHUFFLENET_V2_STAGES):
+    for stage_idx, (hw, _cin, cout, repeats) in enumerate(_SHUFFLENET_V2_STAGES):
         hw = max(1, int(round(hw * scale)))
         # First unit of the stage downsamples and doubles channels.
         layers.extend(

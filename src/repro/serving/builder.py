@@ -24,7 +24,7 @@ surface as the built-ins.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional
+from typing import Any, ClassVar, Dict, Optional
 
 from repro.core.registry import (
     PARTITIONERS,
@@ -237,7 +237,7 @@ class ServerBuilder:
         self._overrides["random_seed"] = seed
         return self
 
-    _RESERVED_OPTIONS = {
+    _RESERVED_OPTIONS: ClassVar[Dict[str, str]] = {
         "model": "ServerBuilder(model)",
         "partitioning": ".partitioner()",
         "partitioner_spec": ".partitioner()",

@@ -590,7 +590,8 @@ class ServingSession:
             return simulator.run_until(time)
         interval = self.trigger_interval
         if not self._has_control:
-            assert interval is not None and self._next_checkpoint is not None
+            assert interval is not None
+            assert self._next_checkpoint is not None
             while simulator.pending_events:
                 checkpoint = self._next_checkpoint
                 if time is not None and checkpoint > time:
@@ -740,7 +741,8 @@ class ServingSession:
         return replay
 
     def _evaluate_triggers(self, now: float) -> None:
-        assert self._windowed is not None and self._planned_pdf is not None
+        assert self._windowed is not None
+        assert self._planned_pdf is not None
         context = TriggerContext(
             now=now,
             planned_pdf=self._planned_pdf,

@@ -49,7 +49,17 @@ import heapq
 from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -57,7 +67,7 @@ from repro.gpu.partition import PartitionInstance
 from repro.perf.lookup import CachedEstimator, ProfileTable
 from repro.sim.columnar import QueryColumns
 from repro.sim.engine import EventQueue, SimulationClock, TupleEventQueue
-from repro.sim.events import EventKind
+from repro.sim.events import Event, EventKind
 from repro.sim.hooks import (
     QueryArrived,
     QueryCompleted,
@@ -78,7 +88,7 @@ from repro.sim.metrics import (
     compute_statistics_from_arrays,
 )
 from repro.sim.scheduler_api import Scheduler, SchedulingContext
-from repro.sim.worker import PartitionWorker
+from repro.sim.worker import LatencyFn, PartitionWorker
 from repro.workload.query import Query
 from repro.workload.trace import QueryTrace
 
@@ -115,11 +125,13 @@ class _IdleWorkersView:
     def __bool__(self) -> bool:
         return bool(self._keys)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PartitionWorker]:
         mapping = self._map
         return iter([mapping[key] for key in self._keys])
 
-    def __getitem__(self, item: Union[int, slice]):
+    def __getitem__(
+        self, item: Union[int, slice]
+    ) -> Union[PartitionWorker, List[PartitionWorker]]:
         if isinstance(item, slice):
             mapping = self._map
             return [mapping[key] for key in self._keys[item]]
@@ -305,7 +317,7 @@ class InferenceServerSimulator:
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
-    def _worker_latency_fn(self, instance: PartitionInstance):
+    def _worker_latency_fn(self, instance: PartitionInstance) -> LatencyFn:
         """The execution oracle for a worker on ``instance`` (per-architecture
         on mixed fleets, the shared oracle otherwise)."""
         if self._arch_estimators is not None:
@@ -467,7 +479,7 @@ class InferenceServerSimulator:
             object.__setattr__(context, "now", now)
         return context
 
-    def _handlers(self, event_type: type):
+    def _handlers(self, event_type: type) -> Tuple:
         """Bound handlers subscribed to ``event_type`` (empty tuple = skip
         constructing the event at all)."""
         return self._dispatch_table.get(event_type, ())
@@ -1047,7 +1059,7 @@ class InferenceServerSimulator:
     # ------------------------------------------------------------------ #
     # naive-path event handlers (the reference semantics)
     # ------------------------------------------------------------------ #
-    def _process(self, event) -> None:
+    def _process(self, event: Event) -> None:
         self._clock.advance_to(event.time)
         self._events_processed += 1
         now = self._clock.now
@@ -1092,7 +1104,7 @@ class InferenceServerSimulator:
             return
         self._dispatch(worker, query, now)
 
-    def _handle_completion(self, event, now: float) -> None:
+    def _handle_completion(self, event: Event, now: float) -> None:
         worker = self._workers_by_id[event.instance_id]
         query = worker.complete_current(now)
         completed_handlers = self._h_completed

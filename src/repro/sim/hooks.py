@@ -38,11 +38,24 @@ compatible with new event types.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.workload.query import Query
+
+if TYPE_CHECKING:
+    from repro.sim.columnar import QueryColumns
+    from repro.sim.metrics import LatencyStatistics
 
 # --------------------------------------------------------------------------- #
 # typed lifecycle events
@@ -239,7 +252,7 @@ class SimulationObserver:
         """A spot preemption removed a server from the fleet."""
 
 
-def build_dispatch_table(observers) -> Dict[type, Tuple]:
+def build_dispatch_table(observers: Iterable[Any]) -> Dict[type, Tuple]:
     """Pre-resolve observers into ``{event type: (bound handlers, ...)}``.
 
     The simulator emits through this table so that (a) handler resolution
@@ -324,7 +337,7 @@ class StatisticsCollector(SimulationObserver):
             )
         )
 
-    def latency_statistics(self):
+    def latency_statistics(self) -> "LatencyStatistics":
         """Vectorised latency statistics of everything completed so far."""
         from repro.sim.metrics import CompletedArrays, latency_statistics_from_arrays
 
@@ -450,6 +463,14 @@ class WindowedMetrics(SimulationObserver):
     #: The simulator offers columnar binding to observers advertising this.
     columnar_capable = True
 
+    #: The per-query handlers whose effect the columnar digestion
+    #: reconstructs from the struct-of-arrays store — the bound observer
+    #: never receives these as events, and ``repro.lint`` (HOOK001) checks
+    #: every overridden per-query handler is accounted for here.
+    columnar_covered: FrozenSet[str] = frozenset(
+        {"on_query_arrived", "on_query_completed"}
+    )
+
     def __init__(self, window: float = 1.0) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -465,13 +486,13 @@ class WindowedMetrics(SimulationObserver):
         self._cached_bucket: Optional[_Bucket] = None
         # Columnar binding (fast path): the run's struct-of-arrays store and
         # a clock source exposing ``.now``.
-        self._columns = None
-        self._source = None
+        self._columns: Optional["QueryColumns"] = None
+        self._source: Any = None
 
     # ------------------------------------------------------------------ #
     # columnar binding
     # ------------------------------------------------------------------ #
-    def attach_columns(self, columns, source) -> bool:
+    def attach_columns(self, columns: "QueryColumns", source: Any) -> bool:
         """Bind this observer to a run's columnar store (fast path only).
 
         ``source`` is anything exposing the current simulation time as
@@ -500,7 +521,11 @@ class WindowedMetrics(SimulationObserver):
         self._cached_bucket = None
         return True
 
-    def _columnar_state(self):
+    def _columnar_state(
+        self,
+    ) -> Tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+    ]:
         """Numpy views + masks of the bound columns.
 
         ``seen`` marks the queries whose arrival event has actually fired —
@@ -512,6 +537,7 @@ class WindowedMetrics(SimulationObserver):
         only when their event fires, so the finish column needs no filter.
         """
         columns = self._columns
+        assert columns is not None, "columnar digestion before attach_columns"
         arrival = np.frombuffer(columns.arrival, dtype=np.float64)
         batch = np.frombuffer(columns.batch, dtype=np.int64)
         finish = np.frombuffer(columns.finish, dtype=np.float64)
@@ -520,7 +546,7 @@ class WindowedMetrics(SimulationObserver):
         completed = ~np.isnan(finish)
         return arrival, batch, finish, deadline, seen, completed
 
-    def _columnar_horizon(self, state) -> float:
+    def _columnar_horizon(self, state: Tuple[np.ndarray, ...]) -> float:
         """The last observed event time (columnar equivalent of the
         event-driven ``_last_event_time``)."""
         arrival, _, finish, _, seen, completed = state

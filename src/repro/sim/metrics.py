@@ -15,7 +15,7 @@ The latency-bounded-throughput *search* (sweeping arrival rates) lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -84,7 +84,7 @@ class CompletedArrays:
         return int(self.latencies.size)
 
 
-def completed_arrays_from_columns(columns) -> CompletedArrays:
+def completed_arrays_from_columns(columns: Any) -> CompletedArrays:
     """Digest a fast-path columnar store into :class:`CompletedArrays`.
 
     ``columns`` is a :class:`repro.sim.columnar.QueryColumns` (duck-typed to

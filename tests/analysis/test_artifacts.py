@@ -120,7 +120,8 @@ class TestRunTable:
         table = run_table(runs)
         for column in RUN_TABLE_COLUMNS:
             assert column in table
-        assert "alpha" in table and "cancelled" in table
+        assert "alpha" in table
+        assert "cancelled" in table
 
     def test_csv_roundtrip(self, tmp_path):
         write_job(tmp_path, "job-0001")

@@ -9,7 +9,8 @@ class TestFormatTable:
     def test_renders_headers_and_rows(self):
         text = format_table(["model", "qps"], [["resnet", 123.456], ["bert", 7.0]])
         lines = text.splitlines()
-        assert "model" in lines[0] and "qps" in lines[0]
+        assert "model" in lines[0]
+        assert "qps" in lines[0]
         assert len(lines) == 4
         assert "resnet" in lines[2]
 

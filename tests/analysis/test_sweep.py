@@ -260,6 +260,22 @@ class TestWarmSharedPool:
         assert not runner.warm  # per-point work below min_fork_work
         runner.close()
 
+    def test_warm_runner_pickles_without_its_pool(self):
+        # regression (CONC002): a runner referenced from shared state must
+        # not drag its live ProcessPoolExecutor across the pool boundary —
+        # the copy arrives cold and stays fully usable
+        import pickle
+
+        with ParallelRunner(n_jobs=2, force_spawn=True) as runner:
+            assert runner.map_shared(shared_double, 2, [1, 2]) == [2, 4]
+            assert runner.warm
+            clone = pickle.loads(pickle.dumps(runner))
+            assert not clone.warm  # the pool did not travel
+            assert clone.n_jobs == runner.n_jobs
+            assert clone.map_shared(shared_double, 2, [3, 4]) == [6, 8]
+            clone.close()
+            assert runner.warm  # pickling left the original's pool alone
+
     def test_sweep_with_warm_runner_matches_serial(self, deployment, workload):
         rates = [100.0, 400.0, 800.0]
         serial = sweep_rates(deployment, workload, rates, seed=0, n_jobs=1)

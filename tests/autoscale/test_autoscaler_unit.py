@@ -202,9 +202,11 @@ class TestEvaluation:
         session = StubSession([UNIT])
         scaler.reset(session.roster)
         scaler.evaluate(session, context())
-        assert scaler.decisions and scaler.pending
+        assert scaler.decisions
+        assert scaler.pending
         scaler.reset(session.roster)
-        assert scaler.decisions == [] and scaler.pending == ()
+        assert scaler.decisions == []
+        assert scaler.pending == ()
 
     def test_decisions_are_recorded_in_order(self):
         scaler = Autoscaler(UNIT, triggers=[ForcedTrigger("scale-out")])

@@ -60,7 +60,8 @@ class TestPreemptionSchedule:
             (1.0, 2),
             (5.0, 0),
         ]
-        assert len(schedule) == 3 and bool(schedule)
+        assert len(schedule) == 3
+        assert bool(schedule)
         assert not PreemptionSchedule()
 
     def test_sample_is_seed_deterministic(self):
@@ -111,7 +112,8 @@ class TestSessionExecution:
             "preempt-skipped",
         ]
         notice, removed = result.fleet_events[0], result.fleet_events[1]
-        assert notice.time == 0.5 and notice.server_index == 1
+        assert notice.time == 0.5
+        assert notice.server_index == 1
         assert removed.time == pytest.approx(0.7)  # 0.5 + 0.2s notice
         assert removed.server_index == 1
         skipped = [e for e in result.fleet_events if e.kind == "preempt-skipped"]

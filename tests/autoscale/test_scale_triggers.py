@@ -73,7 +73,8 @@ class TestScaleOutSla:
         assert not trigger.evaluate(context(metrics)).fire
         hot = ScaleOutSlaTrigger(threshold=0.1, min_queries=5, lookback_windows=3)
         warmup = trigger.evaluate(context(metrics, since_reconfig=0.0))
-        assert not warmup.fire and "reconfiguration" in warmup.reason
+        assert not warmup.fire
+        assert "reconfiguration" in warmup.reason
         assert not hot.evaluate(
             context(metrics_with(arrivals=2, completed=2, violated=2, window=10.0))
         ).fire  # below min_queries

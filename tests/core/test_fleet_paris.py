@@ -44,7 +44,8 @@ class TestFleetPlan:
         assert plan.used_gpcs_of(A30_NAME) == 6
         assert plan.total_instances == 5
         assert plan.counts_of(A30_NAME) == {2: 3}
-        assert A100_NAME in plan.describe() and "2xGPU(7)" in plan.describe()
+        assert A100_NAME in plan.describe()
+        assert "2xGPU(7)" in plan.describe()
         assert plan.to_dict()["counts"][f"{A30_NAME}/GPU(2)"] == 3
 
     def test_per_architecture_budget_enforced(self):

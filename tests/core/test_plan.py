@@ -8,8 +8,11 @@ from repro.core.plan import BatchSegment, PartitionPlan
 class TestBatchSegment:
     def test_contains(self):
         segment = BatchSegment(gpcs=2, low=3, high=8, probability=0.4, instance_ratio=0.1)
-        assert segment.contains(3) and segment.contains(8) and segment.contains(5)
-        assert not segment.contains(2) and not segment.contains(9)
+        assert segment.contains(3)
+        assert segment.contains(8)
+        assert segment.contains(5)
+        assert not segment.contains(2)
+        assert not segment.contains(9)
 
 
 class TestPartitionPlan:

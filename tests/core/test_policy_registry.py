@@ -131,7 +131,8 @@ class TestRegistrationRules:
         registry.register("a", lambda ctx: "fa", aliases=("a1", "a2"))
         registry.register("b", lambda ctx: "fb", aliases=("a",), overwrite=True)
         assert registry.get("a")(None) == "fb"
-        assert "a1" not in registry and "a2" not in registry
+        assert "a1" not in registry
+        assert "a2" not in registry
         assert registry.names() == ["b"]
 
     def test_alias_folding_onto_the_name_is_harmless(self):
@@ -152,7 +153,8 @@ class TestRegistrationRules:
         registry.register("a", lambda ctx: 1, aliases=("b",))
         assert "b" in registry
         registry.unregister("a")
-        assert "a" not in registry and "b" not in registry
+        assert "a" not in registry
+        assert "b" not in registry
 
     def test_unregister_by_alias_keeps_the_primary(self):
         # freeing an alias must not delete the factory it points at

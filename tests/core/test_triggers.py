@@ -14,6 +14,7 @@ from repro.core.triggers import (
     resolve_triggers,
     total_variation_distance,
 )
+from repro.core.registry import UnknownPolicyError
 from repro.sim.hooks import QueryArrived, QueryCompleted, WindowedMetrics
 from repro.workload.query import Query
 
@@ -129,13 +130,14 @@ class TestSlaViolationTrigger:
 class TestRegistryAndResolution:
     def test_builtins_registered(self):
         assert {"pdf-drift", "sla-violation-rate"} <= set(available_triggers())
-        assert "drift" in TRIGGERS and "sla" in TRIGGERS  # aliases
+        assert "drift" in TRIGGERS  # alias
+        assert "sla" in TRIGGERS  # alias
 
     def test_build_trigger_with_options(self):
         trigger = build_trigger("pdf-drift", threshold=0.5)
         assert isinstance(trigger, PdfDriftTrigger)
         assert trigger.threshold == 0.5
-        with pytest.raises(Exception):
+        with pytest.raises(UnknownPolicyError):
             build_trigger("no-such-trigger")
 
     def test_resolve_mixed_forms(self):

@@ -83,6 +83,44 @@ class TestLifecycle:
         ]
         assert rows == job.windows
 
+    def test_artifact_writes_run_off_the_event_loop(self, tmp_path, monkeypatch):
+        # regression (CONC001): artifact file appends used to run inline in
+        # the job coroutine, stalling every co-scheduled tenant on a slow
+        # disk; they must run in a worker thread, with the row content
+        # unchanged (the rows == job.windows pin above)
+        import threading
+
+        from repro.daemon import jobs as jobs_module
+
+        append_threads = []
+        write_threads = []
+        real_append = jobs_module._append_ndjson
+        real_write = jobs_module._write_json_file
+
+        def recording_append(path, rows):
+            append_threads.append(threading.current_thread())
+            real_append(path, rows)
+
+        def recording_write(path, payload):
+            write_threads.append(threading.current_thread())
+            real_write(path, payload)
+
+        monkeypatch.setattr(jobs_module, "_append_ndjson", recording_append)
+        monkeypatch.setattr(jobs_module, "_write_json_file", recording_write)
+
+        async def body():
+            manager = make_manager(tmp_path)
+            job = manager.submit(spec(seed=1))
+            await manager.drain()
+            return threading.current_thread(), job
+
+        loop_thread, job = asyncio.run(body())
+        assert job.state is JobState.COMPLETED
+        assert append_threads, "no artifact appends were recorded"
+        assert write_threads, "result.json was never written"
+        for thread in append_threads + write_threads:
+            assert thread is not loop_thread
+
     def test_concurrent_jobs_interleave_and_complete(self, tmp_path):
         async def body():
             manager = make_manager(tmp_path)

@@ -169,7 +169,8 @@ class TestFleetConfigure:
         with pytest.raises(ServerCapacityError) as excinfo:
             fleet.configure({("A30", 4): 2})
         message = str(excinfo.value)
-        assert "A30" in message and "budget" in message
+        assert "A30" in message
+        assert "budget" in message
         assert excinfo.value.breakdown["demand_gpcs"] == 8
 
 

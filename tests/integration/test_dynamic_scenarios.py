@@ -98,7 +98,8 @@ class TestDriftTriggeredRepartition:
         online = record.finished
         post = [w for w in triggered.windows if w.start >= online]
         control_post = [w for w in control.windows if w.start >= online]
-        assert post and control_post
+        assert post
+        assert control_post
 
         def rate(windows):
             sla = sum(w.sla_count for w in windows)

@@ -1,0 +1,248 @@
+"""Tests for ``python -m repro.lint``: exit codes, baseline workflow, JSON
+output — and the self-scan that keeps the shipped package clean.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import BASELINE_NAME, main
+from repro.lint.findings import Finding
+from repro.lint.runner import (
+    DEFAULT_ROOT,
+    LintError,
+    iter_python_files,
+    lint_paths,
+    load_module,
+    repo_root_for,
+)
+
+DIRTY = textwrap.dedent(
+    """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """\
+    def stamp(now: float) -> float:
+        return now
+    """
+)
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A scratch checkout: tmp/repro/sim/ so zone inference kicks in."""
+    package = tmp_path / "repro" / "sim"
+    package.mkdir(parents=True)
+    monkeypatch.chdir(tmp_path)
+    return package
+
+
+def scan(tree, *argv):
+    return main([str(tree.parent), *argv])
+
+
+class TestExitCodes:
+    def test_clean_scan_exits_zero(self, tree, capsys):
+        (tree / "good.py").write_text(CLEAN)
+        assert scan(tree) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_finding_exits_one(self, tree, capsys):
+        (tree / "bad.py").write_text(DIRTY)
+        assert scan(tree) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "repro/sim/bad.py:4" in out.replace("\\", "/")
+
+    def test_unknown_code_exits_two(self, tree, capsys):
+        (tree / "good.py").write_text(CLEAN)
+        assert scan(tree, "--select", "NOPE999") == 2
+        assert "unknown checker" in capsys.readouterr().err
+
+    def test_syntax_error_exits_two(self, tree, capsys):
+        (tree / "broken.py").write_text("def oops(:\n")
+        assert scan(tree) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_select_and_ignore_filter_findings(self, tree, capsys):
+        (tree / "bad.py").write_text(DIRTY)
+        assert scan(tree, "--ignore", "DET001,TYP001") == 0
+        assert scan(tree, "--select", "DET002") == 0
+        assert scan(tree, "--select", "DET001") == 1
+        capsys.readouterr()
+
+    def test_list_checkers(self, capsys):
+        assert main(["--list-checkers"]) == 0
+        out = capsys.readouterr().out
+        for code in (
+            "DET001", "DET002", "DET003",
+            "CONC001", "CONC002", "HOOK001", "TYP001",
+        ):
+            assert code in out
+
+
+class TestJsonOutput:
+    def test_payload_shape(self, tree, capsys):
+        (tree / "bad.py").write_text(DIRTY)
+        assert scan(tree, "--format", "json", "--select", "DET001") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["findings"]) > 0
+        assert payload["baselined"] == 0
+        assert payload["stale_baseline_entries"] == 0
+        row = payload["findings"][0]
+        assert row["code"] == "DET001"
+        assert row["line_text"] == "return time.time()"
+        assert set(row) == {"path", "line", "col", "code", "message", "line_text"}
+
+
+class TestBaselineWorkflow:
+    def test_write_then_rescan_is_green(self, tree, tmp_path, capsys):
+        (tree / "bad.py").write_text(DIRTY)
+        assert scan(tree, "--write-baseline") == 0
+        assert (tmp_path / BASELINE_NAME).exists()
+        capsys.readouterr()
+
+        assert scan(tree) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "baselined" in out
+
+    def test_editing_the_line_resurrects_the_finding(self, tree, capsys):
+        (tree / "bad.py").write_text(DIRTY)
+        assert scan(tree, "--write-baseline") == 0
+        (tree / "bad.py").write_text(DIRTY.replace("time.time()", "time.time()  "))
+        capsys.readouterr()
+        # stripped line_text unchanged -> still baselined
+        assert scan(tree) == 0
+        (tree / "bad.py").write_text(
+            DIRTY.replace("return time.time()", "when = time.time()\n    return when")
+        )
+        assert scan(tree) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entr" in out
+
+    def test_fail_on_stale(self, tree, capsys):
+        (tree / "bad.py").write_text(DIRTY)
+        assert scan(tree, "--write-baseline") == 0
+        (tree / "bad.py").write_text(CLEAN)
+        capsys.readouterr()
+        assert scan(tree) == 0  # stale alone is a warning by default
+        assert scan(tree, "--fail-on-stale") == 1
+
+    def test_no_baseline_reports_everything(self, tree, capsys):
+        (tree / "bad.py").write_text(DIRTY)
+        assert scan(tree, "--write-baseline") == 0
+        capsys.readouterr()
+        assert scan(tree, "--no-baseline") == 1
+
+    def test_malformed_baseline_exits_two(self, tree, tmp_path, capsys):
+        (tree / "good.py").write_text(CLEAN)
+        (tmp_path / BASELINE_NAME).write_text("{not json")
+        assert scan(tree) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestBaselineUnit:
+    def _finding(self, line_text="x = 1", code="DET001", path="sim/a.py"):
+        return Finding(
+            path=path, line=1, col=0, code=code,
+            message="m", line_text=line_text,
+        )
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(path)
+
+    def test_entry_shape_validated(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"version": 1, "findings": [{"code": "X"}]}))
+        with pytest.raises(BaselineError, match="line_text"):
+            load_baseline(path)
+
+    def test_multiplicity_suppresses_one_per_entry(self):
+        findings = [self._finding(), self._finding()]
+        entries = [{"code": "DET001", "path": "sim/a.py", "line_text": "x = 1"}]
+        fresh, suppressed, stale = apply_baseline(findings, entries)
+        assert (len(fresh), suppressed, stale) == (1, 1, 0)
+
+    def test_stale_entries_counted(self):
+        entries = [
+            {"code": "DET001", "path": "sim/a.py", "line_text": "gone"},
+            {"code": "DET001", "path": "sim/a.py", "line_text": "also gone"},
+        ]
+        fresh, suppressed, stale = apply_baseline([], entries)
+        assert (fresh, suppressed, stale) == ([], 0, 2)
+
+    def test_line_number_not_part_of_identity(self):
+        finding = Finding(
+            path="sim/a.py", line=500, col=4, code="DET001",
+            message="m", line_text="x = 1",
+        )
+        entries = [{"code": "DET001", "path": "sim/a.py", "line_text": "x = 1"}]
+        fresh, suppressed, stale = apply_baseline([finding], entries)
+        assert (fresh, suppressed, stale) == ([], 1, 0)
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_baseline(path, [self._finding(line_text="y = 2")])
+        entries = load_baseline(path)
+        assert entries == [
+            {"code": "DET001", "path": "sim/a.py", "line_text": "y = 2", "note": ""}
+        ]
+
+
+class TestRunnerPlumbing:
+    def test_iter_python_files_skips_pycache_and_lint(self, tmp_path):
+        root = tmp_path / "repro"
+        (root / "sim").mkdir(parents=True)
+        (root / "sim" / "a.py").write_text("x = 1\n")
+        (root / "lint").mkdir()
+        (root / "lint" / "b.py").write_text("x = 1\n")
+        (root / "__pycache__").mkdir()
+        (root / "__pycache__" / "c.py").write_text("x = 1\n")
+        files = list(iter_python_files([root]))
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_load_module_infers_rel_from_repro_root(self, tmp_path):
+        path = tmp_path / "repro" / "daemon" / "api.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        module = load_module(path, display_root=tmp_path)
+        assert module.rel == "daemon/api.py"
+        assert module.zones == frozenset({"asyncio"})
+        assert module.path.replace("\\", "/") == "repro/daemon/api.py"
+
+    def test_unreadable_file_raises_lint_error(self, tmp_path):
+        with pytest.raises(LintError, match="cannot read"):
+            load_module(tmp_path / "absent.py")
+
+
+class TestSelfScan:
+    def test_shipped_package_is_clean(self):
+        """The committed package must pass its own lint suite.
+
+        This is the local mirror of the CI `python -m repro.lint` gate:
+        any regression against DET/CONC/HOOK/TYP policy fails the test
+        suite even on machines without the CI toolchain.
+        """
+        package, repo = repo_root_for(DEFAULT_ROOT)
+        findings = lint_paths([package], display_root=repo)
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -36,9 +36,12 @@ class TestFromSpecs:
         assert config.scheduler == "elsa"
         # the flat legacy fields stay in sync with the specs
         assert config.knee_threshold == 0.85
-        assert config.alpha == 1.2 and config.beta == 0.8
-        assert config.sla_multiplier == 2.0 and config.max_batch == 64
-        assert config.num_gpus == 8 and config.gpc_budget == 48
+        assert config.alpha == 1.2
+        assert config.beta == 0.8
+        assert config.sla_multiplier == 2.0
+        assert config.max_batch == 64
+        assert config.num_gpus == 8
+        assert config.gpc_budget == 48
         # and the spec objects ride along for the registry factories
         assert isinstance(config.partitioner_spec, ParisSpec)
         assert isinstance(config.scheduler_spec, ElsaSpec)
@@ -158,8 +161,10 @@ class TestServerBuilder:
         # the scheduler seed stays spec-local (None = fall back to
         # config.random_seed at build time)
         assert config.scheduler_spec == FifsSpec(idle_preference="largest")
-        assert config.sla_multiplier == 2.0 and config.max_batch == 16
-        assert config.num_gpus == 4 and config.gpc_budget == 24
+        assert config.sla_multiplier == 2.0
+        assert config.max_batch == 16
+        assert config.num_gpus == 4
+        assert config.gpc_budget == 24
         assert config.frontend_capacity_qps == 5000.0
         assert config.random_seed == 7
 
@@ -184,8 +189,10 @@ class TestServerBuilder:
             .sla(max_batch=16)
             .build()
         )
-        assert config.num_gpus == 4 and config.gpc_budget == 24
-        assert config.sla_multiplier == 2.0 and config.max_batch == 16
+        assert config.num_gpus == 4
+        assert config.gpc_budget == 24
+        assert config.sla_multiplier == 2.0
+        assert config.max_batch == 16
 
     def test_custom_policy_options_become_policy_spec(self):
         config = ServerBuilder("resnet").scheduler("my-sched", knob=2).build()
@@ -253,7 +260,8 @@ class TestServerBuilder:
             .cluster(gpc_budget=24)
             .build()
         )
-        assert config.num_gpus == 4 and config.gpc_budget == 24
+        assert config.num_gpus == 4
+        assert config.gpc_budget == 24
 
     def test_rejected_rerun_keeps_the_claims_table_intact(self):
         # a re-run step that collides must not release its earlier claims:

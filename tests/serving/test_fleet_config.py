@@ -17,7 +17,8 @@ MIXED = ((2, "a100", 14), (2, "a30"), (1, "h100", 7))
 class TestFleetConfig:
     def test_flat_fields_derived_from_fleet(self):
         config = ServerConfig(model="resnet", fleet=MIXED)
-        assert config.is_fleet and config.is_heterogeneous_fleet
+        assert config.is_fleet
+        assert config.is_heterogeneous_fleet
         assert config.num_gpus == 5
         assert config.architecture is A100  # the first server's
         assert config.effective_gpc_budget == 14 + 8 + 7

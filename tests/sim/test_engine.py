@@ -75,7 +75,8 @@ class TestEventQueue:
         queue = EventQueue()
         assert not queue
         queue.push(0.0, EventKind.ARRIVAL, make_query())
-        assert queue and len(queue) == 1
+        assert queue
+        assert len(queue) == 1
 
 
 class TestTupleEventQueue:

@@ -131,7 +131,8 @@ class TestWindowedMetrics:
         simulator.run(make_trace([(0.0, 1), (3.5, 1)]))
         series = windowed.series()
         assert len(series) == 4
-        assert series[1].completions == 0 and series[2].completions == 0
+        assert series[1].completions == 0
+        assert series[2].completions == 0
 
     def test_series_until_truncates(self):
         windowed = WindowedMetrics(window=1.0)

@@ -69,7 +69,8 @@ class TestUtilizationStatistics:
 
     def test_empty_workers(self):
         stats = utilization_statistics([], makespan=1.0)
-        assert stats.mean == 0.0 and stats.per_instance == {}
+        assert stats.mean == 0.0
+        assert stats.per_instance == {}
 
     def test_retired_worker_normalised_by_its_active_span(self):
         """A fully busy worker retired halfway through the run reports ~1.0.

@@ -21,7 +21,8 @@ def make_query(qid=0, batch=1):
 class TestLifecycle:
     def test_initially_idle(self):
         worker = make_worker()
-        assert worker.is_idle and not worker.is_executing
+        assert worker.is_idle
+        assert not worker.is_executing
         assert worker.queue_depth == 0
 
     def test_enqueue_start_complete_cycle(self):

@@ -74,7 +74,8 @@ class TestUniformBatchDistribution:
     def test_samples_in_range(self):
         dist = UniformBatchDistribution(max_batch=8, seed=0)
         samples = dist.sample(size=1000)
-        assert samples.min() >= 1 and samples.max() <= 8
+        assert samples.min() >= 1
+        assert samples.max() <= 8
 
 
 class TestEmpiricalBatchDistribution:
@@ -131,5 +132,6 @@ def test_lognormal_pdf_always_a_distribution(sigma, median, max_batch):
     dist = LogNormalBatchDistribution(sigma=sigma, median=median, max_batch=max_batch)
     pdf = dist.pdf()
     assert sum(pdf.values()) == pytest.approx(1.0)
-    assert min(pdf) == 1 and max(pdf) == max_batch
+    assert min(pdf) == 1
+    assert max(pdf) == max_batch
     assert all(p >= 0 for p in pdf.values())

@@ -61,7 +61,8 @@ class TestQueryGenerator:
     def test_batch_pdf_matches_distribution_support(self):
         config = WorkloadConfig(model="resnet", rate_qps=10.0, max_batch=16)
         pdf = QueryGenerator(config).batch_pdf()
-        assert min(pdf) == 1 and max(pdf) == 16
+        assert min(pdf) == 1
+        assert max(pdf) == 16
         assert sum(pdf.values()) == pytest.approx(1.0)
 
     def test_max_batch_respected(self):

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.core.registry import UnknownPolicyError
 from repro.workload.scenario import (
     SCENARIOS,
     Phase,
@@ -151,7 +152,7 @@ class TestScenarioRegistry:
         scenario = build_scenario("batch-drift", model="toy", rate_qps=10.0)
         assert isinstance(scenario, Scenario)
         assert scenario.model == "toy"
-        with pytest.raises(Exception):
+        with pytest.raises(UnknownPolicyError):
             build_scenario("no-such-scenario")
 
     def test_register_custom_scenario(self):
@@ -186,7 +187,8 @@ class TestBuiltinBuilders:
         )
         assert len(scenario.phases) == 8
         rates = [p.rate_qps for p in scenario.phases[:4]]
-        assert rates[0] == 10.0 and rates[2] == 90.0
+        assert rates[0] == 10.0
+        assert rates[2] == 90.0
         assert rates[1] == pytest.approx(30.0)  # geometric mid
         with pytest.raises(ValueError):
             diurnal_scenario(cycles=0)

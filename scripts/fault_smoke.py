@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI smoke test for the fault-injection subsystem.
+
+Regenerates the availability-vs-fault-rate experiment from scratch and
+asserts:
+
+* the payload reproduces the committed ``BENCH_faults.json`` artifact
+  (the sweep is fully seeded — any drift is a real behavior change),
+* the fault-free baseline is fully available with zero failures/retries,
+* every sweep point conserves queries (completed + failed == submitted),
+* the highest fault rate measurably degrades availability and exercises
+  the retry path.
+
+Exits non-zero on any failure.  Wall-clock bounded by ``--timeout``
+(default 240 s) so a hung run fails CI instead of stalling it.
+"""
+
+import argparse
+import json
+import math
+import sys
+import threading
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+ARTIFACT = ROOT / "BENCH_faults.json"
+
+
+def _match(fresh, pinned, path="payload") -> list:
+    """Structural diff with a small float tolerance, first mismatch only."""
+    if isinstance(pinned, dict):
+        if not isinstance(fresh, dict) or set(fresh) != set(pinned):
+            return [f"{path}: keys differ ({sorted(fresh)} vs {sorted(pinned)})"]
+        for key in pinned:
+            bad = _match(fresh[key], pinned[key], f"{path}.{key}")
+            if bad:
+                return bad
+        return []
+    if isinstance(pinned, list):
+        if not isinstance(fresh, list) or len(fresh) != len(pinned):
+            return [f"{path}: list length {len(fresh)} vs {len(pinned)}"]
+        for i, (a, b) in enumerate(zip(fresh, pinned)):
+            bad = _match(a, b, f"{path}[{i}]")
+            if bad:
+                return bad
+        return []
+    if isinstance(pinned, float) and isinstance(fresh, (int, float)):
+        if not math.isclose(fresh, pinned, rel_tol=1e-6, abs_tol=1e-9):
+            return [f"{path}: {fresh} != {pinned}"]
+        return []
+    if fresh != pinned:
+        return [f"{path}: {fresh!r} != {pinned!r}"]
+    return []
+
+
+def run_smoke() -> None:
+    from repro.analysis.faults import check_fault_payload, run_fault_experiment
+
+    assert ARTIFACT.is_file(), f"missing committed artifact {ARTIFACT.name}"
+    pinned = json.loads(ARTIFACT.read_text())
+
+    print("regenerating the fault-rate sweep ...")
+    fresh = run_fault_experiment(log=print)
+
+    mismatch = _match(fresh, pinned)
+    assert not mismatch, f"artifact drift vs {ARTIFACT.name}: {mismatch[0]}"
+    print(f"artifact reproduced: {ARTIFACT.name} is bit-consistent")
+
+    failures = check_fault_payload(fresh)
+    assert not failures, f"degradation claim failed: {failures[0]}"
+    baseline, worst = fresh["sweep"][0], fresh["sweep"][-1]
+    print(
+        f"degradation verified: availability {baseline['availability']:.4f} "
+        f"(fault-free) -> {worst['availability']:.4f} at "
+        f"{worst['rate']:g} faults/s ({worst['crashes']} crashes, "
+        f"{worst['retries']} retries, {worst['failed_queries']} failed)"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--timeout", type=float, default=240.0,
+        help="hard wall-clock bound in seconds (default 240)",
+    )
+    args = parser.parse_args()
+
+    failure: list = []
+    worker = threading.Thread(
+        target=lambda: failure.extend(_guarded()), daemon=True
+    )
+    worker.start()
+    worker.join(args.timeout)
+    if worker.is_alive():
+        print(f"FAIL: smoke run exceeded {args.timeout:.0f}s", file=sys.stderr)
+        return 2
+    if failure:
+        print(f"FAIL: {failure[0]}", file=sys.stderr)
+        return 1
+    print("fault smoke: OK")
+    return 0
+
+
+def _guarded() -> list:
+    try:
+        run_smoke()
+        return []
+    except BaseException as error:  # report, don't hang the join
+        return [f"{type(error).__name__}: {error}"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

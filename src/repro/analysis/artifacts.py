@@ -51,10 +51,14 @@ class JobArtifact:
         result: the decoded ``result.json`` document, or ``None`` for a job
             that never reached a terminal state (daemon killed mid-run).
         windows: decoded metric-window rows of ``windows.ndjson``, in
-            emission order (``"type": "fleet-event"`` rows are partitioned
-            out into :attr:`fleet_events`).
+            emission order (``"type": "fleet-event"`` and
+            ``"type": "fault-event"`` rows are partitioned out into
+            :attr:`fleet_events` / :attr:`fault_events`).
         fleet_events: fleet control-plane rows (scale-out/in, preemptions)
             the daemon interleaved into the stream, in emission order.
+        fault_events: fault-injection rows (crashes, restarts, stragglers,
+            failed reconfigurations) interleaved into the stream, in
+            emission order.
         path: the artifact directory.
     """
 
@@ -63,6 +67,7 @@ class JobArtifact:
     result: Optional[Dict[str, Any]]
     windows: Tuple[Dict[str, Any], ...]
     fleet_events: Tuple[Dict[str, Any], ...] = ()
+    fault_events: Tuple[Dict[str, Any], ...] = ()
     path: Path = field(compare=False, default=Path("."))
 
     @property
@@ -114,6 +119,7 @@ def load_job(job_dir: Union[str, Path]) -> JobArtifact:
     result = _read_json(result_path) if result_path.is_file() else None
     windows: List[Dict[str, Any]] = []
     fleet_events: List[Dict[str, Any]] = []
+    fault_events: List[Dict[str, Any]] = []
     windows_path = path / "windows.ndjson"
     if windows_path.is_file():
         for number, line in enumerate(windows_path.read_text().splitlines(), 1):
@@ -127,10 +133,12 @@ def load_job(job_dir: Union[str, Path]) -> JobArtifact:
                     f"{windows_path}:{number}: invalid NDJSON row: {error}"
                 ) from error
             # the stream interleaves metric windows with typed control-plane
-            # rows; partition on the "type" marker so window digestion never
-            # trips over a fleet event
+            # and fault rows; partition on the "type" marker so window
+            # digestion never trips over either
             if row.get("type") == "fleet-event":
                 fleet_events.append(row)
+            elif row.get("type") == "fault-event":
+                fault_events.append(row)
             else:
                 windows.append(row)
     return JobArtifact(
@@ -139,6 +147,7 @@ def load_job(job_dir: Union[str, Path]) -> JobArtifact:
         result=result,
         windows=tuple(windows),
         fleet_events=tuple(fleet_events),
+        fault_events=tuple(fault_events),
         path=path,
     )
 

@@ -14,8 +14,9 @@ sampled with :meth:`PreemptionSchedule.sample` from a seeded generator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -90,22 +91,28 @@ class PreemptionSchedule:
         skipped events rather than failing.
 
         Raises:
-            ValueError: for an empty candidate set, non-positive horizon or
-                negative rate/notice.
+            ValueError: for an empty candidate set, a non-positive or NaN
+                horizon, a non-positive or NaN rate (a zero rate would
+                divide by zero in the exponential draw — pass
+                ``PreemptionSchedule()`` for a quiet run instead), or a
+                negative/NaN notice.
         """
         if not server_ids:
             raise ValueError("server_ids must name at least one candidate")
-        if horizon <= 0:
-            raise ValueError("horizon must be positive")
-        if rate < 0:
-            raise ValueError("rate must be non-negative")
-        if notice < 0:
-            raise ValueError("notice must be non-negative")
+        if math.isnan(horizon) or horizon <= 0:
+            raise ValueError("horizon must be positive (and not NaN)")
+        if math.isnan(rate) or rate <= 0:
+            raise ValueError(
+                "rate must be positive (and not NaN); for a preemption-free "
+                "run pass PreemptionSchedule() instead of rate=0"
+            )
+        if math.isnan(notice) or notice < 0:
+            raise ValueError("notice must be non-negative (and not NaN)")
         rng = np.random.default_rng(seed)
-        events = []
+        events: List[PreemptionEvent] = []
         time = 0.0
         candidates = list(server_ids)
-        while rate > 0:
+        while True:
             time += float(rng.exponential(1.0 / rate))
             if time >= horizon:
                 break

@@ -5,13 +5,30 @@ endpoints, plus a line-by-line reader for the NDJSON stream.  Used by the
 ``python -m repro.daemon`` CLI, the CI smoke script and the end-to-end
 tests; anything else that speaks HTTP works just as well (``curl``,
 ``httpx``, a browser).
+
+Read-only calls (``health``, ``info``, ``fleet``, ``status``,
+``list_jobs``) and the NDJSON stream can ride out a daemon hiccup — a
+restart, a briefly refused listener — via bounded exponential-backoff
+retries (``retries=``/``backoff=``).  The delays are jitterless and purely
+deterministic: ``backoff * 2**(attempt-1)`` seconds before attempt *n*.
+Mutating calls (``submit``, ``cancel``, ``shutdown``) are never retried —
+replaying them could double-submit work.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Dict, Iterator, List, Optional
+
+#: Transport errors worth retrying: the daemon is down or dropped the
+#: connection — distinct from an HTTP error response (the daemon is up and
+#: said no), which is never retried.
+RETRYABLE_ERRORS = (ConnectionRefusedError, ConnectionResetError)
+
+#: Sleep hook between retry attempts (module-level so tests can stub it).
+_sleep = time.sleep
 
 
 class DaemonError(RuntimeError):
@@ -28,22 +45,69 @@ class DaemonClient:
 
     Each call opens a fresh connection (the daemon closes connections after
     every response), so a client object is cheap and thread-safe to share.
+
+    Args:
+        host: daemon address.
+        port: daemon port.
+        timeout: per-request socket timeout, seconds.
+        retries: extra attempts for *idempotent* calls after a refused or
+            reset connection (0 disables, the default).
+        backoff: base retry delay, seconds; attempt ``n`` sleeps
+            ``backoff * 2**(n-1)`` — deterministic, no jitter.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.1,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        #: Connection factory (swappable in tests for fault simulation).
+        self._connect = http.client.HTTPConnection
 
     # ------------------------------------------------------------------ #
     # plain JSON requests
     # ------------------------------------------------------------------ #
+    def _retry_delays(self) -> Iterator[float]:
+        """The deterministic backoff sequence, one delay per extra attempt."""
+        for attempt in range(1, self.retries + 1):
+            yield self.backoff * 2 ** (attempt - 1)
+
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        *,
+        retryable: bool = False,
+    ) -> Any:
+        if not retryable:
+            return self._request_once(method, path, payload)
+        delays = self._retry_delays()
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except RETRYABLE_ERRORS:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                _sleep(delay)
+
+    def _request_once(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Any:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        connection = self._connect(self.host, self.port, timeout=self.timeout)
         try:
             body = json.dumps(payload) if payload is not None else None
             headers = {"Content-Type": "application/json"} if body else {}
@@ -65,16 +129,16 @@ class DaemonClient:
             connection.close()
 
     def health(self) -> Dict[str, Any]:
-        """``GET /healthz``."""
-        return self._request("GET", "/healthz")
+        """``GET /healthz`` (idempotent: retried on connection faults)."""
+        return self._request("GET", "/healthz", retryable=True)
 
     def info(self) -> Dict[str, Any]:
-        """``GET /`` — identity and endpoint index."""
-        return self._request("GET", "/")
+        """``GET /`` — identity and endpoint index (retried)."""
+        return self._request("GET", "/", retryable=True)
 
     def fleet(self) -> Dict[str, Any]:
-        """``GET /fleet`` — capacity and live grants."""
-        return self._request("GET", "/fleet")
+        """``GET /fleet`` — capacity and live grants (retried)."""
+        return self._request("GET", "/fleet", retryable=True)
 
     def submit(
         self,
@@ -101,12 +165,12 @@ class DaemonClient:
         )
 
     def status(self, job_id: str) -> Dict[str, Any]:
-        """``GET /jobs/{id}``."""
-        return self._request("GET", f"/jobs/{job_id}")
+        """``GET /jobs/{id}`` (idempotent: retried on connection faults)."""
+        return self._request("GET", f"/jobs/{job_id}", retryable=True)
 
     def list_jobs(self) -> List[Dict[str, Any]]:
-        """``GET /jobs``."""
-        return self._request("GET", "/jobs")["jobs"]
+        """``GET /jobs`` (idempotent: retried on connection faults)."""
+        return self._request("GET", "/jobs", retryable=True)["jobs"]
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         """``POST /jobs/{id}/cancel``."""
@@ -125,8 +189,32 @@ class DaemonClient:
         Rows are ``{"type": "window", ...}`` metric windows followed by one
         ``{"type": "status", ...}`` document; the generator ends when the
         daemon closes the connection.
+
+        With ``retries > 0`` a refused or reset connection re-subscribes
+        after the deterministic backoff; the daemon streams the full window
+        history to late subscribers, so already-yielded rows are skipped by
+        position and the caller sees each row exactly once.
         """
-        connection = http.client.HTTPConnection(
+        delays = self._retry_delays()
+        yielded = 0
+        while True:
+            try:
+                for index, row in enumerate(self._watch_once(job_id, timeout)):
+                    if index < yielded:
+                        continue
+                    yielded += 1
+                    yield row
+                return
+            except RETRYABLE_ERRORS:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                _sleep(delay)
+
+    def _watch_once(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        connection = self._connect(
             self.host, self.port, timeout=timeout or self.timeout
         )
         try:

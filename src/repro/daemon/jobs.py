@@ -190,6 +190,7 @@ class Job:
     artifact_dir: Optional[Path] = None
     windows: List[Dict[str, Any]] = field(default_factory=list)
     fleet_events: List[Dict[str, Any]] = field(default_factory=list)
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
     summary: Optional[Dict[str, Any]] = None
     result: Optional[SessionResult] = None
     cancel_requested: bool = False
@@ -208,6 +209,7 @@ class Job:
             "finished_at": self.finished_at,
             "windows": len(self.windows),
             "fleet_events": len(self.fleet_events),
+            "fault_events": len(self.fault_events),
             "error": self.error,
             "summary": self.summary,
         }
@@ -467,6 +469,7 @@ class JobManager:
                     tenant.advance(self.chunk)
                     await self._append_windows(job, tenant.new_windows())
                     await self._append_fleet_events(job, tenant.new_fleet_events())
+                    await self._append_fault_events(job, tenant.new_fault_events())
                     await self._publish(job)
                     # hand the loop to the other tenants between chunks
                     await asyncio.sleep(0)
@@ -474,11 +477,13 @@ class JobManager:
                     job.result = tenant.abort()
                     await self._append_windows(job, tenant.new_windows())
                     await self._append_fleet_events(job, tenant.new_fleet_events())
+                    await self._append_fault_events(job, tenant.new_fault_events())
                     await self._finalise(job, JobState.CANCELLED)
                 else:
                     job.result = tenant.finish()
                     await self._append_windows(job, tenant.new_windows())
                     await self._append_fleet_events(job, tenant.new_fleet_events())
+                    await self._append_fault_events(job, tenant.new_fault_events())
                     await self._finalise(job, JobState.COMPLETED)
             finally:
                 await self._release(job)
@@ -512,6 +517,21 @@ class JobManager:
             return
         rows = [event.to_dict() for event in events]
         job.fleet_events.extend(rows)
+        if job.artifact_dir is not None:
+            await asyncio.to_thread(
+                _append_ndjson, job.artifact_dir / "windows.ndjson", rows
+            )
+
+    async def _append_fault_events(self, job: Job, records: List[Any]) -> None:
+        """Interleave fault-injection rows into the window stream file.
+
+        Each row carries ``"type": "fault-event"`` so artifact digestion can
+        partition them from the metric windows and fleet events.
+        """
+        if not records:
+            return
+        rows = [record.to_dict() for record in records]
+        job.fault_events.extend(rows)
         if job.artifact_dir is not None:
             await asyncio.to_thread(
                 _append_ndjson, job.artifact_dir / "windows.ndjson", rows

@@ -225,6 +225,7 @@ class TenantSession:
         self._started = False
         self._emitted = 0
         self._emitted_events = 0
+        self._emitted_faults = 0
 
     @property
     def started(self) -> bool:
@@ -297,6 +298,20 @@ class TenantSession:
         events = self.session.fleet_events()
         fresh = list(events[self._emitted_events:])
         self._emitted_events += len(fresh)
+        return fresh
+
+    def new_fault_events(self) -> List:
+        """Fault-injection records logged since the last call.
+
+        Empty for sessions without a fault schedule.  Delivered in record
+        order so the daemon can stream them alongside windows and fleet
+        events.
+        """
+        if not self._started:
+            return []
+        records = self.session.fault_events()
+        fresh = list(records[self._emitted_faults:])
+        self._emitted_faults += len(fresh)
         return fresh
 
     def finish(self) -> SessionResult:

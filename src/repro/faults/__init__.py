@@ -1,0 +1,38 @@
+"""Deterministic fault injection for serving sessions.
+
+The package mirrors the fleet control plane's shape (PR 7): typed events in
+a seeded schedule, applied through the session's control-due interleaving so
+chunked and one-shot runs stay bit-identical.  See ``docs/fault_injection.md``.
+"""
+
+from repro.faults.events import (
+    FailedReconfigure,
+    FaultEvent,
+    FaultRecord,
+    StragglerEnd,
+    StragglerStart,
+    WorkerCrash,
+    WorkerRestart,
+)
+from repro.faults.metrics import (
+    FaultWindow,
+    integrate_fault_timeline,
+    mean_time_to_repair,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "FailedReconfigure",
+    "FaultEvent",
+    "FaultRecord",
+    "FaultSchedule",
+    "FaultWindow",
+    "RetryPolicy",
+    "StragglerEnd",
+    "StragglerStart",
+    "WorkerCrash",
+    "WorkerRestart",
+    "integrate_fault_timeline",
+    "mean_time_to_repair",
+]

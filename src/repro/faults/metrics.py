@@ -1,0 +1,188 @@
+"""Per-window fault availability: delivered-over-planned with crash outages.
+
+The same delivered/planned GPC-seconds accounting as
+:func:`repro.autoscale.timeline.integrate_fleet_timeline`, one level down:
+*planned* capacity is the deployed partition set's GPC total (a step
+function over reconfigurations), and *delivered* capacity subtracts both
+whole-server reconfiguration downtime and per-worker crash outages — without
+double-billing a crash interval that overlaps a reconfiguration (the
+reconfiguration already zeroed those seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.faults.events import FaultRecord
+
+#: One crash outage: ``(start, end, gpcs)`` — the victim's capacity share.
+CrashInterval = Tuple[float, float, int]
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Fault accounting for one metrics window ``[start, end)``.
+
+    Attributes:
+        index: zero-based window index (aligned with the session's
+            :class:`~repro.sim.hooks.WindowStats` windows).
+        start / end: window bounds in simulation seconds (the final window
+            is clipped to the run horizon).
+        planned_gpc_seconds: deployed capacity integral over the window.
+        lost_gpc_seconds: capacity lost to reconfiguration downtime plus
+            crash outages (crash seconds inside downtime count once).
+        delivered_gpc_seconds: ``planned - lost`` (floored at zero).
+        availability: ``delivered / planned`` (1.0 for an empty window).
+        crashes / restarts: fault records of those kinds in the window.
+        retries: queries re-queued by crashes in the window.
+        failures: queries that exhausted their retry budget in the window.
+    """
+
+    index: int
+    start: float
+    end: float
+    planned_gpc_seconds: float
+    lost_gpc_seconds: float
+    delivered_gpc_seconds: float
+    availability: float
+    crashes: int
+    restarts: int
+    retries: int
+    failures: int
+
+
+def mean_time_to_repair(crash_intervals: Sequence[CrashInterval]) -> float:
+    """Mean crash outage duration in seconds (0.0 without any outage).
+
+    Outages still open at the end of a run are clipped at the horizon by
+    the caller before they reach here, so every interval is closed.
+    """
+    if not crash_intervals:
+        return 0.0
+    return sum(end - start for start, end, _ in crash_intervals) / len(crash_intervals)
+
+
+def _overlap(start: float, end: float, intervals: Sequence[Tuple[float, float]]) -> float:
+    """Seconds of ``[start, end)`` covered by (non-overlapping) intervals."""
+    total = 0.0
+    for lo, hi in intervals:
+        total += max(0.0, min(end, hi) - max(start, lo))
+    return total
+
+
+def integrate_fault_timeline(
+    capacity_points: Sequence[Tuple[float, int]],
+    crash_intervals: Sequence[CrashInterval],
+    downtime_intervals: Sequence[Tuple[float, float]],
+    window: float,
+    horizon: float,
+    records: Sequence[FaultRecord] = (),
+) -> List[FaultWindow]:
+    """Per-window availability of a run under worker-level faults.
+
+    Args:
+        capacity_points: ``(time, gpcs)`` pairs sorted by time, the first at
+            time 0.0 — the deployed partition set's GPC total from each
+            instant (a new point per reconfiguration online time).
+        crash_intervals: closed ``(start, end, gpcs)`` outages, one per
+            crash (closed by restart, by the next reconfiguration, or
+            clipped at the horizon).
+        downtime_intervals: reconfiguration downtime intervals
+            (:attr:`repro.sim.hooks.WindowedMetrics.downtime_intervals`,
+            non-overlapping and sorted).
+        window: window length in seconds (the session's metrics window).
+        horizon: end of the accounting period (the run's last event time).
+        records: the session's fault log, binned into per-window
+            crash/restart/retry/failure counts.
+
+    Returns:
+        One :class:`FaultWindow` per metrics window through ``horizon``
+        (the final window clipped to it).  Empty when ``horizon <= 0``.
+
+    Raises:
+        ValueError: for a non-positive window, an empty capacity history,
+            or a history that does not start at time 0.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not capacity_points:
+        raise ValueError("capacity_points must describe at least the initial capacity")
+    points = sorted(capacity_points, key=lambda cp: cp[0])
+    if points[0][0] > 0.0:
+        raise ValueError("the first capacity point must describe time 0")
+    if horizon <= 0:
+        return []
+
+    count = int(horizon // window)
+    if count * window < horizon:
+        count += 1
+    out: List[FaultWindow] = []
+    cursor = 0
+    for index in range(count):
+        start = index * window
+        end = min(start + window, horizon)
+        planned = 0.0
+        downtime_loss = 0.0
+        while cursor + 1 < len(points) and points[cursor + 1][0] <= start:
+            cursor += 1
+        seg = cursor
+        pos = start
+        while pos < end:
+            seg_end = end
+            if seg + 1 < len(points) and points[seg + 1][0] < end:
+                seg_end = max(pos, points[seg + 1][0])
+            length = seg_end - pos
+            gpcs = points[seg][1]
+            planned += gpcs * length
+            downtime_loss += gpcs * _overlap(pos, seg_end, downtime_intervals)
+            if seg_end >= end:
+                break
+            pos = seg_end
+            seg += 1
+        crash_loss = 0.0
+        for lo, hi, gpcs in crash_intervals:
+            clipped_lo = max(lo, start)
+            clipped_hi = min(hi, end)
+            if clipped_hi <= clipped_lo:
+                continue
+            span = clipped_hi - clipped_lo
+            # crash seconds already zeroed by a reconfiguration count once
+            span -= _overlap(clipped_lo, clipped_hi, downtime_intervals)
+            crash_loss += gpcs * max(0.0, span)
+        lost = min(planned, downtime_loss + crash_loss)
+        delivered = planned - lost
+        crashes = restarts = retries = failures = 0
+        for record in records:
+            if not (start <= record.time < end or (record.time >= horizon and index == count - 1)):
+                continue
+            if record.kind == "crash":
+                crashes += 1
+            elif record.kind == "restart":
+                restarts += 1
+            retries += record.requeued
+            failures += record.failed
+        out.append(
+            FaultWindow(
+                index=index,
+                start=start,
+                end=end,
+                planned_gpc_seconds=planned,
+                lost_gpc_seconds=lost,
+                delivered_gpc_seconds=delivered,
+                availability=(delivered / planned) if planned > 0 else 1.0,
+                crashes=crashes,
+                restarts=restarts,
+                retries=retries,
+                failures=failures,
+            )
+        )
+    return out
+
+
+__all__ = [
+    "CrashInterval",
+    "FaultWindow",
+    "integrate_fault_timeline",
+    "mean_time_to_repair",
+]

@@ -30,7 +30,14 @@ from typing import Dict, FrozenSet, Tuple
 
 #: zone name -> path prefixes/files relative to the ``repro`` package root.
 ZONES: Dict[str, Tuple[str, ...]] = {
-    "determinism": ("sim/", "core/", "workload/", "serving/", "autoscale/"),
+    "determinism": (
+        "sim/",
+        "core/",
+        "workload/",
+        "serving/",
+        "autoscale/",
+        "faults/",
+    ),
     "hot-path": (
         "sim/",
         "core/schedulers.py",
@@ -41,7 +48,7 @@ ZONES: Dict[str, Tuple[str, ...]] = {
     "asyncio": ("daemon/",),
     "pool": ("analysis/sweep.py", "analysis/experiments.py", "autoscale/planner.py"),
     "hooks": ("sim/hooks.py",),
-    "typed": ("core/", "sim/", "gpu/", "autoscale/"),
+    "typed": ("core/", "sim/", "gpu/", "autoscale/", "faults/"),
 }
 
 #: Every declared zone name (checkers validate their declarations against it).

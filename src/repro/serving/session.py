@@ -54,12 +54,24 @@ from repro.serving.deployment import (
     refleet_deployment,
     replan_deployment,
 )
+from repro.faults.events import (
+    FailedReconfigure,
+    FaultEvent,
+    FaultRecord,
+    StragglerEnd,
+    StragglerStart,
+    WorkerCrash,
+    WorkerRestart,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import (
     InferenceServerSimulator,
     ReconfigurationRecord,
     SimulationResult,
 )
 from repro.sim.hooks import (
+    ReconfigFailed,
     ServerPreempted,
     ServerScaledIn,
     ServerScaledOut,
@@ -111,6 +123,15 @@ class SessionResult:
             byte-identical to their pre-control-plane results.
         fleet_cost: the run's total $-cost integral under
             :data:`repro.gpu.cost.GPC_COST` (0.0 without the control plane).
+        fault_events: every fault-injection action of the run
+            (:class:`~repro.faults.events.FaultRecord`), in order; empty
+            without a fault schedule.
+        fault_windows: per-metrics-window fault availability rows
+            (:class:`~repro.faults.metrics.FaultWindow`); populated only
+            when a fault schedule was active, so fault-free sessions stay
+            byte-identical to their pre-faults results.
+        fault_mttr: mean crash outage duration in seconds (0.0 without
+            crashes).
     """
 
     deployment: Deployment
@@ -121,6 +142,9 @@ class SessionResult:
     fleet_events: Tuple[Any, ...] = ()
     fleet_windows: Tuple[Any, ...] = ()
     fleet_cost: float = 0.0
+    fault_events: Tuple[Any, ...] = ()
+    fault_windows: Tuple[Any, ...] = ()
+    fault_mttr: float = 0.0
 
     @property
     def reconfigurations(self) -> Tuple[ReconfigurationRecord, ...]:
@@ -156,6 +180,21 @@ class SessionResult:
             self.fleet_windows
         )
 
+    @property
+    def failed_queries(self) -> int:
+        """Queries that exhausted their crash-retry budget (0 without faults)."""
+        return self.simulation.statistics.failed_queries
+
+    @property
+    def fault_availability(self) -> float:
+        """Mean per-window delivered-over-planned availability under faults
+        (1.0 without a fault schedule)."""
+        if not self.fault_windows:
+            return 1.0
+        return sum(w.availability for w in self.fault_windows) / len(
+            self.fault_windows
+        )
+
     def summary(self) -> Dict[str, float]:
         """Compact numeric summary for reports.
 
@@ -181,6 +220,14 @@ class SessionResult:
             summary["mean_availability"] = float(self.mean_availability)
             summary["final_servers"] = float(self.fleet_windows[-1].servers)
             summary["fleet_events"] = float(len(self.fleet_events))
+        if self.fault_windows:
+            summary["failed_queries"] = float(self.failed_queries)
+            summary["fault_availability"] = float(self.fault_availability)
+            summary["mttr_s"] = float(self.fault_mttr)
+            summary["fault_events"] = float(len(self.fault_events))
+            summary["query_retries"] = float(
+                sum(record.requeued for record in self.fault_events)
+            )
         return summary
 
 
@@ -219,6 +266,16 @@ class ServingSession:
             sequence of :class:`~repro.autoscale.preemption.PreemptionEvent`)
             of spot reclaims executed deterministically during the run.
             Requires a fleet config and a metrics window.
+        faults: optional :class:`~repro.faults.schedule.FaultSchedule` (or a
+            sequence of :class:`~repro.faults.events.FaultEvent`) of worker
+            crashes/restarts, stragglers and failed reconfigurations,
+            injected deterministically on the same due-time interleaving as
+            the fleet control plane.  A non-empty schedule requires a
+            metrics window (availability is accounted per window); an empty
+            schedule leaves the session bit-identical to a fault-free one.
+        retry_policy: :class:`~repro.faults.retry.RetryPolicy` governing how
+            crash-displaced queries are retried (default
+            ``RetryPolicy()``: 2 retries, no backoff).
     """
 
     def __init__(
@@ -236,6 +293,8 @@ class ServingSession:
         execution_noise_std: float = 0.0,
         autoscaler: Optional[Any] = None,
         preemptions: Optional[Any] = None,
+        faults: Optional[Any] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not isinstance(config, ServerConfig):
             builder = getattr(config, "build", None)
@@ -278,6 +337,13 @@ class ServingSession:
             from repro.autoscale.preemption import PreemptionSchedule
 
             preemptions = PreemptionSchedule(preemptions)
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            faults = FaultSchedule(faults)
+        if faults is not None and faults.events and window is None:
+            raise ValueError(
+                "fault injection accounts availability per metrics window; "
+                "pass a window length instead of window=None"
+            )
         self.config: ServerConfig = config
         self.profiler = profiler or Profiler(architecture=config.architecture)
         self.reconfig_cost = reconfig_cost
@@ -313,6 +379,19 @@ class ServingSession:
         self._pending_removals: List[Tuple[float, Any]] = []
         self._preempt_i = 0
         self._sim_archs: Optional[set] = None
+        # fault injection (PR 9)
+        self.faults: Optional[FaultSchedule] = faults
+        self.retry_policy: RetryPolicy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self._fault_i = 0
+        self._fault_records: List[FaultRecord] = []
+        #: instance id -> (crash time, gpcs) of currently-down workers
+        self._open_crashes: Dict[int, Tuple[float, int]] = {}
+        self._crash_intervals: List[Tuple[float, float, int]] = []
+        self._armed_reconfig_failures: List[FailedReconfigure] = []
+        #: (time, total gpcs) capacity steps for availability integration
+        self._capacity_log: List[Tuple[float, int]] = []
 
     @classmethod
     def from_deployment(cls, deployment: Deployment, **kwargs: Any) -> "ServingSession":
@@ -402,6 +481,11 @@ class ServingSession:
         replanned = replan_deployment(self._deployment, new_pdf)
         if self.running:
             assert self._sim is not None
+            if self._armed_reconfig_failures:
+                # an armed FailedReconfigure fault consumes this attempt:
+                # downtime is paid, but the old plan stays in force
+                return self._fail_reconfigure(self._armed_reconfig_failures.pop(0))
+            self._close_open_crashes(self._sim.now)
             self._last_reconfig_online = self._sim.reconfigure(
                 replanned.instances, self.reconfig_cost
             )
@@ -410,6 +494,13 @@ class ServingSession:
             replanned = dataclasses.replace(
                 replanned, instances=self._sim.pending_instances
             )
+            if self._has_faults:
+                self._capacity_log.append(
+                    (
+                        self._last_reconfig_online,
+                        sum(i.gpcs for i in replanned.instances),
+                    )
+                )
         self._deployment = replanned
         self._planned_pdf = dict(new_pdf)
         return self._deployment
@@ -504,6 +595,18 @@ class ServingSession:
         self._fleet_log = []
         self._pending_removals = []
         self._preempt_i = 0
+        # fault injection state (per run)
+        self._fault_i = 0
+        self._fault_records = []
+        self._open_crashes = {}
+        self._crash_intervals = []
+        self._armed_reconfig_failures = []
+        if self._has_faults:
+            self._capacity_log = [
+                (0.0, sum(i.gpcs for i in deployment.instances))
+            ]
+        else:
+            self._capacity_log = []
         if self.config.is_fleet:
             # The simulator's per-architecture latency oracles are fixed at
             # construction: only these architectures are servable mid-run.
@@ -586,10 +689,10 @@ class ServingSession:
             )
         simulator = self._sim
         assert simulator is not None
-        if not self.triggers and not self._has_control:
+        if not self.triggers and not self._has_control and not self._has_faults:
             return simulator.run_until(time)
         interval = self.trigger_interval
-        if not self._has_control:
+        if not self._has_control and not self._has_faults:
             assert interval is not None
             assert self._next_checkpoint is not None
             while simulator.pending_events:
@@ -711,6 +814,27 @@ class ServingSession:
                 )
             )
             fleet_cost = timeline_cost(fleet_windows)
+        fault_windows: Tuple[Any, ...] = ()
+        fault_mttr = 0.0
+        if self._has_faults and self._windowed is not None and self._capacity_log:
+            from repro.faults.metrics import (
+                integrate_fault_timeline,
+                mean_time_to_repair,
+            )
+
+            horizon = max(self._windowed.horizon(), self._capacity_log[-1][0])
+            self._close_open_crashes(horizon)
+            fault_windows = tuple(
+                integrate_fault_timeline(
+                    self._capacity_log,
+                    self._crash_intervals,
+                    self._windowed.downtime_intervals,
+                    self._windowed.window,
+                    horizon,
+                    records=self._fault_records,
+                )
+            )
+            fault_mttr = mean_time_to_repair(self._crash_intervals)
         result = SessionResult(
             deployment=final_deployment,
             simulation=simulation,
@@ -720,6 +844,9 @@ class ServingSession:
             fleet_events=tuple(self._fleet_events),
             fleet_windows=fleet_windows,
             fleet_cost=fleet_cost,
+            fault_events=tuple(self._fault_records),
+            fault_windows=fault_windows,
+            fault_mttr=fault_mttr,
         )
         self._last_result = result
         return result
@@ -922,15 +1049,26 @@ class ServingSession:
         if self._pending_removals:
             removal = min(at for at, _ in self._pending_removals)
             due = removal if due is None else min(due, removal)
+        if self.faults is not None:
+            events = self.faults.events
+            if self._fault_i < len(events):
+                fault_at = events[self._fault_i].time
+                due = fault_at if due is None else min(due, fault_at)
         return due
 
     def _apply_due_control(self, now: float) -> None:
         """Apply every control-plane item due by ``now`` (deterministic order).
 
-        Preemption notices first (bookkeeping only), then due removals,
-        then due commissions; all roster mutations land as **one** live
-        repartition, so a simultaneous loss and arrival pays one downtime.
+        Fault-schedule events fire first (worker-level mutations may stage a
+        live repartition of their own); then preemption notices
+        (bookkeeping only), then due removals, then due commissions; all
+        roster mutations land as **one** live repartition, so a
+        simultaneous loss and arrival pays one downtime.
         """
+        if self._has_faults:
+            self._apply_due_faults(now)
+        if not self._has_control:
+            return
         roster = self.roster
         if self.preemptions is not None:
             events = self.preemptions.events
@@ -1040,6 +1178,7 @@ class ServingSession:
         replanned = refleet_deployment(deployment, new_config, pdf)
         if self.running:
             assert self._sim is not None
+            self._close_open_crashes(self._sim.now)
             self._last_reconfig_online = self._sim.reconfigure(
                 replanned.instances, self.reconfig_cost
             )
@@ -1051,6 +1190,13 @@ class ServingSession:
             # while it drains), and the new pool starts billing when it
             # comes online.
             self._fleet_log.append((self._last_reconfig_online, roster.specs))
+            if self._has_faults:
+                self._capacity_log.append(
+                    (
+                        self._last_reconfig_online,
+                        sum(i.gpcs for i in replanned.instances),
+                    )
+                )
         self.config = new_config
         self._deployment = replanned
 
@@ -1084,6 +1230,199 @@ class ServingSession:
             on_event = getattr(observer, "on_event", None)
             if on_event is not None:
                 on_event(event)
+
+    # ------------------------------------------------------------------ #
+    # fault injection (crashes, stragglers, failed reconfigurations)
+    # ------------------------------------------------------------------ #
+    @property
+    def _has_faults(self) -> bool:
+        """True when a non-empty fault schedule is configured.
+
+        An *empty* schedule is deliberately falsy: the session then takes
+        exactly the same code paths as one constructed without ``faults=``,
+        which is what pins ``faults=FaultSchedule([])`` bit-identical to the
+        plain session.
+        """
+        return self.faults is not None and bool(self.faults)
+
+    def fault_events(self) -> Tuple[FaultRecord, ...]:
+        """Fault-injection records of the open run so far, in order."""
+        return tuple(self._fault_records)
+
+    def _apply_due_faults(self, now: float) -> None:
+        """Fire every scheduled fault due by ``now``, in schedule order.
+
+        Faults never land mid-reconfiguration (the simulator's worker set
+        is in flux): they defer, and ``run_until`` floors the next due time
+        at the reconfiguration's online instant, so the deferred event
+        re-enters here right after the swap lands.
+        """
+        sim = self._sim
+        assert sim is not None
+        assert self.faults is not None
+        events = self.faults.events
+        while self._fault_i < len(events) and events[self._fault_i].time <= now:
+            if sim.reconfiguring:
+                return
+            event = events[self._fault_i]
+            self._fault_i += 1
+            self._apply_fault(event, now)
+
+    def _apply_fault(self, event: FaultEvent, now: float) -> None:
+        sim = self._sim
+        assert sim is not None
+        if isinstance(event, WorkerCrash):
+            workers = sim.workers
+            if len(workers) <= 1:
+                self._record_fault(
+                    "crash-skipped", now, reason="would idle the whole server"
+                )
+                return
+            victim = workers[event.worker % len(workers)]
+            requeued, failed = sim.crash_worker(
+                victim.instance_id, self.retry_policy
+            )
+            self._open_crashes[victim.instance_id] = (now, victim.gpcs)
+            self._record_fault(
+                "crash",
+                now,
+                instance_id=victim.instance_id,
+                gpcs=victim.gpcs,
+                requeued=requeued,
+                failed=failed,
+            )
+        elif isinstance(event, WorkerRestart):
+            crashed = sim.crashed_workers
+            if not crashed:
+                self._record_fault(
+                    "restart-skipped", now, reason="no crashed worker"
+                )
+                return
+            victim_id = crashed[event.worker % len(crashed)]
+            sim.restore_worker(victim_id)
+            start, gpcs = self._open_crashes.pop(victim_id)
+            self._crash_intervals.append((start, now, gpcs))
+            self._record_fault(
+                "restart", now, instance_id=victim_id, gpcs=gpcs
+            )
+        elif isinstance(event, StragglerStart):
+            workers = sim.workers
+            if not workers:
+                self._record_fault(
+                    "straggle-skipped", now, reason="no live worker"
+                )
+                return
+            victim = workers[event.worker % len(workers)]
+            sim.set_worker_slowdown(victim.instance_id, event.multiplier)
+            self._record_fault(
+                "straggle-start",
+                now,
+                instance_id=victim.instance_id,
+                gpcs=victim.gpcs,
+                multiplier=event.multiplier,
+            )
+        elif isinstance(event, StragglerEnd):
+            slowed = [w for w in sim.workers if w.slow_factor != 1.0]
+            if not slowed:
+                self._record_fault(
+                    "straggle-skipped", now, reason="no straggling worker"
+                )
+                return
+            victim = slowed[event.worker % len(slowed)]
+            sim.set_worker_slowdown(victim.instance_id, 1.0)
+            self._record_fault(
+                "straggle-end",
+                now,
+                instance_id=victim.instance_id,
+                gpcs=victim.gpcs,
+            )
+        elif isinstance(event, FailedReconfigure):
+            self._armed_reconfig_failures.append(event)
+            self._record_fault(
+                "reconfig-fail-armed",
+                now,
+                reason=f"next repartition fails (+{event.downtime:g}s downtime)",
+            )
+        else:  # pragma: no cover - FaultSchedule rejects unknown events
+            raise TypeError(f"unknown fault event {type(event).__name__}")
+
+    def _fail_reconfigure(self, fail: FailedReconfigure) -> Deployment:
+        """Model a repartition attempt that fails: pay downtime, roll back.
+
+        The server still drains and pays ``reconfig_cost`` plus the fault's
+        extra downtime, but comes back online on the **old** partition
+        shapes; the planning PDF is left untouched, so drift triggers keep
+        judging (and may retry) against the plan that actually failed.
+        """
+        sim = self._sim
+        assert sim is not None
+        deployment = self._deployment
+        assert deployment is not None
+        now = sim.now
+        self._close_open_crashes(now)
+        old_ids = tuple(i.instance_id for i in deployment.instances)
+        downtime = self.reconfig_cost + fail.downtime
+        self._last_reconfig_online = sim.reconfigure(
+            deployment.instances, downtime
+        )
+        # adopt the renumbered generation of the *old* shapes
+        self._deployment = dataclasses.replace(
+            deployment, instances=sim.pending_instances
+        )
+        sim.emit_event(
+            ReconfigFailed(time=now, instance_ids=old_ids, downtime=downtime)
+        )
+        self._record_fault(
+            "reconfig-failed",
+            now,
+            reason=f"rolled back to old plan after {downtime:g}s",
+        )
+        if self._has_faults:
+            self._capacity_log.append(
+                (
+                    self._last_reconfig_online,
+                    sum(i.gpcs for i in self._deployment.instances),
+                )
+            )
+        return self._deployment
+
+    def _close_open_crashes(self, at: float) -> None:
+        """Close every open crash outage at time ``at``.
+
+        Called when a reconfiguration replaces the whole partition set
+        (which heals crashed workers at the simulator level) and when the
+        run seals — an outage never extends past either boundary.
+        """
+        if not self._open_crashes:
+            return
+        for _, (start, gpcs) in self._open_crashes.items():
+            self._crash_intervals.append((start, at, gpcs))
+        self._open_crashes = {}
+
+    def _record_fault(
+        self,
+        kind: str,
+        time: float,
+        *,
+        instance_id: Optional[int] = None,
+        gpcs: int = 0,
+        reason: str = "",
+        requeued: int = 0,
+        failed: int = 0,
+        multiplier: float = 1.0,
+    ) -> None:
+        self._fault_records.append(
+            FaultRecord(
+                time=time,
+                kind=kind,
+                instance_id=instance_id,
+                gpcs=gpcs,
+                reason=reason,
+                requeued=requeued,
+                failed=failed,
+                multiplier=multiplier,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -55,6 +55,7 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Protocol,
     Sequence,
     Set,
     Tuple,
@@ -65,20 +66,24 @@ import numpy as np
 
 from repro.gpu.partition import PartitionInstance
 from repro.perf.lookup import CachedEstimator, ProfileTable
-from repro.sim.columnar import QueryColumns
+from repro.sim.columnar import NAN, QueryColumns
 from repro.sim.engine import EventQueue, SimulationClock, TupleEventQueue
 from repro.sim.events import Event, EventKind
 from repro.sim.hooks import (
     QueryArrived,
     QueryCompleted,
     QueryDispatched,
+    QueryFailed,
     QueryRequeued,
     ReconfigEventsOnly,
     ReconfigFinished,
     ReconfigStarted,
+    SimEvent,
     SimulationObserver,
     SlaViolated,
+    WorkerCrashed,
     WorkerIdle,
+    WorkerRecovered,
     build_dispatch_table,
 )
 from repro.sim.metrics import (
@@ -97,6 +102,18 @@ from repro.workload.trace import QueryTrace
 _ARRIVAL = int(EventKind.ARRIVAL)
 _COMPLETION = int(EventKind.COMPLETION)
 _RECONFIG = int(EventKind.RECONFIG)
+
+
+class RetryPolicyLike(Protocol):
+    """What :meth:`InferenceServerSimulator.crash_worker` needs from a retry
+    policy (structurally :class:`repro.faults.RetryPolicy` — duck-typed so
+    the simulator layer does not import the faults package)."""
+
+    max_retries: int
+
+    def delay(self, attempt: int) -> float:
+        """Backoff in seconds before retry ``attempt`` (1-based)."""
+        ...
 
 
 class _IdleWorkersView:
@@ -368,6 +385,14 @@ class InferenceServerSimulator:
         self._announced: Set[int] = set()
         self._reconfig_log: List[ReconfigurationRecord] = []
         self._next_instance_id = 1 + max(i.instance_id for i in self._instances)
+        # Fault-injection state: crashed workers by instance id (insertion =
+        # crash order), queries that exhausted their retry budget, and
+        # tombstones discarding the already-scheduled completion events of
+        # aborted in-flight queries.  Keys are fully deterministic
+        # (finish time, query id, instance id) — never object identity.
+        self._crashed: Dict[int, PartitionWorker] = {}
+        self._failed: List[Query] = []
+        self._tombstones: Dict[Tuple[float, int, int], int] = {}
 
     def _rebind_handlers(self) -> None:
         """Pre-resolve the observer dispatch table into per-type attributes.
@@ -403,6 +428,9 @@ class InferenceServerSimulator:
         self._h_requeued = get(QueryRequeued, ())
         self._h_reconfig_started = get(ReconfigStarted, ())
         self._h_reconfig_finished = get(ReconfigFinished, ())
+        self._h_failed = get(QueryFailed, ())
+        self._h_crashed = get(WorkerCrashed, ())
+        self._h_recovered = get(WorkerRecovered, ())
         #: With per-query handlers attached, columnar workers also write the
         #: query objects so handlers can read e.g. ``query.finish_time`` the
         #: moment the event fires.
@@ -412,6 +440,7 @@ class InferenceServerSimulator:
             or self._h_completed
             or self._h_sla
             or self._h_requeued
+            or self._h_failed
         )
 
     def add_observer(self, observer: SimulationObserver) -> None:
@@ -701,7 +730,9 @@ class InferenceServerSimulator:
         if offered_load_qps is None:
             offered_load_qps = self._observed_arrival_rate()
         makespan = self._clock.now
-        all_workers = self._retired_workers + self.workers
+        all_workers = (
+            self._retired_workers + list(self._crashed.values()) + self.workers
+        )
         if self._fast:
             self._columns.write_back()
             statistics = compute_statistics_from_arrays(
@@ -710,10 +741,15 @@ class InferenceServerSimulator:
                 makespan,
                 total_queries=len(self._submitted),
                 offered_load_qps=offered_load_qps,
+                failed=len(self._failed),
             )
         else:
             statistics = compute_statistics(
-                self._submitted, all_workers, makespan, offered_load_qps=offered_load_qps
+                self._submitted,
+                all_workers,
+                makespan,
+                offered_load_qps=offered_load_qps,
+                failed=len(self._failed),
             )
         per_instance = {
             worker.instance_id: len(worker.completed) for worker in all_workers
@@ -734,7 +770,9 @@ class InferenceServerSimulator:
         store directly — no object materialisation, no Python re-scan.
         """
         makespan = self._clock.now
-        all_workers = self._retired_workers + self.workers
+        all_workers = (
+            self._retired_workers + list(self._crashed.values()) + self.workers
+        )
         if self._fast:
             return compute_statistics_from_arrays(
                 completed_arrays_from_columns(self._columns),
@@ -742,12 +780,14 @@ class InferenceServerSimulator:
                 makespan,
                 total_queries=len(self._submitted),
                 offered_load_qps=self._observed_arrival_rate(),
+                failed=len(self._failed),
             )
         return compute_statistics(
             self._submitted,
             all_workers,
             makespan,
             offered_load_qps=self._observed_arrival_rate(),
+            failed=len(self._failed),
         )
 
     def _observed_arrival_rate(self) -> float:
@@ -819,6 +859,19 @@ class InferenceServerSimulator:
 
         now = self._clock.now
         old_ids = tuple(w.instance_id for w in self.workers)
+
+        # A reconfiguration heals crashed workers: the whole partition set is
+        # replaced, so the outage ends here.  Crashed workers hold no queued
+        # or in-flight work (aborted at crash time) — they just retire.
+        if self._crashed:
+            recovered_handlers = self._h_recovered
+            for crashed_id, crashed_worker in self._crashed.items():
+                self._retired_workers.append(crashed_worker)
+                if recovered_handlers:
+                    recovered = WorkerRecovered(now, crashed_id, crashed_worker.gpcs)
+                    for handler in recovered_handlers:
+                        handler(recovered)
+            self._crashed.clear()
 
         # Pull back every query that has not started executing.
         requeue_handlers = self._h_requeued
@@ -935,6 +988,195 @@ class InferenceServerSimulator:
             self._events.push(start + position * gap, EventKind.ARRIVAL, query)
 
     # ------------------------------------------------------------------ #
+    # fault injection (worker crashes, stragglers)
+    # ------------------------------------------------------------------ #
+    @property
+    def crashed_workers(self) -> Tuple[int, ...]:
+        """Instance ids of currently crashed (not yet restored) workers."""
+        return tuple(sorted(self._crashed))
+
+    @property
+    def failed_queries(self) -> Tuple[Query, ...]:
+        """Queries that exhausted their retry budget, in failure order."""
+        return tuple(self._failed)
+
+    def crash_worker(
+        self, instance_id: int, retry_policy: RetryPolicyLike
+    ) -> Tuple[int, int]:
+        """Crash a live partition worker at the current simulation time.
+
+        The worker leaves the scheduling pool immediately.  Its in-flight
+        query is aborted (the already-scheduled completion event is
+        tombstoned and discarded when it pops) and, together with every
+        locally queued query, is pushed back through the frontend as a fresh
+        arrival after the policy's backoff — unless the query already burned
+        its retry budget, in which case it becomes a first-class *failed*
+        query (:class:`~repro.sim.hooks.QueryFailed`, counted in
+        :attr:`~repro.sim.metrics.ServerStatistics.failed_queries`).
+
+        Args:
+            instance_id: the live worker to take down.
+            retry_policy: retry budget + backoff for the displaced queries.
+
+        Returns:
+            ``(requeued, failed)`` — how many displaced queries were retried
+            vs. failed.
+
+        Raises:
+            RuntimeError: outside an open run, mid-reconfiguration, or when
+                the victim is the last live worker (an empty server cannot
+                make progress; callers skip the event instead).
+            KeyError: for an unknown or already-crashed instance id.
+        """
+        if not self._active:
+            raise RuntimeError("crash_worker() requires an open run")
+        if self._staged is not None:
+            raise RuntimeError("cannot crash a worker mid-reconfiguration")
+        worker = self._workers_by_id.get(instance_id)
+        if worker is None or worker not in self.workers:
+            raise KeyError(f"no live worker with instance id {instance_id}")
+        if len(self.workers) <= 1:
+            raise RuntimeError("cannot crash the last live worker")
+        now = self._clock.now
+        self._mark_busy(worker)  # drop from the idle index
+        self.workers.remove(worker)  # in place: the fast context view stays live
+        self._crashed[instance_id] = worker
+        worker.retired_at = now
+        handlers = self._h_crashed
+        if handlers:
+            crashed = WorkerCrashed(now, instance_id, worker.gpcs)
+            for handler in handlers:
+                handler(crashed)
+
+        displaced: List[Query] = []
+        in_flight_finish = worker.current_finish_time
+        if in_flight_finish is not None:
+            aborted = worker.abort_current(now)
+            key = (in_flight_finish, aborted.query_id, instance_id)
+            self._tombstones[key] = self._tombstones.get(key, 0) + 1
+            displaced.append(aborted)
+        displaced.extend(worker.drain_queue())
+
+        columns = self._columns
+        materialise = not self._fast or self._write_through
+        requeued = failed = 0
+        for query in displaced:
+            if self._fast:
+                index = query.index
+                columns.start[index] = NAN
+                columns.clear_dispatch(index)
+                retries = int(columns.retries[index])
+            else:
+                retries = query.retries
+            if materialise:
+                query.dispatch_time = None
+                query.start_time = None
+                query.instance_id = None
+            if retries >= retry_policy.max_retries:
+                failed += 1
+                if self._fast:
+                    columns.fail_time[query.index] = now
+                if materialise:
+                    query.fail_time = now
+                self._failed.append(query)
+                fail_handlers = self._h_failed
+                if fail_handlers:
+                    failed_event = QueryFailed(now, query, instance_id, retries)
+                    for handler in fail_handlers:
+                        handler(failed_event)
+                continue
+            attempt = retries + 1
+            if self._fast:
+                columns.retries[query.index] = attempt
+            if materialise:
+                query.retries = attempt
+            requeued += 1
+            requeue_handlers = self._h_requeued
+            if requeue_handlers:
+                requeue_event = QueryRequeued(now, query, instance_id)
+                for handler in requeue_handlers:
+                    handler(requeue_event)
+            # Re-enters through the frontend as a regular arrival: the
+            # arrival-announce flag is already raised, so observers still
+            # see the query arrive exactly once.
+            self._events.push(now + retry_policy.delay(attempt), EventKind.ARRIVAL, query)
+        return requeued, failed
+
+    def restore_worker(self, instance_id: int) -> None:
+        """Bring a crashed worker back online at the current simulation time.
+
+        The worker rejoins the scheduling pool (same instance id, same
+        partition) and immediately offers itself to the central queue, like
+        any worker going idle.
+
+        Raises:
+            RuntimeError: outside an open run or mid-reconfiguration.
+            KeyError: when no crashed worker has ``instance_id``.
+        """
+        if not self._active:
+            raise RuntimeError("restore_worker() requires an open run")
+        if self._staged is not None:
+            raise RuntimeError("cannot restore a worker mid-reconfiguration")
+        worker = self._crashed.pop(instance_id, None)
+        if worker is None:
+            raise KeyError(f"no crashed worker with instance id {instance_id}")
+        now = self._clock.now
+        worker.retired_at = None
+        self.workers.append(worker)
+        self.workers.sort(key=lambda w: (w.gpcs, w.instance_id))  # in place
+        self._workers_by_id[instance_id] = worker
+        handlers = self._h_recovered
+        if handlers:
+            recovered = WorkerRecovered(now, instance_id, worker.gpcs)
+            for handler in handlers:
+                handler(recovered)
+        self._mark_idle(worker)
+        # Offer the recovered worker backlog from the central queue, exactly
+        # like the post-completion idle path.
+        if self._central_queue:
+            context = self._fast_context(now) if self._fast else self._make_context(now)
+            pulled = self.scheduler.on_worker_idle(worker, context)
+            if pulled is not None:
+                queue = self._central_queue
+                if queue[0] is pulled:
+                    queue.popleft()
+                else:
+                    queue.remove(pulled)
+                self._dispatch(worker, pulled, now)
+
+    def set_worker_slowdown(self, instance_id: int, multiplier: float) -> None:
+        """Scale a worker's service times by ``multiplier`` (straggler).
+
+        The factor also scales the worker's queued-work estimates, so
+        wait-aware schedulers route around the slow partition; the in-flight
+        query (if any) keeps its already-committed finish time.  ``1.0``
+        restores normal speed.
+
+        Raises:
+            RuntimeError: outside an open run.
+            KeyError: for an unknown instance id.
+            ValueError: for a multiplier below 1.
+        """
+        if not self._active:
+            raise RuntimeError("set_worker_slowdown() requires an open run")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        worker = self._workers_by_id.get(instance_id)
+        if worker is None:
+            raise KeyError(f"no worker with instance id {instance_id}")
+        worker.slow_factor = multiplier
+
+    def emit_event(self, event: SimEvent) -> None:
+        """Deliver an externally constructed lifecycle event to observers.
+
+        The serving session uses this to publish control-plane fault events
+        (e.g. :class:`~repro.sim.hooks.ReconfigFailed`) through the same
+        dispatch table as the simulator's own events.
+        """
+        for handler in self._dispatch_table.get(type(event), ()):
+            handler(event)
+
+    # ------------------------------------------------------------------ #
     # the fast (columnar) replay loop
     # ------------------------------------------------------------------ #
     def _run_fast(self, until: Optional[float]) -> float:
@@ -954,6 +1196,7 @@ class InferenceServerSimulator:
         central = self._central_queue
         gap = self._frontend_gap
         announced = self._columns.announced
+        tombstones = self._tombstones
         processed = self._events_processed
         now = clock.now
         try:
@@ -1000,6 +1243,18 @@ class InferenceServerSimulator:
                     else:
                         self._dispatch(worker, query, now)
                 elif kind == _COMPLETION:
+                    if tombstones:
+                        # A crash aborted this completion's query; the event
+                        # is stale.  Fault-free runs never populate the dict,
+                        # so the hot path pays one truthiness check.
+                        key = (now, entry[3].query_id, entry[4].instance_id)
+                        count = tombstones.get(key)
+                        if count:
+                            if count == 1:
+                                del tombstones[key]
+                            else:
+                                tombstones[key] = count - 1
+                            continue
                     self._complete_fast(entry[4], now)
                 else:
                     self._complete_reconfigure(now)
@@ -1105,6 +1360,17 @@ class InferenceServerSimulator:
         self._dispatch(worker, query, now)
 
     def _handle_completion(self, event: Event, now: float) -> None:
+        tombstones = self._tombstones
+        if tombstones:
+            # A crash aborted this completion's query mid-flight: discard.
+            key = (event.time, event.query.query_id, event.instance_id)
+            count = tombstones.get(key)
+            if count:
+                if count == 1:
+                    del tombstones[key]
+                else:
+                    tombstones[key] = count - 1
+                return
         worker = self._workers_by_id[event.instance_id]
         query = worker.complete_current(now)
         completed_handlers = self._h_completed

@@ -58,6 +58,8 @@ class QueryColumns:
         "batch",
         "instance",
         "announced",
+        "fail_time",
+        "retries",
     )
 
     def __init__(self) -> None:
@@ -70,6 +72,8 @@ class QueryColumns:
         self.batch = array("q")
         self.instance = array("q")
         self.announced = array("b")
+        self.fail_time = array("d")
+        self.retries = array("q")
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -88,6 +92,8 @@ class QueryColumns:
         self.finish.append(NAN)
         self.instance.append(-1)
         self.announced.append(0)
+        self.fail_time.append(NAN)
+        self.retries.append(0)
         return index
 
     def clear_dispatch(self, index: int) -> None:
@@ -106,6 +112,8 @@ class QueryColumns:
         start = self.start
         finish = self.finish
         instance = self.instance
+        fail_time = self.fail_time
+        retries = self.retries
         for index, query in enumerate(self.queries):
             value = dispatch[index]
             query.dispatch_time = value if value == value else None
@@ -115,6 +123,9 @@ class QueryColumns:
             query.finish_time = value if value == value else None
             assigned = instance[index]
             query.instance_id = assigned if assigned >= 0 else None
+            value = fail_time[index]
+            query.fail_time = value if value == value else None
+            query.retries = retries[index]
 
 
 __all__ = ["NAN", "QueryColumns"]

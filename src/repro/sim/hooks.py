@@ -28,7 +28,13 @@ Events published per run:
 * :class:`ServerScaledOut` / :class:`ServerScaledIn` /
   :class:`ServerPreempted` — the fleet control plane
   (:mod:`repro.autoscale`) added, drained or lost a whole server; emitted
-  by the serving session rather than the simulator.
+  by the serving session rather than the simulator;
+* :class:`WorkerCrashed` / :class:`WorkerRecovered` — fault injection
+  (:mod:`repro.faults`) took a partition down / brought it back;
+* :class:`QueryFailed` — a displaced query exhausted its retry budget and
+  became a first-class failure;
+* :class:`ReconfigFailed` — an injected reconfiguration failure rolled the
+  partition plan back (emitted by the serving session).
 
 Observers subclass :class:`SimulationObserver` and override any subset of the
 ``on_*`` handlers; unknown events are ignored, so observers stay forward
@@ -180,6 +186,54 @@ class ServerPreempted(SimEvent):
     notice: float
 
 
+@dataclass(slots=True)
+class WorkerCrashed(SimEvent):
+    """Fault injection crashed a partition mid-run.
+
+    The partition's in-flight and queued queries are requeued (or failed,
+    once their retry budget is exhausted) — each displaced query also gets
+    its own :class:`QueryRequeued` / :class:`QueryFailed` event.
+    """
+
+    instance_id: int
+    gpcs: int
+
+
+@dataclass(slots=True)
+class WorkerRecovered(SimEvent):
+    """A crashed partition came back (restart event or reconfiguration)."""
+
+    instance_id: int
+    gpcs: int
+
+
+@dataclass(slots=True)
+class QueryFailed(SimEvent):
+    """A displaced query exhausted its retry budget and failed for good.
+
+    Failed queries are first-class outcomes: they are counted in
+    :attr:`~repro.sim.metrics.ServerStatistics.failed_queries` and the
+    per-window series alongside SLA violations, never silently dropped.
+    """
+
+    query: Query
+    instance_id: int
+    retries: int
+
+
+@dataclass(slots=True)
+class ReconfigFailed(SimEvent):
+    """An injected reconfiguration failure rolled back to the old plan.
+
+    Emitted by the serving session (not the simulator): the attempted
+    repartition burns ``downtime`` seconds of drain and comes back online
+    with the *previous* partition shapes.
+    """
+
+    instance_ids: Tuple[int, ...]
+    downtime: float
+
+
 # --------------------------------------------------------------------------- #
 # the observer interface
 # --------------------------------------------------------------------------- #
@@ -197,6 +251,10 @@ _HANDLERS = {
     ServerScaledOut: "on_server_scaled_out",
     ServerScaledIn: "on_server_scaled_in",
     ServerPreempted: "on_server_preempted",
+    WorkerCrashed: "on_worker_crashed",
+    WorkerRecovered: "on_worker_recovered",
+    QueryFailed: "on_query_failed",
+    ReconfigFailed: "on_reconfig_failed",
 }
 
 
@@ -250,6 +308,18 @@ class SimulationObserver:
 
     def on_server_preempted(self, event: ServerPreempted) -> None:
         """A spot preemption removed a server from the fleet."""
+
+    def on_worker_crashed(self, event: WorkerCrashed) -> None:
+        """Fault injection crashed a partition."""
+
+    def on_worker_recovered(self, event: WorkerRecovered) -> None:
+        """A crashed partition came back online."""
+
+    def on_query_failed(self, event: QueryFailed) -> None:
+        """A query exhausted its retry budget and failed."""
+
+    def on_reconfig_failed(self, event: ReconfigFailed) -> None:
+        """An injected reconfiguration failure rolled the plan back."""
 
 
 def build_dispatch_table(observers: Iterable[Any]) -> Dict[type, Tuple]:
@@ -360,8 +430,8 @@ class ReconfigEventsOnly(SimulationObserver):
     The fast-path simulator wraps columnar-bound observers
     (:meth:`WindowedMetrics.attach_columns`) in this view: per-query events
     are neither delivered nor constructed for them, while the rare
-    reconfiguration lifecycle still flows (downtime intervals cannot be
-    derived from the columns).
+    reconfiguration and fault lifecycle still flows (downtime and crash
+    intervals cannot be derived from the columns).
     """
 
     def __init__(self, target: SimulationObserver) -> None:
@@ -372,6 +442,15 @@ class ReconfigEventsOnly(SimulationObserver):
 
     def on_reconfig_finished(self, event: ReconfigFinished) -> None:
         self.target.on_reconfig_finished(event)
+
+    def on_worker_crashed(self, event: WorkerCrashed) -> None:
+        self.target.on_worker_crashed(event)
+
+    def on_worker_recovered(self, event: WorkerRecovered) -> None:
+        self.target.on_worker_recovered(event)
+
+    def on_reconfig_failed(self, event: ReconfigFailed) -> None:
+        self.target.on_reconfig_failed(event)
 
 
 # --------------------------------------------------------------------------- #
@@ -387,6 +466,7 @@ class _Bucket:
     completions: int = 0
     sla_count: int = 0
     violations: int = 0
+    failures: int = 0
     latencies: List[float] = field(default_factory=list)
     batch_counts: Dict[int, int] = field(default_factory=dict)
 
@@ -408,6 +488,8 @@ class WindowStats:
         violation_rate: ``violations / sla_count`` (0 when no SLA queries).
         reconfiguring: True when the window overlaps a reconfiguration
             downtime interval.
+        failures: queries that exhausted their crash-retry budget in the
+            window (0 without fault injection).
     """
 
     index: int
@@ -422,6 +504,7 @@ class WindowStats:
     violations: int
     violation_rate: float
     reconfiguring: bool
+    failures: int = 0
 
 
 class WindowedMetrics(SimulationObserver):
@@ -468,7 +551,7 @@ class WindowedMetrics(SimulationObserver):
     #: never receives these as events, and ``repro.lint`` (HOOK001) checks
     #: every overridden per-query handler is accounted for here.
     columnar_covered: FrozenSet[str] = frozenset(
-        {"on_query_arrived", "on_query_completed"}
+        {"on_query_arrived", "on_query_completed", "on_query_failed"}
     )
 
     def __init__(self, window: float = 1.0) -> None:
@@ -546,15 +629,25 @@ class WindowedMetrics(SimulationObserver):
         completed = ~np.isnan(finish)
         return arrival, batch, finish, deadline, seen, completed
 
+    def _columnar_fail_times(self) -> np.ndarray:
+        """Fail times of retry-exhausted queries (columnar mode only)."""
+        columns = self._columns
+        assert columns is not None, "columnar digestion before attach_columns"
+        fail = np.frombuffer(columns.fail_time, dtype=np.float64)
+        return fail[~np.isnan(fail)]
+
     def _columnar_horizon(self, state: Tuple[np.ndarray, ...]) -> float:
         """The last observed event time (columnar equivalent of the
         event-driven ``_last_event_time``)."""
         arrival, _, finish, _, seen, completed = state
-        horizon = self._last_event_time  # reconfiguration events, if any
+        horizon = self._last_event_time  # reconfiguration/fault events, if any
         if seen.any():
             horizon = max(horizon, float(arrival[seen].max()))
         if completed.any():
             horizon = max(horizon, float(finish[completed].max()))
+        failed = self._columnar_fail_times()
+        if failed.size:
+            horizon = max(horizon, float(failed.max()))
         return horizon
 
     # ------------------------------------------------------------------ #
@@ -591,6 +684,17 @@ class WindowedMetrics(SimulationObserver):
             bucket.sla_count += 1
             if latency > sla:
                 bucket.violations += 1
+
+    def on_query_failed(self, event: QueryFailed) -> None:
+        self._bucket(event.time).failures += 1
+
+    def on_worker_crashed(self, event: WorkerCrashed) -> None:
+        # fault times count toward the horizon so the availability
+        # integration bills outages even past the last query event
+        self._last_event_time = max(self._last_event_time, event.time)
+
+    def on_worker_recovered(self, event: WorkerRecovered) -> None:
+        self._last_event_time = max(self._last_event_time, event.time)
 
     def on_reconfig_started(self, event: ReconfigStarted) -> None:
         self._reconfig_started_at = event.time
@@ -663,6 +767,7 @@ class WindowedMetrics(SimulationObserver):
                         bucket.violations / bucket.sla_count if bucket.sla_count else 0.0
                     ),
                     reconfiguring=self._overlaps_downtime(start, end),
+                    failures=bucket.failures,
                 )
             )
         return out
@@ -713,6 +818,10 @@ class WindowedMetrics(SimulationObserver):
         sla_per = np.bincount(finish_index, weights=has_sla, minlength=count)
         violations_per = np.bincount(finish_index, weights=violated, minlength=count)
 
+        failed_times = self._columnar_fail_times()
+        fail_index = (failed_times // window).astype(np.int64)
+        failures_per = np.bincount(fail_index[fail_index <= last_index], minlength=count)
+
         # Group completion latencies by window for the mean/p95 summaries.
         order = np.argsort(finish_index, kind="stable")
         sorted_latencies = latencies[order]
@@ -746,6 +855,7 @@ class WindowedMetrics(SimulationObserver):
                     violations=violations,
                     violation_rate=violations / sla_count if sla_count else 0.0,
                     reconfiguring=self._overlaps_downtime(start, end),
+                    failures=int(failures_per[index]),
                 )
             )
         return out
@@ -838,17 +948,20 @@ class WindowedMetrics(SimulationObserver):
         return self._last_event_time
 
     def backlog(self) -> int:
-        """Queries that arrived but have not completed yet (queue depth).
+        """Queries that arrived but neither completed nor failed (queue
+        depth).
 
         Exactly equal between the event-driven and columnar modes: both
-        count announced arrivals minus recorded completions, the integer
-        invariant the scale-out triggers key on.
+        count announced arrivals minus recorded completions and failures,
+        the integer invariant the scale-out triggers key on.
         """
         if self._columns is not None:
             _, _, _, _, seen, completed = self._columnar_state()
-            return int(seen.sum()) - int(completed.sum())
-        arrivals = completions = 0
+            failed = self._columnar_fail_times()
+            return int(seen.sum()) - int(completed.sum()) - int(failed.size)
+        arrivals = completions = failures = 0
         for bucket in self._buckets.values():
             arrivals += bucket.arrivals
             completions += bucket.completions
-        return arrivals - completions
+            failures += bucket.failures
+        return arrivals - completions - failures

@@ -53,7 +53,12 @@ class UtilizationStatistics:
 
 @dataclass(frozen=True)
 class ServerStatistics:
-    """Combined result statistics of one simulation run."""
+    """Combined result statistics of one simulation run.
+
+    ``failed_queries`` counts queries that exhausted their crash-retry
+    budget under fault injection (0 for fault-free runs); latency and
+    throughput digest completed queries only.
+    """
 
     latency: LatencyStatistics
     utilization: UtilizationStatistics
@@ -62,6 +67,7 @@ class ServerStatistics:
     makespan: float
     completed_queries: int
     total_queries: int
+    failed_queries: int = 0
 
 
 @dataclass(frozen=True)
@@ -226,6 +232,7 @@ def compute_statistics(
     workers: Sequence[PartitionWorker],
     makespan: float,
     offered_load_qps: Optional[float] = None,
+    failed: int = 0,
 ) -> ServerStatistics:
     """Digest one simulation run into a :class:`ServerStatistics` record.
 
@@ -235,6 +242,7 @@ def compute_statistics(
         makespan: simulation end time (seconds).
         offered_load_qps: the offered arrival rate, when known (reported
             alongside the achieved throughput).
+        failed: queries that exhausted their crash-retry budget.
     """
     return compute_statistics_from_arrays(
         completed_arrays(queries),
@@ -242,6 +250,7 @@ def compute_statistics(
         makespan,
         total_queries=len(queries),
         offered_load_qps=offered_load_qps,
+        failed=failed,
     )
 
 
@@ -251,6 +260,7 @@ def compute_statistics_from_arrays(
     makespan: float,
     total_queries: int,
     offered_load_qps: Optional[float] = None,
+    failed: int = 0,
 ) -> ServerStatistics:
     """:func:`compute_statistics` over pre-built digestion columns.
 
@@ -267,4 +277,5 @@ def compute_statistics_from_arrays(
         makespan=makespan,
         completed_queries=arrays.count,
         total_queries=total_queries,
+        failed_queries=failed,
     )

@@ -95,6 +95,12 @@ class PartitionWorker:
         self.created_at = created_at
         self.retired_at: Optional[float] = None
 
+        #: Straggler multiplier (fault injection): service times and queued
+        #: work estimates scale by this factor while it is > 1.0, so
+        #: wait-aware schedulers (ELSA, least-loaded) route around the slow
+        #: partition.  Exactly 1.0 leaves every code path untouched.
+        self.slow_factor: float = 1.0
+
         self._columns = columns
         self._write_objects = columns is None or write_through
         self._current_start = 0.0
@@ -140,6 +146,8 @@ class PartitionWorker:
                 f"latency oracle returned non-positive time {base} for "
                 f"{query.model} batch {query.batch} on GPU({self.gpcs})"
             )
+        if self.slow_factor != 1.0:
+            base *= self.slow_factor
         if self.noise_std == 0.0:
             return base
         factor = float(self._rng.lognormal(mean=0.0, sigma=self.noise_std))
@@ -240,9 +248,10 @@ class PartitionWorker:
         arrival with one persistent estimator therefore pay O(1) here.
         """
         if not self._qw_cache_enabled:
-            return sum(
+            total = sum(
                 estimator(query.model, query.batch, self.gpcs) for query in self.queue
             )
+            return total * self.slow_factor if self.slow_factor != 1.0 else total
         if estimator is not self._qw_estimator:
             gpcs = self.gpcs
             self._qw_estimates = deque(
@@ -256,6 +265,8 @@ class PartitionWorker:
             # bit-identical to scanning the queue through the estimator.
             self._qw_total = sum(self._qw_estimates)
             self._qw_dirty = False
+        if self.slow_factor != 1.0:
+            return self._qw_total * self.slow_factor
         return self._qw_total
 
     def estimated_wait(self, now: float, estimator: LatencyFn) -> float:
@@ -271,6 +282,8 @@ class PartitionWorker:
             and not self._qw_dirty
         ):
             queued = self._qw_total
+            if self.slow_factor != 1.0:
+                queued *= self.slow_factor
         else:
             queued = self.queued_work(estimator)
         finish = self.current_finish_time
@@ -278,6 +291,25 @@ class PartitionWorker:
             return queued
         remaining = finish - now
         return queued + (remaining if remaining > 0.0 else 0.0)
+
+    def abort_current(self, now: float) -> Optional[Query]:
+        """Abort the in-flight query at ``now`` (the worker crashed).
+
+        The partial execution still counts as busy time — the partition
+        really was occupied until the crash — but the query's completion
+        never happens; the caller requeues or fails it and discards the
+        already-scheduled completion event.
+
+        Returns:
+            The aborted query, or ``None`` when nothing was executing.
+        """
+        query = self.current_query
+        if query is None:
+            return None
+        self.busy_time += now - self._current_start
+        self.current_query = None
+        self.current_finish_time = None
+        return query
 
     def drain_queue(self) -> List[Query]:
         """Remove and return every queued (not started) query, in order.

@@ -37,6 +37,10 @@ class Query:
         instance_id: partition instance that executed the query.
         index: row index in the current run's columnar store (fast path
             only; assigned at submission).
+        retries: times the query was displaced by a worker crash and
+            requeued (0 without fault injection).
+        fail_time: when the query exhausted its retry budget and failed
+            (``None`` for queries that completed or never failed).
     """
 
     query_id: int
@@ -49,6 +53,8 @@ class Query:
     finish_time: Optional[float] = field(default=None, compare=False)
     instance_id: Optional[int] = field(default=None, compare=False)
     index: Optional[int] = field(default=None, compare=False, repr=False)
+    retries: int = field(default=0, compare=False)
+    fail_time: Optional[float] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.batch < 1:
@@ -60,6 +66,11 @@ class Query:
     def completed(self) -> bool:
         """Whether the query has finished execution."""
         return self.finish_time is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the query exhausted its crash-retry budget and failed."""
+        return self.fail_time is not None
 
     @property
     def latency(self) -> float:
@@ -100,6 +111,8 @@ class Query:
         self.finish_time = None
         self.instance_id = None
         self.index = None
+        self.retries = 0
+        self.fail_time = None
 
     def clone_fresh(self) -> "Query":
         """A pristine copy of the static fields, runtime state cleared.

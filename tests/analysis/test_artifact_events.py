@@ -1,4 +1,4 @@
-"""Artifact digestion of interleaved fleet-event rows in windows.ndjson."""
+"""Artifact digestion of interleaved fleet/fault-event rows in windows.ndjson."""
 
 import json
 
@@ -22,6 +22,19 @@ FLEET_ROW = {
     "reason": "backlog",
     "fleet": "0:2xA100-SXM4-40GB(12) + 1:2xA100-SXM4-40GB(12)",
     "total_gpcs": 24,
+}
+
+
+FAULT_ROW = {
+    "type": "fault-event",
+    "time": 0.6,
+    "kind": "crash",
+    "instance_id": 3,
+    "gpcs": 2,
+    "reason": "",
+    "requeued": 5,
+    "failed": 0,
+    "multiplier": 1.0,
 }
 
 
@@ -60,3 +73,26 @@ class TestFleetEventPartitioning:
         write_artifact(tmp_path / "job-0001", [WINDOW_ROW])
         run = load_job(tmp_path / "job-0001")
         assert run.fleet_events == ()
+
+
+class TestFaultEventPartitioning:
+    def test_fault_rows_are_partitioned_from_windows_and_fleet(self, tmp_path):
+        write_artifact(
+            tmp_path / "job-0001", [WINDOW_ROW, FAULT_ROW, FLEET_ROW]
+        )
+        run = load_job(tmp_path / "job-0001")
+        assert len(run.windows) == 1
+        assert len(run.fleet_events) == 1
+        assert len(run.fault_events) == 1
+        assert run.fault_events[0]["kind"] == "crash"
+        assert run.fault_events[0]["requeued"] == 5
+
+    def test_window_series_ignores_fault_events(self, tmp_path):
+        write_artifact(tmp_path / "job-0001", [WINDOW_ROW, FAULT_ROW])
+        run = load_job(tmp_path / "job-0001")
+        assert window_series(run, "throughput_qps") == [(0.0, 50.0)]
+
+    def test_artifact_without_fault_events_stays_empty(self, tmp_path):
+        write_artifact(tmp_path / "job-0001", [WINDOW_ROW, FLEET_ROW])
+        run = load_job(tmp_path / "job-0001")
+        assert run.fault_events == ()

@@ -74,15 +74,24 @@ class TestPreemptionSchedule:
         assert all(0 <= e.time < 100.0 and e.notice == 1.0 for e in first)
 
     def test_sample_validation(self):
-        with pytest.raises(ValueError, match="server_ids"):
+        with pytest.raises(ValueError, match="server_ids must name at least one"):
             PreemptionSchedule.sample([], 10.0, rate=0.1)
-        with pytest.raises(ValueError, match="horizon"):
+        with pytest.raises(ValueError, match="horizon must be positive"):
             PreemptionSchedule.sample([0], 0.0, rate=0.1)
-        with pytest.raises(ValueError, match="rate"):
+        with pytest.raises(ValueError, match="horizon must be positive"):
+            PreemptionSchedule.sample([0], float("nan"), rate=0.1)
+        with pytest.raises(ValueError, match="rate must be positive"):
             PreemptionSchedule.sample([0], 10.0, rate=-0.1)
+        with pytest.raises(ValueError, match="rate must be positive"):
+            PreemptionSchedule.sample([0], 10.0, rate=float("nan"))
+        with pytest.raises(ValueError, match="notice must be non-negative"):
+            PreemptionSchedule.sample([0], 10.0, rate=0.1, notice=-1.0)
 
-    def test_zero_rate_samples_nothing(self):
-        assert not PreemptionSchedule.sample([0], 10.0, rate=0.0, seed=1)
+    def test_zero_rate_is_rejected_not_silent(self):
+        # a zero rate used to divide by zero in the exponential draw; it is
+        # now rejected with a pointer at the explicit empty schedule
+        with pytest.raises(ValueError, match="PreemptionSchedule\\(\\) instead of rate=0"):
+            PreemptionSchedule.sample([0], 10.0, rate=0.0, seed=1)
 
 
 class TestSessionExecution:

@@ -1,0 +1,224 @@
+"""DaemonClient retry semantics: bounded, deterministic, idempotent-only.
+
+No sockets: the client's connection factory (``client._connect``) is
+swapped for fakes, and the module-level ``_sleep`` hook records the backoff
+sequence instead of sleeping, so every test is instant and deterministic.
+"""
+
+import json
+
+import pytest
+
+import repro.daemon.client as client_module
+from repro.daemon.client import DaemonClient, DaemonError
+
+
+class FakeResponse:
+    def __init__(self, status=200, payload=None, lines=None):
+        self.status = status
+        self._payload = payload if payload is not None else {"status": "ok"}
+        self._lines = lines or []
+
+    def read(self):
+        return json.dumps(self._payload).encode()
+
+    def __iter__(self):
+        return iter(self._lines)
+
+
+class FakeConnection:
+    """One scripted connection: raise on connect, or serve a response."""
+
+    def __init__(self, error=None, response=None):
+        self.error = error
+        self.response = response or FakeResponse()
+        self.closed = False
+
+    def request(self, method, path, body=None, headers=None):
+        if self.error is not None:
+            raise self.error
+
+    def getresponse(self):
+        return self.response
+
+    def close(self):
+        self.closed = True
+
+
+class ScriptedFactory:
+    """Hand out pre-scripted connections, one per attempt, in order."""
+
+    def __init__(self, connections):
+        self.connections = list(connections)
+        self.attempts = 0
+
+    def __call__(self, host, port, timeout=None):
+        self.attempts += 1
+        if not self.connections:
+            raise AssertionError("more connection attempts than scripted")
+        return self.connections.pop(0)
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    recorded = []
+    monkeypatch.setattr(client_module, "_sleep", recorded.append)
+    return recorded
+
+
+def _client(factory, **kwargs):
+    client = DaemonClient(**kwargs)
+    client._connect = factory
+    return client
+
+
+class TestConstruction:
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError, match="retries must be non-negative"):
+            DaemonClient(retries=-1)
+        with pytest.raises(ValueError, match="backoff must be non-negative"):
+            DaemonClient(backoff=-0.1)
+
+
+class TestIdempotentRetries:
+    def test_health_survives_refused_connections(self, sleeps):
+        factory = ScriptedFactory(
+            [
+                FakeConnection(error=ConnectionRefusedError()),
+                FakeConnection(error=ConnectionResetError()),
+                FakeConnection(response=FakeResponse(payload={"status": "ok"})),
+            ]
+        )
+        client = _client(factory, retries=3, backoff=0.1)
+        assert client.health() == {"status": "ok"}
+        assert factory.attempts == 3
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_exhausted_budget_reraises(self, sleeps):
+        factory = ScriptedFactory(
+            [FakeConnection(error=ConnectionRefusedError()) for _ in range(4)]
+        )
+        client = _client(factory, retries=3, backoff=0.1)
+        with pytest.raises(ConnectionRefusedError):
+            client.status("job-1")
+        assert factory.attempts == 4
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_zero_retries_is_the_default(self, sleeps):
+        factory = ScriptedFactory([FakeConnection(error=ConnectionRefusedError())])
+        client = _client(factory)
+        with pytest.raises(ConnectionRefusedError):
+            client.list_jobs()
+        assert factory.attempts == 1
+        assert sleeps == []
+
+    def test_http_errors_are_never_retried(self, sleeps):
+        factory = ScriptedFactory(
+            [FakeConnection(response=FakeResponse(503, {"error": "draining"}))]
+        )
+        client = _client(factory, retries=3, backoff=0.1)
+        with pytest.raises(DaemonError) as excinfo:
+            client.fleet()
+        assert excinfo.value.status == 503
+        assert factory.attempts == 1
+        assert sleeps == []
+
+
+class TestMutatingCallsNeverRetry:
+    def test_submit_raises_on_first_fault(self, sleeps):
+        factory = ScriptedFactory([FakeConnection(error=ConnectionRefusedError())])
+        client = _client(factory, retries=3, backoff=0.1)
+        with pytest.raises(ConnectionRefusedError):
+            client.submit("tenant-a", "diurnal")
+        assert factory.attempts == 1
+        assert sleeps == []
+
+    def test_cancel_and_shutdown_raise_on_first_fault(self, sleeps):
+        for call in (lambda c: c.cancel("job-1"), lambda c: c.shutdown()):
+            factory = ScriptedFactory(
+                [FakeConnection(error=ConnectionRefusedError())]
+            )
+            client = _client(factory, retries=3, backoff=0.1)
+            with pytest.raises(ConnectionRefusedError):
+                call(client)
+            assert factory.attempts == 1
+        assert sleeps == []
+
+
+class _StreamResponse:
+    """NDJSON stream that dies mid-iteration after ``alive`` rows."""
+
+    status = 200
+
+    def __init__(self, rows, alive=None):
+        self._rows = rows
+        self._alive = len(rows) if alive is None else alive
+
+    def read(self):
+        return b""
+
+    def __iter__(self):
+        for index, row in enumerate(self._rows):
+            if index >= self._alive:
+                raise ConnectionResetError("stream dropped")
+            yield (json.dumps(row) + "\n").encode()
+
+
+class _StreamConnection:
+    def __init__(self, response):
+        self._response = response
+
+    def request(self, method, path, body=None, headers=None):
+        pass
+
+    def getresponse(self):
+        return self._response
+
+    def close(self):
+        pass
+
+
+class TestWatchResume:
+    ROWS = [
+        {"type": "window", "index": 0},
+        {"type": "window", "index": 1},
+        {"type": "window", "index": 2},
+        {"type": "status", "state": "succeeded"},
+    ]
+
+    def test_watch_yields_each_row_exactly_once_across_a_drop(self, sleeps):
+        # first subscription drops after two rows; the daemon replays the
+        # full history to the re-subscriber, and the client skips what it
+        # already yielded
+        factory = ScriptedFactory(
+            [
+                _StreamConnection(_StreamResponse(self.ROWS, alive=2)),
+                _StreamConnection(_StreamResponse(self.ROWS)),
+            ]
+        )
+        client = _client(factory, retries=2, backoff=0.1)
+        rows = list(client.watch("job-1"))
+        assert rows == self.ROWS
+        assert factory.attempts == 2
+        assert sleeps == pytest.approx([0.1])
+
+    def test_watch_without_retries_propagates_the_drop(self, sleeps):
+        factory = ScriptedFactory(
+            [_StreamConnection(_StreamResponse(self.ROWS, alive=2))]
+        )
+        client = _client(factory)
+        with pytest.raises(ConnectionResetError):
+            list(client.watch("job-1"))
+        assert sleeps == []
+
+    def test_wait_returns_terminal_status_across_a_drop(self, sleeps):
+        factory = ScriptedFactory(
+            [
+                _StreamConnection(_StreamResponse(self.ROWS, alive=1)),
+                _StreamConnection(_StreamResponse(self.ROWS)),
+            ]
+        )
+        client = _client(factory, retries=1, backoff=0.05)
+        status = client.wait("job-1")
+        assert status == {"type": "status", "state": "succeeded"}
+        assert sleeps == pytest.approx([0.05])

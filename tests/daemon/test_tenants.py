@@ -231,3 +231,43 @@ class TestTenantIsolation:
         with pytest.raises(ValueError, match="positive"):
             tenant.advance(0.0)
         tenant.abort()
+
+
+class TestFaultEventStreaming:
+    def _faulted_tenant(self):
+        from repro.faults import FaultSchedule, WorkerCrash, WorkerRestart
+        from repro.workload.generator import WorkloadConfig
+
+        session = ServingSession(
+            ServerConfig(model="mobilenet", gpc_budget=24, num_gpus=4),
+            window=0.25,
+            faults=FaultSchedule(
+                [WorkerCrash(time=0.1, worker=0), WorkerRestart(time=0.3, worker=0)]
+            ),
+        )
+        workload = WorkloadConfig(
+            model="mobilenet", rate_qps=5000.0, num_queries=2000, seed=9
+        )
+        return TenantSession("faulted", session, workload)
+
+    def test_new_fault_events_streams_each_record_exactly_once(self):
+        tenant = self._faulted_tenant()
+        tenant.start()
+        streamed = []
+        while not tenant.done:
+            tenant.advance(0.15)
+            streamed.extend(tenant.new_fault_events())
+        tenant.finish()
+        streamed.extend(tenant.new_fault_events())
+        assert tuple(streamed) == tenant.session.fault_events()
+        assert [record.kind for record in streamed] == ["crash", "restart"]
+
+    def test_new_fault_events_empty_without_schedule(self):
+        pool = FleetPool(SERVERS)
+        tenant = tenant_session(pool, "t", 8, seed=5)
+        assert tenant.new_fault_events() == []
+        tenant.start()
+        while not tenant.done:
+            tenant.advance(1.5)
+            assert tenant.new_fault_events() == []
+        tenant.finish()

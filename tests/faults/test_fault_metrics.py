@@ -1,0 +1,117 @@
+"""Per-window fault availability accounting (integrate_fault_timeline)."""
+
+import pytest
+
+from repro.faults import FaultRecord, integrate_fault_timeline, mean_time_to_repair
+
+
+def _windows(**overrides):
+    kwargs = dict(
+        capacity_points=[(0.0, 12)],
+        crash_intervals=[],
+        downtime_intervals=[],
+        window=0.5,
+        horizon=1.0,
+        records=(),
+    )
+    kwargs.update(overrides)
+    return integrate_fault_timeline(
+        kwargs["capacity_points"],
+        kwargs["crash_intervals"],
+        kwargs["downtime_intervals"],
+        kwargs["window"],
+        kwargs["horizon"],
+        records=kwargs["records"],
+    )
+
+
+class TestMeanTimeToRepair:
+    def test_empty_is_zero(self):
+        assert mean_time_to_repair([]) == 0.0
+
+    def test_mean_of_outage_durations(self):
+        intervals = [(0.0, 0.2, 3), (1.0, 1.6, 2)]
+        assert mean_time_to_repair(intervals) == pytest.approx(0.4)
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window must be positive"):
+            _windows(window=0.0)
+
+    def test_capacity_history_required(self):
+        with pytest.raises(ValueError, match="initial capacity"):
+            _windows(capacity_points=[])
+
+    def test_capacity_history_starts_at_zero(self):
+        with pytest.raises(ValueError, match="time 0"):
+            _windows(capacity_points=[(0.5, 12)])
+
+    def test_empty_horizon_yields_no_windows(self):
+        assert _windows(horizon=0.0) == []
+
+
+class TestAvailability:
+    def test_fault_free_run_is_fully_available(self):
+        windows = _windows()
+        assert len(windows) == 2
+        for index, window in enumerate(windows):
+            assert window.index == index
+            assert window.planned_gpc_seconds == pytest.approx(6.0)
+            assert window.lost_gpc_seconds == 0.0
+            assert window.availability == 1.0
+
+    def test_crash_outage_subtracts_victim_capacity(self):
+        windows = _windows(crash_intervals=[(0.2, 0.4, 3)])
+        # 3 GPCs down for 0.2s inside window 0: lost 0.6 of 6.0 GPC-seconds
+        assert windows[0].lost_gpc_seconds == pytest.approx(0.6)
+        assert windows[0].availability == pytest.approx(0.9)
+        assert windows[1].availability == 1.0
+
+    def test_outage_spanning_windows_is_split(self):
+        windows = _windows(crash_intervals=[(0.4, 0.6, 6)])
+        assert windows[0].lost_gpc_seconds == pytest.approx(0.6)
+        assert windows[1].lost_gpc_seconds == pytest.approx(0.6)
+
+    def test_crash_inside_downtime_counts_once(self):
+        # reconfiguration downtime already zeroes the whole server; a crash
+        # overlapping it must not double-bill those seconds
+        windows = _windows(
+            crash_intervals=[(0.2, 0.4, 3)],
+            downtime_intervals=[(0.25, 0.35)],
+        )
+        # downtime: 12 GPCs x 0.1s = 1.2; crash: 3 GPCs x (0.2 - 0.1)s = 0.3
+        assert windows[0].lost_gpc_seconds == pytest.approx(1.5)
+        assert windows[0].availability == pytest.approx(4.5 / 6.0)
+
+    def test_capacity_steps_integrate_piecewise(self):
+        windows = _windows(capacity_points=[(0.0, 12), (0.5, 6)], window=1.0)
+        assert len(windows) == 1
+        assert windows[0].planned_gpc_seconds == pytest.approx(9.0)
+
+    def test_final_window_clipped_to_horizon(self):
+        windows = _windows(horizon=0.75)
+        assert len(windows) == 2
+        assert windows[1].end == pytest.approx(0.75)
+        assert windows[1].planned_gpc_seconds == pytest.approx(3.0)
+
+
+class TestRecordBinning:
+    def test_records_bin_into_their_windows(self):
+        records = (
+            FaultRecord(time=0.1, kind="crash", requeued=3),
+            FaultRecord(time=0.2, kind="restart"),
+            FaultRecord(time=0.6, kind="crash", requeued=1, failed=2),
+        )
+        windows = _windows(records=records)
+        assert (windows[0].crashes, windows[0].restarts) == (1, 1)
+        assert windows[0].retries == 3
+        assert windows[0].failures == 0
+        assert (windows[1].crashes, windows[1].restarts) == (1, 0)
+        assert windows[1].retries == 1
+        assert windows[1].failures == 2
+
+    def test_records_at_horizon_land_in_last_window(self):
+        records = (FaultRecord(time=1.5, kind="crash"),)
+        windows = _windows(records=records)
+        assert windows[-1].crashes == 1

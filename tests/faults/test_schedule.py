@@ -1,0 +1,199 @@
+"""Fault events, schedules and retry policies: validation and determinism."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.faults import (
+    FailedReconfigure,
+    FaultRecord,
+    FaultSchedule,
+    RetryPolicy,
+    StragglerEnd,
+    StragglerStart,
+    WorkerCrash,
+    WorkerRestart,
+)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        for bad in (-0.1, float("nan")):
+            with pytest.raises(ValueError, match="time must be non-negative"):
+                WorkerCrash(time=bad, worker=0)
+
+    def test_negative_worker_rejected(self):
+        for cls in (WorkerCrash, WorkerRestart, StragglerEnd):
+            with pytest.raises(ValueError, match="worker must be non-negative"):
+                cls(time=0.0, worker=-1)
+        with pytest.raises(ValueError, match="worker must be non-negative"):
+            StragglerStart(time=0.0, worker=-1, multiplier=2.0)
+
+    def test_straggler_multiplier_floor(self):
+        for bad in (0.5, 0.0, float("nan")):
+            with pytest.raises(ValueError, match="multiplier must be >= 1"):
+                StragglerStart(time=0.0, worker=0, multiplier=bad)
+        # exactly 1.0 is a legal no-op straggler
+        assert StragglerStart(time=0.0, worker=0, multiplier=1.0).multiplier == 1.0
+
+    def test_failed_reconfigure_downtime(self):
+        for bad in (-0.1, float("nan")):
+            with pytest.raises(ValueError, match="downtime must be non-negative"):
+                FailedReconfigure(time=0.0, downtime=bad)
+        assert FailedReconfigure(time=1.0).downtime == 0.0
+
+    def test_events_are_frozen(self):
+        event = WorkerCrash(time=1.0, worker=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.time = 2.0
+
+
+class TestFaultSchedule:
+    def test_sorts_by_time(self):
+        schedule = FaultSchedule(
+            [WorkerCrash(time=2.0, worker=0), WorkerCrash(time=1.0, worker=1)]
+        )
+        assert [event.time for event in schedule] == [1.0, 2.0]
+
+    def test_same_instant_recovery_lands_before_fresh_damage(self):
+        # restart/straggle-end sort before crash/straggle-start at one
+        # instant, so a same-time restart+crash pair never sees an empty
+        # crashed set
+        schedule = FaultSchedule(
+            [
+                FailedReconfigure(time=1.0),
+                StragglerStart(time=1.0, worker=0, multiplier=2.0),
+                WorkerCrash(time=1.0, worker=0),
+                StragglerEnd(time=1.0, worker=0),
+                WorkerRestart(time=1.0, worker=0),
+            ]
+        )
+        assert [type(event) for event in schedule.events] == [
+            WorkerRestart,
+            StragglerEnd,
+            WorkerCrash,
+            StragglerStart,
+            FailedReconfigure,
+        ]
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError, match="FaultSchedule holds FaultEvent"):
+            FaultSchedule([WorkerCrash(time=0.0, worker=0), "crash"])
+
+    def test_empty_schedule_is_falsy(self):
+        schedule = FaultSchedule([])
+        assert not schedule
+        assert len(schedule) == 0
+        assert bool(FaultSchedule([WorkerCrash(time=0.0, worker=0)]))
+
+    def test_describe(self):
+        schedule = FaultSchedule(
+            [WorkerCrash(time=0.5, worker=0), WorkerCrash(time=1.25, worker=1)]
+        )
+        assert schedule.describe() == "2 fault(s) @ t=[0.5, 1.25]"
+
+
+class TestSample:
+    def test_deterministic_for_equal_seeds(self):
+        a = FaultSchedule.sample(4, 10.0, rate=1.0, mttr=0.5, seed=3)
+        b = FaultSchedule.sample(4, 10.0, rate=1.0, mttr=0.5, seed=3)
+        assert a.events == b.events
+        assert len(a) > 0
+
+    def test_seed_changes_schedule(self):
+        a = FaultSchedule.sample(4, 50.0, rate=1.0, seed=0)
+        b = FaultSchedule.sample(4, 50.0, rate=1.0, seed=1)
+        assert a.events != b.events
+
+    def test_events_respect_bounds(self):
+        schedule = FaultSchedule.sample(4, 10.0, rate=2.0, mttr=0.5, seed=7)
+        for event in schedule:
+            assert 0.0 < event.time < 10.0
+            assert 0 <= event.worker < 4
+
+    def test_zero_mttr_disables_restarts(self):
+        schedule = FaultSchedule.sample(4, 10.0, rate=2.0, mttr=0.0, seed=7)
+        assert len(schedule) > 0
+        assert all(isinstance(event, WorkerCrash) for event in schedule)
+
+    def test_restarts_pair_with_crashes(self):
+        schedule = FaultSchedule.sample(2, 20.0, rate=1.0, mttr=0.2, seed=5)
+        crashes = [e for e in schedule if isinstance(e, WorkerCrash)]
+        restarts = [e for e in schedule if isinstance(e, WorkerRestart)]
+        assert crashes and restarts
+        # every restart names a victim some earlier crash took down
+        crashed_workers = {e.worker for e in crashes}
+        assert {e.worker for e in restarts} <= crashed_workers
+
+    def test_input_hardening_messages(self):
+        with pytest.raises(ValueError, match="num_workers must be >= 1"):
+            FaultSchedule.sample(0, 10.0, rate=1.0)
+        with pytest.raises(ValueError, match="horizon must be positive"):
+            FaultSchedule.sample(4, 0.0, rate=1.0)
+        with pytest.raises(ValueError, match="horizon must be positive"):
+            FaultSchedule.sample(4, float("nan"), rate=1.0)
+        with pytest.raises(
+            ValueError,
+            match=r"rate must be positive \(and not NaN\); for a fault-free "
+            r"run pass FaultSchedule\(\[\]\) instead of rate=0",
+        ):
+            FaultSchedule.sample(4, 10.0, rate=0.0)
+        with pytest.raises(ValueError, match="rate must be positive"):
+            FaultSchedule.sample(4, 10.0, rate=float("nan"))
+        with pytest.raises(ValueError, match="mttr must be non-negative"):
+            FaultSchedule.sample(4, 10.0, rate=1.0, mttr=-0.1)
+        with pytest.raises(ValueError, match="mttr must be non-negative"):
+            FaultSchedule.sample(4, 10.0, rate=1.0, mttr=float("nan"))
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.backoff == 0.0
+        assert policy.growth == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries must be non-negative"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff must be non-negative"):
+            RetryPolicy(backoff=-0.1)
+        with pytest.raises(ValueError, match="backoff must be non-negative"):
+            RetryPolicy(backoff=float("nan"))
+        with pytest.raises(ValueError, match="growth must be >= 1"):
+            RetryPolicy(growth=0.5)
+        with pytest.raises(ValueError, match="growth must be >= 1"):
+            RetryPolicy(growth=float("nan"))
+
+    def test_delay_sequence_is_geometric(self):
+        policy = RetryPolicy(max_retries=3, backoff=0.1, growth=2.0)
+        assert [policy.delay(n) for n in (1, 2, 3)] == pytest.approx(
+            [0.1, 0.2, 0.4]
+        )
+
+    def test_zero_backoff_requeues_immediately(self):
+        policy = RetryPolicy(backoff=0.0, growth=4.0)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(5) == 0.0
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ValueError, match="attempt is 1-based"):
+            RetryPolicy().delay(0)
+
+
+class TestFaultRecord:
+    def test_to_dict_is_a_typed_ndjson_row(self):
+        record = FaultRecord(
+            time=0.5, kind="crash", instance_id=3, gpcs=2, requeued=4, failed=1
+        )
+        row = record.to_dict()
+        # the leading marker is what lets artifact digestion partition the
+        # stream without peeking at any other key
+        assert list(row)[0] == "type"
+        assert row["type"] == "fault-event"
+        assert row["kind"] == "crash"
+        assert row["instance_id"] == 3
+        assert row["requeued"] == 4
+        assert row["failed"] == 1
+        assert math.isclose(row["multiplier"], 1.0)

@@ -1,86 +1,27 @@
 #!/usr/bin/env python3
 """CI smoke test for the serving daemon.
 
-Starts a real daemon (background event loop, ephemeral port), submits a
-short diurnal scenario over HTTP, follows the NDJSON stream, and asserts:
-
-* at least one windowed-metrics row was streamed,
-* the job reached ``completed`` with a sane summary,
-* the artifact directory holds job.json / windows.ndjson / result.json,
-* graceful shutdown drains and the daemon thread exits cleanly.
-
-Exits non-zero on any failure.  Wall-clock bounded by ``--timeout``
-(default 120 s) so a hung daemon fails CI instead of stalling it.
+A thin wrapper over ``python -m repro.pipeline check daemon``: the
+pipeline check starts a real daemon (background event loop, ephemeral
+port), submits a short diurnal scenario over HTTP, follows the NDJSON
+stream and verifies the artifact directory and the graceful shutdown;
+this script only adds the wall-clock guard (exit 2 on hang, 1 on
+failure).
 """
 
 import argparse
-import json
 import sys
-import tempfile
 import threading
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.daemon import DaemonClient, DaemonThread, FleetPool, JobManager  # noqa: E402
-from repro.serving.config import ServerConfig  # noqa: E402
 
-SERVERS = [(2, "a100", 12), (2, "a100", 12)]
-SCENARIO_OPTIONS = {
-    "model": "mobilenet",
-    "trough_qps": 40.0,
-    "peak_qps": 120.0,
-    "phase_duration": 2.0,
-}
+def run_smoke() -> None:
+    from repro.pipeline.checks import check_daemon
 
-
-def run_smoke(artifact_root: Path) -> None:
-    def make_manager():
-        return JobManager(
-            FleetPool(SERVERS),
-            ServerConfig(model="mobilenet", fleet=tuple(SERVERS)),
-            artifact_root,
-            chunk=1.0,
-            expected_tenants=3,
-        )
-
-    daemon = DaemonThread(make_manager)
-    port = daemon.start()
-    client = DaemonClient(port=port)
-    print(f"daemon up on port {port}: {client.fleet()['shape']}")
-
-    job = client.submit(
-        "smoke", "diurnal", options=SCENARIO_OPTIONS, quota_gpcs=8, seed=7
-    )
-    job_id = job["job_id"]
-    print(f"submitted {job_id}")
-
-    windows = 0
-    final = None
-    for row in client.watch(job_id):
-        if row["type"] == "window":
-            windows += 1
-        elif row["type"] == "status":
-            final = row
-    assert windows > 0, "no windowed metrics were streamed"
-    assert final is not None, "stream ended without a status row"
-    assert final["state"] == "completed", f"job ended {final['state']}: {final}"
-    assert final["summary"]["throughput_qps"] > 0
-    print(
-        f"streamed {windows} windows; final throughput "
-        f"{final['summary']['throughput_qps']:.1f} qps"
-    )
-
-    job_dir = artifact_root / job_id
-    for name in ("job.json", "windows.ndjson", "result.json"):
-        assert (job_dir / name).is_file(), f"missing artifact {name}"
-    result = json.loads((job_dir / "result.json").read_text())
-    assert result["state"] == "completed"
-    print(f"artifacts verified under {job_dir}")
-
-    client.shutdown()
-    daemon.stop()
-    print("daemon shut down cleanly")
+    result = check_daemon(log=print)
+    assert result.ok, result.describe()
 
 
 def main() -> int:
@@ -92,15 +33,14 @@ def main() -> int:
     args = parser.parse_args()
 
     failure: list = []
-    with tempfile.TemporaryDirectory(prefix="daemon-smoke-") as tmp:
-        worker = threading.Thread(
-            target=lambda: failure.extend(_guarded(Path(tmp))), daemon=True
-        )
-        worker.start()
-        worker.join(args.timeout)
-        if worker.is_alive():
-            print(f"FAIL: smoke run exceeded {args.timeout:.0f}s", file=sys.stderr)
-            return 2
+    worker = threading.Thread(
+        target=lambda: failure.extend(_guarded()), daemon=True
+    )
+    worker.start()
+    worker.join(args.timeout)
+    if worker.is_alive():
+        print(f"FAIL: smoke run exceeded {args.timeout:.0f}s", file=sys.stderr)
+        return 2
     if failure:
         print(f"FAIL: {failure[0]}", file=sys.stderr)
         return 1
@@ -108,9 +48,9 @@ def main() -> int:
     return 0
 
 
-def _guarded(artifact_root: Path) -> list:
+def _guarded() -> list:
     try:
-        run_smoke(artifact_root)
+        run_smoke()
         return []
     except BaseException as error:  # report, don't hang the join
         return [f"{type(error).__name__}: {error}"]

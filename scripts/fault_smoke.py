@@ -1,23 +1,14 @@
 #!/usr/bin/env python3
 """CI smoke test for the fault-injection subsystem.
 
-Regenerates the availability-vs-fault-rate experiment from scratch and
-asserts:
-
-* the payload reproduces the committed ``BENCH_faults.json`` artifact
-  (the sweep is fully seeded — any drift is a real behavior change),
-* the fault-free baseline is fully available with zero failures/retries,
-* every sweep point conserves queries (completed + failed == submitted),
-* the highest fault rate measurably degrades availability and exercises
-  the retry path.
-
-Exits non-zero on any failure.  Wall-clock bounded by ``--timeout``
-(default 240 s) so a hung run fails CI instead of stalling it.
+A thin wrapper over ``python -m repro.pipeline check fault``: the
+pipeline's shared comparator regenerates the availability-vs-fault-rate
+sweep, diffs it against the committed ``BENCH_faults.json`` and validates
+the degradation claims; this script only adds the wall-clock guard
+(exit 2 on hang, 1 on failure).
 """
 
 import argparse
-import json
-import math
 import sys
 import threading
 from pathlib import Path
@@ -25,58 +16,12 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-ARTIFACT = ROOT / "BENCH_faults.json"
-
-
-def _match(fresh, pinned, path="payload") -> list:
-    """Structural diff with a small float tolerance, first mismatch only."""
-    if isinstance(pinned, dict):
-        if not isinstance(fresh, dict) or set(fresh) != set(pinned):
-            return [f"{path}: keys differ ({sorted(fresh)} vs {sorted(pinned)})"]
-        for key in pinned:
-            bad = _match(fresh[key], pinned[key], f"{path}.{key}")
-            if bad:
-                return bad
-        return []
-    if isinstance(pinned, list):
-        if not isinstance(fresh, list) or len(fresh) != len(pinned):
-            return [f"{path}: list length {len(fresh)} vs {len(pinned)}"]
-        for i, (a, b) in enumerate(zip(fresh, pinned)):
-            bad = _match(a, b, f"{path}[{i}]")
-            if bad:
-                return bad
-        return []
-    if isinstance(pinned, float) and isinstance(fresh, (int, float)):
-        if not math.isclose(fresh, pinned, rel_tol=1e-6, abs_tol=1e-9):
-            return [f"{path}: {fresh} != {pinned}"]
-        return []
-    if fresh != pinned:
-        return [f"{path}: {fresh!r} != {pinned!r}"]
-    return []
-
 
 def run_smoke() -> None:
-    from repro.analysis.faults import check_fault_payload, run_fault_experiment
+    from repro.pipeline.checks import check_fault
 
-    assert ARTIFACT.is_file(), f"missing committed artifact {ARTIFACT.name}"
-    pinned = json.loads(ARTIFACT.read_text())
-
-    print("regenerating the fault-rate sweep ...")
-    fresh = run_fault_experiment(log=print)
-
-    mismatch = _match(fresh, pinned)
-    assert not mismatch, f"artifact drift vs {ARTIFACT.name}: {mismatch[0]}"
-    print(f"artifact reproduced: {ARTIFACT.name} is bit-consistent")
-
-    failures = check_fault_payload(fresh)
-    assert not failures, f"degradation claim failed: {failures[0]}"
-    baseline, worst = fresh["sweep"][0], fresh["sweep"][-1]
-    print(
-        f"degradation verified: availability {baseline['availability']:.4f} "
-        f"(fault-free) -> {worst['availability']:.4f} at "
-        f"{worst['rate']:g} faults/s ({worst['crashes']} crashes, "
-        f"{worst['retries']} retries, {worst['failed_queries']} failed)"
-    )
+    result = check_fault(log=print)
+    assert result.ok, result.describe()
 
 
 def main() -> int:

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""CI smoke test for the elastic fleet control plane.
+"""CI smoke test for the experiment pipeline.
 
-A thin wrapper over ``python -m repro.pipeline check autoscale``: the
-pipeline's shared comparator regenerates the iso-SLA experiment, diffs it
-against the committed ``BENCH_autoscale.json`` and validates the iso-SLA
-claims; this script adds the ``examples/autoscaling.py`` end-to-end run
-and the wall-clock guard (exit 2 on hang, 1 on failure).
+A thin wrapper over ``python -m repro.pipeline check smoke``: reruns the
+reduced experiment matrix and diffs its ``run_table.csv`` and Vega-Lite
+figure specs against the committed baseline under ``baselines/smoke``;
+this script only adds the wall-clock guard (exit 2 on hang, 1 on
+failure).  Pass ``--out`` to keep the fresh artifact tree (CI uploads it).
 """
 
 import argparse
@@ -15,19 +15,13 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
-sys.path.insert(0, str(ROOT / "examples"))
 
 
-def run_smoke() -> None:
-    from repro.pipeline.checks import check_autoscale
+def run_smoke(out) -> None:
+    from repro.pipeline.checks import check_smoke
 
-    result = check_autoscale(log=print)
+    result = check_smoke(out=out, log=print)
     assert result.ok, result.describe()
-
-    import autoscaling as example
-
-    example.main()
-    print("examples/autoscaling.py: OK")
 
 
 def main() -> int:
@@ -36,11 +30,15 @@ def main() -> int:
         "--timeout", type=float, default=240.0,
         help="hard wall-clock bound in seconds (default 240)",
     )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="keep the fresh artifact tree here (default: temp dir)",
+    )
     args = parser.parse_args()
 
     failure: list = []
     worker = threading.Thread(
-        target=lambda: failure.extend(_guarded()), daemon=True
+        target=lambda: failure.extend(_guarded(args.out)), daemon=True
     )
     worker.start()
     worker.join(args.timeout)
@@ -50,13 +48,13 @@ def main() -> int:
     if failure:
         print(f"FAIL: {failure[0]}", file=sys.stderr)
         return 1
-    print("autoscale smoke: OK")
+    print("pipeline smoke: OK")
     return 0
 
 
-def _guarded() -> list:
+def _guarded(out) -> list:
     try:
-        run_smoke()
+        run_smoke(out)
         return []
     except BaseException as error:  # report, don't hang the join
         return [f"{type(error).__name__}: {error}"]

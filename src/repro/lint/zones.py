@@ -37,6 +37,7 @@ ZONES: Dict[str, Tuple[str, ...]] = {
         "serving/",
         "autoscale/",
         "faults/",
+        "pipeline/",
     ),
     "hot-path": (
         "sim/",

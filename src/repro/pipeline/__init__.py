@@ -1,0 +1,59 @@
+"""One-command experiment pipeline with versioned, diffable artifacts.
+
+``python -m repro.pipeline run --suite figures --out runs/`` executes the
+full experiment matrix into a mubench-style artifact tree (a
+``run_table.csv`` core artifact over per-run directories in the daemon
+artifact format, plus text-based Vega-Lite figure specs);
+``python -m repro.pipeline check`` regenerates the reduced matrix and the
+committed BENCH payloads and diffs them against their baselines through
+one shared structural comparator, exit-coded for CI.
+
+Modules:
+
+* :mod:`~repro.pipeline.table` — run-table columns, canonical formatting,
+  parsing, the columns-explanation doc.
+* :mod:`~repro.pipeline.suites` — the experiment matrix and the
+  ``smoke`` / ``figures`` suites.
+* :mod:`~repro.pipeline.runner` — suite execution + artifact-tree writer.
+* :mod:`~repro.pipeline.figures` — the Vega-Lite figure registry.
+* :mod:`~repro.pipeline.compare` — the shared structural comparator.
+* :mod:`~repro.pipeline.checks` — the smoke/autoscale/fault/daemon gates.
+"""
+
+from repro.pipeline.compare import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    diff_structures,
+    first_mismatch,
+)
+from repro.pipeline.figures import FIGURES, FigureSpec, render_figures
+from repro.pipeline.runner import SuiteRunResult, run_suite
+from repro.pipeline.suites import EXPERIMENTS, SUITES, make_context, run_experiment
+from repro.pipeline.table import (
+    RUN_TABLE_COLUMNS,
+    RUN_TABLE_EXPLANATIONS,
+    RunRow,
+    parse_run_table,
+    render_run_table,
+)
+
+__all__ = [
+    "DEFAULT_ABS_TOL",
+    "DEFAULT_REL_TOL",
+    "EXPERIMENTS",
+    "FIGURES",
+    "FigureSpec",
+    "RUN_TABLE_COLUMNS",
+    "RUN_TABLE_EXPLANATIONS",
+    "RunRow",
+    "SUITES",
+    "SuiteRunResult",
+    "diff_structures",
+    "first_mismatch",
+    "make_context",
+    "parse_run_table",
+    "render_figures",
+    "render_run_table",
+    "run_experiment",
+    "run_suite",
+]

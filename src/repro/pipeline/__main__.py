@@ -1,0 +1,173 @@
+"""CLI for the experiment pipeline.
+
+Commands::
+
+    python -m repro.pipeline run --suite figures --out runs/
+    python -m repro.pipeline check [smoke autoscale fault daemon|all] \\
+        [--baseline baselines/smoke] [--out tree/] [--n-jobs N]
+    python -m repro.pipeline list
+
+``run`` executes a suite into an artifact tree; ``check`` regenerates
+committed artifacts and exits nonzero on any drift or failed claim;
+``list`` prints the suites, their experiment matrices and the figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.pipeline.checks import CHECKS, DEFAULT_BASELINE, CheckResult
+from repro.pipeline.figures import FIGURES
+from repro.pipeline.runner import run_suite
+from repro.pipeline.suites import SUITES, suite_experiments
+
+
+def _add_run(subparsers: argparse._SubParsersAction) -> None:
+    run = subparsers.add_parser(
+        "run", help="execute a suite into an artifact tree"
+    )
+    run.add_argument(
+        "--suite",
+        default="figures",
+        choices=sorted(SUITES),
+        help="experiment suite to run (default: figures)",
+    )
+    run.add_argument(
+        "--out",
+        type=Path,
+        required=True,
+        help="artifact tree root (created if missing)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    run.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the warm sweep pool (0 = all cores)",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+
+def _add_check(subparsers: argparse._SubParsersAction) -> None:
+    check = subparsers.add_parser(
+        "check",
+        help="regenerate committed artifacts and diff them (exit-coded)",
+    )
+    check.add_argument(
+        "checks",
+        nargs="*",
+        default=["all"],
+        help=f"checks to run: {', '.join(CHECKS)} or 'all' (default)",
+    )
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed smoke baseline tree (default: baselines/smoke)",
+    )
+    check.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="keep the fresh smoke tree here (default: temp dir)",
+    )
+    check.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    check.add_argument(
+        "--n-jobs", type=int, default=1, help="worker processes for the rerun"
+    )
+    check.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    log = None if args.quiet else print
+    n_jobs: Optional[int] = None if args.n_jobs == 0 else args.n_jobs
+    result = run_suite(
+        args.suite, args.out, seed=args.seed, n_jobs=n_jobs, log=log
+    )
+    print(
+        f"suite {result.suite!r}: {len(result.rows)} runs across "
+        f"{len(result.experiments)} experiments -> {result.out}"
+    )
+    print(f"  run table : {result.run_table_path}")
+    print(f"  figures   : {len(result.figures)} Vega-Lite spec(s)")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    log = None if args.quiet else print
+    n_jobs: Optional[int] = None if args.n_jobs == 0 else args.n_jobs
+    names: List[str] = list(args.checks)
+    if "all" in names:
+        names = list(CHECKS)
+    unknown = [name for name in names if name not in CHECKS]
+    if unknown:
+        print(
+            f"unknown check(s) {unknown}; available: {list(CHECKS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+
+    results: List[CheckResult] = []
+    for name in names:
+        if name == "smoke":
+            results.append(
+                CHECKS[name](
+                    baseline=args.baseline,
+                    out=args.out,
+                    n_jobs=n_jobs,
+                    seed=args.seed,
+                    log=log,
+                )
+            )
+        else:
+            results.append(CHECKS[name](log=log))
+
+    failed = False
+    for result in results:
+        print(result.describe())
+        if not result.ok:
+            failed = True
+            for failure in result.failures[1:]:
+                print(f"  {failure}")
+    return 1 if failed else 0
+
+
+def _cmd_list() -> int:
+    for suite in sorted(SUITES):
+        experiments = suite_experiments(suite)
+        print(f"suite {suite!r} ({len(experiments)} experiments):")
+        for name in experiments:
+            print(f"  {name}")
+    print(f"figures ({len(FIGURES)}):")
+    for spec in FIGURES:
+        print(f"  {spec.name}.vl.json  <- {spec.experiment}")
+    print(f"checks: {', '.join(CHECKS)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run(subparsers)
+    _add_check(subparsers)
+    subparsers.add_parser("list", help="show suites, experiments and figures")
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

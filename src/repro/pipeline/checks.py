@@ -1,0 +1,350 @@
+"""``pipeline check``: every committed-artifact gate behind one exit code.
+
+Each check regenerates an artifact from scratch and diffs it against the
+committed baseline through the shared structural comparator
+(:mod:`repro.pipeline.compare`) — per-field relative tolerances for
+floats, exact matching for integer counts — then validates the artifact's
+*claims* (SLA met, degradation present, ...).  The four checks:
+
+* ``smoke`` — rerun the reduced suite matrix and diff its ``run_table.csv``
+  and rendered figure specs against ``baselines/smoke/``;
+* ``autoscale`` — regenerate the iso-SLA experiment against
+  ``BENCH_autoscale.json`` and its iso-SLA claims;
+* ``fault`` — regenerate the fault-rate sweep against ``BENCH_faults.json``
+  and its degradation claims;
+* ``daemon`` — an end-to-end daemon session over HTTP (no baseline; the
+  artifact tree itself is the assertion).
+
+Checks return :class:`CheckResult`; the CLI maps any failure to a nonzero
+exit, so CI wires straight through ``python -m repro.pipeline check``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.pipeline.compare import diff_structures, first_mismatch
+from repro.pipeline.table import parse_run_table
+
+#: Repository root (``src/repro/pipeline/checks.py`` -> three parents up).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Where ``pipeline check smoke`` finds its committed baseline tree.
+DEFAULT_BASELINE = REPO_ROOT / "baselines" / "smoke"
+
+#: Relative-tolerance overrides for run-table float columns that are
+#: derived through long reductions (sums over thousands of latencies) and
+#: may legitimately differ in the last ulp across BLAS/libm builds.  All
+#: other floats use the comparator default (1e-6); integer columns always
+#: match exactly.
+RUN_TABLE_TOLERANCES: Mapping[str, float] = {
+    "throughput_qps": 1e-5,
+    "p95_latency_ms": 1e-5,
+    "mean_latency_ms": 1e-5,
+    "violation_rate": 1e-5,
+    "cost": 1e-5,
+    "availability": 1e-5,
+    "utilization": 1e-5,
+    "normalized_throughput": 1e-5,
+}
+
+Log = Optional[Callable[[str], None]]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one named check."""
+
+    name: str
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.name}: OK"
+        return f"{self.name}: FAIL — {first_mismatch(self.failures)}"
+
+
+def _say(log: Log, message: str) -> None:
+    if log is not None:
+        log(message)
+
+
+# --------------------------------------------------------------------------- #
+# smoke: the reduced suite matrix vs baselines/smoke/
+# --------------------------------------------------------------------------- #
+
+
+def check_smoke(
+    *,
+    baseline: Path = DEFAULT_BASELINE,
+    out: Optional[Path] = None,
+    n_jobs: Optional[int] = 1,
+    seed: int = 0,
+    log: Log = None,
+) -> CheckResult:
+    """Rerun the smoke suite and diff it against the committed baseline.
+
+    Args:
+        baseline: committed baseline tree (``run_table.csv`` + figures).
+        out: where to materialise the fresh tree; a temporary directory
+            when omitted (kept when given, so CI can upload it).
+        n_jobs / seed / log: forwarded to the suite run.
+    """
+    from repro.pipeline.runner import run_suite
+
+    result = CheckResult("smoke")
+    baseline_table = baseline / "run_table.csv"
+    if not baseline_table.is_file():
+        result.fail(
+            f"missing committed baseline {baseline_table}; generate one "
+            "with `python -m repro.pipeline run --suite smoke --out "
+            f"{baseline}`"
+        )
+        return result
+
+    if out is None:
+        with tempfile.TemporaryDirectory(prefix="pipeline-check-") as tmp:
+            fresh = run_suite("smoke", Path(tmp), seed=seed, n_jobs=n_jobs, log=log)
+            _diff_trees(result, fresh.out, baseline, log)
+    else:
+        fresh = run_suite("smoke", Path(out), seed=seed, n_jobs=n_jobs, log=log)
+        _diff_trees(result, fresh.out, baseline, log)
+    return result
+
+
+def _diff_trees(
+    result: CheckResult, fresh_root: Path, baseline_root: Path, log: Log
+) -> None:
+    fresh_rows = _table_payload(fresh_root / "run_table.csv")
+    pinned_rows = _table_payload(baseline_root / "run_table.csv")
+    mismatches = diff_structures(
+        fresh_rows,
+        pinned_rows,
+        path="run_table",
+        field_tolerances=RUN_TABLE_TOLERANCES,
+    )
+    result.failures.extend(mismatches)
+    if not mismatches:
+        _say(log, f"run_table.csv reproduced ({len(pinned_rows)} rows)")
+
+    fresh_figures = sorted(p.name for p in (fresh_root / "figures").glob("*.vl.json"))
+    pinned_figures = sorted(
+        p.name for p in (baseline_root / "figures").glob("*.vl.json")
+    )
+    if fresh_figures != pinned_figures:
+        result.fail(
+            f"figure sets differ: fresh {fresh_figures} vs committed "
+            f"{pinned_figures}"
+        )
+        return
+    for name in pinned_figures:
+        fresh_spec = json.loads((fresh_root / "figures" / name).read_text())
+        pinned_spec = json.loads((baseline_root / "figures" / name).read_text())
+        result.failures.extend(
+            diff_structures(
+                fresh_spec,
+                pinned_spec,
+                path=f"figures/{name}",
+                field_tolerances=RUN_TABLE_TOLERANCES,
+            )
+        )
+    if result.ok:
+        _say(log, f"{len(pinned_figures)} figure spec(s) reproduced")
+
+
+def _table_payload(path: Path) -> List[Dict[str, Any]]:
+    """Run-table rows keyed for diffing (run_dir identifies the row)."""
+    return [dict(row) for row in parse_run_table(path.read_text(encoding="utf-8"))]
+
+
+# --------------------------------------------------------------------------- #
+# autoscale / fault: the committed BENCH payloads + their claims
+# --------------------------------------------------------------------------- #
+
+
+def check_autoscale(
+    *, artifact: Optional[Path] = None, log: Log = None
+) -> CheckResult:
+    """Regenerate the iso-SLA experiment and diff + validate it."""
+    from repro.analysis.autoscaling import (
+        check_iso_sla_payload,
+        run_iso_sla_experiment,
+    )
+
+    result = CheckResult("autoscale")
+    path = artifact or (REPO_ROOT / "BENCH_autoscale.json")
+    if not path.is_file():
+        result.fail(f"missing committed artifact {path}")
+        return result
+    pinned = json.loads(path.read_text())
+    _say(log, "regenerating the iso-SLA experiment ...")
+    fresh = run_iso_sla_experiment(log=log)
+    result.failures.extend(
+        diff_structures(fresh, pinned, path=path.name)
+    )
+    for failure in check_iso_sla_payload(fresh):
+        result.fail(f"iso-SLA claim failed: {failure}")
+    if result.ok:
+        auto = fresh["autoscaled"]
+        _say(
+            log,
+            f"artifact reproduced; autoscaled viol "
+            f"{auto['violation_rate']:.4f} at cost {auto['cost']:.1f} "
+            f"({fresh['savings_pct']:.1%} saved vs best static)",
+        )
+    return result
+
+
+def check_fault(*, artifact: Optional[Path] = None, log: Log = None) -> CheckResult:
+    """Regenerate the fault-rate sweep and diff + validate it."""
+    from repro.analysis.faults import check_fault_payload, run_fault_experiment
+
+    result = CheckResult("fault")
+    path = artifact or (REPO_ROOT / "BENCH_faults.json")
+    if not path.is_file():
+        result.fail(f"missing committed artifact {path}")
+        return result
+    pinned = json.loads(path.read_text())
+    _say(log, "regenerating the fault-rate sweep ...")
+    fresh = run_fault_experiment(log=log)
+    result.failures.extend(
+        diff_structures(fresh, pinned, path=path.name)
+    )
+    for failure in check_fault_payload(fresh):
+        result.fail(f"degradation claim failed: {failure}")
+    if result.ok:
+        worst = fresh["sweep"][-1]
+        _say(
+            log,
+            f"artifact reproduced; availability "
+            f"{fresh['sweep'][0]['availability']:.4f} -> "
+            f"{worst['availability']:.4f} at {worst['rate']:g} faults/s",
+        )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# daemon: end-to-end HTTP session (the artifact tree is the assertion)
+# --------------------------------------------------------------------------- #
+
+_DAEMON_SERVERS: Tuple[Tuple[int, str, int], ...] = (
+    (2, "a100", 12),
+    (2, "a100", 12),
+)
+_DAEMON_SCENARIO: Mapping[str, Any] = {
+    "model": "mobilenet",
+    "trough_qps": 40.0,
+    "peak_qps": 120.0,
+    "phase_duration": 2.0,
+}
+
+
+def check_daemon(
+    *, artifact_root: Optional[Path] = None, log: Log = None
+) -> CheckResult:
+    """Drive a real daemon end-to-end: submit, stream, verify artifacts."""
+    result = CheckResult("daemon")
+    if artifact_root is None:
+        with tempfile.TemporaryDirectory(prefix="pipeline-daemon-") as tmp:
+            _daemon_session(result, Path(tmp), log)
+    else:
+        _daemon_session(result, Path(artifact_root), log)
+    return result
+
+
+def _daemon_session(result: CheckResult, artifact_root: Path, log: Log) -> None:
+    from repro.daemon import DaemonClient, DaemonThread, FleetPool, JobManager
+    from repro.serving.config import ServerConfig
+
+    def make_manager() -> JobManager:
+        return JobManager(
+            FleetPool(list(_DAEMON_SERVERS)),
+            ServerConfig(model="mobilenet", fleet=_DAEMON_SERVERS),
+            artifact_root,
+            chunk=1.0,
+            expected_tenants=3,
+        )
+
+    daemon = DaemonThread(make_manager)
+    try:
+        port = daemon.start()
+        client = DaemonClient(port=port)
+        _say(log, f"daemon up on port {port}: {client.fleet()['shape']}")
+
+        job = client.submit(
+            "smoke", "diurnal", options=dict(_DAEMON_SCENARIO),
+            quota_gpcs=8, seed=7,
+        )
+        job_id = job["job_id"]
+        windows = 0
+        final: Optional[Dict[str, Any]] = None
+        for row in client.watch(job_id):
+            if row["type"] == "window":
+                windows += 1
+            elif row["type"] == "status":
+                final = row
+        if windows == 0:
+            result.fail("no windowed metrics were streamed")
+        if final is None:
+            result.fail("stream ended without a status row")
+        elif final["state"] != "completed":
+            result.fail(f"job ended {final['state']}: {final}")
+        elif final["summary"]["throughput_qps"] <= 0:
+            result.fail("completed job reported zero throughput")
+        else:
+            _say(
+                log,
+                f"streamed {windows} windows; final throughput "
+                f"{final['summary']['throughput_qps']:.1f} qps",
+            )
+
+        job_dir = artifact_root / job_id
+        for name in ("job.json", "windows.ndjson", "result.json"):
+            if not (job_dir / name).is_file():
+                result.fail(f"missing artifact {name} under {job_dir}")
+        if result.ok:
+            loaded = json.loads((job_dir / "result.json").read_text())
+            if loaded.get("state") != "completed":
+                result.fail(f"result.json state {loaded.get('state')!r}")
+        client.shutdown()
+    finally:
+        daemon.stop()
+    if result.ok:
+        _say(log, "daemon shut down cleanly")
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+
+#: check name -> zero-config runner, in ``check all`` order.
+CHECKS: Mapping[str, Callable[..., CheckResult]] = {
+    "smoke": check_smoke,
+    "autoscale": check_autoscale,
+    "fault": check_fault,
+    "daemon": check_daemon,
+}
+
+
+__all__ = [
+    "CHECKS",
+    "CheckResult",
+    "DEFAULT_BASELINE",
+    "REPO_ROOT",
+    "RUN_TABLE_TOLERANCES",
+    "check_autoscale",
+    "check_daemon",
+    "check_fault",
+    "check_smoke",
+]

@@ -1,0 +1,266 @@
+"""Text-based Vega-Lite figure specs rendered from the run table.
+
+Figures are *artifacts*, not screenshots: each one is a self-contained
+Vega-Lite v5 JSON document with the run-table rows it plots inlined under
+``data.values``, written with sorted keys and a trailing newline so the
+same run table always renders the same bytes.  That makes every figure
+diffable in review — a behavior change shows up as a value diff in the
+spec, not as an opaque binary — and renderable by any Vega-Lite toolchain
+(``vl-convert``, the online editor, an ``<embed>`` tag) without this repo.
+
+Every encoded field references a :data:`~repro.pipeline.table.RUN_TABLE_COLUMNS`
+column; ``referenced_fields`` extracts them so tests can pin that property.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.pipeline.table import RUN_TABLE_COLUMNS, Cell
+
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure definition over the run table.
+
+    Attributes:
+        name: artifact stem (``figures/<name>.vl.json``).
+        experiment: run-table ``experiment`` whose rows the figure plots.
+        title: human title embedded in the spec.
+        mark: Vega-Lite mark (``"line"``, ``"bar"``, ``"point"``...).
+        encoding: Vega-Lite encoding block; every ``field`` must be a run
+            table column.
+    """
+
+    name: str
+    experiment: str
+    title: str
+    mark: Any
+    encoding: Mapping[str, Any]
+
+    def columns(self) -> Tuple[str, ...]:
+        """The run-table columns the encoding references, in column order."""
+        fields = referenced_fields(self.encoding)
+        unknown = fields - set(RUN_TABLE_COLUMNS)
+        if unknown:
+            raise ValueError(
+                f"figure {self.name!r} references non-run-table columns "
+                f"{sorted(unknown)}"
+            )
+        return tuple(c for c in RUN_TABLE_COLUMNS if c in fields)
+
+
+def _quant(field: str, title: str) -> Dict[str, Any]:
+    return {"field": field, "type": "quantitative", "title": title}
+
+
+def _nominal(field: str, title: str) -> Dict[str, Any]:
+    return {"field": field, "type": "nominal", "title": title}
+
+
+#: The figure registry, in artifact order.
+FIGURES: Tuple[FigureSpec, ...] = (
+    FigureSpec(
+        name="fig3_partition_latency",
+        experiment="fig3",
+        title="Fig. 3 — latency and utilization vs partition size",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "model / partition / batch"),
+            "y": _quant("mean_latency_ms", "latency (ms)"),
+            "color": _quant("utilization", "utilization"),
+        },
+    ),
+    FigureSpec(
+        name="fig4_batch_knees",
+        experiment="fig4",
+        title="Fig. 4 — utilization vs batch size per partition",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "model / partition / batch"),
+            "y": _quant("utilization", "utilization"),
+            "color": _quant("mean_latency_ms", "latency (ms)"),
+        },
+    ),
+    FigureSpec(
+        name="table1_designs",
+        experiment="table1",
+        title="Table I — server designs and their GPC cost",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "model / design"),
+            "y": _quant("cost", "GPC cost ($)"),
+        },
+    ),
+    FigureSpec(
+        name="fig11_latency_vs_load",
+        experiment="fig11",
+        title="Fig. 11 — p95 latency vs offered load per design",
+        mark={"type": "line", "point": True},
+        encoding={
+            "x": _quant("rate_qps", "offered load (qps)"),
+            "y": _quant("p95_latency_ms", "p95 latency (ms)"),
+            "color": _nominal("design", "design"),
+        },
+    ),
+    FigureSpec(
+        name="fig12_throughput",
+        experiment="fig12",
+        title="Fig. 12 — latency-bounded throughput, normalised to GPU(7)+FIFS",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "model / design"),
+            "y": _quant("normalized_throughput", "normalised throughput"),
+        },
+    ),
+    FigureSpec(
+        name="fig13a_sigma_sensitivity",
+        experiment="fig13a",
+        title="Fig. 13a — sensitivity to batch-distribution sigma",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "model / sigma / design"),
+            "y": _quant("normalized_throughput", "normalised throughput"),
+        },
+    ),
+    FigureSpec(
+        name="fig13b_maxbatch_sensitivity",
+        experiment="fig13b",
+        title="Fig. 13b — sensitivity to the maximum batch size",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "model / max batch / design"),
+            "y": _quant("normalized_throughput", "normalised throughput"),
+        },
+    ),
+    FigureSpec(
+        name="sla_sensitivity",
+        experiment="sla_sensitivity",
+        title="SLA sensitivity — throughput per design and SLA multiplier",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "model / SLA multiplier / design"),
+            "y": _quant("throughput_qps", "throughput (qps)"),
+        },
+    ),
+    FigureSpec(
+        name="dynamic_scenario",
+        experiment="dynamic_scenario",
+        title="Dynamic scenario — triggered repartitioning vs static control",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "mode"),
+            "y": _quant("p95_latency_ms", "p95 latency (ms)"),
+            "color": _quant("violation_rate", "SLA violation rate"),
+        },
+    ),
+    FigureSpec(
+        name="heterogeneous_fleet",
+        experiment="heterogeneous_fleet",
+        title="Heterogeneous fleets — throughput and $-cost at iso budget",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "fleet"),
+            "y": _quant("throughput_qps", "throughput (qps)"),
+            "color": _quant("cost", "GPC cost ($)"),
+        },
+    ),
+    FigureSpec(
+        name="autoscale_frontier",
+        experiment="autoscale_sweep",
+        title="Autoscaling — static frontier vs autoscaled cost and SLA",
+        mark={"type": "bar"},
+        encoding={
+            "x": _nominal("design", "fleet sizing"),
+            "y": _quant("cost", "$-cost"),
+            "color": _quant("violation_rate", "SLA violation rate"),
+        },
+    ),
+    FigureSpec(
+        name="fault_availability",
+        experiment="fault_sweep",
+        title="Fault injection — availability and tail latency vs crash rate",
+        mark={"type": "line", "point": True},
+        encoding={
+            "x": _nominal("design", "crash rate (1/s)"),
+            "y": _quant("availability", "availability"),
+            "color": _quant("p95_latency_ms", "p95 latency (ms)"),
+        },
+    ),
+)
+
+
+def referenced_fields(node: Any) -> Set[str]:
+    """Every ``"field"`` name referenced anywhere in a Vega-Lite fragment."""
+    fields: Set[str] = set()
+    if isinstance(node, Mapping):
+        for key, value in node.items():
+            if key == "field" and isinstance(value, str):
+                fields.add(value)
+            else:
+                fields.update(referenced_fields(value))
+    elif isinstance(node, (list, tuple)):
+        for value in node:
+            fields.update(referenced_fields(value))
+    return fields
+
+
+def render_figure(
+    spec: FigureSpec, table_rows: Sequence[Mapping[str, Cell]]
+) -> str:
+    """Render one figure from parsed run-table rows to canonical JSON text.
+
+    The figure's data block inlines the experiment's rows projected onto
+    the columns the encoding references.  Output is ``json.dumps`` with
+    ``indent=2, sort_keys=True`` plus a trailing newline — byte-stable for
+    a given table.
+    """
+    columns = spec.columns()
+    values: List[Dict[str, Cell]] = [
+        {column: row.get(column) for column in columns}
+        for row in table_rows
+        if row.get("experiment") == spec.experiment
+    ]
+    document: Dict[str, Any] = {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": spec.title,
+        "description": (
+            f"Rendered from run_table.csv rows with experiment="
+            f"{spec.experiment!r} by `python -m repro.pipeline run`."
+        ),
+        "data": {"values": values},
+        "mark": spec.mark,
+        "encoding": dict(spec.encoding),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_figures(
+    table_rows: Sequence[Mapping[str, Cell]],
+    experiments: Sequence[str],
+) -> Dict[str, str]:
+    """Render every registered figure whose experiment is in ``experiments``.
+
+    Returns:
+        ``{"<name>.vl.json": text}`` in registry order.
+    """
+    wanted = set(experiments)
+    return {
+        f"{spec.name}.vl.json": render_figure(spec, table_rows)
+        for spec in FIGURES
+        if spec.experiment in wanted
+    }
+
+
+__all__ = [
+    "FIGURES",
+    "FigureSpec",
+    "VEGA_LITE_SCHEMA",
+    "referenced_fields",
+    "render_figure",
+    "render_figures",
+]

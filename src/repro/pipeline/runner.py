@@ -1,0 +1,184 @@
+"""Run a suite and materialise the mubench-style artifact tree.
+
+``run_suite`` executes a suite's experiment matrix through the settings'
+warm sweep pool and writes::
+
+    <out>/
+      run_table.csv           # the core artifact: one row per run
+      RUN_TABLE_COLUMNS.md    # column explanations
+      manifest.json           # suite, seed, experiment list, figure list
+      figures/<name>.vl.json  # Vega-Lite specs rendered from the table
+      runs/<run_id>/          # one directory per run-table row
+        job.json              # run coordinates (daemon spec shape)
+        result.json           # state + summary (daemon result shape)
+        windows.ndjson        # windowed metrics + fleet/fault events
+
+The per-run directories reuse the daemon artifact format byte-for-byte in
+shape, so :func:`repro.analysis.artifacts.load_runs` digests a suite
+output tree unchanged.  Every file is a deterministic function of
+``(suite, seed)`` — no timestamps, no machine identity, no ``n_jobs``
+dependence — which is what lets ``pipeline check`` and the golden tests
+diff trees byte-wise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.pipeline.figures import render_figures
+from repro.pipeline.suites import make_context, run_experiment, suite_experiments
+from repro.pipeline.table import (
+    RunRow,
+    columns_doc,
+    parse_run_table,
+    render_run_table,
+)
+
+#: ``tenant`` recorded in every pipeline-run ``job.json`` (the daemon uses
+#: real tenant names; the pipeline is its own single tenant).
+PIPELINE_TENANT = "pipeline"
+
+
+@dataclass(frozen=True)
+class SuiteRunResult:
+    """Outcome of :func:`run_suite`."""
+
+    suite: str
+    seed: int
+    out: Path
+    experiments: Tuple[str, ...]
+    rows: Tuple[RunRow, ...]
+    figures: Tuple[str, ...]
+
+    @property
+    def run_table_path(self) -> Path:
+        return self.out / "run_table.csv"
+
+
+def run_suite(
+    suite: str,
+    out: Path,
+    *,
+    seed: int = 0,
+    n_jobs: Optional[int] = 1,
+    log: Optional[Callable[[str], None]] = None,
+) -> SuiteRunResult:
+    """Execute ``suite`` and write the artifact tree under ``out``."""
+    ctx = make_context(suite, seed=seed, n_jobs=n_jobs)
+    experiments = suite_experiments(suite)
+    rows: List[RunRow] = []
+    try:
+        for name in experiments:
+            if log:
+                log(f"[{suite}] running {name} ...")
+            produced = run_experiment(name, ctx)
+            if log:
+                log(f"[{suite}] {name}: {len(produced)} run(s)")
+            rows.extend(produced)
+    finally:
+        ctx.settings.runner().close()
+    figures = write_artifact_tree(
+        Path(out), suite=suite, seed=seed, experiments=experiments, rows=rows
+    )
+    return SuiteRunResult(
+        suite=suite,
+        seed=seed,
+        out=Path(out),
+        experiments=experiments,
+        rows=tuple(rows),
+        figures=figures,
+    )
+
+
+def write_artifact_tree(
+    out: Path,
+    *,
+    suite: str,
+    seed: int,
+    experiments: Tuple[str, ...],
+    rows: List[RunRow],
+) -> Tuple[str, ...]:
+    """Write the full artifact tree for ``rows``; returns the figure names."""
+    seen: Dict[str, RunRow] = {}
+    for row in rows:
+        if row.run_id in seen:
+            raise ValueError(
+                f"duplicate run id {row.run_id!r}: experiment "
+                f"{row.experiment!r} emitted two rows at the same "
+                "(design, rate, seed) coordinates"
+            )
+        seen[row.run_id] = row
+
+    out.mkdir(parents=True, exist_ok=True)
+    table_text = render_run_table(rows)
+    (out / "run_table.csv").write_text(table_text, encoding="utf-8")
+    (out / "RUN_TABLE_COLUMNS.md").write_text(columns_doc(), encoding="utf-8")
+
+    runs_dir = out / "runs"
+    runs_dir.mkdir(exist_ok=True)
+    for row in rows:
+        _write_run_dir(runs_dir / row.run_id, row)
+
+    figures_dir = out / "figures"
+    figures_dir.mkdir(exist_ok=True)
+    rendered = render_figures(parse_run_table(table_text), experiments)
+    for filename, text in rendered.items():
+        (figures_dir / filename).write_text(text, encoding="utf-8")
+
+    manifest = {
+        "suite": suite,
+        "seed": seed,
+        "experiments": list(experiments),
+        "runs": len(rows),
+        "figures": sorted(rendered),
+        "artifact_format": "daemon-v1",
+    }
+    (out / "manifest.json").write_text(_json_text(manifest), encoding="utf-8")
+    return tuple(sorted(rendered))
+
+
+def _write_run_dir(run_dir: Path, row: RunRow) -> None:
+    """One per-run directory in the daemon artifact shape."""
+    run_dir.mkdir(parents=True, exist_ok=True)
+    spec: Dict[str, Any] = {
+        "job_id": row.run_id,
+        "tenant": PIPELINE_TENANT,
+        "scenario": row.experiment,
+        "design": row.design,
+        "rate_qps": row.rate_qps,
+        "seed": row.seed,
+    }
+    (run_dir / "job.json").write_text(_json_text(spec), encoding="utf-8")
+
+    summary: Dict[str, Any] = {
+        key: value for key, value in row.metrics.items() if value is not None
+    }
+    result: Dict[str, Any] = {
+        "job_id": row.run_id,
+        "state": "completed",
+        "summary": summary,
+    }
+    if row.detail:
+        result["detail"] = dict(row.detail)
+    (run_dir / "result.json").write_text(_json_text(result), encoding="utf-8")
+
+    if row.windows or row.events:
+        lines = [json.dumps(entry) + "\n" for entry in row.windows]
+        lines.extend(json.dumps(entry) + "\n" for entry in row.events)
+        (run_dir / "windows.ndjson").write_text("".join(lines), encoding="utf-8")
+
+
+def _json_text(payload: Dict[str, Any]) -> str:
+    """Daemon-style JSON document text (indent=2, trailing newline)."""
+    return json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+
+
+__all__ = [
+    "PIPELINE_TENANT",
+    "SuiteRunResult",
+    "run_suite",
+    "write_artifact_tree",
+]

@@ -1,0 +1,298 @@
+"""The ``run_table.csv`` core artifact: columns, formatting, parsing.
+
+The run table is the pipeline's single flat view over every experiment of a
+suite — one row per (experiment, design, rate, seed), mubench's
+``run_table.csv`` shape.  Everything downstream hangs off it: the Vega-Lite
+figure specs read it by column name, ``pipeline check`` diffs it against
+the committed baseline, and reviewers diff it in PRs.  Cell formatting is
+therefore **canonical**: floats are rounded to six significant-digit-stable
+decimals and serialised with ``repr`` (shortest round-trip form), integers
+and strings verbatim, absent values as empty cells — so the same results
+always produce the same bytes, on any machine, at any ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: The run table's columns, in order.  ``RUN_TABLE_EXPLANATIONS`` below is
+#: the source of the ``RUN_TABLE_COLUMNS.md`` doc written next to the CSV.
+RUN_TABLE_COLUMNS: Tuple[str, ...] = (
+    "experiment",
+    "design",
+    "rate_qps",
+    "seed",
+    "throughput_qps",
+    "p95_latency_ms",
+    "mean_latency_ms",
+    "violation_rate",
+    "cost",
+    "availability",
+    "utilization",
+    "normalized_throughput",
+    "windows",
+    "run_dir",
+)
+
+#: Column -> (meaning, units/source) for the columns-explanation doc.
+RUN_TABLE_EXPLANATIONS: Mapping[str, Tuple[str, str]] = {
+    "experiment": (
+        "Experiment that produced the row (`fig11`, `table1`, "
+        "`fault_sweep`, ...) — the suite's matrix axis.",
+        "name (see `python -m repro.pipeline list`)",
+    ),
+    "design": (
+        "Design point within the experiment: a `partitioner+scheduler` pair "
+        "(`paris+elsa`), a fleet name, a scenario mode (`triggered` / "
+        "`control`), a static fleet size, or a `model/gpu(N)/bB` analytic "
+        "point.",
+        "free-form label, unique per (experiment, rate, seed)",
+    ),
+    "rate_qps": (
+        "Offered arrival rate of the measured replay.  For "
+        "latency-bounded-throughput experiments this is the highest "
+        "sustainable rate the bracketed bisection found; empty for "
+        "analytic (no-replay) rows.",
+        "queries/second, from `repro.analysis.sweep`",
+    ),
+    "seed": (
+        "Base RNG seed of the run's trace generation and simulation.  "
+        "Every row is a deterministic function of its (experiment, design, "
+        "rate, seed) coordinates.",
+        "integer",
+    ),
+    "throughput_qps": (
+        "Achieved throughput of the replay (completed queries over the "
+        "simulated span).",
+        "queries/second",
+    ),
+    "p95_latency_ms": (
+        "95th-percentile end-to-end query latency.",
+        "milliseconds",
+    ),
+    "mean_latency_ms": (
+        "Mean end-to-end query latency; for analytic rows (`fig3`/`fig4`) "
+        "the modeled single-query latency at the row's batch size.",
+        "milliseconds",
+    ),
+    "violation_rate": (
+        "Fraction of SLA-carrying queries that missed their SLA target.",
+        "fraction in [0, 1]",
+    ),
+    "cost": (
+        "Dollar cost of the design under `repro.gpu.cost.GPC_COST`: the "
+        "fleet's GPC-cost for static designs, the integrated per-window "
+        "billing timeline for autoscaled runs; empty where no cost model "
+        "applies.",
+        "$ (GPC-cost units)",
+    ),
+    "availability": (
+        "Mean per-window availability: delivered-over-planned capacity "
+        "under fault injection, or fleet availability under the control "
+        "plane; empty for runs without either.",
+        "fraction in [0, 1]",
+    ),
+    "utilization": (
+        "Mean per-partition utilization over the replay (or the modeled "
+        "utilization of analytic rows).",
+        "fraction in [0, 1]",
+    ),
+    "normalized_throughput": (
+        "Throughput normalised to the experiment's baseline design "
+        "(GPU(7)+FIFS for `fig12`/`fig13a`, GPU(max)+FIFS for `fig13b`); "
+        "empty where the experiment defines no baseline.",
+        "ratio",
+    ),
+    "windows": (
+        "Number of windowed-metrics rows in the run's `windows.ndjson` "
+        "(0 for point measurements).",
+        "count",
+    ),
+    "run_dir": (
+        "The row's per-run artifact directory, relative to the suite "
+        "output root; holds `job.json`, `result.json` and (when windowed) "
+        "`windows.ndjson` in the daemon artifact format, so "
+        "`repro.analysis.artifacts.load_runs` digests the tree unchanged.",
+        "relative path",
+    ),
+}
+
+#: A cell value before formatting.
+Cell = Union[str, int, float, None]
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One run-table row plus the per-run payload behind it.
+
+    ``metrics`` only needs the columns the run actually measured; the rest
+    render as empty cells.  ``windows`` rows (daemon window-row dicts) and
+    ``events`` rows (``"type"``-tagged fleet/fault rows) land in the run
+    directory's ``windows.ndjson``; ``detail`` is merged into the run's
+    ``result.json`` next to the summary.
+    """
+
+    experiment: str
+    design: str
+    seed: int
+    rate_qps: Optional[float] = None
+    metrics: Mapping[str, Cell] = field(default_factory=dict)
+    windows: Tuple[Dict[str, Any], ...] = ()
+    events: Tuple[Dict[str, Any], ...] = ()
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        """Filesystem-safe identity of the run (the run directory name)."""
+        rate = "-" if self.rate_qps is None else format_cell(self.rate_qps)
+        raw = f"{self.experiment}--{self.design}--r{rate}--s{self.seed}"
+        return "".join(ch if ch.isalnum() or ch in "().+=-" else "-" for ch in raw)
+
+    def cells(self) -> List[str]:
+        """The formatted run-table cells, in :data:`RUN_TABLE_COLUMNS` order."""
+        values: Dict[str, Cell] = {
+            "experiment": self.experiment,
+            "design": self.design,
+            "rate_qps": self.rate_qps,
+            "seed": self.seed,
+            "windows": len(self.windows),
+            "run_dir": f"runs/{self.run_id}",
+        }
+        for key, value in self.metrics.items():
+            if key not in RUN_TABLE_EXPLANATIONS:
+                raise KeyError(
+                    f"unknown run-table metric {key!r}; known columns: "
+                    f"{sorted(RUN_TABLE_EXPLANATIONS)}"
+                )
+            values[key] = value
+        return [format_cell(values.get(column)) for column in RUN_TABLE_COLUMNS]
+
+
+def format_cell(value: Cell) -> str:
+    """Canonical text form of one cell (deterministic across machines).
+
+    Floats are rounded to 6 decimals and rendered with ``repr`` — the
+    shortest string that round-trips, so ``0.1`` stays ``0.1`` and the same
+    number never formats two ways.  Non-finite floats keep their spelling
+    (``nan``/``inf``) and survive a CSV round trip through ``float()``.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        rounded = round(value, 6)
+        if rounded == int(rounded) and abs(rounded) < 1e15:
+            return repr(int(rounded)) + ".0"
+        return repr(rounded)
+    return str(value)
+
+
+def render_run_table(rows: Sequence[RunRow]) -> str:
+    """The full ``run_table.csv`` text (RFC-4180 quoting, ``\\n`` endings)."""
+    lines = [_csv_line(RUN_TABLE_COLUMNS)]
+    lines.extend(_csv_line(row.cells()) for row in rows)
+    return "".join(lines)
+
+
+def _csv_line(cells: Sequence[str]) -> str:
+    quoted = []
+    for cell in cells:
+        if any(ch in cell for ch in ',"\n'):
+            cell = '"' + cell.replace('"', '""') + '"'
+        quoted.append(cell)
+    return ",".join(quoted) + "\n"
+
+
+def parse_run_table(text: str) -> List[Dict[str, Cell]]:
+    """Parse ``run_table.csv`` text back into typed row dicts.
+
+    Numeric-looking cells come back as ``int``/``float`` (so the
+    structural comparator applies exact-integer vs tolerant-float
+    semantics), empty cells as ``None``, everything else as strings.
+    """
+    import csv
+    import io
+
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("run table is empty — no header row") from None
+    if tuple(header) != RUN_TABLE_COLUMNS:
+        raise ValueError(
+            f"unexpected run-table header {header} "
+            f"(expected {list(RUN_TABLE_COLUMNS)})"
+        )
+    rows: List[Dict[str, Cell]] = []
+    for cells in reader:
+        if not cells:
+            continue
+        if len(cells) != len(header):
+            raise ValueError(
+                f"run-table row {len(rows) + 1} has {len(cells)} cells, "
+                f"expected {len(header)}"
+            )
+        rows.append({name: _parse_cell(cell) for name, cell in zip(header, cells)})
+    return rows
+
+
+def _parse_cell(cell: str) -> Cell:
+    if cell == "":
+        return None
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def columns_doc() -> str:
+    """The ``RUN_TABLE_COLUMNS.md`` columns-explanation document."""
+    lines = [
+        "# `run_table.csv` — column explanations",
+        "",
+        "The core artifact of `python -m repro.pipeline run`: one row per",
+        "(experiment, design, rate, seed).  Every value is a deterministic",
+        "function of those coordinates — regenerating a suite with the same",
+        "seed reproduces this file byte-for-byte, at any `n_jobs`.",
+        "",
+        "| Column | Meaning | Units / source |",
+        "| --- | --- | --- |",
+    ]
+    for column in RUN_TABLE_COLUMNS:
+        meaning, units = RUN_TABLE_EXPLANATIONS[column]
+        lines.append(f"| `{column}` | {meaning} | {units} |")
+    lines.extend(
+        [
+            "",
+            "Empty cells mean *not applicable to this experiment* (analytic",
+            "rows have no replay metrics; plain replays have no cost or",
+            "availability model), never *missing data*.",
+            "",
+        ]
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Cell",
+    "RUN_TABLE_COLUMNS",
+    "RUN_TABLE_EXPLANATIONS",
+    "RunRow",
+    "columns_doc",
+    "format_cell",
+    "parse_run_table",
+    "render_run_table",
+]

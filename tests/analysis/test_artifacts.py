@@ -97,6 +97,41 @@ class TestLoadJob:
         with pytest.raises(ValueError, match="windows.ndjson:2"):
             load_job(job_dir)
 
+    def test_truncated_final_ndjson_line_reports_its_number(self, tmp_path):
+        # a daemon killed mid-write leaves a cut-off last line (no newline)
+        job_dir = write_job(tmp_path, "job-0004", windows=2)
+        path = job_dir / "windows.ndjson"
+        text = path.read_text()
+        path.write_text(text + '{"index": 2, "start": 2.0, "thro')
+        with pytest.raises(ValueError, match="windows.ndjson:3"):
+            load_job(job_dir)
+
+    def test_blank_ndjson_lines_are_skipped(self, tmp_path):
+        job_dir = write_job(tmp_path, "job-0005", windows=2)
+        path = job_dir / "windows.ndjson"
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\n\n  \n" + lines[1] + "\n")
+        assert len(load_job(job_dir).windows) == 2
+
+    def test_missing_windows_file_means_no_windows(self, tmp_path):
+        job_dir = write_job(tmp_path, "job-0006", windows=0)
+        (job_dir / "windows.ndjson").unlink()
+        run = load_job(job_dir)
+        assert run.windows == ()
+        assert run.state == "completed"
+
+    def test_corrupt_result_json_reports_its_path(self, tmp_path):
+        job_dir = write_job(tmp_path, "job-0007")
+        (job_dir / "result.json").write_text('{"state": "compl')
+        with pytest.raises(ValueError, match="result.json"):
+            load_job(job_dir)
+
+    def test_missing_result_still_rows_with_blanks(self, tmp_path):
+        job_dir = write_job(tmp_path, "job-0008", with_result=False)
+        row = load_job(job_dir).row()
+        assert row[3] == "unknown"  # state column
+        assert row[7] == ""  # throughput_qps column
+
 
 class TestLoadRuns:
     def test_sweeps_and_sorts_by_job_id(self, tmp_path):

@@ -39,3 +39,36 @@ class TestRowsToCsv:
     def test_quoting_of_special_characters(self):
         csv = rows_to_csv(["name"], [['has,"comma"']])
         assert '"has,""comma"""' in csv
+
+    def test_comma_alone_is_quoted(self):
+        csv = rows_to_csv(["name"], [["a,b"]])
+        assert '"a,b"' in csv
+
+    def test_embedded_quotes_are_doubled(self):
+        csv = rows_to_csv(["name"], [['say "hi"']])
+        assert '"say ""hi"""' in csv
+
+    def test_newlines_are_quoted_not_split(self):
+        csv = rows_to_csv(["name"], [["line1\nline2"]])
+        # the logical row must stay one quoted cell, not become two rows
+        assert '"line1\nline2"' in csv
+        header, rest = csv.split("\n", 1)
+        assert header == "name"
+        assert rest.count('"') == 2
+
+    def test_empty_rows_render_header_only(self):
+        csv = rows_to_csv(["a", "b"], [])
+        assert csv == "a,b\n"
+
+    def test_empty_cells_stay_empty(self):
+        csv = rows_to_csv(["a", "b"], [["", ""]])
+        assert csv.splitlines()[1] == ","
+
+    def test_non_string_cells_are_stringified(self):
+        csv = rows_to_csv(["a", "b", "c"], [[1, 2.5, None]])
+        row = csv.splitlines()[1]
+        assert row.startswith("1,2.50")
+
+    def test_quoted_header_cells(self):
+        csv = rows_to_csv(['odd,"header"'], [["x"]])
+        assert csv.splitlines()[0] == '"odd,""header"""'

@@ -1,0 +1,18 @@
+"""Shared fixtures for the pipeline test layer.
+
+The smoke suite takes a few seconds, so one artifact tree is materialised
+per session and shared by the golden, figure and artifact-compatibility
+tests; tests that need a *second* run (byte-identity, ``n_jobs``
+invariance) pay for their own.
+"""
+
+import pytest
+
+from repro.pipeline.runner import SuiteRunResult, run_suite
+
+
+@pytest.fixture(scope="session")
+def smoke_tree(tmp_path_factory) -> SuiteRunResult:
+    """One smoke-suite artifact tree, seed 0, serial."""
+    out = tmp_path_factory.mktemp("smoke-tree")
+    return run_suite("smoke", out, seed=0, n_jobs=1)

@@ -1,0 +1,162 @@
+"""Unit tests for the shared structural comparator."""
+
+import math
+
+import pytest
+
+from repro.pipeline.compare import (
+    DEFAULT_REL_TOL,
+    diff_structures,
+    first_mismatch,
+)
+
+
+class TestExactKinds:
+    def test_equal_payloads_produce_no_mismatches(self):
+        payload = {"a": 1, "b": [1.5, "x"], "c": {"d": True}}
+        assert diff_structures(payload, payload) == []
+
+    def test_strings_match_exactly(self):
+        assert diff_structures("paris", "elsa") == [
+            "payload: 'paris' != 'elsa'"
+        ]
+
+    def test_integers_match_exactly(self):
+        bad = diff_structures({"crashes": 3}, {"crashes": 4})
+        assert bad == ["payload.crashes: 3 != 4 (exact integer match)"]
+
+    def test_integer_never_gets_float_tolerance(self):
+        # 1000001 vs 1000000 is within 1e-6 relative — still a failure.
+        bad = diff_structures(1000001, 1000000)
+        assert len(bad) == 1
+
+    def test_float_where_integer_pinned_is_type_drift(self):
+        bad = diff_structures({"count": 3.0}, {"count": 3})
+        assert bad and "exact integer match" in bad[0]
+
+    def test_bool_is_not_an_integer(self):
+        assert diff_structures(True, 1) != []
+        assert diff_structures(1, True) != []
+        assert diff_structures(True, True) == []
+        bad = diff_structures({"feasible": False}, {"feasible": True})
+        assert bad == ["payload.feasible: False != True"]
+
+
+class TestFloatTolerance:
+    def test_within_default_tolerance_passes(self):
+        pinned = 100.0
+        fresh = pinned * (1.0 + DEFAULT_REL_TOL / 10)
+        assert diff_structures(fresh, pinned) == []
+
+    def test_beyond_default_tolerance_fails(self):
+        bad = diff_structures(100.002, 100.0)
+        assert bad and "rel_tol" in bad[0]
+
+    def test_integer_fresh_accepted_for_pinned_float(self):
+        assert diff_structures({"qps": 100}, {"qps": 100.0}) == []
+
+    def test_non_number_fresh_for_pinned_float(self):
+        bad = diff_structures({"qps": "fast"}, {"qps": 100.0})
+        assert bad == ["payload.qps: expected a number, got 'fast'"]
+
+    def test_per_field_override_loosens(self):
+        fresh, pinned = {"qps": 101.0}, {"qps": 100.0}
+        assert diff_structures(fresh, pinned) != []
+        assert (
+            diff_structures(fresh, pinned, field_tolerances={"qps": 0.05})
+            == []
+        )
+
+    def test_per_field_override_applies_inside_lists(self):
+        fresh = {"sweep": [{"qps": 101.0}]}
+        pinned = {"sweep": [{"qps": 100.0}]}
+        assert (
+            diff_structures(fresh, pinned, field_tolerances={"qps": 0.05})
+            == []
+        )
+
+    def test_zero_override_demands_exact_equality(self):
+        fresh = {"qps": 100.0 + 1e-12}
+        assert diff_structures(fresh, {"qps": 100.0}) == []
+        bad = diff_structures(
+            fresh, {"qps": 100.0}, field_tolerances={"qps": 0.0}
+        )
+        assert len(bad) == 1
+
+    def test_abs_tol_handles_near_zero(self):
+        assert diff_structures(1e-12, 0.0) == []
+        assert diff_structures(1e-3, 0.0) != []
+
+
+class TestNonFinite:
+    def test_nan_matches_only_nan(self):
+        assert diff_structures(math.nan, math.nan) == []
+        assert diff_structures(0.0, math.nan) != []
+        assert diff_structures(math.nan, 0.0) != []
+
+    def test_infinities_must_match_in_sign(self):
+        assert diff_structures(math.inf, math.inf) == []
+        assert diff_structures(-math.inf, -math.inf) == []
+        assert diff_structures(-math.inf, math.inf) != []
+        assert diff_structures(1e308, math.inf) != []
+
+
+class TestShapes:
+    def test_missing_and_unexpected_keys_both_reported(self):
+        bad = diff_structures({"a": 1, "c": 2}, {"a": 1, "b": 2})
+        assert "payload: missing keys ['b']" in bad
+        assert "payload: unexpected keys ['c']" in bad
+
+    def test_list_length_mismatch(self):
+        bad = diff_structures([1, 2], [1, 2, 3])
+        assert bad == ["payload: list length 2 != 3"]
+
+    def test_tuple_and_list_are_interchangeable(self):
+        assert diff_structures((1, 2), [1, 2]) == []
+
+    def test_type_mismatch_against_dict(self):
+        bad = diff_structures([1], {"a": 1})
+        assert bad == ["payload: expected an object, got list"]
+
+    def test_nested_paths_are_dotted_and_indexed(self):
+        bad = diff_structures(
+            {"sweep": [{"rate": 1.0}, {"rate": 99.0}]},
+            {"sweep": [{"rate": 1.0}, {"rate": 2.0}]},
+        )
+        assert bad[0].startswith("payload.sweep[1].rate: ")
+
+    def test_limit_caps_collection(self):
+        fresh = {str(i): i for i in range(100)}
+        pinned = {str(i): i + 1 for i in range(100)}
+        assert len(diff_structures(fresh, pinned, limit=5)) == 5
+
+
+class TestFirstMismatch:
+    def test_empty(self):
+        assert first_mismatch([]) == ""
+
+    def test_single(self):
+        assert first_mismatch(["a: 1 != 2"]) == "a: 1 != 2"
+
+    def test_many_reports_count(self):
+        assert first_mismatch(["a", "b", "c"]) == "a (+2 more)"
+
+
+class TestLegacyParity:
+    """The cases the copy-pasted smoke-script ``_match`` helpers covered."""
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"experiment": "iso_sla", "frontier": [{"cost": 1.5, "n": 2}]},
+            {"sweep": [{"rate": 0.0, "availability": 1.0, "crashes": 0}]},
+        ],
+    )
+    def test_self_comparison_is_clean(self, payload):
+        assert diff_structures(payload, payload) == []
+
+    def test_drifted_bench_payload_is_caught(self):
+        pinned = {"autoscaled": {"cost": 34.5, "scale_outs": 2}}
+        fresh = {"autoscaled": {"cost": 34.6, "scale_outs": 2}}
+        bad = diff_structures(fresh, pinned)
+        assert bad and bad[0].startswith("payload.autoscaled.cost")

@@ -1,0 +1,102 @@
+"""Property tests for the Vega-Lite figure specs the pipeline emits."""
+
+import json
+
+import pytest
+
+from repro.pipeline.figures import (
+    FIGURES,
+    referenced_fields,
+    render_figure,
+    render_figures,
+)
+from repro.pipeline.suites import EXPERIMENTS
+from repro.pipeline.table import RUN_TABLE_COLUMNS, parse_run_table
+
+
+class TestRegistry:
+    def test_every_figure_plots_a_registered_experiment(self):
+        for spec in FIGURES:
+            assert spec.experiment in EXPERIMENTS
+
+    def test_every_measured_experiment_has_a_figure(self):
+        covered = {spec.experiment for spec in FIGURES}
+        assert covered == set(EXPERIMENTS) - {"fig8"}
+
+    def test_names_are_unique(self):
+        names = [spec.name for spec in FIGURES]
+        assert len(names) == len(set(names))
+
+    def test_specs_reference_only_run_table_columns(self):
+        for spec in FIGURES:
+            fields = referenced_fields(spec.encoding)
+            assert fields, f"{spec.name} encodes no fields"
+            assert fields <= set(RUN_TABLE_COLUMNS), spec.name
+
+
+class TestEmittedSpecs:
+    """Properties of the specs in a real artifact tree (ISSUE satellite)."""
+
+    @pytest.fixture(scope="class")
+    def emitted(self, smoke_tree):
+        return sorted((smoke_tree.out / "figures").glob("*.vl.json"))
+
+    def test_suite_emitted_figures(self, emitted, smoke_tree):
+        assert [p.name for p in emitted] == sorted(smoke_tree.figures)
+        assert emitted, "smoke suite emitted no figures"
+
+    def test_every_spec_is_valid_json_with_schema(self, emitted):
+        for path in emitted:
+            document = json.loads(path.read_text())
+            assert document["$schema"].startswith(
+                "https://vega.github.io/schema/vega-lite/"
+            )
+            assert document["data"]["values"], path.name
+
+    def test_every_spec_references_only_table_columns(self, emitted):
+        for path in emitted:
+            document = json.loads(path.read_text())
+            fields = referenced_fields(document["encoding"])
+            assert fields <= set(RUN_TABLE_COLUMNS), path.name
+            for value in document["data"]["values"]:
+                assert set(value) <= set(RUN_TABLE_COLUMNS), path.name
+
+    def test_rerender_from_same_table_is_byte_identical(self, emitted, smoke_tree):
+        table_rows = parse_run_table(
+            smoke_tree.run_table_path.read_text(encoding="utf-8")
+        )
+        rendered = render_figures(table_rows, smoke_tree.experiments)
+        for path in emitted:
+            assert rendered[path.name] == path.read_text(encoding="utf-8")
+
+    def test_values_come_from_the_spec_experiment(self, smoke_tree):
+        table_rows = parse_run_table(
+            smoke_tree.run_table_path.read_text(encoding="utf-8")
+        )
+        by_experiment = {}
+        for row in table_rows:
+            by_experiment.setdefault(row["experiment"], []).append(row)
+        for spec in FIGURES:
+            if spec.experiment not in by_experiment:
+                continue
+            document = json.loads(render_figure(spec, table_rows))
+            assert len(document["data"]["values"]) == len(
+                by_experiment[spec.experiment]
+            )
+
+
+class TestReferencedFields:
+    def test_walks_nested_structures(self):
+        node = {
+            "x": {"field": "a"},
+            "layer": [{"encoding": {"y": {"field": "b"}}}],
+            "tooltip": [{"field": "c"}, {"field": "d"}],
+        }
+        assert referenced_fields(node) == {"a", "b", "c", "d"}
+
+    def test_ignores_non_string_field_values(self):
+        assert referenced_fields({"field": 3}) == set()
+
+    def test_empty(self):
+        assert referenced_fields({}) == set()
+        assert referenced_fields([]) == set()

@@ -1,0 +1,204 @@
+"""Golden-artifact regression tests for the experiment pipeline.
+
+Pins the ISSUE's reproducibility contract: the smoke suite's
+``run_table.csv`` is byte-identical across runs on the same seed and
+across ``n_jobs`` values, the artifact tree is digestible by
+``analysis.artifacts.load_runs`` unchanged, and the committed baseline
+under ``baselines/smoke`` reproduces — with the check CLI exiting 0 on a
+clean diff and nonzero on an injected >tolerance perturbation.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.pipeline.__main__ import main as pipeline_main
+from repro.pipeline.checks import DEFAULT_BASELINE, RUN_TABLE_TOLERANCES
+from repro.pipeline.compare import diff_structures
+from repro.pipeline.runner import run_suite
+from repro.pipeline.suites import suite_experiments
+from repro.pipeline.table import RUN_TABLE_COLUMNS, parse_run_table
+
+
+class TestByteIdentity:
+    def test_two_runs_same_seed_are_byte_identical(self, smoke_tree, tmp_path):
+        again = run_suite("smoke", tmp_path / "again", seed=0, n_jobs=1)
+        assert (
+            again.run_table_path.read_bytes()
+            == smoke_tree.run_table_path.read_bytes()
+        )
+        for name in smoke_tree.figures:
+            assert (again.out / "figures" / name).read_bytes() == (
+                smoke_tree.out / "figures" / name
+            ).read_bytes()
+        assert (again.out / "manifest.json").read_bytes() == (
+            smoke_tree.out / "manifest.json"
+        ).read_bytes()
+
+    def test_parallel_run_is_byte_identical_to_serial(self, smoke_tree, tmp_path):
+        parallel = run_suite("smoke", tmp_path / "par", seed=0, n_jobs=2)
+        assert (
+            parallel.run_table_path.read_bytes()
+            == smoke_tree.run_table_path.read_bytes()
+        )
+
+    def test_different_seed_changes_measured_rows(self, smoke_tree, tmp_path):
+        other = run_suite("smoke", tmp_path / "seed7", seed=7, n_jobs=1)
+        assert (
+            other.run_table_path.read_bytes()
+            != smoke_tree.run_table_path.read_bytes()
+        )
+
+
+class TestArtifactTree:
+    def test_run_table_covers_the_whole_matrix(self, smoke_tree):
+        rows = parse_run_table(smoke_tree.run_table_path.read_text())
+        assert {row["experiment"] for row in rows} == set(
+            suite_experiments("smoke")
+        )
+        assert len(rows) == len(smoke_tree.rows)
+
+    def test_columns_doc_sits_next_to_the_table(self, smoke_tree):
+        doc = (smoke_tree.out / "RUN_TABLE_COLUMNS.md").read_text()
+        for column in RUN_TABLE_COLUMNS:
+            assert f"`{column}`" in doc
+
+    def test_load_runs_digests_the_tree_unchanged(self, smoke_tree):
+        from repro.analysis.artifacts import load_runs
+
+        runs = load_runs(smoke_tree.out / "runs")
+        assert len(runs) == len(smoke_tree.rows)
+        by_id = {run.job_id: run for run in runs}
+        for row in smoke_tree.rows:
+            artifact = by_id[row.run_id]
+            assert artifact.state == "completed"
+            assert artifact.spec["scenario"] == row.experiment
+            assert len(artifact.windows) == len(row.windows)
+
+    def test_windowed_runs_partition_events(self, smoke_tree):
+        from repro.analysis.artifacts import load_runs
+
+        runs = load_runs(smoke_tree.out / "runs")
+        fleet = [r for r in runs if r.fleet_events]
+        fault = [r for r in runs if r.fault_events]
+        assert fleet, "autoscaled run lost its fleet events"
+        assert fault, "fault sweep lost its fault events"
+
+    def test_run_dir_cells_point_at_real_directories(self, smoke_tree):
+        rows = parse_run_table(smoke_tree.run_table_path.read_text())
+        for row in rows:
+            run_dir = smoke_tree.out / str(row["run_dir"])
+            assert (run_dir / "job.json").is_file()
+            assert (run_dir / "result.json").is_file()
+
+    def test_manifest_records_the_suite(self, smoke_tree):
+        manifest = json.loads((smoke_tree.out / "manifest.json").read_text())
+        assert manifest["suite"] == "smoke"
+        assert manifest["seed"] == 0
+        assert manifest["runs"] == len(smoke_tree.rows)
+        assert manifest["experiments"] == list(suite_experiments("smoke"))
+
+
+class TestCommittedBaseline:
+    """The committed ``baselines/smoke`` tree must stay fresh."""
+
+    def test_baseline_exists(self):
+        assert (DEFAULT_BASELINE / "run_table.csv").is_file()
+        assert list((DEFAULT_BASELINE / "figures").glob("*.vl.json"))
+
+    def test_fresh_run_reproduces_committed_run_table(self, smoke_tree):
+        fresh = parse_run_table(smoke_tree.run_table_path.read_text())
+        pinned = parse_run_table(
+            (DEFAULT_BASELINE / "run_table.csv").read_text()
+        )
+        assert (
+            diff_structures(
+                fresh,
+                pinned,
+                path="run_table",
+                field_tolerances=RUN_TABLE_TOLERANCES,
+            )
+            == []
+        )
+
+    def test_fresh_figures_reproduce_committed_specs(self, smoke_tree):
+        for name in smoke_tree.figures:
+            fresh = json.loads((smoke_tree.out / "figures" / name).read_text())
+            pinned = json.loads((DEFAULT_BASELINE / "figures" / name).read_text())
+            assert (
+                diff_structures(
+                    fresh,
+                    pinned,
+                    path=name,
+                    field_tolerances=RUN_TABLE_TOLERANCES,
+                )
+                == []
+            )
+
+
+class TestCheckCli:
+    """``python -m repro.pipeline check`` exit codes (ISSUE acceptance)."""
+
+    def test_check_exits_zero_against_committed_baseline(self, capsys):
+        code = pipeline_main(["check", "smoke", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "smoke: OK" in out
+
+    def test_check_exits_nonzero_on_perturbation(self, tmp_path, capsys):
+        perturbed = tmp_path / "baseline"
+        shutil.copytree(DEFAULT_BASELINE, perturbed)
+        table = perturbed / "run_table.csv"
+        lines = table.read_text().splitlines(keepends=True)
+        for index, line in enumerate(lines):
+            cells = line.split(",")
+            if cells[0] == "fig11" and cells[4]:
+                cells[4] = str(float(cells[4]) * 1.01)  # 1% >> 1e-5 rel tol
+                lines[index] = ",".join(cells)
+                break
+        else:
+            pytest.fail("no fig11 throughput cell found to perturb")
+        table.write_text("".join(lines))
+
+        code = pipeline_main(
+            ["check", "smoke", "--baseline", str(perturbed), "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "throughput_qps" in out
+
+    def test_check_rejects_unknown_names(self, capsys):
+        assert pipeline_main(["check", "bogus"]) == 2
+
+    def test_missing_baseline_fails_with_guidance(self, tmp_path, capsys):
+        code = pipeline_main(
+            ["check", "smoke", "--baseline", str(tmp_path / "nope"), "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "repro.pipeline run" in out
+
+
+class TestRunCli:
+    def test_run_writes_a_tree_and_reports(self, tmp_path, capsys):
+        code = pipeline_main(
+            [
+                "run",
+                "--suite",
+                "smoke",
+                "--out",
+                str(tmp_path / "tree"),
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "tree" / "run_table.csv").is_file()
+        assert "54 runs" in out or "runs across" in out
+
+    def test_list_shows_suites_and_figures(self, capsys):
+        assert pipeline_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "suite 'smoke'" in out
+        assert "fault_availability.vl.json" in out

@@ -1,0 +1,136 @@
+"""Unit tests for the run-table formatting/parsing layer."""
+
+import math
+
+import pytest
+
+from repro.pipeline.table import (
+    RUN_TABLE_COLUMNS,
+    RUN_TABLE_EXPLANATIONS,
+    RunRow,
+    columns_doc,
+    format_cell,
+    parse_run_table,
+    render_run_table,
+)
+
+
+class TestFormatCell:
+    def test_none_is_empty(self):
+        assert format_cell(None) == ""
+
+    def test_bools_are_lowercase_words(self):
+        assert format_cell(True) == "true"
+        assert format_cell(False) == "false"
+
+    def test_integers_verbatim(self):
+        assert format_cell(0) == "0"
+        assert format_cell(-42) == "-42"
+
+    def test_floats_round_to_six_decimals(self):
+        assert format_cell(1.23456789) == "1.234568"
+        assert format_cell(0.1) == "0.1"
+
+    def test_whole_floats_keep_a_decimal_point(self):
+        # distinguishes a float cell from an integer cell on re-parse
+        assert format_cell(3000.0) == "3000.0"
+
+    def test_no_thousands_separators(self):
+        assert "," not in format_cell(1234567.5)
+
+    def test_non_finite_spellings(self):
+        assert format_cell(math.nan) == "nan"
+        assert format_cell(math.inf) == "inf"
+        assert format_cell(-math.inf) == "-inf"
+
+    def test_same_value_always_formats_the_same(self):
+        assert format_cell(1.0000004) == format_cell(1.0000004)
+
+
+class TestRunRow:
+    def test_run_id_is_filesystem_safe(self):
+        row = RunRow(
+            experiment="fig11",
+            design="mobilenet/gpu(7)+fifs",
+            seed=0,
+            rate_qps=1200.0,
+        )
+        assert "/" not in row.run_id
+        assert row.run_id == "fig11--mobilenet-gpu(7)+fifs--r1200.0--s0"
+
+    def test_unknown_metric_is_rejected(self):
+        row = RunRow(
+            experiment="x", design="d", seed=0, metrics={"no_such_column": 1.0}
+        )
+        with pytest.raises(KeyError, match="no_such_column"):
+            row.cells()
+
+    def test_cells_align_with_columns(self):
+        row = RunRow(
+            experiment="fig12",
+            design="mobilenet/paris+elsa",
+            seed=3,
+            metrics={"throughput_qps": 100.5},
+            windows=({"index": 0},),
+        )
+        cells = dict(zip(RUN_TABLE_COLUMNS, row.cells()))
+        assert cells["experiment"] == "fig12"
+        assert cells["seed"] == "3"
+        assert cells["throughput_qps"] == "100.5"
+        assert cells["windows"] == "1"
+        assert cells["run_dir"].startswith("runs/fig12--")
+        assert cells["p95_latency_ms"] == ""
+
+
+class TestRoundTrip:
+    def _rows(self):
+        return [
+            RunRow(
+                experiment="fig11",
+                design='odd "design", with comma',
+                seed=0,
+                rate_qps=100.0,
+                metrics={"throughput_qps": 99.5, "violation_rate": 0.0},
+            ),
+            RunRow(experiment="fig8", design="worked-example", seed=0),
+        ]
+
+    def test_render_parse_roundtrip(self):
+        text = render_run_table(self._rows())
+        rows = parse_run_table(text)
+        assert len(rows) == 2
+        assert rows[0]["design"] == 'odd "design", with comma'
+        assert rows[0]["throughput_qps"] == 99.5
+        assert rows[0]["seed"] == 0
+        assert rows[1]["throughput_qps"] is None
+
+    def test_floats_reparse_as_floats_ints_as_ints(self):
+        text = render_run_table(self._rows())
+        row = parse_run_table(text)[0]
+        assert isinstance(row["rate_qps"], float)
+        assert isinstance(row["seed"], int)
+        assert isinstance(row["violation_rate"], float)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_run_table("")
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_run_table("a,b,c\n1,2,3\n")
+
+    def test_ragged_row_rejected(self):
+        text = render_run_table([]) + "only,three,cells\n"
+        with pytest.raises(ValueError, match="cells"):
+            parse_run_table(text)
+
+
+class TestColumnsDoc:
+    def test_every_column_is_explained(self):
+        assert set(RUN_TABLE_COLUMNS) == set(RUN_TABLE_EXPLANATIONS)
+        doc = columns_doc()
+        for column in RUN_TABLE_COLUMNS:
+            assert f"`{column}`" in doc
+
+    def test_doc_is_stable(self):
+        assert columns_doc() == columns_doc()
